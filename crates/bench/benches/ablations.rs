@@ -1,0 +1,83 @@
+//! Ablation benchmarks: the design knobs DESIGN.md calls out — HYRISE's K,
+//! Trojan's threshold, and BruteForce's fragment-space reduction. Prints
+//! the ablation tables (quick mode) and times the interesting points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slicer_core::{Advisor, BruteForce, Hyrise, PartitionRequest, Trojan};
+use slicer_cost::HddCostModel;
+use slicer_experiments::{run, Config};
+use slicer_workloads::tpch;
+use std::hint::black_box;
+
+fn print_reports() {
+    let cfg = Config::quick();
+    for id in [
+        "ablation-hyrise-k",
+        "ablation-trojan-threshold",
+        "ablation-bruteforce-space",
+        "ablation-o2p-order",
+    ] {
+        if let Some(r) = run(id, &cfg) {
+            println!("{}", r.to_text());
+        }
+    }
+}
+
+fn bench_hyrise_k(c: &mut Criterion) {
+    print_reports();
+    let b = tpch::benchmark(10.0);
+    let li = b.table_index("Lineitem").expect("lineitem");
+    let schema = &b.tables()[li];
+    let w = b.table_workload(li);
+    let m = HddCostModel::paper_testbed();
+    let req = PartitionRequest::new(schema, &w, &m);
+    let mut g = c.benchmark_group("ablation_hyrise_k");
+    for k in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, &k| {
+            bench.iter(|| {
+                black_box(Hyrise::with_subgraph_bound(k).partition(&req).expect("ok"))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_trojan_threshold(c: &mut Criterion) {
+    let b = tpch::benchmark(10.0);
+    let li = b.table_index("Lineitem").expect("lineitem");
+    let schema = &b.tables()[li];
+    let w = b.table_workload(li);
+    let m = HddCostModel::paper_testbed();
+    let req = PartitionRequest::new(schema, &w, &m);
+    let mut g = c.benchmark_group("ablation_trojan_threshold");
+    g.sample_size(20);
+    for t in [0.1f64, 0.5, 0.9] {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |bench, &t| {
+            bench.iter(|| black_box(Trojan::with_threshold(t).partition(&req).expect("ok")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bruteforce_modes(c: &mut Criterion) {
+    // PartSupp (5 attributes, 3-4 fragments): both modes feasible.
+    let b = tpch::benchmark(10.0);
+    let ps = b.table_index("PartSupp").expect("partsupp");
+    let schema = &b.tables()[ps];
+    let w = b.table_workload(ps);
+    let m = HddCostModel::paper_testbed();
+    let req = PartitionRequest::new(schema, &w, &m);
+    let mut g = c.benchmark_group("ablation_bruteforce_space");
+    g.bench_function("fragments", |bench| {
+        let bf = BruteForce::new().with_threads(1);
+        bench.iter(|| black_box(bf.partition(&req).expect("ok")))
+    });
+    g.bench_function("raw_attributes", |bench| {
+        let bf = BruteForce::exhaustive().with_threads(1);
+        bench.iter(|| black_box(bf.partition(&req).expect("ok")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hyrise_k, bench_trojan_threshold, bench_bruteforce_modes);
+criterion_main!(benches);

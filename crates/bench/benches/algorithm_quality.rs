@@ -1,0 +1,92 @@
+//! Figures 3–7 / Tables 3–5 benchmark: the "how good?" kernels — cost
+//! model evaluation, quality metrics and the per-benchmark suites.
+//!
+//! The paper tables are printed once at startup (quick mode); the timed
+//! kernels are the computations those tables are built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slicer_cost::{CostModel, HddCostModel, MainMemoryCostModel};
+use slicer_experiments::{run, Config};
+use slicer_metrics::{avg_reconstruction_joins, data_volume, pmv_cost};
+use slicer_model::Partitioning;
+use slicer_workloads::{ssb, tpch};
+use std::hint::black_box;
+
+fn print_reports() {
+    let cfg = Config::quick();
+    for id in ["fig3", "fig4", "fig5", "fig6", "fig7", "table3", "table4", "table5"] {
+        if let Some(r) = run(id, &cfg) {
+            println!("{}", r.to_text());
+        }
+    }
+}
+
+fn bench_cost_models(c: &mut Criterion) {
+    print_reports();
+    let b = tpch::benchmark(10.0);
+    let li = b.table_index("Lineitem").expect("lineitem");
+    let schema = &b.tables()[li];
+    let w = b.table_workload(li);
+    let col = Partitioning::column(schema);
+    let hdd = HddCostModel::paper_testbed();
+    let mm = MainMemoryCostModel::paper_testbed();
+
+    let mut g = c.benchmark_group("fig3_workload_cost_eval");
+    g.bench_function("hdd_lineitem_column", |bench| {
+        bench.iter(|| black_box(hdd.workload_cost(schema, black_box(&col), &w)))
+    });
+    g.bench_function("mm_lineitem_column", |bench| {
+        bench.iter(|| black_box(mm.workload_cost(schema, black_box(&col), &w)))
+    });
+    g.finish();
+}
+
+fn bench_quality_metrics(c: &mut Criterion) {
+    let b = tpch::benchmark(10.0);
+    let li = b.table_index("Lineitem").expect("lineitem");
+    let schema = &b.tables()[li];
+    let w = b.table_workload(li);
+    let col = Partitioning::column(schema);
+    let hdd = HddCostModel::paper_testbed();
+
+    let mut g = c.benchmark_group("fig4_to_fig6_metrics");
+    g.bench_function("data_volume", |bench| {
+        bench.iter(|| black_box(data_volume(schema, &col, &w)))
+    });
+    g.bench_function("reconstruction_joins", |bench| {
+        bench.iter(|| black_box(avg_reconstruction_joins(&col, &w)))
+    });
+    g.bench_function("pmv_cost_tpch", |bench| {
+        bench.iter(|| black_box(pmv_cost(&b, &hdd)))
+    });
+    g.finish();
+}
+
+fn bench_benchmark_suites(c: &mut Criterion) {
+    // Table 5's kernel: full-suite HillClimb on both benchmarks.
+    let hdd = HddCostModel::paper_testbed();
+    let tpch_b = tpch::benchmark(10.0);
+    let ssb_b = ssb::benchmark(10.0);
+    let mut g = c.benchmark_group("table5_suites");
+    g.sample_size(20);
+    g.bench_function("hillclimb_tpch_all_tables", |bench| {
+        bench.iter(|| {
+            black_box(
+                slicer_metrics::run_advisor(&slicer_core::HillClimb::new(), &tpch_b, &hdd)
+                    .expect("ok"),
+            )
+        })
+    });
+    g.bench_function("hillclimb_ssb_all_tables", |bench| {
+        bench.iter(|| {
+            black_box(
+                slicer_metrics::run_advisor(&slicer_core::HillClimb::new(), &ssb_b, &hdd)
+                    .expect("ok"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cost_models, bench_quality_metrics, bench_benchmark_suites);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figures 8 and 11 benchmark: fragility evaluation — scoring stale
+//! layouts under drifted hardware parameters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slicer_core::{Advisor, HillClimb, PartitionRequest};
+use slicer_cost::{CostModel, DiskParams, HddCostModel, KB, MB};
+use slicer_experiments::{run, Config};
+use slicer_workloads::tpch;
+use std::hint::black_box;
+
+fn print_reports() {
+    let cfg = Config::quick();
+    for id in ["fig8", "fig11"] {
+        if let Some(r) = run(id, &cfg) {
+            println!("{}", r.to_text());
+        }
+    }
+}
+
+fn bench_fragility_eval(c: &mut Criterion) {
+    print_reports();
+    let b = tpch::benchmark(10.0);
+    let li = b.table_index("Lineitem").expect("lineitem");
+    let schema = &b.tables()[li];
+    let w = b.table_workload(li);
+    let base = HddCostModel::paper_testbed();
+    let layout = HillClimb::new()
+        .partition(&PartitionRequest::new(schema, &w, &base))
+        .expect("hillclimb");
+
+    let drifted: Vec<(&str, HddCostModel)> = vec![
+        (
+            "buffer_80KB",
+            HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(80 * KB)),
+        ),
+        (
+            "buffer_800MB",
+            HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(800 * MB)),
+        ),
+        (
+            "bandwidth_60MBs",
+            HddCostModel::new(
+                DiskParams::paper_testbed().with_read_bandwidth(60.0 * MB as f64),
+            ),
+        ),
+        (
+            "seek_6ms",
+            HddCostModel::new(DiskParams::paper_testbed().with_seek_time(6e-3)),
+        ),
+    ];
+    let mut g = c.benchmark_group("fig8_fig11_fragility_eval");
+    for (name, model) in &drifted {
+        g.bench_function(*name, |bench| {
+            bench.iter(|| black_box(model.workload_cost(schema, black_box(&layout), &w)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fragility_eval);
+criterion_main!(benches);

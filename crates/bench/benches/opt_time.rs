@@ -1,0 +1,106 @@
+//! Figures 1–2 benchmark: optimization time per algorithm and its scaling
+//! with workload size — the paper's "how fast?" metric, measured by
+//! criterion instead of a stopwatch.
+//!
+//! The associated paper tables are printed once at startup (quick mode) so
+//! `cargo bench` output regenerates the artifact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slicer_core::{
+    Advisor, AutoPart, BruteForce, HillClimb, Hyrise, Navathe, PartitionRequest, Trojan, O2P,
+};
+use slicer_cost::HddCostModel;
+use slicer_experiments::{run, Config};
+use slicer_workloads::tpch;
+use std::hint::black_box;
+
+fn print_reports() {
+    let cfg = Config::quick();
+    for id in ["fig1", "fig2"] {
+        if let Some(r) = run(id, &cfg) {
+            println!("{}", r.to_text());
+        }
+    }
+}
+
+fn bench_advisors_on_lineitem(c: &mut Criterion) {
+    print_reports();
+    let b = tpch::benchmark(10.0);
+    let li = b.table_index("Lineitem").expect("lineitem");
+    let schema = &b.tables()[li];
+    let workload = b.table_workload(li);
+    let m = HddCostModel::paper_testbed();
+    let req = PartitionRequest::new(schema, &workload, &m);
+
+    let mut g = c.benchmark_group("fig1_opt_time_lineitem");
+    let advisors: Vec<Box<dyn Advisor>> = vec![
+        Box::new(AutoPart::new()),
+        Box::new(HillClimb::new()),
+        Box::new(Hyrise::new()),
+        Box::new(Navathe::new()),
+        Box::new(O2P::new()),
+        Box::new(Trojan::new()),
+    ];
+    for a in &advisors {
+        g.bench_function(a.name(), |bench| {
+            bench.iter(|| black_box(a.partition(black_box(&req)).expect("partitioning")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bruteforce_small_tables(c: &mut Criterion) {
+    // BruteForce on Lineitem takes seconds; criterion-bench it on the
+    // 8-attribute Customer table (B8 = 4140 candidates over attributes)
+    // where the paper quotes the Bell count explicitly.
+    let b = tpch::benchmark(10.0);
+    let cu = b.table_index("Customer").expect("customer");
+    let schema = &b.tables()[cu];
+    let workload = b.table_workload(cu);
+    let m = HddCostModel::paper_testbed();
+    let req = PartitionRequest::new(schema, &workload, &m);
+    let mut g = c.benchmark_group("fig1_bruteforce");
+    g.sample_size(10);
+    g.bench_function("customer_exhaustive_b8", |bench| {
+        let bf = BruteForce::exhaustive().with_threads(1);
+        bench.iter(|| black_box(bf.partition(black_box(&req)).expect("fits limit")))
+    });
+    g.bench_function("customer_fragments", |bench| {
+        let bf = BruteForce::new().with_threads(1);
+        bench.iter(|| black_box(bf.partition(black_box(&req)).expect("fits limit")))
+    });
+    g.finish();
+}
+
+fn bench_workload_scaling(c: &mut Criterion) {
+    // Figure 2's kernel: optimization time vs k for the two class
+    // representatives.
+    let full = tpch::benchmark(10.0);
+    let m = HddCostModel::paper_testbed();
+    let mut g = c.benchmark_group("fig2_opt_time_scaling");
+    for k in [4usize, 8, 16, 22] {
+        let b = full.prefix(k);
+        let li = b.table_index("Lineitem").expect("lineitem");
+        let schema = &b.tables()[li];
+        let w = b.table_workload(li);
+        if w.is_empty() {
+            continue;
+        }
+        let req = PartitionRequest::new(schema, &w, &m);
+        g.bench_with_input(BenchmarkId::new("HillClimb", k), &req, |bench, req| {
+            bench.iter(|| black_box(HillClimb::new().partition(req).expect("ok")))
+        });
+        g.bench_with_input(BenchmarkId::new("Navathe", k), &req, |bench, req| {
+            bench.iter(|| black_box(Navathe::new().partition(req).expect("ok")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_advisors_on_lineitem,
+    bench_bruteforce_small_tables,
+    bench_workload_scaling
+);
+criterion_main!(benches);

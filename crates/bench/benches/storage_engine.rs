@@ -1,0 +1,79 @@
+//! Table 7 benchmark: the mini storage engine — codecs and end-to-end
+//! scans per layout and compression scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use slicer_cost::DiskParams;
+use slicer_experiments::{run, Config};
+use slicer_model::Partitioning;
+use slicer_storage::{
+    compress::{encode, lz_compress, Codec},
+    generate_table, scan, ColumnData, CompressionPolicy, StoredTable,
+};
+use slicer_workloads::tpch;
+use std::hint::black_box;
+
+fn print_reports() {
+    let cfg = Config::quick();
+    if let Some(r) = run("table7", &cfg) {
+        println!("{}", r.to_text());
+    }
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    print_reports();
+    let keys = ColumnData::Int((1..=100_000).collect());
+    let text = {
+        let b = tpch::benchmark(0.01);
+        let li = b.table_index("Lineitem").expect("lineitem");
+        let schema = b.tables()[li].clone();
+        let data = generate_table(&schema, 20_000, 7);
+        data.columns.last().expect("comment column").clone() // Comment
+    };
+
+    let mut g = c.benchmark_group("table7_codecs");
+    g.throughput(Throughput::Bytes(400_000));
+    g.bench_function("delta_encode_keys", |bench| {
+        bench.iter(|| black_box(encode(&keys, Codec::Delta)))
+    });
+    g.bench_function("dict_encode_keys", |bench| {
+        bench.iter(|| black_box(encode(&keys, Codec::Dictionary)))
+    });
+    g.bench_function("lz_encode_comments", |bench| {
+        bench.iter(|| black_box(encode(&text, Codec::Lz)))
+    });
+    let raw: Vec<u8> = b"regular deposits haggle furiously ".repeat(2000);
+    g.bench_function("lz_compress_1MB_class", |bench| {
+        bench.iter(|| black_box(lz_compress(black_box(&raw))))
+    });
+    g.finish();
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let b = tpch::benchmark(0.01);
+    let li = b.table_index("Lineitem").expect("lineitem");
+    let schema = b.tables()[li].clone();
+    let rows = 20_000;
+    let small = schema.with_row_count(rows);
+    let data = generate_table(&small, rows as usize, 7);
+    let q6 = b.table_workload(li).queries()[2].referenced; // a narrow query
+    let disk = DiskParams::paper_testbed();
+
+    let mut g = c.benchmark_group("table7_scans");
+    g.sample_size(20);
+    for policy in [CompressionPolicy::Default, CompressionPolicy::Dictionary] {
+        for (lname, layout) in
+            [("row", Partitioning::row(&small)), ("column", Partitioning::column(&small))]
+        {
+            let table = StoredTable::load(&small, &data, &layout, policy);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}"), lname),
+                &table,
+                |bench, table| bench.iter(|| black_box(scan(table, q6, &disk))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs, bench_scans);
+criterion_main!(benches);

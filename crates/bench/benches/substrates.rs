@@ -1,0 +1,101 @@
+//! Substrate benchmarks: the combinatorial machinery under the advisors —
+//! set-partition enumeration (BruteForce), bond energy (Navathe/O2P),
+//! graph partitioning (HYRISE) and the set-packing DP (Trojan). Also prints
+//! Tables 1, 2 and Figure 14 (classification and layouts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slicer_combinat::{
+    bond_energy_order, max_value_disjoint_cover, partition_graph, AffinityMatrix, Graph,
+    SetPartitions, ValuedGroup,
+};
+use slicer_experiments::{run, Config};
+use slicer_model::AttrSet;
+use std::hint::black_box;
+
+fn print_reports() {
+    let cfg = Config::quick();
+    for id in ["table1", "table2", "fig14"] {
+        if let Some(r) = run(id, &cfg) {
+            println!("{}", r.to_text());
+        }
+    }
+}
+
+fn bench_set_partitions(c: &mut Criterion) {
+    print_reports();
+    let mut g = c.benchmark_group("substrate_set_partitions");
+    for n in [8usize, 10, 12] {
+        g.bench_with_input(BenchmarkId::new("enumerate", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut it = SetPartitions::new(n);
+                let mut count = 0u64;
+                while let Some(rgs) = it.next_rgs() {
+                    count += rgs[n - 1] as u64 + 1;
+                }
+                black_box(count)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bond_energy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_bond_energy");
+    for n in [8usize, 16, 32] {
+        let mut m = AffinityMatrix::zero(n);
+        for q in 0..2 * n {
+            let attrs: Vec<usize> = (0..n).filter(|a| (a * 7 + q) % 3 == 0).collect();
+            if !attrs.is_empty() {
+                m.record_query(&attrs, 1.0);
+            }
+        }
+        g.bench_with_input(BenchmarkId::new("cluster", n), &m, |bench, m| {
+            bench.iter(|| black_box(bond_energy_order(black_box(m))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_graph_partition");
+    for n in [8usize, 16, 32] {
+        let mut graph = Graph::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                graph.add_edge(a, b, ((a * 13 + b * 7) % 10) as f64);
+            }
+        }
+        g.bench_with_input(BenchmarkId::new("kway", n), &graph, |bench, graph| {
+            bench.iter(|| black_box(partition_graph(black_box(graph), 4)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_set_packing(c: &mut Criterion) {
+    let n = 16usize;
+    let universe = AttrSet::all(n);
+    let groups: Vec<ValuedGroup> = (0..200)
+        .map(|i| {
+            let a = i % n;
+            let b = (i * 7 + 3) % n;
+            let mut s = AttrSet::single(a);
+            s.insert(b);
+            ValuedGroup { attrs: s, value: 1.0 + (i % 5) as f64 }
+        })
+        .collect();
+    let mut g = c.benchmark_group("substrate_set_packing");
+    g.bench_function("trojan_cover_16attrs_200groups", |bench| {
+        bench.iter(|| black_box(max_value_disjoint_cover(universe, black_box(&groups))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_set_partitions,
+    bench_bond_energy,
+    bench_graph_partition,
+    bench_set_packing
+);
+criterion_main!(benches);

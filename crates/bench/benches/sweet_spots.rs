@@ -1,0 +1,94 @@
+//! Figures 9, 10, 12, 13 benchmark: re-optimization sweeps and pay-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slicer_core::{Advisor, HillClimb, Navathe, PartitionRequest};
+use slicer_cost::{DiskParams, HddCostModel, KB, MB};
+use slicer_experiments::{run, Config};
+use slicer_workloads::tpch;
+use std::hint::black_box;
+
+fn print_reports() {
+    let cfg = Config::quick();
+    for id in ["fig9", "fig10", "fig12", "fig13", "selectivity"] {
+        if let Some(r) = run(id, &cfg) {
+            println!("{}", r.to_text());
+        }
+    }
+}
+
+fn bench_reoptimization_per_buffer(c: &mut Criterion) {
+    print_reports();
+    let b = tpch::benchmark(10.0);
+    let li = b.table_index("Lineitem").expect("lineitem");
+    let schema = &b.tables()[li];
+    let w = b.table_workload(li);
+
+    let mut g = c.benchmark_group("fig9_reoptimize_per_buffer");
+    for buffer_kb in [64u64, 8 * 1024, 1024 * 1024] {
+        let m = HddCostModel::new(
+            DiskParams::paper_testbed().with_buffer_size(buffer_kb * KB),
+        );
+        let req = PartitionRequest::new(schema, &w, &m);
+        g.bench_with_input(
+            BenchmarkId::new("HillClimb", format!("{buffer_kb}KB")),
+            &req,
+            |bench, req| bench.iter(|| black_box(HillClimb::new().partition(req).expect("ok"))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("Navathe", format!("{buffer_kb}KB")),
+            &req,
+            |bench, req| bench.iter(|| black_box(Navathe::new().partition(req).expect("ok"))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_creation_time_model(c: &mut Criterion) {
+    // Figure 10's kernel: the layout-creation time estimate.
+    let b = tpch::benchmark(10.0);
+    let li = b.table_index("Lineitem").expect("lineitem");
+    let schema = &b.tables()[li];
+    let w = b.table_workload(li);
+    let m = HddCostModel::paper_testbed();
+    let layout = HillClimb::new()
+        .partition(&PartitionRequest::new(schema, &w, &m))
+        .expect("hillclimb");
+    let mut g = c.benchmark_group("fig10_payoff_kernels");
+    g.bench_function("layout_creation_time", |bench| {
+        bench.iter(|| black_box(m.layout_creation_time(schema, black_box(&layout))))
+    });
+    g.finish();
+    // Sanity visible in bench logs: SF 10 whole-benchmark creation time is
+    // in the paper's ~420 s ballpark.
+    let all = slicer_metrics::run_advisor(&HillClimb::new(), &b, &m).expect("ok");
+    println!(
+        "[info] estimated layout creation time, all TPC-H tables @ SF10: {:.0} s (paper: ~420 s)",
+        all.total_creation_time(&b, &m)
+    );
+}
+
+fn bench_scale_sweep_point(c: &mut Criterion) {
+    // Figure 13's kernel: one (SF, buffer) re-optimization point.
+    let mut g = c.benchmark_group("fig13_scale_points");
+    g.sample_size(20);
+    for sf in [1.0, 100.0] {
+        let b = tpch::benchmark(sf);
+        let li = b.table_index("Lineitem").expect("lineitem");
+        let schema = b.tables()[li].clone();
+        let w = b.table_workload(li);
+        let m = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(MB));
+        g.bench_with_input(BenchmarkId::new("HillClimb_1MB", format!("sf{sf}")), &(), |bench, _| {
+            let req = PartitionRequest::new(&schema, &w, &m);
+            bench.iter(|| black_box(HillClimb::new().partition(&req).expect("ok")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reoptimization_per_buffer,
+    bench_creation_time_model,
+    bench_scale_sweep_point
+);
+criterion_main!(benches);

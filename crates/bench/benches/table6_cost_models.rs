@@ -1,0 +1,29 @@
+//! Table 6 benchmark: the main-memory cost model against the disk model —
+//! prints the Table 6 comparison and times the MM kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slicer_cost::{CostModel, MainMemoryCostModel};
+use slicer_experiments::{run, Config};
+use slicer_model::Partitioning;
+use slicer_workloads::tpch;
+use std::hint::black_box;
+
+fn bench_mm_model(c: &mut Criterion) {
+    if let Some(r) = run("table6", &Config::quick()) {
+        println!("{}", r.to_text());
+    }
+    let b = tpch::benchmark(10.0);
+    let li = b.table_index("Lineitem").expect("lineitem");
+    let schema = &b.tables()[li];
+    let w = b.table_workload(li);
+    let mm = MainMemoryCostModel::paper_testbed();
+    let row = Partitioning::row(schema);
+    let mut g = c.benchmark_group("table6_mm_model");
+    g.bench_function("mm_workload_cost_row_layout", |bench| {
+        bench.iter(|| black_box(mm.workload_cost(schema, black_box(&row), &w)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mm_model);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Shared helpers for the slicer benchmark suite live in `slicer-experiments`.

@@ -1,0 +1,257 @@
+//! Bond Energy Algorithm (McCormick, Schweitzer & White, 1972).
+//!
+//! The BEA permutes the rows/columns of a symmetric affinity matrix so that
+//! large values cluster near the diagonal; Navathe's vertical partitioning
+//! uses the resulting *clustered attribute order* as the sequence it then
+//! splits, and O2P maintains the order incrementally as queries arrive.
+//!
+//! We implement the standard greedy insertion form: place columns one at a
+//! time at the position maximizing the *net bond contribution*
+//! `cont(l, x, r) = 2·bond(l,x) + 2·bond(x,r) − 2·bond(l,r)` where
+//! `bond(a,b) = Σ_k aff(a,k)·aff(b,k)` (missing neighbours count as a zero
+//! column).
+
+/// Symmetric attribute-affinity matrix.
+///
+/// `aff[i][j]` = how often attributes `i` and `j` co-occur in queries,
+/// weighted by query weight (the paper's "number of times attribute i
+/// co-occurs with attribute j").
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffinityMatrix {
+    n: usize,
+    aff: Vec<f64>, // row-major n×n
+}
+
+impl AffinityMatrix {
+    /// Zero matrix for `n` attributes.
+    pub fn zero(n: usize) -> Self {
+        AffinityMatrix { n, aff: vec![0.0; n * n] }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Read `aff(i,j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.aff[i * self.n + j]
+    }
+
+    /// Set `aff(i,j)` and `aff(j,i)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.aff[i * self.n + j] = v;
+        self.aff[j * self.n + i] = v;
+    }
+
+    /// Record one query: every pair of attributes in `attrs` (including the
+    /// diagonal) gains `weight` affinity. `attrs` are attribute indices.
+    pub fn record_query(&mut self, attrs: &[usize], weight: f64) {
+        for (x, &i) in attrs.iter().enumerate() {
+            for &j in &attrs[x..] {
+                let v = self.get(i, j) + weight;
+                self.set(i, j, v);
+            }
+        }
+    }
+
+    /// `bond(a, b) = Σ_k aff(a,k) · aff(b,k)`.
+    #[inline]
+    pub fn bond(&self, a: usize, b: usize) -> f64 {
+        let ra = &self.aff[a * self.n..(a + 1) * self.n];
+        let rb = &self.aff[b * self.n..(b + 1) * self.n];
+        ra.iter().zip(rb).map(|(x, y)| x * y).sum()
+    }
+}
+
+/// Contribution of placing column `x` between `l` and `r` (either side may
+/// be absent at the sequence boundary).
+fn contribution(m: &AffinityMatrix, l: Option<usize>, x: usize, r: Option<usize>) -> f64 {
+    let bond = |a: Option<usize>, b: Option<usize>| match (a, b) {
+        (Some(a), Some(b)) => m.bond(a, b),
+        _ => 0.0, // bond with the implicit zero boundary column
+    };
+    2.0 * bond(l, Some(x)) + 2.0 * bond(Some(x), r) - 2.0 * bond(l, r)
+}
+
+/// Run the bond energy algorithm, returning a permutation of `0..n` (the
+/// clustered attribute order).
+///
+/// Deterministic: the first two columns are placed in index order and ties
+/// in contribution keep the leftmost insertion slot.
+pub fn bond_energy_order(m: &AffinityMatrix) -> Vec<usize> {
+    let n = m.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    order.push(0);
+    for x in 1..n {
+        order = insert_best(m, &order, x);
+    }
+    order
+}
+
+/// Insert column `x` into `order` at its contribution-maximizing slot.
+/// Shared by the offline algorithm and O2P's incremental maintenance.
+pub fn insert_best(m: &AffinityMatrix, order: &[usize], x: usize) -> Vec<usize> {
+    let mut best_pos = 0;
+    let mut best = f64::NEG_INFINITY;
+    for pos in 0..=order.len() {
+        let l = if pos == 0 { None } else { Some(order[pos - 1]) };
+        let r = order.get(pos).copied();
+        let c = contribution(m, l, x, r);
+        if c > best {
+            best = c;
+            best_pos = pos;
+        }
+    }
+    let mut out = Vec::with_capacity(order.len() + 1);
+    out.extend_from_slice(&order[..best_pos]);
+    out.push(x);
+    out.extend_from_slice(&order[best_pos..]);
+    out
+}
+
+/// Incrementally maintained BEA order for online partitioning (O2P).
+///
+/// O2P adapts the bond energy algorithm to an online setting: each incoming
+/// query bumps pairwise affinities, after which only the *affected* columns
+/// (those the query references) are removed and re-inserted at their best
+/// position, rather than re-clustering from scratch.
+#[derive(Debug, Clone)]
+pub struct IncrementalBea {
+    matrix: AffinityMatrix,
+    order: Vec<usize>,
+}
+
+impl IncrementalBea {
+    /// Start with `n` attributes, zero affinity, identity order.
+    pub fn new(n: usize) -> Self {
+        IncrementalBea { matrix: AffinityMatrix::zero(n), order: (0..n).collect() }
+    }
+
+    /// Current clustered order.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Current affinity matrix.
+    pub fn matrix(&self) -> &AffinityMatrix {
+        &self.matrix
+    }
+
+    /// Process one query: update affinities, then re-place each referenced
+    /// column. Cost is `O(|attrs| · n²)` versus `O(n³)` for a full re-run.
+    pub fn observe_query(&mut self, attrs: &[usize], weight: f64) {
+        self.matrix.record_query(attrs, weight);
+        for &a in attrs {
+            let pos = self
+                .order
+                .iter()
+                .position(|&x| x == a)
+                .expect("order always contains every attribute");
+            self.order.remove(pos);
+            self.order = insert_best(&self.matrix, &self.order, a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(order: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for &x in order {
+            if x >= n || seen[x] {
+                return false;
+            }
+            seen[x] = true;
+        }
+        order.len() == n
+    }
+
+    #[test]
+    fn record_query_is_symmetric_and_additive() {
+        let mut m = AffinityMatrix::zero(4);
+        m.record_query(&[0, 2], 1.0);
+        m.record_query(&[0, 2], 2.0);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(2, 0), 3.0);
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(1, 3), 0.0);
+    }
+
+    #[test]
+    fn order_is_permutation() {
+        let mut m = AffinityMatrix::zero(6);
+        m.record_query(&[0, 3], 5.0);
+        m.record_query(&[1, 2, 4], 2.0);
+        let order = bond_energy_order(&m);
+        assert!(is_permutation(&order, 6), "{order:?}");
+    }
+
+    #[test]
+    fn strongly_affine_attributes_become_adjacent() {
+        // Two clusters: {0,1} co-accessed heavily, {2,3} co-accessed
+        // heavily, nothing across.
+        let mut m = AffinityMatrix::zero(4);
+        m.record_query(&[0, 1], 10.0);
+        m.record_query(&[2, 3], 10.0);
+        let order = bond_energy_order(&m);
+        let pos = |a: usize| order.iter().position(|&x| x == a).unwrap();
+        assert_eq!(pos(0).abs_diff(pos(1)), 1, "cluster {{0,1}} adjacent in {order:?}");
+        assert_eq!(pos(2).abs_diff(pos(3)), 1, "cluster {{2,3}} adjacent in {order:?}");
+    }
+
+    #[test]
+    fn zero_affinity_still_yields_valid_order() {
+        let m = AffinityMatrix::zero(5);
+        let order = bond_energy_order(&m);
+        assert!(is_permutation(&order, 5));
+    }
+
+    #[test]
+    fn incremental_matches_offline_on_cluster_structure() {
+        // After observing the same queries, the incremental order must also
+        // keep heavily co-accessed attributes adjacent.
+        let mut inc = IncrementalBea::new(5);
+        for _ in 0..3 {
+            inc.observe_query(&[0, 4], 1.0);
+            inc.observe_query(&[1, 2], 1.0);
+        }
+        let order = inc.order().to_vec();
+        assert!(is_permutation(&order, 5));
+        let pos = |a: usize| order.iter().position(|&x| x == a).unwrap();
+        assert_eq!(pos(0).abs_diff(pos(4)), 1, "{order:?}");
+        assert_eq!(pos(1).abs_diff(pos(2)), 1, "{order:?}");
+    }
+
+    #[test]
+    fn incremental_order_stays_permutation_under_many_updates() {
+        let mut inc = IncrementalBea::new(8);
+        for q in 0..20 {
+            let attrs: Vec<usize> = (0..8).filter(|a| (a + q) % 3 == 0).collect();
+            if !attrs.is_empty() {
+                inc.observe_query(&attrs, 1.0);
+            }
+        }
+        assert!(is_permutation(inc.order(), 8));
+    }
+
+    #[test]
+    fn bond_is_inner_product_of_rows() {
+        let mut m = AffinityMatrix::zero(3);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(0, 2, 3.0);
+        m.set(1, 1, 4.0);
+        m.set(1, 2, 5.0);
+        m.set(2, 2, 6.0);
+        // bond(0,1) = 1*2 + 2*4 + 3*5 = 25
+        assert_eq!(m.bond(0, 1), 25.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! K-way partitioning of small weighted graphs.
+//!
+//! HYRISE bounds its layout search by splitting the *primary-partition
+//! affinity graph* into subgraphs of at most `K` nodes and solving each
+//! subgraph separately. The graphs here are tiny (one node per primary
+//! partition — ≤ a few dozen), so a greedy graph-growing pass followed by a
+//! Kernighan–Lin-style refinement sweep is both adequate and deterministic.
+
+/// Undirected weighted graph on nodes `0..n`.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    n: usize,
+    w: Vec<f64>, // row-major symmetric weight matrix
+}
+
+impl Graph {
+    /// Graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph { n, w: vec![0.0; n * n] }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Add `weight` to edge `(a, b)`.
+    pub fn add_edge(&mut self, a: usize, b: usize, weight: f64) {
+        assert!(a < self.n && b < self.n && a != b, "bad edge ({a},{b})");
+        self.w[a * self.n + b] += weight;
+        self.w[b * self.n + a] += weight;
+    }
+
+    /// Weight of edge `(a, b)`.
+    #[inline]
+    pub fn weight(&self, a: usize, b: usize) -> f64 {
+        self.w[a * self.n + b]
+    }
+
+    /// Sum of weights from `node` into `group`.
+    fn gain_into(&self, node: usize, group: &[usize]) -> f64 {
+        group.iter().map(|&g| self.weight(node, g)).sum()
+    }
+}
+
+/// Split `g` into parts of at most `max_part_size` nodes, maximizing kept
+/// (intra-part) edge weight greedily.
+///
+/// Strategy: repeatedly seed a new part with the unassigned node of highest
+/// total degree, then grow it with the unassigned node of highest gain into
+/// the part until the size cap is hit or no positive-gain node remains;
+/// then run one KL-style refinement sweep trying to relocate single nodes
+/// between parts (respecting the cap) while edge-cut improves.
+pub fn partition_graph(g: &Graph, max_part_size: usize) -> Vec<Vec<usize>> {
+    assert!(max_part_size >= 1, "part size cap must be positive");
+    let n = g.n();
+    let mut assigned = vec![false; n];
+    let mut parts: Vec<Vec<usize>> = Vec::new();
+
+    let degree = |x: usize| (0..n).map(|y| g.weight(x, y)).sum::<f64>();
+
+    while assigned.iter().any(|a| !a) {
+        // Seed: highest-degree unassigned node (ties → lowest index).
+        let seed = (0..n)
+            .filter(|&x| !assigned[x])
+            .max_by(|&a, &b| {
+                degree(a).partial_cmp(&degree(b)).expect("finite degrees").then(b.cmp(&a))
+            })
+            .expect("some node unassigned");
+        assigned[seed] = true;
+        let mut part = vec![seed];
+        while part.len() < max_part_size {
+            let cand = (0..n)
+                .filter(|&x| !assigned[x])
+                .map(|x| (x, g.gain_into(x, &part)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite gains").then(b.0.cmp(&a.0)));
+            match cand {
+                Some((x, gain)) if gain > 0.0 => {
+                    assigned[x] = true;
+                    part.push(x);
+                }
+                _ => break,
+            }
+        }
+        parts.push(part);
+    }
+
+    refine(g, &mut parts, max_part_size);
+    for p in &mut parts {
+        p.sort_unstable();
+    }
+    parts
+}
+
+/// One node-relocation sweep: move a node to another part whenever that
+/// strictly increases its internal affinity and the target has room.
+/// Repeats until a full sweep makes no move (bounded by n·parts moves since
+/// total internal affinity strictly increases).
+fn refine(g: &Graph, parts: &mut Vec<Vec<usize>>, max_part_size: usize) {
+    loop {
+        let mut moved = false;
+        for src in 0..parts.len() {
+            let mut i = 0;
+            while i < parts[src].len() {
+                let node = parts[src][i];
+                let here: f64 =
+                    g.gain_into(node, &parts[src]) - g.weight(node, node);
+                let mut best: Option<(usize, f64)> = None;
+                for (dst, part) in parts.iter().enumerate() {
+                    if dst == src || part.len() >= max_part_size {
+                        continue;
+                    }
+                    let gain = g.gain_into(node, part);
+                    if gain > here && best.is_none_or(|(_, b)| gain > b) {
+                        best = Some((dst, gain));
+                    }
+                }
+                if let Some((dst, _)) = best {
+                    parts[src].swap_remove(i);
+                    parts[dst].push(node);
+                    moved = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        parts.retain(|p| !p.is_empty());
+        if !moved {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_is_partition(parts: &[Vec<usize>], n: usize, cap: usize) {
+        let mut seen = vec![false; n];
+        for p in parts {
+            assert!(!p.is_empty() && p.len() <= cap, "part size violation: {p:?}");
+            for &x in p {
+                assert!(!seen[x], "node {x} in two parts");
+                seen[x] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "node unassigned");
+    }
+
+    #[test]
+    fn two_cliques_separate_cleanly() {
+        // nodes 0-2 form a triangle, 3-5 form a triangle, weak bridge 2-3.
+        let mut g = Graph::new(6);
+        for &(a, b) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(a, b, 10.0);
+        }
+        g.add_edge(2, 3, 0.5);
+        let parts = partition_graph(&g, 3);
+        assert_is_partition(&parts, 6, 3);
+        assert_eq!(parts.len(), 2);
+        let mut sets: Vec<Vec<usize>> = parts.clone();
+        sets.sort();
+        assert_eq!(sets, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn cap_one_yields_singletons() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 5.0);
+        let parts = partition_graph(&g, 1);
+        assert_is_partition(&parts, 4, 1);
+        assert_eq!(parts.len(), 4);
+    }
+
+    #[test]
+    fn cap_at_least_n_yields_connected_lumps() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        // 3 and 4 isolated.
+        let parts = partition_graph(&g, 5);
+        assert_is_partition(&parts, 5, 5);
+        // The connected trio stays together.
+        let trio = parts.iter().find(|p| p.contains(&0)).unwrap();
+        assert!(trio.contains(&1) && trio.contains(&2), "{parts:?}");
+    }
+
+    #[test]
+    fn empty_and_single_node_graphs() {
+        let g = Graph::new(1);
+        let parts = partition_graph(&g, 4);
+        assert_eq!(parts, vec![vec![0]]);
+    }
+
+    #[test]
+    fn refinement_moves_misplaced_node() {
+        // Star around node 0 (0-1,0-2,0-3 heavy) but cap forces split;
+        // node 4 weakly tied to 1. Greedy may seed poorly; refinement must
+        // still produce a valid bounded partition.
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 9.0);
+        g.add_edge(0, 2, 9.0);
+        g.add_edge(0, 3, 9.0);
+        g.add_edge(1, 4, 1.0);
+        let parts = partition_graph(&g, 2);
+        assert_is_partition(&parts, 5, 2);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let mut g = Graph::new(7);
+        for a in 0..7usize {
+            for b in (a + 1)..7 {
+                g.add_edge(a, b, ((a * 31 + b * 17) % 5) as f64);
+            }
+        }
+        let p1 = partition_graph(&g, 3);
+        let p2 = partition_graph(&g, 3);
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,288 @@
+//! 0-1 knapsack and disjoint set-packing over attribute masks.
+//!
+//! The Trojan layouts algorithm maps its merge phase — "combine the
+//! interesting column groups into a complete, disjoint set of vertical
+//! partitions" — to a 0-1 knapsack-style optimization. We provide both the
+//! classic 0-1 knapsack (value/weight/capacity, as the paper phrases it) and
+//! the exact formulation Trojan actually needs: pick a family of disjoint
+//! column groups covering all attributes with maximum total value, solved by
+//! DP over attribute bitmasks.
+
+use slicer_model::AttrSet;
+
+/// Classic 0-1 knapsack: maximize Σ value over chosen items with
+/// Σ weight ≤ capacity. Returns (best value, chosen item indices).
+///
+/// DP is `O(items · capacity)`; capacities here are attribute counts, so
+/// tiny.
+pub fn knapsack01(items: &[(f64, usize)], capacity: usize) -> (f64, Vec<usize>) {
+    let mut best = vec![0.0f64; capacity + 1];
+    let mut choice: Vec<Vec<bool>> = vec![vec![false; capacity + 1]; items.len()];
+    for (i, &(value, weight)) in items.iter().enumerate() {
+        if weight > capacity {
+            continue;
+        }
+        for c in (weight..=capacity).rev() {
+            let with = best[c - weight] + value;
+            if with > best[c] {
+                best[c] = with;
+                choice[i][c] = true;
+            }
+        }
+    }
+    // Reconstruct.
+    let mut c = capacity;
+    let mut chosen = Vec::new();
+    for i in (0..items.len()).rev() {
+        if choice[i][c] {
+            chosen.push(i);
+            c -= items[i].1;
+        }
+    }
+    chosen.reverse();
+    (best[capacity], chosen)
+}
+
+/// A candidate column group with a value (Trojan: its interestingness).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValuedGroup {
+    /// The attributes in the group.
+    pub attrs: AttrSet,
+    /// Value gained by keeping the group intact.
+    pub value: f64,
+}
+
+/// Exact maximum-value disjoint cover of `universe` by the given groups.
+///
+/// Every attribute of `universe` must be covered exactly once; attributes
+/// not covered by any chosen group are implicitly packed as singletons with
+/// value 0 (Trojan's leftover handling). Solved by DP over subsets of the
+/// universe, so `universe` must have ≤ `MAX_UNIVERSE` attributes — ample
+/// for the paper's tables (Lineitem has 16).
+///
+/// Returns the chosen groups (subset of the input, plus value-0 singletons
+/// for leftovers) forming a complete disjoint cover.
+pub fn max_value_disjoint_cover(
+    universe: AttrSet,
+    groups: &[ValuedGroup],
+) -> Vec<ValuedGroup> {
+    let attrs: Vec<_> = universe.iter().collect();
+    let n = attrs.len();
+    assert!(n <= MAX_UNIVERSE, "universe too large for subset DP: {n}");
+
+    // Map each group to a local bitmask over `attrs` (positions within the
+    // universe); ignore groups stretching outside the universe.
+    let local = |s: AttrSet| -> Option<u32> {
+        if !s.is_subset_of(universe) {
+            return None;
+        }
+        let mut m = 0u32;
+        for (i, a) in attrs.iter().enumerate() {
+            if s.contains(*a) {
+                m |= 1 << i;
+            }
+        }
+        Some(m)
+    };
+
+    let items: Vec<(u32, f64, usize)> = groups
+        .iter()
+        .enumerate()
+        .filter_map(|(gi, g)| local(g.attrs).map(|m| (m, g.value.max(0.0), gi)))
+        .collect();
+
+    /// How a DP state was reached, for exact reconstruction.
+    #[derive(Clone, Copy)]
+    enum Step {
+        Unreached,
+        /// Covered `bit` as a value-0 singleton.
+        Single(u32),
+        /// Applied input group `items[idx]`.
+        Group(usize),
+    }
+
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    // dp[mask] = best value covering exactly `mask`.
+    let mut dp = vec![f64::NEG_INFINITY; (full as usize) + 1];
+    let mut step = vec![Step::Unreached; (full as usize) + 1];
+    dp[0] = 0.0;
+    for mask in 0..=full {
+        if dp[mask as usize] == f64::NEG_INFINITY {
+            continue;
+        }
+        // Next uncovered attribute — forcing progress on the lowest free bit
+        // keeps each state expanded once per covering item.
+        let free = (!mask & full).trailing_zeros();
+        if free >= n as u32 {
+            continue;
+        }
+        let bit = 1u32 << free;
+        // Option A: leave it as a 0-value singleton.
+        let nm = (mask | bit) as usize;
+        if dp[mask as usize] > dp[nm] {
+            dp[nm] = dp[mask as usize];
+            step[nm] = Step::Single(bit);
+        }
+        // Option B: cover it with a group containing it.
+        for (idx, &(gm, v, _)) in items.iter().enumerate() {
+            if gm & bit != 0 && gm & mask == 0 {
+                let nm = (mask | gm) as usize;
+                let val = dp[mask as usize] + v;
+                if val > dp[nm] {
+                    dp[nm] = val;
+                    step[nm] = Step::Group(idx);
+                }
+            }
+        }
+    }
+
+    // Walk back from the full cover.
+    let mut chosen: Vec<ValuedGroup> = Vec::new();
+    let mut singles: u32 = 0;
+    let mut mask = full;
+    while mask != 0 {
+        match step[mask as usize] {
+            Step::Group(idx) => {
+                let (gm, _, gi) = items[idx];
+                chosen.push(groups[gi]);
+                mask &= !gm;
+            }
+            Step::Single(bit) => {
+                singles |= bit;
+                mask &= !bit;
+            }
+            Step::Unreached => unreachable!("DP path broken at mask {mask:b}"),
+        }
+    }
+    for (i, a) in attrs.iter().enumerate() {
+        if singles & (1 << i) != 0 {
+            chosen.push(ValuedGroup { attrs: AttrSet::single(*a), value: 0.0 });
+        }
+    }
+    chosen
+}
+
+/// Maximum number of attributes the subset DP handles.
+pub const MAX_UNIVERSE: usize = 24;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(idx: &[usize]) -> AttrSet {
+        idx.iter().copied().collect()
+    }
+
+    #[test]
+    fn knapsack_classic() {
+        // Items: (value, weight). Capacity 10.
+        let items = [(60.0, 5), (100.0, 4), (120.0, 6)];
+        let (v, chosen) = knapsack01(&items, 10);
+        assert_eq!(v, 220.0);
+        assert_eq!(chosen, vec![1, 2]);
+    }
+
+    #[test]
+    fn knapsack_ignores_overweight() {
+        let items = [(1000.0, 99), (5.0, 1)];
+        let (v, chosen) = knapsack01(&items, 10);
+        assert_eq!(v, 5.0);
+        assert_eq!(chosen, vec![1]);
+    }
+
+    #[test]
+    fn knapsack_empty() {
+        let (v, chosen) = knapsack01(&[], 10);
+        assert_eq!(v, 0.0);
+        assert!(chosen.is_empty());
+    }
+
+    fn assert_disjoint_cover(universe: AttrSet, cover: &[ValuedGroup]) {
+        let mut u = AttrSet::EMPTY;
+        for g in cover {
+            assert!(u.is_disjoint(g.attrs), "overlap in cover");
+            u = u.union(g.attrs);
+        }
+        assert_eq!(u, universe, "not a complete cover");
+    }
+
+    #[test]
+    fn cover_picks_best_combination() {
+        let universe = set(&[0, 1, 2, 3]);
+        let groups = [
+            ValuedGroup { attrs: set(&[0, 1]), value: 5.0 },
+            ValuedGroup { attrs: set(&[2, 3]), value: 5.0 },
+            ValuedGroup { attrs: set(&[0, 1, 2, 3]), value: 7.0 },
+            ValuedGroup { attrs: set(&[1, 2]), value: 9.0 },
+        ];
+        let cover = max_value_disjoint_cover(universe, &groups);
+        assert_disjoint_cover(universe, &cover);
+        let total: f64 = cover.iter().map(|g| g.value).sum();
+        // best: {0,1}+{2,3} = 10 beats {0..3}=7 and {1,2}+singletons=9.
+        assert_eq!(total, 10.0);
+    }
+
+    #[test]
+    fn cover_falls_back_to_singletons() {
+        let universe = set(&[0, 1, 2]);
+        let groups = [ValuedGroup { attrs: set(&[0, 1]), value: 3.0 }];
+        let cover = max_value_disjoint_cover(universe, &groups);
+        assert_disjoint_cover(universe, &cover);
+        assert_eq!(cover.len(), 2); // {0,1} + singleton {2}
+    }
+
+    #[test]
+    fn cover_with_no_groups_is_all_singletons() {
+        let universe = set(&[0, 5, 9]);
+        let cover = max_value_disjoint_cover(universe, &[]);
+        assert_disjoint_cover(universe, &cover);
+        assert_eq!(cover.len(), 3);
+    }
+
+    #[test]
+    fn cover_ignores_groups_outside_universe() {
+        let universe = set(&[0, 1]);
+        let groups = [ValuedGroup { attrs: set(&[1, 2]), value: 100.0 }];
+        let cover = max_value_disjoint_cover(universe, &groups);
+        assert_disjoint_cover(universe, &cover);
+        let total: f64 = cover.iter().map(|g| g.value).sum();
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn cover_matches_bruteforce_on_random_small_inputs() {
+        // Cross-check DP against exhaustive search on 6-attribute universes.
+        let universe = set(&[0, 1, 2, 3, 4, 5]);
+        let groups: Vec<ValuedGroup> = vec![
+            ValuedGroup { attrs: set(&[0, 1]), value: 4.0 },
+            ValuedGroup { attrs: set(&[1, 2]), value: 6.0 },
+            ValuedGroup { attrs: set(&[3, 4, 5]), value: 5.0 },
+            ValuedGroup { attrs: set(&[0, 2]), value: 3.0 },
+            ValuedGroup { attrs: set(&[4, 5]), value: 4.5 },
+            ValuedGroup { attrs: set(&[2, 3]), value: 2.0 },
+        ];
+        let dp_total: f64 =
+            max_value_disjoint_cover(universe, &groups).iter().map(|g| g.value).sum();
+        // Exhaustive: try all subsets of groups, keep disjoint families.
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << groups.len()) {
+            let mut u = AttrSet::EMPTY;
+            let mut v = 0.0;
+            let mut ok = true;
+            for (i, g) in groups.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    if !u.is_disjoint(g.attrs) {
+                        ok = false;
+                        break;
+                    }
+                    u = u.union(g.attrs);
+                    v += g.value;
+                }
+            }
+            if ok && v > best {
+                best = v;
+            }
+        }
+        assert_eq!(dp_total, best);
+    }
+}

@@ -1,0 +1,95 @@
+//! The advisor abstraction: one interface, seven knives.
+
+use crate::classification::AlgorithmProfile;
+use slicer_cost::CostModel;
+use slicer_model::{ModelError, Partitioning, TableSchema, Workload};
+
+/// Everything an advisor needs to partition one table.
+#[derive(Clone, Copy)]
+pub struct PartitionRequest<'a> {
+    /// The table to decompose.
+    pub table: &'a TableSchema,
+    /// The (per-table) query workload.
+    pub workload: &'a Workload,
+    /// The cost model defining "better".
+    pub cost_model: &'a dyn CostModel,
+}
+
+impl<'a> PartitionRequest<'a> {
+    /// Bundle the three inputs.
+    pub fn new(
+        table: &'a TableSchema,
+        workload: &'a Workload,
+        cost_model: &'a dyn CostModel,
+    ) -> Self {
+        PartitionRequest { table, workload, cost_model }
+    }
+
+    /// Workload cost of `p` under this request's cost model.
+    pub fn cost(&self, p: &Partitioning) -> f64 {
+        self.cost_model.workload_cost(self.table, p, self.workload)
+    }
+}
+
+/// A vertical partitioning algorithm.
+///
+/// Contract: the returned [`Partitioning`] is always disjoint and complete
+/// for `req.table` (property-tested across all advisors), and the advisor is
+/// deterministic — same request, same layout.
+pub trait Advisor: Send + Sync {
+    /// Display name, matching the paper ("AutoPart", "HillClimb", ...).
+    fn name(&self) -> &'static str;
+
+    /// Classification of the algorithm *as originally published*
+    /// (Tables 1 and 2).
+    fn profile(&self) -> AlgorithmProfile;
+
+    /// Compute a partitioning for the request.
+    ///
+    /// An empty workload carries no signal; all advisors return the row
+    /// layout in that case (every layout costs zero under a no-query
+    /// workload, and a single file is the cheapest to create).
+    fn partition(&self, req: &PartitionRequest<'_>) -> Result<Partitioning, ModelError>;
+}
+
+/// Relative cost-improvement threshold: a merge/split must beat the current
+/// cost by more than this fraction to count as an improvement. Guards the
+/// greedy loops against floating-point jitter deciding termination.
+pub(crate) const EPSILON: f64 = 1e-9;
+
+/// `candidate` strictly improves on `current` (relative epsilon).
+#[inline]
+pub(crate) fn improves(candidate: f64, current: f64) -> bool {
+    candidate < current - EPSILON * current.abs().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicer_cost::HddCostModel;
+    use slicer_model::{AttrKind, Query};
+
+    #[test]
+    fn request_cost_delegates_to_model() {
+        let t = TableSchema::builder("T", 1000)
+            .attr("A", 4, AttrKind::Int)
+            .attr("B", 100, AttrKind::Text)
+            .build()
+            .unwrap();
+        let w = Workload::with_queries(&t, vec![Query::new("q", t.attr_set(&["A"]).unwrap())])
+            .unwrap();
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        let row = Partitioning::row(&t);
+        assert_eq!(req.cost(&row), m.workload_cost(&t, &row, &w));
+    }
+
+    #[test]
+    fn improves_uses_relative_epsilon() {
+        assert!(improves(0.9, 1.0));
+        assert!(!improves(1.0, 1.0));
+        assert!(!improves(1.0 - 1e-12, 1.0));
+        assert!(improves(99.0, 100.0));
+        assert!(!improves(100.0 - 1e-8, 100.0));
+    }
+}

@@ -1,0 +1,398 @@
+//! AutoPart (Papadomanolakis & Ailamaki, SSDBM 2004).
+//!
+//! Bottom-up over **atomic fragments**: the coarsest groups such that every
+//! query referencing a fragment references *all* of it. Starting from the
+//! atomic fragments, each iteration builds composite fragments by combining
+//! a current fragment with an atomic fragment or with a fragment created in
+//! the previous iteration, committing the single best cost-improving
+//! combination; the loop ends when no combination improves.
+//!
+//! The unified setting disables AutoPart's partial replication (Section 4,
+//! "Common Replication"), making combinations plain disjoint merges. The
+//! original replicated variant — where an attribute may live in several
+//! fragments and each query greedily selects the cheapest covering set — is
+//! kept as an extension behind [`AutoPart::partition_with_replication`],
+//! including the paper's observation that *partition selection* is itself a
+//! hard problem (we use the standard greedy ratio heuristic).
+
+use crate::advisor::{improves, Advisor, PartitionRequest};
+use crate::classification::{
+    AlgorithmProfile, CandidatePruning, Granularity, Hardware, Replication, SearchStrategy,
+    StartingPoint, SystemKind, WorkloadMode,
+};
+use slicer_cost::CostModel;
+use slicer_model::{AttrSet, ModelError, Partitioning, TableSchema, Workload};
+
+/// The AutoPart algorithm (no-replication unified variant by default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AutoPart {
+    _private: (),
+}
+
+/// A vertically partitioned layout that may replicate attributes across
+/// fragments — AutoPart's native output when replication is enabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicatedLayout {
+    /// All fragments; their union covers the table, but they may overlap.
+    pub fragments: Vec<AttrSet>,
+}
+
+impl ReplicatedLayout {
+    /// Greedy per-query partition selection: repeatedly take the fragment
+    /// covering the most still-uncovered referenced attributes per byte of
+    /// row width, until the query is covered. Returns the chosen fragments.
+    pub fn select_for_query(&self, schema: &TableSchema, referenced: AttrSet) -> Vec<AttrSet> {
+        let mut uncovered = referenced;
+        let mut chosen = Vec::new();
+        while !uncovered.is_empty() {
+            let best = self
+                .fragments
+                .iter()
+                .filter(|f| f.intersects(uncovered))
+                .max_by(|a, b| {
+                    let score = |f: &AttrSet| {
+                        f.intersection(uncovered).len() as f64
+                            / schema.set_size(*f).max(1) as f64
+                    };
+                    score(a)
+                        .partial_cmp(&score(b))
+                        .expect("finite scores")
+                        // Deterministic tie-break on canonical order.
+                        .then(b.min_attr().cmp(&a.min_attr()))
+                })
+                .copied();
+            match best {
+                Some(f) => {
+                    uncovered = uncovered.difference(f);
+                    chosen.push(f);
+                }
+                None => break, // uncoverable (cannot happen for valid layouts)
+            }
+        }
+        chosen
+    }
+
+    /// Workload cost with greedy per-query fragment selection.
+    pub fn workload_cost(
+        &self,
+        schema: &TableSchema,
+        workload: &Workload,
+        cost_model: &dyn CostModel,
+    ) -> f64 {
+        workload
+            .queries()
+            .iter()
+            .map(|q| {
+                let read = self.select_for_query(schema, q.referenced);
+                q.weight * cost_model.read_cost(schema, &read)
+            })
+            .sum()
+    }
+
+    /// Bytes stored relative to the unreplicated table.
+    pub fn storage_blowup(&self, schema: &TableSchema) -> f64 {
+        let bytes: u64 = self.fragments.iter().map(|f| schema.set_size(*f)).sum();
+        bytes as f64 / schema.row_size() as f64
+    }
+}
+
+impl AutoPart {
+    /// Construct the advisor.
+    pub fn new() -> Self {
+        AutoPart { _private: () }
+    }
+
+    /// Disjoint bottom-up search from `fragments`, where a merge partner
+    /// must be atomic or created in the previous iteration.
+    fn climb(
+        req: &PartitionRequest<'_>,
+        atomic: &[AttrSet],
+    ) -> Partitioning {
+        // generation[i]: 0 = atomic, g>0 = created in iteration g.
+        let mut parts: Vec<AttrSet> = atomic.to_vec();
+        let mut generation: Vec<u32> = vec![0; parts.len()];
+        let mut current = Partitioning::from_disjoint_unchecked(parts.clone());
+        let mut current_cost = req.cost(&current);
+        let mut iter = 0u32;
+        loop {
+            iter += 1;
+            let mut best: Option<(f64, usize, usize)> = None;
+            for i in 0..parts.len() {
+                for j in 0..parts.len() {
+                    if i == j {
+                        continue;
+                    }
+                    // Partner must be atomic or from the previous iteration.
+                    if generation[j] != 0 && generation[j] != iter - 1 {
+                        continue;
+                    }
+                    if j < i && (generation[i] == 0 || generation[i] == iter - 1) {
+                        continue; // symmetric pair already evaluated as (j,i)
+                    }
+                    let mut cand: Vec<AttrSet> = Vec::with_capacity(parts.len() - 1);
+                    for (k, p) in parts.iter().enumerate() {
+                        if k == i {
+                            cand.push(p.union(parts[j]));
+                        } else if k != j {
+                            cand.push(*p);
+                        }
+                    }
+                    let cost = req.cost(&Partitioning::from_disjoint_unchecked(cand));
+                    if best.is_none_or(|(b, _, _)| cost < b) {
+                        best = Some((cost, i, j));
+                    }
+                }
+            }
+            match best {
+                Some((cost, i, j)) if improves(cost, current_cost) => {
+                    let merged = parts[i].union(parts[j]);
+                    let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                    parts.swap_remove(hi);
+                    generation.swap_remove(hi);
+                    parts.swap_remove(lo);
+                    generation.swap_remove(lo);
+                    parts.push(merged);
+                    generation.push(iter);
+                    current = Partitioning::from_disjoint_unchecked(parts.clone());
+                    current_cost = cost;
+                }
+                _ => break,
+            }
+        }
+        current
+    }
+
+    /// The extension variant with partial replication: composite fragments
+    /// may overlap atomic fragments already placed elsewhere. A combination
+    /// is accepted if it lowers the greedy-selection workload cost, subject
+    /// to `max_blowup` (storage budget relative to the table, e.g. `1.5`).
+    pub fn partition_with_replication(
+        &self,
+        req: &PartitionRequest<'_>,
+        max_blowup: f64,
+    ) -> Result<ReplicatedLayout, ModelError> {
+        if req.workload.is_empty() {
+            return Ok(ReplicatedLayout { fragments: vec![req.table.all_attrs()] });
+        }
+        let atomic = req.workload.atomic_fragments(req.table);
+        let mut layout = ReplicatedLayout { fragments: atomic.clone() };
+        let mut cost = layout.workload_cost(req.table, req.workload, req.cost_model);
+        loop {
+            let mut best: Option<(f64, ReplicatedLayout)> = None;
+            for i in 0..layout.fragments.len() {
+                for a in &atomic {
+                    if layout.fragments[i].is_subset_of(*a) || a.is_subset_of(layout.fragments[i])
+                    {
+                        continue;
+                    }
+                    let merged = layout.fragments[i].union(*a);
+                    if layout.fragments.contains(&merged) {
+                        continue;
+                    }
+                    // Replication: keep the originals, add the composite.
+                    let mut cand = layout.clone();
+                    cand.fragments.push(merged);
+                    if cand.storage_blowup(req.table) > max_blowup {
+                        continue;
+                    }
+                    let c = cand.workload_cost(req.table, req.workload, req.cost_model);
+                    if best.as_ref().is_none_or(|(b, _)| c < *b) {
+                        best = Some((c, cand));
+                    }
+                }
+            }
+            match best {
+                Some((c, cand)) if improves(c, cost) => {
+                    layout = cand;
+                    cost = c;
+                }
+                _ => break,
+            }
+        }
+        // Drop fragments no query ever selects (dead replicas), keeping
+        // coverage of all attributes.
+        let mut used: Vec<AttrSet> = Vec::new();
+        for q in req.workload.queries() {
+            for f in layout.select_for_query(req.table, q.referenced) {
+                if !used.contains(&f) {
+                    used.push(f);
+                }
+            }
+        }
+        let mut covered = used.iter().fold(AttrSet::EMPTY, |acc, f| acc.union(*f));
+        for f in &layout.fragments {
+            if !f.difference(covered).is_empty() {
+                used.push(*f);
+                covered = covered.union(*f);
+            }
+        }
+        Ok(ReplicatedLayout { fragments: used })
+    }
+}
+
+impl Advisor for AutoPart {
+    fn name(&self) -> &'static str {
+        "AutoPart"
+    }
+
+    fn profile(&self) -> AlgorithmProfile {
+        AlgorithmProfile {
+            search: SearchStrategy::BottomUp,
+            start: StartingPoint::WholeWorkload,
+            pruning: CandidatePruning::NoPruning,
+            granularity: Granularity::File,
+            hardware: Hardware::HardDisk,
+            workload: WorkloadMode::Offline,
+            replication: Replication::Partial,
+            system: SystemKind::CostModel,
+        }
+    }
+
+    fn partition(&self, req: &PartitionRequest<'_>) -> Result<Partitioning, ModelError> {
+        if req.workload.is_empty() {
+            return Ok(Partitioning::row(req.table));
+        }
+        let atomic = req.workload.atomic_fragments(req.table);
+        Ok(Self::climb(req, &atomic))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicer_cost::{DiskParams, HddCostModel, KB};
+    use slicer_model::{AttrKind, Query, TableSchema};
+
+    fn partsupp() -> TableSchema {
+        TableSchema::builder("PartSupp", 800_000)
+            .attr("PartKey", 4, AttrKind::Int)
+            .attr("SuppKey", 4, AttrKind::Int)
+            .attr("AvailQty", 4, AttrKind::Int)
+            .attr("SupplyCost", 8, AttrKind::Decimal)
+            .attr("Comment", 199, AttrKind::Text)
+            .build()
+            .unwrap()
+    }
+
+    fn intro_workload(t: &TableSchema) -> Workload {
+        Workload::with_queries(
+            t,
+            vec![
+                Query::new(
+                    "Q1",
+                    t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"]).unwrap(),
+                ),
+                Query::new("Q2", t.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn starts_from_atomic_fragments() {
+        let t = partsupp();
+        let w = intro_workload(&t);
+        // Atomic fragments: {PartKey,SuppKey} (Q1 only), {AvailQty,
+        // SupplyCost} (Q1+Q2), {Comment} (Q2 only).
+        let frags = w.atomic_fragments(&t);
+        assert_eq!(frags.len(), 3);
+        assert!(frags.contains(&t.attr_set(&["PartKey", "SuppKey"]).unwrap()));
+        assert!(frags.contains(&t.attr_set(&["AvailQty", "SupplyCost"]).unwrap()));
+    }
+
+    #[test]
+    fn finds_intro_layout_at_small_buffer() {
+        let t = partsupp();
+        let w = intro_workload(&t);
+        let m = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(64 * KB));
+        let req = PartitionRequest::new(&t, &w, &m);
+        let layout = AutoPart::new().partition(&req).unwrap();
+        assert_eq!(layout.len(), 3, "{}", layout.render(&t));
+    }
+
+    #[test]
+    fn groups_unreferenced_attributes_together() {
+        // Figure 14(b)/(f): AutoPart keeps unreferenced attributes in one
+        // fragment because they share the empty access signature.
+        let t = TableSchema::builder("T", 100_000)
+            .attr("A", 4, AttrKind::Int)
+            .attr("Dead1", 25, AttrKind::Text)
+            .attr("B", 8, AttrKind::Decimal)
+            .attr("Dead2", 30, AttrKind::Text)
+            .build()
+            .unwrap();
+        let w = Workload::with_queries(
+            &t,
+            vec![Query::new("q", t.attr_set(&["A", "B"]).unwrap())],
+        )
+        .unwrap();
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        let layout = AutoPart::new().partition(&req).unwrap();
+        assert!(
+            layout.partitions().contains(&t.attr_set(&["Dead1", "Dead2"]).unwrap()),
+            "{}",
+            layout.render(&t)
+        );
+    }
+
+    #[test]
+    fn never_worse_than_atomic_fragments() {
+        let t = partsupp();
+        let w = intro_workload(&t);
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        let layout = AutoPart::new().partition(&req).unwrap();
+        let atomic = Partitioning::from_disjoint_unchecked(w.atomic_fragments(&t));
+        assert!(req.cost(&layout) <= req.cost(&atomic) + 1e-9);
+    }
+
+    #[test]
+    fn empty_workload_yields_row() {
+        let t = partsupp();
+        let w = Workload::new();
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        assert_eq!(AutoPart::new().partition(&req).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn replication_variant_covers_all_attributes() {
+        let t = partsupp();
+        let w = intro_workload(&t);
+        let m = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(64 * KB));
+        let req = PartitionRequest::new(&t, &w, &m);
+        let layout = AutoPart::new().partition_with_replication(&req, 2.0).unwrap();
+        let covered = layout.fragments.iter().fold(AttrSet::EMPTY, |a, f| a.union(*f));
+        assert_eq!(covered, t.all_attrs());
+        assert!(layout.storage_blowup(&t) <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn replication_never_hurts_workload_cost() {
+        let t = partsupp();
+        let w = intro_workload(&t);
+        let m = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(64 * KB));
+        let req = PartitionRequest::new(&t, &w, &m);
+        let disjoint = AutoPart::new().partition(&req).unwrap();
+        let replicated = AutoPart::new().partition_with_replication(&req, 2.0).unwrap();
+        let rep_cost = replicated.workload_cost(&t, &w, &m);
+        assert!(rep_cost <= req.cost(&disjoint) + 1e-9);
+    }
+
+    #[test]
+    fn greedy_selection_covers_query() {
+        let t = partsupp();
+        let layout = ReplicatedLayout {
+            fragments: vec![
+                t.attr_set(&["PartKey", "SuppKey"]).unwrap(),
+                t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"]).unwrap(),
+                t.attr_set(&["Comment"]).unwrap(),
+            ],
+        };
+        let q = t.attr_set(&["PartKey", "AvailQty"]).unwrap();
+        let chosen = layout.select_for_query(&t, q);
+        let covered = chosen.iter().fold(AttrSet::EMPTY, |a, f| a.union(*f));
+        assert!(q.is_subset_of(covered));
+    }
+}

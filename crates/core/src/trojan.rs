@@ -1,0 +1,496 @@
+//! Trojan layouts (Jindal, Quiané-Ruiz & Dittrich, SOCC 2011).
+//!
+//! Threshold-pruning over *all* column groups:
+//!
+//! 1. **Enumerate** every column group (2ⁿ − 1 of them) and score its
+//!    **interestingness**: the average pairwise normalized mutual
+//!    information of attribute co-access across the workload. Attributes
+//!    with identical access signatures are perfectly mutually informative
+//!    (interestingness 1), independent ones score 0.
+//! 2. **Prune** groups below the interestingness threshold.
+//! 3. **Merge** the surviving groups into a complete, disjoint partitioning
+//!    via the 0-1 knapsack mapping — solved exactly as a maximum-value
+//!    disjoint cover (`slicer-combinat`), with group value =
+//!    interestingness × group size. Uncovered attributes become singletons.
+//!
+//! The unified setting disables Trojan's HDFS-replica awareness; the
+//! original mode — group queries, one layout per data replica — is kept as
+//! the [`Trojan::partition_replicated`] extension.
+//!
+//! The exhaustive enumeration is what makes Trojan orders of magnitude
+//! slower than the greedy algorithms (Figure 1) while the interestingness
+//! heuristic (rather than cost) is what occasionally makes it pick
+//! sub-optimal groups (Figure 14, Customer/Supplier).
+
+use crate::advisor::{Advisor, PartitionRequest};
+use crate::classification::{
+    AlgorithmProfile, CandidatePruning, Granularity, Hardware, Replication, SearchStrategy,
+    StartingPoint, SystemKind, WorkloadMode,
+};
+use slicer_combinat::{max_value_disjoint_cover, ValuedGroup, MAX_UNIVERSE};
+use slicer_model::{AttrSet, ModelError, Partitioning, Workload};
+
+/// The Trojan layouts algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct Trojan {
+    /// Minimum interestingness (average pairwise normalized MI in `[0,1]`)
+    /// for a group to survive pruning.
+    threshold: f64,
+    /// Keep at most this many candidate groups (highest interestingness
+    /// first) for the exact cover step.
+    max_candidates: usize,
+}
+
+impl Default for Trojan {
+    fn default() -> Self {
+        Trojan { threshold: 0.3, max_candidates: 512 }
+    }
+}
+
+impl Trojan {
+    /// Advisor with the default threshold (0.3) and candidate cap (512).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advisor with an explicit pruning threshold in `[0, 1]`. Higher
+    /// thresholds prune more aggressively: faster, but risks dropping
+    /// useful groups (the paper's "effectiveness of the pruning threshold").
+    pub fn with_threshold(threshold: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold), "threshold out of [0,1]");
+        Trojan { threshold, ..Self::default() }
+    }
+
+    /// Pairwise normalized mutual information of attribute co-access.
+    ///
+    /// Entry `(i,j)` is `MI(Xi, Xj) / min(H(Xi), H(Xj))` where `Xi` is the
+    /// indicator "query references attribute i" over the (weighted)
+    /// workload, clamped to positive correlation (anti-correlated
+    /// attributes make bad groups and score 0). Identical signatures —
+    /// including two never-referenced attributes — score exactly 1.
+    pub fn normalized_mi_matrix(n: usize, workload: &Workload) -> Vec<Vec<f64>> {
+        let total: f64 = workload.total_weight();
+        let mut p1 = vec![0.0f64; n];
+        let mut p11 = vec![vec![0.0f64; n]; n];
+        for q in workload.queries() {
+            let w = q.weight / total;
+            let attrs: Vec<usize> = q.referenced.iter().map(|a| a.index()).collect();
+            for &i in &attrs {
+                p1[i] += w;
+                for &j in &attrs {
+                    p11[i][j] += w;
+                }
+            }
+        }
+        let h = |p: f64| -> f64 {
+            if p <= 0.0 || p >= 1.0 {
+                0.0
+            } else {
+                -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+            }
+        };
+        let term = |pxy: f64, px: f64, py: f64| -> f64 {
+            if pxy <= 0.0 || px <= 0.0 || py <= 0.0 {
+                0.0
+            } else {
+                pxy * (pxy / (px * py)).log2()
+            }
+        };
+        let mut out = vec![vec![0.0f64; n]; n];
+        #[allow(clippy::needless_range_loop)] // symmetric matrix fill reads clearer indexed
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    out[i][j] = 1.0;
+                    continue;
+                }
+                let (pi, pj, pij) = (p1[i], p1[j], p11[i][j]);
+                // Identical signatures: perfectly informative.
+                if (pi - pj).abs() < 1e-12 && (pij - pi).abs() < 1e-12 {
+                    out[i][j] = 1.0;
+                    continue;
+                }
+                // Anti- or un-correlated: not interesting for grouping.
+                if pij <= pi * pj {
+                    out[i][j] = 0.0;
+                    continue;
+                }
+                let mi = term(pij, pi, pj)
+                    + term(pi - pij, pi, 1.0 - pj)
+                    + term(pj - pij, 1.0 - pi, pj)
+                    + term(1.0 - pi - pj + pij, 1.0 - pi, 1.0 - pj);
+                let denom = h(pi).min(h(pj));
+                out[i][j] = if denom > 0.0 { (mi / denom).clamp(0.0, 1.0) } else { 0.0 };
+            }
+        }
+        out
+    }
+
+    /// Enumerate all column groups of `universe`, score them, and return
+    /// those above the threshold (interestingness-descending, capped).
+    fn interesting_groups(&self, n: usize, nmi: &[Vec<f64>]) -> Vec<ValuedGroup> {
+        assert!(n <= MAX_UNIVERSE);
+        let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        // pair_sum[mask] = Σ_{i<j ∈ mask} nmi[i][j], built incrementally on
+        // the lowest set bit.
+        let mut scored: Vec<(f64, u32, u32)> = Vec::new(); // (avg nmi, popcount, mask)
+        let mut pair_sum = vec![0.0f64; full as usize + 1];
+        for mask in 1..=full {
+            let b = mask.trailing_zeros() as usize;
+            let rest = mask & (mask - 1);
+            if rest != 0 {
+                let mut extra = 0.0;
+                let mut r = rest;
+                while r != 0 {
+                    let j = r.trailing_zeros() as usize;
+                    extra += nmi[b][j];
+                    r &= r - 1;
+                }
+                pair_sum[mask as usize] = pair_sum[rest as usize] + extra;
+            }
+            let k = mask.count_ones();
+            if k >= 2 {
+                let pairs = (k * (k - 1) / 2) as f64;
+                let avg = pair_sum[mask as usize] / pairs;
+                if avg >= self.threshold {
+                    scored.push((avg, k, mask));
+                }
+            }
+        }
+        // Highest interestingness first; larger groups win ties so the
+        // cover prefers merging whole identical-signature families.
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("finite scores")
+                .then(b.1.cmp(&a.1))
+                .then(a.2.cmp(&b.2))
+        });
+        scored.truncate(self.max_candidates);
+        scored
+            .into_iter()
+            .map(|(avg, k, mask)| {
+                let attrs: AttrSet =
+                    (0..n).filter(|i| mask & (1 << i) != 0).collect();
+                ValuedGroup { attrs, value: avg * k as f64 }
+            })
+            .collect()
+    }
+
+    /// Assign the knapsack value of each surviving group: its estimated
+    /// per-workload cost *benefit* over leaving the attributes columnar
+    /// (Trojan's CG-Cost — "how well a given column group speeds up the
+    /// queries"), evaluated group-locally under the request's cost model.
+    /// A vanishing interestingness-proportional bonus breaks cost ties in
+    /// favour of more mutually-informative groups, which keeps
+    /// cost-neutral identical-signature families (e.g. never-referenced
+    /// attributes) merged.
+    fn cost_valued(
+        req: &PartitionRequest<'_>,
+        workload: &Workload,
+        groups: Vec<ValuedGroup>,
+    ) -> Vec<ValuedGroup> {
+        groups
+            .into_iter()
+            .filter_map(|g| {
+                let mut benefit = 0.0;
+                let mut touched_by_any = false;
+                for q in workload.queries() {
+                    let touched = g.attrs.intersection(q.referenced);
+                    if touched.is_empty() {
+                        continue;
+                    }
+                    touched_by_any = true;
+                    let split: Vec<AttrSet> = touched.iter().map(AttrSet::single).collect();
+                    let split_cost = req.cost_model.read_cost(req.table, &split);
+                    let merged_cost = req.cost_model.read_cost(req.table, &[g.attrs]);
+                    benefit += q.weight * (split_cost - merged_cost);
+                }
+                if !touched_by_any {
+                    // Never-read group (e.g. the unreferenced-attribute
+                    // family): cost-neutral, kept on interestingness alone.
+                    // `g.value` is interestingness × size from pruning.
+                    return Some(ValuedGroup { attrs: g.attrs, value: 1e-9 * g.value });
+                }
+                // Referenced groups must genuinely speed queries up;
+                // zero-or-negative benefit means the group only survives
+                // DP tie-breaks, which is how statistically-interesting but
+                // costly groups used to sneak in.
+                (benefit > 0.0)
+                    .then_some(ValuedGroup { attrs: g.attrs, value: benefit + 1e-9 * g.value })
+            })
+            .collect()
+    }
+
+    /// Core single-layout computation, shared by the unified and the
+    /// replicated modes.
+    fn layout_for(&self, req: &PartitionRequest<'_>, workload: &Workload) -> Result<Partitioning, ModelError> {
+        let n = req.table.attr_count();
+        if n > MAX_UNIVERSE {
+            return Err(ModelError::Unsupported {
+                reason: format!(
+                    "Trojan enumerates 2^n column groups; table has {n} > {MAX_UNIVERSE} attributes"
+                ),
+            });
+        }
+        let nmi = Self::normalized_mi_matrix(n, workload);
+        let groups = self.interesting_groups(n, &nmi);
+        let groups = Self::cost_valued(req, workload, groups);
+        let cover = max_value_disjoint_cover(req.table.all_attrs(), &groups);
+        Ok(Partitioning::from_disjoint_unchecked(
+            cover.into_iter().map(|g| g.attrs).collect(),
+        ))
+    }
+
+    /// The replication extension: split the workload into `replicas` query
+    /// groups by access-pattern similarity (greedy Jaccard clustering, the
+    /// same column-grouping idea applied to queries) and compute one layout
+    /// per group — Trojan's per-HDFS-replica layouts.
+    pub fn partition_replicated(
+        &self,
+        req: &PartitionRequest<'_>,
+        replicas: usize,
+    ) -> Result<Vec<TrojanReplica>, ModelError> {
+        assert!(replicas >= 1);
+        if req.workload.is_empty() {
+            return Ok(vec![TrojanReplica {
+                query_indices: Vec::new(),
+                layout: Partitioning::row(req.table),
+            }]);
+        }
+        // Greedy clustering: seed groups with the most dissimilar queries,
+        // then assign each query to the most similar seed.
+        let queries = req.workload.queries();
+        let jaccard = |a: AttrSet, b: AttrSet| -> f64 {
+            let i = a.intersection(b).len() as f64;
+            let u = a.union(b).len() as f64;
+            if u == 0.0 { 1.0 } else { i / u }
+        };
+        let k = replicas.min(queries.len());
+        let mut seeds: Vec<usize> = vec![0];
+        while seeds.len() < k {
+            // Farthest-first traversal.
+            let next = (0..queries.len())
+                .filter(|i| !seeds.contains(i))
+                .min_by(|&a, &b| {
+                    let da: f64 = seeds.iter().map(|&s| jaccard(queries[a].referenced, queries[s].referenced)).fold(f64::INFINITY, f64::min);
+                    let db: f64 = seeds.iter().map(|&s| jaccard(queries[b].referenced, queries[s].referenced)).fold(f64::INFINITY, f64::min);
+                    da.partial_cmp(&db).expect("finite").then(a.cmp(&b))
+                });
+            match next {
+                Some(i) => seeds.push(i),
+                None => break,
+            }
+        }
+        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); seeds.len()];
+        for (qi, q) in queries.iter().enumerate() {
+            let best = (0..seeds.len())
+                .max_by(|&a, &b| {
+                    jaccard(q.referenced, queries[seeds[a]].referenced)
+                        .partial_cmp(&jaccard(q.referenced, queries[seeds[b]].referenced))
+                        .expect("finite")
+                        .then(b.cmp(&a))
+                })
+                .expect("at least one seed");
+            assignment[best].push(qi);
+        }
+        assignment
+            .into_iter()
+            .filter(|g| !g.is_empty())
+            .map(|group| {
+                let mut w = Workload::new();
+                for &qi in &group {
+                    w.push(queries[qi].clone());
+                }
+                self.layout_for(req, &w).map(|layout| TrojanReplica {
+                    query_indices: group,
+                    layout,
+                })
+            })
+            .collect()
+    }
+}
+
+/// One data replica's layout and the queries routed to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrojanReplica {
+    /// Indices (into the original workload) of the queries in this group.
+    pub query_indices: Vec<usize>,
+    /// The layout computed for this query group.
+    pub layout: Partitioning,
+}
+
+impl Advisor for Trojan {
+    fn name(&self) -> &'static str {
+        "Trojan"
+    }
+
+    fn profile(&self) -> AlgorithmProfile {
+        AlgorithmProfile {
+            search: SearchStrategy::BottomUp,
+            start: StartingPoint::QuerySubset,
+            pruning: CandidatePruning::ThresholdBased,
+            granularity: Granularity::DatabaseBlock,
+            hardware: Hardware::HardDisk,
+            workload: WorkloadMode::Offline,
+            replication: Replication::Full,
+            system: SystemKind::OpenSource,
+        }
+    }
+
+    fn partition(&self, req: &PartitionRequest<'_>) -> Result<Partitioning, ModelError> {
+        if req.workload.is_empty() {
+            return Ok(Partitioning::row(req.table));
+        }
+        self.layout_for(req, req.workload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicer_cost::HddCostModel;
+    use slicer_model::{AttrKind, Query, TableSchema};
+
+    fn partsupp() -> TableSchema {
+        TableSchema::builder("PartSupp", 800_000)
+            .attr("PartKey", 4, AttrKind::Int)
+            .attr("SuppKey", 4, AttrKind::Int)
+            .attr("AvailQty", 4, AttrKind::Int)
+            .attr("SupplyCost", 8, AttrKind::Decimal)
+            .attr("Comment", 199, AttrKind::Text)
+            .build()
+            .unwrap()
+    }
+
+    fn intro_workload(t: &TableSchema) -> Workload {
+        Workload::with_queries(
+            t,
+            vec![
+                Query::new(
+                    "Q1",
+                    t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"]).unwrap(),
+                ),
+                Query::new("Q2", t.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn nmi_identical_signatures_score_one() {
+        let t = partsupp();
+        let w = intro_workload(&t);
+        let nmi = Trojan::normalized_mi_matrix(5, &w);
+        // PartKey & SuppKey: both referenced exactly by Q1 → 1.0.
+        assert_eq!(nmi[0][1], 1.0);
+        // AvailQty & SupplyCost: both referenced by Q1 and Q2 → 1.0.
+        assert_eq!(nmi[2][3], 1.0);
+        // PartKey & Comment: referenced by different queries only → 0.
+        assert_eq!(nmi[0][4], 0.0);
+    }
+
+    #[test]
+    fn nmi_is_symmetric_and_bounded() {
+        let t = partsupp();
+        let w = intro_workload(&t);
+        let nmi = Trojan::normalized_mi_matrix(5, &w);
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((0.0..=1.0).contains(&nmi[i][j]), "nmi[{i}][{j}]={}", nmi[i][j]);
+                assert!((nmi[i][j] - nmi[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_atomic_structure_on_intro_workload() {
+        let t = partsupp();
+        let w = intro_workload(&t);
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        let layout = Trojan::new().partition(&req).unwrap();
+        assert!(
+            layout.partitions().contains(&t.attr_set(&["PartKey", "SuppKey"]).unwrap()),
+            "{}",
+            layout.render(&t)
+        );
+        assert!(layout
+            .partitions()
+            .contains(&t.attr_set(&["AvailQty", "SupplyCost"]).unwrap()));
+    }
+
+    #[test]
+    fn groups_unreferenced_attributes_together() {
+        let t = TableSchema::builder("T", 1000)
+            .attr("A", 4, AttrKind::Int)
+            .attr("Dead1", 25, AttrKind::Text)
+            .attr("Dead2", 30, AttrKind::Text)
+            .build()
+            .unwrap();
+        let w = Workload::with_queries(&t, vec![Query::new("q", t.attr_set(&["A"]).unwrap())])
+            .unwrap();
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        let layout = Trojan::new().partition(&req).unwrap();
+        assert!(
+            layout.partitions().contains(&t.attr_set(&["Dead1", "Dead2"]).unwrap()),
+            "{}",
+            layout.render(&t)
+        );
+    }
+
+    #[test]
+    fn high_threshold_degrades_to_finer_layouts() {
+        let t = partsupp();
+        let w = intro_workload(&t);
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        let relaxed = Trojan::with_threshold(0.1).partition(&req).unwrap();
+        let strict = Trojan::with_threshold(1.0).partition(&req).unwrap();
+        assert!(strict.len() >= relaxed.len());
+    }
+
+    #[test]
+    fn replicated_mode_routes_every_query() {
+        let t = partsupp();
+        let w = intro_workload(&t);
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        let replicas = Trojan::new().partition_replicated(&req, 2).unwrap();
+        let mut routed: Vec<usize> = replicas.iter().flat_map(|r| r.query_indices.clone()).collect();
+        routed.sort_unstable();
+        assert_eq!(routed, vec![0, 1]);
+        // Per-group layouts are tailored: Q2's replica keeps Comment with
+        // its co-referenced attributes.
+        for r in &replicas {
+            assert!(Partitioning::new(&t, r.layout.partitions().to_vec()).is_ok());
+        }
+    }
+
+    #[test]
+    fn empty_workload_yields_row() {
+        let t = partsupp();
+        let w = Workload::new();
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        assert_eq!(Trojan::new().partition(&req).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rejects_overwide_tables() {
+        let mut b = TableSchema::builder("Wide", 10);
+        for i in 0..30 {
+            b = b.attr(format!("A{i}"), 4, AttrKind::Int);
+        }
+        let t = b.build().unwrap();
+        let w = Workload::with_queries(&t, vec![Query::new("q", AttrSet::single(0usize))])
+            .unwrap();
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        assert!(matches!(
+            Trojan::new().partition(&req),
+            Err(ModelError::Unsupported { .. })
+        ));
+    }
+}

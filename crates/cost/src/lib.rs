@@ -1,0 +1,25 @@
+//! # slicer-cost
+//!
+//! Cost models for vertically partitioned tables — the "common system" of
+//! the paper's unified setting.
+//!
+//! * [`HddCostModel`] — the paper's disk model: proportional buffer
+//!   sharing, seek + scan costs per referenced partition (Section 4);
+//! * [`MainMemoryCostModel`] — HYRISE-style cache-miss model (Table 6);
+//! * [`CostModel`] — the object-safe trait the advisors in `slicer-core`
+//!   optimize against;
+//! * [`DiskParams`] / [`CacheParams`] — hardware knobs, defaulting to the
+//!   paper's measured testbed (90.07 MB/s read, 64.37 MB/s write, 4.84 ms
+//!   seek, 8 KB blocks, 8 MB buffer).
+
+#![warn(missing_docs)]
+
+mod hdd;
+mod mm;
+mod params;
+mod traits;
+
+pub use hdd::{HddCostModel, HddWorkloadEvaluator};
+pub use mm::MainMemoryCostModel;
+pub use params::{CacheParams, DiskParams, KB, MB};
+pub use traits::CostModel;

@@ -1,0 +1,143 @@
+//! Hardware parameters for the cost models.
+
+use serde::{Deserialize, Serialize};
+
+/// One mebibyte; the paper's "MB" figures (buffer sizes, bandwidths) are
+/// interpreted binary throughout this workspace for consistency.
+pub const MB: u64 = 1024 * 1024;
+
+/// One kibibyte.
+pub const KB: u64 = 1024;
+
+/// Disk and buffer characteristics driving the HDD cost model.
+///
+/// [`DiskParams::paper_testbed`] reproduces the paper's measured testbed:
+/// Bonnie++ on their Xeon 5150 machine reported 90.07 MB/s read, 64.37 MB/s
+/// write and 4.84 ms average seek; experiments used 8 KB blocks and an 8 MB
+/// I/O buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskParams {
+    /// Disk block size in bytes.
+    pub block_size: u64,
+    /// I/O buffer size in bytes, shared among the partitions a query reads.
+    pub buffer_size: u64,
+    /// Sequential read bandwidth in bytes/second.
+    pub read_bandwidth: f64,
+    /// Sequential write bandwidth in bytes/second (used for layout-creation
+    /// time, Figure 10).
+    pub write_bandwidth: f64,
+    /// Average seek time in seconds.
+    pub seek_time: f64,
+}
+
+impl DiskParams {
+    /// The paper's common-hardware setting (Section 4).
+    pub fn paper_testbed() -> Self {
+        DiskParams {
+            block_size: 8 * KB,
+            buffer_size: 8 * MB,
+            read_bandwidth: 90.07 * MB as f64,
+            write_bandwidth: 64.37 * MB as f64,
+            seek_time: 4.84e-3,
+        }
+    }
+
+    /// Copy with a different buffer size (bytes).
+    pub fn with_buffer_size(self, bytes: u64) -> Self {
+        DiskParams { buffer_size: bytes, ..self }
+    }
+
+    /// Copy with a different block size (bytes).
+    pub fn with_block_size(self, bytes: u64) -> Self {
+        DiskParams { block_size: bytes, ..self }
+    }
+
+    /// Copy with a different read bandwidth (bytes/s).
+    pub fn with_read_bandwidth(self, bytes_per_s: f64) -> Self {
+        DiskParams { read_bandwidth: bytes_per_s, ..self }
+    }
+
+    /// Copy with a different seek time (seconds).
+    pub fn with_seek_time(self, seconds: f64) -> Self {
+        DiskParams { seek_time: seconds, ..self }
+    }
+
+    /// Panic early on nonsensical parameters instead of producing NaNs deep
+    /// inside an experiment sweep.
+    pub fn validate(&self) {
+        assert!(self.block_size > 0, "block size must be positive");
+        assert!(self.buffer_size > 0, "buffer size must be positive");
+        assert!(
+            self.read_bandwidth > 0.0 && self.read_bandwidth.is_finite(),
+            "read bandwidth must be positive"
+        );
+        assert!(
+            self.write_bandwidth > 0.0 && self.write_bandwidth.is_finite(),
+            "write bandwidth must be positive"
+        );
+        assert!(
+            self.seek_time >= 0.0 && self.seek_time.is_finite(),
+            "seek time must be non-negative"
+        );
+    }
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        Self::paper_testbed()
+    }
+}
+
+/// Cache characteristics for the main-memory cost model (Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheParams {
+    /// Cache line size in bytes.
+    pub line_size: u64,
+    /// Cost charged per cache miss, in seconds. Only the *relative* costs
+    /// of layouts matter to the advisors, but expressing it in seconds keeps
+    /// the `CostModel` output unit uniform.
+    pub miss_latency: f64,
+}
+
+impl CacheParams {
+    /// 64-byte lines, 100 ns per miss — the paper's testbed class of
+    /// hardware (Xeon 5150, 4 MB L2).
+    pub fn paper_testbed() -> Self {
+        CacheParams { line_size: 64, miss_latency: 100e-9 }
+    }
+}
+
+impl Default for CacheParams {
+    fn default() -> Self {
+        Self::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_constants() {
+        let p = DiskParams::paper_testbed();
+        assert_eq!(p.block_size, 8192);
+        assert_eq!(p.buffer_size, 8 * 1024 * 1024);
+        assert!((p.read_bandwidth / MB as f64 - 90.07).abs() < 1e-9);
+        assert!((p.seek_time - 0.00484).abs() < 1e-12);
+        p.validate();
+    }
+
+    #[test]
+    fn with_methods_leave_rest_untouched() {
+        let p = DiskParams::paper_testbed().with_buffer_size(MB).with_seek_time(0.001);
+        assert_eq!(p.buffer_size, MB);
+        assert_eq!(p.seek_time, 0.001);
+        assert_eq!(p.block_size, 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn validate_rejects_zero_block() {
+        DiskParams { block_size: 0, ..DiskParams::paper_testbed() }.validate();
+    }
+}

@@ -1,0 +1,105 @@
+//! `repro` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro <experiment>... [--sf N] [--quick] [--json] [--markdown]
+//! repro all [--sf N] [--quick]
+//! repro list
+//! ```
+//!
+//! Examples:
+//! * `cargo run --release -p slicer-experiments --bin repro -- fig3`
+//! * `cargo run --release -p slicer-experiments --bin repro -- all --quick`
+//! * `cargo run --release -p slicer-experiments --bin repro -- table5 --json`
+
+use slicer_experiments::{run, Config, EXPERIMENTS};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit(0);
+    }
+
+    let mut ids: Vec<String> = Vec::new();
+    let mut cfg = Config::paper();
+    let mut json = false;
+    let mut markdown = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                i += 1;
+                cfg.sf = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--sf needs a number"));
+            }
+            "--quick" => {
+                cfg.quick = true;
+                if cfg.sf == 10.0 {
+                    cfg.sf = 0.1;
+                }
+            }
+            "--json" => json = true,
+            "--markdown" => markdown = true,
+            "list" => {
+                for id in EXPERIMENTS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            "--help" | "-h" => usage_and_exit(0),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                usage_and_exit(2);
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        usage_and_exit(2);
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut reports = Vec::new();
+    for id in &ids {
+        match run(id, &cfg) {
+            Some(report) => {
+                if !json {
+                    let rendered =
+                        if markdown { report.to_markdown() } else { report.to_text() };
+                    let _ = writeln!(out, "{rendered}");
+                }
+                reports.push(report);
+            }
+            None => {
+                eprintln!("unknown experiment `{id}`; try `repro list`");
+                std::process::exit(2);
+            }
+        }
+    }
+    if json {
+        let _ = writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&reports).expect("reports serialize")
+        );
+    }
+}
+
+fn usage_and_exit(code: i32) -> ! {
+    eprintln!(
+        "usage: repro <experiment>...|all|list [--sf N] [--quick] [--json] [--markdown]\n\
+         experiments: {}",
+        EXPERIMENTS.join(", ")
+    );
+    std::process::exit(code);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

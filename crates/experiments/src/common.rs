@@ -1,0 +1,114 @@
+//! Shared experiment configuration and advisor-suite helpers.
+
+use slicer_core::{Advisor, BruteForce};
+use slicer_cost::{CostModel, HddCostModel};
+use slicer_metrics::{run_advisor, BenchmarkRun};
+use slicer_workloads::{tpch, Benchmark};
+
+/// Experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// TPC-H / SSB scale factor (the paper uses 10).
+    pub sf: f64,
+    /// Quick mode: prefix workloads, coarser sweeps, capped BruteForce —
+    /// used by tests and smoke runs.
+    pub quick: bool,
+}
+
+impl Config {
+    /// The paper's configuration: scale factor 10.
+    pub fn paper() -> Config {
+        Config { sf: 10.0, quick: false }
+    }
+
+    /// Fast configuration for tests: scale factor 0.1, coarse sweeps.
+    pub fn quick() -> Config {
+        Config { sf: 0.1, quick: true }
+    }
+
+    /// The TPC-H benchmark at this configuration's scale, optionally
+    /// truncated to the first 6 queries in quick mode (keeps BruteForce's
+    /// fragment count small).
+    pub fn tpch(&self) -> Benchmark {
+        let b = tpch::benchmark(self.sf);
+        if self.quick {
+            b.prefix(6)
+        } else {
+            b
+        }
+    }
+
+    /// A BruteForce advisor sized for this configuration.
+    pub fn brute_force(&self) -> BruteForce {
+        if self.quick {
+            // B(12) ≈ 4.2 M candidates max — sub-second in quick runs.
+            BruteForce::new().with_max_candidates(5_000_000)
+        } else {
+            BruteForce::new()
+        }
+    }
+
+    /// The seven paper advisors, with BruteForce sized per config.
+    pub fn advisors(&self) -> Vec<Box<dyn Advisor>> {
+        vec![
+            Box::new(slicer_core::AutoPart::new()),
+            Box::new(slicer_core::HillClimb::new()),
+            Box::new(slicer_core::Hyrise::new()),
+            Box::new(slicer_core::Navathe::new()),
+            Box::new(slicer_core::O2P::new()),
+            Box::new(slicer_core::Trojan::new()),
+            Box::new(self.brute_force()),
+        ]
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::paper()
+    }
+}
+
+/// Run every advisor in `advisors` over `benchmark`; advisors that refuse
+/// (e.g. BruteForce over its candidate cap) are skipped with a note.
+pub fn run_suite(
+    advisors: &[Box<dyn Advisor>],
+    benchmark: &Benchmark,
+    cost_model: &dyn CostModel,
+) -> (Vec<BenchmarkRun>, Vec<String>) {
+    let mut runs = Vec::new();
+    let mut skipped = Vec::new();
+    for a in advisors {
+        match run_advisor(a.as_ref(), benchmark, cost_model) {
+            Ok(run) => runs.push(run),
+            Err(e) => skipped.push(format!("{} skipped: {e}", a.name())),
+        }
+    }
+    (runs, skipped)
+}
+
+/// The default HDD cost model (paper testbed).
+pub fn paper_hdd() -> HddCostModel {
+    HddCostModel::paper_testbed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_truncates_workload() {
+        let c = Config::quick();
+        assert_eq!(c.tpch().queries().len(), 6);
+        assert_eq!(Config::paper().tpch().queries().len(), 22);
+    }
+
+    #[test]
+    fn suite_runs_all_advisors_in_quick_mode() {
+        let c = Config::quick();
+        let b = c.tpch();
+        let m = paper_hdd();
+        let (runs, skipped) = run_suite(&c.advisors(), &b, &m);
+        assert_eq!(runs.len() + skipped.len(), 7);
+        assert!(runs.iter().any(|r| r.advisor == "HillClimb"));
+    }
+}

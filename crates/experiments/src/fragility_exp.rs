@@ -1,0 +1,215 @@
+//! Figures 8 and 11: fragility — evaluate layouts optimized for the paper
+//! testbed under drifted hardware parameters, without re-optimizing.
+
+use crate::common::{paper_hdd, Config};
+use crate::report::{Report, ReportTable};
+use slicer_core::{ColumnLayout, HillClimb, Navathe, RowLayout};
+use slicer_cost::{CostModel, DiskParams, HddCostModel, KB, MB};
+use slicer_metrics::{fragility, run_advisor, BenchmarkRun};
+use slicer_workloads::Benchmark;
+
+const LAYOUTS: [&str; 4] = ["HillClimb", "Navathe", "Column", "Row"];
+
+fn base_runs(cfg: &Config) -> (Benchmark, Vec<BenchmarkRun>) {
+    let b = cfg.tpch();
+    let m = paper_hdd();
+    let runs = vec![
+        run_advisor(&HillClimb::new(), &b, &m).expect("hillclimb"),
+        run_advisor(&Navathe::new(), &b, &m).expect("navathe"),
+        run_advisor(&ColumnLayout, &b, &m).expect("column"),
+        run_advisor(&RowLayout, &b, &m).expect("row"),
+    ];
+    (b, runs)
+}
+
+fn fragility_table(
+    title: &str,
+    b: &Benchmark,
+    runs: &[BenchmarkRun],
+    variants: &[(String, HddCostModel)],
+) -> ReportTable {
+    let base = paper_hdd();
+    let mut headers = vec!["Setting".to_string()];
+    headers.extend(LAYOUTS.iter().map(|s| s.to_string()));
+    let rows = variants
+        .iter()
+        .map(|(label, model)| {
+            let mut row = vec![label.clone()];
+            for run in runs {
+                row.push(format!("{:+.2}", fragility(run, b, &base, model)));
+            }
+            row
+        })
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    ReportTable::new(title, &headers_ref, rows)
+}
+
+/// Figure 8: fragility under buffer-size drift (0.08 MB – 8000 MB), as a
+/// factor of the 8 MB baseline cost.
+pub fn fig8(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "fig8",
+        "Algorithm fragility — change in workload runtime when the buffer size changes at query time",
+    );
+    let (b, runs) = base_runs(cfg);
+    let buffers: &[f64] = if cfg.quick {
+        &[0.08, 8.0, 800.0]
+    } else {
+        &[0.08, 0.8, 8.0, 80.0, 800.0, 8000.0]
+    };
+    let variants: Vec<(String, HddCostModel)> = buffers
+        .iter()
+        .map(|mb| {
+            let bytes = (mb * MB as f64) as u64;
+            (
+                format!("{mb} MB"),
+                HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(bytes)),
+            )
+        })
+        .collect();
+    report.note("fragility factor = (cost_new − cost_8MB) / cost_8MB; layouts fixed at 8 MB");
+    report.push(fragility_table("Fragility vs buffer size", &b, &runs, &variants));
+    report
+}
+
+/// Figure 11: fragility under block-size, bandwidth and seek-time drift.
+pub fn fig11(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "fig11",
+        "Algorithm fragility — changing block size, disk bandwidth, seek time at query time",
+    );
+    let (b, runs) = base_runs(cfg);
+
+    let blocks: &[u64] = if cfg.quick {
+        &[512, 8 * KB, 128 * KB]
+    } else {
+        &[512, KB, 2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB]
+    };
+    let variants: Vec<(String, HddCostModel)> = blocks
+        .iter()
+        .map(|bs| {
+            (
+                format!("{} KB", *bs as f64 / KB as f64),
+                HddCostModel::new(DiskParams::paper_testbed().with_block_size(*bs)),
+            )
+        })
+        .collect();
+    report.push(fragility_table("(a) Changing the block size", &b, &runs, &variants));
+
+    let bws: &[f64] = if cfg.quick { &[60.0, 90.0, 120.0] } else { &[60.0, 70.0, 80.0, 90.0, 100.0, 110.0, 120.0] };
+    let variants: Vec<(String, HddCostModel)> = bws
+        .iter()
+        .map(|bw| {
+            (
+                format!("{bw} MB/s"),
+                HddCostModel::new(
+                    DiskParams::paper_testbed().with_read_bandwidth(bw * MB as f64),
+                ),
+            )
+        })
+        .collect();
+    report.push(fragility_table("(b) Changing the disk bandwidth", &b, &runs, &variants));
+
+    let seeks: &[f64] = if cfg.quick { &[3.5, 4.84, 6.0] } else { &[3.5, 4.0, 4.5, 4.84, 5.0, 5.5, 6.0] };
+    let variants: Vec<(String, HddCostModel)> = seeks
+        .iter()
+        .map(|ms| {
+            (
+                format!("{ms} ms"),
+                HddCostModel::new(DiskParams::paper_testbed().with_seek_time(ms * 1e-3)),
+            )
+        })
+        .collect();
+    report.push(fragility_table("(c) Changing the seek time", &b, &runs, &variants));
+    report
+}
+
+/// The workload-drift side experiment (Section 6.3's closing remark): how
+/// much do workload costs change when a fraction of the queries is
+/// replaced? Returns the relative cost change when the *evaluation*
+/// workload swaps `swap` of the 22 queries for the ones the layout never
+/// saw.
+pub fn workload_drift(cfg: &Config, swap: usize) -> f64 {
+    let m = paper_hdd();
+    let full = slicer_workloads::tpch::benchmark(cfg.sf);
+    let n = full.queries().len();
+    let train = full.prefix(n - swap);
+    let run = run_advisor(&HillClimb::new(), &train, &m).expect("hillclimb");
+    // Evaluate the same layouts under the *full* workload (the swapped-in
+    // queries are unseen).
+    let full_cost: f64 = run
+        .tables
+        .iter()
+        .map(|t| {
+            let w = full.table_workload(t.table_index);
+            m.workload_cost(&full.tables()[t.table_index], &t.layout, &w)
+        })
+        .sum();
+    // Reference: layouts optimized on the full workload.
+    let ref_run = run_advisor(&HillClimb::new(), &full, &m).expect("hillclimb");
+    let ref_cost = ref_run.total_cost(&full, &m);
+    (full_cost - ref_cost) / ref_cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_smaller_buffer_positive_larger_nonpositive() {
+        let r = fig8(&Config::quick());
+        let t = &r.tables[0];
+        // Row 0 = 0.08 MB (positive fragility), last = 800 MB (≤ 0).
+        for cell in &t.rows[0][1..] {
+            assert!(cell.parse::<f64>().unwrap() > 0.0, "0.08 MB cell {cell}");
+        }
+        for cell in &t.rows.last().unwrap()[1..] {
+            assert!(cell.parse::<f64>().unwrap() <= 0.0, "800 MB cell {cell}");
+        }
+    }
+
+    #[test]
+    fn fig8_baseline_row_is_zero() {
+        let r = fig8(&Config::quick());
+        let mid = &r.tables[0].rows[1]; // 8 MB = the optimization setting
+        for cell in &mid[1..] {
+            assert_eq!(cell.parse::<f64>().unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn fig11_has_three_panels() {
+        let r = fig11(&Config::quick());
+        assert_eq!(r.tables.len(), 3);
+    }
+
+    #[test]
+    fn fig11_block_size_impact_is_small() {
+        // Paper: block size fragility < 1%-ish; allow some slack.
+        let r = fig11(&Config::quick());
+        for row in &r.tables[0].rows {
+            for cell in &row[1..] {
+                let f: f64 = cell.parse().unwrap();
+                assert!(f.abs() < 0.60, "block-size fragility {f} too large");
+            }
+        }
+    }
+
+    #[test]
+    fn fig11_slower_bandwidth_hurts() {
+        let r = fig11(&Config::quick());
+        let first = &r.tables[1].rows[0]; // 60 MB/s
+        for cell in &first[1..] {
+            assert!(cell.parse::<f64>().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn workload_drift_is_moderate() {
+        // Paper: "costs change by only 14% for up to 50% change in
+        // workload". Quick mode uses 6 queries; swap 2.
+        let d = workload_drift(&Config::quick(), 2);
+        assert!(d.abs() < 1.0, "drift {d}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure 14 and Tables 1–2: the computed layouts and the algorithm
+//! classification.
+
+use crate::common::{paper_hdd, run_suite, Config};
+use crate::report::{Report, ReportTable};
+use slicer_core::classification::{render_table1, render_table2};
+use slicer_core::paper_advisors;
+
+/// Table 1: classification along search strategy / starting point /
+/// candidate pruning.
+pub fn table1(_cfg: &Config) -> Report {
+    let mut report =
+        Report::new("table1", "Classification of the evaluated vertical partitioning algorithms");
+    let advisors = paper_advisors();
+    let rows: Vec<(&str, _)> = advisors.iter().map(|a| (a.name(), a.profile())).collect();
+    report.note(render_table1(&rows));
+    report
+}
+
+/// Table 2: original settings per algorithm plus the unified setting.
+pub fn table2(_cfg: &Config) -> Report {
+    let mut report = Report::new("table2", "Settings for different vertical partitioning algorithms");
+    let advisors = paper_advisors();
+    let rows: Vec<(&str, _)> = advisors
+        .iter()
+        .filter(|a| a.name() != "BruteForce")
+        .map(|a| (a.name(), a.profile()))
+        .collect();
+    report.note(render_table2(&rows));
+    report
+}
+
+/// Figure 14: the computed partitions for every TPC-H table under every
+/// algorithm (rendered with attribute names, like the paper's color rows).
+pub fn fig14(cfg: &Config) -> Report {
+    let mut report = Report::new("fig14", "The computed partitions for the TPC-H workload");
+    let b = cfg.tpch();
+    let m = paper_hdd();
+    let (runs, skipped) = run_suite(&cfg.advisors(), &b, &m);
+    for s in skipped {
+        report.note(s);
+    }
+    for (idx, schema, _) in b.touched_tables() {
+        let mut rows = Vec::new();
+        for run in &runs {
+            if let Some(t) = run.tables.iter().find(|t| t.table_index == idx) {
+                rows.push(vec![run.advisor.clone(), t.layout.render(schema)]);
+            }
+        }
+        report.push(ReportTable::new(
+            format!("({}) {}", (b'a' + idx as u8) as char, schema.name()),
+            &["Algorithm", "Layout"],
+            rows,
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_paper_vocabulary() {
+        let t1 = table1(&Config::quick());
+        assert!(t1.notes[0].contains("Top-down") && t1.notes[0].contains("Threshold-based"));
+        let t2 = table2(&Config::quick());
+        assert!(t2.notes[0].contains("Our Unified Setting"));
+        assert!(t2.notes[0].contains("MAIN MEMORY"));
+    }
+
+    #[test]
+    fn fig14_renders_every_table() {
+        let r = fig14(&Config::quick());
+        assert_eq!(r.tables.len(), 8);
+        // Every layout row mentions at least one attribute name.
+        for t in &r.tables {
+            for row in &t.rows {
+                assert!(row[1].contains("P1("), "{row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig14_lineitem_groups_extendedprice_discount_for_hillclimb_class() {
+        // The paper's Figure 14(b): the HillClimb class groups
+        // ExtendedPrice with Discount (always co-referenced in TPC-H).
+        let r = fig14(&Config::quick());
+        let li = r.tables.iter().find(|t| t.title.contains("Lineitem")).unwrap();
+        let hc = li.rows.iter().find(|row| row[0] == "HillClimb").unwrap();
+        assert!(
+            hc[1].contains("ExtendedPrice,Discount") || hc[1].contains("Discount,ExtendedPrice"),
+            "{}",
+            hc[1]
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Figures 1 and 2: optimization times.
+
+use crate::common::{paper_hdd, run_suite, Config};
+use crate::report::{fmt_secs, Report, ReportTable};
+
+/// Figure 1: optimization time of every algorithm over all TPC-H tables.
+pub fn fig1(cfg: &Config) -> Report {
+    let mut report = Report::new("fig1", "Optimization time for different algorithms");
+    let b = cfg.tpch();
+    let m = paper_hdd();
+    let (runs, skipped) = run_suite(&cfg.advisors(), &b, &m);
+    for s in skipped {
+        report.note(s);
+    }
+    report.note(format!(
+        "TPC-H SF {}, {} queries; times are measured wall-clock of this Rust \
+         implementation (the paper's absolute numbers are Java 6 on 2013 hardware; \
+         the claim under test is the relative ordering)",
+        cfg.sf,
+        b.queries().len()
+    ));
+    let rows = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.advisor.clone(),
+                fmt_secs(r.total_opt_time().as_secs_f64()),
+                format!("{:.6}", r.total_opt_time().as_secs_f64()),
+            ]
+        })
+        .collect();
+    report.push(ReportTable::new(
+        "Optimization time (all TPC-H tables)",
+        &["Algorithm", "Time", "Seconds"],
+        rows,
+    ));
+    report
+}
+
+/// Figure 2: optimization time over varying workload size (first k
+/// queries). Trojan and BruteForce are excluded exactly as in the paper
+/// (orders of magnitude slower; they distort the graph).
+pub fn fig2(cfg: &Config) -> Report {
+    let mut report =
+        Report::new("fig2", "Optimization time over varying workload size");
+    let m = paper_hdd();
+    let full = slicer_workloads::tpch::benchmark(cfg.sf);
+    let max_k = if cfg.quick { 6 } else { full.queries().len() };
+    let names = ["AutoPart", "HillClimb", "HYRISE", "Navathe", "O2P"];
+    let mut rows = Vec::new();
+    for k in 1..=max_k {
+        let b = full.prefix(k);
+        let advisors = cfg.advisors();
+        let keep: Vec<_> = advisors
+            .into_iter()
+            .filter(|a| names.contains(&a.name()))
+            .collect();
+        let (runs, _) = run_suite(&keep, &b, &m);
+        let mut row = vec![k.to_string()];
+        for name in names {
+            let t = runs
+                .iter()
+                .find(|r| r.advisor == name)
+                .map(|r| r.total_opt_time().as_secs_f64())
+                .unwrap_or(f64::NAN);
+            row.push(format!("{t:.6}"));
+        }
+        rows.push(row);
+    }
+    report.note("seconds per algorithm; k = number of TPC-H queries considered");
+    report.push(ReportTable::new(
+        "Optimization time (s) vs workload size",
+        &["k", "AutoPart", "HillClimb", "HYRISE", "Navathe", "O2P"],
+        rows,
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_covers_all_seven_algorithms() {
+        let r = fig1(&Config::quick());
+        assert_eq!(r.tables[0].rows.len(), 7, "{:?}", r.tables[0].rows);
+    }
+
+    #[test]
+    fn fig1_bruteforce_is_slowest() {
+        let r = fig1(&Config::quick());
+        let secs: Vec<(String, f64)> = r.tables[0]
+            .rows
+            .iter()
+            .map(|row| (row[0].clone(), row[2].parse::<f64>().unwrap()))
+            .collect();
+        let bf = secs.iter().find(|(n, _)| n == "BruteForce").unwrap().1;
+        let fastest = secs.iter().map(|(_, t)| *t).fold(f64::INFINITY, f64::min);
+        assert!(bf >= fastest, "brute force {bf} vs fastest {fastest}");
+    }
+
+    #[test]
+    fn fig2_rows_per_k() {
+        let r = fig2(&Config::quick());
+        assert_eq!(r.tables[0].rows.len(), 6);
+        assert_eq!(r.tables[0].headers.len(), 6);
+    }
+}

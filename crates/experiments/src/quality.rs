@@ -1,0 +1,210 @@
+//! Figures 3–6: estimated workload runtime, unnecessary data read,
+//! tuple-reconstruction joins and distance from perfect materialized views.
+
+use crate::common::{paper_hdd, run_suite, Config};
+use crate::report::{fmt_pct, Report, ReportTable};
+use slicer_metrics::{
+    avg_reconstruction_joins, column_cost, data_volume, pmv_cost, row_cost, BenchmarkRun,
+};
+use slicer_workloads::Benchmark;
+
+fn suite(cfg: &Config) -> (Benchmark, Vec<BenchmarkRun>, Vec<String>) {
+    let b = cfg.tpch();
+    let m = paper_hdd();
+    let (runs, skipped) = run_suite(&cfg.advisors(), &b, &m);
+    (b, runs, skipped)
+}
+
+/// Figure 3: estimated workload runtimes of all layouts, plus Row/Column.
+pub fn fig3(cfg: &Config) -> Report {
+    let mut report = Report::new("fig3", "Estimated workload runtime for different algorithms");
+    let (b, runs, skipped) = suite(cfg);
+    for s in skipped {
+        report.note(s);
+    }
+    let m = paper_hdd();
+    let mut rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| vec![r.advisor.clone(), format!("{:.1}", r.total_cost(&b, &m))])
+        .collect();
+    rows.push(vec!["Column".into(), format!("{:.1}", column_cost(&b, &m))]);
+    rows.push(vec!["Row".into(), format!("{:.1}", row_cost(&b, &m))]);
+    report.push(ReportTable::new(
+        "Estimated workload runtime (s)",
+        &["Layout", "Est. runtime (s)"],
+        rows,
+    ));
+    report
+}
+
+/// Figure 4: fraction of data read that no query needed.
+pub fn fig4(cfg: &Config) -> Report {
+    let mut report = Report::new("fig4", "Fraction of unnecessary data read");
+    let (b, runs, _) = suite(cfg);
+    let volume_of = |run: &BenchmarkRun| -> f64 {
+        let (mut read, mut needed) = (0.0, 0.0);
+        for t in &run.tables {
+            let v = data_volume(&b.tables()[t.table_index], &t.layout, &t.workload);
+            read += v.read;
+            needed += v.needed;
+        }
+        if read <= 0.0 { 0.0 } else { ((read - needed) / read).max(0.0) }
+    };
+    let mut rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| vec![r.advisor.clone(), fmt_pct(volume_of(r))])
+        .collect();
+    // Row / Column baselines.
+    for (name, layout_of) in [
+        ("Column", true),
+        ("Row", false),
+    ] {
+        let (mut read, mut needed) = (0.0, 0.0);
+        for (idx, schema, w) in b.touched_tables() {
+            let layout = if layout_of {
+                slicer_model::Partitioning::column(schema)
+            } else {
+                slicer_model::Partitioning::row(schema)
+            };
+            let v = data_volume(&b.tables()[idx], &layout, &w);
+            read += v.read;
+            needed += v.needed;
+        }
+        rows.push(vec![name.into(), fmt_pct(((read - needed) / read).max(0.0))]);
+    }
+    report.push(ReportTable::new(
+        "Unnecessary data read",
+        &["Layout", "Unnecessary read"],
+        rows,
+    ));
+    report
+}
+
+/// Figure 5: average tuple-reconstruction joins per tuple and query,
+/// row-count-weighted across tables.
+pub fn fig5(cfg: &Config) -> Report {
+    let mut report = Report::new("fig5", "Average tuple reconstruction joins");
+    let (b, runs, _) = suite(cfg);
+    let joins_of = |run: &BenchmarkRun| -> f64 {
+        let mut weighted = 0.0;
+        let mut weight = 0.0;
+        for t in &run.tables {
+            let rows = b.tables()[t.table_index].row_count() as f64;
+            weighted += rows * avg_reconstruction_joins(&t.layout, &t.workload);
+            weight += rows;
+        }
+        weighted / weight.max(1.0)
+    };
+    let mut rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| vec![r.advisor.clone(), format!("{:.2}", joins_of(r))])
+        .collect();
+    for is_col in [true, false] {
+        let mut weighted = 0.0;
+        let mut weight = 0.0;
+        for (idx, schema, w) in b.touched_tables() {
+            let layout = if is_col {
+                slicer_model::Partitioning::column(schema)
+            } else {
+                slicer_model::Partitioning::row(schema)
+            };
+            let rows_n = b.tables()[idx].row_count() as f64;
+            weighted += rows_n * avg_reconstruction_joins(&layout, &w);
+            weight += rows_n;
+        }
+        rows.push(vec![
+            if is_col { "Column".into() } else { "Row".into() },
+            format!("{:.2}", weighted / weight),
+        ]);
+    }
+    report.push(ReportTable::new(
+        "Avg tuple-reconstruction joins per tuple",
+        &["Layout", "Avg joins"],
+        rows,
+    ));
+    report
+}
+
+/// Figure 6: distance from perfect materialized views.
+pub fn fig6(cfg: &Config) -> Report {
+    let mut report = Report::new("fig6", "Distance from perfect materialized views");
+    let (b, runs, _) = suite(cfg);
+    let m = paper_hdd();
+    let pmv = pmv_cost(&b, &m);
+    let mut rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            let d = (r.total_cost(&b, &m) - pmv) / pmv;
+            vec![r.advisor.clone(), fmt_pct(d)]
+        })
+        .collect();
+    rows.push(vec!["Column".into(), fmt_pct((column_cost(&b, &m) - pmv) / pmv)]);
+    rows.push(vec!["Row".into(), fmt_pct((row_cost(&b, &m) - pmv) / pmv)]);
+    report.push(ReportTable::new(
+        "Distance from PMV",
+        &["Layout", "Distance"],
+        rows,
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pct(s: &str) -> f64 {
+        s.trim_end_matches('%').parse::<f64>().unwrap()
+    }
+
+    #[test]
+    fn fig3_row_is_worst_and_heuristics_near_bruteforce() {
+        let r = fig3(&Config::quick());
+        let get = |name: &str| -> f64 {
+            r.tables[0]
+                .rows
+                .iter()
+                .find(|row| row[0] == name)
+                .unwrap()[1]
+                .parse()
+                .unwrap()
+        };
+        assert!(get("Row") > get("Column"), "row must beat nothing");
+        assert!(get("HillClimb") <= get("Row"));
+        let bf = get("BruteForce");
+        assert!(get("HillClimb") >= bf - 1e-6, "nothing beats brute force");
+        // Lesson 1: HillClimb within a hair of the optimum.
+        assert!(get("HillClimb") <= bf * 1.05, "HillClimb too far off optimal");
+    }
+
+    #[test]
+    fn fig4_row_reads_most_unnecessary_data() {
+        let r = fig4(&Config::quick());
+        let get = |name: &str| -> f64 {
+            pct(&r.tables[0].rows.iter().find(|row| row[0] == name).unwrap()[1])
+        };
+        assert_eq!(get("Column"), 0.0);
+        assert!(get("Row") > 50.0, "row: {}", get("Row"));
+        assert!(get("HillClimb") < get("Row"));
+    }
+
+    #[test]
+    fn fig5_column_has_most_joins_row_none() {
+        let r = fig5(&Config::quick());
+        let get = |name: &str| -> f64 {
+            r.tables[0].rows.iter().find(|row| row[0] == name).unwrap()[1]
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(get("Row"), 0.0);
+        assert!(get("Column") > 0.0);
+        assert!(get("HillClimb") <= get("Column"));
+    }
+
+    #[test]
+    fn fig6_everything_is_at_least_pmv() {
+        let r = fig6(&Config::quick());
+        for row in &r.tables[0].rows {
+            assert!(pct(&row[1]) >= -0.01, "{row:?} beats PMV");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Experiment outputs: serializable tables with text/markdown rendering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One rendered table of an experiment.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ReportTable {
+    /// Sub-title (e.g. "Fragility — buffer size").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (pre-formatted strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ReportTable {
+    /// Build from anything stringly.
+    pub fn new(
+        title: impl Into<String>,
+        headers: &[&str],
+        rows: Vec<Vec<String>>,
+    ) -> ReportTable {
+        let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+        for r in &rows {
+            assert_eq!(r.len(), headers.len(), "ragged row in table");
+        }
+        ReportTable { title: title.into(), headers, rows }
+    }
+
+    /// Render as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "**{}**\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for r in &self.rows {
+            let _ = writeln!(out, "| {} |", r.join(" | "));
+        }
+        out
+    }
+
+    /// Render as an aligned plain-text table.
+    pub fn to_text(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for c in 0..ncols {
+                widths[c] = widths[c].max(r[c].len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, s)| format!("{:<w$}", s, w = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(r));
+        }
+        out
+    }
+}
+
+/// A complete experiment report: paper artifact id, context, tables.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Report {
+    /// Paper artifact id, e.g. `"fig3"` or `"table5"`.
+    pub id: String,
+    /// Human title, e.g. "Figure 3: estimated workload runtimes".
+    pub title: String,
+    /// Free-form notes (parameters used, caveats).
+    pub notes: Vec<String>,
+    /// The tables.
+    pub tables: Vec<ReportTable>,
+}
+
+impl Report {
+    /// Start an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Report {
+        Report { id: id.into(), title: title.into(), notes: Vec::new(), tables: Vec::new() }
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Append a table.
+    pub fn push(&mut self, t: ReportTable) -> &mut Self {
+        self.tables.push(t);
+        self
+    }
+
+    /// Render the whole report as plain text.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("### {} — {}\n", self.id, self.title);
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        for t in &self.tables {
+            let _ = writeln!(out, "\n{}", t.to_text());
+        }
+        out
+    }
+
+    /// Render the whole report as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        for n in &self.notes {
+            let _ = writeln!(out, "> {n}");
+        }
+        for t in &self.tables {
+            let _ = writeln!(out, "\n{}", t.to_markdown());
+        }
+        out
+    }
+}
+
+/// Format seconds adaptively (µs/ms/s) for timing tables.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+/// Format a fraction as a signed percentage, paper-style (`3.71%`,
+/// `-21.47%`).
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.2}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_text_render() {
+        let t = ReportTable::new(
+            "demo",
+            &["a", "b"],
+            vec![vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |") && md.contains("| 333 | 4 |"));
+        let txt = t.to_text();
+        assert!(txt.contains("demo"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        ReportTable::new("x", &["a", "b"], vec![vec!["1".into()]]);
+    }
+
+    #[test]
+    fn report_roundtrips_serde() {
+        let mut r = Report::new("fig1", "Optimization time");
+        r.note("quick mode");
+        r.push(ReportTable::new("t", &["x"], vec![vec!["1".into()]]));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(0.0000005), "0.5 µs");
+        assert_eq!(fmt_secs(0.5), "500.00 ms");
+        assert_eq!(fmt_secs(12.0), "12.00 s");
+        assert_eq!(fmt_pct(0.0371), "3.71%");
+        assert_eq!(fmt_pct(-0.2147), "-21.47%");
+    }
+}

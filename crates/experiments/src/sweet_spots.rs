@@ -1,0 +1,224 @@
+//! Figures 9, 12 and 13: where vertical partitioning makes sense —
+//! re-optimize for each parameter value and compare against Column.
+
+use crate::common::Config;
+use crate::report::{Report, ReportTable};
+use slicer_core::{HillClimb, Navathe};
+use slicer_cost::{DiskParams, HddCostModel, KB, MB};
+use slicer_metrics::{column_cost, pmv_cost, row_cost, run_advisor};
+
+/// Buffer sizes for the Figure 9/13 sweep, in MB (log scale 0.01–10000).
+pub fn buffer_sweep_mb(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.01, 0.1, 1.0, 10.0, 100.0, 1000.0]
+    } else {
+        vec![0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0, 10000.0]
+    }
+}
+
+/// Figure 9: estimated workload runtime normalized by Column, re-optimizing
+/// HillClimb and Navathe for each buffer size; PMV as the lower envelope.
+pub fn fig9(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "fig9",
+        "Estimated workload runtime compared to Column when re-optimizing for each buffer size",
+    );
+    let b = cfg.tpch();
+    let mut rows = Vec::new();
+    for mb in buffer_sweep_mb(cfg.quick) {
+        let m = HddCostModel::new(
+            DiskParams::paper_testbed().with_buffer_size((mb * MB as f64).max(1.0) as u64),
+        );
+        let col = column_cost(&b, &m);
+        let hc = run_advisor(&HillClimb::new(), &b, &m).expect("hillclimb").total_cost(&b, &m);
+        let nv = run_advisor(&Navathe::new(), &b, &m).expect("navathe").total_cost(&b, &m);
+        let pmv = pmv_cost(&b, &m);
+        rows.push(vec![
+            format!("{mb}"),
+            format!("{:.1}", 100.0 * hc / col),
+            format!("{:.1}", 100.0 * nv / col),
+            format!("{:.1}", 100.0 * pmv / col),
+            "100.0".to_string(),
+        ]);
+    }
+    report.note("cells are % of Column's estimated runtime (lower is better; 100 = Column)");
+    report.push(ReportTable::new(
+        "Normalized estimated costs vs buffer size (MB)",
+        &["Buffer (MB)", "HillClimb", "Navathe", "Materialized views", "Column"],
+        rows,
+    ));
+    report
+}
+
+/// Figure 12: estimated workload runtime (absolute seconds) re-optimizing
+/// for each block size / disk bandwidth / seek time.
+pub fn fig12(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "fig12",
+        "Estimated workload runtime when re-optimizing for each block size, bandwidth, seek time",
+    );
+    let b = cfg.tpch();
+    let runtime_row = |label: String, m: &HddCostModel| -> Vec<String> {
+        let hc = run_advisor(&HillClimb::new(), &b, m).expect("hillclimb").total_cost(&b, m);
+        let nv = run_advisor(&Navathe::new(), &b, m).expect("navathe").total_cost(&b, m);
+        vec![
+            label,
+            format!("{hc:.1}"),
+            format!("{nv:.1}"),
+            format!("{:.1}", pmv_cost(&b, m)),
+            format!("{:.1}", column_cost(&b, m)),
+            format!("{:.1}", row_cost(&b, m)),
+        ]
+    };
+    const HEADERS: [&str; 6] =
+        ["Setting", "HillClimb", "Navathe", "Query-optimal", "Column", "Row"];
+
+    let blocks: &[u64] = if cfg.quick {
+        &[2 * KB, 8 * KB, 128 * KB]
+    } else {
+        &[2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB]
+    };
+    let rows = blocks
+        .iter()
+        .map(|bs| {
+            runtime_row(
+                format!("{} KB", bs / KB),
+                &HddCostModel::new(DiskParams::paper_testbed().with_block_size(*bs)),
+            )
+        })
+        .collect();
+    report.push(ReportTable::new("(a) Changing block size — runtime (s)", &HEADERS, rows));
+
+    let bws: &[f64] =
+        if cfg.quick { &[70.0, 130.0, 190.0] } else { &[70.0, 90.0, 110.0, 130.0, 150.0, 170.0, 190.0] };
+    let rows = bws
+        .iter()
+        .map(|bw| {
+            runtime_row(
+                format!("{bw} MB/s"),
+                &HddCostModel::new(
+                    DiskParams::paper_testbed().with_read_bandwidth(bw * MB as f64),
+                ),
+            )
+        })
+        .collect();
+    report.push(ReportTable::new("(b) Changing disk bandwidth — runtime (s)", &HEADERS, rows));
+
+    let seeks: &[f64] =
+        if cfg.quick { &[1.0, 4.0, 7.0] } else { &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0] };
+    let rows = seeks
+        .iter()
+        .map(|ms| {
+            runtime_row(
+                format!("{ms} ms"),
+                &HddCostModel::new(DiskParams::paper_testbed().with_seek_time(ms * 1e-3)),
+            )
+        })
+        .collect();
+    report.push(ReportTable::new("(c) Changing seek time — runtime (s)", &HEADERS, rows));
+    report
+}
+
+/// Figure 13: the buffer sweep repeated at several dataset scales,
+/// normalized by Column (sub-figure (a) HillClimb, (b) Navathe).
+pub fn fig13(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "fig13",
+        "Sweet spots for vertical partitioning — re-optimizing per buffer size and dataset size",
+    );
+    let sfs: &[f64] = if cfg.quick { &[0.1, 1.0] } else { &[0.1, 1.0, 10.0, 100.0, 1000.0] };
+    let buffers = buffer_sweep_mb(cfg.quick);
+    for (name, is_hillclimb) in [("HillClimb", true), ("Navathe", false)] {
+        let mut headers = vec!["Buffer (MB)".to_string()];
+        headers.extend(sfs.iter().map(|sf| format!("SF {sf}")));
+        let mut rows = Vec::new();
+        for mb in &buffers {
+            let mut row = vec![format!("{mb}")];
+            for sf in sfs {
+                let b = slicer_workloads::tpch::benchmark(*sf);
+                let b = if cfg.quick { b.prefix(6) } else { b };
+                let m = HddCostModel::new(
+                    DiskParams::paper_testbed()
+                        .with_buffer_size((mb * MB as f64).max(1.0) as u64),
+                );
+                let cost = if is_hillclimb {
+                    run_advisor(&HillClimb::new(), &b, &m).expect("ok").total_cost(&b, &m)
+                } else {
+                    run_advisor(&Navathe::new(), &b, &m).expect("ok").total_cost(&b, &m)
+                };
+                row.push(format!("{:.1}", 100.0 * cost / column_cost(&b, &m)));
+            }
+            rows.push(row);
+        }
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        report.push(ReportTable::new(
+            format!("({}) Scaling dataset with {name} — % of Column", if is_hillclimb { "a" } else { "b" }),
+            &headers_ref,
+            rows,
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(r: &Report, table: usize, row: usize, col: usize) -> f64 {
+        r.tables[table].rows[row][col].parse().unwrap()
+    }
+
+    #[test]
+    fn fig9_hillclimb_never_above_column() {
+        let r = fig9(&Config::quick());
+        for (i, row) in r.tables[0].rows.iter().enumerate() {
+            let hc: f64 = row[1].parse().unwrap();
+            assert!(hc <= 100.0 + 0.5, "buffer {} → {hc}%", row[0]);
+            let _ = i;
+        }
+    }
+
+    #[test]
+    fn fig9_pmv_beats_column_somewhere_and_ties_somewhere() {
+        // PMV wins through the mid-range of buffer sizes; at ≤ 1-block
+        // buffers every partition refills per block so layouts tie, and at
+        // huge buffers seeks vanish so scans tie too.
+        let r = fig9(&Config::quick());
+        let pmvs: Vec<f64> = (0..r.tables[0].rows.len()).map(|i| cell(&r, 0, i, 3)).collect();
+        let min = pmvs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = pmvs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min < 95.0, "PMV should beat Column somewhere: {pmvs:?}");
+        assert!(max > 90.0, "PMV should approach Column somewhere: {pmvs:?}");
+    }
+
+    #[test]
+    fn fig9_hillclimb_pays_somewhere_never_loses() {
+        // Lesson 2's mechanism: vertical partitioning pays off only in a
+        // bounded buffer range. (The strict "converges to exactly 100% at
+        // huge buffers" holds for scan-dominated tables; the tiny TPC-H
+        // dimension tables remain seek-dominated at any buffer, which keeps
+        // the quick-mode aggregate slightly below 100.)
+        let r = fig9(&Config::quick());
+        let hcs: Vec<f64> = (0..r.tables[0].rows.len()).map(|i| cell(&r, 0, i, 1)).collect();
+        assert!(hcs.iter().cloned().fold(f64::INFINITY, f64::min) < 100.0, "{hcs:?}");
+        assert!(hcs.iter().all(|&h| h <= 100.5), "{hcs:?}");
+    }
+
+    #[test]
+    fn fig12_faster_disk_lowers_everything() {
+        let r = fig12(&Config::quick());
+        let bw = &r.tables[1];
+        for c in 1..=5 {
+            let slow: f64 = bw.rows[0][c].parse().unwrap();
+            let fast: f64 = bw.rows[2][c].parse().unwrap();
+            assert!(fast < slow, "column {c}: {fast} !< {slow}");
+        }
+    }
+
+    #[test]
+    fn fig13_has_two_panels_with_all_sfs() {
+        let r = fig13(&Config::quick());
+        assert_eq!(r.tables.len(), 2);
+        assert_eq!(r.tables[0].headers.len(), 3); // buffer + 2 SFs in quick
+    }
+}

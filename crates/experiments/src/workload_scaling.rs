@@ -1,0 +1,178 @@
+//! Figure 7 and Tables 3–4: quality as the workload grows query by query.
+
+use crate::common::{paper_hdd, Config};
+use crate::report::{fmt_pct, Report, ReportTable};
+use slicer_core::{Advisor, HillClimb, Navathe, PartitionRequest};
+use slicer_cost::CostModel;
+use slicer_metrics::{column_cost, data_volume, run_advisor};
+use slicer_model::Partitioning;
+
+/// Figure 7: improvement over Column when re-optimizing for the first k
+/// queries, for HillClimb and Navathe (the two representatives of the
+/// bottom-up and top-down classes).
+pub fn fig7(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "fig7",
+        "Estimated workload runtime improvement over Column when re-optimizing for the first k queries",
+    );
+    let m = paper_hdd();
+    let full = slicer_workloads::tpch::benchmark(cfg.sf);
+    let max_k = if cfg.quick { 6 } else { full.queries().len() };
+    let mut rows = Vec::new();
+    for k in 1..=max_k {
+        let b = full.prefix(k);
+        let col = column_cost(&b, &m);
+        let hc = run_advisor(&HillClimb::new(), &b, &m)
+            .expect("hillclimb never fails")
+            .total_cost(&b, &m);
+        let nv = run_advisor(&Navathe::new(), &b, &m)
+            .expect("navathe never fails")
+            .total_cost(&b, &m);
+        rows.push(vec![
+            k.to_string(),
+            fmt_pct((col - hc) / col),
+            fmt_pct((col - nv) / col),
+        ]);
+    }
+    report.push(ReportTable::new(
+        "Improvement over Column",
+        &["k", "HillClimb", "Navathe"],
+        rows,
+    ));
+    report
+}
+
+/// Table 3: percentage of unnecessary data read over the Lineitem table
+/// for the first k = 1..6 queries (HillClimb vs Navathe).
+pub fn table3(cfg: &Config) -> Report {
+    let mut report =
+        Report::new("table3", "Unnecessary data reads over Lineitem for the first k queries");
+    let m = paper_hdd();
+    let full = slicer_workloads::tpch::benchmark(cfg.sf);
+    let li = full.table_index("Lineitem").expect("lineitem exists");
+    let schema = &full.tables()[li];
+    let mut hc_row = vec!["HillClimb".to_string()];
+    let mut nv_row = vec!["Navathe".to_string()];
+    for k in 1..=6 {
+        let w = full.prefix(k).table_workload(li);
+        for (advisor, row) in [
+            (&HillClimb::new() as &dyn Advisor, &mut hc_row),
+            (&Navathe::new() as &dyn Advisor, &mut nv_row),
+        ] {
+            let layout = advisor
+                .partition(&PartitionRequest::new(schema, &w, &m))
+                .expect("partitioning succeeds");
+            let v = data_volume(schema, &layout, &w);
+            row.push(fmt_pct(v.unnecessary_fraction()));
+        }
+    }
+    report.push(ReportTable::new(
+        "Unnecessary reads (Lineitem)",
+        &["Algorithm", "k=1", "k=2", "k=3", "k=4", "k=5", "k=6"],
+        vec![hc_row, nv_row],
+    ));
+    report
+}
+
+/// Table 4: average tuple-reconstruction joins per Lineitem row for the
+/// first k = 1..6 queries (HillClimb vs Column).
+pub fn table4(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "table4",
+        "Average tuple-reconstruction joins per row of Lineitem for the first k queries",
+    );
+    let m = paper_hdd();
+    let full = slicer_workloads::tpch::benchmark(cfg.sf);
+    let li = full.table_index("Lineitem").expect("lineitem exists");
+    let schema = &full.tables()[li];
+    let mut hc_row = vec!["HillClimb".to_string()];
+    let mut col_row = vec!["Column".to_string()];
+    for k in 1..=6 {
+        let w = full.prefix(k).table_workload(li);
+        let layout = HillClimb::new()
+            .partition(&PartitionRequest::new(schema, &w, &m))
+            .expect("partitioning succeeds");
+        hc_row.push(format!(
+            "{:.2}",
+            slicer_metrics::avg_reconstruction_joins(&layout, &w)
+        ));
+        col_row.push(format!(
+            "{:.2}",
+            slicer_metrics::avg_reconstruction_joins(&Partitioning::column(schema), &w)
+        ));
+    }
+    report.push(ReportTable::new(
+        "Avg tuple-reconstruction joins per row (Lineitem)",
+        &["Layout", "k=1", "k=2", "k=3", "k=4", "k=5", "k=6"],
+        vec![hc_row, col_row],
+    ));
+    report
+}
+
+/// Convenience: verify HillClimb never loses to Column on any prefix —
+/// the structural half of Figure 7's finding (Navathe *does* go negative).
+pub fn hillclimb_dominates_column(cfg: &Config, cost_model: &dyn CostModel) -> bool {
+    let full = slicer_workloads::tpch::benchmark(cfg.sf);
+    let max_k = if cfg.quick { 6 } else { full.queries().len() };
+    (1..=max_k).all(|k| {
+        let b = full.prefix(k);
+        let hc = run_advisor(&HillClimb::new(), &b, cost_model)
+            .expect("hillclimb never fails")
+            .total_cost(&b, cost_model);
+        hc <= column_cost(&b, cost_model) * (1.0 + 1e-9)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pct(s: &str) -> f64 {
+        s.trim_end_matches('%').parse::<f64>().unwrap()
+    }
+
+    #[test]
+    fn fig7_hillclimb_never_negative() {
+        let r = fig7(&Config::quick());
+        for row in &r.tables[0].rows {
+            assert!(pct(&row[1]) >= -0.01, "HillClimb below Column at k={}", row[0]);
+        }
+    }
+
+    #[test]
+    fn fig7_improvement_shrinks_with_workload_size() {
+        // More queries → more fragmented access → smaller improvement.
+        let r = fig7(&Config::quick());
+        let first = pct(&r.tables[0].rows[0][1]);
+        let last = pct(&r.tables[0].rows.last().unwrap()[1]);
+        assert!(first >= last - 1.0, "k=1 {first}% vs k=max {last}%");
+    }
+
+    #[test]
+    fn table3_hillclimb_reads_nothing_unnecessary_for_small_k() {
+        let r = table3(&Config::quick());
+        let hc = &r.tables[0].rows[0];
+        // Paper Table 3: HillClimb 0% for k=1..6.
+        for cell in &hc[1..] {
+            assert!(pct(cell) < 5.0, "HillClimb unnecessary read {cell}");
+        }
+    }
+
+    #[test]
+    fn table4_column_joins_dominate_hillclimb() {
+        let r = table4(&Config::quick());
+        let hc: Vec<f64> = r.tables[0].rows[0][1..].iter().map(|s| s.parse().unwrap()).collect();
+        let col: Vec<f64> = r.tables[0].rows[1][1..].iter().map(|s| s.parse().unwrap()).collect();
+        for (h, c) in hc.iter().zip(&col) {
+            assert!(h <= c, "HillClimb joins {h} > Column joins {c}");
+        }
+        // Paper Table 4, k=1: HillClimb 0.00, Column 6.00.
+        assert_eq!(hc[0], 0.0);
+        assert!(col[0] >= 3.0);
+    }
+
+    #[test]
+    fn hillclimb_dominates_column_property() {
+        assert!(hillclimb_dominates_column(&Config::quick(), &paper_hdd()));
+    }
+}

@@ -1,0 +1,98 @@
+//! "How fragile?" and "where does it make sense?" — parameter-drift
+//! metrics (paper Sections 5, 6.3, 6.4).
+//!
+//! Fragility: optimize a layout under one set of hardware parameters, then
+//! evaluate it under another — the relative cost change tells whether the
+//! layout must be recomputed when hardware changes (Figures 8 and 11).
+//!
+//! Sweet spots: re-optimize for each parameter value and compare against
+//! Column — where re-optimized vertical partitioning still wins is where
+//! it "makes sense" (Figures 9, 12, 13).
+
+use crate::runner::BenchmarkRun;
+use slicer_cost::CostModel;
+use slicer_workloads::Benchmark;
+
+/// Relative workload-cost change when a layout optimized under the old
+/// parameters is evaluated under new ones (paper's fragility definition):
+/// `(cost_new − cost_old) / cost_old`. Positive = slower under the new
+/// setting; `0.5` = +50 %, `24.0` = the paper's "up to 24 times".
+pub fn fragility(
+    run: &BenchmarkRun,
+    benchmark: &Benchmark,
+    old_model: &dyn CostModel,
+    new_model: &dyn CostModel,
+) -> f64 {
+    let old = run.total_cost(benchmark, old_model);
+    let new = run.total_cost(benchmark, new_model);
+    if old <= 0.0 {
+        0.0
+    } else {
+        (new - old) / old
+    }
+}
+
+/// Cost of `run`'s layouts normalized by the column layout under the same
+/// model (Figure 9's y-axis): 1.0 = exactly Column, < 1 = better.
+pub fn normalized_vs_column(
+    run: &BenchmarkRun,
+    benchmark: &Benchmark,
+    model: &dyn CostModel,
+) -> f64 {
+    let col = crate::runner::column_cost(benchmark, model);
+    if col <= 0.0 {
+        return 1.0;
+    }
+    run.total_cost(benchmark, model) / col
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_advisor;
+    use slicer_core::{HillClimb, RowLayout};
+    use slicer_cost::{DiskParams, HddCostModel, KB, MB};
+    use slicer_workloads::tpch;
+
+    #[test]
+    fn shrinking_buffer_hurts_more_than_growing() {
+        let b = tpch::benchmark(0.01);
+        let base = HddCostModel::paper_testbed();
+        let run = run_advisor(&HillClimb::new(), &b, &base).unwrap();
+        let tiny = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(80 * KB));
+        let huge =
+            HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(800 * MB));
+        let f_tiny = fragility(&run, &b, &base, &tiny);
+        let f_huge = fragility(&run, &b, &base, &huge);
+        assert!(f_tiny > 0.0, "smaller buffer must cost more: {f_tiny}");
+        assert!(f_huge <= 0.0, "bigger buffer must not cost more: {f_huge}");
+        assert!(f_tiny > f_huge);
+    }
+
+    #[test]
+    fn identical_models_have_zero_fragility() {
+        let b = tpch::benchmark(0.01);
+        let m = HddCostModel::paper_testbed();
+        let run = run_advisor(&RowLayout, &b, &m).unwrap();
+        assert_eq!(fragility(&run, &b, &m, &m), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_change_scales_scan_costs() {
+        let b = tpch::benchmark(0.01);
+        let base = HddCostModel::paper_testbed();
+        let run = run_advisor(&RowLayout, &b, &base).unwrap();
+        let slower = HddCostModel::new(
+            DiskParams::paper_testbed().with_read_bandwidth(60.0 * MB as f64),
+        );
+        assert!(fragility(&run, &b, &base, &slower) > 0.0);
+    }
+
+    #[test]
+    fn normalized_column_is_one_for_column_itself() {
+        let b = tpch::benchmark(0.01);
+        let m = HddCostModel::paper_testbed();
+        let run = run_advisor(&slicer_core::ColumnLayout, &b, &m).unwrap();
+        assert!((normalized_vs_column(&run, &b, &m) - 1.0).abs() < 1e-12);
+    }
+}

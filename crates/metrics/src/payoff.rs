@@ -1,0 +1,106 @@
+//! Pay-off: when does the invested time amortize? (paper Appendix A.1,
+//! Figure 10).
+//!
+//! Computing and materializing a layout costs `optimization time +
+//! creation time`; each workload execution then saves `baseline cost −
+//! layout cost`. The pay-off is their ratio — the number of workload
+//! executions (or the fraction of one) after which the investment is
+//! repaid. Negative pay-off means the layout never pays off against that
+//! baseline (Navathe/O2P versus Column in Figure 10(b)).
+
+use crate::runner::BenchmarkRun;
+use slicer_cost::{CostModel, HddCostModel};
+use slicer_workloads::Benchmark;
+
+/// Pay-off analysis of one advisor's layouts against one baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Payoff {
+    /// Seconds spent optimizing (measured).
+    pub optimization_time: f64,
+    /// Seconds spent materializing the layouts (estimated via the disk
+    /// model).
+    pub creation_time: f64,
+    /// Cost saving per workload execution versus the baseline (may be
+    /// negative).
+    pub saving_per_execution: f64,
+}
+
+impl Payoff {
+    /// Workload executions needed to amortize the investment:
+    /// `(opt + creation) / saving`. `None` when the layout never pays off
+    /// (zero or negative saving).
+    pub fn executions_to_pay_off(&self) -> Option<f64> {
+        if self.saving_per_execution <= 0.0 {
+            None
+        } else {
+            Some((self.optimization_time + self.creation_time) / self.saving_per_execution)
+        }
+    }
+
+    /// The same, as a percentage of one workload execution (paper
+    /// Figure 10(a): "pays off after ~25 % of the TPC-H workload").
+    pub fn pct_of_workload(&self) -> Option<f64> {
+        self.executions_to_pay_off().map(|x| x * 100.0)
+    }
+}
+
+/// Pay-off of `run` against an arbitrary baseline cost (row or column).
+pub fn payoff_against(
+    run: &BenchmarkRun,
+    benchmark: &Benchmark,
+    eval_model: &dyn CostModel,
+    disk_model: &HddCostModel,
+    baseline_cost: f64,
+) -> Payoff {
+    let layout_cost = run.total_cost(benchmark, eval_model);
+    Payoff {
+        optimization_time: run.total_opt_time().as_secs_f64(),
+        creation_time: run.total_creation_time(benchmark, disk_model),
+        saving_per_execution: baseline_cost - layout_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{column_cost, row_cost, run_advisor};
+    use slicer_core::HillClimb;
+    use slicer_workloads::tpch;
+
+    #[test]
+    fn pays_off_against_row_quickly() {
+        let b = tpch::benchmark(0.05);
+        let m = HddCostModel::paper_testbed();
+        let run = run_advisor(&HillClimb::new(), &b, &m).unwrap();
+        let p = payoff_against(&run, &b, &m, &m, row_cost(&b, &m));
+        let pct = p.pct_of_workload().expect("must pay off against row");
+        // The paper reports ≈ 25 % for TPC-H SF 10 on 2013 hardware and a
+        // Java optimizer; the Rust optimizer is far faster, so the pay-off
+        // must come at most within a handful of workload executions.
+        assert!(pct > 0.0 && pct < 2000.0, "pay-off {pct}%");
+    }
+
+    #[test]
+    fn never_pays_off_when_saving_is_negative() {
+        let p = Payoff {
+            optimization_time: 1.0,
+            creation_time: 10.0,
+            saving_per_execution: -5.0,
+        };
+        assert_eq!(p.executions_to_pay_off(), None);
+        assert_eq!(p.pct_of_workload(), None);
+    }
+
+    #[test]
+    fn payoff_fields_are_consistent() {
+        let b = tpch::benchmark(0.05);
+        let m = HddCostModel::paper_testbed();
+        let run = run_advisor(&HillClimb::new(), &b, &m).unwrap();
+        let base = column_cost(&b, &m);
+        let p = payoff_against(&run, &b, &m, &m, base);
+        assert!(p.creation_time > 0.0);
+        assert!(p.optimization_time >= 0.0);
+        let direct = base - run.total_cost(&b, &m);
+        assert!((p.saving_per_execution - direct).abs() < 1e-9);
+    }
+}

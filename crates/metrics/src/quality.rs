@@ -1,0 +1,205 @@
+//! "How good?" — workload cost derivatives (paper Sections 5–6.2).
+//!
+//! Three diagnostics explain *why* a layout is good or bad:
+//! unnecessary-data fraction (drives improvement over Row, Figure 4),
+//! tuple-reconstruction joins (drive the gap to Column, Figure 5), and
+//! distance from perfect materialized views (Figure 6).
+
+use slicer_cost::CostModel;
+use slicer_core::PerfectMaterializedViews;
+use slicer_model::{Partitioning, TableSchema, Workload};
+
+/// Logical bytes a workload reads under `layout` (full referenced
+/// partitions) versus the bytes its queries actually need.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataVolume {
+    /// Bytes read: Σ over queries and referenced partitions of
+    /// `rows × partition row size`, weighted by query weight.
+    pub read: f64,
+    /// Bytes needed: Σ over queries of `rows × referenced attribute bytes`.
+    pub needed: f64,
+}
+
+impl DataVolume {
+    /// Unnecessary fraction of the data read (paper Figure 4):
+    /// `(read − needed) / read`, in `[0, 1]`; 0 for an empty workload.
+    pub fn unnecessary_fraction(&self) -> f64 {
+        if self.read <= 0.0 {
+            0.0
+        } else {
+            ((self.read - self.needed) / self.read).max(0.0)
+        }
+    }
+}
+
+/// Measure read/needed volumes for one table.
+pub fn data_volume(schema: &TableSchema, layout: &Partitioning, workload: &Workload) -> DataVolume {
+    let rows = schema.row_count() as f64;
+    let mut read = 0.0;
+    let mut needed = 0.0;
+    for q in workload.queries() {
+        let read_bytes: u64 = layout
+            .referenced_partitions(q.referenced)
+            .map(|p| schema.set_size(*p))
+            .sum();
+        read += q.weight * rows * read_bytes as f64;
+        needed += q.weight * rows * schema.set_size(q.referenced) as f64;
+    }
+    DataVolume { read, needed }
+}
+
+/// Average tuple-reconstruction joins per tuple and query (Figure 5):
+/// each query performs `referenced partitions − 1` joins per tuple;
+/// averaged over queries, weighted by query weight.
+pub fn avg_reconstruction_joins(layout: &Partitioning, workload: &Workload) -> f64 {
+    let total_w = workload.total_weight();
+    if total_w == 0.0 {
+        return 0.0;
+    }
+    workload
+        .queries()
+        .iter()
+        .map(|q| q.weight * layout.reconstruction_joins(q.referenced) as f64)
+        .sum::<f64>()
+        / total_w
+}
+
+/// Relative distance of `layout`'s cost from the perfect-materialized-views
+/// lower bound (Figure 6), as a fraction (0.18 = "18 % off from PMV").
+pub fn pmv_distance(
+    schema: &TableSchema,
+    layout: &Partitioning,
+    workload: &Workload,
+    cost_model: &dyn CostModel,
+) -> f64 {
+    let pmv = PerfectMaterializedViews::workload_cost(schema, workload, cost_model);
+    if pmv <= 0.0 {
+        return 0.0;
+    }
+    let c = cost_model.workload_cost(schema, layout, workload);
+    (c - pmv) / pmv
+}
+
+/// Improvement of `cost` over `baseline` as a fraction (0.8 = 80 % better);
+/// negative when `cost` is worse than the baseline (paper Figure 7,
+/// Table 5/6).
+pub fn improvement_over(baseline: f64, cost: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        (baseline - cost) / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicer_cost::HddCostModel;
+    use slicer_model::{AttrKind, Query};
+
+    fn fixture() -> (TableSchema, Workload) {
+        let t = TableSchema::builder("T", 1000)
+            .attr("A", 4, AttrKind::Int)
+            .attr("B", 4, AttrKind::Int)
+            .attr("C", 92, AttrKind::Text)
+            .build()
+            .unwrap();
+        let w = Workload::with_queries(
+            &t,
+            vec![Query::new("q", t.attr_set(&["A"]).unwrap())],
+        )
+        .unwrap();
+        (t, w)
+    }
+
+    #[test]
+    fn row_layout_reads_mostly_unnecessary_data() {
+        let (t, w) = fixture();
+        let v = data_volume(&t, &Partitioning::row(&t), &w);
+        // reads 100 B/row, needs 4 B/row → 96% unnecessary.
+        assert!((v.unnecessary_fraction() - 0.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_layout_reads_nothing_unnecessary() {
+        let (t, w) = fixture();
+        let v = data_volume(&t, &Partitioning::column(&t), &w);
+        assert_eq!(v.unnecessary_fraction(), 0.0);
+        assert_eq!(v.read, v.needed);
+    }
+
+    #[test]
+    fn joins_count_referenced_partitions_minus_one() {
+        let (t, _) = fixture();
+        let w = Workload::with_queries(
+            &t,
+            vec![
+                Query::new("q1", t.attr_set(&["A", "B", "C"]).unwrap()),
+                Query::new("q2", t.attr_set(&["A"]).unwrap()),
+            ],
+        )
+        .unwrap();
+        let col = Partitioning::column(&t);
+        // q1: 3 partitions → 2 joins; q2: 1 → 0. Mean = 1.
+        assert_eq!(avg_reconstruction_joins(&col, &w), 1.0);
+        let row = Partitioning::row(&t);
+        assert_eq!(avg_reconstruction_joins(&row, &w), 0.0);
+    }
+
+    #[test]
+    fn joins_respect_weights() {
+        let (t, _) = fixture();
+        let w = Workload::with_queries(
+            &t,
+            vec![
+                Query::weighted("q1", t.attr_set(&["A", "B"]).unwrap(), 3.0),
+                Query::weighted("q2", t.attr_set(&["A"]).unwrap(), 1.0),
+            ],
+        )
+        .unwrap();
+        let col = Partitioning::column(&t);
+        // (3×1 + 1×0) / 4 = 0.75.
+        assert_eq!(avg_reconstruction_joins(&col, &w), 0.75);
+    }
+
+    #[test]
+    fn pmv_distance_zero_for_exact_views() {
+        let (t, w) = fixture();
+        let m = HddCostModel::paper_testbed();
+        // A layout where q's referenced set is exactly one partition.
+        let p = Partitioning::new(
+            &t,
+            vec![t.attr_set(&["A"]).unwrap(), t.attr_set(&["B", "C"]).unwrap()],
+        )
+        .unwrap();
+        let d = pmv_distance(&t, &p, &w, &m);
+        assert!(d.abs() < 1e-12, "distance {d}");
+    }
+
+    #[test]
+    fn pmv_distance_large_for_row_when_scans_dominate() {
+        // Needs a table large enough that scan cost dwarfs the single seek;
+        // then row (100 B/row) vs PMV (4 B/row) is ≈ 25× = 2400 % off.
+        let (t, w) = fixture();
+        let t = t.with_row_count(10_000_000);
+        let m = HddCostModel::paper_testbed();
+        let d = pmv_distance(&t, &Partitioning::row(&t), &w, &m);
+        assert!(d > 10.0, "distance {d}");
+    }
+
+    #[test]
+    fn improvement_math() {
+        assert_eq!(improvement_over(100.0, 20.0), 0.8);
+        assert_eq!(improvement_over(100.0, 125.0), -0.25);
+        assert_eq!(improvement_over(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn empty_workload_is_all_zero() {
+        let (t, _) = fixture();
+        let w = Workload::new();
+        let v = data_volume(&t, &Partitioning::row(&t), &w);
+        assert_eq!(v.unnecessary_fraction(), 0.0);
+        assert_eq!(avg_reconstruction_joins(&Partitioning::row(&t), &w), 0.0);
+    }
+}

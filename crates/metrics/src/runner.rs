@@ -1,0 +1,187 @@
+//! "How fast?" — measured optimization runs over whole benchmarks.
+//!
+//! The paper reports per-algorithm optimization times over all TPC-H tables
+//! (Figure 1) and their scaling with workload size (Figure 2). This module
+//! times [`Advisor::partition`] per table with a monotonic clock and
+//! aggregates layouts and timings into a [`BenchmarkRun`].
+
+use slicer_core::{Advisor, PartitionRequest};
+use slicer_cost::{CostModel, HddCostModel};
+use slicer_model::{ModelError, Partitioning, Workload};
+use slicer_workloads::Benchmark;
+use std::time::{Duration, Instant};
+
+/// The outcome of one advisor over one table.
+#[derive(Debug, Clone)]
+pub struct TableRun {
+    /// Index of the table in the benchmark.
+    pub table_index: usize,
+    /// Table name.
+    pub table: String,
+    /// The computed layout.
+    pub layout: Partitioning,
+    /// Wall-clock time `partition()` took.
+    pub opt_time: Duration,
+    /// The per-table workload the layout was computed for.
+    pub workload: Workload,
+}
+
+/// The outcome of one advisor over every (touched) table of a benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkRun {
+    /// Advisor display name.
+    pub advisor: String,
+    /// Per-table results, in benchmark table order.
+    pub tables: Vec<TableRun>,
+}
+
+impl BenchmarkRun {
+    /// Total optimization time across tables.
+    pub fn total_opt_time(&self) -> Duration {
+        self.tables.iter().map(|t| t.opt_time).sum()
+    }
+
+    /// Estimated workload cost summed over tables, under `cost_model`
+    /// (which may differ from the one used during optimization — that is
+    /// precisely the fragility experiment).
+    pub fn total_cost(&self, benchmark: &Benchmark, cost_model: &dyn CostModel) -> f64 {
+        self.tables
+            .iter()
+            .map(|t| {
+                cost_model.workload_cost(
+                    &benchmark.tables()[t.table_index],
+                    &t.layout,
+                    &t.workload,
+                )
+            })
+            .sum()
+    }
+
+    /// Time to materialize all layouts from row-layout tables (Figure 10's
+    /// "creation time"); HDD-model specific.
+    pub fn total_creation_time(&self, benchmark: &Benchmark, model: &HddCostModel) -> f64 {
+        self.tables
+            .iter()
+            .map(|t| model.layout_creation_time(&benchmark.tables()[t.table_index], &t.layout))
+            .sum()
+    }
+
+    /// The layout computed for the table named `name`, if any.
+    pub fn layout_for(&self, name: &str) -> Option<&Partitioning> {
+        self.tables.iter().find(|t| t.table == name).map(|t| &t.layout)
+    }
+}
+
+/// Run one advisor over every touched table of `benchmark`, timing each
+/// `partition()` call.
+pub fn run_advisor(
+    advisor: &dyn Advisor,
+    benchmark: &Benchmark,
+    cost_model: &dyn CostModel,
+) -> Result<BenchmarkRun, ModelError> {
+    let mut tables = Vec::new();
+    for (idx, schema, workload) in benchmark.touched_tables() {
+        let req = PartitionRequest::new(schema, &workload, cost_model);
+        let start = Instant::now();
+        let layout = advisor.partition(&req)?;
+        let opt_time = start.elapsed();
+        tables.push(TableRun {
+            table_index: idx,
+            table: schema.name().to_string(),
+            layout,
+            opt_time,
+            workload,
+        });
+    }
+    Ok(BenchmarkRun { advisor: advisor.name().to_string(), tables })
+}
+
+/// Baseline cost: every table in row layout.
+pub fn row_cost(benchmark: &Benchmark, cost_model: &dyn CostModel) -> f64 {
+    benchmark
+        .touched_tables()
+        .into_iter()
+        .map(|(_, schema, w)| {
+            cost_model.workload_cost(schema, &Partitioning::row(schema), &w)
+        })
+        .sum()
+}
+
+/// Baseline cost: every table in column layout.
+pub fn column_cost(benchmark: &Benchmark, cost_model: &dyn CostModel) -> f64 {
+    benchmark
+        .touched_tables()
+        .into_iter()
+        .map(|(_, schema, w)| {
+            cost_model.workload_cost(schema, &Partitioning::column(schema), &w)
+        })
+        .sum()
+}
+
+/// Perfect-materialized-views cost over the whole benchmark (Figure 6/9).
+pub fn pmv_cost(benchmark: &Benchmark, cost_model: &dyn CostModel) -> f64 {
+    benchmark
+        .touched_tables()
+        .into_iter()
+        .map(|(_, schema, w)| {
+            slicer_core::PerfectMaterializedViews::workload_cost(schema, &w, cost_model)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicer_core::{ColumnLayout, HillClimb, RowLayout};
+    use slicer_workloads::tpch;
+
+    fn small_tpch() -> Benchmark {
+        tpch::benchmark(0.01)
+    }
+
+    #[test]
+    fn run_covers_all_touched_tables() {
+        let b = small_tpch();
+        let m = HddCostModel::paper_testbed();
+        let run = run_advisor(&HillClimb::new(), &b, &m).unwrap();
+        assert_eq!(run.tables.len(), 8);
+        assert!(run.total_opt_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn baseline_runs_match_direct_costs() {
+        let b = small_tpch();
+        let m = HddCostModel::paper_testbed();
+        let row_run = run_advisor(&RowLayout, &b, &m).unwrap();
+        let col_run = run_advisor(&ColumnLayout, &b, &m).unwrap();
+        assert!((row_run.total_cost(&b, &m) - row_cost(&b, &m)).abs() < 1e-9);
+        assert!((col_run.total_cost(&b, &m) - column_cost(&b, &m)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmv_lower_bounds_every_layout() {
+        let b = small_tpch();
+        let m = HddCostModel::paper_testbed();
+        let pmv = pmv_cost(&b, &m);
+        let hc = run_advisor(&HillClimb::new(), &b, &m).unwrap().total_cost(&b, &m);
+        assert!(pmv <= hc + 1e-9, "pmv {pmv} vs hillclimb {hc}");
+    }
+
+    #[test]
+    fn creation_time_positive_and_layout_lookup_works() {
+        let b = small_tpch();
+        let m = HddCostModel::paper_testbed();
+        let run = run_advisor(&HillClimb::new(), &b, &m).unwrap();
+        assert!(run.total_creation_time(&b, &m) > 0.0);
+        assert!(run.layout_for("Lineitem").is_some());
+        assert!(run.layout_for("NoSuchTable").is_none());
+    }
+
+    #[test]
+    fn row_beats_nothing_column_beats_row_on_tpch() {
+        // Sanity of the headline ordering at the paper's buffer size.
+        let b = small_tpch();
+        let m = HddCostModel::paper_testbed();
+        assert!(column_cost(&b, &m) < row_cost(&b, &m));
+    }
+}

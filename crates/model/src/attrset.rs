@@ -1,0 +1,362 @@
+//! Compact sets of attribute indices.
+//!
+//! Every vertical partitioning structure in this workspace — queries,
+//! partitions, fragments, column groups — is "a set of attributes of one
+//! table". [`AttrSet`] is a fixed-size 256-bit bitset: wide enough for the
+//! widest tables the vertical partitioning literature evaluates (HYRISE uses
+//! tables of up to 150 attributes), small enough to stay `Copy` and keep the
+//! brute-force enumerator allocation-free in its hot loop.
+
+use std::fmt;
+
+/// Index of an attribute within one table's schema (position, 0-based).
+///
+/// Attribute identity is *per table*: `AttrId(3)` in `Lineitem` and
+/// `AttrId(3)` in `Orders` are unrelated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// Position as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for AttrId {
+    #[inline]
+    fn from(i: usize) -> Self {
+        debug_assert!(i < AttrSet::CAPACITY);
+        AttrId(i as u16)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+const WORDS: usize = 4;
+
+/// A set of attribute indices of a single table, stored as a 256-bit bitmask.
+///
+/// `AttrSet` is the workhorse type of the whole workspace: partitions,
+/// query-referenced sets, atomic fragments and Trojan column groups are all
+/// `AttrSet`s. It is `Copy` (32 bytes) so hot loops (BruteForce evaluates
+/// ~10.5 M candidate partitionings for TPC-H Lineitem) never allocate.
+///
+/// ```
+/// use slicer_model::AttrSet;
+/// let q1: AttrSet = [0, 1, 2, 3].into_iter().collect();
+/// let q2: AttrSet = [2, 3, 4].into_iter().collect();
+/// assert_eq!(q1.intersection(q2).len(), 2);
+/// assert!(q1.union(q2).contains(4));
+/// assert!(q1.intersects(q2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet {
+    words: [u64; WORDS],
+}
+
+impl AttrSet {
+    /// Largest attribute index + 1 an `AttrSet` can hold.
+    pub const CAPACITY: usize = WORDS * 64;
+
+    /// The empty set.
+    pub const EMPTY: AttrSet = AttrSet { words: [0; WORDS] };
+
+    /// Set containing a single attribute.
+    #[inline]
+    pub fn single(attr: impl Into<AttrId>) -> Self {
+        let mut s = Self::EMPTY;
+        s.insert(attr);
+        s
+    }
+
+    /// Set `{0, 1, .., n-1}` — all attributes of an `n`-attribute table.
+    #[inline]
+    pub fn all(n: usize) -> Self {
+        assert!(n <= Self::CAPACITY, "table too wide: {n} attributes");
+        let mut s = Self::EMPTY;
+        for w in 0..WORDS {
+            let lo = w * 64;
+            if n >= lo + 64 {
+                s.words[w] = u64::MAX;
+            } else if n > lo {
+                s.words[w] = (1u64 << (n - lo)) - 1;
+            }
+        }
+        s
+    }
+
+    /// Number of attributes in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True iff the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.words == [0; WORDS]
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, attr: impl Into<AttrId>) -> bool {
+        let i = attr.into().index();
+        debug_assert!(i < Self::CAPACITY);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Add one attribute.
+    #[inline]
+    pub fn insert(&mut self, attr: impl Into<AttrId>) {
+        let i = attr.into().index();
+        assert!(i < Self::CAPACITY, "attribute index {i} out of range");
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Remove one attribute.
+    #[inline]
+    pub fn remove(&mut self, attr: impl Into<AttrId>) {
+        let i = attr.into().index();
+        debug_assert!(i < Self::CAPACITY);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: AttrSet) -> AttrSet {
+        let mut w = self.words;
+        for (a, b) in w.iter_mut().zip(other.words) {
+            *a |= b;
+        }
+        AttrSet { words: w }
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersection(self, other: AttrSet) -> AttrSet {
+        let mut w = self.words;
+        for (a, b) in w.iter_mut().zip(other.words) {
+            *a &= b;
+        }
+        AttrSet { words: w }
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    pub fn difference(self, other: AttrSet) -> AttrSet {
+        let mut w = self.words;
+        for (a, b) in w.iter_mut().zip(other.words) {
+            *a &= !b;
+        }
+        AttrSet { words: w }
+    }
+
+    /// True iff the sets share at least one attribute.
+    ///
+    /// This is the test the cost model performs for every (query, partition)
+    /// pair — "does the query reference this partition?" — so it avoids
+    /// materializing the intersection.
+    #[inline]
+    pub fn intersects(self, other: AttrSet) -> bool {
+        (0..WORDS).any(|i| self.words[i] & other.words[i] != 0)
+    }
+
+    /// True iff every attribute of `self` is in `other`.
+    #[inline]
+    pub fn is_subset_of(self, other: AttrSet) -> bool {
+        (0..WORDS).all(|i| self.words[i] & !other.words[i] == 0)
+    }
+
+    /// True iff the sets have no attribute in common.
+    #[inline]
+    pub fn is_disjoint(self, other: AttrSet) -> bool {
+        !self.intersects(other)
+    }
+
+    /// Smallest attribute index in the set, if non-empty.
+    ///
+    /// Used as the canonical representative of a partition when ordering
+    /// partitionings into a deterministic form.
+    #[inline]
+    pub fn min_attr(self) -> Option<AttrId> {
+        for (w, word) in self.words.iter().enumerate() {
+            if *word != 0 {
+                return Some(AttrId((w * 64 + word.trailing_zeros() as usize) as u16));
+            }
+        }
+        None
+    }
+
+    /// Iterate over members in ascending index order.
+    #[inline]
+    pub fn iter(self) -> AttrSetIter {
+        AttrSetIter { set: self, word: 0 }
+    }
+}
+
+impl FromIterator<usize> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut s = Self::EMPTY;
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        let mut s = Self::EMPTY;
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl IntoIterator for AttrSet {
+    type Item = AttrId;
+    type IntoIter = AttrSetIter;
+    fn into_iter(self) -> AttrSetIter {
+        self.iter()
+    }
+}
+
+/// Ascending-order iterator over an [`AttrSet`].
+#[derive(Debug, Clone)]
+pub struct AttrSetIter {
+    set: AttrSet,
+    word: usize,
+}
+
+impl Iterator for AttrSetIter {
+    type Item = AttrId;
+
+    #[inline]
+    fn next(&mut self) -> Option<AttrId> {
+        while self.word < WORDS {
+            let w = self.set.words[self.word];
+            if w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                self.set.words[self.word] &= w - 1; // clear lowest set bit
+                return Some(AttrId((self.word * 64 + bit) as u16));
+            }
+            self.word += 1;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.set.len();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrSetIter {}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter().map(|a| a.0)).finish()
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", a.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_properties() {
+        let e = AttrSet::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.min_attr(), None);
+        assert_eq!(e.iter().count(), 0);
+    }
+
+    #[test]
+    fn single_and_contains() {
+        let s = AttrSet::single(7usize);
+        assert!(s.contains(7usize));
+        assert!(!s.contains(6usize));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.min_attr(), Some(AttrId(7)));
+    }
+
+    #[test]
+    fn all_matches_range() {
+        for n in [0usize, 1, 16, 63, 64, 65, 128, 255, 256] {
+            let s = AttrSet::all(n);
+            assert_eq!(s.len(), n, "all({n})");
+            assert_eq!(
+                s.iter().map(|a| a.index()).collect::<Vec<_>>(),
+                (0..n).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too wide")]
+    fn all_rejects_overwide() {
+        let _ = AttrSet::all(257);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: AttrSet = [0usize, 1, 2, 64, 130].into_iter().collect();
+        let b: AttrSet = [2usize, 3, 64, 200].into_iter().collect();
+        assert_eq!(a.union(b).len(), 7);
+        let i = a.intersection(b);
+        assert_eq!(i.iter().map(|x| x.index()).collect::<Vec<_>>(), vec![2, 64]);
+        let d = a.difference(b);
+        assert_eq!(d.iter().map(|x| x.index()).collect::<Vec<_>>(), vec![0, 1, 130]);
+        assert!(a.intersects(b));
+        assert!(i.is_subset_of(a) && i.is_subset_of(b));
+        assert!(d.is_disjoint(b));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = AttrSet::EMPTY;
+        s.insert(100usize);
+        s.insert(101usize);
+        assert_eq!(s.len(), 2);
+        s.remove(100usize);
+        assert!(!s.contains(100usize));
+        assert!(s.contains(101usize));
+    }
+
+    #[test]
+    fn iteration_is_sorted_across_words() {
+        let idxs = [250usize, 3, 64, 65, 191, 0];
+        let s: AttrSet = idxs.into_iter().collect();
+        let got: Vec<usize> = s.iter().map(|a| a.index()).collect();
+        assert_eq!(got, vec![0, 3, 64, 65, 191, 250]);
+        assert_eq!(s.min_attr(), Some(AttrId(0)));
+    }
+
+    #[test]
+    fn display_formats() {
+        let s: AttrSet = [1usize, 5].into_iter().collect();
+        assert_eq!(s.to_string(), "{1,5}");
+        assert_eq!(AttrId(4).to_string(), "a4");
+    }
+}

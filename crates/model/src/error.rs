@@ -1,0 +1,98 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Validation and construction errors for schemas, workloads and
+/// partitionings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Schema declared with zero attributes.
+    EmptySchema { table: String },
+    /// Schema wider than [`crate::AttrSet::CAPACITY`].
+    TooManyAttributes { table: String, count: usize, max: usize },
+    /// Attribute declared with width 0.
+    ZeroWidthAttribute { table: String, attribute: String },
+    /// Attribute name repeated within one table.
+    DuplicateAttribute { table: String, attribute: String },
+    /// Name lookup failed.
+    UnknownAttribute { table: String, attribute: String },
+    /// Query referencing no attributes.
+    EmptyQuery { query: String },
+    /// Query referencing attributes outside the table.
+    QueryOutOfRange { query: String, table: String },
+    /// Non-positive or non-finite query weight.
+    BadWeight { query: String, weight: f64 },
+    /// Partitioning containing an empty group.
+    EmptyPartition { table: String },
+    /// Partitioning with overlapping groups.
+    OverlappingPartitions { table: String },
+    /// Partitioning not covering every attribute.
+    IncompletePartitioning { table: String, missing: usize },
+    /// An algorithm was invoked with inputs it cannot handle
+    /// (e.g. brute force beyond its configured attribute limit).
+    Unsupported { reason: String },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptySchema { table } => {
+                write!(f, "table `{table}` has no attributes")
+            }
+            ModelError::TooManyAttributes { table, count, max } => {
+                write!(f, "table `{table}` has {count} attributes; at most {max} supported")
+            }
+            ModelError::ZeroWidthAttribute { table, attribute } => {
+                write!(f, "attribute `{table}.{attribute}` has zero width")
+            }
+            ModelError::DuplicateAttribute { table, attribute } => {
+                write!(f, "attribute `{table}.{attribute}` declared twice")
+            }
+            ModelError::UnknownAttribute { table, attribute } => {
+                write!(f, "table `{table}` has no attribute named `{attribute}`")
+            }
+            ModelError::EmptyQuery { query } => {
+                write!(f, "query `{query}` references no attributes")
+            }
+            ModelError::QueryOutOfRange { query, table } => {
+                write!(f, "query `{query}` references attributes outside table `{table}`")
+            }
+            ModelError::BadWeight { query, weight } => {
+                write!(f, "query `{query}` has invalid weight {weight}")
+            }
+            ModelError::EmptyPartition { table } => {
+                write!(f, "partitioning of `{table}` contains an empty partition")
+            }
+            ModelError::OverlappingPartitions { table } => {
+                write!(f, "partitioning of `{table}` has overlapping partitions")
+            }
+            ModelError::IncompletePartitioning { table, missing } => {
+                write!(f, "partitioning of `{table}` misses {missing} attribute(s)")
+            }
+            ModelError::Unsupported { reason } => write!(f, "unsupported input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = ModelError::UnknownAttribute {
+            table: "Lineitem".into(),
+            attribute: "Bogus".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Lineitem") && msg.contains("Bogus"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ModelError::EmptySchema { table: "T".into() });
+    }
+}

@@ -1,0 +1,250 @@
+//! Vertical partitionings: disjoint, complete families of column groups.
+//!
+//! A [`Partitioning`] is the output of every advisor: a set of non-empty,
+//! pairwise-disjoint attribute groups whose union is the whole table. The
+//! two classic extremes get dedicated constructors — [`Partitioning::row`]
+//! (one group with everything, i.e. a row layout) and
+//! [`Partitioning::column`] (one group per attribute, i.e. a column layout).
+
+use crate::attrset::AttrSet;
+use crate::error::ModelError;
+use crate::schema::TableSchema;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A complete, disjoint vertical partitioning of one table.
+///
+/// Internally kept in *canonical order*: partitions sorted by their smallest
+/// attribute index. Two partitionings are equal iff they contain the same
+/// groups, regardless of construction order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Partitioning {
+    partitions: Vec<AttrSet>,
+}
+
+impl Partitioning {
+    /// Build from raw groups, enforcing the invariants:
+    /// no empty group, pairwise disjoint, union = all attributes of `schema`.
+    pub fn new(schema: &TableSchema, partitions: Vec<AttrSet>) -> Result<Self, ModelError> {
+        let mut union = AttrSet::EMPTY;
+        for p in &partitions {
+            if p.is_empty() {
+                return Err(ModelError::EmptyPartition { table: schema.name().to_string() });
+            }
+            if union.intersects(*p) {
+                return Err(ModelError::OverlappingPartitions {
+                    table: schema.name().to_string(),
+                });
+            }
+            union = union.union(*p);
+        }
+        if union != schema.all_attrs() {
+            return Err(ModelError::IncompletePartitioning {
+                table: schema.name().to_string(),
+                missing: schema.all_attrs().difference(union).len(),
+            });
+        }
+        Ok(Self::from_disjoint_unchecked(partitions))
+    }
+
+    /// Build from groups already known to be disjoint and complete
+    /// (algorithm-internal fast path). Canonicalizes order.
+    pub fn from_disjoint_unchecked(mut partitions: Vec<AttrSet>) -> Self {
+        partitions.sort_by_key(|p| p.min_attr());
+        Partitioning { partitions }
+    }
+
+    /// Row layout: a single partition holding every attribute.
+    pub fn row(schema: &TableSchema) -> Self {
+        Partitioning { partitions: vec![schema.all_attrs()] }
+    }
+
+    /// Column layout: one singleton partition per attribute.
+    pub fn column(schema: &TableSchema) -> Self {
+        Partitioning {
+            partitions: (0..schema.attr_count()).map(AttrSet::single).collect(),
+        }
+    }
+
+    /// The column groups, in canonical order.
+    pub fn partitions(&self) -> &[AttrSet] {
+        &self.partitions
+    }
+
+    /// Number of column groups.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// True iff there are no groups (only possible for a zero-attribute
+    /// table, which schemas forbid; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// The group containing `attr`, if any.
+    pub fn partition_of(&self, attr: impl Into<crate::AttrId>) -> Option<AttrSet> {
+        let a = attr.into();
+        self.partitions.iter().copied().find(|p| p.contains(a))
+    }
+
+    /// Indices of the groups a query referencing `referenced` must read.
+    pub fn referenced_partitions(&self, referenced: AttrSet) -> impl Iterator<Item = &AttrSet> {
+        self.partitions.iter().filter(move |p| p.intersects(referenced))
+    }
+
+    /// Number of groups a query referencing `referenced` must read.
+    pub fn referenced_count(&self, referenced: AttrSet) -> usize {
+        self.partitions.iter().filter(|p| p.intersects(referenced)).count()
+    }
+
+    /// Tuple-reconstruction joins a query referencing `referenced` performs:
+    /// `#referenced partitions − 1` (paper Section 6.2), 0 when nothing is
+    /// referenced.
+    pub fn reconstruction_joins(&self, referenced: AttrSet) -> usize {
+        self.referenced_count(referenced).saturating_sub(1)
+    }
+
+    /// Merge the groups at positions `i` and `j` (i ≠ j) into one,
+    /// producing a new partitioning. Positions refer to canonical order.
+    pub fn merged(&self, i: usize, j: usize) -> Partitioning {
+        debug_assert!(i != j);
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        let mut parts = Vec::with_capacity(self.partitions.len() - 1);
+        for (k, p) in self.partitions.iter().enumerate() {
+            if k == lo {
+                parts.push(p.union(self.partitions[hi]));
+            } else if k != hi {
+                parts.push(*p);
+            }
+        }
+        Partitioning::from_disjoint_unchecked(parts)
+    }
+
+    /// Render with attribute names: `[P1(PartKey,SuppKey) | P2(Comment)]`.
+    pub fn render(&self, schema: &TableSchema) -> String {
+        let groups: Vec<String> = self
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| format!("P{}({})", i + 1, schema.render_set(*p)))
+            .collect();
+        format!("[{}]", groups.join(" | "))
+    }
+}
+
+impl fmt::Display for Partitioning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, p) in self.partitions.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrKind;
+
+    fn schema() -> TableSchema {
+        TableSchema::builder("T", 10)
+            .attr("A", 4, AttrKind::Int)
+            .attr("B", 4, AttrKind::Int)
+            .attr("C", 8, AttrKind::Decimal)
+            .attr("D", 16, AttrKind::Text)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn row_and_column_layouts() {
+        let s = schema();
+        let row = Partitioning::row(&s);
+        assert_eq!(row.len(), 1);
+        assert_eq!(row.partitions()[0], s.all_attrs());
+        let col = Partitioning::column(&s);
+        assert_eq!(col.len(), 4);
+        assert!(col.partitions().iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn new_validates_completeness() {
+        let s = schema();
+        let err = Partitioning::new(&s, vec![s.attr_set(&["A", "B"]).unwrap()]).unwrap_err();
+        assert!(matches!(err, ModelError::IncompletePartitioning { missing: 2, .. }));
+    }
+
+    #[test]
+    fn new_validates_disjointness() {
+        let s = schema();
+        let err = Partitioning::new(
+            &s,
+            vec![
+                s.attr_set(&["A", "B"]).unwrap(),
+                s.attr_set(&["B", "C", "D"]).unwrap(),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::OverlappingPartitions { .. }));
+    }
+
+    #[test]
+    fn new_rejects_empty_group() {
+        let s = schema();
+        let err =
+            Partitioning::new(&s, vec![s.all_attrs(), AttrSet::EMPTY]).unwrap_err();
+        assert!(matches!(err, ModelError::EmptyPartition { .. }));
+    }
+
+    #[test]
+    fn canonical_order_makes_equality_order_insensitive() {
+        let s = schema();
+        let p1 = Partitioning::new(
+            &s,
+            vec![s.attr_set(&["C", "D"]).unwrap(), s.attr_set(&["A", "B"]).unwrap()],
+        )
+        .unwrap();
+        let p2 = Partitioning::new(
+            &s,
+            vec![s.attr_set(&["A", "B"]).unwrap(), s.attr_set(&["C", "D"]).unwrap()],
+        )
+        .unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(p1.partitions()[0], s.attr_set(&["A", "B"]).unwrap());
+    }
+
+    #[test]
+    fn referenced_partitions_and_joins() {
+        let s = schema();
+        let p = Partitioning::new(
+            &s,
+            vec![
+                s.attr_set(&["A", "B"]).unwrap(),
+                s.attr_set(&["C"]).unwrap(),
+                s.attr_set(&["D"]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let q = s.attr_set(&["A", "C"]).unwrap();
+        assert_eq!(p.referenced_count(q), 2);
+        assert_eq!(p.reconstruction_joins(q), 1);
+        assert_eq!(p.reconstruction_joins(AttrSet::EMPTY), 0);
+        assert_eq!(p.partition_of(2usize), Some(s.attr_set(&["C"]).unwrap()));
+    }
+
+    #[test]
+    fn merged_combines_groups() {
+        let s = schema();
+        let col = Partitioning::column(&s);
+        let m = col.merged(0, 2);
+        assert_eq!(m.len(), 3);
+        assert!(m.partitions().contains(&s.attr_set(&["A", "C"]).unwrap()));
+        // Still valid.
+        assert!(Partitioning::new(&s, m.partitions().to_vec()).is_ok());
+    }
+}

@@ -1,0 +1,306 @@
+//! Logical table schemas: attribute names, byte widths and cardinality.
+//!
+//! The cost models in this workspace (like the paper's) only need three
+//! facts about a table: how many rows it has, how wide each attribute is,
+//! and which attributes each query references. Values never enter the cost
+//! model, so the schema carries widths rather than full types — except for
+//! an optional [`AttrKind`] used by the storage-engine substrate to generate
+//! realistic data.
+
+use crate::attrset::{AttrId, AttrSet};
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Broad value category of an attribute, used by the storage engine's data
+/// generator and compression selection (mirrors the paper's DBMS-X defaults:
+/// delta for integers/dates, LZ-style for strings/decimals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrKind {
+    /// 4-byte integer (keys, quantities).
+    Int,
+    /// 8-byte fixed-point decimal.
+    Decimal,
+    /// 4-byte date (days since epoch).
+    Date,
+    /// Fixed-width character data; width = declared maximum.
+    Text,
+}
+
+impl AttrKind {
+    /// Natural byte width of the kind for `Int`/`Decimal`/`Date`; `Text`
+    /// widths are declared per attribute.
+    pub fn natural_width(self) -> Option<u32> {
+        match self {
+            AttrKind::Int | AttrKind::Date => Some(4),
+            AttrKind::Decimal => Some(8),
+            AttrKind::Text => None,
+        }
+    }
+}
+
+/// One attribute (column) of a table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name, unique within its table.
+    pub name: String,
+    /// Storage width in bytes. The paper's unified setting stores attributes
+    /// at fixed width (variable-length attributes at their declared maximum).
+    pub size: u32,
+    /// Value category for data generation; irrelevant to cost estimation.
+    pub kind: AttrKind,
+}
+
+impl Attribute {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, size: u32, kind: AttrKind) -> Self {
+        Attribute { name: name.into(), size, kind }
+    }
+}
+
+/// A logical relation to be vertically partitioned.
+///
+/// ```
+/// use slicer_model::{TableSchema, Attribute, AttrKind, AttrSet};
+/// let t = TableSchema::builder("PartSupp", 8_000_000)
+///     .attr("PartKey", 4, AttrKind::Int)
+///     .attr("SuppKey", 4, AttrKind::Int)
+///     .attr("AvailQty", 4, AttrKind::Int)
+///     .attr("SupplyCost", 8, AttrKind::Decimal)
+///     .attr("Comment", 199, AttrKind::Text)
+///     .build()
+///     .unwrap();
+/// assert_eq!(t.row_size(), 219);
+/// assert_eq!(t.set_size(AttrSet::all(2)), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableSchema {
+    name: String,
+    attributes: Vec<Attribute>,
+    row_count: u64,
+}
+
+impl TableSchema {
+    /// Start building a schema.
+    pub fn builder(name: impl Into<String>, row_count: u64) -> TableSchemaBuilder {
+        TableSchemaBuilder { name: name.into(), attributes: Vec::new(), row_count }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn attr_count(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// All attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Attribute by index.
+    pub fn attribute(&self, id: impl Into<AttrId>) -> &Attribute {
+        &self.attributes[id.into().index()]
+    }
+
+    /// Number of rows (tuples) in the table.
+    pub fn row_count(&self) -> u64 {
+        self.row_count
+    }
+
+    /// Return a copy with a different cardinality (used by scale-factor
+    /// sweeps, Figure 13).
+    pub fn with_row_count(&self, rows: u64) -> TableSchema {
+        TableSchema { row_count: rows, ..self.clone() }
+    }
+
+    /// Width in bytes of one full row (sum of all attribute widths).
+    pub fn row_size(&self) -> u64 {
+        self.attributes.iter().map(|a| a.size as u64).sum()
+    }
+
+    /// Total width of the attributes in `set`, in bytes — the row size of the
+    /// vertical partition holding exactly `set`.
+    #[inline]
+    pub fn set_size(&self, set: AttrSet) -> u64 {
+        set.iter().map(|a| self.attributes[a.index()].size as u64).sum()
+    }
+
+    /// Per-attribute widths as a dense lookup table; hot loops (BruteForce)
+    /// use this instead of repeated `set_size` calls.
+    pub fn size_table(&self) -> Vec<u64> {
+        self.attributes.iter().map(|a| a.size as u64).collect()
+    }
+
+    /// The set of all this table's attributes.
+    pub fn all_attrs(&self) -> AttrSet {
+        AttrSet::all(self.attributes.len())
+    }
+
+    /// Look up an attribute id by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| AttrId(i as u16))
+    }
+
+    /// Resolve a list of names into an [`AttrSet`], failing on unknown names.
+    pub fn attr_set(&self, names: &[&str]) -> Result<AttrSet, ModelError> {
+        let mut s = AttrSet::EMPTY;
+        for n in names {
+            match self.attr_id(n) {
+                Some(id) => s.insert(id),
+                None => {
+                    return Err(ModelError::UnknownAttribute {
+                        table: self.name.clone(),
+                        attribute: (*n).to_string(),
+                    })
+                }
+            }
+        }
+        Ok(s)
+    }
+
+    /// Render a set of attributes as their names, e.g. `P1(PartKey,SuppKey)`.
+    pub fn render_set(&self, set: AttrSet) -> String {
+        let names: Vec<&str> =
+            set.iter().map(|a| self.attributes[a.index()].name.as_str()).collect();
+        names.join(",")
+    }
+}
+
+impl fmt::Display for TableSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({} attrs, {} rows, {} B/row)",
+            self.name,
+            self.attributes.len(),
+            self.row_count,
+            self.row_size()
+        )
+    }
+}
+
+/// Builder for [`TableSchema`], validating name uniqueness, widths and table
+/// arity at `build`.
+pub struct TableSchemaBuilder {
+    name: String,
+    attributes: Vec<Attribute>,
+    row_count: u64,
+}
+
+impl TableSchemaBuilder {
+    /// Append an attribute.
+    pub fn attr(mut self, name: impl Into<String>, size: u32, kind: AttrKind) -> Self {
+        self.attributes.push(Attribute::new(name, size, kind));
+        self
+    }
+
+    /// Validate and produce the schema.
+    pub fn build(self) -> Result<TableSchema, ModelError> {
+        if self.attributes.is_empty() {
+            return Err(ModelError::EmptySchema { table: self.name });
+        }
+        if self.attributes.len() > AttrSet::CAPACITY {
+            return Err(ModelError::TooManyAttributes {
+                table: self.name,
+                count: self.attributes.len(),
+                max: AttrSet::CAPACITY,
+            });
+        }
+        for (i, a) in self.attributes.iter().enumerate() {
+            if a.size == 0 {
+                return Err(ModelError::ZeroWidthAttribute {
+                    table: self.name.clone(),
+                    attribute: a.name.clone(),
+                });
+            }
+            if self.attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(ModelError::DuplicateAttribute {
+                    table: self.name.clone(),
+                    attribute: a.name.clone(),
+                });
+            }
+        }
+        Ok(TableSchema {
+            name: self.name,
+            attributes: self.attributes,
+            row_count: self.row_count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn partsupp() -> TableSchema {
+        TableSchema::builder("PartSupp", 100)
+            .attr("PartKey", 4, AttrKind::Int)
+            .attr("SuppKey", 4, AttrKind::Int)
+            .attr("AvailQty", 4, AttrKind::Int)
+            .attr("SupplyCost", 8, AttrKind::Decimal)
+            .attr("Comment", 199, AttrKind::Text)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn row_size_sums_widths() {
+        let t = partsupp();
+        assert_eq!(t.row_size(), 4 + 4 + 4 + 8 + 199);
+        assert_eq!(t.attr_count(), 5);
+    }
+
+    #[test]
+    fn set_size_and_lookup() {
+        let t = partsupp();
+        let s = t.attr_set(&["PartKey", "SupplyCost"]).unwrap();
+        assert_eq!(t.set_size(s), 12);
+        assert_eq!(t.render_set(s), "PartKey,SupplyCost");
+        assert_eq!(t.size_table(), vec![4, 4, 4, 8, 199]);
+    }
+
+    #[test]
+    fn unknown_attribute_is_error() {
+        let t = partsupp();
+        let err = t.attr_set(&["Nope"]).unwrap_err();
+        assert!(err.to_string().contains("Nope"));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = TableSchema::builder("T", 1)
+            .attr("A", 4, AttrKind::Int)
+            .attr("A", 8, AttrKind::Decimal)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        let err = TableSchema::builder("T", 1).attr("A", 0, AttrKind::Int).build().unwrap_err();
+        assert!(matches!(err, ModelError::ZeroWidthAttribute { .. }));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(matches!(
+            TableSchema::builder("T", 1).build().unwrap_err(),
+            ModelError::EmptySchema { .. }
+        ));
+    }
+
+    #[test]
+    fn with_row_count_scales() {
+        let t = partsupp().with_row_count(42);
+        assert_eq!(t.row_count(), 42);
+        assert_eq!(t.attr_count(), 5);
+    }
+}

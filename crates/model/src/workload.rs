@@ -1,0 +1,269 @@
+//! Queries and workloads over a single table.
+//!
+//! Following the paper's unified setting, only scan and projection operators
+//! are modeled: a query is fully described by *which attributes of the table
+//! it references* plus a weight (its frequency in the workload). Queries that
+//! reference no attribute of a table simply do not appear in that table's
+//! workload.
+
+use crate::attrset::AttrSet;
+use crate::error::ModelError;
+use crate::schema::TableSchema;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A scan/projection query against one table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Display name (e.g. `"Q6"`).
+    pub name: String,
+    /// Attributes of the table this query references anywhere
+    /// (projection, predicates, grouping, join keys).
+    pub referenced: AttrSet,
+    /// Relative frequency of the query in the workload. The paper weighs all
+    /// 22 TPC-H queries equally (weight 1).
+    pub weight: f64,
+}
+
+impl Query {
+    /// Query with weight 1.
+    pub fn new(name: impl Into<String>, referenced: AttrSet) -> Self {
+        Query { name: name.into(), referenced, weight: 1.0 }
+    }
+
+    /// Query with an explicit weight.
+    pub fn weighted(name: impl Into<String>, referenced: AttrSet, weight: f64) -> Self {
+        Query { name: name.into(), referenced, weight }
+    }
+}
+
+/// An ordered multiset of queries against one table.
+///
+/// Order matters for two reasons: the paper's Figure 2/7 experiments take
+/// "the first k queries", and the online algorithm (O2P) consumes queries as
+/// a stream in workload order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Workload {
+    queries: Vec<Query>,
+}
+
+impl Workload {
+    /// Empty workload.
+    pub fn new() -> Self {
+        Workload { queries: Vec::new() }
+    }
+
+    /// Build from queries, validating them against a schema.
+    pub fn with_queries(
+        schema: &TableSchema,
+        queries: Vec<Query>,
+    ) -> Result<Self, ModelError> {
+        let mut w = Workload::new();
+        for q in queries {
+            w.push_validated(schema, q)?;
+        }
+        Ok(w)
+    }
+
+    /// Append a query after checking it fits the schema: non-empty reference
+    /// set within the table's attributes and a positive finite weight.
+    pub fn push_validated(
+        &mut self,
+        schema: &TableSchema,
+        query: Query,
+    ) -> Result<(), ModelError> {
+        if query.referenced.is_empty() {
+            return Err(ModelError::EmptyQuery { query: query.name });
+        }
+        if !query.referenced.is_subset_of(schema.all_attrs()) {
+            return Err(ModelError::QueryOutOfRange {
+                query: query.name,
+                table: schema.name().to_string(),
+            });
+        }
+        if !(query.weight.is_finite() && query.weight > 0.0) {
+            return Err(ModelError::BadWeight { query: query.name, weight: query.weight });
+        }
+        self.queries.push(query);
+        Ok(())
+    }
+
+    /// Append without validation (for internally-constructed workloads).
+    pub fn push(&mut self, query: Query) {
+        self.queries.push(query);
+    }
+
+    /// All queries, in workload order.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True iff there are no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The first `k` queries as a new workload (paper Figures 2 and 7).
+    pub fn prefix(&self, k: usize) -> Workload {
+        Workload { queries: self.queries.iter().take(k).cloned().collect() }
+    }
+
+    /// Union of all referenced attribute sets.
+    pub fn referenced_attrs(&self) -> AttrSet {
+        self.queries
+            .iter()
+            .fold(AttrSet::EMPTY, |acc, q| acc.union(q.referenced))
+    }
+
+    /// Sum of query weights.
+    pub fn total_weight(&self) -> f64 {
+        self.queries.iter().map(|q| q.weight).sum()
+    }
+
+    /// Group attributes by their *access signature*: the set of workload
+    /// query indices referencing them. Attributes sharing a signature are
+    /// returned as one [`AttrSet`].
+    ///
+    /// These groups are exactly the paper's **primary partitions / atomic
+    /// fragments** (AutoPart, HYRISE): no query references a strict subset of
+    /// a group. Attributes referenced by *no* query share the empty
+    /// signature and form a single group, matching AutoPart's observed
+    /// behaviour on TPC-H Lineitem (LineNumber and Comment end up together).
+    pub fn atomic_fragments(&self, schema: &TableSchema) -> Vec<AttrSet> {
+        let n = schema.attr_count();
+        // Signature of attribute a = bitmask over query indices (≤ 128
+        // queries tracked exactly; beyond that, signatures are hashed into
+        // the mask, which can only merge fragments, never split them).
+        let mut signatures: Vec<u128> = vec![0; n];
+        for (qi, q) in self.queries.iter().enumerate() {
+            let bit = 1u128 << (qi % 128);
+            for a in q.referenced.iter() {
+                signatures[a.index()] |= bit;
+            }
+        }
+        let mut fragments: Vec<(u128, AttrSet)> = Vec::new();
+        for (i, &sig) in signatures.iter().enumerate() {
+            match fragments.iter_mut().find(|(s, _)| *s == sig) {
+                Some((_, set)) => set.insert(i),
+                None => fragments.push((sig, AttrSet::single(i))),
+            }
+        }
+        fragments.into_iter().map(|(_, s)| s).collect()
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Workload[{} queries]", self.queries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrKind;
+
+    fn schema() -> TableSchema {
+        TableSchema::builder("T", 100)
+            .attr("A", 4, AttrKind::Int)
+            .attr("B", 4, AttrKind::Int)
+            .attr("C", 8, AttrKind::Decimal)
+            .attr("D", 20, AttrKind::Text)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range() {
+        let s = schema();
+        let mut w = Workload::new();
+        let q = Query::new("bad", AttrSet::single(9usize));
+        assert!(matches!(
+            w.push_validated(&s, q),
+            Err(ModelError::QueryOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_empty_and_bad_weight() {
+        let s = schema();
+        let mut w = Workload::new();
+        assert!(w.push_validated(&s, Query::new("e", AttrSet::EMPTY)).is_err());
+        let q = Query::weighted("w", AttrSet::single(0usize), -1.0);
+        assert!(matches!(w.push_validated(&s, q), Err(ModelError::BadWeight { .. })));
+    }
+
+    #[test]
+    fn prefix_takes_first_k() {
+        let s = schema();
+        let w = Workload::with_queries(
+            &s,
+            vec![
+                Query::new("q1", AttrSet::single(0usize)),
+                Query::new("q2", AttrSet::single(1usize)),
+                Query::new("q3", AttrSet::single(2usize)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(w.prefix(2).len(), 2);
+        assert_eq!(w.prefix(2).queries()[1].name, "q2");
+        assert_eq!(w.prefix(10).len(), 3);
+    }
+
+    #[test]
+    fn atomic_fragments_group_by_signature() {
+        let s = schema();
+        // q1 touches {A,B}, q2 touches {A,B,C}. D untouched.
+        let w = Workload::with_queries(
+            &s,
+            vec![
+                Query::new("q1", s.attr_set(&["A", "B"]).unwrap()),
+                Query::new("q2", s.attr_set(&["A", "B", "C"]).unwrap()),
+            ],
+        )
+        .unwrap();
+        let frags = w.atomic_fragments(&s);
+        // {A,B} share signature {q1,q2}; {C} has {q2}; {D} has {}.
+        assert_eq!(frags.len(), 3);
+        assert!(frags.contains(&s.attr_set(&["A", "B"]).unwrap()));
+        assert!(frags.contains(&s.attr_set(&["C"]).unwrap()));
+        assert!(frags.contains(&s.attr_set(&["D"]).unwrap()));
+    }
+
+    #[test]
+    fn atomic_fragments_cover_all_attrs_disjointly() {
+        let s = schema();
+        let w = Workload::with_queries(
+            &s,
+            vec![Query::new("q", s.attr_set(&["B", "D"]).unwrap())],
+        )
+        .unwrap();
+        let frags = w.atomic_fragments(&s);
+        let mut union = AttrSet::EMPTY;
+        for f in &frags {
+            assert!(union.is_disjoint(*f));
+            union = union.union(*f);
+        }
+        assert_eq!(union, s.all_attrs());
+    }
+
+    #[test]
+    fn referenced_attrs_and_weight() {
+        let s = schema();
+        let w = Workload::with_queries(
+            &s,
+            vec![
+                Query::weighted("q1", s.attr_set(&["A"]).unwrap(), 2.0),
+                Query::weighted("q2", s.attr_set(&["C"]).unwrap(), 3.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(w.referenced_attrs(), s.attr_set(&["A", "C"]).unwrap());
+        assert_eq!(w.total_weight(), 5.0);
+    }
+}

@@ -1,0 +1,512 @@
+//! Column compression codecs.
+//!
+//! DBMS-X (paper Table 7) defaults to LZO for strings/floats and delta
+//! encoding for integers/dates, with dictionary encoding as the forced
+//! fixed-width alternative. We implement the same three families:
+//!
+//! * [`Codec::Plain`] — fixed-width raw bytes;
+//! * [`Codec::Dictionary`] — fixed-width codes into a per-column dictionary
+//!   (the dictionary is charged to the stored size: near-unique columns
+//!   gain nothing, matching real systems);
+//! * [`Codec::Delta`] — zigzag-varint deltas for integers/dates
+//!   (variable-width);
+//! * [`Codec::Lz`] — an LZ77-class byte compressor with a 64 KB window and
+//!   greedy hash matching, standing in for LZO (variable-width).
+//!
+//! The property that drives Table 7 is *fixed versus variable width*:
+//! fixed-width codecs allow direct per-row offsets into a column-group
+//! segment, while variable-width codecs force decoding the whole segment
+//! to reconstruct any tuple. [`Codec::fixed_width`] exposes that bit.
+
+use crate::data::ColumnData;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Compression scheme applied to one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Codec {
+    /// Raw fixed-width values.
+    Plain,
+    /// Fixed-width dictionary codes.
+    Dictionary,
+    /// Zigzag-varint delta encoding (ints/dates only).
+    Delta,
+    /// LZ77-style byte compression (stand-in for LZO).
+    Lz,
+}
+
+impl Codec {
+    /// True iff rows are individually addressable (fixed byte width per
+    /// row) without decoding predecessors.
+    pub fn fixed_width(self) -> bool {
+        matches!(self, Codec::Plain | Codec::Dictionary)
+    }
+}
+
+/// One encoded column: bytes plus enough metadata to decode.
+#[derive(Debug, Clone)]
+pub struct EncodedColumn {
+    /// Codec used.
+    pub codec: Codec,
+    /// Encoded payload.
+    pub bytes: Bytes,
+    /// Dictionary payload (values in code order), if dictionary-encoded.
+    pub dict_bytes: Bytes,
+    /// Number of rows.
+    pub rows: usize,
+}
+
+impl EncodedColumn {
+    /// Stored size in bytes (payload + dictionary).
+    pub fn stored_bytes(&self) -> u64 {
+        (self.bytes.len() + self.dict_bytes.len()) as u64
+    }
+}
+
+// --- fixed-width raw encoding helpers ---------------------------------
+
+fn raw_bytes(col: &ColumnData) -> (BytesMut, usize) {
+    match col {
+        ColumnData::Int(v) => {
+            let mut b = BytesMut::with_capacity(v.len() * 4);
+            for x in v {
+                b.put_i32_le(*x);
+            }
+            (b, 4)
+        }
+        ColumnData::Date(v) => {
+            let mut b = BytesMut::with_capacity(v.len() * 4);
+            for x in v {
+                b.put_i32_le(*x);
+            }
+            (b, 4)
+        }
+        ColumnData::Decimal(v) => {
+            let mut b = BytesMut::with_capacity(v.len() * 8);
+            for x in v {
+                b.put_i64_le(*x);
+            }
+            (b, 8)
+        }
+        ColumnData::Text(v) => {
+            // Pad to the max observed width so rows stay addressable.
+            let w = v.iter().map(|s| s.len()).max().unwrap_or(0).max(1);
+            let mut b = BytesMut::with_capacity(v.len() * w);
+            for s in v {
+                b.put_slice(s.as_bytes());
+                b.put_bytes(b' ', w - s.len());
+            }
+            (b, w)
+        }
+    }
+}
+
+fn decode_raw(bytes: &Bytes, rows: usize, template: &ColumnData) -> ColumnData {
+    let mut buf = bytes.clone();
+    match template {
+        ColumnData::Int(_) => {
+            ColumnData::Int((0..rows).map(|_| buf.get_i32_le()).collect())
+        }
+        ColumnData::Date(_) => {
+            ColumnData::Date((0..rows).map(|_| buf.get_i32_le()).collect())
+        }
+        ColumnData::Decimal(_) => {
+            ColumnData::Decimal((0..rows).map(|_| buf.get_i64_le()).collect())
+        }
+        ColumnData::Text(_) => {
+            let w = bytes.len().checked_div(rows).unwrap_or(1).max(1);
+            ColumnData::Text(
+                (0..rows)
+                    .map(|i| {
+                        let s = &bytes[i * w..(i + 1) * w];
+                        String::from_utf8_lossy(s).trim_end().to_string()
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+// --- varint / zigzag ---------------------------------------------------
+
+fn put_varint(b: &mut BytesMut, mut x: u64) {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            b.put_u8(byte);
+            return;
+        }
+        b.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> u64 {
+    let mut x = 0u64;
+    let mut shift = 0;
+    loop {
+        let byte = buf.get_u8();
+        x |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return x;
+        }
+        shift += 7;
+    }
+}
+
+#[inline]
+fn zigzag(x: i64) -> u64 {
+    // Shift in u64 space: `x << 1` overflows i64 for large |x|.
+    ((x as u64) << 1) ^ ((x >> 63) as u64)
+}
+
+#[inline]
+fn unzigzag(x: u64) -> i64 {
+    ((x >> 1) as i64) ^ -((x & 1) as i64)
+}
+
+// --- LZ77-class byte compressor ----------------------------------------
+
+const LZ_MIN_MATCH: usize = 4;
+const LZ_WINDOW: usize = 1 << 16;
+
+/// Greedy hash-chain LZ77: tokens are `(literal_len varint, literals,
+/// match_len varint, match_dist varint)`; a final token may have
+/// `match_len = 0`.
+pub fn lz_compress(input: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(input.len() / 2 + 16);
+    let mut head: Vec<u32> = vec![u32::MAX; 1 << 15];
+    let hash = |w: &[u8]| -> usize {
+        let x = u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
+        ((x.wrapping_mul(2654435761)) >> 17) as usize & ((1 << 15) - 1)
+    };
+    let mut i = 0;
+    let mut lit_start = 0;
+    while i + LZ_MIN_MATCH <= input.len() {
+        let h = hash(&input[i..i + 4]);
+        let cand = head[h];
+        head[h] = i as u32;
+        let mut match_len = 0;
+        let mut match_pos = 0usize;
+        if cand != u32::MAX {
+            let c = cand as usize;
+            if i - c <= LZ_WINDOW && input[c..c + 4] == input[i..i + 4] {
+                let max = input.len() - i;
+                let mut l = 4;
+                while l < max && input[c + l] == input[i + l] {
+                    l += 1;
+                }
+                match_len = l;
+                match_pos = c;
+            }
+        }
+        if match_len >= LZ_MIN_MATCH {
+            put_varint(&mut out, (i - lit_start) as u64);
+            out.put_slice(&input[lit_start..i]);
+            put_varint(&mut out, match_len as u64);
+            put_varint(&mut out, (i - match_pos) as u64);
+            i += match_len;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    // Trailing literals.
+    put_varint(&mut out, (input.len() - lit_start) as u64);
+    out.put_slice(&input[lit_start..]);
+    put_varint(&mut out, 0); // match_len 0 = end
+    put_varint(&mut out, 0);
+    out.freeze()
+}
+
+/// Inverse of [`lz_compress`].
+pub fn lz_decompress(input: &Bytes, expected_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut buf = input.clone();
+    loop {
+        let lit = get_varint(&mut buf) as usize;
+        for _ in 0..lit {
+            out.push(buf.get_u8());
+        }
+        let mlen = get_varint(&mut buf) as usize;
+        let dist = get_varint(&mut buf) as usize;
+        if mlen == 0 {
+            break;
+        }
+        let start = out.len() - dist;
+        for k in 0..mlen {
+            out.push(out[start + k]);
+        }
+    }
+    out
+}
+
+// --- public encode / decode --------------------------------------------
+
+/// Encode `col` with `codec`. Delta on text falls back to LZ; delta on
+/// decimals uses 64-bit deltas.
+pub fn encode(col: &ColumnData, codec: Codec) -> EncodedColumn {
+    let rows = col.len();
+    match codec {
+        Codec::Plain => {
+            let (b, _) = raw_bytes(col);
+            EncodedColumn { codec, bytes: b.freeze(), dict_bytes: Bytes::new(), rows }
+        }
+        Codec::Dictionary => {
+            // Build value dictionary over the raw fixed-width form.
+            let (raw, w) = raw_bytes(col);
+            let raw = raw.freeze();
+            let mut dict: Vec<&[u8]> = Vec::new();
+            let mut codes: Vec<u32> = Vec::with_capacity(rows);
+            let mut index: std::collections::HashMap<&[u8], u32> =
+                std::collections::HashMap::new();
+            for i in 0..rows {
+                let v = &raw[i * w..(i + 1) * w];
+                let code = *index.entry(v).or_insert_with(|| {
+                    dict.push(v);
+                    (dict.len() - 1) as u32
+                });
+                codes.push(code);
+            }
+            let code_width: usize = match dict.len() {
+                0..=0xFF => 1,
+                0x100..=0xFFFF => 2,
+                _ => 4,
+            };
+            let mut bytes = BytesMut::with_capacity(rows * code_width);
+            for c in &codes {
+                match code_width {
+                    1 => bytes.put_u8(*c as u8),
+                    2 => bytes.put_u16_le(*c as u16),
+                    _ => bytes.put_u32_le(*c),
+                }
+            }
+            let mut dict_bytes = BytesMut::with_capacity(dict.len() * w);
+            for v in &dict {
+                dict_bytes.put_slice(v);
+            }
+            EncodedColumn { codec, bytes: bytes.freeze(), dict_bytes: dict_bytes.freeze(), rows }
+        }
+        Codec::Delta => match col {
+            ColumnData::Int(v) => delta_encode(v.iter().map(|&x| x as i64), rows, codec),
+            ColumnData::Date(v) => delta_encode(v.iter().map(|&x| x as i64), rows, codec),
+            ColumnData::Decimal(v) => delta_encode(v.iter().copied(), rows, codec),
+            ColumnData::Text(_) => encode(col, Codec::Lz),
+        },
+        Codec::Lz => {
+            let (raw, _) = raw_bytes(col);
+            EncodedColumn {
+                codec,
+                bytes: lz_compress(&raw),
+                dict_bytes: Bytes::new(),
+                rows,
+            }
+        }
+    }
+}
+
+fn delta_encode(values: impl Iterator<Item = i64>, rows: usize, codec: Codec) -> EncodedColumn {
+    let mut b = BytesMut::new();
+    let mut prev = 0i64;
+    for x in values {
+        // Wrapping difference: lossless over the full i64 range because the
+        // decoder adds back with the same wrapping semantics.
+        put_varint(&mut b, zigzag(x.wrapping_sub(prev)));
+        prev = x;
+    }
+    EncodedColumn { codec, bytes: b.freeze(), dict_bytes: Bytes::new(), rows }
+}
+
+/// Decode a column previously produced by [`encode`]. `template` supplies
+/// the value type (an empty column of the right variant suffices).
+pub fn decode(enc: &EncodedColumn, template: &ColumnData) -> ColumnData {
+    match enc.codec {
+        Codec::Plain => decode_raw(&enc.bytes, enc.rows, template),
+        Codec::Dictionary => {
+            let rows = enc.rows;
+            // Code width is recoverable from the payload size; dictionary
+            // entry width from the dictionary size and the highest code.
+            let w = enc.bytes.len().checked_div(rows).unwrap_or(1).max(1);
+            let entries = dict_entry_count(&enc.bytes, rows, w);
+            let value_w = enc.dict_bytes.len().checked_div(entries).unwrap_or(1).max(1);
+            let mut out_raw = BytesMut::with_capacity(rows * value_w);
+            for i in 0..rows {
+                let code = match w {
+                    1 => enc.bytes[i] as usize,
+                    2 => u16::from_le_bytes([enc.bytes[2 * i], enc.bytes[2 * i + 1]]) as usize,
+                    _ => u32::from_le_bytes([
+                        enc.bytes[4 * i],
+                        enc.bytes[4 * i + 1],
+                        enc.bytes[4 * i + 2],
+                        enc.bytes[4 * i + 3],
+                    ]) as usize,
+                };
+                out_raw.put_slice(&enc.dict_bytes[code * value_w..(code + 1) * value_w]);
+            }
+            decode_raw(&out_raw.freeze(), rows, template)
+        }
+        Codec::Delta => {
+            let mut buf = enc.bytes.clone();
+            let mut prev = 0i64;
+            let vals: Vec<i64> = (0..enc.rows)
+                .map(|_| {
+                    prev = prev.wrapping_add(unzigzag(get_varint(&mut buf)));
+                    prev
+                })
+                .collect();
+            match template {
+                ColumnData::Int(_) => ColumnData::Int(vals.iter().map(|&x| x as i32).collect()),
+                ColumnData::Date(_) => ColumnData::Date(vals.iter().map(|&x| x as i32).collect()),
+                ColumnData::Decimal(_) => ColumnData::Decimal(vals),
+                ColumnData::Text(_) => unreachable!("delta never encodes text"),
+            }
+        }
+        Codec::Lz => {
+            let raw = lz_decompress(&enc.bytes, 0);
+            decode_raw(&Bytes::from(raw), enc.rows, template)
+        }
+    }
+}
+
+fn dict_entry_count(codes: &Bytes, rows: usize, code_width: usize) -> usize {
+    let mut max = 0usize;
+    for i in 0..rows {
+        let code = match code_width {
+            1 => codes[i] as usize,
+            2 => u16::from_le_bytes([codes[2 * i], codes[2 * i + 1]]) as usize,
+            _ => u32::from_le_bytes([
+                codes[4 * i],
+                codes[4 * i + 1],
+                codes[4 * i + 2],
+                codes[4 * i + 3],
+            ]) as usize,
+        };
+        max = max.max(code + 1);
+    }
+    max
+}
+
+/// DBMS-X's default scheme for a column kind: delta for ints/dates, LZ for
+/// strings and decimals (paper Table 7, "Default (LZO or Delta)").
+pub fn default_codec(kind: slicer_model::AttrKind) -> Codec {
+    match kind {
+        slicer_model::AttrKind::Int | slicer_model::AttrKind::Date => Codec::Delta,
+        slicer_model::AttrKind::Decimal | slicer_model::AttrKind::Text => Codec::Lz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(col: &ColumnData, codec: Codec) {
+        let enc = encode(col, codec);
+        let template = match col {
+            ColumnData::Int(_) => ColumnData::Int(vec![]),
+            ColumnData::Decimal(_) => ColumnData::Decimal(vec![]),
+            ColumnData::Date(_) => ColumnData::Date(vec![]),
+            ColumnData::Text(_) => ColumnData::Text(vec![]),
+        };
+        let dec = decode(&enc, &template);
+        assert_eq!(col, &dec, "roundtrip failed for {codec:?}");
+    }
+
+    #[test]
+    fn plain_roundtrips_all_types() {
+        roundtrip(&ColumnData::Int(vec![1, -5, 1000, i32::MAX]), Codec::Plain);
+        roundtrip(&ColumnData::Decimal(vec![0, -1, 123456789]), Codec::Plain);
+        roundtrip(&ColumnData::Date(vec![0, 2526]), Codec::Plain);
+        roundtrip(
+            &ColumnData::Text(vec!["hello".into(), "a".into(), "world wide".into()]),
+            Codec::Plain,
+        );
+    }
+
+    #[test]
+    fn dictionary_roundtrips() {
+        roundtrip(&ColumnData::Int(vec![5, 5, 7, 5, 7, 9]), Codec::Dictionary);
+        roundtrip(
+            &ColumnData::Text(vec!["AIR".into(), "RAIL".into(), "AIR".into()]),
+            Codec::Dictionary,
+        );
+    }
+
+    #[test]
+    fn delta_roundtrips() {
+        roundtrip(&ColumnData::Int((1..500).collect()), Codec::Delta);
+        roundtrip(&ColumnData::Date(vec![10, 8, 9, 2000, 1999]), Codec::Delta);
+        roundtrip(&ColumnData::Decimal(vec![100, 90, 80, 1_000_000]), Codec::Delta);
+    }
+
+    #[test]
+    fn lz_roundtrips() {
+        roundtrip(
+            &ColumnData::Text(vec![
+                "the quick brown fox".into(),
+                "the quick brown fox".into(),
+                "jumps over the lazy dog".into(),
+            ]),
+            Codec::Lz,
+        );
+        roundtrip(&ColumnData::Int(vec![42; 1000]), Codec::Lz);
+    }
+
+    #[test]
+    fn lz_compresses_repetitive_data() {
+        let data: Vec<u8> = b"carefully final deposits ".repeat(100);
+        let c = lz_compress(&data);
+        assert!(c.len() < data.len() / 3, "{} vs {}", c.len(), data.len());
+        assert_eq!(lz_decompress(&c, data.len()), data);
+    }
+
+    #[test]
+    fn lz_handles_incompressible_and_tiny_inputs() {
+        let data: Vec<u8> = (0..=255).collect();
+        let c = lz_compress(&data);
+        assert_eq!(lz_decompress(&c, data.len()), data);
+        let tiny = b"ab";
+        let c = lz_compress(tiny);
+        assert_eq!(lz_decompress(&c, 2), tiny);
+        let empty = lz_compress(b"");
+        assert_eq!(lz_decompress(&empty, 0), b"");
+    }
+
+    #[test]
+    fn delta_beats_plain_on_sequential_keys() {
+        let keys = ColumnData::Int((1..10_000).collect());
+        let plain = encode(&keys, Codec::Plain).stored_bytes();
+        let delta = encode(&keys, Codec::Delta).stored_bytes();
+        assert!(delta < plain / 3, "delta {delta} vs plain {plain}");
+    }
+
+    #[test]
+    fn dictionary_beats_plain_on_enums_but_not_unique_text() {
+        let enums = ColumnData::Text(
+            (0..5000).map(|i| ["AIR", "RAIL", "SHIP"][i % 3].to_string()).collect(),
+        );
+        let d = encode(&enums, Codec::Dictionary).stored_bytes();
+        let p = encode(&enums, Codec::Plain).stored_bytes();
+        assert!(d < p / 2, "dict {d} vs plain {p}");
+
+        let unique = ColumnData::Text((0..2000).map(|i| format!("comment-{i:06}")).collect());
+        let d = encode(&unique, Codec::Dictionary).stored_bytes();
+        let p = encode(&unique, Codec::Plain).stored_bytes();
+        assert!(d > p, "unique text should not benefit: dict {d} vs plain {p}");
+    }
+
+    #[test]
+    fn default_codecs_match_dbmsx() {
+        use slicer_model::AttrKind::*;
+        assert_eq!(default_codec(Int), Codec::Delta);
+        assert_eq!(default_codec(Date), Codec::Delta);
+        assert_eq!(default_codec(Text), Codec::Lz);
+        assert_eq!(default_codec(Decimal), Codec::Lz);
+    }
+
+    #[test]
+    fn fixed_width_flag() {
+        assert!(Codec::Plain.fixed_width());
+        assert!(Codec::Dictionary.fixed_width());
+        assert!(!Codec::Delta.fixed_width());
+        assert!(!Codec::Lz.fixed_width());
+    }
+}

@@ -1,0 +1,371 @@
+//! The mini storage engine: column-group files on a simulated disk with a
+//! scan + tuple-reconstruction executor.
+//!
+//! This is the workspace's substitute for the paper's "DBMS-X" (Table 7):
+//! a disk-based column(-group) store whose compression cannot be turned
+//! off. A table is stored as one file per vertical partition; within a
+//! file, each attribute is a compressed column segment.
+//!
+//! Query runtime is the sum of:
+//!
+//! * **Simulated I/O** — the paper's seek + scan formulas applied to the
+//!   *compressed* file sizes (the buffer is shared among the partitions a
+//!   query reads, exactly as in the cost model); using simulated rather
+//!   than physical I/O removes the host machine's page cache and SSD from
+//!   the experiment, matching the paper's cold-cache spinning-disk testbed.
+//! * **Measured CPU** — actual decode + tuple reconstruction work. If any
+//!   segment of a partition is variable-width encoded, reading *any*
+//!   attribute of that partition decodes the *whole* partition (rows are
+//!   not independently addressable) — this is precisely the effect the
+//!   paper blames for HillClimb trailing Column under DBMS-X's default
+//!   varying-length encoding, and why forcing fixed-width dictionary
+//!   narrows the gap.
+
+use crate::compress::{decode, default_codec, encode, Codec, EncodedColumn};
+use crate::data::{ColumnData, TableData};
+use parking_lot::Mutex;
+use slicer_cost::DiskParams;
+use slicer_model::{AttrId, AttrSet, Partitioning, TableSchema};
+use std::time::Instant;
+
+/// A decoded partition: materialized columns keyed by attribute.
+type DecodedPartition = Vec<(AttrId, ColumnData)>;
+
+/// Compression policy for a stored table (paper Table 7's two rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompressionPolicy {
+    /// DBMS-X default: delta for ints/dates, LZ for text/decimals
+    /// (variable-width).
+    Default,
+    /// Force dictionary encoding everywhere (fixed-width).
+    Dictionary,
+    /// No compression (plain fixed-width); not in the paper's table but
+    /// useful as a control.
+    None,
+}
+
+impl CompressionPolicy {
+    fn codec_for(self, kind: slicer_model::AttrKind) -> Codec {
+        match self {
+            CompressionPolicy::Default => default_codec(kind),
+            CompressionPolicy::Dictionary => Codec::Dictionary,
+            CompressionPolicy::None => Codec::Plain,
+        }
+    }
+}
+
+/// One stored vertical partition: compressed segments per attribute.
+#[derive(Debug)]
+pub struct PartitionFile {
+    /// The attributes stored in this file.
+    pub attrs: AttrSet,
+    /// Segment per attribute, in ascending attribute order.
+    pub segments: Vec<(AttrId, EncodedColumn)>,
+    /// Number of rows in every segment.
+    pub rows: usize,
+}
+
+impl PartitionFile {
+    /// Compressed size on disk in bytes.
+    pub fn stored_bytes(&self) -> u64 {
+        self.segments.iter().map(|(_, s)| s.stored_bytes()).sum()
+    }
+
+    /// True iff every segment is fixed-width (rows individually
+    /// addressable).
+    pub fn fixed_width(&self) -> bool {
+        self.segments.iter().all(|(_, s)| s.codec.fixed_width())
+    }
+}
+
+/// A table stored under one layout and compression policy.
+pub struct StoredTable {
+    /// Table schema.
+    pub schema: TableSchema,
+    /// The layout the table was stored under.
+    pub layout: Partitioning,
+    /// One file per partition, in layout order.
+    pub files: Vec<PartitionFile>,
+    /// The in-memory source data (kept for decode templates and scan
+    /// verification oracles).
+    source: TableData,
+    /// Cache of decoded partitions, emulating a (CPU-side) decode cache
+    /// being *cold* per query: cleared before every scan. Guarded for
+    /// executor-internal use.
+    decoded_cache: Mutex<Vec<Option<DecodedPartition>>>,
+}
+
+impl StoredTable {
+    /// Compress `data` under `layout` and `policy`.
+    pub fn load(
+        schema: &TableSchema,
+        data: &TableData,
+        layout: &Partitioning,
+        policy: CompressionPolicy,
+    ) -> StoredTable {
+        assert_eq!(data.columns.len(), schema.attr_count(), "data/schema mismatch");
+        let files: Vec<PartitionFile> = layout
+            .partitions()
+            .iter()
+            .map(|p| {
+                let segments: Vec<(AttrId, EncodedColumn)> = p
+                    .iter()
+                    .map(|a| {
+                        let kind = schema.attribute(a).kind;
+                        let col = &data.columns[a.index()];
+                        (a, encode(col, policy.codec_for(kind)))
+                    })
+                    .collect();
+                PartitionFile { attrs: *p, segments, rows: data.rows }
+            })
+            .collect();
+        let n_files = files.len();
+        StoredTable {
+            schema: schema.clone(),
+            layout: layout.clone(),
+            files,
+            source: data.clone(),
+            decoded_cache: Mutex::new((0..n_files).map(|_| None).collect()),
+        }
+    }
+
+    /// Total compressed bytes across all partition files.
+    pub fn stored_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.stored_bytes()).sum()
+    }
+
+    /// Compression ratio versus the uncompressed fixed-width size.
+    pub fn compression_ratio(&self) -> f64 {
+        let raw = self.schema.row_size() * self.source.rows as u64;
+        raw as f64 / self.stored_bytes().max(1) as f64
+    }
+}
+
+/// Outcome of one scan: checksum over the projected values (the "result"),
+/// simulated I/O seconds and measured CPU seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanResult {
+    /// Order-independent FNV-mix checksum over all projected cell values.
+    pub checksum: u64,
+    /// Simulated seek + scan time on the modeled disk.
+    pub io_seconds: f64,
+    /// Measured decode + reconstruction time on the host CPU.
+    pub cpu_seconds: f64,
+    /// Compressed bytes the scan read.
+    pub bytes_read: u64,
+}
+
+/// Simulated seek+scan seconds for reading `files` together under `disk`,
+/// sharing the buffer proportionally to compressed file size (the cost
+/// model's rule, applied to physical bytes).
+fn simulated_io(disk: &DiskParams, sizes: &[u64]) -> f64 {
+    let total: u64 = sizes.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let b = disk.block_size;
+    sizes
+        .iter()
+        .filter(|&&s| s > 0)
+        .map(|&s| {
+            let blocks = s.div_ceil(b);
+            let buff = disk.buffer_size * s / total;
+            let blocks_buff = (buff / b).max(1);
+            let seeks = blocks.div_ceil(blocks_buff);
+            disk.seek_time * seeks as f64 + (blocks * b) as f64 / disk.read_bandwidth
+        })
+        .sum()
+}
+
+/// Execute a projection scan of `referenced` attributes against `table`,
+/// reconstructing full tuples across partitions.
+pub fn scan(table: &StoredTable, referenced: AttrSet, disk: &DiskParams) -> ScanResult {
+    // Which files does the query touch? (Unified granularity: whole file.)
+    let touched: Vec<usize> = table
+        .files
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.attrs.intersects(referenced))
+        .map(|(i, _)| i)
+        .collect();
+    let sizes: Vec<u64> = touched.iter().map(|&i| table.files[i].stored_bytes()).collect();
+    let io_seconds = simulated_io(disk, &sizes);
+    let bytes_read = sizes.iter().sum();
+
+    // Cold decode cache per scan (paper: cold caches for all runs).
+    {
+        let mut cache = table.decoded_cache.lock();
+        cache.iter_mut().for_each(|c| *c = None);
+    }
+
+    let start = Instant::now();
+    // Decode: fixed-width files decode only referenced segments;
+    // variable-width files must decode everything.
+    let mut decoded: Vec<(AttrId, ColumnData)> = Vec::new();
+    for &fi in &touched {
+        let f = &table.files[fi];
+        let need_all = !f.fixed_width();
+        for (aid, seg) in &f.segments {
+            if need_all || referenced.contains(*aid) {
+                let template = &table.source.columns[aid.index()];
+                let col = decode(seg, template_of(template));
+                if referenced.contains(*aid) {
+                    decoded.push((*aid, col));
+                } else {
+                    // Decoded only to walk the variable-width segment;
+                    // materialization cost is the point, result unused.
+                    std::hint::black_box(&col);
+                }
+            }
+        }
+    }
+    decoded.sort_by_key(|(a, _)| *a);
+
+    // Tuple reconstruction: stitch the projected row together row-by-row
+    // (per-tuple query processing, as in the cost model's assumptions).
+    let rows = table.source.rows;
+    let mut checksum = 0u64;
+    for r in 0..rows {
+        let mut row_hash = 0xcbf29ce484222325u64;
+        for (_, col) in &decoded {
+            row_hash ^= col.fingerprint(r);
+            row_hash = row_hash.wrapping_mul(0x100000001b3);
+        }
+        checksum ^= row_hash.rotate_left((r % 63) as u32);
+    }
+    let cpu_seconds = start.elapsed().as_secs_f64();
+
+    ScanResult { checksum, io_seconds, cpu_seconds, bytes_read }
+}
+
+fn template_of(col: &ColumnData) -> &ColumnData {
+    col
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::generate_table;
+    use slicer_model::AttrKind;
+
+    fn schema() -> TableSchema {
+        TableSchema::builder("Orders", 2000)
+            .attr("OrdersKey", 4, AttrKind::Int)
+            .attr("CustKey", 4, AttrKind::Int)
+            .attr("TotalPrice", 8, AttrKind::Decimal)
+            .attr("OrderDate", 4, AttrKind::Date)
+            .attr("ShipMode", 10, AttrKind::Text)
+            .attr("Comment", 79, AttrKind::Text)
+            .build()
+            .unwrap()
+    }
+
+    fn fixture(policy: CompressionPolicy, layout: Partitioning) -> StoredTable {
+        let s = schema();
+        let data = generate_table(&s, 2000, 42);
+        StoredTable::load(&s, &data, &layout, policy)
+    }
+
+    #[test]
+    fn checksums_agree_across_layouts_and_policies() {
+        // The scan oracle: same data, same projection → same checksum, no
+        // matter how it is stored.
+        let s = schema();
+        let referenced = s.attr_set(&["CustKey", "ShipMode"]).unwrap();
+        let disk = DiskParams::paper_testbed();
+        let mut sums = Vec::new();
+        for policy in [
+            CompressionPolicy::None,
+            CompressionPolicy::Default,
+            CompressionPolicy::Dictionary,
+        ] {
+            for layout in [
+                Partitioning::row(&s),
+                Partitioning::column(&s),
+                Partitioning::new(
+                    &s,
+                    vec![
+                        s.attr_set(&["OrdersKey", "CustKey"]).unwrap(),
+                        s.attr_set(&["TotalPrice", "OrderDate"]).unwrap(),
+                        s.attr_set(&["ShipMode", "Comment"]).unwrap(),
+                    ],
+                )
+                .unwrap(),
+            ] {
+                let t = fixture(policy, layout);
+                sums.push(scan(&t, referenced, &disk).checksum);
+            }
+        }
+        assert!(sums.windows(2).all(|w| w[0] == w[1]), "checksums diverge: {sums:?}");
+    }
+
+    #[test]
+    fn compression_shrinks_storage() {
+        let s = schema();
+        let t_none = fixture(CompressionPolicy::None, Partitioning::column(&s));
+        let t_def = fixture(CompressionPolicy::Default, Partitioning::column(&s));
+        assert!(t_def.stored_bytes() < t_none.stored_bytes());
+        assert!(t_def.compression_ratio() > 1.2, "{}", t_def.compression_ratio());
+    }
+
+    #[test]
+    fn column_layout_reads_fewer_bytes_than_row() {
+        let s = schema();
+        let disk = DiskParams::paper_testbed();
+        let referenced = s.attr_set(&["CustKey"]).unwrap();
+        let row = fixture(CompressionPolicy::Default, Partitioning::row(&s));
+        let col = fixture(CompressionPolicy::Default, Partitioning::column(&s));
+        let r = scan(&row, referenced, &disk);
+        let c = scan(&col, referenced, &disk);
+        assert!(c.bytes_read < r.bytes_read / 2);
+        assert!(c.io_seconds <= r.io_seconds);
+    }
+
+    #[test]
+    fn varlen_groups_force_whole_partition_decode() {
+        // Under the Default (varlen) policy, scanning one attribute of a
+        // two-attribute group decodes both segments; under Dictionary it
+        // decodes only the referenced one. Verify via CPU asymmetry on a
+        // group holding the wide Comment.
+        let s = schema();
+        let layout = Partitioning::new(
+            &s,
+            vec![
+                s.attr_set(&["OrdersKey", "Comment"]).unwrap(),
+                s.attr_set(&["CustKey", "TotalPrice", "OrderDate", "ShipMode"]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let referenced = s.attr_set(&["OrdersKey"]).unwrap();
+        let t_def = fixture(CompressionPolicy::Default, layout.clone());
+        assert!(!t_def.files[0].fixed_width());
+        let t_dict = fixture(CompressionPolicy::Dictionary, layout);
+        assert!(t_dict.files[0].fixed_width());
+        // Both still produce the same answer.
+        let disk = DiskParams::paper_testbed();
+        assert_eq!(
+            scan(&t_def, referenced, &disk).checksum,
+            scan(&t_dict, referenced, &disk).checksum
+        );
+    }
+
+    #[test]
+    fn simulated_io_uses_buffer_sharing() {
+        let disk = DiskParams::paper_testbed().with_buffer_size(16 * 1024);
+        // One 1 MB file vs two 512 KB files: the split pays more seeks.
+        let single = simulated_io(&disk, &[1 << 20]);
+        let split = simulated_io(&disk, &[1 << 19, 1 << 19]);
+        assert!(split > single, "split {split} vs single {single}");
+        assert_eq!(simulated_io(&disk, &[]), 0.0);
+    }
+
+    #[test]
+    fn untouched_partitions_are_not_read() {
+        let s = schema();
+        let disk = DiskParams::paper_testbed();
+        let col = fixture(CompressionPolicy::None, Partitioning::column(&s));
+        let r = scan(&col, s.attr_set(&["OrderDate"]).unwrap(), &disk);
+        let date_file: u64 = col.files[3].stored_bytes();
+        assert_eq!(r.bytes_read, date_file);
+    }
+}

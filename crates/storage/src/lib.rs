@@ -1,0 +1,21 @@
+//! # slicer-storage
+//!
+//! A mini column(-group) storage engine: the workspace's substitute for
+//! the commercial "DBMS-X" the paper uses in Table 7, and the end-to-end
+//! validation path for the cost model.
+//!
+//! * [`data`] — deterministic TPC-H-flavored data generation;
+//! * [`compress`] — plain / dictionary / delta / LZ77-class codecs with
+//!   the fixed-versus-variable-width distinction Table 7 hinges on;
+//! * [`engine`] — partition files over a simulated disk
+//!   ([`engine::scan`] = simulated I/O + measured decode CPU).
+
+#![warn(missing_docs)]
+
+pub mod compress;
+pub mod data;
+pub mod engine;
+
+pub use compress::{decode, default_codec, encode, Codec, EncodedColumn};
+pub use data::{generate_table, ColumnData, TableData};
+pub use engine::{scan, CompressionPolicy, PartitionFile, ScanResult, StoredTable};

@@ -1,0 +1,216 @@
+//! Multi-table benchmarks.
+//!
+//! The paper partitions every TPC-H table separately but reports aggregate
+//! numbers over the whole benchmark, and several experiments slice "the
+//! first k queries". A [`Benchmark`] keeps the cross-table query structure
+//! so per-table [`Workload`]s and query prefixes stay consistent.
+
+use slicer_model::{AttrSet, Query, TableSchema, Workload};
+
+/// One benchmark query: a name plus, per table it touches, the set of that
+/// table's attributes it references.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkQuery {
+    /// Query name, e.g. `"Q6"`.
+    pub name: String,
+    /// `(table index, referenced attributes)` pairs, at most one per table.
+    pub table_refs: Vec<(usize, AttrSet)>,
+    /// Query weight (frequency); the paper uses 1 for every query.
+    pub weight: f64,
+}
+
+impl BenchmarkQuery {
+    /// Referenced attributes of `table`, if the query touches it.
+    pub fn referenced(&self, table: usize) -> Option<AttrSet> {
+        self.table_refs
+            .iter()
+            .find(|(t, _)| *t == table)
+            .map(|(_, s)| *s)
+    }
+}
+
+/// A set of tables plus an ordered list of queries spanning them.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    name: String,
+    tables: Vec<TableSchema>,
+    queries: Vec<BenchmarkQuery>,
+}
+
+impl Benchmark {
+    /// Assemble a benchmark; panics on malformed query references (these
+    /// are programmer-authored constants, not user input).
+    pub fn new(
+        name: impl Into<String>,
+        tables: Vec<TableSchema>,
+        queries: Vec<BenchmarkQuery>,
+    ) -> Self {
+        let b = Benchmark { name: name.into(), tables, queries };
+        for q in &b.queries {
+            for (t, s) in &q.table_refs {
+                assert!(*t < b.tables.len(), "query {} references unknown table {t}", q.name);
+                assert!(
+                    !s.is_empty() && s.is_subset_of(b.tables[*t].all_attrs()),
+                    "query {} has bad attribute set for table {}",
+                    q.name,
+                    b.tables[*t].name()
+                );
+            }
+        }
+        b
+    }
+
+    /// Benchmark name (`"TPC-H"`, `"SSB"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> &[TableSchema] {
+        &self.tables
+    }
+
+    /// All queries, in benchmark order.
+    pub fn queries(&self) -> &[BenchmarkQuery] {
+        &self.queries
+    }
+
+    /// Index of the table called `name`.
+    pub fn table_index(&self, name: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t.name() == name)
+    }
+
+    /// The table called `name`; panics if absent (benchmark constants).
+    pub fn table(&self, name: &str) -> &TableSchema {
+        let idx = self
+            .table_index(name)
+            .unwrap_or_else(|| panic!("benchmark {} has no table {name}", self.name));
+        &self.tables[idx]
+    }
+
+    /// Per-table workload: the queries touching table `idx`, in order.
+    pub fn table_workload(&self, idx: usize) -> Workload {
+        let mut w = Workload::new();
+        for q in &self.queries {
+            if let Some(set) = q.referenced(idx) {
+                w.push(Query::weighted(q.name.clone(), set, q.weight));
+            }
+        }
+        w
+    }
+
+    /// Restrict to the first `k` queries (paper Figures 2 and 7).
+    pub fn prefix(&self, k: usize) -> Benchmark {
+        Benchmark {
+            name: format!("{}[..{k}]", self.name),
+            tables: self.tables.clone(),
+            queries: self.queries.iter().take(k).cloned().collect(),
+        }
+    }
+
+    /// Iterate `(table index, schema, workload)` for tables that at least
+    /// one query touches.
+    pub fn touched_tables(&self) -> Vec<(usize, &TableSchema, Workload)> {
+        (0..self.tables.len())
+            .filter_map(|i| {
+                let w = self.table_workload(i);
+                (!w.is_empty()).then_some((i, &self.tables[i], w))
+            })
+            .collect()
+    }
+
+    /// Total bytes of all tables (uncompressed logical size).
+    pub fn total_bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.row_count() * t.row_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicer_model::AttrKind;
+
+    fn tiny() -> Benchmark {
+        let t0 = TableSchema::builder("A", 10)
+            .attr("x", 4, AttrKind::Int)
+            .attr("y", 8, AttrKind::Decimal)
+            .build()
+            .unwrap();
+        let t1 = TableSchema::builder("B", 20)
+            .attr("u", 4, AttrKind::Int)
+            .attr("v", 25, AttrKind::Text)
+            .build()
+            .unwrap();
+        Benchmark::new(
+            "tiny",
+            vec![t0, t1],
+            vec![
+                BenchmarkQuery {
+                    name: "q1".into(),
+                    table_refs: vec![(0, AttrSet::single(0usize)), (1, AttrSet::single(1usize))],
+                    weight: 1.0,
+                },
+                BenchmarkQuery {
+                    name: "q2".into(),
+                    table_refs: vec![(0, AttrSet::all(2))],
+                    weight: 2.0,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn table_workload_selects_touching_queries() {
+        let b = tiny();
+        let w0 = b.table_workload(0);
+        assert_eq!(w0.len(), 2);
+        let w1 = b.table_workload(1);
+        assert_eq!(w1.len(), 1);
+        assert_eq!(w1.queries()[0].name, "q1");
+    }
+
+    #[test]
+    fn prefix_limits_queries_globally() {
+        let b = tiny().prefix(1);
+        assert_eq!(b.queries().len(), 1);
+        assert_eq!(b.table_workload(0).len(), 1);
+    }
+
+    #[test]
+    fn touched_tables_skips_untouched() {
+        let b = tiny().prefix(1);
+        // q1 touches both tables.
+        assert_eq!(b.touched_tables().len(), 2);
+        let b2 = Benchmark::new(
+            "x",
+            tiny().tables().to_vec(),
+            vec![BenchmarkQuery {
+                name: "q".into(),
+                table_refs: vec![(0, AttrSet::single(0usize))],
+                weight: 1.0,
+            }],
+        );
+        assert_eq!(b2.touched_tables().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown table")]
+    fn bad_table_index_panics() {
+        let t = tiny().tables()[0].clone();
+        Benchmark::new(
+            "bad",
+            vec![t],
+            vec![BenchmarkQuery {
+                name: "q".into(),
+                table_refs: vec![(5, AttrSet::single(0usize))],
+                weight: 1.0,
+            }],
+        );
+    }
+
+    #[test]
+    fn total_bytes_sums_tables() {
+        let b = tiny();
+        assert_eq!(b.total_bytes(), 10 * 12 + 20 * 29);
+    }
+}

@@ -1,0 +1,275 @@
+//! The Star Schema Benchmark (O'Neil et al.) as a vertical partitioning
+//! workload — used by the paper's Table 5 to show that a less fragmented
+//! access pattern yields (slightly) wider useful column groups.
+
+use crate::benchmark::{Benchmark, BenchmarkQuery};
+use slicer_model::{AttrKind, TableSchema};
+
+/// The five SSB tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SsbTable {
+    /// DATE dimension (2556 rows, fixed).
+    Date,
+    /// CUSTOMER dimension (30 k × SF).
+    Customer,
+    /// SUPPLIER dimension (2 k × SF).
+    Supplier,
+    /// PART dimension (200 k, grows logarithmically; approximated linear-ish
+    /// per the common simplification).
+    Part,
+    /// LINEORDER fact table (6 M × SF).
+    Lineorder,
+}
+
+/// All tables in canonical order.
+pub const TABLES: [SsbTable; 5] = [
+    SsbTable::Date,
+    SsbTable::Customer,
+    SsbTable::Supplier,
+    SsbTable::Part,
+    SsbTable::Lineorder,
+];
+
+fn scaled(base: u64, sf: f64) -> u64 {
+    ((base as f64) * sf).round().max(1.0) as u64
+}
+
+/// Schema of one SSB table at scale factor `sf`.
+pub fn table(which: SsbTable, sf: f64) -> TableSchema {
+    use AttrKind::*;
+    let b = match which {
+        SsbTable::Date => TableSchema::builder("Date", 2556)
+            .attr("DateKey", 4, Int)
+            .attr("Date", 18, Text)
+            .attr("DayOfWeek", 9, Text)
+            .attr("Month", 9, Text)
+            .attr("Year", 4, Int)
+            .attr("YearMonthNum", 4, Int)
+            .attr("YearMonth", 7, Text)
+            .attr("DayNumInWeek", 4, Int)
+            .attr("DayNumInMonth", 4, Int)
+            .attr("DayNumInYear", 4, Int)
+            .attr("MonthNumInYear", 4, Int)
+            .attr("WeekNumInYear", 4, Int)
+            .attr("SellingSeason", 12, Text)
+            .attr("LastDayInWeekFl", 1, Text)
+            .attr("LastDayInMonthFl", 1, Text)
+            .attr("HolidayFl", 1, Text)
+            .attr("WeekDayFl", 1, Text),
+        SsbTable::Customer => TableSchema::builder("Customer", scaled(30_000, sf))
+            .attr("CustKey", 4, Int)
+            .attr("Name", 25, Text)
+            .attr("Address", 25, Text)
+            .attr("City", 10, Text)
+            .attr("Nation", 15, Text)
+            .attr("Region", 12, Text)
+            .attr("Phone", 15, Text)
+            .attr("MktSegment", 10, Text),
+        SsbTable::Supplier => TableSchema::builder("Supplier", scaled(2_000, sf))
+            .attr("SuppKey", 4, Int)
+            .attr("Name", 25, Text)
+            .attr("Address", 25, Text)
+            .attr("City", 10, Text)
+            .attr("Nation", 15, Text)
+            .attr("Region", 12, Text)
+            .attr("Phone", 15, Text),
+        SsbTable::Part => TableSchema::builder("Part", scaled(200_000, sf.max(1.0)))
+            .attr("PartKey", 4, Int)
+            .attr("Name", 22, Text)
+            .attr("Mfgr", 6, Text)
+            .attr("Category", 7, Text)
+            .attr("Brand1", 9, Text)
+            .attr("Color", 11, Text)
+            .attr("Type", 25, Text)
+            .attr("Size", 4, Int)
+            .attr("Container", 10, Text),
+        SsbTable::Lineorder => TableSchema::builder("Lineorder", scaled(6_000_000, sf))
+            .attr("OrderKey", 4, Int)
+            .attr("LineNumber", 4, Int)
+            .attr("CustKey", 4, Int)
+            .attr("PartKey", 4, Int)
+            .attr("SuppKey", 4, Int)
+            .attr("OrderDate", 4, Date)
+            .attr("OrderPriority", 15, Text)
+            .attr("ShipPriority", 1, Text)
+            .attr("Quantity", 4, Int)
+            .attr("ExtendedPrice", 4, Int)
+            .attr("OrdTotalPrice", 4, Int)
+            .attr("Discount", 4, Int)
+            .attr("Revenue", 4, Int)
+            .attr("SupplyCost", 4, Int)
+            .attr("Tax", 4, Int)
+            .attr("CommitDate", 4, Date)
+            .attr("ShipMode", 10, Text),
+    };
+    b.build().expect("SSB schemas are statically valid")
+}
+
+/// `(query name, [(table name, [attribute names])])`.
+type QueryRefs = &'static [(&'static str, &'static [(&'static str, &'static [&'static str])])];
+
+/// Referenced attributes of the 13 SSB queries (flights Q1.x–Q4.x).
+///
+/// SSB's flights reuse nearly identical fact-table access sets within a
+/// flight — exactly the "less fragmented access pattern" the paper credits
+/// for SSB's larger improvement over column layout.
+const QUERY_REFS: QueryRefs = &[
+    ("Q1.1", &[
+        ("Lineorder", &["OrderDate", "ExtendedPrice", "Discount", "Quantity"]),
+        ("Date", &["DateKey", "Year"]),
+    ]),
+    ("Q1.2", &[
+        ("Lineorder", &["OrderDate", "ExtendedPrice", "Discount", "Quantity"]),
+        ("Date", &["DateKey", "YearMonthNum"]),
+    ]),
+    ("Q1.3", &[
+        ("Lineorder", &["OrderDate", "ExtendedPrice", "Discount", "Quantity"]),
+        ("Date", &["DateKey", "WeekNumInYear", "Year"]),
+    ]),
+    ("Q2.1", &[
+        ("Lineorder", &["OrderDate", "PartKey", "SuppKey", "Revenue"]),
+        ("Date", &["DateKey", "Year"]),
+        ("Part", &["PartKey", "Category", "Brand1"]),
+        ("Supplier", &["SuppKey", "Region"]),
+    ]),
+    ("Q2.2", &[
+        ("Lineorder", &["OrderDate", "PartKey", "SuppKey", "Revenue"]),
+        ("Date", &["DateKey", "Year"]),
+        ("Part", &["PartKey", "Brand1"]),
+        ("Supplier", &["SuppKey", "Region"]),
+    ]),
+    ("Q2.3", &[
+        ("Lineorder", &["OrderDate", "PartKey", "SuppKey", "Revenue"]),
+        ("Date", &["DateKey", "Year"]),
+        ("Part", &["PartKey", "Brand1"]),
+        ("Supplier", &["SuppKey", "Region"]),
+    ]),
+    ("Q3.1", &[
+        ("Lineorder", &["CustKey", "SuppKey", "OrderDate", "Revenue"]),
+        ("Customer", &["CustKey", "Region", "Nation"]),
+        ("Supplier", &["SuppKey", "Region", "Nation"]),
+        ("Date", &["DateKey", "Year"]),
+    ]),
+    ("Q3.2", &[
+        ("Lineorder", &["CustKey", "SuppKey", "OrderDate", "Revenue"]),
+        ("Customer", &["CustKey", "Nation", "City"]),
+        ("Supplier", &["SuppKey", "Nation", "City"]),
+        ("Date", &["DateKey", "Year"]),
+    ]),
+    ("Q3.3", &[
+        ("Lineorder", &["CustKey", "SuppKey", "OrderDate", "Revenue"]),
+        ("Customer", &["CustKey", "City"]),
+        ("Supplier", &["SuppKey", "City"]),
+        ("Date", &["DateKey", "Year"]),
+    ]),
+    ("Q3.4", &[
+        ("Lineorder", &["CustKey", "SuppKey", "OrderDate", "Revenue"]),
+        ("Customer", &["CustKey", "City"]),
+        ("Supplier", &["SuppKey", "City"]),
+        ("Date", &["DateKey", "YearMonth"]),
+    ]),
+    ("Q4.1", &[
+        ("Lineorder", &["CustKey", "SuppKey", "PartKey", "OrderDate", "Revenue", "SupplyCost"]),
+        ("Customer", &["CustKey", "Region", "Nation"]),
+        ("Supplier", &["SuppKey", "Region"]),
+        ("Part", &["PartKey", "Mfgr"]),
+        ("Date", &["DateKey", "Year"]),
+    ]),
+    ("Q4.2", &[
+        ("Lineorder", &["CustKey", "SuppKey", "PartKey", "OrderDate", "Revenue", "SupplyCost"]),
+        ("Customer", &["CustKey", "Region"]),
+        ("Supplier", &["SuppKey", "Region", "Nation"]),
+        ("Part", &["PartKey", "Mfgr", "Category"]),
+        ("Date", &["DateKey", "Year"]),
+    ]),
+    ("Q4.3", &[
+        ("Lineorder", &["CustKey", "SuppKey", "PartKey", "OrderDate", "Revenue", "SupplyCost"]),
+        ("Customer", &["CustKey", "Region"]),
+        ("Supplier", &["SuppKey", "Nation", "City"]),
+        ("Part", &["PartKey", "Category", "Brand1"]),
+        ("Date", &["DateKey", "Year"]),
+    ]),
+];
+
+/// The full SSB benchmark at scale factor `sf`: 5 tables, 13 queries.
+pub fn benchmark(sf: f64) -> Benchmark {
+    let tables: Vec<TableSchema> = TABLES.iter().map(|t| table(*t, sf)).collect();
+    let index = |name: &str| {
+        tables
+            .iter()
+            .position(|t| t.name() == name)
+            .unwrap_or_else(|| panic!("unknown table {name}"))
+    };
+    let queries = QUERY_REFS
+        .iter()
+        .map(|(qname, refs)| BenchmarkQuery {
+            name: (*qname).to_string(),
+            table_refs: refs
+                .iter()
+                .map(|(tname, attrs)| {
+                    let ti = index(tname);
+                    let set = tables[ti]
+                        .attr_set(attrs)
+                        .unwrap_or_else(|e| panic!("{qname}/{tname}: {e}"));
+                    (ti, set)
+                })
+                .collect(),
+            weight: 1.0,
+        })
+        .collect();
+    Benchmark::new("SSB", tables, queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_queries_five_tables() {
+        let b = benchmark(1.0);
+        assert_eq!(b.queries().len(), 13);
+        assert_eq!(b.tables().len(), 5);
+    }
+
+    #[test]
+    fn lineorder_touched_by_every_query() {
+        let b = benchmark(1.0);
+        let lo = b.table_index("Lineorder").unwrap();
+        assert_eq!(b.table_workload(lo).len(), 13);
+    }
+
+    #[test]
+    fn flight_queries_share_fact_access_sets() {
+        // Flight 1 queries all read the same 4 lineorder attributes — the
+        // "regular access pattern" property.
+        let b = benchmark(1.0);
+        let lo = b.table_index("Lineorder").unwrap();
+        let w = b.table_workload(lo);
+        let q11 = w.queries()[0].referenced;
+        let q12 = w.queries()[1].referenced;
+        let q13 = w.queries()[2].referenced;
+        assert_eq!(q11, q12);
+        assert_eq!(q12, q13);
+        assert_eq!(q11.len(), 4);
+    }
+
+    #[test]
+    fn lineorder_has_17_attrs() {
+        assert_eq!(table(SsbTable::Lineorder, 1.0).attr_count(), 17);
+        assert_eq!(table(SsbTable::Date, 1.0).attr_count(), 17);
+    }
+
+    #[test]
+    fn some_lineorder_attrs_never_referenced() {
+        let b = benchmark(1.0);
+        let lo = b.table_index("Lineorder").unwrap();
+        let referenced = b.table_workload(lo).referenced_attrs();
+        let s = &b.tables()[lo];
+        for never in ["LineNumber", "OrderPriority", "ShipPriority", "OrdTotalPrice", "Tax", "CommitDate", "ShipMode"] {
+            assert!(
+                !referenced.contains(s.attr_id(never).unwrap()),
+                "{never} unexpectedly referenced"
+            );
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Synthetic schemas and workloads.
+//!
+//! Deterministic (seeded) generators used by property tests, examples and
+//! the extension experiments: the paper's observations about top-down
+//! versus bottom-up convergence depend on how *regular* or *fragmented* a
+//! workload's attribute access pattern is, which these generators control
+//! directly.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use slicer_model::{AttrKind, AttrSet, Query, TableSchema, Workload};
+
+/// Shape of the attribute access pattern across queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Few query classes, each repeatedly accessing (almost) the same
+    /// attributes — top-down algorithms converge fast here (Section 2.1).
+    Regular {
+        /// Number of distinct query classes.
+        classes: usize,
+    },
+    /// Queries access few attributes with little overlap — bottom-up
+    /// algorithms converge fast here.
+    Fragmented,
+    /// Every attribute referenced independently with probability `p`.
+    Uniform {
+        /// Per-attribute reference probability.
+        p: f64,
+    },
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticSpec {
+    /// Number of attributes in the table.
+    pub attrs: usize,
+    /// Number of rows.
+    pub rows: u64,
+    /// Number of queries in the workload.
+    pub queries: usize,
+    /// Access pattern shape.
+    pub pattern: AccessPattern,
+    /// RNG seed — identical specs yield identical workloads.
+    pub seed: u64,
+}
+
+impl Default for SyntheticSpec {
+    fn default() -> Self {
+        SyntheticSpec {
+            attrs: 12,
+            rows: 1_000_000,
+            queries: 16,
+            pattern: AccessPattern::Uniform { p: 0.3 },
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Attribute widths drawn from the TPC-H-like width population.
+const WIDTH_POOL: &[(u32, AttrKind)] = &[
+    (1, AttrKind::Text),
+    (4, AttrKind::Int),
+    (4, AttrKind::Date),
+    (8, AttrKind::Decimal),
+    (10, AttrKind::Text),
+    (15, AttrKind::Text),
+    (25, AttrKind::Text),
+    (40, AttrKind::Text),
+    (100, AttrKind::Text),
+    (199, AttrKind::Text),
+];
+
+/// Generate a schema with widths sampled from a TPC-H-like population.
+pub fn table(spec: &SyntheticSpec) -> TableSchema {
+    assert!(spec.attrs >= 1 && spec.attrs <= AttrSet::CAPACITY);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut b = TableSchema::builder(format!("Synth{}", spec.attrs), spec.rows);
+    for i in 0..spec.attrs {
+        let (w, k) = *WIDTH_POOL.choose(&mut rng).expect("pool non-empty");
+        b = b.attr(format!("A{i}"), w, k);
+    }
+    b.build().expect("generated schema is valid")
+}
+
+/// Generate the workload for `schema` following `spec.pattern`.
+///
+/// Every query references at least one attribute.
+pub fn workload(schema: &TableSchema, spec: &SyntheticSpec) -> Workload {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9E3779B97F4A7C15);
+    let n = schema.attr_count();
+    let mut w = Workload::new();
+    match spec.pattern {
+        AccessPattern::Regular { classes } => {
+            let classes = classes.clamp(1, spec.queries.max(1));
+            // Build class templates: contiguous-ish attribute blocks.
+            let mut templates = Vec::with_capacity(classes);
+            for _ in 0..classes {
+                let width = rng.gen_range(1..=(n / 2).max(1));
+                let start = rng.gen_range(0..n);
+                let set: AttrSet = (0..width).map(|d| (start + d) % n).collect();
+                templates.push(set);
+            }
+            for qi in 0..spec.queries {
+                let mut set = templates[qi % classes];
+                // Small perturbation: 10% chance to add one extra attribute.
+                if rng.gen_bool(0.1) {
+                    set.insert(rng.gen_range(0..n));
+                }
+                w.push(Query::new(format!("q{qi}"), set));
+            }
+        }
+        AccessPattern::Fragmented => {
+            for qi in 0..spec.queries {
+                let k = rng.gen_range(1..=3.min(n));
+                let mut set = AttrSet::EMPTY;
+                while set.len() < k {
+                    set.insert(rng.gen_range(0..n));
+                }
+                w.push(Query::new(format!("q{qi}"), set));
+            }
+        }
+        AccessPattern::Uniform { p } => {
+            assert!((0.0..=1.0).contains(&p), "probability out of range");
+            for qi in 0..spec.queries {
+                let mut set = AttrSet::EMPTY;
+                for a in 0..n {
+                    if rng.gen_bool(p) {
+                        set.insert(a);
+                    }
+                }
+                if set.is_empty() {
+                    set.insert(rng.gen_range(0..n));
+                }
+                w.push(Query::new(format!("q{qi}"), set));
+            }
+        }
+    }
+    w
+}
+
+/// Convenience: schema + workload in one call.
+pub fn table_and_workload(spec: &SyntheticSpec) -> (TableSchema, Workload) {
+    let t = table(spec);
+    let w = workload(&t, spec);
+    (t, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let spec = SyntheticSpec::default();
+        let (t1, w1) = table_and_workload(&spec);
+        let (t2, w2) = table_and_workload(&spec);
+        assert_eq!(t1, t2);
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn different_seed_changes_output() {
+        let a = table_and_workload(&SyntheticSpec::default());
+        let b = table_and_workload(&SyntheticSpec { seed: 99, ..SyntheticSpec::default() });
+        assert!(a.0 != b.0 || a.1 != b.1);
+    }
+
+    #[test]
+    fn queries_never_empty_and_in_range() {
+        for pattern in [
+            AccessPattern::Regular { classes: 3 },
+            AccessPattern::Fragmented,
+            AccessPattern::Uniform { p: 0.05 },
+        ] {
+            let spec = SyntheticSpec { pattern, queries: 30, ..SyntheticSpec::default() };
+            let (t, w) = table_and_workload(&spec);
+            assert_eq!(w.len(), 30);
+            for q in w.queries() {
+                assert!(!q.referenced.is_empty());
+                assert!(q.referenced.is_subset_of(t.all_attrs()));
+            }
+        }
+    }
+
+    #[test]
+    fn regular_pattern_repeats_access_sets() {
+        let spec = SyntheticSpec {
+            pattern: AccessPattern::Regular { classes: 2 },
+            queries: 20,
+            ..SyntheticSpec::default()
+        };
+        let (_, w) = table_and_workload(&spec);
+        let distinct: std::collections::HashSet<_> =
+            w.queries().iter().map(|q| q.referenced).collect();
+        // 2 classes + occasional perturbations: far fewer than 20 shapes.
+        assert!(distinct.len() <= 8, "too many shapes: {}", distinct.len());
+    }
+
+    #[test]
+    fn fragmented_pattern_keeps_queries_narrow() {
+        let spec = SyntheticSpec {
+            pattern: AccessPattern::Fragmented,
+            queries: 25,
+            ..SyntheticSpec::default()
+        };
+        let (_, w) = table_and_workload(&spec);
+        assert!(w.queries().iter().all(|q| q.referenced.len() <= 3));
+    }
+}

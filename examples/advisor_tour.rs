@@ -1,0 +1,71 @@
+//! Advisor tour: run all seven knives on the TPC-H Lineitem table and
+//! compare them along the paper's four metrics.
+//!
+//! Run with: `cargo run --release --example advisor_tour`
+
+use slicer::core::{paper_advisors, PerfectMaterializedViews};
+use slicer::metrics;
+use slicer::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let benchmark = tpch::benchmark(10.0);
+    let li = benchmark.table_index("Lineitem").expect("lineitem exists");
+    let table = &benchmark.tables()[li];
+    let workload = benchmark.table_workload(li);
+    let cost = HddCostModel::paper_testbed();
+    let req = PartitionRequest::new(table, &workload, &cost);
+
+    println!("{table}, {} queries reference it\n", workload.len());
+    println!(
+        "{:<11} {:>12} {:>10} {:>8} {:>7} {:>9}  layout",
+        "advisor", "opt time", "est cost", "unnec%", "joins", "PMV dist"
+    );
+
+    let pmv = PerfectMaterializedViews::workload_cost(table, &workload, &cost);
+    for advisor in paper_advisors() {
+        let start = Instant::now();
+        let layout = match advisor.partition(&req) {
+            Ok(l) => l,
+            Err(e) => {
+                println!("{:<11} skipped: {e}", advisor.name());
+                continue;
+            }
+        };
+        let elapsed = start.elapsed();
+        let c = cost.workload_cost(table, &layout, &workload);
+        let vol = metrics::data_volume(table, &layout, &workload);
+        let joins = metrics::avg_reconstruction_joins(&layout, &workload);
+        println!(
+            "{:<11} {:>12} {:>9.1}s {:>7.2}% {:>7.2} {:>8.1}%  {} groups",
+            advisor.name(),
+            format!("{elapsed:.2?}"),
+            c,
+            100.0 * vol.unnecessary_fraction(),
+            joins,
+            100.0 * (c - pmv) / pmv,
+            layout.len(),
+        );
+    }
+
+    for (name, layout) in [
+        ("Column", Partitioning::column(table)),
+        ("Row", Partitioning::row(table)),
+    ] {
+        let c = cost.workload_cost(table, &layout, &workload);
+        let vol = metrics::data_volume(table, &layout, &workload);
+        println!(
+            "{:<11} {:>12} {:>9.1}s {:>7.2}% {:>7.2} {:>8.1}%  {} groups",
+            name,
+            "-",
+            c,
+            100.0 * vol.unnecessary_fraction(),
+            metrics::avg_reconstruction_joins(&layout, &workload),
+            100.0 * (c - pmv) / pmv,
+            layout.len(),
+        );
+    }
+
+    println!("\nLesson 1: the greedy knives land on (or within a hair of) the brute-force optimum.");
+    println!("Lesson 4: none of them beats Column by much on the full TPC-H workload.");
+}

@@ -1,0 +1,68 @@
+//! Online partitioning: stream a drifting query workload through O2P and
+//! watch the layout adapt — the scenario O2P was designed for (BIRTE '11).
+//!
+//! Run with: `cargo run --release --example online_partitioning`
+
+use slicer::core::O2pOnline;
+use slicer::prelude::*;
+
+fn main() -> Result<(), ModelError> {
+    let table = tpch::table(tpch::TpchTable::Lineitem, 1.0);
+    let cost = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(512 * 1024));
+    let mut online = O2pOnline::new(&table, &cost);
+
+    // Phase 1: a reporting application hammering the Q1/Q6 pricing columns.
+    let pricing = table.attr_set(&[
+        "Quantity",
+        "ExtendedPrice",
+        "Discount",
+        "ShipDate",
+    ])?;
+    // Phase 2: a logistics application arrives, with a different footprint.
+    let logistics = table.attr_set(&[
+        "OrderKey",
+        "CommitDate",
+        "ReceiptDate",
+        "ShipMode",
+    ])?;
+
+    println!("initial layout: 1 partition (row layout), no queries seen\n");
+    for i in 0..6 {
+        let layout = online.observe(Query::new(format!("pricing-{i}"), pricing));
+        if i == 5 {
+            println!("after {} pricing queries:\n  {}", i + 1, layout.render(&table));
+        }
+    }
+    for i in 0..10 {
+        let layout = online.observe(Query::new(format!("logistics-{i}"), logistics));
+        if i == 9 {
+            println!(
+                "\nafter {} more logistics queries:\n  {}",
+                i + 1,
+                layout.render(&table)
+            );
+        }
+    }
+
+    let final_layout = online.layout();
+    println!(
+        "\nthe pricing columns stay co-located: {}",
+        final_layout
+            .partition_of(table.attr_id("ExtendedPrice").expect("attr"))
+            .map(|p| table.render_set(p))
+            .expect("attr is in some partition")
+    );
+    println!(
+        "the logistics columns found their own home: {}",
+        final_layout
+            .partition_of(table.attr_id("CommitDate").expect("attr"))
+            .map(|p| table.render_set(p))
+            .expect("attr is in some partition")
+    );
+    println!(
+        "\ntotal queries observed: {}; final partition count: {}",
+        online.queries_seen(),
+        final_layout.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: the paper's introductory example (Section 1.1).
+//!
+//! Partition the TPC-H PartSupp table for a two-query workload and compare
+//! the advisor's layout against row and column layouts.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use slicer::prelude::*;
+
+fn main() -> Result<(), ModelError> {
+    // The PartSupp table at scale factor 10 (8 M rows).
+    let table = tpch::table(tpch::TpchTable::PartSupp, 10.0);
+    println!("table: {table}");
+
+    // The paper's workload:
+    //   Q1: SELECT PartKey, SuppKey, AvailQty, SupplyCost FROM PartSupp;
+    //   Q2: SELECT AvailQty, SupplyCost, Comment FROM PartSupp;
+    let workload = Workload::with_queries(
+        &table,
+        vec![
+            Query::new(
+                "Q1",
+                table.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"])?,
+            ),
+            Query::new("Q2", table.attr_set(&["AvailQty", "SupplyCost", "Comment"])?),
+        ],
+    )?;
+
+    // A disk with a deliberately small I/O buffer, where vertical
+    // partitioning matters most (paper Lesson 2).
+    let disk = DiskParams::paper_testbed().with_buffer_size(64 * 1024);
+    let cost = HddCostModel::new(disk);
+    let req = PartitionRequest::new(&table, &workload, &cost);
+
+    // Ask the paper's best knife (Lesson 3).
+    let layout = HillClimb::new().partition(&req)?;
+    println!("\nHillClimb layout: {}", layout.render(&table));
+
+    let row = Partitioning::row(&table);
+    let column = Partitioning::column(&table);
+    println!("\nestimated workload costs (seconds):");
+    for (name, p) in [("HillClimb", &layout), ("Row", &row), ("Column", &column)] {
+        println!("  {name:10} {:10.2}", cost.workload_cost(&table, p, &workload));
+    }
+
+    // The layout should be the paper's P1(PartKey,SuppKey),
+    // P2(AvailQty,SupplyCost), P3(Comment).
+    assert_eq!(layout.len(), 3);
+    println!("\nQ1 touches {} partitions, Q2 touches {} partitions",
+        layout.referenced_count(workload.queries()[0].referenced),
+        layout.referenced_count(workload.queries()[1].referenced));
+    Ok(())
+}

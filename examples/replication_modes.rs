@@ -1,0 +1,58 @@
+//! Replication extensions: AutoPart's partial replication and Trojan's
+//! per-replica layouts — the two modes the paper's unified setting strips
+//! (Section 4, "Common Replication") and this library keeps as optional
+//! features.
+//!
+//! Run with: `cargo run --release --example replication_modes`
+
+use slicer::core::Trojan;
+use slicer::prelude::*;
+
+fn main() -> Result<(), ModelError> {
+    let table = tpch::table(tpch::TpchTable::PartSupp, 1.0);
+    let workload = Workload::with_queries(
+        &table,
+        vec![
+            Query::new("scan-keys", table.attr_set(&["PartKey", "SuppKey"])?),
+            Query::new(
+                "stock-check",
+                table.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"])?,
+            ),
+            Query::new("audit", table.attr_set(&["AvailQty", "SupplyCost", "Comment"])?),
+        ],
+    )?;
+    let cost = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(128 * 1024));
+    let req = PartitionRequest::new(&table, &workload, &cost);
+
+    // Baseline: the disjoint unified-setting AutoPart.
+    let disjoint = AutoPart::new().partition(&req)?;
+    let disjoint_cost = cost.workload_cost(&table, &disjoint, &workload);
+    println!("disjoint AutoPart ({} groups): {:.2} s", disjoint.len(), disjoint_cost);
+    println!("  {}", disjoint.render(&table));
+
+    // Partial replication with a 1.5× storage budget: attributes may appear
+    // in several fragments; each query greedily picks its cheapest cover.
+    let replicated = AutoPart::new().partition_with_replication(&req, 1.5)?;
+    let replicated_cost = replicated.workload_cost(&table, &workload, &cost);
+    println!(
+        "\nreplicated AutoPart ({} fragments, {:.2}× storage): {:.2} s",
+        replicated.fragments.len(),
+        replicated.storage_blowup(&table),
+        replicated_cost
+    );
+    for f in &replicated.fragments {
+        println!("  F({})", table.render_set(*f));
+    }
+    assert!(replicated_cost <= disjoint_cost + 1e-9, "replication never hurts");
+
+    // Trojan's per-replica layouts: one layout per query group, as on HDFS
+    // with three-way replication.
+    let replicas = Trojan::new().partition_replicated(&req, 2)?;
+    println!("\nTrojan with 2 data replicas:");
+    for (i, r) in replicas.iter().enumerate() {
+        let names: Vec<&str> =
+            r.query_indices.iter().map(|&q| workload.queries()[q].name.as_str()).collect();
+        println!("  replica {i}: queries {:?} → {}", names, r.layout.render(&table));
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # slicer — vertical partitioning advisors for row stores
+//!
+//! A Rust reproduction of *"A Comparison of Knives for Bread Slicing"*
+//! (Jindal, Palatinus, Pavlov, Dittrich; PVLDB 6(6), 2013): seven vertical
+//! partitioning algorithms, two cost models, the TPC-H/SSB workload models,
+//! the paper's four comparison metrics, and a mini storage engine used to
+//! validate estimated costs end to end.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! ```
+//! use slicer::prelude::*;
+//!
+//! // The PartSupp example from the paper's introduction.
+//! let table = tpch::table(tpch::TpchTable::PartSupp, 1.0);
+//! let workload = Workload::with_queries(&table, vec![
+//!     Query::new("Q1", table.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"]).unwrap()),
+//!     Query::new("Q2", table.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap()),
+//! ]).unwrap();
+//!
+//! let cost = HddCostModel::paper_testbed();
+//! let layout = HillClimb::new().partition(&PartitionRequest::new(&table, &workload, &cost)).unwrap();
+//! assert!(layout.len() >= 2);
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured results of every table and figure.
+
+pub use slicer_combinat as combinat;
+pub use slicer_core as core;
+pub use slicer_cost as cost;
+pub use slicer_experiments as experiments;
+pub use slicer_metrics as metrics;
+pub use slicer_model as model;
+pub use slicer_storage as storage;
+pub use slicer_workloads as workloads;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use slicer_core::{
+        Advisor, AutoPart, BruteForce, HillClimb, Hyrise, Navathe, PartitionRequest, Trojan, O2P,
+    };
+    pub use slicer_cost::{CostModel, DiskParams, HddCostModel, MainMemoryCostModel};
+    pub use slicer_model::{
+        AttrId, AttrKind, AttrSet, Attribute, ModelError, Partitioning, Query, TableSchema,
+        Workload,
+    };
+    pub use slicer_workloads::{ssb, tpch, Benchmark};
+}

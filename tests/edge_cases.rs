@@ -1,0 +1,174 @@
+//! Edge cases and failure injection across the advisor surface.
+
+use slicer::core::paper_advisors;
+use slicer::prelude::*;
+
+fn single_attr_table() -> TableSchema {
+    TableSchema::builder("One", 1_000_000)
+        .attr("Only", 8, AttrKind::Decimal)
+        .build()
+        .expect("valid")
+}
+
+#[test]
+fn single_attribute_table_works_for_every_advisor() {
+    let t = single_attr_table();
+    let w = Workload::with_queries(&t, vec![Query::new("q", t.all_attrs())]).expect("valid");
+    let m = HddCostModel::paper_testbed();
+    let req = PartitionRequest::new(&t, &w, &m);
+    for advisor in paper_advisors() {
+        let layout = advisor
+            .partition(&req)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", advisor.name()));
+        assert_eq!(layout.len(), 1, "{}", advisor.name());
+    }
+}
+
+#[test]
+fn duplicate_queries_behave_like_weights() {
+    // A workload with one query repeated three times must induce the same
+    // layout as the same query with weight 3.
+    let t = tpch::table(tpch::TpchTable::PartSupp, 1.0);
+    let refs = t.attr_set(&["PartKey", "SuppKey"]).expect("attrs");
+    let other = t.attr_set(&["AvailQty", "Comment"]).expect("attrs");
+    let m = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(64 * 1024));
+
+    let repeated = Workload::with_queries(
+        &t,
+        vec![
+            Query::new("a1", refs),
+            Query::new("a2", refs),
+            Query::new("a3", refs),
+            Query::new("b", other),
+        ],
+    )
+    .expect("valid");
+    let weighted = Workload::with_queries(
+        &t,
+        vec![Query::weighted("a", refs, 3.0), Query::new("b", other)],
+    )
+    .expect("valid");
+
+    for advisor in paper_advisors() {
+        if advisor.name() == "O2P" {
+            continue; // online: arrival multiplicity legitimately matters
+        }
+        let l1 = advisor
+            .partition(&PartitionRequest::new(&t, &repeated, &m))
+            .expect("repeated");
+        let l2 = advisor
+            .partition(&PartitionRequest::new(&t, &weighted, &m))
+            .expect("weighted");
+        assert_eq!(l1, l2, "{} treats repetition ≠ weight", advisor.name());
+    }
+}
+
+#[test]
+fn skewed_weights_pull_the_layout() {
+    // When one query dominates by weight, the brute-force layout must be at
+    // least as good for it as for the light query (its referenced set ends
+    // up in fewer partitions).
+    let t = tpch::table(tpch::TpchTable::PartSupp, 1.0);
+    let heavy = t.attr_set(&["PartKey", "SuppKey", "AvailQty"]).expect("attrs");
+    let light = t.attr_set(&["SupplyCost", "Comment"]).expect("attrs");
+    let m = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(64 * 1024));
+    let w = Workload::with_queries(
+        &t,
+        vec![Query::weighted("heavy", heavy, 1000.0), Query::weighted("light", light, 1.0)],
+    )
+    .expect("valid");
+    let layout = BruteForce::exhaustive()
+        .partition(&PartitionRequest::new(&t, &w, &m))
+        .expect("brute force");
+    assert!(
+        layout.referenced_count(heavy) <= layout.referenced_count(light).max(1),
+        "heavy query should touch few partitions: {}",
+        layout.render(&t)
+    );
+}
+
+#[test]
+fn queries_touching_everything_yield_row_layout() {
+    let t = tpch::table(tpch::TpchTable::Customer, 0.1);
+    let w = Workload::with_queries(
+        &t,
+        vec![Query::new("q1", t.all_attrs()), Query::new("q2", t.all_attrs())],
+    )
+    .expect("valid");
+    let m = HddCostModel::paper_testbed();
+    let req = PartitionRequest::new(&t, &w, &m);
+    for advisor in paper_advisors() {
+        let layout = advisor.partition(&req).expect("runs");
+        assert_eq!(layout.len(), 1, "{} should keep the row layout", advisor.name());
+    }
+}
+
+#[test]
+fn tiny_tables_fit_one_block_and_all_layouts_tie_on_scans() {
+    // The paper's Figure 14(e)/(g) remark: Nation and Region fit into one
+    // block, so partitioning does not influence scan volume (only seeks).
+    let t = tpch::table(tpch::TpchTable::Region, 1.0);
+    let m = HddCostModel::paper_testbed();
+    assert_eq!(m.blocks_on_disk(t.row_count(), t.row_size()), 1);
+}
+
+#[test]
+fn wide_table_only_trojan_refuses() {
+    // 32-attribute table: Trojan's 2^n enumeration refuses (documented
+    // bound); every other advisor still works.
+    let mut b = TableSchema::builder("Wide", 10_000);
+    for i in 0..32 {
+        b = b.attr(format!("A{i}"), 4, AttrKind::Int);
+    }
+    let t = b.build().expect("valid");
+    let w = Workload::with_queries(
+        &t,
+        vec![
+            Query::new("q1", (0..8usize).collect::<AttrSet>()),
+            Query::new("q2", (8..16usize).collect::<AttrSet>()),
+            Query::new("q3", (4..12usize).collect::<AttrSet>()),
+        ],
+    )
+    .expect("valid");
+    let m = HddCostModel::paper_testbed();
+    let req = PartitionRequest::new(&t, &w, &m);
+    for advisor in paper_advisors() {
+        let result = advisor.partition(&req);
+        match advisor.name() {
+            "Trojan" => assert!(result.is_err(), "Trojan must refuse 32 attrs"),
+            _ => {
+                let layout =
+                    result.unwrap_or_else(|e| panic!("{} failed: {e}", advisor.name()));
+                assert!(Partitioning::new(&t, layout.partitions().to_vec()).is_ok());
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_weight_query_rejected_at_construction() {
+    let t = single_attr_table();
+    let mut w = Workload::new();
+    let err = w
+        .push_validated(&t, Query::weighted("zero", t.all_attrs(), 0.0))
+        .unwrap_err();
+    assert!(matches!(err, ModelError::BadWeight { .. }));
+}
+
+#[test]
+fn cost_model_is_scale_monotone() {
+    // Doubling the table size never reduces any layout's cost.
+    let small = tpch::table(tpch::TpchTable::Orders, 0.1);
+    let large = small.with_row_count(small.row_count() * 2);
+    let w_small = Workload::with_queries(
+        &small,
+        vec![Query::new("q", small.attr_set(&["OrderKey", "TotalPrice"]).expect("attrs"))],
+    )
+    .expect("valid");
+    let m = HddCostModel::paper_testbed();
+    for layout_of in [Partitioning::row, Partitioning::column] {
+        let c_small = m.workload_cost(&small, &layout_of(&small), &w_small);
+        let c_large = m.workload_cost(&large, &layout_of(&large), &w_small);
+        assert!(c_large >= c_small);
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use slicer::combinat::{bell_number, bond_energy_order, AffinityMatrix, SetPartitions};
+use slicer::core::paper_advisors;
+use slicer::prelude::*;
+use slicer::workloads::synth::{table_and_workload, AccessPattern, SyntheticSpec};
+
+// ---------- AttrSet algebra ----------
+
+fn attr_indices() -> impl Strategy<Value = Vec<usize>> {
+    vec(0usize..256, 0..24)
+}
+
+proptest! {
+    #[test]
+    fn attrset_union_is_commutative_and_idempotent(a in attr_indices(), b in attr_indices()) {
+        let sa: AttrSet = a.iter().copied().collect();
+        let sb: AttrSet = b.iter().copied().collect();
+        prop_assert_eq!(sa.union(sb), sb.union(sa));
+        prop_assert_eq!(sa.union(sa), sa);
+        prop_assert_eq!(sa.union(AttrSet::EMPTY), sa);
+    }
+
+    #[test]
+    fn attrset_demorgan_within_universe(a in attr_indices(), b in attr_indices()) {
+        let u = AttrSet::all(256);
+        let sa: AttrSet = a.iter().copied().collect();
+        let sb: AttrSet = b.iter().copied().collect();
+        // u \ (a ∪ b) == (u \ a) ∩ (u \ b)
+        prop_assert_eq!(
+            u.difference(sa.union(sb)),
+            u.difference(sa).intersection(u.difference(sb))
+        );
+    }
+
+    #[test]
+    fn attrset_len_matches_iteration(a in attr_indices()) {
+        let s: AttrSet = a.iter().copied().collect();
+        prop_assert_eq!(s.len(), s.iter().count());
+        let sorted: Vec<usize> = s.iter().map(|x| x.index()).collect();
+        let mut expected: Vec<usize> = a.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn attrset_intersects_agrees_with_intersection(a in attr_indices(), b in attr_indices()) {
+        let sa: AttrSet = a.iter().copied().collect();
+        let sb: AttrSet = b.iter().copied().collect();
+        prop_assert_eq!(sa.intersects(sb), !sa.intersection(sb).is_empty());
+    }
+}
+
+// ---------- enumeration ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn rgs_enumeration_counts_match_bell(n in 1usize..9) {
+        let mut it = SetPartitions::new(n);
+        let mut count = 0u128;
+        while it.next_rgs().is_some() { count += 1; }
+        prop_assert_eq!(count, bell_number(n));
+    }
+}
+
+// ---------- bond energy ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn bea_always_returns_a_permutation(
+        n in 2usize..12,
+        queries in vec(vec(0usize..12, 1..6), 1..10),
+    ) {
+        let mut m = AffinityMatrix::zero(n);
+        for q in &queries {
+            let attrs: Vec<usize> = q.iter().map(|a| a % n).collect();
+            m.record_query(&attrs, 1.0);
+        }
+        let order = bond_energy_order(&m);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+}
+
+// ---------- advisors on random workloads ----------
+
+fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
+    (2usize..10, 1usize..10, any::<u64>(), 0usize..3).prop_map(
+        |(attrs, queries, seed, pattern)| SyntheticSpec {
+            attrs,
+            rows: 500_000,
+            queries,
+            pattern: match pattern {
+                0 => AccessPattern::Regular { classes: 2 },
+                1 => AccessPattern::Fragmented,
+                _ => AccessPattern::Uniform { p: 0.35 },
+            },
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn every_advisor_yields_valid_layouts_on_random_workloads(spec in spec_strategy()) {
+        let (table, workload) = table_and_workload(&spec);
+        let cost = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&table, &workload, &cost);
+        for advisor in paper_advisors() {
+            let layout = advisor
+                .partition(&req)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", advisor.name()));
+            prop_assert!(
+                Partitioning::new(&table, layout.partitions().to_vec()).is_ok(),
+                "{} produced an invalid layout {layout}", advisor.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bruteforce_is_optimal_on_random_workloads(spec in spec_strategy()) {
+        let (table, workload) = table_and_workload(&spec);
+        let cost = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&table, &workload, &cost);
+        let bf = BruteForce::exhaustive().with_threads(1).partition(&req).expect("small space");
+        let optimum = req.cost(&bf);
+        for advisor in paper_advisors() {
+            if advisor.name() == "BruteForce" { continue; }
+            let layout = advisor.partition(&req).expect("advisor runs");
+            prop_assert!(
+                req.cost(&layout) >= optimum - 1e-9 * optimum.abs().max(1.0),
+                "{} beat brute force: {} < {optimum}", advisor.name(), req.cost(&layout)
+            );
+        }
+        // Row/Column bounded too.
+        prop_assert!(req.cost(&Partitioning::row(&table)) >= optimum - 1e-9);
+        prop_assert!(req.cost(&Partitioning::column(&table)) >= optimum - 1e-9);
+    }
+
+    #[test]
+    fn hillclimb_never_loses_to_column_its_own_start(spec in spec_strategy()) {
+        let (table, workload) = table_and_workload(&spec);
+        let cost = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&table, &workload, &cost);
+        let layout = HillClimb::new().partition(&req).expect("hillclimb");
+        prop_assert!(req.cost(&layout) <= req.cost(&Partitioning::column(&table)) + 1e-9);
+    }
+}
+
+// ---------- cost model properties ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn reading_more_partitions_never_costs_less(
+        spec in spec_strategy(),
+        extra in 0usize..8,
+    ) {
+        let (table, workload) = table_and_workload(&spec);
+        if workload.is_empty() { return Ok(()); }
+        let cost = HddCostModel::paper_testbed();
+        let q = workload.queries()[0].referenced;
+        let col = Partitioning::column(&table);
+        let read: Vec<AttrSet> = col.referenced_partitions(q).copied().collect();
+        let base = cost.read_cost(&table, &read);
+        // Add one more (unreferenced) partition to the read set.
+        let extra_attr = extra % table.attr_count();
+        let mut bigger = read.clone();
+        let extra_set = AttrSet::single(extra_attr);
+        if !bigger.contains(&extra_set) {
+            bigger.push(extra_set);
+            prop_assert!(
+                cost.read_cost(&table, &bigger) >= base - 1e-12,
+                "reading strictly more data got cheaper"
+            );
+        }
+    }
+
+    #[test]
+    fn wider_rows_cost_more_to_scan(width_a in 1u32..64, width_b in 64u32..256) {
+        let rows = 1_000_000;
+        let t = TableSchema::builder("T", rows)
+            .attr("A", width_a, AttrKind::Text)
+            .attr("B", width_b, AttrKind::Text)
+            .build()
+            .expect("valid");
+        let cost = HddCostModel::paper_testbed();
+        let narrow = cost.read_cost(&t, &[t.attr_set(&["A"]).expect("a")]);
+        let wide = cost.read_cost(&t, &[t.attr_set(&["B"]).expect("b")]);
+        prop_assert!(wide >= narrow, "wider partition scanned cheaper: {wide} < {narrow}");
+    }
+}
