@@ -34,9 +34,7 @@ fn bench_hyrise_k(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_hyrise_k");
     for k in [1usize, 4, 16] {
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, &k| {
-            bench.iter(|| {
-                black_box(Hyrise::with_subgraph_bound(k).partition(&req).expect("ok"))
-            })
+            bench.iter(|| black_box(Hyrise::with_subgraph_bound(k).partition(&req).expect("ok")))
         });
     }
     g.finish();
@@ -79,5 +77,10 @@ fn bench_bruteforce_modes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_hyrise_k, bench_trojan_threshold, bench_bruteforce_modes);
+criterion_group!(
+    benches,
+    bench_hyrise_k,
+    bench_trojan_threshold,
+    bench_bruteforce_modes
+);
 criterion_main!(benches);

@@ -14,7 +14,9 @@ use std::hint::black_box;
 
 fn print_reports() {
     let cfg = Config::quick();
-    for id in ["fig3", "fig4", "fig5", "fig6", "fig7", "table3", "table4", "table5"] {
+    for id in [
+        "fig3", "fig4", "fig5", "fig6", "fig7", "table3", "table4", "table5",
+    ] {
         if let Some(r) = run(id, &cfg) {
             println!("{}", r.to_text());
         }
@@ -88,5 +90,10 @@ fn bench_benchmark_suites(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cost_models, bench_quality_metrics, bench_benchmark_suites);
+criterion_group!(
+    benches,
+    bench_cost_models,
+    bench_quality_metrics,
+    bench_benchmark_suites
+);
 criterion_main!(benches);

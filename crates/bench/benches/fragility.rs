@@ -39,9 +39,7 @@ fn bench_fragility_eval(c: &mut Criterion) {
         ),
         (
             "bandwidth_60MBs",
-            HddCostModel::new(
-                DiskParams::paper_testbed().with_read_bandwidth(60.0 * MB as f64),
-            ),
+            HddCostModel::new(DiskParams::paper_testbed().with_read_bandwidth(60.0 * MB as f64)),
         ),
         (
             "seek_6ms",

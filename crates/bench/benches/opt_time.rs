@@ -23,6 +23,35 @@ fn print_reports() {
     }
 }
 
+/// The headline kernel of the cost-evaluation engine: HillClimb over the
+/// 16-attribute Lineitem workload, fast (incremental + memoized + parallel)
+/// versus naive (rebuild-and-reprice-everything). The acceptance bar is a
+/// ≥ 5× end-to-end speedup with byte-identical layouts; the `opt_bench`
+/// binary records the same comparison into `BENCH_opt_time.json`.
+fn bench_evaluator_vs_naive(c: &mut Criterion) {
+    let b = tpch::benchmark(10.0);
+    let li = b.table_index("Lineitem").expect("lineitem");
+    let schema = &b.tables()[li];
+    let workload = b.table_workload(li);
+    let m = HddCostModel::paper_testbed();
+    let fast = PartitionRequest::new(schema, &workload, &m);
+    let naive = fast.with_naive_evaluation();
+    assert_eq!(
+        HillClimb::new().partition(&fast).expect("fast"),
+        HillClimb::new().partition(&naive).expect("naive"),
+        "paths must agree before timing them"
+    );
+    let mut g = c.benchmark_group("opt_time_evaluator_vs_naive_lineitem");
+    g.sample_size(10);
+    g.bench_function("hillclimb_evaluator", |bench| {
+        bench.iter(|| black_box(HillClimb::new().partition(black_box(&fast)).expect("ok")))
+    });
+    g.bench_function("hillclimb_naive", |bench| {
+        bench.iter(|| black_box(HillClimb::new().partition(black_box(&naive)).expect("ok")))
+    });
+    g.finish();
+}
+
 fn bench_advisors_on_lineitem(c: &mut Criterion) {
     print_reports();
     let b = tpch::benchmark(10.0);
@@ -99,6 +128,7 @@ fn bench_workload_scaling(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_evaluator_vs_naive,
     bench_advisors_on_lineitem,
     bench_bruteforce_small_tables,
     bench_workload_scaling

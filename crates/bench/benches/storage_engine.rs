@@ -61,9 +61,10 @@ fn bench_scans(c: &mut Criterion) {
     let mut g = c.benchmark_group("table7_scans");
     g.sample_size(20);
     for policy in [CompressionPolicy::Default, CompressionPolicy::Dictionary] {
-        for (lname, layout) in
-            [("row", Partitioning::row(&small)), ("column", Partitioning::column(&small))]
-        {
+        for (lname, layout) in [
+            ("row", Partitioning::row(&small)),
+            ("column", Partitioning::column(&small)),
+        ] {
             let table = StoredTable::load(&small, &data, &layout, policy);
             g.bench_with_input(
                 BenchmarkId::new(format!("{policy:?}"), lname),

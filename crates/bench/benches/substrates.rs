@@ -81,7 +81,10 @@ fn bench_set_packing(c: &mut Criterion) {
             let b = (i * 7 + 3) % n;
             let mut s = AttrSet::single(a);
             s.insert(b);
-            ValuedGroup { attrs: s, value: 1.0 + (i % 5) as f64 }
+            ValuedGroup {
+                attrs: s,
+                value: 1.0 + (i % 5) as f64,
+            }
         })
         .collect();
     let mut g = c.benchmark_group("substrate_set_packing");

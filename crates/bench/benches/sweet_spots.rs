@@ -25,9 +25,7 @@ fn bench_reoptimization_per_buffer(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("fig9_reoptimize_per_buffer");
     for buffer_kb in [64u64, 8 * 1024, 1024 * 1024] {
-        let m = HddCostModel::new(
-            DiskParams::paper_testbed().with_buffer_size(buffer_kb * KB),
-        );
+        let m = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(buffer_kb * KB));
         let req = PartitionRequest::new(schema, &w, &m);
         g.bench_with_input(
             BenchmarkId::new("HillClimb", format!("{buffer_kb}KB")),
@@ -77,10 +75,14 @@ fn bench_scale_sweep_point(c: &mut Criterion) {
         let schema = b.tables()[li].clone();
         let w = b.table_workload(li);
         let m = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(MB));
-        g.bench_with_input(BenchmarkId::new("HillClimb_1MB", format!("sf{sf}")), &(), |bench, _| {
-            let req = PartitionRequest::new(&schema, &w, &m);
-            bench.iter(|| black_box(HillClimb::new().partition(&req).expect("ok")))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("HillClimb_1MB", format!("sf{sf}")),
+            &(),
+            |bench, _| {
+                let req = PartitionRequest::new(&schema, &w, &m);
+                bench.iter(|| black_box(HillClimb::new().partition(&req).expect("ok")))
+            },
+        );
     }
     g.finish();
 }

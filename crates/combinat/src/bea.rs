@@ -25,7 +25,10 @@ pub struct AffinityMatrix {
 impl AffinityMatrix {
     /// Zero matrix for `n` attributes.
     pub fn zero(n: usize) -> Self {
-        AffinityMatrix { n, aff: vec![0.0; n * n] }
+        AffinityMatrix {
+            n,
+            aff: vec![0.0; n * n],
+        }
     }
 
     /// Matrix dimension.
@@ -130,7 +133,10 @@ pub struct IncrementalBea {
 impl IncrementalBea {
     /// Start with `n` attributes, zero affinity, identity order.
     pub fn new(n: usize) -> Self {
-        IncrementalBea { matrix: AffinityMatrix::zero(n), order: (0..n).collect() }
+        IncrementalBea {
+            matrix: AffinityMatrix::zero(n),
+            order: (0..n).collect(),
+        }
     }
 
     /// Current clustered order.
@@ -203,8 +209,16 @@ mod tests {
         m.record_query(&[2, 3], 10.0);
         let order = bond_energy_order(&m);
         let pos = |a: usize| order.iter().position(|&x| x == a).unwrap();
-        assert_eq!(pos(0).abs_diff(pos(1)), 1, "cluster {{0,1}} adjacent in {order:?}");
-        assert_eq!(pos(2).abs_diff(pos(3)), 1, "cluster {{2,3}} adjacent in {order:?}");
+        assert_eq!(
+            pos(0).abs_diff(pos(1)),
+            1,
+            "cluster {{0,1}} adjacent in {order:?}"
+        );
+        assert_eq!(
+            pos(2).abs_diff(pos(3)),
+            1,
+            "cluster {{2,3}} adjacent in {order:?}"
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ pub struct Graph {
 impl Graph {
     /// Graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        Graph { n, w: vec![0.0; n * n] }
+        Graph {
+            n,
+            w: vec![0.0; n * n],
+        }
     }
 
     /// Number of nodes.
@@ -64,7 +67,10 @@ pub fn partition_graph(g: &Graph, max_part_size: usize) -> Vec<Vec<usize>> {
         let seed = (0..n)
             .filter(|&x| !assigned[x])
             .max_by(|&a, &b| {
-                degree(a).partial_cmp(&degree(b)).expect("finite degrees").then(b.cmp(&a))
+                degree(a)
+                    .partial_cmp(&degree(b))
+                    .expect("finite degrees")
+                    .then(b.cmp(&a))
             })
             .expect("some node unassigned");
         assigned[seed] = true;
@@ -73,7 +79,11 @@ pub fn partition_graph(g: &Graph, max_part_size: usize) -> Vec<Vec<usize>> {
             let cand = (0..n)
                 .filter(|&x| !assigned[x])
                 .map(|x| (x, g.gain_into(x, &part)))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite gains").then(b.0.cmp(&a.0)));
+                .max_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .expect("finite gains")
+                        .then(b.0.cmp(&a.0))
+                });
             match cand {
                 Some((x, gain)) if gain > 0.0 => {
                     assigned[x] = true;
@@ -103,8 +113,7 @@ fn refine(g: &Graph, parts: &mut Vec<Vec<usize>>, max_part_size: usize) {
             let mut i = 0;
             while i < parts[src].len() {
                 let node = parts[src][i];
-                let here: f64 =
-                    g.gain_into(node, &parts[src]) - g.weight(node, node);
+                let here: f64 = g.gain_into(node, &parts[src]) - g.weight(node, node);
                 let mut best: Option<(usize, f64)> = None;
                 for (dst, part) in parts.iter().enumerate() {
                     if dst == src || part.len() >= max_part_size {
@@ -138,7 +147,10 @@ mod tests {
     fn assert_is_partition(parts: &[Vec<usize>], n: usize, cap: usize) {
         let mut seen = vec![false; n];
         for p in parts {
-            assert!(!p.is_empty() && p.len() <= cap, "part size violation: {p:?}");
+            assert!(
+                !p.is_empty() && p.len() <= cap,
+                "part size violation: {p:?}"
+            );
             for &x in p {
                 assert!(!seen[x], "node {x} in two parts");
                 seen[x] = true;

@@ -62,10 +62,7 @@ pub struct ValuedGroup {
 ///
 /// Returns the chosen groups (subset of the input, plus value-0 singletons
 /// for leftovers) forming a complete disjoint cover.
-pub fn max_value_disjoint_cover(
-    universe: AttrSet,
-    groups: &[ValuedGroup],
-) -> Vec<ValuedGroup> {
+pub fn max_value_disjoint_cover(universe: AttrSet, groups: &[ValuedGroup]) -> Vec<ValuedGroup> {
     let attrs: Vec<_> = universe.iter().collect();
     let n = attrs.len();
     assert!(n <= MAX_UNIVERSE, "universe too large for subset DP: {n}");
@@ -156,7 +153,10 @@ pub fn max_value_disjoint_cover(
     }
     for (i, a) in attrs.iter().enumerate() {
         if singles & (1 << i) != 0 {
-            chosen.push(ValuedGroup { attrs: AttrSet::single(*a), value: 0.0 });
+            chosen.push(ValuedGroup {
+                attrs: AttrSet::single(*a),
+                value: 0.0,
+            });
         }
     }
     chosen
@@ -210,10 +210,22 @@ mod tests {
     fn cover_picks_best_combination() {
         let universe = set(&[0, 1, 2, 3]);
         let groups = [
-            ValuedGroup { attrs: set(&[0, 1]), value: 5.0 },
-            ValuedGroup { attrs: set(&[2, 3]), value: 5.0 },
-            ValuedGroup { attrs: set(&[0, 1, 2, 3]), value: 7.0 },
-            ValuedGroup { attrs: set(&[1, 2]), value: 9.0 },
+            ValuedGroup {
+                attrs: set(&[0, 1]),
+                value: 5.0,
+            },
+            ValuedGroup {
+                attrs: set(&[2, 3]),
+                value: 5.0,
+            },
+            ValuedGroup {
+                attrs: set(&[0, 1, 2, 3]),
+                value: 7.0,
+            },
+            ValuedGroup {
+                attrs: set(&[1, 2]),
+                value: 9.0,
+            },
         ];
         let cover = max_value_disjoint_cover(universe, &groups);
         assert_disjoint_cover(universe, &cover);
@@ -225,7 +237,10 @@ mod tests {
     #[test]
     fn cover_falls_back_to_singletons() {
         let universe = set(&[0, 1, 2]);
-        let groups = [ValuedGroup { attrs: set(&[0, 1]), value: 3.0 }];
+        let groups = [ValuedGroup {
+            attrs: set(&[0, 1]),
+            value: 3.0,
+        }];
         let cover = max_value_disjoint_cover(universe, &groups);
         assert_disjoint_cover(universe, &cover);
         assert_eq!(cover.len(), 2); // {0,1} + singleton {2}
@@ -242,7 +257,10 @@ mod tests {
     #[test]
     fn cover_ignores_groups_outside_universe() {
         let universe = set(&[0, 1]);
-        let groups = [ValuedGroup { attrs: set(&[1, 2]), value: 100.0 }];
+        let groups = [ValuedGroup {
+            attrs: set(&[1, 2]),
+            value: 100.0,
+        }];
         let cover = max_value_disjoint_cover(universe, &groups);
         assert_disjoint_cover(universe, &cover);
         let total: f64 = cover.iter().map(|g| g.value).sum();
@@ -254,15 +272,35 @@ mod tests {
         // Cross-check DP against exhaustive search on 6-attribute universes.
         let universe = set(&[0, 1, 2, 3, 4, 5]);
         let groups: Vec<ValuedGroup> = vec![
-            ValuedGroup { attrs: set(&[0, 1]), value: 4.0 },
-            ValuedGroup { attrs: set(&[1, 2]), value: 6.0 },
-            ValuedGroup { attrs: set(&[3, 4, 5]), value: 5.0 },
-            ValuedGroup { attrs: set(&[0, 2]), value: 3.0 },
-            ValuedGroup { attrs: set(&[4, 5]), value: 4.5 },
-            ValuedGroup { attrs: set(&[2, 3]), value: 2.0 },
+            ValuedGroup {
+                attrs: set(&[0, 1]),
+                value: 4.0,
+            },
+            ValuedGroup {
+                attrs: set(&[1, 2]),
+                value: 6.0,
+            },
+            ValuedGroup {
+                attrs: set(&[3, 4, 5]),
+                value: 5.0,
+            },
+            ValuedGroup {
+                attrs: set(&[0, 2]),
+                value: 3.0,
+            },
+            ValuedGroup {
+                attrs: set(&[4, 5]),
+                value: 4.5,
+            },
+            ValuedGroup {
+                attrs: set(&[2, 3]),
+                value: 2.0,
+            },
         ];
-        let dp_total: f64 =
-            max_value_disjoint_cover(universe, &groups).iter().map(|g| g.value).sum();
+        let dp_total: f64 = max_value_disjoint_cover(universe, &groups)
+            .iter()
+            .map(|g| g.value)
+            .sum();
         // Exhaustive: try all subsets of groups, keep disjoint families.
         let mut best = 0.0f64;
         for mask in 0u32..(1 << groups.len()) {

@@ -81,7 +81,13 @@ impl SetPartitions {
     /// Enumerator for partitions of an `n`-element set, `1 ≤ n ≤ 255`.
     pub fn new(n: usize) -> Self {
         assert!((1..256).contains(&n), "n out of range: {n}");
-        SetPartitions { n, rgs: vec![0; n], maxes: vec![0; n], started: false, done: false }
+        SetPartitions {
+            n,
+            rgs: vec![0; n],
+            maxes: vec![0; n],
+            started: false,
+            done: false,
+        }
     }
 
     /// Enumerator restricted to RGS with a fixed prefix (every yielded
@@ -111,7 +117,13 @@ impl SetPartitions {
         for m in maxes.iter_mut().skip(prefix.len()) {
             *m = max;
         }
-        Some(SetPartitions { n, rgs, maxes, started: false, done: false })
+        Some(SetPartitions {
+            n,
+            rgs,
+            maxes,
+            started: false,
+            done: false,
+        })
     }
 
     /// Advance to the next partition; `None` when exhausted.
@@ -121,12 +133,22 @@ impl SetPartitions {
     /// When constructed via [`SetPartitions::with_prefix`], enumeration stops
     /// at the last string with that prefix.
     pub fn next_rgs(&mut self) -> Option<&[u8]> {
+        self.next_rgs_from().map(|(_, rgs)| rgs)
+    }
+
+    /// Like [`SetPartitions::next_rgs`], but also yields the *move*: the
+    /// leftmost position whose block assignment changed relative to the
+    /// previously yielded string (0 for the first string). Every position
+    /// right of it was reset; everything left of it is unchanged, which is
+    /// what lets BruteForce maintain its candidate column groups
+    /// incrementally instead of rebuilding them per candidate.
+    pub fn next_rgs_from(&mut self) -> Option<(usize, &[u8])> {
         if self.done {
             return None;
         }
         if !self.started {
             self.started = true;
-            return Some(&self.rgs);
+            return Some((0, &self.rgs));
         }
         // Find rightmost position i>0 (and beyond any fixed prefix handled
         // naturally because incrementing inside the prefix region would
@@ -148,7 +170,7 @@ impl SetPartitions {
             self.rgs[j] = 0;
             self.maxes[j] = self.maxes[i];
         }
-        Some(&self.rgs)
+        Some((i, &self.rgs))
     }
 
     /// Number of elements.
@@ -180,12 +202,17 @@ impl PrefixedSetPartitions {
     /// Next RGS sharing the prefix; `None` when the prefix region changes
     /// or the space is exhausted.
     pub fn next_rgs(&mut self) -> Option<&[u8]> {
+        self.next_rgs_from().map(|(_, rgs)| rgs)
+    }
+
+    /// Prefix-bounded variant of [`SetPartitions::next_rgs_from`].
+    pub fn next_rgs_from(&mut self) -> Option<(usize, &[u8])> {
         let prefix_len = self.prefix_len;
-        let rgs = self.inner.next_rgs()?;
+        let (changed, rgs) = self.inner.next_rgs_from()?;
         if rgs[..prefix_len] != self.prefix[..] {
             return None;
         }
-        Some(rgs)
+        Some((changed, rgs))
     }
 }
 
@@ -313,9 +340,37 @@ mod tests {
 
     #[test]
     fn invalid_prefix_rejected() {
-        assert!(SetPartitions::with_prefix(4, &[1]).is_none(), "must start at 0");
-        assert!(SetPartitions::with_prefix(4, &[0, 2]).is_none(), "gap in growth");
+        assert!(
+            SetPartitions::with_prefix(4, &[1]).is_none(),
+            "must start at 0"
+        );
+        assert!(
+            SetPartitions::with_prefix(4, &[0, 2]).is_none(),
+            "gap in growth"
+        );
         assert!(SetPartitions::with_prefix(4, &[0, 1, 2]).is_some());
+    }
+
+    #[test]
+    fn next_rgs_from_reports_the_move() {
+        let mut it = SetPartitions::new(4);
+        let mut reconstructed: Option<Vec<u8>> = None;
+        while let Some((changed, rgs)) = it.next_rgs_from() {
+            match &mut reconstructed {
+                None => {
+                    assert_eq!(changed, 0, "first string is a full move");
+                    reconstructed = Some(rgs.to_vec());
+                }
+                Some(prev) => {
+                    assert!(changed > 0 && changed < rgs.len());
+                    // Prefix left of the move is unchanged...
+                    assert_eq!(&prev[..changed], &rgs[..changed]);
+                    // ...and patching from `changed` reproduces the string.
+                    prev[changed..].copy_from_slice(&rgs[changed..]);
+                    assert_eq!(&prev[..], rgs);
+                }
+            }
+        }
     }
 
     #[test]

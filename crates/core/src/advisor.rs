@@ -1,8 +1,8 @@
 //! The advisor abstraction: one interface, seven knives.
 
 use crate::classification::AlgorithmProfile;
-use slicer_cost::CostModel;
-use slicer_model::{ModelError, Partitioning, TableSchema, Workload};
+use slicer_cost::{CostEvaluator, CostModel};
+use slicer_model::{AttrSet, ModelError, Partitioning, TableSchema, Workload};
 
 /// Everything an advisor needs to partition one table.
 #[derive(Clone, Copy)]
@@ -13,21 +13,59 @@ pub struct PartitionRequest<'a> {
     pub workload: &'a Workload,
     /// The cost model defining "better".
     pub cost_model: &'a dyn CostModel,
+    /// Force the naive (non-memoized, non-incremental, sequential) cost
+    /// path. Advisors produce byte-identical layouts either way (the
+    /// equivalence property tests assert it); the naive path exists as the
+    /// baseline for the `opt_time` benchmarks and as the oracle for those
+    /// tests.
+    pub naive_eval: bool,
 }
 
 impl<'a> PartitionRequest<'a> {
-    /// Bundle the three inputs.
+    /// Bundle the three inputs (fast evaluation path).
     pub fn new(
         table: &'a TableSchema,
         workload: &'a Workload,
         cost_model: &'a dyn CostModel,
     ) -> Self {
-        PartitionRequest { table, workload, cost_model }
+        PartitionRequest {
+            table,
+            workload,
+            cost_model,
+            naive_eval: false,
+        }
+    }
+
+    /// Copy of this request pinned to the naive evaluation path.
+    pub fn with_naive_evaluation(mut self) -> Self {
+        self.naive_eval = true;
+        self
     }
 
     /// Workload cost of `p` under this request's cost model.
     pub fn cost(&self, p: &Partitioning) -> f64 {
         self.cost_model.workload_cost(self.table, p, self.workload)
+    }
+
+    /// An incremental [`CostEvaluator`] seeded with `initial` groups,
+    /// honouring this request's evaluation-path choice.
+    pub fn evaluator(&self, initial: &[AttrSet]) -> CostEvaluator<'a> {
+        CostEvaluator::new(
+            self.cost_model,
+            self.table,
+            self.workload,
+            initial,
+            self.naive_eval,
+        )
+    }
+
+    /// Evaluate `n` candidate moves — in parallel on the fast path,
+    /// sequentially on the naive path — returning costs in candidate order.
+    pub fn scan<F>(&self, n: usize, eval: F) -> Vec<f64>
+    where
+        F: Fn(usize) -> f64 + Sync,
+    {
+        slicer_cost::scan_candidates(n, !self.naive_eval, eval)
     }
 }
 
@@ -76,8 +114,8 @@ mod tests {
             .attr("B", 100, AttrKind::Text)
             .build()
             .unwrap();
-        let w = Workload::with_queries(&t, vec![Query::new("q", t.attr_set(&["A"]).unwrap())])
-            .unwrap();
+        let w =
+            Workload::with_queries(&t, vec![Query::new("q", t.attr_set(&["A"]).unwrap())]).unwrap();
         let m = HddCostModel::paper_testbed();
         let req = PartitionRequest::new(&t, &w, &m);
         let row = Partitioning::row(&t);

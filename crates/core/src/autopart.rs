@@ -51,8 +51,7 @@ impl ReplicatedLayout {
                 .filter(|f| f.intersects(uncovered))
                 .max_by(|a, b| {
                     let score = |f: &AttrSet| {
-                        f.intersection(uncovered).len() as f64
-                            / schema.set_size(*f).max(1) as f64
+                        f.intersection(uncovered).len() as f64 / schema.set_size(*f).max(1) as f64
                     };
                     score(a)
                         .partial_cmp(&score(b))
@@ -104,19 +103,21 @@ impl AutoPart {
 
     /// Disjoint bottom-up search from `fragments`, where a merge partner
     /// must be atomic or created in the previous iteration.
-    fn climb(
-        req: &PartitionRequest<'_>,
-        atomic: &[AttrSet],
-    ) -> Partitioning {
+    ///
+    /// Candidate combinations are costed through the request's incremental
+    /// [`slicer_cost::CostEvaluator`] and scanned in parallel; enumeration
+    /// order and first-strict-minimum selection replicate the sequential
+    /// loop, so the chosen layout is identical to the naive path.
+    fn climb(req: &PartitionRequest<'_>, atomic: &[AttrSet]) -> Partitioning {
         // generation[i]: 0 = atomic, g>0 = created in iteration g.
         let mut parts: Vec<AttrSet> = atomic.to_vec();
         let mut generation: Vec<u32> = vec![0; parts.len()];
-        let mut current = Partitioning::from_disjoint_unchecked(parts.clone());
-        let mut current_cost = req.cost(&current);
+        let mut ev = req.evaluator(&parts);
+        let mut current_cost = ev.total();
         let mut iter = 0u32;
         loop {
             iter += 1;
-            let mut best: Option<(f64, usize, usize)> = None;
+            let mut pairs: Vec<(usize, usize)> = Vec::new();
             for i in 0..parts.len() {
                 for j in 0..parts.len() {
                     if i == j {
@@ -129,22 +130,24 @@ impl AutoPart {
                     if j < i && (generation[i] == 0 || generation[i] == iter - 1) {
                         continue; // symmetric pair already evaluated as (j,i)
                     }
-                    let mut cand: Vec<AttrSet> = Vec::with_capacity(parts.len() - 1);
-                    for (k, p) in parts.iter().enumerate() {
-                        if k == i {
-                            cand.push(p.union(parts[j]));
-                        } else if k != j {
-                            cand.push(*p);
-                        }
-                    }
-                    let cost = req.cost(&Partitioning::from_disjoint_unchecked(cand));
-                    if best.is_none_or(|(b, _, _)| cost < b) {
-                        best = Some((cost, i, j));
-                    }
+                    pairs.push((i, j));
                 }
             }
-            match best {
-                Some((cost, i, j)) if improves(cost, current_cost) => {
+            let cpairs: Vec<(usize, usize)> = pairs
+                .iter()
+                .map(|&(i, j)| {
+                    let ci = ev.index_of(parts[i]).expect("part tracked by evaluator");
+                    let cj = ev.index_of(parts[j]).expect("part tracked by evaluator");
+                    (ci, cj)
+                })
+                .collect();
+            let costs = ev.merge_costs(&cpairs, !req.naive_eval);
+            match slicer_cost::first_strict_min(&costs) {
+                Some((k, cost)) if improves(cost, current_cost) => {
+                    let (i, j) = pairs[k];
+                    let ci = ev.index_of(parts[i]).expect("part tracked by evaluator");
+                    let cj = ev.index_of(parts[j]).expect("part tracked by evaluator");
+                    ev.commit_merge(ci, cj);
                     let merged = parts[i].union(parts[j]);
                     let (hi, lo) = if i > j { (i, j) } else { (j, i) };
                     parts.swap_remove(hi);
@@ -153,13 +156,12 @@ impl AutoPart {
                     generation.swap_remove(lo);
                     parts.push(merged);
                     generation.push(iter);
-                    current = Partitioning::from_disjoint_unchecked(parts.clone());
                     current_cost = cost;
                 }
                 _ => break,
             }
         }
-        current
+        ev.partitioning()
     }
 
     /// The extension variant with partial replication: composite fragments
@@ -172,17 +174,20 @@ impl AutoPart {
         max_blowup: f64,
     ) -> Result<ReplicatedLayout, ModelError> {
         if req.workload.is_empty() {
-            return Ok(ReplicatedLayout { fragments: vec![req.table.all_attrs()] });
+            return Ok(ReplicatedLayout {
+                fragments: vec![req.table.all_attrs()],
+            });
         }
         let atomic = req.workload.atomic_fragments(req.table);
-        let mut layout = ReplicatedLayout { fragments: atomic.clone() };
+        let mut layout = ReplicatedLayout {
+            fragments: atomic.clone(),
+        };
         let mut cost = layout.workload_cost(req.table, req.workload, req.cost_model);
         loop {
             let mut best: Option<(f64, ReplicatedLayout)> = None;
             for i in 0..layout.fragments.len() {
                 for a in &atomic {
-                    if layout.fragments[i].is_subset_of(*a) || a.is_subset_of(layout.fragments[i])
-                    {
+                    if layout.fragments[i].is_subset_of(*a) || a.is_subset_of(layout.fragments[i]) {
                         continue;
                     }
                     let merged = layout.fragments[i].union(*a);
@@ -280,9 +285,13 @@ mod tests {
             vec![
                 Query::new(
                     "Q1",
-                    t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"]).unwrap(),
+                    t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"])
+                        .unwrap(),
                 ),
-                Query::new("Q2", t.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap()),
+                Query::new(
+                    "Q2",
+                    t.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap(),
+                ),
             ],
         )
         .unwrap()
@@ -321,16 +330,15 @@ mod tests {
             .attr("Dead2", 30, AttrKind::Text)
             .build()
             .unwrap();
-        let w = Workload::with_queries(
-            &t,
-            vec![Query::new("q", t.attr_set(&["A", "B"]).unwrap())],
-        )
-        .unwrap();
+        let w = Workload::with_queries(&t, vec![Query::new("q", t.attr_set(&["A", "B"]).unwrap())])
+            .unwrap();
         let m = HddCostModel::paper_testbed();
         let req = PartitionRequest::new(&t, &w, &m);
         let layout = AutoPart::new().partition(&req).unwrap();
         assert!(
-            layout.partitions().contains(&t.attr_set(&["Dead1", "Dead2"]).unwrap()),
+            layout
+                .partitions()
+                .contains(&t.attr_set(&["Dead1", "Dead2"]).unwrap()),
             "{}",
             layout.render(&t)
         );
@@ -362,8 +370,13 @@ mod tests {
         let w = intro_workload(&t);
         let m = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(64 * KB));
         let req = PartitionRequest::new(&t, &w, &m);
-        let layout = AutoPart::new().partition_with_replication(&req, 2.0).unwrap();
-        let covered = layout.fragments.iter().fold(AttrSet::EMPTY, |a, f| a.union(*f));
+        let layout = AutoPart::new()
+            .partition_with_replication(&req, 2.0)
+            .unwrap();
+        let covered = layout
+            .fragments
+            .iter()
+            .fold(AttrSet::EMPTY, |a, f| a.union(*f));
         assert_eq!(covered, t.all_attrs());
         assert!(layout.storage_blowup(&t) <= 2.0 + 1e-9);
     }
@@ -375,7 +388,9 @@ mod tests {
         let m = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(64 * KB));
         let req = PartitionRequest::new(&t, &w, &m);
         let disjoint = AutoPart::new().partition(&req).unwrap();
-        let replicated = AutoPart::new().partition_with_replication(&req, 2.0).unwrap();
+        let replicated = AutoPart::new()
+            .partition_with_replication(&req, 2.0)
+            .unwrap();
         let rep_cost = replicated.workload_cost(&t, &w, &m);
         assert!(rep_cost <= req.cost(&disjoint) + 1e-9);
     }
@@ -386,7 +401,8 @@ mod tests {
         let layout = ReplicatedLayout {
             fragments: vec![
                 t.attr_set(&["PartKey", "SuppKey"]).unwrap(),
-                t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"]).unwrap(),
+                t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"])
+                    .unwrap(),
                 t.attr_set(&["Comment"]).unwrap(),
             ],
         };

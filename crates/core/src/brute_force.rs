@@ -16,8 +16,13 @@
 //!   and available via [`BruteForce::exhaustive`].
 //!
 //! The RGS space splits cleanly by prefix, so the search fans out across
-//! threads with `crossbeam::scope`; results reduce deterministically in
-//! prefix order. Ties prefer fewer groups (then first-encountered), which
+//! threads (rayon); results reduce deterministically in prefix order. Within
+//! a worker, the enumerator yields *moves* rather than whole layouts
+//! ([`slicer_combinat::SetPartitions::next_rgs_from`] reports the leftmost
+//! changed position), and the candidate's column groups are patched
+//! incrementally — successive RGS strings share long prefixes, so the
+//! amortized per-candidate group maintenance is O(1) set operations instead
+//! of O(m). Ties prefer fewer groups (then first-encountered), which
 //! reproduces Figure 14's "Optimal" grouping the never-referenced
 //! attributes into one partition.
 
@@ -39,7 +44,11 @@ pub struct BruteForce {
 
 impl Default for BruteForce {
     fn default() -> Self {
-        BruteForce { exhaustive: false, threads: 0, max_candidates: 1 << 36 }
+        BruteForce {
+            exhaustive: false,
+            threads: 0,
+            max_candidates: 1 << 36,
+        }
     }
 }
 
@@ -69,7 +78,10 @@ impl BruteForce {
 
     /// Enumerate raw attribute partitions instead of fragment partitions.
     pub fn exhaustive() -> Self {
-        BruteForce { exhaustive: true, ..Self::default() }
+        BruteForce {
+            exhaustive: true,
+            ..Self::default()
+        }
     }
 
     /// Limit worker threads (0 = use all available cores).
@@ -108,17 +120,35 @@ impl BruteForce {
     ) -> Option<Best> {
         let m = units.len();
         let mut best: Option<Best> = None;
-        // Reused buffers: groups by block id, and the per-query read set.
+        // Candidate state, maintained *incrementally*: the enumerator
+        // reports the leftmost changed RGS position, and only units at or
+        // right of it move between groups. `prev` is the previous RGS.
         let mut groups: Vec<AttrSet> = Vec::with_capacity(m);
         let mut read: Vec<AttrSet> = Vec::with_capacity(m);
+        let mut prev: Vec<u8> = vec![0; m];
+        let mut have_prev = false;
 
-        let mut eval = |rgs: &[u8], best: &mut Option<Best>| {
-            let nblocks = 1 + *rgs.iter().max().expect("non-empty") as usize;
-            groups.clear();
-            groups.resize(nblocks, AttrSet::EMPTY);
-            for (unit, &block) in units.iter().zip(rgs) {
-                groups[block as usize] = groups[block as usize].union(*unit);
+        let mut eval = |changed: usize, rgs: &[u8], best: &mut Option<Best>| {
+            // Apply the move: retract suffix units from their old blocks,
+            // then reinsert them under the new assignment. Blocks emptied
+            // by the retraction are exactly the tail ids (RGS numbers
+            // blocks by first appearance), so a resize drops/creates them.
+            let start = if have_prev { changed } else { 0 };
+            if have_prev {
+                for k in start..m {
+                    let b = prev[k] as usize;
+                    groups[b] = groups[b].difference(units[k]);
+                }
             }
+            let nblocks = 1 + *rgs.iter().max().expect("non-empty") as usize;
+            groups.resize(nblocks, AttrSet::EMPTY);
+            for k in start..m {
+                let b = rgs[k] as usize;
+                groups[b] = groups[b].union(units[k]);
+            }
+            prev[start..m].copy_from_slice(&rgs[start..m]);
+            have_prev = true;
+
             let mut cost = 0.0;
             for q in queries {
                 read.clear();
@@ -140,21 +170,24 @@ impl BruteForce {
                 Some(b) => b.beaten_by(cost, nblocks),
             };
             if replace {
-                *best = Some(Best { cost, groups: groups.clone() });
+                *best = Some(Best {
+                    cost,
+                    groups: groups.clone(),
+                });
             }
         };
 
         match prefix {
             Some(p) => {
                 let mut it = slicer_combinat::PrefixedSetPartitions::new(m, p)?;
-                while let Some(rgs) = it.next_rgs() {
-                    eval(rgs, &mut best);
+                while let Some((changed, rgs)) = it.next_rgs_from() {
+                    eval(changed, rgs, &mut best);
                 }
             }
             None => {
                 let mut it = slicer_combinat::SetPartitions::new(m);
-                while let Some(rgs) = it.next_rgs() {
-                    eval(rgs, &mut best);
+                while let Some((changed, rgs)) = it.next_rgs_from() {
+                    eval(changed, rgs, &mut best);
                 }
             }
         }
@@ -197,7 +230,9 @@ impl Advisor for BruteForce {
         }
         let queries = req.workload.queries().to_vec();
         let threads = if self.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.threads
         };
@@ -209,43 +244,54 @@ impl Advisor for BruteForce {
             // chunks to keep all threads busy despite skewed chunk sizes.
             let plen = if threads > 8 { 5 } else { 4 }.clamp(1, m - 1);
             let prefixes = slicer_combinat::rgs_prefixes(plen);
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let (tx, rx) = std::sync::mpsc::channel::<(usize, Option<Best>)>();
-            crossbeam::scope(|scope| {
-                for _ in 0..threads.min(prefixes.len()) {
-                    let tx = tx.clone();
-                    let next = &next;
-                    let prefixes = &prefixes;
-                    let units = &units;
-                    let queries = &queries;
-                    let table = req.table;
-                    let cost_model = req.cost_model;
-                    scope.spawn(move |_| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= prefixes.len() {
-                            break;
-                        }
-                        let r = Self::search(units, Some(&prefixes[i]), table, queries, cost_model);
-                        let _ = tx.send((i, r));
-                    });
-                }
-            })
-            .expect("brute force worker panicked");
-            drop(tx);
-            let mut received: Vec<(usize, Option<Best>)> = rx.iter().collect();
-            // Reduce in prefix order for determinism regardless of thread
-            // scheduling.
-            received.sort_by_key(|(i, _)| *i);
-            let mut acc: Option<Best> = None;
-            for (_, r) in received {
-                if let Some(r) = r {
-                    let replace = match &acc {
-                        None => true,
-                        Some(b) => b.beaten_by(r.cost, r.groups.len()),
-                    };
-                    if replace {
-                        acc = Some(r);
+            // Order-preserving parallel map, then a sequential reduce in
+            // prefix order: deterministic regardless of thread scheduling.
+            // `with_threads(0)` uses the shared rayon pool (all cores);
+            // an explicit thread count spawns exactly that many workers
+            // (the documented resource-cap contract).
+            let results: Vec<Option<Best>> = if self.threads == 0 {
+                use rayon::prelude::*;
+                prefixes
+                    .par_iter()
+                    .map(|p| Self::search(&units, Some(p), req.table, &queries, req.cost_model))
+                    .collect()
+            } else {
+                let next = std::sync::atomic::AtomicUsize::new(0);
+                let mut results: Vec<Option<Best>> = (0..prefixes.len()).map(|_| None).collect();
+                let slots: Vec<std::sync::Mutex<Option<Best>>> = (0..prefixes.len())
+                    .map(|_| std::sync::Mutex::new(None))
+                    .collect();
+                std::thread::scope(|scope| {
+                    for _ in 0..threads.min(prefixes.len()) {
+                        scope.spawn(|| loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= prefixes.len() {
+                                break;
+                            }
+                            let r = Self::search(
+                                &units,
+                                Some(&prefixes[i]),
+                                req.table,
+                                &queries,
+                                req.cost_model,
+                            );
+                            *slots[i].lock().expect("result slot") = r;
+                        });
                     }
+                });
+                for (out, slot) in results.iter_mut().zip(slots) {
+                    *out = slot.into_inner().expect("result slot");
+                }
+                results
+            };
+            let mut acc: Option<Best> = None;
+            for r in results.into_iter().flatten() {
+                let replace = match &acc {
+                    None => true,
+                    Some(b) => b.beaten_by(r.cost, r.groups.len()),
+                };
+                if replace {
+                    acc = Some(r);
                 }
             }
             acc
@@ -280,9 +326,13 @@ mod tests {
             vec![
                 Query::new(
                     "Q1",
-                    t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"]).unwrap(),
+                    t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"])
+                        .unwrap(),
                 ),
-                Query::new("Q2", t.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap()),
+                Query::new(
+                    "Q2",
+                    t.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap(),
+                ),
             ],
         )
         .unwrap()
@@ -299,7 +349,10 @@ mod tests {
             let m = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(buffer));
             let req = PartitionRequest::new(&t, &w, &m);
             let frag = BruteForce::new().with_threads(1).partition(&req).unwrap();
-            let exh = BruteForce::exhaustive().with_threads(1).partition(&req).unwrap();
+            let exh = BruteForce::exhaustive()
+                .with_threads(1)
+                .partition(&req)
+                .unwrap();
             let cf = req.cost(&frag);
             let ce = req.cost(&exh);
             assert!(
@@ -321,7 +374,10 @@ mod tests {
             req.cost(&Partitioning::row(&t)),
             req.cost(&Partitioning::column(&t)),
         ] {
-            assert!(opt_cost <= cost + 1e-9, "brute force beaten: {opt_cost} > {cost}");
+            assert!(
+                opt_cost <= cost + 1e-9,
+                "brute force beaten: {opt_cost} > {cost}"
+            );
         }
     }
 
@@ -331,8 +387,14 @@ mod tests {
         let w = intro_workload(&t);
         let m = HddCostModel::paper_testbed();
         let req = PartitionRequest::new(&t, &w, &m);
-        let single = BruteForce::exhaustive().with_threads(1).partition(&req).unwrap();
-        let multi = BruteForce::exhaustive().with_threads(4).partition(&req).unwrap();
+        let single = BruteForce::exhaustive()
+            .with_threads(1)
+            .partition(&req)
+            .unwrap();
+        let multi = BruteForce::exhaustive()
+            .with_threads(4)
+            .partition(&req)
+            .unwrap();
         assert_eq!(single, multi);
     }
 
@@ -370,13 +432,18 @@ mod tests {
             .attr("Dead2", 30, AttrKind::Text)
             .build()
             .unwrap();
-        let w = Workload::with_queries(&t, vec![Query::new("q", t.attr_set(&["A"]).unwrap())])
-            .unwrap();
+        let w =
+            Workload::with_queries(&t, vec![Query::new("q", t.attr_set(&["A"]).unwrap())]).unwrap();
         let m = HddCostModel::paper_testbed();
         let req = PartitionRequest::new(&t, &w, &m);
-        let layout = BruteForce::exhaustive().with_threads(1).partition(&req).unwrap();
+        let layout = BruteForce::exhaustive()
+            .with_threads(1)
+            .partition(&req)
+            .unwrap();
         assert!(
-            layout.partitions().contains(&t.attr_set(&["Dead1", "Dead2"]).unwrap()),
+            layout
+                .partitions()
+                .contains(&t.attr_set(&["Dead1", "Dead2"]).unwrap()),
             "{}",
             layout.render(&t)
         );

@@ -11,12 +11,21 @@
 //! evaluated an *improved* variant that computes costs on demand — that is
 //! the variant implemented here. The paper's verdict: HillClimb is the best
 //! overall knife for disk-based systems (Lesson 3).
+//!
+//! The pairwise-merge scan is driven by the shared [`CostEvaluator`]
+//! (`slicer-cost`): per-candidate costs come from incremental delta
+//! evaluation with a per-(query, read-set) memo, and the O(n²) candidate
+//! list fans out across cores. Selection replicates the sequential
+//! first-strict-minimum rule, so the layout is byte-identical to the naive
+//! path (`PartitionRequest::with_naive_evaluation`), just ≥ 5× faster on
+//! the paper's 16-attribute Lineitem workload.
 
 use crate::advisor::{improves, Advisor, PartitionRequest};
 use crate::classification::{
     AlgorithmProfile, CandidatePruning, Granularity, Hardware, Replication, SearchStrategy,
     StartingPoint, SystemKind, WorkloadMode,
 };
+use slicer_cost::{first_strict_min, CostEvaluator};
 use slicer_model::{ModelError, Partitioning};
 
 /// The improved (dictionary-free) HillClimb algorithm.
@@ -54,32 +63,28 @@ impl Advisor for HillClimb {
         if req.workload.is_empty() {
             return Ok(Partitioning::row(req.table));
         }
-        let mut current = Partitioning::column(req.table);
-        let mut current_cost = req.cost(&current);
+        let column = Partitioning::column(req.table);
+        let mut ev: CostEvaluator<'_> = req.evaluator(column.partitions());
+        let mut current_cost = ev.total();
         loop {
-            let n = current.len();
+            let n = ev.len();
             if n <= 1 {
                 break;
             }
-            let mut best: Option<(f64, Partitioning)> = None;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    let cand = current.merged(i, j);
-                    let cost = req.cost(&cand);
-                    if best.as_ref().is_none_or(|(b, _)| cost < *b) {
-                        best = Some((cost, cand));
-                    }
-                }
-            }
-            match best {
-                Some((cost, cand)) if improves(cost, current_cost) => {
-                    current = cand;
+            let pairs: Vec<(usize, usize)> = (0..n)
+                .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+                .collect();
+            let costs = ev.merge_costs(&pairs, !req.naive_eval);
+            match first_strict_min(&costs) {
+                Some((k, cost)) if improves(cost, current_cost) => {
+                    let (i, j) = pairs[k];
+                    ev.commit_merge(i, j);
                     current_cost = cost;
                 }
                 _ => break,
             }
         }
-        Ok(current)
+        Ok(ev.partitioning())
     }
 }
 
@@ -107,9 +112,13 @@ mod tests {
             vec![
                 Query::new(
                     "Q1",
-                    t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"]).unwrap(),
+                    t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"])
+                        .unwrap(),
                 ),
-                Query::new("Q2", t.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap()),
+                Query::new(
+                    "Q2",
+                    t.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap(),
+                ),
             ],
         )
         .unwrap()
@@ -169,8 +178,7 @@ mod tests {
             .build()
             .unwrap();
         let w =
-            Workload::with_queries(&t, vec![Query::new("q", t.attr_set(&["A"]).unwrap())])
-                .unwrap();
+            Workload::with_queries(&t, vec![Query::new("q", t.attr_set(&["A"]).unwrap())]).unwrap();
         let m = HddCostModel::paper_testbed();
         let req = PartitionRequest::new(&t, &w, &m);
         let layout = HillClimb::new().partition(&req).unwrap();
@@ -194,9 +202,8 @@ mod tests {
         // (Lesson 2/4 mechanics).
         let t = partsupp();
         let w = intro_workload(&t);
-        let m = HddCostModel::new(
-            DiskParams::paper_testbed().with_buffer_size(8 * 1024 * 1024 * KB),
-        );
+        let m =
+            HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(8 * 1024 * 1024 * KB));
         let req = PartitionRequest::new(&t, &w, &m);
         let layout = HillClimb::new().partition(&req).unwrap();
         let col = Partitioning::column(&t);

@@ -53,30 +53,41 @@ impl Hyrise {
 
     /// Greedy merging restricted to the partitions whose indices are in
     /// `active`; evaluates cost globally over `parts`.
+    ///
+    /// Candidate merges are priced incrementally through the shared
+    /// [`slicer_cost::CostEvaluator`] (which tracks the same groups as
+    /// `parts`, in canonical order) and scanned in parallel; selection
+    /// replicates the sequential first-strict-minimum rule.
     fn merge_within(
         req: &PartitionRequest<'_>,
+        ev: &mut slicer_cost::CostEvaluator<'_>,
         parts: &mut Vec<AttrSet>,
         active: &mut Vec<usize>,
     ) {
-        let mut current_cost = req.cost(&Partitioning::from_disjoint_unchecked(parts.clone()));
+        let mut current_cost = ev.total();
         loop {
-            let mut best: Option<(f64, usize, usize)> = None;
+            let mut pairs: Vec<(usize, usize)> = Vec::new();
             for x in 0..active.len() {
                 for y in (x + 1)..active.len() {
-                    let (i, j) = (active[x], active[y]);
-                    let mut cand = parts.clone();
-                    cand[i] = cand[i].union(cand[j]);
-                    cand.swap_remove(j);
-                    let cost =
-                        req.cost(&Partitioning::from_disjoint_unchecked(cand));
-                    if best.is_none_or(|(b, _, _)| cost < b) {
-                        best = Some((cost, x, y));
-                    }
+                    pairs.push((x, y));
                 }
             }
-            match best {
-                Some((cost, x, y)) if improves(cost, current_cost) => {
+            let cpairs: Vec<(usize, usize)> = pairs
+                .iter()
+                .map(|&(x, y)| {
+                    let ci = ev.index_of(parts[active[x]]).expect("part tracked");
+                    let cj = ev.index_of(parts[active[y]]).expect("part tracked");
+                    (ci, cj)
+                })
+                .collect();
+            let costs = ev.merge_costs(&cpairs, !req.naive_eval);
+            match slicer_cost::first_strict_min(&costs) {
+                Some((k, cost)) if improves(cost, current_cost) => {
+                    let (x, y) = pairs[k];
                     let (i, j) = (active[x], active[y]);
+                    let ci = ev.index_of(parts[i]).expect("part tracked");
+                    let cj = ev.index_of(parts[j]).expect("part tracked");
+                    ev.commit_merge(ci, cj);
                     parts[i] = parts[i].union(parts[j]);
                     parts.swap_remove(j);
                     // Fix indices: the former last element moved to j.
@@ -141,6 +152,7 @@ impl Advisor for Hyrise {
 
         // Phase 4a: merge within each subgraph.
         let mut parts: Vec<AttrSet> = primary.clone();
+        let mut ev = req.evaluator(&parts);
         // Track which `parts` index each primary partition currently maps
         // to; merging rewrites indices, so process subgraphs one at a time
         // against the evolving `parts` vector.
@@ -160,14 +172,14 @@ impl Advisor for Hyrise {
                 .collect();
             active.sort_unstable();
             active.dedup();
-            Self::merge_within(req, &mut parts, &mut active);
+            Self::merge_within(req, &mut ev, &mut parts, &mut active);
         }
 
         // Phase 4b: final cross-subgraph combination pass over everything.
         let mut all: Vec<usize> = (0..parts.len()).collect();
-        Self::merge_within(req, &mut parts, &mut all);
+        Self::merge_within(req, &mut ev, &mut parts, &mut all);
 
-        Ok(Partitioning::from_disjoint_unchecked(parts))
+        Ok(ev.partitioning())
     }
 }
 
@@ -194,9 +206,13 @@ mod tests {
             vec![
                 Query::new(
                     "Q1",
-                    t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"]).unwrap(),
+                    t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"])
+                        .unwrap(),
                 ),
-                Query::new("Q2", t.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap()),
+                Query::new(
+                    "Q2",
+                    t.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap(),
+                ),
             ],
         )
         .unwrap()
@@ -243,8 +259,7 @@ mod tests {
         let m = HddCostModel::paper_testbed();
         let req = PartitionRequest::new(&t, &w, &m);
         let layout = Hyrise::with_subgraph_bound(16).partition(&req).unwrap();
-        let primary =
-            Partitioning::from_disjoint_unchecked(w.atomic_fragments(&t));
+        let primary = Partitioning::from_disjoint_unchecked(w.atomic_fragments(&t));
         assert!(req.cost(&layout) <= req.cost(&primary) + 1e-9);
     }
 

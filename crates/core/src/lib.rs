@@ -73,7 +73,15 @@ mod registry_tests {
         let names: Vec<&str> = paper_advisors().iter().map(|a| a.name()).collect();
         assert_eq!(
             names,
-            vec!["AutoPart", "HillClimb", "HYRISE", "Navathe", "O2P", "Trojan", "BruteForce"]
+            vec![
+                "AutoPart",
+                "HillClimb",
+                "HYRISE",
+                "Navathe",
+                "O2P",
+                "Trojan",
+                "BruteForce"
+            ]
         );
     }
 
@@ -120,7 +128,13 @@ mod registry_tests {
             .filter(|a| a.name() != "BruteForce")
             .map(|a| {
                 let p = a.profile();
-                (p.granularity, p.hardware, p.workload, p.replication, p.system)
+                (
+                    p.granularity,
+                    p.hardware,
+                    p.workload,
+                    p.replication,
+                    p.system,
+                )
             })
             .collect();
         for i in 0..settings.len() {

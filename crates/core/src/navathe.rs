@@ -57,20 +57,17 @@ impl Navathe {
 /// Recursively split `order[lo..hi]` (a segment of the clustered ordering)
 /// while the global workload cost improves. `segments` holds the current
 /// global partitioning as (lo, hi) ranges into `order`.
-pub(crate) fn split_ordered_sequence(
-    req: &PartitionRequest<'_>,
-    order: &[usize],
-) -> Partitioning {
+///
+/// Candidate splits are priced as incremental *moves* against the request's
+/// [`slicer_cost::CostEvaluator`] — remove the segment's group, add its two
+/// halves — so only the queries touching the split segment are re-costed,
+/// and the per-segment candidate scan runs in parallel.
+pub(crate) fn split_ordered_sequence(req: &PartitionRequest<'_>, order: &[usize]) -> Partitioning {
     let n = order.len();
     let mut segments: Vec<(usize, usize)> = vec![(0, n)];
-    let to_partitioning = |segs: &[(usize, usize)]| -> Partitioning {
-        Partitioning::from_disjoint_unchecked(
-            segs.iter()
-                .map(|&(lo, hi)| order[lo..hi].iter().copied().collect::<AttrSet>())
-                .collect(),
-        )
-    };
-    let mut current_cost = req.cost(&to_partitioning(&segments));
+    let seg_set = |lo: usize, hi: usize| -> AttrSet { order[lo..hi].iter().copied().collect() };
+    let mut ev = req.evaluator(&[seg_set(0, n)]);
+    let mut current_cost = ev.total();
     // Work queue of segment indices still worth trying to split. Indices
     // into `segments` stay stable because splits replace one entry with two
     // via push + in-place overwrite.
@@ -80,18 +77,17 @@ pub(crate) fn split_ordered_sequence(
         if hi - lo <= 1 {
             continue;
         }
-        let mut best: Option<(f64, usize)> = None;
-        for split in (lo + 1)..hi {
-            let mut cand = segments.clone();
-            cand[si] = (lo, split);
-            cand.push((split, hi));
-            let cost = req.cost(&to_partitioning(&cand));
-            if best.is_none_or(|(b, _)| cost < b) {
-                best = Some((cost, split));
-            }
-        }
-        if let Some((cost, split)) = best {
+        let whole = seg_set(lo, hi);
+        let gi = ev.index_of(whole).expect("segment tracked by evaluator");
+        let splits: Vec<usize> = ((lo + 1)..hi).collect();
+        let costs = req.scan(splits.len(), |k| {
+            let split = splits[k];
+            ev.move_cost(&[gi], &[seg_set(lo, split), seg_set(split, hi)])
+        });
+        if let Some((k, cost)) = slicer_cost::first_strict_min(&costs) {
             if improves(cost, current_cost) {
+                let split = splits[k];
+                ev.commit_move(&[gi], &[seg_set(lo, split), seg_set(split, hi)]);
                 segments[si] = (lo, split);
                 segments.push((split, hi));
                 current_cost = cost;
@@ -100,7 +96,7 @@ pub(crate) fn split_ordered_sequence(
             }
         }
     }
-    to_partitioning(&segments)
+    ev.partitioning()
 }
 
 impl Advisor for Navathe {
@@ -155,9 +151,13 @@ mod tests {
             vec![
                 Query::new(
                     "Q1",
-                    t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"]).unwrap(),
+                    t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"])
+                        .unwrap(),
                 ),
-                Query::new("Q2", t.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap()),
+                Query::new(
+                    "Q2",
+                    t.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap(),
+                ),
             ],
         )
         .unwrap()
@@ -191,7 +191,9 @@ mod tests {
         let req = PartitionRequest::new(&t, &w, &m);
         let navathe = Navathe::new().partition(&req).unwrap();
         assert!(
-            navathe.partitions().contains(&t.attr_set(&["Comment"]).unwrap()),
+            navathe
+                .partitions()
+                .contains(&t.attr_set(&["Comment"]).unwrap()),
             "{}",
             navathe.render(&t)
         );
@@ -234,8 +236,7 @@ mod tests {
                 .filter(|(_, a)| group.contains(**a))
                 .map(|(pos, _)| pos)
                 .collect();
-            let contiguous =
-                positions.windows(2).all(|w| w[1] == w[0] + 1);
+            let contiguous = positions.windows(2).all(|w| w[1] == w[0] + 1);
             assert!(contiguous, "group {group} not contiguous in {order:?}");
         }
     }

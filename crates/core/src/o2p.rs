@@ -20,7 +20,7 @@ use crate::classification::{
     StartingPoint, SystemKind, WorkloadMode,
 };
 use slicer_combinat::IncrementalBea;
-use slicer_cost::CostModel;
+use slicer_cost::{first_strict_min, scan_candidates, CostEvaluator, CostModel};
 use slicer_model::{AttrSet, ModelError, Partitioning, Query, TableSchema, Workload};
 
 /// The O2P algorithm, evaluated offline by streaming the workload.
@@ -47,6 +47,8 @@ pub struct O2pOnline<'a> {
     /// Current split points as positions into the BEA order (sorted,
     /// exclusive of 0 and n).
     splits: Vec<usize>,
+    /// Pin the per-step evaluator to the naive path (equivalence testing).
+    naive_eval: bool,
 }
 
 impl<'a> O2pOnline<'a> {
@@ -58,7 +60,15 @@ impl<'a> O2pOnline<'a> {
             bea: IncrementalBea::new(table.attr_count()),
             history: Workload::new(),
             splits: Vec::new(),
+            naive_eval: false,
         }
+    }
+
+    /// Switch this partitioner to the naive (non-memoized, sequential)
+    /// evaluation path; layouts are identical either way.
+    pub fn with_naive_evaluation(mut self) -> Self {
+        self.naive_eval = true;
+        self
     }
 
     /// Number of queries observed.
@@ -97,43 +107,59 @@ impl<'a> O2pOnline<'a> {
         if self.bea.order() != order_before.as_slice() {
             self.splits.clear();
         }
-        // Greedy: add one best split at a time while cost improves
-        // (dynamic-programming memo: cache split-candidate costs per round).
-        let cost_of = |splits: &[usize], this: &Self| -> f64 {
-            let order = this.bea.order();
-            let n = order.len();
-            let mut bounds = Vec::with_capacity(splits.len() + 2);
-            bounds.push(0);
-            bounds.extend_from_slice(splits);
-            bounds.push(n);
-            let groups: Vec<AttrSet> = bounds
-                .windows(2)
-                .map(|w| order[w[0]..w[1]].iter().copied().collect())
-                .collect();
-            this.cost_model.workload_cost(
-                this.table,
-                &Partitioning::from_disjoint_unchecked(groups),
-                &this.history,
-            )
-        };
+        // Greedy: add one best split at a time while cost improves. Split
+        // candidates are priced as incremental moves (remove the enclosing
+        // segment, add its two halves) against a per-step CostEvaluator —
+        // the memo over (query, read-set) pairs is exactly O2P's
+        // "remembered split-point costs", now shared with every advisor.
         let n = self.table.attr_count();
-        let mut current = cost_of(&self.splits, self);
+        let order = self.bea.order().to_vec();
+        let seg_set = |lo: usize, hi: usize| -> AttrSet { order[lo..hi].iter().copied().collect() };
+        let mut bounds = Vec::with_capacity(self.splits.len() + 2);
+        bounds.push(0);
+        bounds.extend_from_slice(&self.splits);
+        bounds.push(n);
+        let groups: Vec<AttrSet> = bounds.windows(2).map(|w| seg_set(w[0], w[1])).collect();
+        let mut ev = CostEvaluator::new(
+            self.cost_model,
+            self.table,
+            &self.history,
+            &groups,
+            self.naive_eval,
+        );
+        let mut current = ev.total();
         loop {
-            let mut best: Option<(f64, usize)> = None;
-            for pos in 1..n {
-                if self.splits.contains(&pos) {
-                    continue;
-                }
-                let mut cand = self.splits.clone();
-                cand.push(pos);
-                cand.sort_unstable();
-                let c = cost_of(&cand, self);
-                if best.is_none_or(|(b, _)| c < b) {
-                    best = Some((c, pos));
-                }
-            }
-            match best {
-                Some((c, pos)) if improves(c, current) => {
+            let cands: Vec<usize> = (1..n).filter(|pos| !self.splits.contains(pos)).collect();
+            // Enclosing segment of each candidate position.
+            let enclosing = |pos: usize| -> (usize, usize) {
+                let lo = self
+                    .splits
+                    .iter()
+                    .copied()
+                    .filter(|&s| s < pos)
+                    .max()
+                    .unwrap_or(0);
+                let hi = self
+                    .splits
+                    .iter()
+                    .copied()
+                    .filter(|&s| s > pos)
+                    .min()
+                    .unwrap_or(n);
+                (lo, hi)
+            };
+            let costs = scan_candidates(cands.len(), !self.naive_eval, |k| {
+                let pos = cands[k];
+                let (lo, hi) = enclosing(pos);
+                let gi = ev.index_of(seg_set(lo, hi)).expect("segment tracked");
+                ev.move_cost(&[gi], &[seg_set(lo, pos), seg_set(pos, hi)])
+            });
+            match first_strict_min(&costs) {
+                Some((k, c)) if improves(c, current) => {
+                    let pos = cands[k];
+                    let (lo, hi) = enclosing(pos);
+                    let gi = ev.index_of(seg_set(lo, hi)).expect("segment tracked");
+                    ev.commit_move(&[gi], &[seg_set(lo, pos), seg_set(pos, hi)]);
                     self.splits.push(pos);
                     self.splits.sort_unstable();
                     current = c;
@@ -168,6 +194,9 @@ impl Advisor for O2P {
             return Ok(Partitioning::row(req.table));
         }
         let mut online = O2pOnline::new(req.table, req.cost_model);
+        if req.naive_eval {
+            online = online.with_naive_evaluation();
+        }
         for q in req.workload.queries() {
             online.observe(q.clone());
         }
@@ -196,9 +225,13 @@ mod tests {
         vec![
             Query::new(
                 "Q1",
-                t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"]).unwrap(),
+                t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"])
+                    .unwrap(),
             ),
-            Query::new("Q2", t.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap()),
+            Query::new(
+                "Q2",
+                t.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap(),
+            ),
         ]
     }
 

@@ -43,7 +43,10 @@ pub struct Trojan {
 
 impl Default for Trojan {
     fn default() -> Self {
-        Trojan { threshold: 0.3, max_candidates: 512 }
+        Trojan {
+            threshold: 0.3,
+            max_candidates: 512,
+        }
     }
 }
 
@@ -58,7 +61,10 @@ impl Trojan {
     /// useful groups (the paper's "effectiveness of the pruning threshold").
     pub fn with_threshold(threshold: f64) -> Self {
         assert!((0.0..=1.0).contains(&threshold), "threshold out of [0,1]");
-        Trojan { threshold, ..Self::default() }
+        Trojan {
+            threshold,
+            ..Self::default()
+        }
     }
 
     /// Pairwise normalized mutual information of attribute co-access.
@@ -120,7 +126,11 @@ impl Trojan {
                     + term(pj - pij, 1.0 - pi, pj)
                     + term(1.0 - pi - pj + pij, 1.0 - pi, 1.0 - pj);
                 let denom = h(pi).min(h(pj));
-                out[i][j] = if denom > 0.0 { (mi / denom).clamp(0.0, 1.0) } else { 0.0 };
+                out[i][j] = if denom > 0.0 {
+                    (mi / denom).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
             }
         }
         out
@@ -169,9 +179,11 @@ impl Trojan {
         scored
             .into_iter()
             .map(|(avg, k, mask)| {
-                let attrs: AttrSet =
-                    (0..n).filter(|i| mask & (1 << i) != 0).collect();
-                ValuedGroup { attrs, value: avg * k as f64 }
+                let attrs: AttrSet = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+                ValuedGroup {
+                    attrs,
+                    value: avg * k as f64,
+                }
             })
             .collect()
     }
@@ -189,41 +201,57 @@ impl Trojan {
         workload: &Workload,
         groups: Vec<ValuedGroup>,
     ) -> Vec<ValuedGroup> {
-        groups
-            .into_iter()
-            .filter_map(|g| {
-                let mut benefit = 0.0;
-                let mut touched_by_any = false;
-                for q in workload.queries() {
-                    let touched = g.attrs.intersection(q.referenced);
-                    if touched.is_empty() {
-                        continue;
-                    }
-                    touched_by_any = true;
-                    let split: Vec<AttrSet> = touched.iter().map(AttrSet::single).collect();
-                    let split_cost = req.cost_model.read_cost(req.table, &split);
-                    let merged_cost = req.cost_model.read_cost(req.table, &[g.attrs]);
-                    benefit += q.weight * (split_cost - merged_cost);
+        // Each surviving group is valued independently, so the scan fans
+        // out across cores (order-preserving, hence deterministic); the
+        // group's own read cost is hoisted out of the per-query loop — it
+        // does not depend on the query.
+        let value_one = |g: &ValuedGroup| -> Option<ValuedGroup> {
+            let merged_cost = req.cost_model.read_cost(req.table, &[g.attrs]);
+            let mut benefit = 0.0;
+            let mut touched_by_any = false;
+            for q in workload.queries() {
+                let touched = g.attrs.intersection(q.referenced);
+                if touched.is_empty() {
+                    continue;
                 }
-                if !touched_by_any {
-                    // Never-read group (e.g. the unreferenced-attribute
-                    // family): cost-neutral, kept on interestingness alone.
-                    // `g.value` is interestingness × size from pruning.
-                    return Some(ValuedGroup { attrs: g.attrs, value: 1e-9 * g.value });
-                }
-                // Referenced groups must genuinely speed queries up;
-                // zero-or-negative benefit means the group only survives
-                // DP tie-breaks, which is how statistically-interesting but
-                // costly groups used to sneak in.
-                (benefit > 0.0)
-                    .then_some(ValuedGroup { attrs: g.attrs, value: benefit + 1e-9 * g.value })
+                touched_by_any = true;
+                let split: Vec<AttrSet> = touched.iter().map(AttrSet::single).collect();
+                let split_cost = req.cost_model.read_cost(req.table, &split);
+                benefit += q.weight * (split_cost - merged_cost);
+            }
+            if !touched_by_any {
+                // Never-read group (e.g. the unreferenced-attribute
+                // family): cost-neutral, kept on interestingness alone.
+                // `g.value` is interestingness × size from pruning.
+                return Some(ValuedGroup {
+                    attrs: g.attrs,
+                    value: 1e-9 * g.value,
+                });
+            }
+            // Referenced groups must genuinely speed queries up;
+            // zero-or-negative benefit means the group only survives
+            // DP tie-breaks, which is how statistically-interesting but
+            // costly groups used to sneak in.
+            (benefit > 0.0).then_some(ValuedGroup {
+                attrs: g.attrs,
+                value: benefit + 1e-9 * g.value,
             })
-            .collect()
+        };
+        if req.naive_eval {
+            groups.iter().filter_map(value_one).collect()
+        } else {
+            use rayon::prelude::*;
+            groups.par_iter().filter_map(value_one).collect()
+        }
     }
 
     /// Core single-layout computation, shared by the unified and the
     /// replicated modes.
-    fn layout_for(&self, req: &PartitionRequest<'_>, workload: &Workload) -> Result<Partitioning, ModelError> {
+    fn layout_for(
+        &self,
+        req: &PartitionRequest<'_>,
+        workload: &Workload,
+    ) -> Result<Partitioning, ModelError> {
         let n = req.table.attr_count();
         if n > MAX_UNIVERSE {
             return Err(ModelError::Unsupported {
@@ -263,7 +291,11 @@ impl Trojan {
         let jaccard = |a: AttrSet, b: AttrSet| -> f64 {
             let i = a.intersection(b).len() as f64;
             let u = a.union(b).len() as f64;
-            if u == 0.0 { 1.0 } else { i / u }
+            if u == 0.0 {
+                1.0
+            } else {
+                i / u
+            }
         };
         let k = replicas.min(queries.len());
         let mut seeds: Vec<usize> = vec![0];
@@ -272,8 +304,14 @@ impl Trojan {
             let next = (0..queries.len())
                 .filter(|i| !seeds.contains(i))
                 .min_by(|&a, &b| {
-                    let da: f64 = seeds.iter().map(|&s| jaccard(queries[a].referenced, queries[s].referenced)).fold(f64::INFINITY, f64::min);
-                    let db: f64 = seeds.iter().map(|&s| jaccard(queries[b].referenced, queries[s].referenced)).fold(f64::INFINITY, f64::min);
+                    let da: f64 = seeds
+                        .iter()
+                        .map(|&s| jaccard(queries[a].referenced, queries[s].referenced))
+                        .fold(f64::INFINITY, f64::min);
+                    let db: f64 = seeds
+                        .iter()
+                        .map(|&s| jaccard(queries[b].referenced, queries[s].referenced))
+                        .fold(f64::INFINITY, f64::min);
                     da.partial_cmp(&db).expect("finite").then(a.cmp(&b))
                 });
             match next {
@@ -368,9 +406,13 @@ mod tests {
             vec![
                 Query::new(
                     "Q1",
-                    t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"]).unwrap(),
+                    t.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"])
+                        .unwrap(),
                 ),
-                Query::new("Q2", t.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap()),
+                Query::new(
+                    "Q2",
+                    t.attr_set(&["AvailQty", "SupplyCost", "Comment"]).unwrap(),
+                ),
             ],
         )
         .unwrap()
@@ -397,7 +439,11 @@ mod tests {
         #[allow(clippy::needless_range_loop)]
         for i in 0..5 {
             for j in 0..5 {
-                assert!((0.0..=1.0).contains(&nmi[i][j]), "nmi[{i}][{j}]={}", nmi[i][j]);
+                assert!(
+                    (0.0..=1.0).contains(&nmi[i][j]),
+                    "nmi[{i}][{j}]={}",
+                    nmi[i][j]
+                );
                 assert!((nmi[i][j] - nmi[j][i]).abs() < 1e-12);
             }
         }
@@ -411,7 +457,9 @@ mod tests {
         let req = PartitionRequest::new(&t, &w, &m);
         let layout = Trojan::new().partition(&req).unwrap();
         assert!(
-            layout.partitions().contains(&t.attr_set(&["PartKey", "SuppKey"]).unwrap()),
+            layout
+                .partitions()
+                .contains(&t.attr_set(&["PartKey", "SuppKey"]).unwrap()),
             "{}",
             layout.render(&t)
         );
@@ -428,13 +476,15 @@ mod tests {
             .attr("Dead2", 30, AttrKind::Text)
             .build()
             .unwrap();
-        let w = Workload::with_queries(&t, vec![Query::new("q", t.attr_set(&["A"]).unwrap())])
-            .unwrap();
+        let w =
+            Workload::with_queries(&t, vec![Query::new("q", t.attr_set(&["A"]).unwrap())]).unwrap();
         let m = HddCostModel::paper_testbed();
         let req = PartitionRequest::new(&t, &w, &m);
         let layout = Trojan::new().partition(&req).unwrap();
         assert!(
-            layout.partitions().contains(&t.attr_set(&["Dead1", "Dead2"]).unwrap()),
+            layout
+                .partitions()
+                .contains(&t.attr_set(&["Dead1", "Dead2"]).unwrap()),
             "{}",
             layout.render(&t)
         );
@@ -458,7 +508,10 @@ mod tests {
         let m = HddCostModel::paper_testbed();
         let req = PartitionRequest::new(&t, &w, &m);
         let replicas = Trojan::new().partition_replicated(&req, 2).unwrap();
-        let mut routed: Vec<usize> = replicas.iter().flat_map(|r| r.query_indices.clone()).collect();
+        let mut routed: Vec<usize> = replicas
+            .iter()
+            .flat_map(|r| r.query_indices.clone())
+            .collect();
         routed.sort_unstable();
         assert_eq!(routed, vec![0, 1]);
         // Per-group layouts are tailored: Q2's replica keeps Comment with
@@ -484,8 +537,7 @@ mod tests {
             b = b.attr(format!("A{i}"), 4, AttrKind::Int);
         }
         let t = b.build().unwrap();
-        let w = Workload::with_queries(&t, vec![Query::new("q", AttrSet::single(0usize))])
-            .unwrap();
+        let w = Workload::with_queries(&t, vec![Query::new("q", AttrSet::single(0usize))]).unwrap();
         let m = HddCostModel::paper_testbed();
         let req = PartitionRequest::new(&t, &w, &m);
         assert!(matches!(

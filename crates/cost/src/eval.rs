@@ -1,0 +1,1103 @@
+//! The incremental, memoized, parallel cost-evaluation engine.
+//!
+//! Every advisor in `slicer-core` is a search over partitionings whose inner
+//! loop asks one question — *what would this layout cost?* — millions of
+//! times. The naive path answers it from scratch: build a [`Partitioning`],
+//! walk every query, collect its referenced groups into a fresh `Vec`,
+//! re-measure each group's byte width, price it. For HillClimb's O(n²)
+//! merges per iteration (and BruteForce's millions of candidates) almost
+//! all of that work is identical between neighboring candidates.
+//! [`CostEvaluator`] exploits that in three layers:
+//!
+//! 1. **Per-group memoization.** Group scan parameters are priced once per
+//!    group, not once per (candidate × query): a memo keyed by [`AttrSet`]
+//!    (`Copy`, 32 bytes, `Hash` — a perfect cache key) caches each group's
+//!    byte-per-row size; the current layout's sizes and disk block counts
+//!    ride alongside the group list, and for the HDD model the per-query
+//!    [`PatchCache`] additionally remembers whole merge-candidate costs
+//!    keyed by the merged groups' slots in the query's read list. Cost
+//!    models consume precomputed sizes through
+//!    [`CostModel::query_groups_cost_sized`] (the HDD model through a
+//!    statically-dispatched kernel,
+//!    [`crate::HddCostModel::sized_read_cost_with_blocks`]), skipping the
+//!    `set_size`/`blocks_on_disk` recomputation that dominates the naive
+//!    inner loop.
+//! 2. **Incremental delta evaluation.** A candidate *move* (merge a pair of
+//!    groups, split one group) only changes the read sets of queries whose
+//!    referenced attributes intersect the touched groups. The evaluator
+//!    keeps the per-query cost vector of the current layout plus a
+//!    query ↔ group inverted index; unaffected queries reuse their cached
+//!    cost, affected queries re-derive their read set by *patching* their
+//!    cached read list (for merges this is a copy, not a rescan), and each
+//!    candidate's total is re-summed in workload order. The batched merge
+//!    scan walks the (query × candidate) matrix query-outer with one
+//!    bitmask test per cell, accumulating every candidate's sum in the
+//!    same order the naive path would. The result is **bit-for-bit
+//!    identical** to the naive `workload_cost` — advisors make exactly the
+//!    same decisions on either path (property-tested in
+//!    `tests/evaluator_equivalence.rs`).
+//! 3. **Parallel candidate scans.** [`scan_candidates`] and
+//!    [`CostEvaluator::merge_costs`] fan large candidate lists across the
+//!    rayon worker pool (order-preserving); callers reduce with
+//!    [`first_strict_min`], reproducing the sequential loops' tie-breaking
+//!    exactly. Cached and computed values are bit-identical, so the
+//!    parallel path (which skips cache writes) returns the same costs.
+//!
+//! Exactness argument, in short: each per-query cost is
+//! `weight * query_groups_cost*(schema, read, referenced)` where `read` is
+//! assembled in canonical partitioning order (groups sorted by smallest
+//! attribute). The naive `workload_cost` computes the identical expression
+//! on the identical operand order (the sized kernels receive the exact
+//! `u64` sizes and block counts the naive path would recompute), and both
+//! paths sum per-query costs in workload order; IEEE 754 arithmetic is
+//! deterministic, so equal inputs in equal order give equal bits. A merge
+//! preserves canonical positions (the merged group inherits the smaller
+//! minimum attribute), and general moves re-canonicalize by insertion, so
+//! the invariant holds for every move.
+
+use crate::traits::CostModel;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use slicer_model::{AttrSet, Partitioning, TableSchema, Workload};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash-style multiplicative hasher: the memo keys are `AttrSet`s (four
+/// `u64` words) and `SipHash`'s per-call cost would rival the cost-model
+/// arithmetic the memo exists to skip.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ x).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, x: u16) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+thread_local! {
+    /// Per-thread scratch for candidate read sets: (groups, sizes).
+    /// Evaluations run on the rayon pool's worker threads, so each worker
+    /// reuses its own buffers — zero allocation per candidate.
+    static READ_SCRATCH: RefCell<(Vec<AttrSet>, Vec<u64>, Vec<u64>)> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
+
+/// Per-query cache of merge-candidate costs for the HDD kernel, keyed by
+/// the *slots* (positions within the query's read list) of the merged
+/// groups — a dense/associative structure with no hashing and no locks.
+///
+/// Soundness: the kernel cost is a pure function of the query's patched
+/// ordered size list, which is fully determined by the query's current
+/// read list plus (slot keys, added size). Entries are dropped whenever a
+/// commit changes the query's read list; entries for untouched queries
+/// stay valid across iterations, which is where the reuse comes from.
+/// Cached and recomputed values are bit-identical, so caching cannot
+/// change any advisor decision.
+struct PatchCache {
+    /// Read-list length this cache was built for.
+    qlen: usize,
+    /// Both merged groups read by the query: `cost[a * qlen + b]`, keyed by
+    /// their slots `a < b`; `NaN` = empty (costs are finite).
+    both: Vec<f64>,
+    /// Only the lower group read: per its slot, `(other group's size, cost)`.
+    with_lo: Vec<Vec<(u64, f64)>>,
+    /// Only the higher group read: per its slot,
+    /// `(union insert position, union size, cost)`.
+    with_hi: Vec<Vec<(u32, u64, f64)>>,
+}
+
+impl PatchCache {
+    fn new(qlen: usize) -> PatchCache {
+        PatchCache {
+            qlen,
+            both: vec![f64::NAN; qlen * qlen],
+            with_lo: vec![Vec::new(); qlen],
+            with_hi: vec![Vec::new(); qlen],
+        }
+    }
+}
+
+/// Read-list lengths above this bypass the patch cache (its dense table is
+/// quadratic in the query's read-list length).
+const PATCH_CACHE_MAX_READS: usize = 64;
+
+/// Incremental, memoized workload-cost evaluator over an evolving
+/// partitioning. See the module docs for the design.
+pub struct CostEvaluator<'a> {
+    model: &'a dyn CostModel,
+    schema: &'a TableSchema,
+    workload: &'a Workload,
+    /// `(referenced, weight)` per query, in workload order.
+    queries: Vec<(AttrSet, f64)>,
+    /// Current groups, canonical order (ascending smallest attribute).
+    groups: Vec<AttrSet>,
+    /// `group_sizes[g] == schema.set_size(groups[g])`, maintained through
+    /// the per-group size memo.
+    group_sizes: Vec<u64>,
+    /// Per-group disk block counts (HDD kernel only; empty otherwise) —
+    /// `blocks_on_disk`'s divisions paid once per group, not per candidate.
+    group_blocks: Vec<u64>,
+    /// Inverted index: `group_queries[g]` = indices of queries whose
+    /// referenced set intersects `groups[g]`.
+    group_queries: Vec<Vec<u32>>,
+    /// Transposed index: `query_reads[q]` = canonical indices of the groups
+    /// query `q` reads, ascending — its current read set.
+    query_reads: Vec<Vec<u32>>,
+    /// `query_read_sizes[q][k]` = size of group `query_reads[q][k]` — the
+    /// patch loop walks these sequentially instead of chasing group
+    /// indices (HDD kernel only; empty otherwise).
+    query_read_sizes: Vec<Vec<u64>>,
+    /// Block counts aligned with `query_read_sizes`.
+    query_read_blocks: Vec<Vec<u64>>,
+    /// Per-query bitmask over *group indices*: bit `g` set iff the query
+    /// reads group `g`. One shift-and answers "is this query affected by a
+    /// candidate touching groups (i, j)?" in the batched scan.
+    query_group_mask: Vec<AttrSet>,
+    /// Dense position table: `pos_in_query[g][q]` = number of groups query
+    /// `q` reads with canonical index below `g` — i.e. group `g`'s slot in
+    /// `query_reads[q]` when `q` reads it, and the insertion position a
+    /// group at `g`'s place would take when it does not. Turns every
+    /// slot/insertion lookup in the cached merge scan into one array read.
+    pos_in_query: Vec<Vec<u32>>,
+    /// Weighted cost contribution of each query under `groups`.
+    per_query: Vec<f64>,
+    /// Current total (sum of `per_query` in workload order).
+    total: f64,
+    /// The per-group memo: byte-per-row size keyed by the group itself.
+    size_memo: Mutex<FxMap<AttrSet, u64>>,
+    /// The read-cost memo: for models whose sized cost is a pure function
+    /// of the ordered per-group sizes (`sized_cost_ignores_groups`, i.e.
+    /// the HDD model), the unweighted cost of a read set keyed by its
+    /// ordered size list. Entries are total — the key determines the value
+    /// — so they never go stale across commits and are shared across
+    /// queries, candidates and iterations alike.
+    cost_memo: Mutex<FxMap<Box<[u64]>, f64>>,
+    /// Reproduce the naive path exactly (no memo, no deltas): used for
+    /// equivalence tests and perf baselines.
+    naive: bool,
+    /// Cached `model.sized_cost_ignores_groups()`: on the hottest path the
+    /// candidate group list need not be materialized at all.
+    sizes_only: bool,
+    /// Per-query merge-candidate caches (see [`PatchCache`]); `None` =
+    /// not built yet or invalidated by a commit.
+    patch_cache: Vec<Option<Box<PatchCache>>>,
+    /// Statically-dispatched HDD kernel, when the model is the HDD one.
+    hdd: Option<crate::HddCostModel>,
+    /// Cached `schema.row_count()` for the static kernel.
+    rows: u64,
+}
+
+impl<'a> CostEvaluator<'a> {
+    /// Build an evaluator for `initial` groups (any order; canonicalized).
+    pub fn new(
+        model: &'a dyn CostModel,
+        schema: &'a TableSchema,
+        workload: &'a Workload,
+        initial: &[AttrSet],
+        naive: bool,
+    ) -> Self {
+        let queries: Vec<(AttrSet, f64)> = workload
+            .queries()
+            .iter()
+            .map(|q| (q.referenced, q.weight))
+            .collect();
+        let mut groups = initial.to_vec();
+        groups.sort_by_key(|g| g.min_attr());
+        let mut ev = CostEvaluator {
+            model,
+            schema,
+            workload,
+            queries,
+            groups,
+            group_sizes: Vec::new(),
+            group_blocks: Vec::new(),
+            group_queries: Vec::new(),
+            query_reads: Vec::new(),
+            query_read_sizes: Vec::new(),
+            query_read_blocks: Vec::new(),
+            query_group_mask: Vec::new(),
+            pos_in_query: Vec::new(),
+            per_query: Vec::new(),
+            total: 0.0,
+            size_memo: Mutex::new(FxMap::default()),
+            cost_memo: Mutex::new(FxMap::default()),
+            naive,
+            sizes_only: model.sized_cost_ignores_groups(),
+            patch_cache: (0..workload.len()).map(|_| None).collect(),
+            hdd: model.as_hdd(),
+            rows: schema.row_count(),
+        };
+        ev.rebuild_state();
+        ev
+    }
+
+    /// Current groups in canonical order.
+    pub fn groups(&self) -> &[AttrSet] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True iff there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Workload cost of the current groups (bit-identical to
+    /// `model.workload_cost` over the same partitioning).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// The current groups as a [`Partitioning`].
+    pub fn partitioning(&self) -> Partitioning {
+        Partitioning::from_disjoint_unchecked(self.groups.clone())
+    }
+
+    /// Canonical index of `group`, if present.
+    pub fn index_of(&self, group: AttrSet) -> Option<usize> {
+        let key = group.min_attr();
+        self.groups
+            .binary_search_by_key(&key, |g| g.min_attr())
+            .ok()
+            .filter(|&i| self.groups[i] == group)
+    }
+
+    /// Queries (workload indices) whose referenced set intersects group `g`
+    /// — the inverted index the delta path is built on.
+    pub fn queries_touching(&self, g: usize) -> &[u32] {
+        &self.group_queries[g]
+    }
+
+    /// Byte-per-row size of `group`, through the per-group memo.
+    pub fn group_size(&self, group: AttrSet) -> u64 {
+        let mut memo = self.size_memo.lock();
+        *memo
+            .entry(group)
+            .or_insert_with(|| self.schema.set_size(group))
+    }
+
+    /// Cost of the layout after merging groups `i` and `j` (canonical
+    /// indices), without committing. Safe to call from multiple threads.
+    ///
+    /// This is the hottest path: affected queries derive their candidate
+    /// read set by patching their cached read list — no partitioning is
+    /// built, no group is rescanned, no size is remeasured.
+    pub fn merge_cost(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i != j);
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        if self.naive {
+            return self.naive_cost(&[lo, hi], &[self.groups[lo].union(self.groups[hi])]);
+        }
+        let union = self.groups[lo].union(self.groups[hi]);
+        // Disjoint groups: the union's size is exact by addition.
+        let union_size = self.group_sizes[lo] + self.group_sizes[hi];
+        // The union's block count is computed once per candidate pair, not
+        // once per affected query.
+        let union_blocks = self
+            .hdd
+            .as_ref()
+            .map_or(0, |hdd| hdd.blocks_on_disk(self.rows, union_size));
+        // Affected queries = those reading group lo or hi: merge-walk the
+        // two sorted inverted-index lists (no per-query intersect tests).
+        let la = &self.group_queries[lo];
+        let lb = &self.group_queries[hi];
+        let (mut ia, mut ib) = (0usize, 0usize);
+        READ_SCRATCH.with(|scratch| {
+            let (read_g, read_s, read_b) = &mut *scratch.borrow_mut();
+            let mut total = 0.0;
+            for qi in 0..self.queries.len() {
+                let q = qi as u32;
+                let mut affected = false;
+                if ia < la.len() && la[ia] == q {
+                    ia += 1;
+                    affected = true;
+                }
+                if ib < lb.len() && lb[ib] == q {
+                    ib += 1;
+                    affected = true;
+                }
+                // Delta evaluation: untouched queries keep their cached
+                // cost. Summation stays in workload order for bit-exactness.
+                total += if affected {
+                    self.merged_query_cost(
+                        qi,
+                        lo,
+                        hi,
+                        union,
+                        union_size,
+                        union_blocks,
+                        read_g,
+                        read_s,
+                        read_b,
+                    )
+                } else {
+                    self.per_query[qi]
+                };
+            }
+            total
+        })
+    }
+
+    /// Weighted cost of query `qi` under the candidate that merges groups
+    /// `lo < hi` into `union`, re-priced by patching the query's cached
+    /// read state.
+    #[allow(clippy::too_many_arguments)]
+    fn merged_query_cost(
+        &self,
+        qi: usize,
+        lo: usize,
+        hi: usize,
+        union: AttrSet,
+        union_size: u64,
+        union_blocks: u64,
+        read_g: &mut Vec<AttrSet>,
+        read_s: &mut Vec<u64>,
+        read_b: &mut Vec<u64>,
+    ) -> f64 {
+        let (referenced, weight) = self.queries[qi];
+        {
+            read_g.clear();
+            read_s.clear();
+            // Patch the cached read list: drop lo/hi, insert the union at
+            // lo's canonical position (it inherits lo's minimum attribute).
+            // When the model prices sizes alone (HDD), the group list is
+            // skipped and the read total is fused into the patch walk.
+            let mut inserted = false;
+            if let Some(hdd) = &self.hdd {
+                read_b.clear();
+                let mut total_ref = 0u64;
+                let reads = &self.query_reads[qi];
+                let sizes = &self.query_read_sizes[qi];
+                let blocks = &self.query_read_blocks[qi];
+                for (k, &g) in reads.iter().enumerate() {
+                    let g = g as usize;
+                    if g == lo || g == hi {
+                        continue;
+                    }
+                    if !inserted && g > lo {
+                        read_s.push(union_size);
+                        read_b.push(union_blocks);
+                        total_ref += union_size;
+                        inserted = true;
+                    }
+                    read_s.push(sizes[k]);
+                    read_b.push(blocks[k]);
+                    total_ref += sizes[k];
+                }
+                if !inserted {
+                    read_s.push(union_size);
+                    read_b.push(union_blocks);
+                    total_ref += union_size;
+                }
+                weight * hdd.sized_read_cost_with_blocks(read_s, read_b, total_ref)
+            } else if self.sizes_only {
+                for &g in &self.query_reads[qi] {
+                    let g = g as usize;
+                    if g == lo || g == hi {
+                        continue;
+                    }
+                    if !inserted && g > lo {
+                        read_s.push(union_size);
+                        inserted = true;
+                    }
+                    read_s.push(self.group_sizes[g]);
+                }
+                if !inserted {
+                    read_s.push(union_size);
+                }
+                weight * self.memoized_sizes_cost(read_s, referenced)
+            } else {
+                for &g in &self.query_reads[qi] {
+                    let g = g as usize;
+                    if g == lo || g == hi {
+                        continue;
+                    }
+                    if !inserted && g > lo {
+                        read_g.push(union);
+                        read_s.push(union_size);
+                        inserted = true;
+                    }
+                    read_g.push(self.groups[g]);
+                    read_s.push(self.group_sizes[g]);
+                }
+                if !inserted {
+                    read_g.push(union);
+                    read_s.push(union_size);
+                }
+                weight
+                    * self
+                        .model
+                        .query_groups_cost_sized(self.schema, read_g, read_s, referenced)
+            }
+        }
+    }
+
+    /// Unweighted cost of a read set priced by sizes alone, through the
+    /// global ordered-size-list memo.
+    fn memoized_sizes_cost(&self, sizes: &[u64], referenced: AttrSet) -> f64 {
+        let mut memo = self.cost_memo.lock();
+        if let Some(&f) = memo.get(sizes) {
+            return f;
+        }
+        let f = self
+            .model
+            .query_groups_cost_sized(self.schema, &[], sizes, referenced);
+        memo.insert(sizes.to_vec().into_boxed_slice(), f);
+        f
+    }
+
+    /// Costs of a list of merge candidates, in candidate order.
+    ///
+    /// On the fast sequential path this runs through the per-query
+    /// [`PatchCache`]; with `parallel` set and a large enough scan it fans
+    /// out across the worker pool instead (cache reads/writes are skipped
+    /// there — cached and computed values are bit-identical, so the result
+    /// is the same either way). The naive path evaluates sequentially with
+    /// no caching at all.
+    pub fn merge_costs(&mut self, pairs: &[(usize, usize)], parallel: bool) -> Vec<f64> {
+        if self.naive {
+            return pairs.iter().map(|&(i, j)| self.merge_cost(i, j)).collect();
+        }
+        let threads = rayon::current_num_threads();
+        if parallel && threads > 1 && pairs.len() >= 16 * threads {
+            let ev = &*self;
+            return pairs
+                .par_iter()
+                .map(|&(i, j)| ev.merge_cost(i, j))
+                .collect();
+        }
+        self.merge_costs_batched(pairs)
+    }
+
+    /// The batched (query-outer) cached merge scan: every pair's cost is
+    /// accumulated query by query in workload order — the identical
+    /// summation the naive path performs, just transposed — so results are
+    /// bit-identical to per-pair evaluation while the candidate matrix is
+    /// walked with sequential memory access and one bitmask test per
+    /// (query, pair).
+    fn merge_costs_batched(&mut self, pairs: &[(usize, usize)]) -> Vec<f64> {
+        struct PairInfo {
+            lo: u32,
+            hi: u32,
+            union: AttrSet,
+            union_size: u64,
+            union_blocks: u64,
+        }
+        let infos: Vec<PairInfo> = pairs
+            .iter()
+            .map(|&(i, j)| {
+                let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                let union_size = self.group_sizes[lo] + self.group_sizes[hi];
+                PairInfo {
+                    lo: lo as u32,
+                    hi: hi as u32,
+                    union: self.groups[lo].union(self.groups[hi]),
+                    union_size,
+                    union_blocks: self
+                        .hdd
+                        .as_ref()
+                        .map_or(0, |hdd| hdd.blocks_on_disk(self.rows, union_size)),
+                }
+            })
+            .collect();
+        let mut costs = vec![0.0f64; pairs.len()];
+        let mut caches = std::mem::take(&mut self.patch_cache);
+        READ_SCRATCH.with(|scratch| {
+            let (read_g, read_s, read_b) = &mut *scratch.borrow_mut();
+            #[allow(clippy::needless_range_loop)] // qi indexes five parallel arrays
+            for qi in 0..self.queries.len() {
+                let mask = self.query_group_mask[qi];
+                let pq = self.per_query[qi];
+                let qlen = self.query_reads[qi].len();
+                // The cache keys (slots + sizes) only determine the cost
+                // for models that price sizes alone (the HDD kernel /
+                // sized-only models). Identity-dependent models (main
+                // memory) must recompute — their costs differ for equal
+                // sizes, so cached entries would collide.
+                let use_cache =
+                    (self.hdd.is_some() || self.sizes_only) && qlen <= PATCH_CACHE_MAX_READS;
+                for (k, info) in infos.iter().enumerate() {
+                    let aff_lo = mask.contains(info.lo as usize);
+                    let aff_hi = mask.contains(info.hi as usize);
+                    if !(aff_lo || aff_hi) {
+                        costs[k] += pq;
+                        continue;
+                    }
+                    let (lo, hi) = (info.lo as usize, info.hi as usize);
+                    let c = if use_cache {
+                        let cache =
+                            caches[qi].get_or_insert_with(|| Box::new(PatchCache::new(qlen)));
+                        debug_assert_eq!(cache.qlen, qlen);
+                        if aff_lo && aff_hi {
+                            let a = self.pos_in_query[lo][qi] as usize;
+                            let b = self.pos_in_query[hi][qi] as usize;
+                            let slot = a * qlen + b;
+                            let cached = cache.both[slot];
+                            if cached.is_nan() {
+                                let c = self.merged_query_cost(
+                                    qi,
+                                    lo,
+                                    hi,
+                                    info.union,
+                                    info.union_size,
+                                    info.union_blocks,
+                                    read_g,
+                                    read_s,
+                                    read_b,
+                                );
+                                cache.both[slot] = c;
+                                c
+                            } else {
+                                cached
+                            }
+                        } else if aff_lo {
+                            let a = self.pos_in_query[lo][qi] as usize;
+                            let add = self.group_sizes[hi];
+                            match cache.with_lo[a].iter().find(|&&(s, _)| s == add) {
+                                Some(&(_, c)) => c,
+                                None => {
+                                    let c = self.merged_query_cost(
+                                        qi,
+                                        lo,
+                                        hi,
+                                        info.union,
+                                        info.union_size,
+                                        info.union_blocks,
+                                        read_g,
+                                        read_s,
+                                        read_b,
+                                    );
+                                    cache.with_lo[a].push((add, c));
+                                    c
+                                }
+                            }
+                        } else {
+                            let b = self.pos_in_query[hi][qi] as usize;
+                            let ins = self.pos_in_query[lo][qi];
+                            match cache.with_hi[b]
+                                .iter()
+                                .find(|&&(p, s, _)| p == ins && s == info.union_size)
+                            {
+                                Some(&(_, _, c)) => c,
+                                None => {
+                                    let c = self.merged_query_cost(
+                                        qi,
+                                        lo,
+                                        hi,
+                                        info.union,
+                                        info.union_size,
+                                        info.union_blocks,
+                                        read_g,
+                                        read_s,
+                                        read_b,
+                                    );
+                                    cache.with_hi[b].push((ins, info.union_size, c));
+                                    c
+                                }
+                            }
+                        }
+                    } else {
+                        self.merged_query_cost(
+                            qi,
+                            lo,
+                            hi,
+                            info.union,
+                            info.union_size,
+                            info.union_blocks,
+                            read_g,
+                            read_s,
+                            read_b,
+                        )
+                    };
+                    costs[k] += c;
+                }
+            }
+        });
+        self.patch_cache = caches;
+        costs
+    }
+
+    /// Commit the merge of groups `i` and `j`.
+    pub fn commit_merge(&mut self, i: usize, j: usize) {
+        debug_assert!(i != j);
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        self.commit_move(&[lo, hi], &[self.groups[lo].union(self.groups[hi])]);
+    }
+
+    /// Cost of the layout after removing the groups at (ascending) canonical
+    /// indices `removed` and adding `added` (which must cover exactly the
+    /// removed attributes), without committing. Safe to call from multiple
+    /// threads. Merges should prefer [`CostEvaluator::merge_cost`].
+    pub fn move_cost(&self, removed: &[usize], added: &[AttrSet]) -> f64 {
+        if self.naive {
+            return self.naive_cost(removed, added);
+        }
+        let (cand, cand_sizes) = self.candidate_groups(removed, added);
+        let affected = removed
+            .iter()
+            .fold(AttrSet::EMPTY, |acc, &g| acc.union(self.groups[g]));
+        READ_SCRATCH.with(|scratch| {
+            let (read_g, read_s, read_b) = &mut *scratch.borrow_mut();
+            let _ = &read_b;
+            let mut total = 0.0;
+            for (qi, &(referenced, weight)) in self.queries.iter().enumerate() {
+                // Delta evaluation: untouched queries keep their cached
+                // cost. Summation stays in workload order for bit-exactness.
+                total += if referenced.intersects(affected) {
+                    read_g.clear();
+                    read_s.clear();
+                    for (g, &s) in cand.iter().zip(&cand_sizes) {
+                        if g.intersects(referenced) {
+                            if !self.sizes_only {
+                                read_g.push(*g);
+                            }
+                            read_s.push(s);
+                        }
+                    }
+                    if self.sizes_only {
+                        weight * self.memoized_sizes_cost(read_s, referenced)
+                    } else {
+                        weight
+                            * self.model.query_groups_cost_sized(
+                                self.schema,
+                                read_g,
+                                read_s,
+                                referenced,
+                            )
+                    }
+                } else {
+                    self.per_query[qi]
+                };
+            }
+            total
+        })
+    }
+
+    /// Commit a general move; `removed`/`added` as in [`Self::move_cost`].
+    pub fn commit_move(&mut self, removed: &[usize], added: &[AttrSet]) {
+        let affected = removed
+            .iter()
+            .fold(AttrSet::EMPTY, |acc, &g| acc.union(self.groups[g]));
+        // Affected queries' read lists change; their merge caches are
+        // priced against the old lists, so drop them. Untouched queries
+        // keep theirs — their slot structure is preserved by moves
+        // elsewhere (relative canonical order of surviving groups does not
+        // change), which is what makes cross-iteration reuse sound.
+        for (qi, (referenced, _)) in self.queries.iter().enumerate() {
+            if referenced.intersects(affected) {
+                self.patch_cache[qi] = None;
+            }
+        }
+        let (cand, cand_sizes) = self.candidate_groups(removed, added);
+        self.groups = cand;
+        self.group_sizes = cand_sizes;
+        if self.naive {
+            self.rebuild_state();
+            return;
+        }
+        if let Some(hdd) = &self.hdd {
+            self.group_blocks = self
+                .group_sizes
+                .iter()
+                .map(|&s| hdd.blocks_on_disk(self.rows, s))
+                .collect();
+        }
+        self.rebuild_indices();
+        // Re-price only the affected queries; the read set is rebuilt in
+        // canonical order, so values are bit-identical to the winning
+        // `move_cost`/`merge_cost` probe.
+        READ_SCRATCH.with(|scratch| {
+            let (read_g, read_s, read_b) = &mut *scratch.borrow_mut();
+            let _ = &read_b;
+            for qi in 0..self.queries.len() {
+                let (referenced, weight) = self.queries[qi];
+                if !referenced.intersects(affected) {
+                    continue;
+                }
+                read_g.clear();
+                read_s.clear();
+                for (g, &s) in self.groups.iter().zip(&self.group_sizes) {
+                    if g.intersects(referenced) {
+                        read_g.push(*g);
+                        read_s.push(s);
+                    }
+                }
+                self.per_query[qi] = weight
+                    * self
+                        .model
+                        .query_groups_cost_sized(self.schema, read_g, read_s, referenced);
+            }
+        });
+        self.total = self.per_query.iter().sum();
+    }
+
+    /// Workload cost of the candidate through the naive path: exactly what
+    /// the pre-evaluator advisors did — materialize the candidate
+    /// partitioning and price every query from scratch, allocating a fresh
+    /// read-set `Vec` per query per candidate (the allocation pattern the
+    /// seed's default `query_cost` had; values are bit-identical to the
+    /// fast path, only the work wasted differs).
+    fn naive_cost(&self, removed: &[usize], added: &[AttrSet]) -> f64 {
+        let (cand, _) = self.candidate_groups(removed, added);
+        let p = Partitioning::from_disjoint_unchecked(cand);
+        self.workload
+            .queries()
+            .iter()
+            .map(|q| {
+                let read: Vec<AttrSet> = p.referenced_partitions(q.referenced).copied().collect();
+                q.weight
+                    * self
+                        .model
+                        .query_groups_cost(self.schema, &read, q.referenced)
+            })
+            .sum()
+    }
+
+    /// Full (re)computation of sizes, indices, per-query costs and total
+    /// for the current groups.
+    fn rebuild_state(&mut self) {
+        self.group_sizes = self.groups.iter().map(|g| self.group_size(*g)).collect();
+        self.group_blocks = match &self.hdd {
+            Some(hdd) => self
+                .group_sizes
+                .iter()
+                .map(|&s| hdd.blocks_on_disk(self.rows, s))
+                .collect(),
+            None => Vec::new(),
+        };
+        self.rebuild_indices();
+        if self.naive {
+            let p = Partitioning::from_disjoint_unchecked(self.groups.clone());
+            self.per_query = self
+                .workload
+                .queries()
+                .iter()
+                .map(|q| q.weight * self.model.query_cost(self.schema, &p, q))
+                .collect();
+        } else {
+            let mut per_query = vec![0.0; self.queries.len()];
+            READ_SCRATCH.with(|scratch| {
+                let (read_g, read_s, read_b) = &mut *scratch.borrow_mut();
+                let _ = &read_b;
+                for (qi, &(referenced, weight)) in self.queries.iter().enumerate() {
+                    read_g.clear();
+                    read_s.clear();
+                    for (g, &s) in self.groups.iter().zip(&self.group_sizes) {
+                        if g.intersects(referenced) {
+                            read_g.push(*g);
+                            read_s.push(s);
+                        }
+                    }
+                    per_query[qi] = weight
+                        * self.model.query_groups_cost_sized(
+                            self.schema,
+                            read_g,
+                            read_s,
+                            referenced,
+                        );
+                }
+            });
+            self.per_query = per_query;
+        }
+        self.total = self.per_query.iter().sum();
+    }
+
+    /// Rebuild the query ↔ group indexes for the current groups.
+    fn rebuild_indices(&mut self) {
+        let ng = self.groups.len();
+        let nq = self.queries.len();
+        self.group_queries = vec![Vec::new(); ng];
+        self.query_reads = vec![Vec::new(); nq];
+        self.pos_in_query = vec![vec![0u32; nq]; ng];
+        self.query_group_mask = vec![AttrSet::EMPTY; nq];
+        for (qi, (referenced, _)) in self.queries.iter().enumerate() {
+            let mut count = 0u32;
+            for (gi, g) in self.groups.iter().enumerate() {
+                self.pos_in_query[gi][qi] = count;
+                if g.intersects(*referenced) {
+                    self.group_queries[gi].push(qi as u32);
+                    self.query_reads[qi].push(gi as u32);
+                    self.query_group_mask[qi].insert(gi);
+                    count += 1;
+                }
+            }
+        }
+        if self.hdd.is_some() {
+            self.query_read_sizes = self
+                .query_reads
+                .iter()
+                .map(|r| r.iter().map(|&g| self.group_sizes[g as usize]).collect())
+                .collect();
+            self.query_read_blocks = self
+                .query_reads
+                .iter()
+                .map(|r| r.iter().map(|&g| self.group_blocks[g as usize]).collect())
+                .collect();
+        }
+    }
+
+    /// Candidate canonical group list (and sizes) for a move.
+    fn candidate_groups(&self, removed: &[usize], added: &[AttrSet]) -> (Vec<AttrSet>, Vec<u64>) {
+        debug_assert!(
+            removed.windows(2).all(|w| w[0] < w[1]),
+            "removed must be sorted"
+        );
+        let mut cand: Vec<AttrSet> = Vec::with_capacity(self.groups.len() + added.len());
+        let mut sizes: Vec<u64> = Vec::with_capacity(self.groups.len() + added.len());
+        let mut skip = removed.iter().copied().peekable();
+        for (gi, g) in self.groups.iter().enumerate() {
+            if skip.peek() == Some(&gi) {
+                skip.next();
+            } else {
+                cand.push(*g);
+                sizes.push(self.group_sizes[gi]);
+            }
+        }
+        for &a in added {
+            let pos = cand.partition_point(|g| g.min_attr() < a.min_attr());
+            cand.insert(pos, a);
+            sizes.insert(pos, self.group_size(a));
+        }
+        (cand, sizes)
+    }
+}
+
+/// Evaluate `n` candidates and return their costs in candidate order.
+///
+/// With `parallel` set, candidates fan out across the worker pool
+/// (order-preserving); otherwise they run sequentially. Callers select the
+/// winner with [`first_strict_min`], which reproduces the historical
+/// sequential loops' tie-breaking no matter how the costs were computed.
+pub fn scan_candidates<F>(n: usize, parallel: bool, eval: F) -> Vec<f64>
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    // Pool dispatch costs a few microseconds; with the memoized incremental
+    // path a candidate costs well under one, so fan out only when the scan
+    // is big enough to amortize (and there is more than one core at all).
+    let threads = rayon::current_num_threads();
+    if parallel && threads > 1 && n >= 64 * threads {
+        (0..n).into_par_iter().map(eval).collect()
+    } else {
+        (0..n).map(eval).collect()
+    }
+}
+
+/// First strict minimum of `costs`: the index whose cost is strictly below
+/// every earlier cost and at most every later one — i.e. the winner the
+/// sequential `if cost < best` loops would have picked.
+pub fn first_strict_min(costs: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (k, &c) in costs.iter().enumerate() {
+        if best.is_none_or(|(_, b)| c < b) {
+            best = Some((k, c));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HddCostModel;
+    use slicer_model::{AttrKind, Query};
+
+    fn fixture() -> (TableSchema, Workload) {
+        let t = TableSchema::builder("T", 800_000)
+            .attr("A", 4, AttrKind::Int)
+            .attr("B", 4, AttrKind::Int)
+            .attr("C", 8, AttrKind::Decimal)
+            .attr("D", 199, AttrKind::Text)
+            .build()
+            .unwrap();
+        let w = Workload::with_queries(
+            &t,
+            vec![
+                Query::new("q1", t.attr_set(&["A", "B"]).unwrap()),
+                Query::weighted("q2", t.attr_set(&["C", "D"]).unwrap(), 2.0),
+            ],
+        )
+        .unwrap();
+        (t, w)
+    }
+
+    #[test]
+    fn total_matches_workload_cost_for_both_paths() {
+        let (t, w) = fixture();
+        let m = HddCostModel::paper_testbed();
+        let col = Partitioning::column(&t);
+        let naive_cost = m.workload_cost(&t, &col, &w);
+        for naive in [false, true] {
+            let ev = CostEvaluator::new(&m, &t, &w, col.partitions(), naive);
+            assert_eq!(ev.total().to_bits(), naive_cost.to_bits(), "naive={naive}");
+        }
+    }
+
+    #[test]
+    fn merge_cost_equals_cost_of_merged_partitioning() {
+        let (t, w) = fixture();
+        let m = HddCostModel::paper_testbed();
+        let col = Partitioning::column(&t);
+        let ev = CostEvaluator::new(&m, &t, &w, col.partitions(), false);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let naive = m.workload_cost(&t, &col.merged(i, j), &w);
+                assert_eq!(ev.merge_cost(i, j).to_bits(), naive.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_scan_is_exact_for_identity_dependent_models() {
+        // Regression: the patch cache keys on slots + sizes, which does
+        // not determine the cost under the main-memory model (striding
+        // depends on which attributes a group holds). Two merge candidates
+        // with equal partner sizes must not share a cache entry.
+        use crate::MainMemoryCostModel;
+        let t = TableSchema::builder("T", 1000)
+            .attr("B", 4, AttrKind::Int)
+            .attr("D", 60, AttrKind::Text)
+            .attr("F", 60, AttrKind::Text)
+            .attr("G", 60, AttrKind::Text)
+            .build()
+            .unwrap();
+        let w = Workload::with_queries(&t, vec![Query::new("q", t.attr_set(&["B", "F"]).unwrap())])
+            .unwrap();
+        let groups = vec![
+            t.attr_set(&["B", "F"]).unwrap(),
+            t.attr_set(&["D"]).unwrap(),
+            t.attr_set(&["G"]).unwrap(),
+        ];
+        let m = MainMemoryCostModel::paper_testbed();
+        let p = Partitioning::from_disjoint_unchecked(groups.clone());
+        let mut ev = CostEvaluator::new(&m, &t, &w, &groups, false);
+        let costs = ev.merge_costs(&[(0, 1), (0, 2)], false);
+        for (k, &(i, j)) in [(0usize, 1usize), (0, 2)].iter().enumerate() {
+            let naive = m.workload_cost(&t, &p.merged(i, j), &w);
+            assert_eq!(costs[k].to_bits(), naive.to_bits(), "pair ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn merge_costs_stay_exact_after_commits() {
+        // Regression: per-group block caches must be refreshed on commit,
+        // or post-commit merge candidates are priced with stale state.
+        let (t, w) = fixture();
+        let m = HddCostModel::paper_testbed();
+        let col = Partitioning::column(&t);
+        let mut ev = CostEvaluator::new(&m, &t, &w, col.partitions(), false);
+        ev.commit_merge(0, 1); // {A,B} {C} {D}
+        let p = ev.partitioning();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let naive = m.workload_cost(&t, &p.merged(i, j), &w);
+                assert_eq!(ev.merge_cost(i, j).to_bits(), naive.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn commit_keeps_state_consistent_across_moves() {
+        let (t, w) = fixture();
+        let m = HddCostModel::paper_testbed();
+        let col = Partitioning::column(&t);
+        let mut ev = CostEvaluator::new(&m, &t, &w, col.partitions(), false);
+        ev.commit_merge(0, 1); // {A,B} {C} {D}
+        ev.commit_merge(1, 2); // {A,B} {C,D}
+        let p = ev.partitioning();
+        assert_eq!(p.len(), 2);
+        assert_eq!(ev.total().to_bits(), m.workload_cost(&t, &p, &w).to_bits());
+        // Split {C,D} back apart.
+        let cd = t.attr_set(&["C", "D"]).unwrap();
+        let gi = ev.index_of(cd).expect("merged group present");
+        let c = t.attr_set(&["C"]).unwrap();
+        let d = t.attr_set(&["D"]).unwrap();
+        ev.commit_move(&[gi], &[c, d]);
+        let p2 = ev.partitioning();
+        assert_eq!(ev.total().to_bits(), m.workload_cost(&t, &p2, &w).to_bits());
+    }
+
+    #[test]
+    fn group_size_memo_matches_schema() {
+        let (t, w) = fixture();
+        let m = HddCostModel::paper_testbed();
+        let ev = CostEvaluator::new(&m, &t, &w, Partitioning::column(&t).partitions(), false);
+        let ab = t.attr_set(&["A", "B"]).unwrap();
+        assert_eq!(ev.group_size(ab), t.set_size(ab));
+        // Second lookup hits the memo (same answer).
+        assert_eq!(ev.group_size(ab), 8);
+    }
+
+    #[test]
+    fn inverted_index_tracks_touching_queries() {
+        let (t, w) = fixture();
+        let m = HddCostModel::paper_testbed();
+        let col = Partitioning::column(&t);
+        let ev = CostEvaluator::new(&m, &t, &w, col.partitions(), false);
+        // Group {A} (index 0) is touched by q1 only; {D} (index 3) by q2.
+        assert_eq!(ev.queries_touching(0), &[0]);
+        assert_eq!(ev.queries_touching(3), &[1]);
+    }
+
+    #[test]
+    fn index_of_finds_canonical_positions() {
+        let (t, w) = fixture();
+        let m = HddCostModel::paper_testbed();
+        let groups = vec![
+            t.attr_set(&["C", "D"]).unwrap(),
+            t.attr_set(&["A", "B"]).unwrap(),
+        ];
+        let ev = CostEvaluator::new(&m, &t, &w, &groups, false);
+        assert_eq!(ev.index_of(t.attr_set(&["A", "B"]).unwrap()), Some(0));
+        assert_eq!(ev.index_of(t.attr_set(&["C", "D"]).unwrap()), Some(1));
+        assert_eq!(ev.index_of(t.attr_set(&["A"]).unwrap()), None);
+    }
+
+    #[test]
+    fn scan_candidates_parallel_matches_sequential() {
+        let costs_par = scan_candidates(4096, true, |k| (k as f64 - 37.0).abs());
+        let costs_seq = scan_candidates(4096, false, |k| (k as f64 - 37.0).abs());
+        assert_eq!(costs_par, costs_seq);
+        assert_eq!(first_strict_min(&costs_par), Some((37, 0.0)));
+    }
+
+    #[test]
+    fn first_strict_min_keeps_earliest_tie() {
+        assert_eq!(first_strict_min(&[2.0, 1.0, 1.0, 3.0]), Some((1, 1.0)));
+        assert_eq!(first_strict_min(&[]), None);
+    }
+}

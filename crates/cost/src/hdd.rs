@@ -24,17 +24,89 @@ use crate::params::DiskParams;
 use crate::traits::CostModel;
 use slicer_model::{AttrSet, Partitioning, TableSchema, Workload};
 
+/// Exact unsigned division by a fixed divisor via multiply-high — several
+/// times the throughput of hardware `div` for the repeated divisions the
+/// evaluator's inner loop performs against the same divisor (a query's
+/// total referenced width). Exactness: with `s = floor(log2 d)` and
+/// `m = floor(2^(64+s)/d)`, the estimate `q̂ = (n·m) >> (64+s)` satisfies
+/// `q̂ ∈ {q-1, q}` for every `n < 2^64` (the standard Granlund–Montgomery
+/// bound), and one correction step restores `q = floor(n/d)` exactly, so
+/// results are bit-identical to `/`.
+#[derive(Debug, Clone, Copy)]
+pub struct FastDiv {
+    d: u64,
+    m: u64,
+    s: u32,
+    pow2: bool,
+}
+
+impl FastDiv {
+    /// Prepare division by `d > 0`.
+    #[inline]
+    pub fn new(d: u64) -> FastDiv {
+        debug_assert!(d > 0);
+        if d.is_power_of_two() {
+            FastDiv {
+                d,
+                m: 0,
+                s: d.trailing_zeros(),
+                pow2: true,
+            }
+        } else {
+            let s = 63 - d.leading_zeros();
+            let m = ((1u128 << (64 + s)) / d as u128) as u64;
+            FastDiv {
+                d,
+                m,
+                s,
+                pow2: false,
+            }
+        }
+    }
+
+    /// `n / d`, exactly.
+    #[inline]
+    pub fn div(&self, n: u64) -> u64 {
+        if self.pow2 {
+            return n >> self.s;
+        }
+        let q = ((n as u128 * self.m as u128) >> (64 + self.s)) as u64;
+        if (q as u128 + 1) * self.d as u128 <= n as u128 {
+            q + 1
+        } else {
+            q
+        }
+    }
+
+    /// The divisor this instance divides by.
+    #[inline]
+    pub fn divisor(&self) -> u64 {
+        self.d
+    }
+}
+
 /// Disk-based cost model; see module docs for formulas.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HddCostModel {
     params: DiskParams,
+    /// `log2(block_size)` when the block size is a power of two (the
+    /// common case, 8 KB on the paper testbed): exact divisions by the
+    /// block size then compile to shifts in the hot loops.
+    block_shift: Option<u32>,
 }
 
 impl HddCostModel {
     /// Model over explicit parameters.
     pub fn new(params: DiskParams) -> Self {
         params.validate();
-        HddCostModel { params }
+        let block_shift = params
+            .block_size
+            .is_power_of_two()
+            .then(|| params.block_size.trailing_zeros());
+        HddCostModel {
+            params,
+            block_shift,
+        }
     }
 
     /// Model with the paper's testbed parameters.
@@ -63,6 +135,16 @@ impl HddCostModel {
         }
     }
 
+    /// Exact division by the block size (a shift when the block size is a
+    /// power of two — bit-identical either way).
+    #[inline]
+    fn div_block(&self, x: u64) -> u64 {
+        match self.block_shift {
+            Some(shift) => x >> shift,
+            None => x / self.params.block_size,
+        }
+    }
+
     /// Seek + scan cost of one partition of `row_size` bytes when read as
     /// part of a query whose referenced partitions total `total_ref_size`
     /// bytes per row. This is the hot-loop primitive used by BruteForce.
@@ -71,8 +153,33 @@ impl HddCostModel {
         debug_assert!(row_size > 0 && row_size <= total_ref_size);
         let p = &self.params;
         let buff_i = p.buffer_size * row_size / total_ref_size;
-        let blocks_buff = (buff_i / p.block_size).max(1);
+        let blocks_buff = self.div_block(buff_i).max(1);
         let blocks = self.blocks_on_disk(rows, row_size);
+        let seeks = blocks.div_ceil(blocks_buff);
+        let seek_cost = p.seek_time * seeks as f64;
+        let scan_cost = (blocks * p.block_size) as f64 / p.read_bandwidth;
+        seek_cost + scan_cost
+    }
+
+    /// [`HddCostModel::partition_cost`] with the partition's block count
+    /// already known — the incremental evaluator caches block counts per
+    /// group, so the hot loop skips `blocks_on_disk`'s divisions — and the
+    /// division by the query's total width going through a prepared
+    /// [`FastDiv`]. `FastDiv::div` is bit-identical to `/` (property-tested
+    /// below) and every other operation matches `partition_cost` exactly,
+    /// so the two entry points agree bit-for-bit; `kernels_agree_bitwise`
+    /// pins that equivalence.
+    #[inline]
+    pub fn partition_cost_with_blocks(
+        &self,
+        blocks: u64,
+        row_size: u64,
+        total_div: &FastDiv,
+    ) -> f64 {
+        debug_assert!(row_size > 0 && row_size <= total_div.divisor());
+        let p = &self.params;
+        let buff_i = total_div.div(p.buffer_size * row_size);
+        let blocks_buff = self.div_block(buff_i).max(1);
         let seeks = blocks.div_ceil(blocks_buff);
         let seek_cost = p.seek_time * seeks as f64;
         let scan_cost = (blocks * p.block_size) as f64 / p.read_bandwidth;
@@ -84,8 +191,7 @@ impl HddCostModel {
     /// (paper Section 6.1 reports ≈ 420 s for all of TPC-H SF 10).
     pub fn layout_creation_time(&self, schema: &TableSchema, partitioning: &Partitioning) -> f64 {
         let p = &self.params;
-        let read_bytes =
-            self.blocks_on_disk(schema.row_count(), schema.row_size()) * p.block_size;
+        let read_bytes = self.blocks_on_disk(schema.row_count(), schema.row_size()) * p.block_size;
         let write_bytes: u64 = partitioning
             .partitions()
             .iter()
@@ -97,10 +203,52 @@ impl HddCostModel {
         read_bytes as f64 / p.read_bandwidth + write_bytes as f64 / p.write_bandwidth + seeks
     }
 
+    /// The sized read-cost kernel: cost of co-scanning partitions with the
+    /// given byte-per-row `sizes` (ordered as in the partitioning) whose
+    /// exact sum is `total_ref`. `query_groups_cost_sized` and the
+    /// incremental evaluator's static fast path both run through this one
+    /// implementation, which is what guarantees they agree bit-for-bit.
+    #[inline]
+    pub fn sized_read_cost(&self, rows: u64, sizes: &[u64], total_ref: u64) -> f64 {
+        debug_assert_eq!(sizes.iter().sum::<u64>(), total_ref);
+        if total_ref == 0 {
+            return 0.0;
+        }
+        sizes
+            .iter()
+            .map(|&s| self.partition_cost(rows, s, total_ref))
+            .sum()
+    }
+
+    /// [`HddCostModel::sized_read_cost`] with per-partition block counts
+    /// already known (`blocks[k] == blocks_on_disk(rows, sizes[k])`): the
+    /// evaluator's hottest kernel.
+    #[inline]
+    pub fn sized_read_cost_with_blocks(
+        &self,
+        sizes: &[u64],
+        blocks: &[u64],
+        total_ref: u64,
+    ) -> f64 {
+        debug_assert_eq!(sizes.iter().sum::<u64>(), total_ref);
+        if total_ref == 0 {
+            return 0.0;
+        }
+        let total_div = FastDiv::new(total_ref);
+        sizes
+            .iter()
+            .zip(blocks)
+            .map(|(&s, &bl)| self.partition_cost_with_blocks(bl, s, &total_div))
+            .sum()
+    }
+
     /// Bytes a query physically reads when scanning the given groups.
     pub fn bytes_read(&self, schema: &TableSchema, read: &[AttrSet]) -> u64 {
         read.iter()
-            .map(|s| self.blocks_on_disk(schema.row_count(), schema.set_size(*s)) * self.params.block_size)
+            .map(|s| {
+                self.blocks_on_disk(schema.row_count(), schema.set_size(*s))
+                    * self.params.block_size
+            })
             .sum()
     }
 }
@@ -119,6 +267,32 @@ impl CostModel for HddCostModel {
         read.iter()
             .map(|s| self.partition_cost(rows, schema.set_size(*s), total_ref))
             .sum()
+    }
+
+    fn query_groups_cost_sized(
+        &self,
+        schema: &TableSchema,
+        read: &[AttrSet],
+        sizes: &[u64],
+        _referenced: AttrSet,
+    ) -> f64 {
+        // Bit-identical to `read_cost` with `sizes[k] == set_size(read[k])`:
+        // same u64 total, same per-group arguments, same summation order —
+        // only the per-candidate size recomputation is gone. `read` may be
+        // empty (see `sized_cost_ignores_groups`).
+        debug_assert!(read
+            .iter()
+            .zip(sizes)
+            .all(|(s, &z)| schema.set_size(*s) == z));
+        self.sized_read_cost(schema.row_count(), sizes, sizes.iter().sum())
+    }
+
+    fn as_hdd(&self) -> Option<HddCostModel> {
+        Some(*self)
+    }
+
+    fn sized_cost_ignores_groups(&self) -> bool {
+        true
     }
 }
 
@@ -193,6 +367,68 @@ mod tests {
             .attr("Comment", 199, AttrKind::Text)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn fastdiv_matches_hardware_division() {
+        // Deterministic pseudo-random sweep over divisors and numerators,
+        // plus the boundary cases that bite magic-number division.
+        let mut x = 0x243F6A8885A308D3u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..20_000 {
+            let d = (next() % (1 << 40)).max(1);
+            let n = next();
+            assert_eq!(FastDiv::new(d).div(n), n / d, "{n} / {d}");
+        }
+        for d in [1u64, 2, 3, 7, 219, 8192, u64::MAX, u64::MAX - 1] {
+            for n in [
+                0u64,
+                1,
+                d - 1,
+                d,
+                d.saturating_add(1),
+                u64::MAX,
+                u64::MAX - 1,
+            ] {
+                assert_eq!(FastDiv::new(d).div(n), n / d, "{n} / {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_agree_bitwise() {
+        // partition_cost vs the blocks/FastDiv kernel, across awkward
+        // sizes, totals and block-size settings (pow2 and not).
+        for block in [8 * KB, 6 * KB] {
+            let m = HddCostModel::new(DiskParams::paper_testbed().with_block_size(block));
+            let rows = 6_001_215u64;
+            for sizes in [
+                vec![4u64, 4, 8],
+                vec![1, 199, 44, 8, 4],
+                vec![219],
+                vec![9000, 4],
+            ] {
+                let total: u64 = sizes.iter().sum();
+                let blocks: Vec<u64> = sizes.iter().map(|&s| m.blocks_on_disk(rows, s)).collect();
+                let via_plain: f64 = sizes
+                    .iter()
+                    .map(|&s| m.partition_cost(rows, s, total))
+                    .sum();
+                let via_kernel = m.sized_read_cost_with_blocks(&sizes, &blocks, total);
+                assert_eq!(
+                    via_plain.to_bits(),
+                    via_kernel.to_bits(),
+                    "{sizes:?} @ {block}"
+                );
+                let via_sized = m.sized_read_cost(rows, &sizes, total);
+                assert_eq!(via_plain.to_bits(), via_sized.to_bits());
+            }
+        }
     }
 
     #[test]
@@ -317,7 +553,10 @@ mod tests {
         let w = Workload::with_queries(
             &s,
             vec![
-                Query::new("q1", s.attr_set(&["PartKey", "SuppKey", "AvailQty"]).unwrap()),
+                Query::new(
+                    "q1",
+                    s.attr_set(&["PartKey", "SuppKey", "AvailQty"]).unwrap(),
+                ),
                 Query::weighted("q2", s.attr_set(&["Comment"]).unwrap(), 3.0),
             ],
         )
@@ -332,8 +571,11 @@ mod tests {
         )
         .unwrap();
         let eval = HddWorkloadEvaluator::new(m, &s, &w);
-        let groups: Vec<(AttrSet, u64)> =
-            p.partitions().iter().map(|g| (*g, s.set_size(*g))).collect();
+        let groups: Vec<(AttrSet, u64)> = p
+            .partitions()
+            .iter()
+            .map(|g| (*g, s.set_size(*g)))
+            .collect();
         let via_eval = eval.cost(&groups);
         let via_trait = m.workload_cost(&s, &p, &w);
         assert!((via_eval - via_trait).abs() < 1e-12);

@@ -105,15 +105,20 @@ impl CostModel for MainMemoryCostModel {
         misses as f64 * self.params.miss_latency
     }
 
-    fn query_cost(
+    fn query_groups_cost(
         &self,
         schema: &TableSchema,
-        partitioning: &slicer_model::Partitioning,
-        query: &slicer_model::Query,
+        read: &[AttrSet],
+        referenced: AttrSet,
     ) -> f64 {
-        let misses: u64 = partitioning
-            .referenced_partitions(query.referenced)
-            .map(|g| self.group_misses(schema, *g, query.referenced))
+        // Cache misses depend on *which* attributes of each group the query
+        // strides over, so this model prices the referenced set rather than
+        // whole groups. `query_cost` (and through it the incremental
+        // evaluator) routes here; summing misses in `u64` keeps the result
+        // independent of group order.
+        let misses: u64 = read
+            .iter()
+            .map(|g| self.group_misses(schema, *g, referenced))
             .sum();
         misses as f64 * self.params.miss_latency
     }
@@ -185,7 +190,10 @@ mod tests {
         .unwrap();
         let c_col = m.workload_cost(&s, &col, &w);
         let c_merged = m.workload_cost(&s, &merged, &w);
-        assert!((c_col - c_merged).abs() / c_col < 0.01, "{c_col} vs {c_merged}");
+        assert!(
+            (c_col - c_merged).abs() / c_col < 0.01,
+            "{c_col} vs {c_merged}"
+        );
     }
 
     #[test]

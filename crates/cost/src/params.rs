@@ -44,22 +44,34 @@ impl DiskParams {
 
     /// Copy with a different buffer size (bytes).
     pub fn with_buffer_size(self, bytes: u64) -> Self {
-        DiskParams { buffer_size: bytes, ..self }
+        DiskParams {
+            buffer_size: bytes,
+            ..self
+        }
     }
 
     /// Copy with a different block size (bytes).
     pub fn with_block_size(self, bytes: u64) -> Self {
-        DiskParams { block_size: bytes, ..self }
+        DiskParams {
+            block_size: bytes,
+            ..self
+        }
     }
 
     /// Copy with a different read bandwidth (bytes/s).
     pub fn with_read_bandwidth(self, bytes_per_s: f64) -> Self {
-        DiskParams { read_bandwidth: bytes_per_s, ..self }
+        DiskParams {
+            read_bandwidth: bytes_per_s,
+            ..self
+        }
     }
 
     /// Copy with a different seek time (seconds).
     pub fn with_seek_time(self, seconds: f64) -> Self {
-        DiskParams { seek_time: seconds, ..self }
+        DiskParams {
+            seek_time: seconds,
+            ..self
+        }
     }
 
     /// Panic early on nonsensical parameters instead of producing NaNs deep
@@ -103,7 +115,10 @@ impl CacheParams {
     /// 64-byte lines, 100 ns per miss — the paper's testbed class of
     /// hardware (Xeon 5150, 4 MB L2).
     pub fn paper_testbed() -> Self {
-        CacheParams { line_size: 64, miss_latency: 100e-9 }
+        CacheParams {
+            line_size: 64,
+            miss_latency: 100e-9,
+        }
     }
 }
 
@@ -129,7 +144,9 @@ mod tests {
 
     #[test]
     fn with_methods_leave_rest_untouched() {
-        let p = DiskParams::paper_testbed().with_buffer_size(MB).with_seek_time(0.001);
+        let p = DiskParams::paper_testbed()
+            .with_buffer_size(MB)
+            .with_seek_time(0.001);
         assert_eq!(p.buffer_size, MB);
         assert_eq!(p.seek_time, 0.001);
         assert_eq!(p.block_size, 8192);
@@ -138,6 +155,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "block size")]
     fn validate_rejects_zero_block() {
-        DiskParams { block_size: 0, ..DiskParams::paper_testbed() }.validate();
+        DiskParams {
+            block_size: 0,
+            ..DiskParams::paper_testbed()
+        }
+        .validate();
     }
 }

@@ -1,6 +1,7 @@
 //! The cost-model abstraction every advisor optimizes against.
 
 use slicer_model::{AttrSet, Partitioning, Query, TableSchema, Workload};
+use std::cell::RefCell;
 
 /// Estimates the I/O cost of queries against vertically partitioned tables.
 ///
@@ -10,6 +11,13 @@ use slicer_model::{AttrSet, Partitioning, Query, TableSchema, Workload};
 /// query touches). [`CostModel::query_cost`] derives the groups from a
 /// [`Partitioning`]; perfect materialized views bypass partitionings and
 /// call `read_cost` with the single exactly-matching group.
+///
+/// [`CostModel::query_groups_cost`] is the seam the incremental
+/// [`CostEvaluator`](crate::CostEvaluator) drives: it receives the groups a
+/// query must read (in canonical partitioning order) *plus* the query's
+/// referenced attribute set, so models that price partial reads of a group
+/// (the main-memory model) can override it without forcing callers to
+/// materialize a [`Partitioning`] per candidate.
 ///
 /// Costs are in seconds. Implementations must be deterministic and pure.
 pub trait CostModel: Send + Sync {
@@ -22,20 +30,85 @@ pub trait CostModel: Send + Sync {
     /// `read` groups must be non-empty attribute sets of `schema`.
     fn read_cost(&self, schema: &TableSchema, read: &[AttrSet]) -> f64;
 
+    /// Cost of one query reading exactly the groups in `read` while
+    /// referencing the attributes in `referenced`.
+    ///
+    /// The default ignores `referenced` and charges the full co-scan
+    /// ([`CostModel::read_cost`]); models whose per-group cost depends on
+    /// *which* attributes of the group a query needs (cache-line striding
+    /// in main memory) override this. `read` must be in canonical
+    /// partitioning order — callers on the incremental path preserve it so
+    /// floating-point summation order matches the naive path bit-for-bit.
+    fn query_groups_cost(
+        &self,
+        schema: &TableSchema,
+        read: &[AttrSet],
+        referenced: AttrSet,
+    ) -> f64 {
+        let _ = referenced;
+        self.read_cost(schema, read)
+    }
+
+    /// [`CostModel::query_groups_cost`] with the groups' byte-per-row sizes
+    /// already computed (`sizes[k]` must equal `schema.set_size(read[k])`).
+    ///
+    /// The incremental evaluator maintains group sizes alongside groups
+    /// (its per-group memo keyed by `AttrSet`), so models whose group cost
+    /// is a function of the size — the HDD model — override this to skip
+    /// the per-candidate `set_size` recomputation entirely. The default
+    /// ignores the hint; overrides must be bit-identical to the unsized
+    /// path (`sizes` holds exact `u64`s, so arithmetic is unchanged).
+    fn query_groups_cost_sized(
+        &self,
+        schema: &TableSchema,
+        read: &[AttrSet],
+        sizes: &[u64],
+        referenced: AttrSet,
+    ) -> f64 {
+        let _ = sizes;
+        self.query_groups_cost(schema, read, referenced)
+    }
+
+    /// The concrete HDD model, if that is what this model is. The
+    /// incremental evaluator's hottest loop (pairwise-merge scans) runs
+    /// through a statically dispatched, fully inlinable kernel when the
+    /// model is the HDD one — virtual dispatch per affected query costs as
+    /// much as the cost arithmetic itself. Other models return `None` and
+    /// take the generic (still incremental) path.
+    fn as_hdd(&self) -> Option<crate::HddCostModel> {
+        None
+    }
+
+    /// True iff [`CostModel::query_groups_cost_sized`] depends only on
+    /// `sizes` (not on the group sets or the referenced set). The HDD model
+    /// qualifies — its formulas are pure functions of per-group row widths
+    /// — which lets the incremental evaluator skip materializing candidate
+    /// group lists entirely on its hottest path.
+    fn sized_cost_ignores_groups(&self) -> bool {
+        false
+    }
+
     /// Cost of `query` against `partitioning`: reads every group containing
     /// at least one referenced attribute (the paper's unified granularity:
     /// whole files are read even when partially referenced).
-    fn query_cost(
-        &self,
-        schema: &TableSchema,
-        partitioning: &Partitioning,
-        query: &Query,
-    ) -> f64 {
-        let read: Vec<AttrSet> = partitioning
-            .referenced_partitions(query.referenced)
-            .copied()
-            .collect();
-        self.read_cost(schema, &read)
+    ///
+    /// The referenced groups are gathered into a thread-local scratch
+    /// buffer, so the hot path performs no per-call heap allocation (the
+    /// advisors evaluate this millions of times per optimization).
+    fn query_cost(&self, schema: &TableSchema, partitioning: &Partitioning, query: &Query) -> f64 {
+        thread_local! {
+            static SCRATCH: RefCell<Vec<AttrSet>> = const { RefCell::new(Vec::new()) };
+        }
+        SCRATCH.with(|buf| {
+            let mut read = buf.borrow_mut();
+            read.clear();
+            read.extend(
+                partitioning
+                    .referenced_partitions(query.referenced)
+                    .copied(),
+            );
+            self.query_groups_cost(schema, &read, query.referenced)
+        })
     }
 
     /// Weighted sum of query costs — the paper's "estimated workload
@@ -68,9 +141,7 @@ mod tests {
             "toy"
         }
         fn read_cost(&self, schema: &TableSchema, read: &[AttrSet]) -> f64 {
-            read.iter()
-                .map(|s| 1.0 + schema.set_size(*s) as f64)
-                .sum()
+            read.iter().map(|s| 1.0 + schema.set_size(*s) as f64).sum()
         }
     }
 
@@ -106,5 +177,31 @@ mod tests {
         .unwrap();
         // row group costs 1+28 = 29 per read; weights 2+1 = 3 reads.
         assert_eq!(Toy.workload_cost(&s, &p, &w), 87.0);
+    }
+
+    #[test]
+    fn query_groups_cost_default_matches_read_cost() {
+        let s = schema();
+        let groups = [
+            s.attr_set(&["A", "B"]).unwrap(),
+            s.attr_set(&["C"]).unwrap(),
+        ];
+        let referenced = s.attr_set(&["A"]).unwrap();
+        assert_eq!(
+            Toy.query_groups_cost(&s, &groups, referenced),
+            Toy.read_cost(&s, &groups)
+        );
+    }
+
+    #[test]
+    fn query_cost_is_reentrant_across_partitionings() {
+        // The scratch buffer must not leak state between calls.
+        let s = schema();
+        let q = Query::new("q", s.attr_set(&["A", "C"]).unwrap());
+        let col = Partitioning::column(&s);
+        let row = Partitioning::row(&s);
+        let first = Toy.query_cost(&s, &col, &q);
+        let _ = Toy.query_cost(&s, &row, &q);
+        assert_eq!(Toy.query_cost(&s, &col, &q), first);
     }
 }

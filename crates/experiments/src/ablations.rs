@@ -16,7 +16,10 @@ use std::time::Instant;
 /// HYRISE quality/time as the subgraph bound K grows. K ≥ #primary
 /// partitions degenerates to fragment-level HillClimb.
 pub fn hyrise_k(cfg: &Config) -> Report {
-    let mut report = Report::new("ablation-hyrise-k", "HYRISE subgraph bound K: quality vs time");
+    let mut report = Report::new(
+        "ablation-hyrise-k",
+        "HYRISE subgraph bound K: quality vs time",
+    );
     let b = cfg.tpch();
     let m = paper_hdd();
     let opt = run_advisor(&BruteForce::new(), &b, &m)
@@ -26,7 +29,9 @@ pub fn hyrise_k(cfg: &Config) -> Report {
     for k in [1usize, 2, 4, 8, 16] {
         let run = run_advisor(&Hyrise::with_subgraph_bound(k), &b, &m).expect("hyrise");
         let cost = run.total_cost(&b, &m);
-        let gap = opt.map(|o| fmt_pct((cost - o) / o)).unwrap_or_else(|| "n/a".into());
+        let gap = opt
+            .map(|o| fmt_pct((cost - o) / o))
+            .unwrap_or_else(|| "n/a".into());
         rows.push(vec![
             k.to_string(),
             format!("{cost:.1}"),
@@ -46,8 +51,10 @@ pub fn hyrise_k(cfg: &Config) -> Report {
 /// Trojan pruning threshold: stricter pruning is faster but risks losing
 /// useful groups (the paper's "effectiveness of the pruning threshold").
 pub fn trojan_threshold(cfg: &Config) -> Report {
-    let mut report =
-        Report::new("ablation-trojan-threshold", "Trojan interestingness threshold sweep");
+    let mut report = Report::new(
+        "ablation-trojan-threshold",
+        "Trojan interestingness threshold sweep",
+    );
     let b = cfg.tpch();
     let m = paper_hdd();
     let mut rows = Vec::new();
@@ -112,7 +119,14 @@ pub fn bruteforce_space(cfg: &Config) -> Report {
     report.note("cost delta must be 0% — the reduction is exact (see slicer-core docs)");
     report.push(ReportTable::new(
         "Fragment vs raw enumeration",
-        &["Table", "Frag candidates", "Raw candidates", "Frag time", "Raw time", "Cost delta"],
+        &[
+            "Table",
+            "Frag candidates",
+            "Raw candidates",
+            "Frag time",
+            "Raw time",
+            "Cost delta",
+        ],
         rows,
     ));
     report
@@ -122,8 +136,10 @@ pub fn bruteforce_space(cfg: &Config) -> Report {
 /// to early splits, so permuted workloads can end in different layouts —
 /// offline algorithms cannot.
 pub fn o2p_order(cfg: &Config) -> Report {
-    let mut report =
-        Report::new("ablation-o2p-order", "O2P sensitivity to query arrival order");
+    let mut report = Report::new(
+        "ablation-o2p-order",
+        "O2P sensitivity to query arrival order",
+    );
     let full = slicer_workloads::tpch::benchmark(cfg.sf);
     let b = if cfg.quick { full.prefix(6) } else { full };
     let m = paper_hdd();
@@ -149,7 +165,11 @@ pub fn o2p_order(cfg: &Config) -> Report {
         let layout = O2P::new().partition(&req).expect("o2p");
         // Evaluate against the canonical-order workload (same queries).
         let cost = m_cost(schema, &layout, &w, &m);
-        rows.push(vec![label.to_string(), format!("{cost:.1}"), layout.len().to_string()]);
+        rows.push(vec![
+            label.to_string(),
+            format!("{cost:.1}"),
+            layout.len().to_string(),
+        ]);
     }
     report.note("same queries, different arrival orders — only the online algorithm cares");
     report.push(ReportTable::new(
@@ -177,8 +197,11 @@ mod tests {
     #[test]
     fn hyrise_quality_improves_weakly_with_k() {
         let r = hyrise_k(&Config::quick());
-        let costs: Vec<f64> =
-            r.tables[0].rows.iter().map(|row| row[1].parse().unwrap()).collect();
+        let costs: Vec<f64> = r.tables[0]
+            .rows
+            .iter()
+            .map(|row| row[1].parse().unwrap())
+            .collect();
         // K=16 must not be worse than K=1.
         assert!(costs.last().unwrap() <= costs.first().unwrap());
     }

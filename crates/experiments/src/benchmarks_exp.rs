@@ -7,14 +7,17 @@ use slicer_cost::{CostModel, MainMemoryCostModel};
 use slicer_metrics::column_cost;
 use slicer_workloads::{ssb, Benchmark};
 
-const ALGOS: [&str; 7] =
-    ["AutoPart", "HillClimb", "HYRISE", "Navathe", "O2P", "Trojan", "BruteForce"];
+const ALGOS: [&str; 7] = [
+    "AutoPart",
+    "HillClimb",
+    "HYRISE",
+    "Navathe",
+    "O2P",
+    "Trojan",
+    "BruteForce",
+];
 
-fn improvements(
-    cfg: &Config,
-    benchmark: &Benchmark,
-    model: &dyn CostModel,
-) -> Vec<(String, f64)> {
+fn improvements(cfg: &Config, benchmark: &Benchmark, model: &dyn CostModel) -> Vec<(String, f64)> {
     let (runs, _) = run_suite(&cfg.advisors(), benchmark, model);
     let col = column_cost(benchmark, model);
     ALGOS
@@ -32,10 +35,16 @@ fn improvements(
 
 /// Table 5: estimated improvement over column layout, TPC-H vs SSB.
 pub fn table5(cfg: &Config) -> Report {
-    let mut report =
-        Report::new("table5", "Estimated improvement over column layout with different benchmarks");
+    let mut report = Report::new(
+        "table5",
+        "Estimated improvement over column layout with different benchmarks",
+    );
     let tpch = cfg.tpch();
-    let ssb = if cfg.quick { ssb::benchmark(cfg.sf).prefix(6) } else { ssb::benchmark(cfg.sf) };
+    let ssb = if cfg.quick {
+        ssb::benchmark(cfg.sf).prefix(6)
+    } else {
+        ssb::benchmark(cfg.sf)
+    };
     let m = paper_hdd();
     let on_tpch = improvements(cfg, &tpch, &m);
     let on_ssb = improvements(cfg, &ssb, &m);
@@ -124,7 +133,11 @@ mod tests {
     #[test]
     fn table6_bruteforce_never_negative_under_either_model() {
         let r = table6(&Config::quick());
-        let bf = r.tables[0].rows.iter().find(|row| row[0] == "BruteForce").unwrap();
+        let bf = r.tables[0]
+            .rows
+            .iter()
+            .find(|row| row[0] == "BruteForce")
+            .unwrap();
         assert!(pct(&bf[1]) >= -0.01);
         assert!(pct(&bf[2]) >= -0.01);
     }

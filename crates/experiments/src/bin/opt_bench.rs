@@ -1,0 +1,140 @@
+//! `opt_bench` — record the cost-evaluation engine's headline speedup.
+//!
+//! Times HillClimb end-to-end on the 16-attribute TPC-H Lineitem workload
+//! through the naive path (rebuild-and-reprice every candidate) and through
+//! the incremental, memoized, parallel evaluator, verifies that both paths
+//! produce byte-identical layouts, and writes the result as JSON so the
+//! perf trajectory is recorded across PRs.
+//!
+//! ```text
+//! opt_bench [--runs N] [--out FILE] [--sf SF]
+//! ```
+//!
+//! Defaults: 5 runs per path (median reported), `BENCH_opt_time.json` in
+//! the current directory, scale factor 10.
+
+use serde::Serialize;
+use slicer_core::{Advisor, HillClimb, PartitionRequest};
+use slicer_cost::HddCostModel;
+use slicer_model::Partitioning;
+use slicer_workloads::tpch;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct OptTimeRecord {
+    benchmark: String,
+    table: String,
+    attrs: usize,
+    queries: usize,
+    scale_factor: f64,
+    runs: usize,
+    naive_seconds_median: f64,
+    evaluator_seconds_median: f64,
+    speedup: f64,
+    layouts_identical: bool,
+    layout: String,
+    worker_threads: usize,
+    notes: String,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    xs[xs.len() / 2]
+}
+
+fn time_runs(req: &PartitionRequest<'_>, runs: usize) -> (Vec<f64>, Partitioning) {
+    let advisor = HillClimb::new();
+    let mut times = Vec::with_capacity(runs);
+    let mut layout = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let l = advisor
+            .partition(req)
+            .expect("HillClimb succeeds on Lineitem");
+        times.push(start.elapsed().as_secs_f64());
+        layout = Some(l);
+    }
+    (times, layout.expect("at least one run"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut runs = 5usize;
+    let mut out = "BENCH_opt_time.json".to_string();
+    let mut sf = 10.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--runs" => {
+                i += 1;
+                runs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(runs)
+                    .max(1);
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or(out);
+            }
+            "--sf" => {
+                i += 1;
+                sf = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(sf);
+            }
+            other => {
+                eprintln!("usage: opt_bench [--runs N] [--out FILE] [--sf SF] (got `{other}`)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let b = tpch::benchmark(sf);
+    let li = b.table_index("Lineitem").expect("TPC-H has Lineitem");
+    let schema = &b.tables()[li];
+    let workload = b.table_workload(li);
+    eprintln!(
+        "opt_bench: HillClimb on {} ({} attrs, {} queries), {} runs per path",
+        schema.name(),
+        schema.attr_count(),
+        workload.len(),
+        runs
+    );
+
+    let m = HddCostModel::paper_testbed();
+    let fast_req = PartitionRequest::new(schema, &workload, &m);
+    let naive_req = fast_req.with_naive_evaluation();
+
+    let (fast_times, fast_layout) = time_runs(&fast_req, runs);
+    let (naive_times, naive_layout) = time_runs(&naive_req, runs);
+
+    let identical = fast_layout == naive_layout;
+    let fast_med = median(fast_times);
+    let naive_med = median(naive_times);
+    let record = OptTimeRecord {
+        benchmark: "hillclimb_opt_time".to_string(),
+        table: schema.name().to_string(),
+        attrs: schema.attr_count(),
+        queries: workload.len(),
+        scale_factor: sf,
+        runs,
+        naive_seconds_median: naive_med,
+        evaluator_seconds_median: fast_med,
+        speedup: naive_med / fast_med,
+        layouts_identical: identical,
+        layout: fast_layout.render(schema),
+        worker_threads: rayon::current_num_threads(),
+        notes: "naive path reproduces the seed evaluation (fresh partitioning + per-query \
+                read-set allocation per candidate); evaluator path = incremental + memoized \
+                (+ parallel scans when more than one core is available)"
+            .to_string(),
+    };
+    let json = serde_json::to_string_pretty(&record).expect("record serializes");
+    std::fs::write(&out, format!("{json}\n")).expect("write benchmark record");
+    println!("{json}");
+    eprintln!("opt_bench: wrote {out}");
+    if !identical {
+        eprintln!("opt_bench: FAIL — naive and evaluator layouts diverge");
+        std::process::exit(1);
+    }
+}

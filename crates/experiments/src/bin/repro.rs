@@ -69,8 +69,11 @@ fn main() {
         match run(id, &cfg) {
             Some(report) => {
                 if !json {
-                    let rendered =
-                        if markdown { report.to_markdown() } else { report.to_text() };
+                    let rendered = if markdown {
+                        report.to_markdown()
+                    } else {
+                        report.to_text()
+                    };
                     let _ = writeln!(out, "{rendered}");
                 }
                 reports.push(report);

@@ -18,12 +18,18 @@ pub struct Config {
 impl Config {
     /// The paper's configuration: scale factor 10.
     pub fn paper() -> Config {
-        Config { sf: 10.0, quick: false }
+        Config {
+            sf: 10.0,
+            quick: false,
+        }
     }
 
     /// Fast configuration for tests: scale factor 0.1, coarse sweeps.
     pub fn quick() -> Config {
-        Config { sf: 0.1, quick: true }
+        Config {
+            sf: 0.1,
+            quick: true,
+        }
     }
 
     /// The TPC-H benchmark at this configuration's scale, optionally

@@ -69,7 +69,12 @@ pub fn fig8(cfg: &Config) -> Report {
         })
         .collect();
     report.note("fragility factor = (cost_new − cost_8MB) / cost_8MB; layouts fixed at 8 MB");
-    report.push(fragility_table("Fragility vs buffer size", &b, &runs, &variants));
+    report.push(fragility_table(
+        "Fragility vs buffer size",
+        &b,
+        &runs,
+        &variants,
+    ));
     report
 }
 
@@ -84,7 +89,17 @@ pub fn fig11(cfg: &Config) -> Report {
     let blocks: &[u64] = if cfg.quick {
         &[512, 8 * KB, 128 * KB]
     } else {
-        &[512, KB, 2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB]
+        &[
+            512,
+            KB,
+            2 * KB,
+            4 * KB,
+            8 * KB,
+            16 * KB,
+            32 * KB,
+            64 * KB,
+            128 * KB,
+        ]
     };
     let variants: Vec<(String, HddCostModel)> = blocks
         .iter()
@@ -95,23 +110,39 @@ pub fn fig11(cfg: &Config) -> Report {
             )
         })
         .collect();
-    report.push(fragility_table("(a) Changing the block size", &b, &runs, &variants));
+    report.push(fragility_table(
+        "(a) Changing the block size",
+        &b,
+        &runs,
+        &variants,
+    ));
 
-    let bws: &[f64] = if cfg.quick { &[60.0, 90.0, 120.0] } else { &[60.0, 70.0, 80.0, 90.0, 100.0, 110.0, 120.0] };
+    let bws: &[f64] = if cfg.quick {
+        &[60.0, 90.0, 120.0]
+    } else {
+        &[60.0, 70.0, 80.0, 90.0, 100.0, 110.0, 120.0]
+    };
     let variants: Vec<(String, HddCostModel)> = bws
         .iter()
         .map(|bw| {
             (
                 format!("{bw} MB/s"),
-                HddCostModel::new(
-                    DiskParams::paper_testbed().with_read_bandwidth(bw * MB as f64),
-                ),
+                HddCostModel::new(DiskParams::paper_testbed().with_read_bandwidth(bw * MB as f64)),
             )
         })
         .collect();
-    report.push(fragility_table("(b) Changing the disk bandwidth", &b, &runs, &variants));
+    report.push(fragility_table(
+        "(b) Changing the disk bandwidth",
+        &b,
+        &runs,
+        &variants,
+    ));
 
-    let seeks: &[f64] = if cfg.quick { &[3.5, 4.84, 6.0] } else { &[3.5, 4.0, 4.5, 4.84, 5.0, 5.5, 6.0] };
+    let seeks: &[f64] = if cfg.quick {
+        &[3.5, 4.84, 6.0]
+    } else {
+        &[3.5, 4.0, 4.5, 4.84, 5.0, 5.5, 6.0]
+    };
     let variants: Vec<(String, HddCostModel)> = seeks
         .iter()
         .map(|ms| {
@@ -121,7 +152,12 @@ pub fn fig11(cfg: &Config) -> Report {
             )
         })
         .collect();
-    report.push(fragility_table("(c) Changing the seek time", &b, &runs, &variants));
+    report.push(fragility_table(
+        "(c) Changing the seek time",
+        &b,
+        &runs,
+        &variants,
+    ));
     report
 }
 

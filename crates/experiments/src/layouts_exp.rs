@@ -9,8 +9,10 @@ use slicer_core::paper_advisors;
 /// Table 1: classification along search strategy / starting point /
 /// candidate pruning.
 pub fn table1(_cfg: &Config) -> Report {
-    let mut report =
-        Report::new("table1", "Classification of the evaluated vertical partitioning algorithms");
+    let mut report = Report::new(
+        "table1",
+        "Classification of the evaluated vertical partitioning algorithms",
+    );
     let advisors = paper_advisors();
     let rows: Vec<(&str, _)> = advisors.iter().map(|a| (a.name(), a.profile())).collect();
     report.note(render_table1(&rows));
@@ -19,7 +21,10 @@ pub fn table1(_cfg: &Config) -> Report {
 
 /// Table 2: original settings per algorithm plus the unified setting.
 pub fn table2(_cfg: &Config) -> Report {
-    let mut report = Report::new("table2", "Settings for different vertical partitioning algorithms");
+    let mut report = Report::new(
+        "table2",
+        "Settings for different vertical partitioning algorithms",
+    );
     let advisors = paper_advisors();
     let rows: Vec<(&str, _)> = advisors
         .iter()
@@ -86,7 +91,11 @@ mod tests {
         // The paper's Figure 14(b): the HillClimb class groups
         // ExtendedPrice with Discount (always co-referenced in TPC-H).
         let r = fig14(&Config::quick());
-        let li = r.tables.iter().find(|t| t.title.contains("Lineitem")).unwrap();
+        let li = r
+            .tables
+            .iter()
+            .find(|t| t.title.contains("Lineitem"))
+            .unwrap();
         let hc = li.rows.iter().find(|row| row[0] == "HillClimb").unwrap();
         assert!(
             hc[1].contains("ExtendedPrice,Discount") || hc[1].contains("Discount,ExtendedPrice"),

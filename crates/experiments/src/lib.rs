@@ -27,10 +27,32 @@ pub use report::{Report, ReportTable};
 
 /// All experiment ids, in paper order.
 pub const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3",
-    "table4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "table5", "table6",
-    "table7", "selectivity", "ablation-hyrise-k", "ablation-trojan-threshold",
-    "ablation-bruteforce-space", "ablation-o2p-order",
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table3",
+    "table4",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table5",
+    "table6",
+    "table7",
+    "selectivity",
+    "ablation-hyrise-k",
+    "ablation-trojan-threshold",
+    "ablation-bruteforce-space",
+    "ablation-o2p-order",
 ];
 
 /// Run one experiment by id.
@@ -76,7 +98,10 @@ mod tests {
         for id in EXPERIMENTS {
             let r = run(id, &cfg).unwrap_or_else(|| panic!("unknown id {id}"));
             assert_eq!(&r.id, id);
-            assert!(!r.tables.is_empty() || !r.notes.is_empty(), "{id} produced nothing");
+            assert!(
+                !r.tables.is_empty() || !r.notes.is_empty(),
+                "{id} produced nothing"
+            );
         }
     }
 

@@ -41,8 +41,7 @@ pub fn fig1(cfg: &Config) -> Report {
 /// queries). Trojan and BruteForce are excluded exactly as in the paper
 /// (orders of magnitude slower; they distort the graph).
 pub fn fig2(cfg: &Config) -> Report {
-    let mut report =
-        Report::new("fig2", "Optimization time over varying workload size");
+    let mut report = Report::new("fig2", "Optimization time over varying workload size");
     let m = paper_hdd();
     let full = slicer_workloads::tpch::benchmark(cfg.sf);
     let max_k = if cfg.quick { 6 } else { full.queries().len() };

@@ -17,7 +17,10 @@ fn suite(cfg: &Config) -> (Benchmark, Vec<BenchmarkRun>, Vec<String>) {
 
 /// Figure 3: estimated workload runtimes of all layouts, plus Row/Column.
 pub fn fig3(cfg: &Config) -> Report {
-    let mut report = Report::new("fig3", "Estimated workload runtime for different algorithms");
+    let mut report = Report::new(
+        "fig3",
+        "Estimated workload runtime for different algorithms",
+    );
     let (b, runs, skipped) = suite(cfg);
     for s in skipped {
         report.note(s);
@@ -48,17 +51,18 @@ pub fn fig4(cfg: &Config) -> Report {
             read += v.read;
             needed += v.needed;
         }
-        if read <= 0.0 { 0.0 } else { ((read - needed) / read).max(0.0) }
+        if read <= 0.0 {
+            0.0
+        } else {
+            ((read - needed) / read).max(0.0)
+        }
     };
     let mut rows: Vec<Vec<String>> = runs
         .iter()
         .map(|r| vec![r.advisor.clone(), fmt_pct(volume_of(r))])
         .collect();
     // Row / Column baselines.
-    for (name, layout_of) in [
-        ("Column", true),
-        ("Row", false),
-    ] {
+    for (name, layout_of) in [("Column", true), ("Row", false)] {
         let (mut read, mut needed) = (0.0, 0.0);
         for (idx, schema, w) in b.touched_tables() {
             let layout = if layout_of {
@@ -70,7 +74,10 @@ pub fn fig4(cfg: &Config) -> Report {
             read += v.read;
             needed += v.needed;
         }
-        rows.push(vec![name.into(), fmt_pct(((read - needed) / read).max(0.0))]);
+        rows.push(vec![
+            name.into(),
+            fmt_pct(((read - needed) / read).max(0.0)),
+        ]);
     }
     report.push(ReportTable::new(
         "Unnecessary data read",
@@ -113,7 +120,11 @@ pub fn fig5(cfg: &Config) -> Report {
             weight += rows_n;
         }
         rows.push(vec![
-            if is_col { "Column".into() } else { "Row".into() },
+            if is_col {
+                "Column".into()
+            } else {
+                "Row".into()
+            },
             format!("{:.2}", weighted / weight),
         ]);
     }
@@ -138,7 +149,10 @@ pub fn fig6(cfg: &Config) -> Report {
             vec![r.advisor.clone(), fmt_pct(d)]
         })
         .collect();
-    rows.push(vec!["Column".into(), fmt_pct((column_cost(&b, &m) - pmv) / pmv)]);
+    rows.push(vec![
+        "Column".into(),
+        fmt_pct((column_cost(&b, &m) - pmv) / pmv),
+    ]);
     rows.push(vec!["Row".into(), fmt_pct((row_cost(&b, &m) - pmv) / pmv)]);
     report.push(ReportTable::new(
         "Distance from PMV",
@@ -160,11 +174,7 @@ mod tests {
     fn fig3_row_is_worst_and_heuristics_near_bruteforce() {
         let r = fig3(&Config::quick());
         let get = |name: &str| -> f64 {
-            r.tables[0]
-                .rows
-                .iter()
-                .find(|row| row[0] == name)
-                .unwrap()[1]
+            r.tables[0].rows.iter().find(|row| row[0] == name).unwrap()[1]
                 .parse()
                 .unwrap()
         };
@@ -173,7 +183,10 @@ mod tests {
         let bf = get("BruteForce");
         assert!(get("HillClimb") >= bf - 1e-6, "nothing beats brute force");
         // Lesson 1: HillClimb within a hair of the optimum.
-        assert!(get("HillClimb") <= bf * 1.05, "HillClimb too far off optimal");
+        assert!(
+            get("HillClimb") <= bf * 1.05,
+            "HillClimb too far off optimal"
+        );
     }
 
     #[test]

@@ -16,16 +16,16 @@ pub struct ReportTable {
 
 impl ReportTable {
     /// Build from anything stringly.
-    pub fn new(
-        title: impl Into<String>,
-        headers: &[&str],
-        rows: Vec<Vec<String>>,
-    ) -> ReportTable {
+    pub fn new(title: impl Into<String>, headers: &[&str], rows: Vec<Vec<String>>) -> ReportTable {
         let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
         for r in &rows {
             assert_eq!(r.len(), headers.len(), "ragged row in table");
         }
-        ReportTable { title: title.into(), headers, rows }
+        ReportTable {
+            title: title.into(),
+            headers,
+            rows,
+        }
     }
 
     /// Render as a GitHub-flavored markdown table.
@@ -36,7 +36,11 @@ impl ReportTable {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for r in &self.rows {
             let _ = writeln!(out, "| {} |", r.join(" | "));
@@ -64,7 +68,11 @@ impl ReportTable {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", fmt_row(&self.headers));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))
+        );
         for r in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(r));
         }
@@ -88,7 +96,12 @@ pub struct Report {
 impl Report {
     /// Start an empty report.
     pub fn new(id: impl Into<String>, title: impl Into<String>) -> Report {
-        Report { id: id.into(), title: title.into(), notes: Vec::new(), tables: Vec::new() }
+        Report {
+            id: id.into(),
+            title: title.into(),
+            notes: Vec::new(),
+            tables: Vec::new(),
+        }
     }
 
     /// Append a note line.

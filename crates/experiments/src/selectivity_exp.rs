@@ -76,7 +76,11 @@ pub fn selectivity(cfg: &Config) -> Report {
         // Above the threshold the fetch side degenerates to a full scan and
         // the two layouts tie (modulo seeks): isolation must win *clearly*
         // to affect the layout decision.
-        let winner = if isolated < merged * 0.99 { "isolate σ" } else { "indifferent" };
+        let winner = if isolated < merged * 0.99 {
+            "isolate σ"
+        } else {
+            "indifferent"
+        };
         if winner != "isolate σ" && flip.is_none() {
             flip = Some(s);
         }

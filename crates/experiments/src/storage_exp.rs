@@ -25,7 +25,10 @@ fn engine_rows(cfg: &Config, nominal_rows: u64) -> usize {
 fn engine_disk(cfg: &Config) -> DiskParams {
     let lineitem_sf10_rows = 60_000_000.0;
     let factor = engine_rows(cfg, u64::MAX) as f64 / lineitem_sf10_rows;
-    DiskParams { seek_time: 4.84e-3 * factor, ..DiskParams::paper_testbed() }
+    DiskParams {
+        seek_time: 4.84e-3 * factor,
+        ..DiskParams::paper_testbed()
+    }
 }
 
 /// Table 7: total workload runtime per layout and compression scheme.
@@ -79,7 +82,10 @@ pub fn table7(cfg: &Config) -> Report {
             format!("{:.3}", totals[0]),
             format!("{:.3}", totals[1]),
             format!("{:.3}", totals[2]),
-            format!("{:.1} MiB", stored.iter().sum::<u64>() as f64 / (1024.0 * 1024.0) / 3.0),
+            format!(
+                "{:.1} MiB",
+                stored.iter().sum::<u64>() as f64 / (1024.0 * 1024.0) / 3.0
+            ),
         ]);
     }
     report.note(format!(
@@ -91,7 +97,13 @@ pub fn table7(cfg: &Config) -> Report {
     ));
     report.push(ReportTable::new(
         "Workload runtime (s)",
-        &["Compression", "Row", "Column", "HillClimb", "Avg stored size"],
+        &[
+            "Compression",
+            "Row",
+            "Column",
+            "HillClimb",
+            "Avg stored size",
+        ],
         rows_out,
     ));
     report

@@ -12,7 +12,9 @@ pub fn buffer_sweep_mb(quick: bool) -> Vec<f64> {
     if quick {
         vec![0.01, 0.1, 1.0, 10.0, 100.0, 1000.0]
     } else {
-        vec![0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0, 10000.0]
+        vec![
+            0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0, 10000.0,
+        ]
     }
 }
 
@@ -30,8 +32,12 @@ pub fn fig9(cfg: &Config) -> Report {
             DiskParams::paper_testbed().with_buffer_size((mb * MB as f64).max(1.0) as u64),
         );
         let col = column_cost(&b, &m);
-        let hc = run_advisor(&HillClimb::new(), &b, &m).expect("hillclimb").total_cost(&b, &m);
-        let nv = run_advisor(&Navathe::new(), &b, &m).expect("navathe").total_cost(&b, &m);
+        let hc = run_advisor(&HillClimb::new(), &b, &m)
+            .expect("hillclimb")
+            .total_cost(&b, &m);
+        let nv = run_advisor(&Navathe::new(), &b, &m)
+            .expect("navathe")
+            .total_cost(&b, &m);
         let pmv = pmv_cost(&b, &m);
         rows.push(vec![
             format!("{mb}"),
@@ -44,7 +50,13 @@ pub fn fig9(cfg: &Config) -> Report {
     report.note("cells are % of Column's estimated runtime (lower is better; 100 = Column)");
     report.push(ReportTable::new(
         "Normalized estimated costs vs buffer size (MB)",
-        &["Buffer (MB)", "HillClimb", "Navathe", "Materialized views", "Column"],
+        &[
+            "Buffer (MB)",
+            "HillClimb",
+            "Navathe",
+            "Materialized views",
+            "Column",
+        ],
         rows,
     ));
     report
@@ -59,8 +71,12 @@ pub fn fig12(cfg: &Config) -> Report {
     );
     let b = cfg.tpch();
     let runtime_row = |label: String, m: &HddCostModel| -> Vec<String> {
-        let hc = run_advisor(&HillClimb::new(), &b, m).expect("hillclimb").total_cost(&b, m);
-        let nv = run_advisor(&Navathe::new(), &b, m).expect("navathe").total_cost(&b, m);
+        let hc = run_advisor(&HillClimb::new(), &b, m)
+            .expect("hillclimb")
+            .total_cost(&b, m);
+        let nv = run_advisor(&Navathe::new(), &b, m)
+            .expect("navathe")
+            .total_cost(&b, m);
         vec![
             label,
             format!("{hc:.1}"),
@@ -70,8 +86,14 @@ pub fn fig12(cfg: &Config) -> Report {
             format!("{:.1}", row_cost(&b, m)),
         ]
     };
-    const HEADERS: [&str; 6] =
-        ["Setting", "HillClimb", "Navathe", "Query-optimal", "Column", "Row"];
+    const HEADERS: [&str; 6] = [
+        "Setting",
+        "HillClimb",
+        "Navathe",
+        "Query-optimal",
+        "Column",
+        "Row",
+    ];
 
     let blocks: &[u64] = if cfg.quick {
         &[2 * KB, 8 * KB, 128 * KB]
@@ -87,25 +109,37 @@ pub fn fig12(cfg: &Config) -> Report {
             )
         })
         .collect();
-    report.push(ReportTable::new("(a) Changing block size — runtime (s)", &HEADERS, rows));
+    report.push(ReportTable::new(
+        "(a) Changing block size — runtime (s)",
+        &HEADERS,
+        rows,
+    ));
 
-    let bws: &[f64] =
-        if cfg.quick { &[70.0, 130.0, 190.0] } else { &[70.0, 90.0, 110.0, 130.0, 150.0, 170.0, 190.0] };
+    let bws: &[f64] = if cfg.quick {
+        &[70.0, 130.0, 190.0]
+    } else {
+        &[70.0, 90.0, 110.0, 130.0, 150.0, 170.0, 190.0]
+    };
     let rows = bws
         .iter()
         .map(|bw| {
             runtime_row(
                 format!("{bw} MB/s"),
-                &HddCostModel::new(
-                    DiskParams::paper_testbed().with_read_bandwidth(bw * MB as f64),
-                ),
+                &HddCostModel::new(DiskParams::paper_testbed().with_read_bandwidth(bw * MB as f64)),
             )
         })
         .collect();
-    report.push(ReportTable::new("(b) Changing disk bandwidth — runtime (s)", &HEADERS, rows));
+    report.push(ReportTable::new(
+        "(b) Changing disk bandwidth — runtime (s)",
+        &HEADERS,
+        rows,
+    ));
 
-    let seeks: &[f64] =
-        if cfg.quick { &[1.0, 4.0, 7.0] } else { &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0] };
+    let seeks: &[f64] = if cfg.quick {
+        &[1.0, 4.0, 7.0]
+    } else {
+        &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+    };
     let rows = seeks
         .iter()
         .map(|ms| {
@@ -115,7 +149,11 @@ pub fn fig12(cfg: &Config) -> Report {
             )
         })
         .collect();
-    report.push(ReportTable::new("(c) Changing seek time — runtime (s)", &HEADERS, rows));
+    report.push(ReportTable::new(
+        "(c) Changing seek time — runtime (s)",
+        &HEADERS,
+        rows,
+    ));
     report
 }
 
@@ -126,7 +164,11 @@ pub fn fig13(cfg: &Config) -> Report {
         "fig13",
         "Sweet spots for vertical partitioning — re-optimizing per buffer size and dataset size",
     );
-    let sfs: &[f64] = if cfg.quick { &[0.1, 1.0] } else { &[0.1, 1.0, 10.0, 100.0, 1000.0] };
+    let sfs: &[f64] = if cfg.quick {
+        &[0.1, 1.0]
+    } else {
+        &[0.1, 1.0, 10.0, 100.0, 1000.0]
+    };
     let buffers = buffer_sweep_mb(cfg.quick);
     for (name, is_hillclimb) in [("HillClimb", true), ("Navathe", false)] {
         let mut headers = vec!["Buffer (MB)".to_string()];
@@ -138,13 +180,16 @@ pub fn fig13(cfg: &Config) -> Report {
                 let b = slicer_workloads::tpch::benchmark(*sf);
                 let b = if cfg.quick { b.prefix(6) } else { b };
                 let m = HddCostModel::new(
-                    DiskParams::paper_testbed()
-                        .with_buffer_size((mb * MB as f64).max(1.0) as u64),
+                    DiskParams::paper_testbed().with_buffer_size((mb * MB as f64).max(1.0) as u64),
                 );
                 let cost = if is_hillclimb {
-                    run_advisor(&HillClimb::new(), &b, &m).expect("ok").total_cost(&b, &m)
+                    run_advisor(&HillClimb::new(), &b, &m)
+                        .expect("ok")
+                        .total_cost(&b, &m)
                 } else {
-                    run_advisor(&Navathe::new(), &b, &m).expect("ok").total_cost(&b, &m)
+                    run_advisor(&Navathe::new(), &b, &m)
+                        .expect("ok")
+                        .total_cost(&b, &m)
                 };
                 row.push(format!("{:.1}", 100.0 * cost / column_cost(&b, &m)));
             }
@@ -152,7 +197,10 @@ pub fn fig13(cfg: &Config) -> Report {
         }
         let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         report.push(ReportTable::new(
-            format!("({}) Scaling dataset with {name} — % of Column", if is_hillclimb { "a" } else { "b" }),
+            format!(
+                "({}) Scaling dataset with {name} — % of Column",
+                if is_hillclimb { "a" } else { "b" }
+            ),
             &headers_ref,
             rows,
         ));
@@ -184,7 +232,9 @@ mod tests {
         // buffers every partition refills per block so layouts tie, and at
         // huge buffers seeks vanish so scans tie too.
         let r = fig9(&Config::quick());
-        let pmvs: Vec<f64> = (0..r.tables[0].rows.len()).map(|i| cell(&r, 0, i, 3)).collect();
+        let pmvs: Vec<f64> = (0..r.tables[0].rows.len())
+            .map(|i| cell(&r, 0, i, 3))
+            .collect();
         let min = pmvs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = pmvs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(min < 95.0, "PMV should beat Column somewhere: {pmvs:?}");
@@ -199,8 +249,13 @@ mod tests {
         // dimension tables remain seek-dominated at any buffer, which keeps
         // the quick-mode aggregate slightly below 100.)
         let r = fig9(&Config::quick());
-        let hcs: Vec<f64> = (0..r.tables[0].rows.len()).map(|i| cell(&r, 0, i, 1)).collect();
-        assert!(hcs.iter().cloned().fold(f64::INFINITY, f64::min) < 100.0, "{hcs:?}");
+        let hcs: Vec<f64> = (0..r.tables[0].rows.len())
+            .map(|i| cell(&r, 0, i, 1))
+            .collect();
+        assert!(
+            hcs.iter().cloned().fold(f64::INFINITY, f64::min) < 100.0,
+            "{hcs:?}"
+        );
         assert!(hcs.iter().all(|&h| h <= 100.5), "{hcs:?}");
     }
 

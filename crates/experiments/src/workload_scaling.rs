@@ -45,8 +45,10 @@ pub fn fig7(cfg: &Config) -> Report {
 /// Table 3: percentage of unnecessary data read over the Lineitem table
 /// for the first k = 1..6 queries (HillClimb vs Navathe).
 pub fn table3(cfg: &Config) -> Report {
-    let mut report =
-        Report::new("table3", "Unnecessary data reads over Lineitem for the first k queries");
+    let mut report = Report::new(
+        "table3",
+        "Unnecessary data reads over Lineitem for the first k queries",
+    );
     let m = paper_hdd();
     let full = slicer_workloads::tpch::benchmark(cfg.sf);
     let li = full.table_index("Lineitem").expect("lineitem exists");
@@ -135,7 +137,11 @@ mod tests {
     fn fig7_hillclimb_never_negative() {
         let r = fig7(&Config::quick());
         for row in &r.tables[0].rows {
-            assert!(pct(&row[1]) >= -0.01, "HillClimb below Column at k={}", row[0]);
+            assert!(
+                pct(&row[1]) >= -0.01,
+                "HillClimb below Column at k={}",
+                row[0]
+            );
         }
     }
 
@@ -161,8 +167,14 @@ mod tests {
     #[test]
     fn table4_column_joins_dominate_hillclimb() {
         let r = table4(&Config::quick());
-        let hc: Vec<f64> = r.tables[0].rows[0][1..].iter().map(|s| s.parse().unwrap()).collect();
-        let col: Vec<f64> = r.tables[0].rows[1][1..].iter().map(|s| s.parse().unwrap()).collect();
+        let hc: Vec<f64> = r.tables[0].rows[0][1..]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let col: Vec<f64> = r.tables[0].rows[1][1..]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
         for (h, c) in hc.iter().zip(&col) {
             assert!(h <= c, "HillClimb joins {h} > Column joins {c}");
         }

@@ -60,8 +60,7 @@ mod tests {
         let base = HddCostModel::paper_testbed();
         let run = run_advisor(&HillClimb::new(), &b, &base).unwrap();
         let tiny = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(80 * KB));
-        let huge =
-            HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(800 * MB));
+        let huge = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(800 * MB));
         let f_tiny = fragility(&run, &b, &base, &tiny);
         let f_huge = fragility(&run, &b, &base, &huge);
         assert!(f_tiny > 0.0, "smaller buffer must cost more: {f_tiny}");
@@ -82,9 +81,8 @@ mod tests {
         let b = tpch::benchmark(0.01);
         let base = HddCostModel::paper_testbed();
         let run = run_advisor(&RowLayout, &b, &base).unwrap();
-        let slower = HddCostModel::new(
-            DiskParams::paper_testbed().with_read_bandwidth(60.0 * MB as f64),
-        );
+        let slower =
+            HddCostModel::new(DiskParams::paper_testbed().with_read_bandwidth(60.0 * MB as f64));
         assert!(fragility(&run, &b, &base, &slower) > 0.0);
     }
 

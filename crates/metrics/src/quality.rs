@@ -5,8 +5,8 @@
 //! tuple-reconstruction joins (drive the gap to Column, Figure 5), and
 //! distance from perfect materialized views (Figure 6).
 
-use slicer_cost::CostModel;
 use slicer_core::PerfectMaterializedViews;
+use slicer_cost::CostModel;
 use slicer_model::{Partitioning, TableSchema, Workload};
 
 /// Logical bytes a workload reads under `layout` (full referenced
@@ -104,11 +104,8 @@ mod tests {
             .attr("C", 92, AttrKind::Text)
             .build()
             .unwrap();
-        let w = Workload::with_queries(
-            &t,
-            vec![Query::new("q", t.attr_set(&["A"]).unwrap())],
-        )
-        .unwrap();
+        let w =
+            Workload::with_queries(&t, vec![Query::new("q", t.attr_set(&["A"]).unwrap())]).unwrap();
         (t, w)
     }
 
@@ -169,7 +166,10 @@ mod tests {
         // A layout where q's referenced set is exactly one partition.
         let p = Partitioning::new(
             &t,
-            vec![t.attr_set(&["A"]).unwrap(), t.attr_set(&["B", "C"]).unwrap()],
+            vec![
+                t.attr_set(&["A"]).unwrap(),
+                t.attr_set(&["B", "C"]).unwrap(),
+            ],
         )
         .unwrap();
         let d = pmv_distance(&t, &p, &w, &m);

@@ -48,11 +48,7 @@ impl BenchmarkRun {
         self.tables
             .iter()
             .map(|t| {
-                cost_model.workload_cost(
-                    &benchmark.tables()[t.table_index],
-                    &t.layout,
-                    &t.workload,
-                )
+                cost_model.workload_cost(&benchmark.tables()[t.table_index], &t.layout, &t.workload)
             })
             .sum()
     }
@@ -68,7 +64,10 @@ impl BenchmarkRun {
 
     /// The layout computed for the table named `name`, if any.
     pub fn layout_for(&self, name: &str) -> Option<&Partitioning> {
-        self.tables.iter().find(|t| t.table == name).map(|t| &t.layout)
+        self.tables
+            .iter()
+            .find(|t| t.table == name)
+            .map(|t| &t.layout)
     }
 }
 
@@ -93,7 +92,10 @@ pub fn run_advisor(
             workload,
         });
     }
-    Ok(BenchmarkRun { advisor: advisor.name().to_string(), tables })
+    Ok(BenchmarkRun {
+        advisor: advisor.name().to_string(),
+        tables,
+    })
 }
 
 /// Baseline cost: every table in row layout.
@@ -101,9 +103,7 @@ pub fn row_cost(benchmark: &Benchmark, cost_model: &dyn CostModel) -> f64 {
     benchmark
         .touched_tables()
         .into_iter()
-        .map(|(_, schema, w)| {
-            cost_model.workload_cost(schema, &Partitioning::row(schema), &w)
-        })
+        .map(|(_, schema, w)| cost_model.workload_cost(schema, &Partitioning::row(schema), &w))
         .sum()
 }
 
@@ -112,9 +112,7 @@ pub fn column_cost(benchmark: &Benchmark, cost_model: &dyn CostModel) -> f64 {
     benchmark
         .touched_tables()
         .into_iter()
-        .map(|(_, schema, w)| {
-            cost_model.workload_cost(schema, &Partitioning::column(schema), &w)
-        })
+        .map(|(_, schema, w)| cost_model.workload_cost(schema, &Partitioning::column(schema), &w))
         .sum()
 }
 
@@ -163,7 +161,9 @@ mod tests {
         let b = small_tpch();
         let m = HddCostModel::paper_testbed();
         let pmv = pmv_cost(&b, &m);
-        let hc = run_advisor(&HillClimb::new(), &b, &m).unwrap().total_cost(&b, &m);
+        let hc = run_advisor(&HillClimb::new(), &b, &m)
+            .unwrap()
+            .total_cost(&b, &m);
         assert!(pmv <= hc + 1e-9, "pmv {pmv} vs hillclimb {hc}");
     }
 

@@ -327,7 +327,10 @@ mod tests {
         let i = a.intersection(b);
         assert_eq!(i.iter().map(|x| x.index()).collect::<Vec<_>>(), vec![2, 64]);
         let d = a.difference(b);
-        assert_eq!(d.iter().map(|x| x.index()).collect::<Vec<_>>(), vec![0, 1, 130]);
+        assert_eq!(
+            d.iter().map(|x| x.index()).collect::<Vec<_>>(),
+            vec![0, 1, 130]
+        );
         assert!(a.intersects(b));
         assert!(i.is_subset_of(a) && i.is_subset_of(b));
         assert!(d.is_disjoint(b));

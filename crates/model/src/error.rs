@@ -9,7 +9,11 @@ pub enum ModelError {
     /// Schema declared with zero attributes.
     EmptySchema { table: String },
     /// Schema wider than [`crate::AttrSet::CAPACITY`].
-    TooManyAttributes { table: String, count: usize, max: usize },
+    TooManyAttributes {
+        table: String,
+        count: usize,
+        max: usize,
+    },
     /// Attribute declared with width 0.
     ZeroWidthAttribute { table: String, attribute: String },
     /// Attribute name repeated within one table.
@@ -40,7 +44,10 @@ impl fmt::Display for ModelError {
                 write!(f, "table `{table}` has no attributes")
             }
             ModelError::TooManyAttributes { table, count, max } => {
-                write!(f, "table `{table}` has {count} attributes; at most {max} supported")
+                write!(
+                    f,
+                    "table `{table}` has {count} attributes; at most {max} supported"
+                )
             }
             ModelError::ZeroWidthAttribute { table, attribute } => {
                 write!(f, "attribute `{table}.{attribute}` has zero width")
@@ -55,7 +62,10 @@ impl fmt::Display for ModelError {
                 write!(f, "query `{query}` references no attributes")
             }
             ModelError::QueryOutOfRange { query, table } => {
-                write!(f, "query `{query}` references attributes outside table `{table}`")
+                write!(
+                    f,
+                    "query `{query}` references attributes outside table `{table}`"
+                )
             }
             ModelError::BadWeight { query, weight } => {
                 write!(f, "query `{query}` has invalid weight {weight}")

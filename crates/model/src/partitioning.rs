@@ -29,7 +29,9 @@ impl Partitioning {
         let mut union = AttrSet::EMPTY;
         for p in &partitions {
             if p.is_empty() {
-                return Err(ModelError::EmptyPartition { table: schema.name().to_string() });
+                return Err(ModelError::EmptyPartition {
+                    table: schema.name().to_string(),
+                });
             }
             if union.intersects(*p) {
                 return Err(ModelError::OverlappingPartitions {
@@ -56,7 +58,9 @@ impl Partitioning {
 
     /// Row layout: a single partition holding every attribute.
     pub fn row(schema: &TableSchema) -> Self {
-        Partitioning { partitions: vec![schema.all_attrs()] }
+        Partitioning {
+            partitions: vec![schema.all_attrs()],
+        }
     }
 
     /// Column layout: one singleton partition per attribute.
@@ -90,12 +94,28 @@ impl Partitioning {
 
     /// Indices of the groups a query referencing `referenced` must read.
     pub fn referenced_partitions(&self, referenced: AttrSet) -> impl Iterator<Item = &AttrSet> {
-        self.partitions.iter().filter(move |p| p.intersects(referenced))
+        self.partitions
+            .iter()
+            .filter(move |p| p.intersects(referenced))
+    }
+
+    /// Canonical positions of the groups a query referencing `referenced`
+    /// must read — the inverted-index primitive of the incremental cost
+    /// evaluator (`slicer-cost::CostEvaluator`).
+    pub fn referenced_indices(&self, referenced: AttrSet) -> impl Iterator<Item = usize> + '_ {
+        self.partitions
+            .iter()
+            .enumerate()
+            .filter(move |(_, p)| p.intersects(referenced))
+            .map(|(i, _)| i)
     }
 
     /// Number of groups a query referencing `referenced` must read.
     pub fn referenced_count(&self, referenced: AttrSet) -> usize {
-        self.partitions.iter().filter(|p| p.intersects(referenced)).count()
+        self.partitions
+            .iter()
+            .filter(|p| p.intersects(referenced))
+            .count()
     }
 
     /// Tuple-reconstruction joins a query referencing `referenced` performs:
@@ -118,6 +138,35 @@ impl Partitioning {
                 parts.push(*p);
             }
         }
+        Partitioning::from_disjoint_unchecked(parts)
+    }
+
+    /// Replace the groups at (ascending) canonical positions `removed` with
+    /// `added`, producing a new partitioning. `added` must cover exactly the
+    /// attributes of the removed groups, which both merge and split moves
+    /// satisfy; validity is preserved by construction and debug-asserted.
+    pub fn replaced(&self, removed: &[usize], added: &[AttrSet]) -> Partitioning {
+        debug_assert!(
+            removed.windows(2).all(|w| w[0] < w[1]),
+            "removed must be sorted"
+        );
+        debug_assert_eq!(
+            removed
+                .iter()
+                .fold(AttrSet::EMPTY, |acc, &i| acc.union(self.partitions[i])),
+            added.iter().fold(AttrSet::EMPTY, |acc, a| acc.union(*a)),
+            "added groups must cover exactly the removed attributes"
+        );
+        let mut parts = Vec::with_capacity(self.partitions.len() - removed.len() + added.len());
+        let mut skip = removed.iter().copied().peekable();
+        for (i, p) in self.partitions.iter().enumerate() {
+            if skip.peek() == Some(&i) {
+                skip.next();
+            } else {
+                parts.push(*p);
+            }
+        }
+        parts.extend_from_slice(added);
         Partitioning::from_disjoint_unchecked(parts)
     }
 
@@ -176,7 +225,10 @@ mod tests {
     fn new_validates_completeness() {
         let s = schema();
         let err = Partitioning::new(&s, vec![s.attr_set(&["A", "B"]).unwrap()]).unwrap_err();
-        assert!(matches!(err, ModelError::IncompletePartitioning { missing: 2, .. }));
+        assert!(matches!(
+            err,
+            ModelError::IncompletePartitioning { missing: 2, .. }
+        ));
     }
 
     #[test]
@@ -196,8 +248,7 @@ mod tests {
     #[test]
     fn new_rejects_empty_group() {
         let s = schema();
-        let err =
-            Partitioning::new(&s, vec![s.all_attrs(), AttrSet::EMPTY]).unwrap_err();
+        let err = Partitioning::new(&s, vec![s.all_attrs(), AttrSet::EMPTY]).unwrap_err();
         assert!(matches!(err, ModelError::EmptyPartition { .. }));
     }
 
@@ -206,12 +257,18 @@ mod tests {
         let s = schema();
         let p1 = Partitioning::new(
             &s,
-            vec![s.attr_set(&["C", "D"]).unwrap(), s.attr_set(&["A", "B"]).unwrap()],
+            vec![
+                s.attr_set(&["C", "D"]).unwrap(),
+                s.attr_set(&["A", "B"]).unwrap(),
+            ],
         )
         .unwrap();
         let p2 = Partitioning::new(
             &s,
-            vec![s.attr_set(&["A", "B"]).unwrap(), s.attr_set(&["C", "D"]).unwrap()],
+            vec![
+                s.attr_set(&["A", "B"]).unwrap(),
+                s.attr_set(&["C", "D"]).unwrap(),
+            ],
         )
         .unwrap();
         assert_eq!(p1, p2);

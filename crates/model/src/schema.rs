@@ -54,7 +54,11 @@ pub struct Attribute {
 impl Attribute {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, size: u32, kind: AttrKind) -> Self {
-        Attribute { name: name.into(), size, kind }
+        Attribute {
+            name: name.into(),
+            size,
+            kind,
+        }
     }
 }
 
@@ -83,7 +87,11 @@ pub struct TableSchema {
 impl TableSchema {
     /// Start building a schema.
     pub fn builder(name: impl Into<String>, row_count: u64) -> TableSchemaBuilder {
-        TableSchemaBuilder { name: name.into(), attributes: Vec::new(), row_count }
+        TableSchemaBuilder {
+            name: name.into(),
+            attributes: Vec::new(),
+            row_count,
+        }
     }
 
     /// Table name.
@@ -114,7 +122,10 @@ impl TableSchema {
     /// Return a copy with a different cardinality (used by scale-factor
     /// sweeps, Figure 13).
     pub fn with_row_count(&self, rows: u64) -> TableSchema {
-        TableSchema { row_count: rows, ..self.clone() }
+        TableSchema {
+            row_count: rows,
+            ..self.clone()
+        }
     }
 
     /// Width in bytes of one full row (sum of all attribute widths).
@@ -126,7 +137,9 @@ impl TableSchema {
     /// vertical partition holding exactly `set`.
     #[inline]
     pub fn set_size(&self, set: AttrSet) -> u64 {
-        set.iter().map(|a| self.attributes[a.index()].size as u64).sum()
+        set.iter()
+            .map(|a| self.attributes[a.index()].size as u64)
+            .sum()
     }
 
     /// Per-attribute widths as a dense lookup table; hot loops (BruteForce)
@@ -167,8 +180,10 @@ impl TableSchema {
 
     /// Render a set of attributes as their names, e.g. `P1(PartKey,SuppKey)`.
     pub fn render_set(&self, set: AttrSet) -> String {
-        let names: Vec<&str> =
-            set.iter().map(|a| self.attributes[a.index()].name.as_str()).collect();
+        let names: Vec<&str> = set
+            .iter()
+            .map(|a| self.attributes[a.index()].name.as_str())
+            .collect();
         names.join(",")
     }
 }
@@ -285,7 +300,10 @@ mod tests {
 
     #[test]
     fn zero_width_rejected() {
-        let err = TableSchema::builder("T", 1).attr("A", 0, AttrKind::Int).build().unwrap_err();
+        let err = TableSchema::builder("T", 1)
+            .attr("A", 0, AttrKind::Int)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, ModelError::ZeroWidthAttribute { .. }));
     }
 

@@ -28,12 +28,20 @@ pub struct Query {
 impl Query {
     /// Query with weight 1.
     pub fn new(name: impl Into<String>, referenced: AttrSet) -> Self {
-        Query { name: name.into(), referenced, weight: 1.0 }
+        Query {
+            name: name.into(),
+            referenced,
+            weight: 1.0,
+        }
     }
 
     /// Query with an explicit weight.
     pub fn weighted(name: impl Into<String>, referenced: AttrSet, weight: f64) -> Self {
-        Query { name: name.into(), referenced, weight }
+        Query {
+            name: name.into(),
+            referenced,
+            weight,
+        }
     }
 }
 
@@ -50,14 +58,13 @@ pub struct Workload {
 impl Workload {
     /// Empty workload.
     pub fn new() -> Self {
-        Workload { queries: Vec::new() }
+        Workload {
+            queries: Vec::new(),
+        }
     }
 
     /// Build from queries, validating them against a schema.
-    pub fn with_queries(
-        schema: &TableSchema,
-        queries: Vec<Query>,
-    ) -> Result<Self, ModelError> {
+    pub fn with_queries(schema: &TableSchema, queries: Vec<Query>) -> Result<Self, ModelError> {
         let mut w = Workload::new();
         for q in queries {
             w.push_validated(schema, q)?;
@@ -67,11 +74,7 @@ impl Workload {
 
     /// Append a query after checking it fits the schema: non-empty reference
     /// set within the table's attributes and a positive finite weight.
-    pub fn push_validated(
-        &mut self,
-        schema: &TableSchema,
-        query: Query,
-    ) -> Result<(), ModelError> {
+    pub fn push_validated(&mut self, schema: &TableSchema, query: Query) -> Result<(), ModelError> {
         if query.referenced.is_empty() {
             return Err(ModelError::EmptyQuery { query: query.name });
         }
@@ -82,7 +85,10 @@ impl Workload {
             });
         }
         if !(query.weight.is_finite() && query.weight > 0.0) {
-            return Err(ModelError::BadWeight { query: query.name, weight: query.weight });
+            return Err(ModelError::BadWeight {
+                query: query.name,
+                weight: query.weight,
+            });
         }
         self.queries.push(query);
         Ok(())
@@ -110,7 +116,9 @@ impl Workload {
 
     /// The first `k` queries as a new workload (paper Figures 2 and 7).
     pub fn prefix(&self, k: usize) -> Workload {
-        Workload { queries: self.queries.iter().take(k).cloned().collect() }
+        Workload {
+            queries: self.queries.iter().take(k).cloned().collect(),
+        }
     }
 
     /// Union of all referenced attribute sets.
@@ -193,9 +201,14 @@ mod tests {
     fn validation_rejects_empty_and_bad_weight() {
         let s = schema();
         let mut w = Workload::new();
-        assert!(w.push_validated(&s, Query::new("e", AttrSet::EMPTY)).is_err());
+        assert!(w
+            .push_validated(&s, Query::new("e", AttrSet::EMPTY))
+            .is_err());
         let q = Query::weighted("w", AttrSet::single(0usize), -1.0);
-        assert!(matches!(w.push_validated(&s, q), Err(ModelError::BadWeight { .. })));
+        assert!(matches!(
+            w.push_validated(&s, q),
+            Err(ModelError::BadWeight { .. })
+        ));
     }
 
     #[test]
@@ -238,11 +251,8 @@ mod tests {
     #[test]
     fn atomic_fragments_cover_all_attrs_disjointly() {
         let s = schema();
-        let w = Workload::with_queries(
-            &s,
-            vec![Query::new("q", s.attr_set(&["B", "D"]).unwrap())],
-        )
-        .unwrap();
+        let w = Workload::with_queries(&s, vec![Query::new("q", s.attr_set(&["B", "D"]).unwrap())])
+            .unwrap();
         let frags = w.atomic_fragments(&s);
         let mut union = AttrSet::EMPTY;
         for f in &frags {

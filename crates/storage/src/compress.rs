@@ -103,12 +103,8 @@ fn raw_bytes(col: &ColumnData) -> (BytesMut, usize) {
 fn decode_raw(bytes: &Bytes, rows: usize, template: &ColumnData) -> ColumnData {
     let mut buf = bytes.clone();
     match template {
-        ColumnData::Int(_) => {
-            ColumnData::Int((0..rows).map(|_| buf.get_i32_le()).collect())
-        }
-        ColumnData::Date(_) => {
-            ColumnData::Date((0..rows).map(|_| buf.get_i32_le()).collect())
-        }
+        ColumnData::Int(_) => ColumnData::Int((0..rows).map(|_| buf.get_i32_le()).collect()),
+        ColumnData::Date(_) => ColumnData::Date((0..rows).map(|_| buf.get_i32_le()).collect()),
         ColumnData::Decimal(_) => {
             ColumnData::Decimal((0..rows).map(|_| buf.get_i64_le()).collect())
         }
@@ -249,7 +245,12 @@ pub fn encode(col: &ColumnData, codec: Codec) -> EncodedColumn {
     match codec {
         Codec::Plain => {
             let (b, _) = raw_bytes(col);
-            EncodedColumn { codec, bytes: b.freeze(), dict_bytes: Bytes::new(), rows }
+            EncodedColumn {
+                codec,
+                bytes: b.freeze(),
+                dict_bytes: Bytes::new(),
+                rows,
+            }
         }
         Codec::Dictionary => {
             // Build value dictionary over the raw fixed-width form.
@@ -257,8 +258,7 @@ pub fn encode(col: &ColumnData, codec: Codec) -> EncodedColumn {
             let raw = raw.freeze();
             let mut dict: Vec<&[u8]> = Vec::new();
             let mut codes: Vec<u32> = Vec::with_capacity(rows);
-            let mut index: std::collections::HashMap<&[u8], u32> =
-                std::collections::HashMap::new();
+            let mut index: std::collections::HashMap<&[u8], u32> = std::collections::HashMap::new();
             for i in 0..rows {
                 let v = &raw[i * w..(i + 1) * w];
                 let code = *index.entry(v).or_insert_with(|| {
@@ -284,7 +284,12 @@ pub fn encode(col: &ColumnData, codec: Codec) -> EncodedColumn {
             for v in &dict {
                 dict_bytes.put_slice(v);
             }
-            EncodedColumn { codec, bytes: bytes.freeze(), dict_bytes: dict_bytes.freeze(), rows }
+            EncodedColumn {
+                codec,
+                bytes: bytes.freeze(),
+                dict_bytes: dict_bytes.freeze(),
+                rows,
+            }
         }
         Codec::Delta => match col {
             ColumnData::Int(v) => delta_encode(v.iter().map(|&x| x as i64), rows, codec),
@@ -313,7 +318,12 @@ fn delta_encode(values: impl Iterator<Item = i64>, rows: usize, codec: Codec) ->
         put_varint(&mut b, zigzag(x.wrapping_sub(prev)));
         prev = x;
     }
-    EncodedColumn { codec, bytes: b.freeze(), dict_bytes: Bytes::new(), rows }
+    EncodedColumn {
+        codec,
+        bytes: b.freeze(),
+        dict_bytes: Bytes::new(),
+        rows,
+    }
 }
 
 /// Decode a column previously produced by [`encode`]. `template` supplies
@@ -327,7 +337,12 @@ pub fn decode(enc: &EncodedColumn, template: &ColumnData) -> ColumnData {
             // entry width from the dictionary size and the highest code.
             let w = enc.bytes.len().checked_div(rows).unwrap_or(1).max(1);
             let entries = dict_entry_count(&enc.bytes, rows, w);
-            let value_w = enc.dict_bytes.len().checked_div(entries).unwrap_or(1).max(1);
+            let value_w = enc
+                .dict_bytes
+                .len()
+                .checked_div(entries)
+                .unwrap_or(1)
+                .max(1);
             let mut out_raw = BytesMut::with_capacity(rows * value_w);
             for i in 0..rows {
                 let code = match w {
@@ -434,7 +449,10 @@ mod tests {
     fn delta_roundtrips() {
         roundtrip(&ColumnData::Int((1..500).collect()), Codec::Delta);
         roundtrip(&ColumnData::Date(vec![10, 8, 9, 2000, 1999]), Codec::Delta);
-        roundtrip(&ColumnData::Decimal(vec![100, 90, 80, 1_000_000]), Codec::Delta);
+        roundtrip(
+            &ColumnData::Decimal(vec![100, 90, 80, 1_000_000]),
+            Codec::Delta,
+        );
     }
 
     #[test]
@@ -481,7 +499,9 @@ mod tests {
     #[test]
     fn dictionary_beats_plain_on_enums_but_not_unique_text() {
         let enums = ColumnData::Text(
-            (0..5000).map(|i| ["AIR", "RAIL", "SHIP"][i % 3].to_string()).collect(),
+            (0..5000)
+                .map(|i| ["AIR", "RAIL", "SHIP"][i % 3].to_string())
+                .collect(),
         );
         let d = encode(&enums, Codec::Dictionary).stored_bytes();
         let p = encode(&enums, Codec::Plain).stored_bytes();
@@ -490,7 +510,10 @@ mod tests {
         let unique = ColumnData::Text((0..2000).map(|i| format!("comment-{i:06}")).collect());
         let d = encode(&unique, Codec::Dictionary).stored_bytes();
         let p = encode(&unique, Codec::Plain).stored_bytes();
-        assert!(d > p, "unique text should not benefit: dict {d} vs plain {p}");
+        assert!(
+            d > p,
+            "unique text should not benefit: dict {d} vs plain {p}"
+        );
     }
 
     #[test]

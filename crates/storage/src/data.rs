@@ -74,18 +74,73 @@ pub struct TableData {
 
 /// Word pool for generated text (TPC-H's comment vocabulary flavor).
 const WORDS: &[&str] = &[
-    "the", "furiously", "carefully", "quickly", "blithely", "slyly", "ironic", "final",
-    "express", "regular", "special", "pending", "bold", "even", "silent", "unusual",
-    "packages", "deposits", "requests", "accounts", "instructions", "foxes", "pinto",
-    "beans", "theodolites", "platelets", "asymptotes", "dependencies", "ideas", "sauternes",
-    "sleep", "haggle", "nag", "boost", "wake", "cajole", "integrate", "detect", "doze",
-    "among", "across", "above", "against", "along",
+    "the",
+    "furiously",
+    "carefully",
+    "quickly",
+    "blithely",
+    "slyly",
+    "ironic",
+    "final",
+    "express",
+    "regular",
+    "special",
+    "pending",
+    "bold",
+    "even",
+    "silent",
+    "unusual",
+    "packages",
+    "deposits",
+    "requests",
+    "accounts",
+    "instructions",
+    "foxes",
+    "pinto",
+    "beans",
+    "theodolites",
+    "platelets",
+    "asymptotes",
+    "dependencies",
+    "ideas",
+    "sauternes",
+    "sleep",
+    "haggle",
+    "nag",
+    "boost",
+    "wake",
+    "cajole",
+    "integrate",
+    "detect",
+    "doze",
+    "among",
+    "across",
+    "above",
+    "against",
+    "along",
 ];
 
 const ENUM_POOL: &[&str] = &[
-    "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD", "RAIL", "AIR", "MAIL",
-    "SHIP", "TRUCK", "FOB", "NONE", "DELIVER IN PERSON", "COLLECT COD", "TAKE BACK RETURN",
-    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW",
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+    "RAIL",
+    "AIR",
+    "MAIL",
+    "SHIP",
+    "TRUCK",
+    "FOB",
+    "NONE",
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "TAKE BACK RETURN",
+    "1-URGENT",
+    "2-HIGH",
+    "3-MEDIUM",
+    "4-NOT SPECIFIED",
+    "5-LOW",
 ];
 
 fn words_to_width(rng: &mut StdRng, width: usize) -> String {
@@ -114,7 +169,9 @@ fn generate_column(schema: &TableSchema, attr_idx: usize, rows: usize, seed: u64
     let own_key = format!("{}Key", schema.name());
     match attr.kind {
         AttrKind::Int => {
-            if attr.name.eq_ignore_ascii_case(&own_key) || (attr_idx == 0 && attr.name.ends_with("Key")) {
+            if attr.name.eq_ignore_ascii_case(&own_key)
+                || (attr_idx == 0 && attr.name.ends_with("Key"))
+            {
                 ColumnData::Int((1..=rows as i32).collect())
             } else {
                 let hi = (rows as i32).max(50);
@@ -132,7 +189,7 @@ fn generate_column(schema: &TableSchema, attr_idx: usize, rows: usize, seed: u64
                 (0..rows)
                     .map(|i| {
                         let base = (i as f64 / rows.max(1) as f64 * span as f64) as i32;
-                        (base + rng.gen_range(-30..=30)).clamp(0, span)
+                        (base + rng.gen_range(-30i32..=30)).clamp(0, span)
                     })
                     .collect(),
             )
@@ -143,8 +200,7 @@ fn generate_column(schema: &TableSchema, attr_idx: usize, rows: usize, seed: u64
                 ColumnData::Text(
                     (0..rows)
                         .map(|_| {
-                            let mut s =
-                                ENUM_POOL[rng.gen_range(0..ENUM_POOL.len())].to_string();
+                            let mut s = ENUM_POOL[rng.gen_range(0..ENUM_POOL.len())].to_string();
                             s.truncate(width);
                             s
                         })
@@ -221,7 +277,10 @@ mod tests {
             }
         };
         assert!(distinct(&t.columns[4]) <= ENUM_POOL.len());
-        assert!(distinct(&t.columns[5]) > 1000, "comments should be near-unique");
+        assert!(
+            distinct(&t.columns[5]) > 1000,
+            "comments should be near-unique"
+        );
     }
 
     #[test]

@@ -103,7 +103,11 @@ impl StoredTable {
         layout: &Partitioning,
         policy: CompressionPolicy,
     ) -> StoredTable {
-        assert_eq!(data.columns.len(), schema.attr_count(), "data/schema mismatch");
+        assert_eq!(
+            data.columns.len(),
+            schema.attr_count(),
+            "data/schema mismatch"
+        );
         let files: Vec<PartitionFile> = layout
             .partitions()
             .iter()
@@ -116,7 +120,11 @@ impl StoredTable {
                         (a, encode(col, policy.codec_for(kind)))
                     })
                     .collect();
-                PartitionFile { attrs: *p, segments, rows: data.rows }
+                PartitionFile {
+                    attrs: *p,
+                    segments,
+                    rows: data.rows,
+                }
             })
             .collect();
         let n_files = files.len();
@@ -188,7 +196,10 @@ pub fn scan(table: &StoredTable, referenced: AttrSet, disk: &DiskParams) -> Scan
         .filter(|(_, f)| f.attrs.intersects(referenced))
         .map(|(i, _)| i)
         .collect();
-    let sizes: Vec<u64> = touched.iter().map(|&i| table.files[i].stored_bytes()).collect();
+    let sizes: Vec<u64> = touched
+        .iter()
+        .map(|&i| table.files[i].stored_bytes())
+        .collect();
     let io_seconds = simulated_io(disk, &sizes);
     let bytes_read = sizes.iter().sum();
 
@@ -235,7 +246,12 @@ pub fn scan(table: &StoredTable, referenced: AttrSet, disk: &DiskParams) -> Scan
     }
     let cpu_seconds = start.elapsed().as_secs_f64();
 
-    ScanResult { checksum, io_seconds, cpu_seconds, bytes_read }
+    ScanResult {
+        checksum,
+        io_seconds,
+        cpu_seconds,
+        bytes_read,
+    }
 }
 
 fn template_of(col: &ColumnData) -> &ColumnData {
@@ -296,7 +312,10 @@ mod tests {
                 sums.push(scan(&t, referenced, &disk).checksum);
             }
         }
-        assert!(sums.windows(2).all(|w| w[0] == w[1]), "checksums diverge: {sums:?}");
+        assert!(
+            sums.windows(2).all(|w| w[0] == w[1]),
+            "checksums diverge: {sums:?}"
+        );
     }
 
     #[test]
@@ -305,7 +324,11 @@ mod tests {
         let t_none = fixture(CompressionPolicy::None, Partitioning::column(&s));
         let t_def = fixture(CompressionPolicy::Default, Partitioning::column(&s));
         assert!(t_def.stored_bytes() < t_none.stored_bytes());
-        assert!(t_def.compression_ratio() > 1.2, "{}", t_def.compression_ratio());
+        assert!(
+            t_def.compression_ratio() > 1.2,
+            "{}",
+            t_def.compression_ratio()
+        );
     }
 
     #[test]
@@ -332,7 +355,8 @@ mod tests {
             &s,
             vec![
                 s.attr_set(&["OrdersKey", "Comment"]).unwrap(),
-                s.attr_set(&["CustKey", "TotalPrice", "OrderDate", "ShipMode"]).unwrap(),
+                s.attr_set(&["CustKey", "TotalPrice", "OrderDate", "ShipMode"])
+                    .unwrap(),
             ],
         )
         .unwrap();

@@ -45,10 +45,18 @@ impl Benchmark {
         tables: Vec<TableSchema>,
         queries: Vec<BenchmarkQuery>,
     ) -> Self {
-        let b = Benchmark { name: name.into(), tables, queries };
+        let b = Benchmark {
+            name: name.into(),
+            tables,
+            queries,
+        };
         for q in &b.queries {
             for (t, s) in &q.table_refs {
-                assert!(*t < b.tables.len(), "query {} references unknown table {t}", q.name);
+                assert!(
+                    *t < b.tables.len(),
+                    "query {} references unknown table {t}",
+                    q.name
+                );
                 assert!(
                     !s.is_empty() && s.is_subset_of(b.tables[*t].all_attrs()),
                     "query {} has bad attribute set for table {}",
@@ -121,7 +129,10 @@ impl Benchmark {
 
     /// Total bytes of all tables (uncompressed logical size).
     pub fn total_bytes(&self) -> u64 {
-        self.tables.iter().map(|t| t.row_count() * t.row_size()).sum()
+        self.tables
+            .iter()
+            .map(|t| t.row_count() * t.row_size())
+            .sum()
     }
 }
 

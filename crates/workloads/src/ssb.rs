@@ -106,7 +106,10 @@ pub fn table(which: SsbTable, sf: f64) -> TableSchema {
 }
 
 /// `(query name, [(table name, [attribute names])])`.
-type QueryRefs = &'static [(&'static str, &'static [(&'static str, &'static [&'static str])])];
+type QueryRefs = &'static [(
+    &'static str,
+    &'static [(&'static str, &'static [&'static str])],
+)];
 
 /// Referenced attributes of the 13 SSB queries (flights Q1.x–Q4.x).
 ///
@@ -114,81 +117,159 @@ type QueryRefs = &'static [(&'static str, &'static [(&'static str, &'static [&'s
 /// flight — exactly the "less fragmented access pattern" the paper credits
 /// for SSB's larger improvement over column layout.
 const QUERY_REFS: QueryRefs = &[
-    ("Q1.1", &[
-        ("Lineorder", &["OrderDate", "ExtendedPrice", "Discount", "Quantity"]),
-        ("Date", &["DateKey", "Year"]),
-    ]),
-    ("Q1.2", &[
-        ("Lineorder", &["OrderDate", "ExtendedPrice", "Discount", "Quantity"]),
-        ("Date", &["DateKey", "YearMonthNum"]),
-    ]),
-    ("Q1.3", &[
-        ("Lineorder", &["OrderDate", "ExtendedPrice", "Discount", "Quantity"]),
-        ("Date", &["DateKey", "WeekNumInYear", "Year"]),
-    ]),
-    ("Q2.1", &[
-        ("Lineorder", &["OrderDate", "PartKey", "SuppKey", "Revenue"]),
-        ("Date", &["DateKey", "Year"]),
-        ("Part", &["PartKey", "Category", "Brand1"]),
-        ("Supplier", &["SuppKey", "Region"]),
-    ]),
-    ("Q2.2", &[
-        ("Lineorder", &["OrderDate", "PartKey", "SuppKey", "Revenue"]),
-        ("Date", &["DateKey", "Year"]),
-        ("Part", &["PartKey", "Brand1"]),
-        ("Supplier", &["SuppKey", "Region"]),
-    ]),
-    ("Q2.3", &[
-        ("Lineorder", &["OrderDate", "PartKey", "SuppKey", "Revenue"]),
-        ("Date", &["DateKey", "Year"]),
-        ("Part", &["PartKey", "Brand1"]),
-        ("Supplier", &["SuppKey", "Region"]),
-    ]),
-    ("Q3.1", &[
-        ("Lineorder", &["CustKey", "SuppKey", "OrderDate", "Revenue"]),
-        ("Customer", &["CustKey", "Region", "Nation"]),
-        ("Supplier", &["SuppKey", "Region", "Nation"]),
-        ("Date", &["DateKey", "Year"]),
-    ]),
-    ("Q3.2", &[
-        ("Lineorder", &["CustKey", "SuppKey", "OrderDate", "Revenue"]),
-        ("Customer", &["CustKey", "Nation", "City"]),
-        ("Supplier", &["SuppKey", "Nation", "City"]),
-        ("Date", &["DateKey", "Year"]),
-    ]),
-    ("Q3.3", &[
-        ("Lineorder", &["CustKey", "SuppKey", "OrderDate", "Revenue"]),
-        ("Customer", &["CustKey", "City"]),
-        ("Supplier", &["SuppKey", "City"]),
-        ("Date", &["DateKey", "Year"]),
-    ]),
-    ("Q3.4", &[
-        ("Lineorder", &["CustKey", "SuppKey", "OrderDate", "Revenue"]),
-        ("Customer", &["CustKey", "City"]),
-        ("Supplier", &["SuppKey", "City"]),
-        ("Date", &["DateKey", "YearMonth"]),
-    ]),
-    ("Q4.1", &[
-        ("Lineorder", &["CustKey", "SuppKey", "PartKey", "OrderDate", "Revenue", "SupplyCost"]),
-        ("Customer", &["CustKey", "Region", "Nation"]),
-        ("Supplier", &["SuppKey", "Region"]),
-        ("Part", &["PartKey", "Mfgr"]),
-        ("Date", &["DateKey", "Year"]),
-    ]),
-    ("Q4.2", &[
-        ("Lineorder", &["CustKey", "SuppKey", "PartKey", "OrderDate", "Revenue", "SupplyCost"]),
-        ("Customer", &["CustKey", "Region"]),
-        ("Supplier", &["SuppKey", "Region", "Nation"]),
-        ("Part", &["PartKey", "Mfgr", "Category"]),
-        ("Date", &["DateKey", "Year"]),
-    ]),
-    ("Q4.3", &[
-        ("Lineorder", &["CustKey", "SuppKey", "PartKey", "OrderDate", "Revenue", "SupplyCost"]),
-        ("Customer", &["CustKey", "Region"]),
-        ("Supplier", &["SuppKey", "Nation", "City"]),
-        ("Part", &["PartKey", "Category", "Brand1"]),
-        ("Date", &["DateKey", "Year"]),
-    ]),
+    (
+        "Q1.1",
+        &[
+            (
+                "Lineorder",
+                &["OrderDate", "ExtendedPrice", "Discount", "Quantity"],
+            ),
+            ("Date", &["DateKey", "Year"]),
+        ],
+    ),
+    (
+        "Q1.2",
+        &[
+            (
+                "Lineorder",
+                &["OrderDate", "ExtendedPrice", "Discount", "Quantity"],
+            ),
+            ("Date", &["DateKey", "YearMonthNum"]),
+        ],
+    ),
+    (
+        "Q1.3",
+        &[
+            (
+                "Lineorder",
+                &["OrderDate", "ExtendedPrice", "Discount", "Quantity"],
+            ),
+            ("Date", &["DateKey", "WeekNumInYear", "Year"]),
+        ],
+    ),
+    (
+        "Q2.1",
+        &[
+            ("Lineorder", &["OrderDate", "PartKey", "SuppKey", "Revenue"]),
+            ("Date", &["DateKey", "Year"]),
+            ("Part", &["PartKey", "Category", "Brand1"]),
+            ("Supplier", &["SuppKey", "Region"]),
+        ],
+    ),
+    (
+        "Q2.2",
+        &[
+            ("Lineorder", &["OrderDate", "PartKey", "SuppKey", "Revenue"]),
+            ("Date", &["DateKey", "Year"]),
+            ("Part", &["PartKey", "Brand1"]),
+            ("Supplier", &["SuppKey", "Region"]),
+        ],
+    ),
+    (
+        "Q2.3",
+        &[
+            ("Lineorder", &["OrderDate", "PartKey", "SuppKey", "Revenue"]),
+            ("Date", &["DateKey", "Year"]),
+            ("Part", &["PartKey", "Brand1"]),
+            ("Supplier", &["SuppKey", "Region"]),
+        ],
+    ),
+    (
+        "Q3.1",
+        &[
+            ("Lineorder", &["CustKey", "SuppKey", "OrderDate", "Revenue"]),
+            ("Customer", &["CustKey", "Region", "Nation"]),
+            ("Supplier", &["SuppKey", "Region", "Nation"]),
+            ("Date", &["DateKey", "Year"]),
+        ],
+    ),
+    (
+        "Q3.2",
+        &[
+            ("Lineorder", &["CustKey", "SuppKey", "OrderDate", "Revenue"]),
+            ("Customer", &["CustKey", "Nation", "City"]),
+            ("Supplier", &["SuppKey", "Nation", "City"]),
+            ("Date", &["DateKey", "Year"]),
+        ],
+    ),
+    (
+        "Q3.3",
+        &[
+            ("Lineorder", &["CustKey", "SuppKey", "OrderDate", "Revenue"]),
+            ("Customer", &["CustKey", "City"]),
+            ("Supplier", &["SuppKey", "City"]),
+            ("Date", &["DateKey", "Year"]),
+        ],
+    ),
+    (
+        "Q3.4",
+        &[
+            ("Lineorder", &["CustKey", "SuppKey", "OrderDate", "Revenue"]),
+            ("Customer", &["CustKey", "City"]),
+            ("Supplier", &["SuppKey", "City"]),
+            ("Date", &["DateKey", "YearMonth"]),
+        ],
+    ),
+    (
+        "Q4.1",
+        &[
+            (
+                "Lineorder",
+                &[
+                    "CustKey",
+                    "SuppKey",
+                    "PartKey",
+                    "OrderDate",
+                    "Revenue",
+                    "SupplyCost",
+                ],
+            ),
+            ("Customer", &["CustKey", "Region", "Nation"]),
+            ("Supplier", &["SuppKey", "Region"]),
+            ("Part", &["PartKey", "Mfgr"]),
+            ("Date", &["DateKey", "Year"]),
+        ],
+    ),
+    (
+        "Q4.2",
+        &[
+            (
+                "Lineorder",
+                &[
+                    "CustKey",
+                    "SuppKey",
+                    "PartKey",
+                    "OrderDate",
+                    "Revenue",
+                    "SupplyCost",
+                ],
+            ),
+            ("Customer", &["CustKey", "Region"]),
+            ("Supplier", &["SuppKey", "Region", "Nation"]),
+            ("Part", &["PartKey", "Mfgr", "Category"]),
+            ("Date", &["DateKey", "Year"]),
+        ],
+    ),
+    (
+        "Q4.3",
+        &[
+            (
+                "Lineorder",
+                &[
+                    "CustKey",
+                    "SuppKey",
+                    "PartKey",
+                    "OrderDate",
+                    "Revenue",
+                    "SupplyCost",
+                ],
+            ),
+            ("Customer", &["CustKey", "Region"]),
+            ("Supplier", &["SuppKey", "Nation", "City"]),
+            ("Part", &["PartKey", "Category", "Brand1"]),
+            ("Date", &["DateKey", "Year"]),
+        ],
+    ),
 ];
 
 /// The full SSB benchmark at scale factor `sf`: 5 tables, 13 queries.
@@ -265,7 +346,15 @@ mod tests {
         let lo = b.table_index("Lineorder").unwrap();
         let referenced = b.table_workload(lo).referenced_attrs();
         let s = &b.tables()[lo];
-        for never in ["LineNumber", "OrderPriority", "ShipPriority", "OrdTotalPrice", "Tax", "CommitDate", "ShipMode"] {
+        for never in [
+            "LineNumber",
+            "OrderPriority",
+            "ShipPriority",
+            "OrdTotalPrice",
+            "Tax",
+            "CommitDate",
+            "ShipMode",
+        ] {
             assert!(
                 !referenced.contains(s.attr_id(never).unwrap()),
                 "{never} unexpectedly referenced"

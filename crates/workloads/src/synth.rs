@@ -162,7 +162,10 @@ mod tests {
     #[test]
     fn different_seed_changes_output() {
         let a = table_and_workload(&SyntheticSpec::default());
-        let b = table_and_workload(&SyntheticSpec { seed: 99, ..SyntheticSpec::default() });
+        let b = table_and_workload(&SyntheticSpec {
+            seed: 99,
+            ..SyntheticSpec::default()
+        });
         assert!(a.0 != b.0 || a.1 != b.1);
     }
 
@@ -173,7 +176,11 @@ mod tests {
             AccessPattern::Fragmented,
             AccessPattern::Uniform { p: 0.05 },
         ] {
-            let spec = SyntheticSpec { pattern, queries: 30, ..SyntheticSpec::default() };
+            let spec = SyntheticSpec {
+                pattern,
+                queries: 30,
+                ..SyntheticSpec::default()
+            };
             let (t, w) = table_and_workload(&spec);
             assert_eq!(w.len(), 30);
             for q in w.queries() {

@@ -125,7 +125,10 @@ pub fn table(which: TpchTable, sf: f64) -> TableSchema {
 }
 
 /// `(query name, [(table name, [attribute names])])`.
-type QueryRefs = &'static [(&'static str, &'static [(&'static str, &'static [&'static str])])];
+type QueryRefs = &'static [(
+    &'static str,
+    &'static [(&'static str, &'static [&'static str])],
+)];
 
 /// Referenced attributes of each of the 22 TPC-H queries, per table.
 ///
@@ -135,124 +138,294 @@ type QueryRefs = &'static [(&'static str, &'static [(&'static str, &'static [&'s
 /// reused across subqueries on the same table by unioning the reference
 /// sets, matching the paper's per-table scan model.
 const QUERY_REFS: QueryRefs = &[
-    ("Q1", &[(
-        "Lineitem",
-        &["ReturnFlag", "LineStatus", "Quantity", "ExtendedPrice", "Discount", "Tax", "ShipDate"],
-    )]),
-    ("Q2", &[
-        ("Part", &["PartKey", "Mfgr", "Size", "Type"]),
-        ("Supplier", &["SuppKey", "Name", "Address", "NationKey", "Phone", "AcctBal", "Comment"]),
-        ("PartSupp", &["PartKey", "SuppKey", "SupplyCost"]),
-        ("Nation", &["NationKey", "Name", "RegionKey"]),
-        ("Region", &["RegionKey", "Name"]),
-    ]),
-    ("Q3", &[
-        ("Customer", &["CustKey", "MktSegment"]),
-        ("Orders", &["OrderKey", "CustKey", "OrderDate", "ShipPriority"]),
-        ("Lineitem", &["OrderKey", "ExtendedPrice", "Discount", "ShipDate"]),
-    ]),
-    ("Q4", &[
-        ("Orders", &["OrderKey", "OrderDate", "OrderPriority"]),
-        ("Lineitem", &["OrderKey", "CommitDate", "ReceiptDate"]),
-    ]),
-    ("Q5", &[
-        ("Customer", &["CustKey", "NationKey"]),
-        ("Orders", &["OrderKey", "CustKey", "OrderDate"]),
-        ("Lineitem", &["OrderKey", "SuppKey", "ExtendedPrice", "Discount"]),
-        ("Supplier", &["SuppKey", "NationKey"]),
-        ("Nation", &["NationKey", "Name", "RegionKey"]),
-        ("Region", &["RegionKey", "Name"]),
-    ]),
-    ("Q6", &[(
-        "Lineitem",
-        &["ShipDate", "Discount", "Quantity", "ExtendedPrice"],
-    )]),
-    ("Q7", &[
-        ("Supplier", &["SuppKey", "NationKey"]),
-        ("Lineitem", &["OrderKey", "SuppKey", "ExtendedPrice", "Discount", "ShipDate"]),
-        ("Orders", &["OrderKey", "CustKey"]),
-        ("Customer", &["CustKey", "NationKey"]),
-        ("Nation", &["NationKey", "Name"]),
-    ]),
-    ("Q8", &[
-        ("Part", &["PartKey", "Type"]),
-        ("Supplier", &["SuppKey", "NationKey"]),
-        ("Lineitem", &["PartKey", "SuppKey", "OrderKey", "ExtendedPrice", "Discount"]),
-        ("Orders", &["OrderKey", "CustKey", "OrderDate"]),
-        ("Customer", &["CustKey", "NationKey"]),
-        ("Nation", &["NationKey", "RegionKey", "Name"]),
-        ("Region", &["RegionKey", "Name"]),
-    ]),
-    ("Q9", &[
-        ("Part", &["PartKey", "Name"]),
-        ("Supplier", &["SuppKey", "NationKey"]),
-        ("Lineitem", &["PartKey", "SuppKey", "OrderKey", "Quantity", "ExtendedPrice", "Discount"]),
-        ("PartSupp", &["PartKey", "SuppKey", "SupplyCost"]),
-        ("Orders", &["OrderKey", "OrderDate"]),
-        ("Nation", &["NationKey", "Name"]),
-    ]),
-    ("Q10", &[
-        ("Customer", &["CustKey", "Name", "AcctBal", "Phone", "Address", "Comment", "NationKey"]),
-        ("Orders", &["OrderKey", "CustKey", "OrderDate"]),
-        ("Lineitem", &["OrderKey", "ExtendedPrice", "Discount", "ReturnFlag"]),
-        ("Nation", &["NationKey", "Name"]),
-    ]),
-    ("Q11", &[
-        ("PartSupp", &["PartKey", "SuppKey", "AvailQty", "SupplyCost"]),
-        ("Supplier", &["SuppKey", "NationKey"]),
-        ("Nation", &["NationKey", "Name"]),
-    ]),
-    ("Q12", &[
-        ("Orders", &["OrderKey", "OrderPriority"]),
-        ("Lineitem", &["OrderKey", "ShipMode", "CommitDate", "ShipDate", "ReceiptDate"]),
-    ]),
-    ("Q13", &[
-        ("Customer", &["CustKey"]),
-        ("Orders", &["OrderKey", "CustKey", "Comment"]),
-    ]),
-    ("Q14", &[
-        ("Lineitem", &["PartKey", "ShipDate", "ExtendedPrice", "Discount"]),
-        ("Part", &["PartKey", "Type"]),
-    ]),
-    ("Q15", &[
-        ("Lineitem", &["SuppKey", "ShipDate", "ExtendedPrice", "Discount"]),
-        ("Supplier", &["SuppKey", "Name", "Address", "Phone"]),
-    ]),
-    ("Q16", &[
-        ("PartSupp", &["PartKey", "SuppKey"]),
-        ("Part", &["PartKey", "Brand", "Type", "Size"]),
-        ("Supplier", &["SuppKey", "Comment"]),
-    ]),
-    ("Q17", &[
-        ("Lineitem", &["PartKey", "Quantity", "ExtendedPrice"]),
-        ("Part", &["PartKey", "Brand", "Container"]),
-    ]),
-    ("Q18", &[
-        ("Customer", &["CustKey", "Name"]),
-        ("Orders", &["OrderKey", "CustKey", "TotalPrice", "OrderDate"]),
-        ("Lineitem", &["OrderKey", "Quantity"]),
-    ]),
-    ("Q19", &[
-        ("Lineitem", &["PartKey", "Quantity", "ShipMode", "ShipInstruct", "ExtendedPrice", "Discount"]),
-        ("Part", &["PartKey", "Brand", "Container", "Size"]),
-    ]),
-    ("Q20", &[
-        ("Supplier", &["SuppKey", "Name", "Address", "NationKey"]),
-        ("Nation", &["NationKey", "Name"]),
-        ("PartSupp", &["PartKey", "SuppKey", "AvailQty"]),
-        ("Part", &["PartKey", "Name"]),
-        ("Lineitem", &["PartKey", "SuppKey", "ShipDate", "Quantity"]),
-    ]),
-    ("Q21", &[
-        ("Supplier", &["SuppKey", "NationKey", "Name"]),
-        ("Lineitem", &["OrderKey", "SuppKey", "ReceiptDate", "CommitDate"]),
-        ("Orders", &["OrderKey", "OrderStatus"]),
-        ("Nation", &["NationKey", "Name"]),
-    ]),
-    ("Q22", &[
-        ("Customer", &["CustKey", "Phone", "AcctBal"]),
-        ("Orders", &["CustKey"]),
-    ]),
+    (
+        "Q1",
+        &[(
+            "Lineitem",
+            &[
+                "ReturnFlag",
+                "LineStatus",
+                "Quantity",
+                "ExtendedPrice",
+                "Discount",
+                "Tax",
+                "ShipDate",
+            ],
+        )],
+    ),
+    (
+        "Q2",
+        &[
+            ("Part", &["PartKey", "Mfgr", "Size", "Type"]),
+            (
+                "Supplier",
+                &[
+                    "SuppKey",
+                    "Name",
+                    "Address",
+                    "NationKey",
+                    "Phone",
+                    "AcctBal",
+                    "Comment",
+                ],
+            ),
+            ("PartSupp", &["PartKey", "SuppKey", "SupplyCost"]),
+            ("Nation", &["NationKey", "Name", "RegionKey"]),
+            ("Region", &["RegionKey", "Name"]),
+        ],
+    ),
+    (
+        "Q3",
+        &[
+            ("Customer", &["CustKey", "MktSegment"]),
+            (
+                "Orders",
+                &["OrderKey", "CustKey", "OrderDate", "ShipPriority"],
+            ),
+            (
+                "Lineitem",
+                &["OrderKey", "ExtendedPrice", "Discount", "ShipDate"],
+            ),
+        ],
+    ),
+    (
+        "Q4",
+        &[
+            ("Orders", &["OrderKey", "OrderDate", "OrderPriority"]),
+            ("Lineitem", &["OrderKey", "CommitDate", "ReceiptDate"]),
+        ],
+    ),
+    (
+        "Q5",
+        &[
+            ("Customer", &["CustKey", "NationKey"]),
+            ("Orders", &["OrderKey", "CustKey", "OrderDate"]),
+            (
+                "Lineitem",
+                &["OrderKey", "SuppKey", "ExtendedPrice", "Discount"],
+            ),
+            ("Supplier", &["SuppKey", "NationKey"]),
+            ("Nation", &["NationKey", "Name", "RegionKey"]),
+            ("Region", &["RegionKey", "Name"]),
+        ],
+    ),
+    (
+        "Q6",
+        &[(
+            "Lineitem",
+            &["ShipDate", "Discount", "Quantity", "ExtendedPrice"],
+        )],
+    ),
+    (
+        "Q7",
+        &[
+            ("Supplier", &["SuppKey", "NationKey"]),
+            (
+                "Lineitem",
+                &[
+                    "OrderKey",
+                    "SuppKey",
+                    "ExtendedPrice",
+                    "Discount",
+                    "ShipDate",
+                ],
+            ),
+            ("Orders", &["OrderKey", "CustKey"]),
+            ("Customer", &["CustKey", "NationKey"]),
+            ("Nation", &["NationKey", "Name"]),
+        ],
+    ),
+    (
+        "Q8",
+        &[
+            ("Part", &["PartKey", "Type"]),
+            ("Supplier", &["SuppKey", "NationKey"]),
+            (
+                "Lineitem",
+                &[
+                    "PartKey",
+                    "SuppKey",
+                    "OrderKey",
+                    "ExtendedPrice",
+                    "Discount",
+                ],
+            ),
+            ("Orders", &["OrderKey", "CustKey", "OrderDate"]),
+            ("Customer", &["CustKey", "NationKey"]),
+            ("Nation", &["NationKey", "RegionKey", "Name"]),
+            ("Region", &["RegionKey", "Name"]),
+        ],
+    ),
+    (
+        "Q9",
+        &[
+            ("Part", &["PartKey", "Name"]),
+            ("Supplier", &["SuppKey", "NationKey"]),
+            (
+                "Lineitem",
+                &[
+                    "PartKey",
+                    "SuppKey",
+                    "OrderKey",
+                    "Quantity",
+                    "ExtendedPrice",
+                    "Discount",
+                ],
+            ),
+            ("PartSupp", &["PartKey", "SuppKey", "SupplyCost"]),
+            ("Orders", &["OrderKey", "OrderDate"]),
+            ("Nation", &["NationKey", "Name"]),
+        ],
+    ),
+    (
+        "Q10",
+        &[
+            (
+                "Customer",
+                &[
+                    "CustKey",
+                    "Name",
+                    "AcctBal",
+                    "Phone",
+                    "Address",
+                    "Comment",
+                    "NationKey",
+                ],
+            ),
+            ("Orders", &["OrderKey", "CustKey", "OrderDate"]),
+            (
+                "Lineitem",
+                &["OrderKey", "ExtendedPrice", "Discount", "ReturnFlag"],
+            ),
+            ("Nation", &["NationKey", "Name"]),
+        ],
+    ),
+    (
+        "Q11",
+        &[
+            (
+                "PartSupp",
+                &["PartKey", "SuppKey", "AvailQty", "SupplyCost"],
+            ),
+            ("Supplier", &["SuppKey", "NationKey"]),
+            ("Nation", &["NationKey", "Name"]),
+        ],
+    ),
+    (
+        "Q12",
+        &[
+            ("Orders", &["OrderKey", "OrderPriority"]),
+            (
+                "Lineitem",
+                &[
+                    "OrderKey",
+                    "ShipMode",
+                    "CommitDate",
+                    "ShipDate",
+                    "ReceiptDate",
+                ],
+            ),
+        ],
+    ),
+    (
+        "Q13",
+        &[
+            ("Customer", &["CustKey"]),
+            ("Orders", &["OrderKey", "CustKey", "Comment"]),
+        ],
+    ),
+    (
+        "Q14",
+        &[
+            (
+                "Lineitem",
+                &["PartKey", "ShipDate", "ExtendedPrice", "Discount"],
+            ),
+            ("Part", &["PartKey", "Type"]),
+        ],
+    ),
+    (
+        "Q15",
+        &[
+            (
+                "Lineitem",
+                &["SuppKey", "ShipDate", "ExtendedPrice", "Discount"],
+            ),
+            ("Supplier", &["SuppKey", "Name", "Address", "Phone"]),
+        ],
+    ),
+    (
+        "Q16",
+        &[
+            ("PartSupp", &["PartKey", "SuppKey"]),
+            ("Part", &["PartKey", "Brand", "Type", "Size"]),
+            ("Supplier", &["SuppKey", "Comment"]),
+        ],
+    ),
+    (
+        "Q17",
+        &[
+            ("Lineitem", &["PartKey", "Quantity", "ExtendedPrice"]),
+            ("Part", &["PartKey", "Brand", "Container"]),
+        ],
+    ),
+    (
+        "Q18",
+        &[
+            ("Customer", &["CustKey", "Name"]),
+            (
+                "Orders",
+                &["OrderKey", "CustKey", "TotalPrice", "OrderDate"],
+            ),
+            ("Lineitem", &["OrderKey", "Quantity"]),
+        ],
+    ),
+    (
+        "Q19",
+        &[
+            (
+                "Lineitem",
+                &[
+                    "PartKey",
+                    "Quantity",
+                    "ShipMode",
+                    "ShipInstruct",
+                    "ExtendedPrice",
+                    "Discount",
+                ],
+            ),
+            ("Part", &["PartKey", "Brand", "Container", "Size"]),
+        ],
+    ),
+    (
+        "Q20",
+        &[
+            ("Supplier", &["SuppKey", "Name", "Address", "NationKey"]),
+            ("Nation", &["NationKey", "Name"]),
+            ("PartSupp", &["PartKey", "SuppKey", "AvailQty"]),
+            ("Part", &["PartKey", "Name"]),
+            ("Lineitem", &["PartKey", "SuppKey", "ShipDate", "Quantity"]),
+        ],
+    ),
+    (
+        "Q21",
+        &[
+            ("Supplier", &["SuppKey", "NationKey", "Name"]),
+            (
+                "Lineitem",
+                &["OrderKey", "SuppKey", "ReceiptDate", "CommitDate"],
+            ),
+            ("Orders", &["OrderKey", "OrderStatus"]),
+            ("Nation", &["NationKey", "Name"]),
+        ],
+    ),
+    (
+        "Q22",
+        &[
+            ("Customer", &["CustKey", "Phone", "AcctBal"]),
+            ("Orders", &["CustKey"]),
+        ],
+    ),
 ];
 
 /// The full TPC-H benchmark at scale factor `sf`: 8 tables, 22 queries.

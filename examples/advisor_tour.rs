@@ -66,6 +66,8 @@ fn main() {
         );
     }
 
-    println!("\nLesson 1: the greedy knives land on (or within a hair of) the brute-force optimum.");
+    println!(
+        "\nLesson 1: the greedy knives land on (or within a hair of) the brute-force optimum."
+    );
     println!("Lesson 4: none of them beats Column by much on the full TPC-H workload.");
 }

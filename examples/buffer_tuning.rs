@@ -14,7 +14,10 @@ fn main() {
     let base = HddCostModel::paper_testbed(); // 8 MB buffer
 
     println!("re-optimizing HillClimb for each buffer size (TPC-H SF 10):\n");
-    println!("{:>12} {:>14} {:>14} {:>10}", "buffer", "HillClimb (s)", "Column (s)", "HC/Col");
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "buffer", "HillClimb (s)", "Column (s)", "HC/Col"
+    );
     let mut crossover: Option<f64> = None;
     for mb in [0.05f64, 0.5, 2.0, 8.0, 32.0, 100.0, 400.0, 1600.0] {
         let model = HddCostModel::new(
@@ -27,7 +30,13 @@ fn main() {
         if ratio > 0.99 && crossover.is_none() {
             crossover = Some(mb);
         }
-        println!("{:>9} MB {:>14.1} {:>14.1} {:>9.1}%", mb, hc, col, 100.0 * ratio);
+        println!(
+            "{:>9} MB {:>14.1} {:>14.1} {:>9.1}%",
+            mb,
+            hc,
+            col,
+            100.0 * ratio
+        );
     }
     if let Some(mb) = crossover {
         println!(

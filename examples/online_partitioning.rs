@@ -12,25 +12,19 @@ fn main() -> Result<(), ModelError> {
     let mut online = O2pOnline::new(&table, &cost);
 
     // Phase 1: a reporting application hammering the Q1/Q6 pricing columns.
-    let pricing = table.attr_set(&[
-        "Quantity",
-        "ExtendedPrice",
-        "Discount",
-        "ShipDate",
-    ])?;
+    let pricing = table.attr_set(&["Quantity", "ExtendedPrice", "Discount", "ShipDate"])?;
     // Phase 2: a logistics application arrives, with a different footprint.
-    let logistics = table.attr_set(&[
-        "OrderKey",
-        "CommitDate",
-        "ReceiptDate",
-        "ShipMode",
-    ])?;
+    let logistics = table.attr_set(&["OrderKey", "CommitDate", "ReceiptDate", "ShipMode"])?;
 
     println!("initial layout: 1 partition (row layout), no queries seen\n");
     for i in 0..6 {
         let layout = online.observe(Query::new(format!("pricing-{i}"), pricing));
         if i == 5 {
-            println!("after {} pricing queries:\n  {}", i + 1, layout.render(&table));
+            println!(
+                "after {} pricing queries:\n  {}",
+                i + 1,
+                layout.render(&table)
+            );
         }
     }
     for i in 0..10 {

@@ -22,7 +22,10 @@ fn main() -> Result<(), ModelError> {
                 "Q1",
                 table.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"])?,
             ),
-            Query::new("Q2", table.attr_set(&["AvailQty", "SupplyCost", "Comment"])?),
+            Query::new(
+                "Q2",
+                table.attr_set(&["AvailQty", "SupplyCost", "Comment"])?,
+            ),
         ],
     )?;
 
@@ -40,14 +43,19 @@ fn main() -> Result<(), ModelError> {
     let column = Partitioning::column(&table);
     println!("\nestimated workload costs (seconds):");
     for (name, p) in [("HillClimb", &layout), ("Row", &row), ("Column", &column)] {
-        println!("  {name:10} {:10.2}", cost.workload_cost(&table, p, &workload));
+        println!(
+            "  {name:10} {:10.2}",
+            cost.workload_cost(&table, p, &workload)
+        );
     }
 
     // The layout should be the paper's P1(PartKey,SuppKey),
     // P2(AvailQty,SupplyCost), P3(Comment).
     assert_eq!(layout.len(), 3);
-    println!("\nQ1 touches {} partitions, Q2 touches {} partitions",
+    println!(
+        "\nQ1 touches {} partitions, Q2 touches {} partitions",
         layout.referenced_count(workload.queries()[0].referenced),
-        layout.referenced_count(workload.queries()[1].referenced));
+        layout.referenced_count(workload.queries()[1].referenced)
+    );
     Ok(())
 }

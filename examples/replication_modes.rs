@@ -18,7 +18,10 @@ fn main() -> Result<(), ModelError> {
                 "stock-check",
                 table.attr_set(&["PartKey", "SuppKey", "AvailQty", "SupplyCost"])?,
             ),
-            Query::new("audit", table.attr_set(&["AvailQty", "SupplyCost", "Comment"])?),
+            Query::new(
+                "audit",
+                table.attr_set(&["AvailQty", "SupplyCost", "Comment"])?,
+            ),
         ],
     )?;
     let cost = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(128 * 1024));
@@ -27,7 +30,11 @@ fn main() -> Result<(), ModelError> {
     // Baseline: the disjoint unified-setting AutoPart.
     let disjoint = AutoPart::new().partition(&req)?;
     let disjoint_cost = cost.workload_cost(&table, &disjoint, &workload);
-    println!("disjoint AutoPart ({} groups): {:.2} s", disjoint.len(), disjoint_cost);
+    println!(
+        "disjoint AutoPart ({} groups): {:.2} s",
+        disjoint.len(),
+        disjoint_cost
+    );
     println!("  {}", disjoint.render(&table));
 
     // Partial replication with a 1.5× storage budget: attributes may appear
@@ -43,16 +50,26 @@ fn main() -> Result<(), ModelError> {
     for f in &replicated.fragments {
         println!("  F({})", table.render_set(*f));
     }
-    assert!(replicated_cost <= disjoint_cost + 1e-9, "replication never hurts");
+    assert!(
+        replicated_cost <= disjoint_cost + 1e-9,
+        "replication never hurts"
+    );
 
     // Trojan's per-replica layouts: one layout per query group, as on HDFS
     // with three-way replication.
     let replicas = Trojan::new().partition_replicated(&req, 2)?;
     println!("\nTrojan with 2 data replicas:");
     for (i, r) in replicas.iter().enumerate() {
-        let names: Vec<&str> =
-            r.query_indices.iter().map(|&q| workload.queries()[q].name.as_str()).collect();
-        println!("  replica {i}: queries {:?} → {}", names, r.layout.render(&table));
+        let names: Vec<&str> = r
+            .query_indices
+            .iter()
+            .map(|&q| workload.queries()[q].name.as_str())
+            .collect();
+        println!(
+            "  replica {i}: queries {:?} → {}",
+            names,
+            r.layout.render(&table)
+        );
     }
     Ok(())
 }

@@ -18,8 +18,14 @@ fn main() -> Result<(), ModelError> {
         &table,
         vec![
             Query::new("count-by-priority", table.attr_set(&["OrderPriority"])?),
-            Query::new("totals", table.attr_set(&["OrderKey", "TotalPrice", "OrderDate"])?),
-            Query::new("audit", table.attr_set(&["OrderKey", "CustKey", "Comment"])?),
+            Query::new(
+                "totals",
+                table.attr_set(&["OrderKey", "TotalPrice", "OrderDate"])?,
+            ),
+            Query::new(
+                "audit",
+                table.attr_set(&["OrderKey", "CustKey", "Comment"])?,
+            ),
         ],
     )?;
     let cost = HddCostModel::paper_testbed();
@@ -27,12 +33,20 @@ fn main() -> Result<(), ModelError> {
     let hillclimb = HillClimb::new().partition(&req)?;
     let disk = DiskParams::paper_testbed();
 
-    println!("{} rows; HillClimb layout: {}\n", rows, hillclimb.render(&table));
+    println!(
+        "{} rows; HillClimb layout: {}\n",
+        rows,
+        hillclimb.render(&table)
+    );
     println!(
         "{:<12} {:<24} {:>10} {:>10} {:>10} {:>12}",
         "compression", "layout", "io (ms)", "cpu (ms)", "MB read", "stored MB"
     );
-    for policy in [CompressionPolicy::None, CompressionPolicy::Default, CompressionPolicy::Dictionary] {
+    for policy in [
+        CompressionPolicy::None,
+        CompressionPolicy::Default,
+        CompressionPolicy::Dictionary,
+    ] {
         for (name, layout) in [
             ("Row", Partitioning::row(&table)),
             ("Column", Partitioning::column(&table)),

@@ -69,12 +69,17 @@ fn skewed_weights_pull_the_layout() {
     // least as good for it as for the light query (its referenced set ends
     // up in fewer partitions).
     let t = tpch::table(tpch::TpchTable::PartSupp, 1.0);
-    let heavy = t.attr_set(&["PartKey", "SuppKey", "AvailQty"]).expect("attrs");
+    let heavy = t
+        .attr_set(&["PartKey", "SuppKey", "AvailQty"])
+        .expect("attrs");
     let light = t.attr_set(&["SupplyCost", "Comment"]).expect("attrs");
     let m = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(64 * 1024));
     let w = Workload::with_queries(
         &t,
-        vec![Query::weighted("heavy", heavy, 1000.0), Query::weighted("light", light, 1.0)],
+        vec![
+            Query::weighted("heavy", heavy, 1000.0),
+            Query::weighted("light", light, 1.0),
+        ],
     )
     .expect("valid");
     let layout = BruteForce::exhaustive()
@@ -92,14 +97,22 @@ fn queries_touching_everything_yield_row_layout() {
     let t = tpch::table(tpch::TpchTable::Customer, 0.1);
     let w = Workload::with_queries(
         &t,
-        vec![Query::new("q1", t.all_attrs()), Query::new("q2", t.all_attrs())],
+        vec![
+            Query::new("q1", t.all_attrs()),
+            Query::new("q2", t.all_attrs()),
+        ],
     )
     .expect("valid");
     let m = HddCostModel::paper_testbed();
     let req = PartitionRequest::new(&t, &w, &m);
     for advisor in paper_advisors() {
         let layout = advisor.partition(&req).expect("runs");
-        assert_eq!(layout.len(), 1, "{} should keep the row layout", advisor.name());
+        assert_eq!(
+            layout.len(),
+            1,
+            "{} should keep the row layout",
+            advisor.name()
+        );
     }
 }
 
@@ -137,8 +150,7 @@ fn wide_table_only_trojan_refuses() {
         match advisor.name() {
             "Trojan" => assert!(result.is_err(), "Trojan must refuse 32 attrs"),
             _ => {
-                let layout =
-                    result.unwrap_or_else(|e| panic!("{} failed: {e}", advisor.name()));
+                let layout = result.unwrap_or_else(|e| panic!("{} failed: {e}", advisor.name()));
                 assert!(Partitioning::new(&t, layout.partitions().to_vec()).is_ok());
             }
         }
@@ -162,7 +174,10 @@ fn cost_model_is_scale_monotone() {
     let large = small.with_row_count(small.row_count() * 2);
     let w_small = Workload::with_queries(
         &small,
-        vec![Query::new("q", small.attr_set(&["OrderKey", "TotalPrice"]).expect("attrs"))],
+        vec![Query::new(
+            "q",
+            small.attr_set(&["OrderKey", "TotalPrice"]).expect("attrs"),
+        )],
     )
     .expect("valid");
     let m = HddCostModel::paper_testbed();

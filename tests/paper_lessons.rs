@@ -22,8 +22,14 @@ fn lesson1_heuristics_match_brute_force() {
     let ap = run_advisor(&AutoPart::new(), &b, &m).expect("autopart");
 
     let opt = bf.total_cost(&b, &m);
-    assert!(hc.total_cost(&b, &m) <= opt * 1.01, "HillClimb not within 1% of optimal");
-    assert!(ap.total_cost(&b, &m) <= opt * 1.01, "AutoPart not within 1% of optimal");
+    assert!(
+        hc.total_cost(&b, &m) <= opt * 1.01,
+        "HillClimb not within 1% of optimal"
+    );
+    assert!(
+        ap.total_cost(&b, &m) <= opt * 1.01,
+        "AutoPart not within 1% of optimal"
+    );
     // "Four orders of magnitude less computation": compare the candidate
     // spaces deterministically (wall-clock ratios at this tiny test scale
     // are dominated by thread fan-out noise; Figure 1 reports them at full
@@ -67,14 +73,24 @@ fn lesson2_buffer_size_governs_benefits() {
     // at a huge buffer the advantage (on the scan-dominated large tables)
     // evaporates.
     let small = HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(256 * 1024));
-    let hc_small = run_advisor(&HillClimb::new(), &b, &small).expect("ok").total_cost(&b, &small);
+    let hc_small = run_advisor(&HillClimb::new(), &b, &small)
+        .expect("ok")
+        .total_cost(&b, &small);
     let ratio_small = hc_small / column_cost(&b, &small);
     let huge =
         HddCostModel::new(DiskParams::paper_testbed().with_buffer_size(4 * 1024 * 1024 * 1024));
-    let hc_huge = run_advisor(&HillClimb::new(), &b, &huge).expect("ok").total_cost(&b, &huge);
+    let hc_huge = run_advisor(&HillClimb::new(), &b, &huge)
+        .expect("ok")
+        .total_cost(&b, &huge);
     let ratio_huge = hc_huge / column_cost(&b, &huge);
-    assert!(ratio_small < ratio_huge + 1e-9, "benefit must shrink with buffer size");
-    assert!(ratio_small < 0.95, "vertical partitioning should pay at small buffers: {ratio_small}");
+    assert!(
+        ratio_small < ratio_huge + 1e-9,
+        "benefit must shrink with buffer size"
+    );
+    assert!(
+        ratio_small < 0.95,
+        "vertical partitioning should pay at small buffers: {ratio_small}"
+    );
 }
 
 /// Lesson 3: "HillClimb is the best algorithm" — best cost/time trade-off:

@@ -19,7 +19,11 @@ fn every_advisor_produces_valid_partitionings_on_tpch() {
         for t in &run.tables {
             let schema = &b.tables()[t.table_index];
             Partitioning::new(schema, t.layout.partitions().to_vec()).unwrap_or_else(|e| {
-                panic!("{} produced invalid layout for {}: {e}", advisor.name(), t.table)
+                panic!(
+                    "{} produced invalid layout for {}: {e}",
+                    advisor.name(),
+                    t.table
+                )
             });
         }
     }
@@ -71,7 +75,13 @@ fn advisors_are_deterministic_across_runs() {
         let a = run_advisor(advisor.as_ref(), &b, &m).expect("run 1");
         let bb = run_advisor(advisor.as_ref(), &b, &m).expect("run 2");
         for (x, y) in a.tables.iter().zip(&bb.tables) {
-            assert_eq!(x.layout, y.layout, "{} nondeterministic on {}", advisor.name(), x.table);
+            assert_eq!(
+                x.layout,
+                y.layout,
+                "{} nondeterministic on {}",
+                advisor.name(),
+                x.table
+            );
         }
     }
 }
@@ -93,7 +103,10 @@ fn main_memory_model_plugs_into_the_same_pipeline() {
     let mm = MainMemoryCostModel::paper_testbed();
     let run = run_advisor(&HillClimb::new(), &b, &mm).expect("hillclimb under MM");
     let col = column_cost(&b, &mm);
-    assert!(run.total_cost(&b, &mm) <= col * (1.0 + 1e-9), "HillClimb must not lose to column under its own objective");
+    assert!(
+        run.total_cost(&b, &mm) <= col * (1.0 + 1e-9),
+        "HillClimb must not lose to column under its own objective"
+    );
 }
 
 #[test]
@@ -103,7 +116,9 @@ fn pmv_views_cover_their_queries() {
         let views = PerfectMaterializedViews::views(&w);
         for q in w.queries() {
             assert!(
-                views.iter().any(|v| q.referenced.is_subset_of(*v) && *v == q.referenced),
+                views
+                    .iter()
+                    .any(|v| q.referenced.is_subset_of(*v) && *v == q.referenced),
                 "query {} has no exact view on {}",
                 q.name,
                 schema.name()

@@ -91,8 +91,8 @@ proptest! {
 // ---------- advisors on random workloads ----------
 
 fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
-    (2usize..10, 1usize..10, any::<u64>(), 0usize..3).prop_map(
-        |(attrs, queries, seed, pattern)| SyntheticSpec {
+    (2usize..10, 1usize..10, any::<u64>(), 0usize..3).prop_map(|(attrs, queries, seed, pattern)| {
+        SyntheticSpec {
             attrs,
             rows: 500_000,
             queries,
@@ -102,8 +102,8 @@ fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
                 _ => AccessPattern::Uniform { p: 0.35 },
             },
             seed,
-        },
-    )
+        }
+    })
 }
 
 proptest! {

@@ -35,7 +35,9 @@ fn scans_agree_across_every_layout_codec_combination() {
 
     for referenced in [
         schema.attr_set(&["OrderKey"]).unwrap(),
-        schema.attr_set(&["OrderKey", "CustKey", "TotalPrice"]).unwrap(),
+        schema
+            .attr_set(&["OrderKey", "CustKey", "TotalPrice"])
+            .unwrap(),
         schema.attr_set(&["Comment", "OrderDate"]).unwrap(),
         schema.all_attrs(),
     ] {
@@ -69,7 +71,10 @@ fn compression_policies_trade_size_for_fixed_width() {
     let col = Partitioning::column(&schema);
     let plain = StoredTable::load(&schema, &data, &col, CompressionPolicy::None);
     let def = StoredTable::load(&schema, &data, &col, CompressionPolicy::Default);
-    assert!(def.stored_bytes() < plain.stored_bytes(), "default compression must shrink data");
+    assert!(
+        def.stored_bytes() < plain.stored_bytes(),
+        "default compression must shrink data"
+    );
     // Default policy leaves some files variable-width; dictionary never.
     let dict = StoredTable::load(&schema, &data, &col, CompressionPolicy::Dictionary);
     assert!(dict.files.iter().all(|f| f.fixed_width()));
