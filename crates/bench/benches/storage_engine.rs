@@ -7,7 +7,8 @@ use slicer_experiments::{run, Config};
 use slicer_model::Partitioning;
 use slicer_storage::{
     compress::{encode, lz_compress, Codec},
-    generate_table, scan, ColumnData, CompressionPolicy, StoredTable,
+    generate_table, scan_naive, CacheMode, ColumnData, CompressionPolicy, ScanExecutor,
+    StoredTable,
 };
 use slicer_workloads::tpch;
 use std::hint::black_box;
@@ -66,10 +67,31 @@ fn bench_scans(c: &mut Criterion) {
             ("column", Partitioning::column(&small)),
         ] {
             let table = StoredTable::load(&small, &data, &layout, policy);
+            // The oracle path: materialize every referenced column, then
+            // row-at-a-time reconstruction.
             g.bench_with_input(
-                BenchmarkId::new(format!("{policy:?}"), lname),
+                BenchmarkId::new(format!("{policy:?}_naive"), lname),
                 &table,
-                |bench, table| bench.iter(|| black_box(scan(table, q6, &disk))),
+                |bench, table| bench.iter(|| black_box(scan_naive(table, q6, &disk))),
+            );
+            // The vectorized executor, cold cache (re-decodes per scan,
+            // reuses scratch arenas).
+            g.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}_executor_cold"), lname),
+                &table,
+                |bench, table| {
+                    let mut exec = ScanExecutor::new(table);
+                    bench.iter(|| black_box(exec.scan(q6, &disk)))
+                },
+            );
+            // Warm decode cache: repeated scans skip decode entirely.
+            g.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}_executor_warm"), lname),
+                &table,
+                |bench, table| {
+                    let mut exec = ScanExecutor::with_mode(table, CacheMode::Warm);
+                    bench.iter(|| black_box(exec.scan(q6, &disk)))
+                },
             );
         }
     }

@@ -10,7 +10,53 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use slicer_model::{AttrKind, TableSchema};
+
+/// FNV-1a offset basis — the seed of every row/cell fingerprint.
+pub const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+/// FNV-1a prime — the mix multiplier of every row/cell fingerprint.
+pub const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over `bytes`, the cell fingerprint primitive. Fixed-width values
+/// fingerprint their little-endian byte image, so the executor can hash
+/// straight out of a `Plain` segment without decoding.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// [`fnv1a`] over a fixed-size array: the const length lets the compiler
+/// fully unroll the byte loop, which matters in the executor's per-cell
+/// hot path.
+#[inline]
+pub fn fnv1a_n<const N: usize>(bytes: [u8; N]) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut i = 0;
+    while i < N {
+        h ^= bytes[i] as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+        i += 1;
+    }
+    h
+}
+
+/// Fingerprint of a space-padded fixed-width text cell, identical to
+/// decoding it to a `String` (UTF-8-lossy, trailing whitespace trimmed)
+/// and fingerprinting its bytes — but without allocating in the common
+/// valid-UTF-8 case.
+#[inline]
+pub fn text_fingerprint(padded: &[u8]) -> u64 {
+    match std::str::from_utf8(padded) {
+        Ok(s) => fnv1a(s.trim_end().as_bytes()),
+        Err(_) => fnv1a(String::from_utf8_lossy(padded).trim_end().as_bytes()),
+    }
+}
 
 /// One column of materialized values.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,24 +88,16 @@ impl ColumnData {
     }
 
     /// A stable 64-bit fingerprint of row `i` (FNV-style), used by the
-    /// executor to checksum scans without allocating.
+    /// executor to checksum scans without allocating. Defined in terms of
+    /// [`fnv1a`] so segment cursors can reproduce it from encoded bytes.
     #[inline]
     pub fn fingerprint(&self, i: usize) -> u64 {
-        const PRIME: u64 = 0x100000001b3;
-        let mut h: u64 = 0xcbf29ce484222325;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(PRIME);
-            }
-        };
         match self {
-            ColumnData::Int(v) => eat(&v[i].to_le_bytes()),
-            ColumnData::Decimal(v) => eat(&v[i].to_le_bytes()),
-            ColumnData::Date(v) => eat(&v[i].to_le_bytes()),
-            ColumnData::Text(v) => eat(v[i].as_bytes()),
+            ColumnData::Int(v) => fnv1a(&v[i].to_le_bytes()),
+            ColumnData::Decimal(v) => fnv1a(&v[i].to_le_bytes()),
+            ColumnData::Date(v) => fnv1a(&v[i].to_le_bytes()),
+            ColumnData::Text(v) => fnv1a(v[i].as_bytes()),
         }
-        h
     }
 }
 
@@ -215,7 +253,24 @@ fn generate_column(schema: &TableSchema, attr_idx: usize, rows: usize, seed: u64
 
 /// Generate all columns of `schema` with `rows` rows (overriding the
 /// schema's nominal row count, so callers can scale down for tests).
+///
+/// Columns are generated in parallel, one rayon task per column. Each
+/// column's RNG is seeded independently from `(seed, column index)`, so
+/// the result is byte-identical to [`generate_table_seq`] regardless of
+/// thread count — larger scale factors become benchable without changing
+/// a single generated byte.
 pub fn generate_table(schema: &TableSchema, rows: usize, seed: u64) -> TableData {
+    let columns = (0..schema.attr_count())
+        .into_par_iter()
+        .map(|i| generate_column(schema, i, rows, seed))
+        .collect();
+    TableData { columns, rows }
+}
+
+/// Sequential oracle for [`generate_table`]: same column-at-a-time loop
+/// the engine shipped with, kept so the parallel path's byte-identity is
+/// property-testable.
+pub fn generate_table_seq(schema: &TableSchema, rows: usize, seed: u64) -> TableData {
     let columns = (0..schema.attr_count())
         .map(|i| generate_column(schema, i, rows, seed))
         .collect();
@@ -243,6 +298,27 @@ mod tests {
     fn deterministic_generation() {
         let s = schema();
         assert_eq!(generate_table(&s, 500, 7), generate_table(&s, 500, 7));
+    }
+
+    #[test]
+    fn parallel_generation_matches_sequential() {
+        let s = schema();
+        for seed in [0, 7, 0xC0FFEE] {
+            assert_eq!(
+                generate_table(&s, 700, seed),
+                generate_table_seq(&s, 700, seed)
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_helpers_match_column_fingerprint() {
+        let ints = ColumnData::Int(vec![42, -7]);
+        assert_eq!(ints.fingerprint(0), fnv1a(&42i32.to_le_bytes()));
+        let text = ColumnData::Text(vec!["AIR".into()]);
+        // Padded fixed-width image of "AIR" at width 5.
+        assert_eq!(text.fingerprint(0), text_fingerprint(b"AIR  "));
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
     }
 
     #[test]

@@ -1,5 +1,4 @@
-//! The mini storage engine: column-group files on a simulated disk with a
-//! scan + tuple-reconstruction executor.
+//! The mini storage engine: column-group files on a simulated disk.
 //!
 //! This is the workspace's substitute for the paper's "DBMS-X" (Table 7):
 //! a disk-based column(-group) store whose compression cannot be turned
@@ -20,16 +19,17 @@
 //!   paper blames for HillClimb trailing Column under DBMS-X's default
 //!   varying-length encoding, and why forcing fixed-width dictionary
 //!   narrows the gap.
+//!
+//! Scans run through the vectorized [`crate::executor::ScanExecutor`];
+//! the original materialize-then-iterate path survives here as
+//! [`scan_naive`], the oracle both the property tests and `scan_bench`
+//! compare against.
 
 use crate::compress::{decode, default_codec, encode, Codec, EncodedColumn};
 use crate::data::{ColumnData, TableData};
-use parking_lot::Mutex;
 use slicer_cost::DiskParams;
 use slicer_model::{AttrId, AttrSet, Partitioning, TableSchema};
 use std::time::Instant;
-
-/// A decoded partition: materialized columns keyed by attribute.
-type DecodedPartition = Vec<(AttrId, ColumnData)>;
 
 /// Compression policy for a stored table (paper Table 7's two rows).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,13 +86,9 @@ pub struct StoredTable {
     pub layout: Partitioning,
     /// One file per partition, in layout order.
     pub files: Vec<PartitionFile>,
-    /// The in-memory source data (kept for decode templates and scan
-    /// verification oracles).
+    /// The in-memory source data (kept for the naive oracle's decode
+    /// templates).
     source: TableData,
-    /// Cache of decoded partitions, emulating a (CPU-side) decode cache
-    /// being *cold* per query: cleared before every scan. Guarded for
-    /// executor-internal use.
-    decoded_cache: Mutex<Vec<Option<DecodedPartition>>>,
 }
 
 impl StoredTable {
@@ -127,14 +123,17 @@ impl StoredTable {
                 }
             })
             .collect();
-        let n_files = files.len();
         StoredTable {
             schema: schema.clone(),
             layout: layout.clone(),
             files,
             source: data.clone(),
-            decoded_cache: Mutex::new((0..n_files).map(|_| None).collect()),
         }
+    }
+
+    /// Number of rows stored (equal across all partition files).
+    pub fn rows(&self) -> usize {
+        self.source.rows
     }
 
     /// Total compressed bytes across all partition files.
@@ -185,10 +184,15 @@ fn simulated_io(disk: &DiskParams, sizes: &[u64]) -> f64 {
         .sum()
 }
 
-/// Execute a projection scan of `referenced` attributes against `table`,
-/// reconstructing full tuples across partitions.
-pub fn scan(table: &StoredTable, referenced: AttrSet, disk: &DiskParams) -> ScanResult {
-    // Which files does the query touch? (Unified granularity: whole file.)
+/// The files a scan of `referenced` touches (unified granularity: whole
+/// file), with their total compressed bytes and simulated I/O seconds.
+/// Shared by [`scan_naive`] and the vectorized executor so both report
+/// bit-identical I/O accounting.
+pub(crate) fn touched_and_io(
+    table: &StoredTable,
+    referenced: AttrSet,
+    disk: &DiskParams,
+) -> (Vec<usize>, u64, f64) {
     let touched: Vec<usize> = table
         .files
         .iter()
@@ -202,12 +206,17 @@ pub fn scan(table: &StoredTable, referenced: AttrSet, disk: &DiskParams) -> Scan
         .collect();
     let io_seconds = simulated_io(disk, &sizes);
     let bytes_read = sizes.iter().sum();
+    (touched, bytes_read, io_seconds)
+}
 
-    // Cold decode cache per scan (paper: cold caches for all runs).
-    {
-        let mut cache = table.decoded_cache.lock();
-        cache.iter_mut().for_each(|c| *c = None);
-    }
+/// The original one-shot scan: heap-materialize every referenced column,
+/// then reconstruct tuples row-by-row through enum dispatch.
+///
+/// Kept verbatim as the correctness oracle and the `scan_bench` baseline;
+/// production scans go through [`crate::executor::ScanExecutor`] (or its
+/// [`crate::executor::scan`] convenience wrapper).
+pub fn scan_naive(table: &StoredTable, referenced: AttrSet, disk: &DiskParams) -> ScanResult {
+    let (touched, bytes_read, io_seconds) = touched_and_io(table, referenced, disk);
 
     let start = Instant::now();
     // Decode: fixed-width files decode only referenced segments;
@@ -219,7 +228,7 @@ pub fn scan(table: &StoredTable, referenced: AttrSet, disk: &DiskParams) -> Scan
         for (aid, seg) in &f.segments {
             if need_all || referenced.contains(*aid) {
                 let template = &table.source.columns[aid.index()];
-                let col = decode(seg, template_of(template));
+                let col = decode(seg, template);
                 if referenced.contains(*aid) {
                     decoded.push((*aid, col));
                 } else {
@@ -254,14 +263,11 @@ pub fn scan(table: &StoredTable, referenced: AttrSet, disk: &DiskParams) -> Scan
     }
 }
 
-fn template_of(col: &ColumnData) -> &ColumnData {
-    col
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::data::generate_table;
+    use crate::executor::scan;
     use slicer_model::AttrKind;
 
     fn schema() -> TableSchema {

@@ -4,18 +4,33 @@
 //! the commercial "DBMS-X" the paper uses in Table 7, and the end-to-end
 //! validation path for the cost model.
 //!
-//! * [`data`] — deterministic TPC-H-flavored data generation;
+//! * [`data`] — deterministic (and rayon-parallel) TPC-H-flavored data
+//!   generation, plus the FNV fingerprint primitives every scan path
+//!   shares;
 //! * [`compress`] — plain / dictionary / delta / LZ77-class codecs with
-//!   the fixed-versus-variable-width distinction Table 7 hinges on;
-//! * [`engine`] — partition files over a simulated disk
-//!   ([`engine::scan`] = simulated I/O + measured decode CPU).
+//!   the fixed-versus-variable-width distinction Table 7 hinges on, and
+//!   the streaming per-codec cursor API ([`compress::DeltaCursor`],
+//!   [`compress::DictLayout`], [`compress::lz_decompress_into`]);
+//! * [`cursor`] — segments readied for blocked fingerprinting
+//!   (zero-copy for fixed-width codecs, scratch-decoded for
+//!   variable-width ones);
+//! * [`executor`] — the vectorized [`executor::ScanExecutor`]: explicit
+//!   cold/warm decode-cache modes, reusable scratch arenas,
+//!   rayon-parallel decode across partitions, blocked tuple
+//!   reconstruction;
+//! * [`engine`] — partition files over a simulated disk, and
+//!   [`engine::scan_naive`], the original materialize-then-iterate
+//!   executor kept as the correctness oracle and benchmark baseline.
 
 #![warn(missing_docs)]
 
 pub mod compress;
+pub mod cursor;
 pub mod data;
 pub mod engine;
+pub mod executor;
 
 pub use compress::{decode, default_codec, encode, Codec, EncodedColumn};
-pub use data::{generate_table, ColumnData, TableData};
-pub use engine::{scan, CompressionPolicy, PartitionFile, ScanResult, StoredTable};
+pub use data::{generate_table, generate_table_seq, ColumnData, TableData};
+pub use engine::{scan_naive, CompressionPolicy, PartitionFile, ScanResult, StoredTable};
+pub use executor::{scan, CacheMode, ScanExecutor};

@@ -107,6 +107,37 @@ impl Benchmark {
         w
     }
 
+    /// Cap every table's row count at `max_rows` while preserving each
+    /// table's *relative* size (the largest table lands exactly on the
+    /// cap, smaller tables shrink by the same factor, floored at 1 row).
+    /// This is how the engine experiments scale a benchmark down to a
+    /// materializable size without flipping its seek:scan balance.
+    pub fn scaled(&self, max_rows: u64) -> Benchmark {
+        let largest = self
+            .tables
+            .iter()
+            .map(|t| t.row_count())
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        if largest <= max_rows {
+            return self.clone();
+        }
+        let tables = self
+            .tables
+            .iter()
+            .map(|t| {
+                let scaled = (t.row_count() as u128 * max_rows as u128 / largest as u128) as u64;
+                t.with_row_count(scaled.max(1))
+            })
+            .collect();
+        Benchmark {
+            name: format!("{}@{max_rows}", self.name),
+            tables,
+            queries: self.queries.clone(),
+        }
+    }
+
     /// Restrict to the first `k` queries (paper Figures 2 and 7).
     pub fn prefix(&self, k: usize) -> Benchmark {
         Benchmark {
@@ -223,5 +254,17 @@ mod tests {
     fn total_bytes_sums_tables() {
         let b = tiny();
         assert_eq!(b.total_bytes(), 10 * 12 + 20 * 29);
+    }
+
+    #[test]
+    fn scaled_preserves_relative_sizes() {
+        let b = tiny().scaled(10);
+        assert_eq!(b.tables()[1].row_count(), 10); // largest lands on cap
+        assert_eq!(b.tables()[0].row_count(), 5); // half as big, stays half
+        assert_eq!(b.queries().len(), 2);
+        // Already small enough: unchanged, including the name.
+        let same = tiny().scaled(1000);
+        assert_eq!(same.name(), "tiny");
+        assert_eq!(same.tables()[0].row_count(), 10);
     }
 }

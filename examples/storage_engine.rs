@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example storage_engine`
 
 use slicer::prelude::*;
-use slicer::storage::{generate_table, scan, CompressionPolicy, StoredTable};
+use slicer::storage::{generate_table, scan_naive, CompressionPolicy, ScanExecutor, StoredTable};
 
 fn main() -> Result<(), ModelError> {
     let nominal = tpch::table(tpch::TpchTable::Orders, 1.0);
@@ -39,8 +39,8 @@ fn main() -> Result<(), ModelError> {
         hillclimb.render(&table)
     );
     println!(
-        "{:<12} {:<24} {:>10} {:>10} {:>10} {:>12}",
-        "compression", "layout", "io (ms)", "cpu (ms)", "MB read", "stored MB"
+        "{:<12} {:<24} {:>10} {:>10} {:>11} {:>10} {:>12}",
+        "compression", "layout", "io (ms)", "cpu (ms)", "naive (ms)", "MB read", "stored MB"
     );
     for policy in [
         CompressionPolicy::None,
@@ -53,21 +53,26 @@ fn main() -> Result<(), ModelError> {
             ("HillClimb", hillclimb.clone()),
         ] {
             let stored = StoredTable::load(&table, &data, &layout, policy);
-            let (mut io, mut cpu, mut bytes) = (0.0, 0.0, 0u64);
+            let mut exec = ScanExecutor::new(&stored); // cold cache per scan
+            let (mut io, mut cpu, mut naive_cpu, mut bytes) = (0.0, 0.0, 0.0, 0u64);
             let mut checksum = 0u64;
             for q in workload.queries() {
-                let r = scan(&stored, q.referenced, &disk);
+                let r = exec.scan(q.referenced, &disk);
+                let n = scan_naive(&stored, q.referenced, &disk);
+                assert_eq!(n.checksum, r.checksum, "executor must match the oracle");
                 io += r.io_seconds;
                 cpu += r.cpu_seconds;
+                naive_cpu += n.cpu_seconds;
                 bytes += r.bytes_read;
                 checksum ^= r.checksum;
             }
             println!(
-                "{:<12} {:<24} {:>10.2} {:>10.2} {:>10.2} {:>12.2}   (checksum {checksum:016x})",
+                "{:<12} {:<24} {:>10.2} {:>10.2} {:>11.2} {:>10.2} {:>12.2}   (checksum {checksum:016x})",
                 format!("{policy:?}"),
                 name,
                 io * 1e3,
                 cpu * 1e3,
+                naive_cpu * 1e3,
                 bytes as f64 / 1e6,
                 stored.stored_bytes() as f64 / 1e6,
             );
@@ -75,8 +80,10 @@ fn main() -> Result<(), ModelError> {
     }
     println!(
         "\nnote how variable-width compression (Default) makes the grouped layouts pay \
-         CPU to decode whole partitions, while fixed-width Dictionary decodes only the \
-         referenced columns — the mechanism behind the paper's Table 7."
+         CPU to walk whole partitions, while fixed-width Dictionary touches only the \
+         referenced columns — the mechanism behind the paper's Table 7. `cpu` is the \
+         vectorized ScanExecutor (cold cache), `naive` the original \
+         materialize-then-iterate path; checksums are asserted identical."
     );
     Ok(())
 }
