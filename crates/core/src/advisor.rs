@@ -1,6 +1,7 @@
 //! The advisor abstraction: one interface, seven knives.
 
 use crate::classification::AlgorithmProfile;
+use crate::session::{AdvisorSession, Budget};
 use slicer_cost::{CostEvaluator, CostModel};
 use slicer_model::{AttrSet, ModelError, Partitioning, TableSchema, Workload};
 
@@ -82,12 +83,28 @@ pub trait Advisor: Send + Sync {
     /// (Tables 1 and 2).
     fn profile(&self) -> AlgorithmProfile;
 
-    /// Compute a partitioning for the request.
+    /// Budgeted, anytime search over `session` (see
+    /// [`AdvisorSession`]): the advisor drives its candidate iteration
+    /// through the session's step primitives, which own budget checks and
+    /// telemetry. When the session's budget trips mid-search, the advisor
+    /// returns its best-so-far layout — always valid and complete, because
+    /// every search here only commits strictly improving moves.
     ///
     /// An empty workload carries no signal; all advisors return the row
     /// layout in that case (every layout costs zero under a no-query
     /// workload, and a single file is the cheapest to create).
-    fn partition(&self, req: &PartitionRequest<'_>) -> Result<Partitioning, ModelError>;
+    fn partition_session<'a>(
+        &self,
+        session: &mut AdvisorSession<'a>,
+    ) -> Result<Partitioning, ModelError>;
+
+    /// Compute a partitioning for the request: the thin unlimited-budget
+    /// wrapper over [`Advisor::partition_session`], bit-identical to the
+    /// pre-session one-shot search.
+    fn partition(&self, req: &PartitionRequest<'_>) -> Result<Partitioning, ModelError> {
+        let mut session = AdvisorSession::new(req, Budget::UNLIMITED);
+        self.partition_session(&mut session)
+    }
 }
 
 /// Relative cost-improvement threshold: a merge/split must beat the current

@@ -20,6 +20,7 @@ use crate::classification::{
     AlgorithmProfile, CandidatePruning, Granularity, Hardware, Replication, SearchStrategy,
     StartingPoint, SystemKind, WorkloadMode,
 };
+use crate::session::{AdvisorSession, SessionStep};
 use slicer_cost::CostModel;
 use slicer_model::{AttrSet, ModelError, Partitioning, TableSchema, Workload};
 
@@ -104,16 +105,16 @@ impl AutoPart {
     /// Disjoint bottom-up search from `fragments`, where a merge partner
     /// must be atomic or created in the previous iteration.
     ///
-    /// Candidate combinations are costed through the request's incremental
+    /// Candidate combinations are costed through the session's incremental
     /// [`slicer_cost::CostEvaluator`] and scanned in parallel; enumeration
     /// order and first-strict-minimum selection replicate the sequential
-    /// loop, so the chosen layout is identical to the naive path.
-    fn climb(req: &PartitionRequest<'_>, atomic: &[AttrSet]) -> Partitioning {
+    /// loop, so the chosen layout is identical to the naive path. A budget
+    /// stop returns the current (monotonically improved) layout.
+    fn climb(session: &mut AdvisorSession<'_>, atomic: &[AttrSet]) -> Partitioning {
         // generation[i]: 0 = atomic, g>0 = created in iteration g.
         let mut parts: Vec<AttrSet> = atomic.to_vec();
         let mut generation: Vec<u32> = vec![0; parts.len()];
-        let mut ev = req.evaluator(&parts);
-        let mut current_cost = ev.total();
+        session.seed(&parts);
         let mut iter = 0u32;
         loop {
             iter += 1;
@@ -136,18 +137,15 @@ impl AutoPart {
             let cpairs: Vec<(usize, usize)> = pairs
                 .iter()
                 .map(|&(i, j)| {
+                    let ev = session.ev();
                     let ci = ev.index_of(parts[i]).expect("part tracked by evaluator");
                     let cj = ev.index_of(parts[j]).expect("part tracked by evaluator");
                     (ci, cj)
                 })
                 .collect();
-            let costs = ev.merge_costs(&cpairs, !req.naive_eval);
-            match slicer_cost::first_strict_min(&costs) {
-                Some((k, cost)) if improves(cost, current_cost) => {
+            match session.merge_step(&cpairs) {
+                SessionStep::Committed { index: k, .. } => {
                     let (i, j) = pairs[k];
-                    let ci = ev.index_of(parts[i]).expect("part tracked by evaluator");
-                    let cj = ev.index_of(parts[j]).expect("part tracked by evaluator");
-                    ev.commit_merge(ci, cj);
                     let merged = parts[i].union(parts[j]);
                     let (hi, lo) = if i > j { (i, j) } else { (j, i) };
                     parts.swap_remove(hi);
@@ -156,12 +154,11 @@ impl AutoPart {
                     generation.swap_remove(lo);
                     parts.push(merged);
                     generation.push(iter);
-                    current_cost = cost;
                 }
-                _ => break,
+                SessionStep::NoImprovement | SessionStep::OutOfBudget => break,
             }
         }
-        ev.partitioning()
+        session.ev().partitioning()
     }
 
     /// The extension variant with partial replication: composite fragments
@@ -253,12 +250,16 @@ impl Advisor for AutoPart {
         }
     }
 
-    fn partition(&self, req: &PartitionRequest<'_>) -> Result<Partitioning, ModelError> {
+    fn partition_session<'a>(
+        &self,
+        session: &mut AdvisorSession<'a>,
+    ) -> Result<Partitioning, ModelError> {
+        let req = *session.request();
         if req.workload.is_empty() {
             return Ok(Partitioning::row(req.table));
         }
         let atomic = req.workload.atomic_fragments(req.table);
-        Ok(Self::climb(req, &atomic))
+        Ok(Self::climb(session, &atomic))
     }
 }
 

@@ -1,10 +1,11 @@
 //! Row, Column and Perfect-Materialized-Views baselines (Sections 5–6).
 
-use crate::advisor::{Advisor, PartitionRequest};
+use crate::advisor::Advisor;
 use crate::classification::{
     AlgorithmProfile, CandidatePruning, Granularity, Hardware, Replication, SearchStrategy,
     StartingPoint, SystemKind, WorkloadMode,
 };
+use crate::session::AdvisorSession;
 use slicer_cost::CostModel;
 use slicer_model::{AttrSet, ModelError, Partitioning, TableSchema, Workload};
 
@@ -34,8 +35,11 @@ impl Advisor for RowLayout {
         baseline_profile()
     }
 
-    fn partition(&self, req: &PartitionRequest<'_>) -> Result<Partitioning, ModelError> {
-        Ok(Partitioning::row(req.table))
+    fn partition_session<'a>(
+        &self,
+        session: &mut AdvisorSession<'a>,
+    ) -> Result<Partitioning, ModelError> {
+        Ok(Partitioning::row(session.request().table))
     }
 }
 
@@ -52,8 +56,11 @@ impl Advisor for ColumnLayout {
         baseline_profile()
     }
 
-    fn partition(&self, req: &PartitionRequest<'_>) -> Result<Partitioning, ModelError> {
-        Ok(Partitioning::column(req.table))
+    fn partition_session<'a>(
+        &self,
+        session: &mut AdvisorSession<'a>,
+    ) -> Result<Partitioning, ModelError> {
+        Ok(Partitioning::column(session.request().table))
     }
 }
 
@@ -107,6 +114,7 @@ impl PerfectMaterializedViews {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::advisor::PartitionRequest;
     use slicer_cost::HddCostModel;
     use slicer_model::{AttrKind, Query};
 

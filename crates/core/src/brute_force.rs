@@ -31,8 +31,11 @@ use crate::classification::{
     AlgorithmProfile, CandidatePruning, Granularity, Hardware, Replication, SearchStrategy,
     StartingPoint, SystemKind, WorkloadMode,
 };
+use crate::session::AdvisorSession;
 use slicer_cost::CostModel;
 use slicer_model::{AttrSet, ModelError, Partitioning, Query, TableSchema};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Exhaustive-search advisor.
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +52,61 @@ impl Default for BruteForce {
             threads: 0,
             max_candidates: 1 << 36,
         }
+    }
+}
+
+/// Shared budget gate for the (possibly parallel) enumeration: BruteForce
+/// has no intermediate commits, so its "step" is one evaluated candidate
+/// (see the `crate::session` docs). The gate is only constructed for
+/// budgeted sessions — the unlimited path pays zero overhead and stays
+/// bit-identical to the historical search.
+struct SearchLimit {
+    deadline: Option<Instant>,
+    /// Remaining candidate admissions (shared across workers).
+    steps_left: AtomicI64,
+    /// Set once any worker trips the deadline or drains the steps.
+    stop: AtomicBool,
+    /// Candidates actually admitted (telemetry).
+    evaluated: AtomicU64,
+}
+
+impl SearchLimit {
+    fn new(deadline: Option<Instant>, max_steps: u64) -> SearchLimit {
+        SearchLimit {
+            deadline,
+            steps_left: AtomicI64::new(max_steps.min(i64::MAX as u64) as i64),
+            stop: AtomicBool::new(false),
+            evaluated: AtomicU64::new(0),
+        }
+    }
+
+    /// Admit one more candidate, or signal the worker to stop. The
+    /// deadline is polled every ~256 admissions to keep the check off the
+    /// per-candidate hot path; `evaluated` is only incremented for
+    /// candidates that actually get evaluated, so the session's telemetry
+    /// counts no phantom work.
+    fn admit(&self) -> bool {
+        if self.stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        if self.steps_left.fetch_sub(1, Ordering::Relaxed) <= 0 {
+            self.stop.store(true, Ordering::Relaxed);
+            return false;
+        }
+        if self.evaluated.load(Ordering::Relaxed).is_multiple_of(256) {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    self.stop.store(true, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+        self.evaluated.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
     }
 }
 
@@ -117,6 +175,7 @@ impl BruteForce {
         schema: &TableSchema,
         queries: &[Query],
         cost_model: &dyn CostModel,
+        limit: Option<&SearchLimit>,
     ) -> Option<Best> {
         let m = units.len();
         let mut best: Option<Best> = None;
@@ -181,12 +240,18 @@ impl BruteForce {
             Some(p) => {
                 let mut it = slicer_combinat::PrefixedSetPartitions::new(m, p)?;
                 while let Some((changed, rgs)) = it.next_rgs_from() {
+                    if limit.is_some_and(|l| !l.admit()) {
+                        break;
+                    }
                     eval(changed, rgs, &mut best);
                 }
             }
             None => {
                 let mut it = slicer_combinat::SetPartitions::new(m);
                 while let Some((changed, rgs)) = it.next_rgs_from() {
+                    if limit.is_some_and(|l| !l.admit()) {
+                        break;
+                    }
                     eval(changed, rgs, &mut best);
                 }
             }
@@ -213,11 +278,15 @@ impl Advisor for BruteForce {
         }
     }
 
-    fn partition(&self, req: &PartitionRequest<'_>) -> Result<Partitioning, ModelError> {
+    fn partition_session<'a>(
+        &self,
+        session: &mut AdvisorSession<'a>,
+    ) -> Result<Partitioning, ModelError> {
+        let req = *session.request();
         if req.workload.is_empty() {
             return Ok(Partitioning::row(req.table));
         }
-        let units = self.units(req);
+        let units = self.units(&req);
         let m = units.len();
         let space = slicer_combinat::bell_number(m.min(40));
         if m > 40 || space > self.max_candidates {
@@ -228,6 +297,17 @@ impl Advisor for BruteForce {
                 ),
             });
         }
+        // Budgeted sessions get the shared candidate gate; unlimited runs
+        // keep the gate-free hot loop (and simply count the whole space).
+        let limit = if session.budget().is_unlimited() {
+            None
+        } else {
+            Some(SearchLimit::new(
+                session.deadline_instant(),
+                session.steps_remaining(),
+            ))
+        };
+        let limit = limit.as_ref();
         let queries = req.workload.queries().to_vec();
         let threads = if self.threads == 0 {
             std::thread::available_parallelism()
@@ -238,7 +318,7 @@ impl Advisor for BruteForce {
         };
 
         let best = if threads <= 1 || m < 8 {
-            Self::search(&units, None, req.table, &queries, req.cost_model)
+            Self::search(&units, None, req.table, &queries, req.cost_model, limit)
         } else {
             // Prefix length 4 yields 15 chunks; 5 yields 52. Pick enough
             // chunks to keep all threads busy despite skewed chunk sizes.
@@ -253,7 +333,9 @@ impl Advisor for BruteForce {
                 use rayon::prelude::*;
                 prefixes
                     .par_iter()
-                    .map(|p| Self::search(&units, Some(p), req.table, &queries, req.cost_model))
+                    .map(|p| {
+                        Self::search(&units, Some(p), req.table, &queries, req.cost_model, limit)
+                    })
                     .collect()
             } else {
                 let next = std::sync::atomic::AtomicUsize::new(0);
@@ -274,6 +356,7 @@ impl Advisor for BruteForce {
                                 req.table,
                                 &queries,
                                 req.cost_model,
+                                limit,
                             );
                             *slots[i].lock().expect("result slot") = r;
                         });
@@ -297,8 +380,29 @@ impl Advisor for BruteForce {
             acc
         };
 
-        let best = best.expect("non-empty search space");
-        Ok(Partitioning::from_disjoint_unchecked(best.groups))
+        match limit {
+            Some(l) => {
+                let evaluated = l.evaluated.load(Ordering::Relaxed);
+                session.note_candidates(evaluated);
+                session.note_steps(evaluated);
+                if l.stopped() {
+                    session.note_truncated();
+                }
+            }
+            None => {
+                // The unlimited path evaluates the whole space.
+                let all = u64::try_from(space).unwrap_or(u64::MAX);
+                session.note_candidates(all);
+                session.note_steps(all);
+            }
+        }
+        // A budget may stop the search before any candidate was admitted;
+        // the zero-work best-so-far is the row layout (the space's first
+        // candidate puts every unit in one group).
+        Ok(match best {
+            Some(b) => Partitioning::from_disjoint_unchecked(b.groups),
+            None => Partitioning::row(req.table),
+        })
     }
 }
 

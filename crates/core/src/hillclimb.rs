@@ -12,20 +12,24 @@
 //! the variant implemented here. The paper's verdict: HillClimb is the best
 //! overall knife for disk-based systems (Lesson 3).
 //!
-//! The pairwise-merge scan is driven by the shared [`CostEvaluator`]
-//! (`slicer-cost`): per-candidate costs come from incremental delta
-//! evaluation with a per-(query, read-set) memo, and the O(n²) candidate
-//! list fans out across cores. Selection replicates the sequential
-//! first-strict-minimum rule, so the layout is byte-identical to the naive
-//! path (`PartitionRequest::with_naive_evaluation`), just ≥ 5× faster on
-//! the paper's 16-attribute Lineitem workload.
+//! The pairwise-merge scan is driven by the shared
+//! [`slicer_cost::CostEvaluator`] behind the budgeted
+//! [`AdvisorSession`] driver: per-candidate costs come from incremental
+//! delta evaluation with a per-(query, read-set) memo, and the O(n²)
+//! candidate list fans out across cores. Selection replicates the
+//! sequential first-strict-minimum rule, so the layout is byte-identical
+//! to the naive path (`PartitionRequest::with_naive_evaluation`), just
+//! ≥ 5× faster on the paper's 16-attribute Lineitem workload. Under a
+//! deadline or step cap the session stops at the current (monotonically
+//! improving) layout — HillClimb is the workspace's reference anytime
+//! advisor.
 
-use crate::advisor::{improves, Advisor, PartitionRequest};
+use crate::advisor::Advisor;
 use crate::classification::{
     AlgorithmProfile, CandidatePruning, Granularity, Hardware, Replication, SearchStrategy,
     StartingPoint, SystemKind, WorkloadMode,
 };
-use slicer_cost::{first_strict_min, CostEvaluator};
+use crate::session::{AdvisorSession, SessionStep};
 use slicer_model::{ModelError, Partitioning};
 
 /// The improved (dictionary-free) HillClimb algorithm.
@@ -59,38 +63,37 @@ impl Advisor for HillClimb {
         }
     }
 
-    fn partition(&self, req: &PartitionRequest<'_>) -> Result<Partitioning, ModelError> {
+    fn partition_session<'a>(
+        &self,
+        session: &mut AdvisorSession<'a>,
+    ) -> Result<Partitioning, ModelError> {
+        let req = *session.request();
         if req.workload.is_empty() {
             return Ok(Partitioning::row(req.table));
         }
         let column = Partitioning::column(req.table);
-        let mut ev: CostEvaluator<'_> = req.evaluator(column.partitions());
-        let mut current_cost = ev.total();
+        session.seed(column.partitions());
         loop {
-            let n = ev.len();
+            let n = session.ev().len();
             if n <= 1 {
                 break;
             }
             let pairs: Vec<(usize, usize)> = (0..n)
                 .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
                 .collect();
-            let costs = ev.merge_costs(&pairs, !req.naive_eval);
-            match first_strict_min(&costs) {
-                Some((k, cost)) if improves(cost, current_cost) => {
-                    let (i, j) = pairs[k];
-                    ev.commit_merge(i, j);
-                    current_cost = cost;
-                }
-                _ => break,
+            match session.merge_step(&pairs) {
+                SessionStep::Committed { .. } => continue,
+                SessionStep::NoImprovement | SessionStep::OutOfBudget => break,
             }
         }
-        Ok(ev.partitioning())
+        Ok(session.ev().partitioning())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::advisor::PartitionRequest;
     use slicer_cost::{CostModel, DiskParams, HddCostModel, KB};
     use slicer_model::{AttrKind, Query, TableSchema, Workload};
 

@@ -16,11 +16,12 @@
 //! "2.21 % off from brute force" on TPC-H): merges straddling subgraph
 //! borders are only visible to the coarse final pass.
 
-use crate::advisor::{improves, Advisor, PartitionRequest};
+use crate::advisor::Advisor;
 use crate::classification::{
     AlgorithmProfile, CandidatePruning, Granularity, Hardware, Replication, SearchStrategy,
     StartingPoint, SystemKind, WorkloadMode,
 };
+use crate::session::{AdvisorSession, SessionStep};
 use slicer_combinat::{partition_graph, Graph};
 use slicer_model::{AttrSet, ModelError, Partitioning};
 
@@ -54,17 +55,17 @@ impl Hyrise {
     /// Greedy merging restricted to the partitions whose indices are in
     /// `active`; evaluates cost globally over `parts`.
     ///
-    /// Candidate merges are priced incrementally through the shared
+    /// Candidate merges are priced incrementally through the session's
     /// [`slicer_cost::CostEvaluator`] (which tracks the same groups as
     /// `parts`, in canonical order) and scanned in parallel; selection
-    /// replicates the sequential first-strict-minimum rule.
+    /// replicates the sequential first-strict-minimum rule. A budget stop
+    /// ends this pass (and, through the step primitives, every later
+    /// pass) at the current layout.
     fn merge_within(
-        req: &PartitionRequest<'_>,
-        ev: &mut slicer_cost::CostEvaluator<'_>,
+        session: &mut AdvisorSession<'_>,
         parts: &mut Vec<AttrSet>,
         active: &mut Vec<usize>,
     ) {
-        let mut current_cost = ev.total();
         loop {
             let mut pairs: Vec<(usize, usize)> = Vec::new();
             for x in 0..active.len() {
@@ -75,19 +76,16 @@ impl Hyrise {
             let cpairs: Vec<(usize, usize)> = pairs
                 .iter()
                 .map(|&(x, y)| {
+                    let ev = session.ev();
                     let ci = ev.index_of(parts[active[x]]).expect("part tracked");
                     let cj = ev.index_of(parts[active[y]]).expect("part tracked");
                     (ci, cj)
                 })
                 .collect();
-            let costs = ev.merge_costs(&cpairs, !req.naive_eval);
-            match slicer_cost::first_strict_min(&costs) {
-                Some((k, cost)) if improves(cost, current_cost) => {
+            match session.merge_step(&cpairs) {
+                SessionStep::Committed { index: k, .. } => {
                     let (x, y) = pairs[k];
                     let (i, j) = (active[x], active[y]);
-                    let ci = ev.index_of(parts[i]).expect("part tracked");
-                    let cj = ev.index_of(parts[j]).expect("part tracked");
-                    ev.commit_merge(ci, cj);
                     parts[i] = parts[i].union(parts[j]);
                     parts.swap_remove(j);
                     // Fix indices: the former last element moved to j.
@@ -98,9 +96,8 @@ impl Hyrise {
                             *idx = j;
                         }
                     }
-                    current_cost = cost;
                 }
-                _ => break,
+                SessionStep::NoImprovement | SessionStep::OutOfBudget => break,
             }
         }
     }
@@ -124,7 +121,11 @@ impl Advisor for Hyrise {
         }
     }
 
-    fn partition(&self, req: &PartitionRequest<'_>) -> Result<Partitioning, ModelError> {
+    fn partition_session<'a>(
+        &self,
+        session: &mut AdvisorSession<'a>,
+    ) -> Result<Partitioning, ModelError> {
+        let req = *session.request();
         if req.workload.is_empty() {
             return Ok(Partitioning::row(req.table));
         }
@@ -152,7 +153,7 @@ impl Advisor for Hyrise {
 
         // Phase 4a: merge within each subgraph.
         let mut parts: Vec<AttrSet> = primary.clone();
-        let mut ev = req.evaluator(&parts);
+        session.seed(&parts);
         // Track which `parts` index each primary partition currently maps
         // to; merging rewrites indices, so process subgraphs one at a time
         // against the evolving `parts` vector.
@@ -172,20 +173,21 @@ impl Advisor for Hyrise {
                 .collect();
             active.sort_unstable();
             active.dedup();
-            Self::merge_within(req, &mut ev, &mut parts, &mut active);
+            Self::merge_within(session, &mut parts, &mut active);
         }
 
         // Phase 4b: final cross-subgraph combination pass over everything.
         let mut all: Vec<usize> = (0..parts.len()).collect();
-        Self::merge_within(req, &mut ev, &mut parts, &mut all);
+        Self::merge_within(session, &mut parts, &mut all);
 
-        Ok(ev.partitioning())
+        Ok(session.ev().partitioning())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::advisor::PartitionRequest;
     use slicer_cost::{DiskParams, HddCostModel, KB};
     use slicer_model::{AttrKind, Query, TableSchema, Workload};
 

@@ -20,11 +20,12 @@
 //! common I/O cost model, as the paper's common-configuration methodology
 //! prescribes.
 
-use crate::advisor::{improves, Advisor, PartitionRequest};
+use crate::advisor::Advisor;
 use crate::classification::{
     AlgorithmProfile, CandidatePruning, Granularity, Hardware, Replication, SearchStrategy,
     StartingPoint, SystemKind, WorkloadMode,
 };
+use crate::session::{AdvisorSession, SessionStep};
 use slicer_combinat::{bond_energy_order, AffinityMatrix};
 use slicer_model::{AttrSet, ModelError, Partitioning, Workload};
 
@@ -58,16 +59,20 @@ impl Navathe {
 /// while the global workload cost improves. `segments` holds the current
 /// global partitioning as (lo, hi) ranges into `order`.
 ///
-/// Candidate splits are priced as incremental *moves* against the request's
+/// Candidate splits are priced as incremental *moves* against the session's
 /// [`slicer_cost::CostEvaluator`] — remove the segment's group, add its two
 /// halves — so only the queries touching the split segment are re-costed,
-/// and the per-segment candidate scan runs in parallel.
-pub(crate) fn split_ordered_sequence(req: &PartitionRequest<'_>, order: &[usize]) -> Partitioning {
+/// and the per-segment candidate scan runs in parallel. A budget stop
+/// abandons the remaining work queue and returns the splits committed so
+/// far (each one strictly improved the workload cost).
+pub(crate) fn split_ordered_sequence(
+    session: &mut AdvisorSession<'_>,
+    order: &[usize],
+) -> Partitioning {
     let n = order.len();
     let mut segments: Vec<(usize, usize)> = vec![(0, n)];
     let seg_set = |lo: usize, hi: usize| -> AttrSet { order[lo..hi].iter().copied().collect() };
-    let mut ev = req.evaluator(&[seg_set(0, n)]);
-    let mut current_cost = ev.total();
+    session.seed(&[seg_set(0, n)]);
     // Work queue of segment indices still worth trying to split. Indices
     // into `segments` stay stable because splits replace one entry with two
     // via push + in-place overwrite.
@@ -78,25 +83,26 @@ pub(crate) fn split_ordered_sequence(req: &PartitionRequest<'_>, order: &[usize]
             continue;
         }
         let whole = seg_set(lo, hi);
-        let gi = ev.index_of(whole).expect("segment tracked by evaluator");
-        let splits: Vec<usize> = ((lo + 1)..hi).collect();
-        let costs = req.scan(splits.len(), |k| {
-            let split = splits[k];
-            ev.move_cost(&[gi], &[seg_set(lo, split), seg_set(split, hi)])
-        });
-        if let Some((k, cost)) = slicer_cost::first_strict_min(&costs) {
-            if improves(cost, current_cost) {
-                let split = splits[k];
-                ev.commit_move(&[gi], &[seg_set(lo, split), seg_set(split, hi)]);
+        let gi = session
+            .ev()
+            .index_of(whole)
+            .expect("segment tracked by evaluator");
+        let cands: Vec<(usize, AttrSet, AttrSet)> = ((lo + 1)..hi)
+            .map(|split| (gi, seg_set(lo, split), seg_set(split, hi)))
+            .collect();
+        match session.split_step(&cands) {
+            SessionStep::Committed { index: k, .. } => {
+                let split = lo + 1 + k;
                 segments[si] = (lo, split);
                 segments.push((split, hi));
-                current_cost = cost;
                 queue.push(si);
                 queue.push(segments.len() - 1);
             }
+            SessionStep::NoImprovement => continue,
+            SessionStep::OutOfBudget => break,
         }
     }
-    ev.partitioning()
+    session.ev().partitioning()
 }
 
 impl Advisor for Navathe {
@@ -117,20 +123,25 @@ impl Advisor for Navathe {
         }
     }
 
-    fn partition(&self, req: &PartitionRequest<'_>) -> Result<Partitioning, ModelError> {
+    fn partition_session<'a>(
+        &self,
+        session: &mut AdvisorSession<'a>,
+    ) -> Result<Partitioning, ModelError> {
+        let req = *session.request();
         if req.workload.is_empty() {
             return Ok(Partitioning::row(req.table));
         }
         let n = req.table.attr_count();
         let matrix = Self::affinity_matrix(n, req.workload);
         let order = bond_energy_order(&matrix);
-        Ok(split_ordered_sequence(req, &order))
+        Ok(split_ordered_sequence(session, &order))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::advisor::PartitionRequest;
     use slicer_cost::{DiskParams, HddCostModel, KB};
     use slicer_model::{AttrKind, Query, TableSchema};
 

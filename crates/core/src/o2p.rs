@@ -14,13 +14,14 @@
 //! the offline algorithms. [`O2pOnline`] exposes the actual streaming
 //! interface for online use (see the `online_partitioning` example).
 
-use crate::advisor::{improves, Advisor, PartitionRequest};
+use crate::advisor::{improves, Advisor};
 use crate::classification::{
     AlgorithmProfile, CandidatePruning, Granularity, Hardware, Replication, SearchStrategy,
     StartingPoint, SystemKind, WorkloadMode,
 };
+use crate::session::AdvisorSession;
 use slicer_combinat::IncrementalBea;
-use slicer_cost::{first_strict_min, scan_candidates, CostEvaluator, CostModel};
+use slicer_cost::{first_strict_min, scan_candidates, CostEvaluator, CostModel, EvalMemos};
 use slicer_model::{AttrSet, ModelError, Partitioning, Query, TableSchema, Workload};
 
 /// The O2P algorithm, evaluated offline by streaming the workload.
@@ -49,6 +50,10 @@ pub struct O2pOnline<'a> {
     splits: Vec<usize>,
     /// Pin the per-step evaluator to the naive path (equivalence testing).
     naive_eval: bool,
+    /// Memo state recycled across the per-step evaluators (the schema and
+    /// model never change within one online stream, so the [`EvalMemos`]
+    /// reuse contract holds by construction).
+    memos: EvalMemos,
 }
 
 impl<'a> O2pOnline<'a> {
@@ -61,6 +66,7 @@ impl<'a> O2pOnline<'a> {
             history: Workload::new(),
             splits: Vec::new(),
             naive_eval: false,
+            memos: EvalMemos::new(),
         }
     }
 
@@ -69,6 +75,19 @@ impl<'a> O2pOnline<'a> {
     pub fn with_naive_evaluation(mut self) -> Self {
         self.naive_eval = true;
         self
+    }
+
+    /// Warm-start the per-step evaluators from memos harvested off an
+    /// earlier evaluator over the same table and cost model (the
+    /// [`EvalMemos`] reuse contract).
+    pub fn with_memos(mut self, memos: EvalMemos) -> Self {
+        self.memos = memos;
+        self
+    }
+
+    /// Drain the memo state for reuse by a later partitioner or session.
+    pub fn take_memos(&mut self) -> EvalMemos {
+        std::mem::take(&mut self.memos)
     }
 
     /// Number of queries observed.
@@ -96,6 +115,19 @@ impl<'a> O2pOnline<'a> {
     ///
     /// Returns the layout after the step.
     pub fn observe(&mut self, query: Query) -> Partitioning {
+        self.observe_metered(query, None)
+    }
+
+    /// [`O2pOnline::observe`] under an [`AdvisorSession`]'s budget and
+    /// telemetry: the greedy split loop checks the session budget before
+    /// every candidate scan and records scanned candidates / committed
+    /// splits. With `None` the step is unbudgeted (the historical
+    /// behavior, bit-identical).
+    pub fn observe_metered(
+        &mut self,
+        query: Query,
+        mut session: Option<&mut AdvisorSession<'_>>,
+    ) -> Partitioning {
         let attrs: Vec<usize> = query.referenced.iter().map(|a| a.index()).collect();
         let order_before = self.bea.order().to_vec();
         self.bea.observe_query(&attrs, query.weight);
@@ -120,15 +152,21 @@ impl<'a> O2pOnline<'a> {
         bounds.extend_from_slice(&self.splits);
         bounds.push(n);
         let groups: Vec<AttrSet> = bounds.windows(2).map(|w| seg_set(w[0], w[1])).collect();
-        let mut ev = CostEvaluator::new(
+        let mut ev = CostEvaluator::with_memos(
             self.cost_model,
             self.table,
             &self.history,
             &groups,
             self.naive_eval,
+            std::mem::take(&mut self.memos),
         );
         let mut current = ev.total();
         loop {
+            if let Some(s) = session.as_mut() {
+                if s.out_of_budget() {
+                    break;
+                }
+            }
             let cands: Vec<usize> = (1..n).filter(|pos| !self.splits.contains(pos)).collect();
             // Enclosing segment of each candidate position.
             let enclosing = |pos: usize| -> (usize, usize) {
@@ -154,6 +192,9 @@ impl<'a> O2pOnline<'a> {
                 let gi = ev.index_of(seg_set(lo, hi)).expect("segment tracked");
                 ev.move_cost(&[gi], &[seg_set(lo, pos), seg_set(pos, hi)])
             });
+            if let Some(s) = session.as_mut() {
+                s.note_candidates(cands.len() as u64);
+            }
             match first_strict_min(&costs) {
                 Some((k, c)) if improves(c, current) => {
                     let pos = cands[k];
@@ -163,10 +204,14 @@ impl<'a> O2pOnline<'a> {
                     self.splits.push(pos);
                     self.splits.sort_unstable();
                     current = c;
+                    if let Some(s) = session.as_mut() {
+                        s.note_steps(1);
+                    }
                 }
                 _ => break,
             }
         }
+        self.memos = ev.take_memos();
         self.layout()
     }
 }
@@ -189,17 +234,29 @@ impl Advisor for O2P {
         }
     }
 
-    fn partition(&self, req: &PartitionRequest<'_>) -> Result<Partitioning, ModelError> {
+    fn partition_session<'a>(
+        &self,
+        session: &mut AdvisorSession<'a>,
+    ) -> Result<Partitioning, ModelError> {
+        let req = *session.request();
         if req.workload.is_empty() {
             return Ok(Partitioning::row(req.table));
         }
-        let mut online = O2pOnline::new(req.table, req.cost_model);
+        // The per-observe evaluators live inside O2pOnline, not the
+        // session; carry the session's warm memos through them and hand
+        // them back so cross-run reuse (the TableManager loop) works for
+        // O2P like for the seed()-based advisors.
+        let mut online = O2pOnline::new(req.table, req.cost_model).with_memos(session.take_memos());
         if req.naive_eval {
             online = online.with_naive_evaluation();
         }
         for q in req.workload.queries() {
-            online.observe(q.clone());
+            if session.out_of_budget() {
+                break;
+            }
+            online.observe_metered(q.clone(), Some(session));
         }
+        session.give_memos(online.take_memos());
         Ok(online.layout())
     }
 }
@@ -207,6 +264,7 @@ impl Advisor for O2P {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::advisor::PartitionRequest;
     use slicer_cost::{DiskParams, HddCostModel, KB};
     use slicer_model::AttrKind;
 

@@ -1,0 +1,442 @@
+//! The shared, budgeted, anytime search driver behind every advisor.
+//!
+//! Before this module, each advisor owned its improvement loop end to end:
+//! enumerate candidates, price them, pick the first strict minimum, commit
+//! if it improves, repeat until nothing does. [`AdvisorSession`] hoists the
+//! shared skeleton — candidate pricing, winner selection, commits, budget
+//! checks, progress telemetry, and warm [`EvalMemos`] reuse across
+//! successive runs — so the advisors keep only what genuinely differs
+//! between them (which candidates to offer next, and what bookkeeping a
+//! commit implies).
+//!
+//! **Budgets and anytime results.** A [`Budget`] caps a session by
+//! wall-clock deadline and/or step count. Every improvement search in this
+//! workspace is *monotone* — a candidate is only ever committed when it
+//! strictly improves the incumbent — so the session's current state is
+//! always the best layout found so far, and stopping at any budget boundary
+//! yields a valid, complete partitioning: the anytime contract. With
+//! [`Budget::UNLIMITED`] the driver reproduces the historical loops
+//! bit-for-bit (the advisors' golden tests and the equivalence property
+//! tests pin this), which is why [`crate::Advisor::partition`] is now a
+//! thin unlimited-budget wrapper over
+//! [`crate::Advisor::partition_session`].
+//!
+//! **What a "step" is** depends on the advisor's search shape: for the
+//! greedy improvers (HillClimb, AutoPart, HYRISE, Navathe, O2P) a step is
+//! one committed improving move; for BruteForce, whose search has no
+//! intermediate commits, a step is one evaluated candidate; Trojan counts
+//! one step per candidate group it values. `candidates` counts every priced
+//! candidate across all advisors.
+
+use crate::advisor::{improves, PartitionRequest};
+use slicer_cost::{first_strict_min, scan_candidates, CostEvaluator, EvalMemos};
+use slicer_model::AttrSet;
+use std::time::{Duration, Instant};
+
+/// A resource budget for one advisor session: a wall-clock deadline and/or
+/// a step cap. Both default to unlimited; whichever trips first stops the
+/// search at the next budget checkpoint, and the session returns its
+/// best-so-far layout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock cap, measured from session construction.
+    pub deadline: Option<Duration>,
+    /// Step cap (see the module docs for what a step means per advisor).
+    pub max_steps: Option<u64>,
+}
+
+impl Budget {
+    /// No limits: the session runs to natural termination.
+    pub const UNLIMITED: Budget = Budget {
+        deadline: None,
+        max_steps: None,
+    };
+
+    /// Budget capped by wall-clock time only.
+    pub fn deadline(d: Duration) -> Budget {
+        Budget {
+            deadline: Some(d),
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// Budget capped by step count only.
+    pub fn steps(n: u64) -> Budget {
+        Budget {
+            max_steps: Some(n),
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// Add (or tighten to) a wall-clock cap.
+    pub fn with_deadline(mut self, d: Duration) -> Budget {
+        self.deadline = Some(self.deadline.map_or(d, |cur| cur.min(d)));
+        self
+    }
+
+    /// Add (or tighten to) a step cap.
+    pub fn with_max_steps(mut self, n: u64) -> Budget {
+        self.max_steps = Some(self.max_steps.map_or(n, |cur| cur.min(n)));
+        self
+    }
+
+    /// True iff neither cap is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_steps.is_none()
+    }
+}
+
+/// Progress telemetry of one session, readable at any point and after the
+/// run via [`AdvisorSession::stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionStats {
+    /// Steps taken (committed moves / evaluated candidates, per advisor).
+    pub steps: u64,
+    /// Candidates priced across all scans.
+    pub candidates: u64,
+    /// True iff a budget check stopped the search before natural
+    /// termination — the layout is best-so-far, not a local optimum.
+    pub truncated: bool,
+    /// Wall-clock time since the session was created.
+    pub elapsed: Duration,
+}
+
+/// Outcome of one budgeted step offered to the driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionStep {
+    /// The winning candidate (index into the caller's candidate list) was
+    /// committed into the evaluator; `cost` is the new total.
+    Committed {
+        /// Index of the winner in the candidate list the caller passed.
+        index: usize,
+        /// Workload cost after the commit.
+        cost: f64,
+    },
+    /// No offered candidate strictly improves the incumbent.
+    NoImprovement,
+    /// The budget was exhausted before the candidates were priced.
+    OutOfBudget,
+}
+
+/// One budgeted, anytime advisor run: owns the request, the budget clock,
+/// the incremental [`CostEvaluator`] (once seeded), and the telemetry.
+///
+/// Construct one per [`crate::Advisor::partition_session`] call; harvest
+/// [`AdvisorSession::take_memos`] afterwards to warm-start the next run
+/// over the same table and cost model.
+pub struct AdvisorSession<'a> {
+    req: PartitionRequest<'a>,
+    budget: Budget,
+    started: Instant,
+    steps: u64,
+    candidates: u64,
+    truncated: bool,
+    memos: EvalMemos,
+    evaluator: Option<CostEvaluator<'a>>,
+}
+
+impl<'a> AdvisorSession<'a> {
+    /// A session over `req` with the given budget.
+    pub fn new(req: &PartitionRequest<'a>, budget: Budget) -> AdvisorSession<'a> {
+        AdvisorSession {
+            req: *req,
+            budget,
+            started: Instant::now(),
+            steps: 0,
+            candidates: 0,
+            truncated: false,
+            memos: EvalMemos::new(),
+            evaluator: None,
+        }
+    }
+
+    /// Warm-start the session's evaluator from memos harvested off an
+    /// earlier session over the **same schema and cost model** (the
+    /// [`EvalMemos`] reuse contract).
+    pub fn with_memos(mut self, memos: EvalMemos) -> AdvisorSession<'a> {
+        self.memos = memos;
+        self
+    }
+
+    /// The request this session advises.
+    pub fn request(&self) -> &PartitionRequest<'a> {
+        &self.req
+    }
+
+    /// The session's budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Current telemetry snapshot.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            steps: self.steps,
+            candidates: self.candidates,
+            truncated: self.truncated,
+            elapsed: self.started.elapsed(),
+        }
+    }
+
+    /// Build the session's evaluator over `initial` groups, consuming the
+    /// carried memos. Advisors call this once before their first step.
+    pub fn seed(&mut self, initial: &[AttrSet]) {
+        let memos = std::mem::take(&mut self.memos);
+        self.evaluator = Some(CostEvaluator::with_memos(
+            self.req.cost_model,
+            self.req.table,
+            self.req.workload,
+            initial,
+            self.req.naive_eval,
+            memos,
+        ));
+    }
+
+    /// The seeded evaluator (panics if [`AdvisorSession::seed`] was not
+    /// called).
+    pub fn ev(&self) -> &CostEvaluator<'a> {
+        self.evaluator.as_ref().expect("session not seeded")
+    }
+
+    /// Mutable access to the seeded evaluator, for advisor bookkeeping that
+    /// goes beyond the driver's step primitives.
+    pub fn ev_mut(&mut self) -> &mut CostEvaluator<'a> {
+        self.evaluator.as_mut().expect("session not seeded")
+    }
+
+    /// Drain the memo state (evaluator-held if seeded, else the carried
+    /// set) to warm-start a later session.
+    pub fn take_memos(&mut self) -> EvalMemos {
+        match self.evaluator.as_mut() {
+            Some(ev) => ev.take_memos(),
+            None => std::mem::take(&mut self.memos),
+        }
+    }
+
+    /// Hand memo state back to an unseeded session, so callers harvesting
+    /// via [`AdvisorSession::take_memos`] still get it. Advisors that run
+    /// their own evaluators instead of seeding the session's (O2P's
+    /// per-observe history evaluators) use this to keep the warm-reuse
+    /// chain intact.
+    pub fn give_memos(&mut self, memos: EvalMemos) {
+        self.memos = memos;
+    }
+
+    /// Budget checkpoint: true iff the deadline or step cap is exhausted.
+    /// Marks the session truncated when it trips, so call it only where
+    /// work remains to be done.
+    pub fn out_of_budget(&mut self) -> bool {
+        let out = self.budget.max_steps.is_some_and(|cap| self.steps >= cap)
+            || self
+                .budget
+                .deadline
+                .is_some_and(|d| self.started.elapsed() >= d);
+        if out {
+            self.truncated = true;
+        }
+        out
+    }
+
+    /// Steps still allowed under the step cap (`u64::MAX` when uncapped).
+    pub fn steps_remaining(&self) -> u64 {
+        self.budget
+            .max_steps
+            .map_or(u64::MAX, |cap| cap.saturating_sub(self.steps))
+    }
+
+    /// Wall-clock instant the deadline expires at, if any. A deadline so
+    /// large it overflows `Instant` can never trip, so it reports `None`.
+    pub fn deadline_instant(&self) -> Option<Instant> {
+        self.budget
+            .deadline
+            .and_then(|d| self.started.checked_add(d))
+    }
+
+    /// Record `n` priced candidates (advisors with bespoke scan loops).
+    pub fn note_candidates(&mut self, n: u64) {
+        self.candidates += n;
+    }
+
+    /// Record one step (advisors with bespoke commit loops).
+    pub fn note_steps(&mut self, n: u64) {
+        self.steps += n;
+    }
+
+    /// Mark the session budget-truncated (advisors with bespoke loops).
+    pub fn note_truncated(&mut self) {
+        self.truncated = true;
+    }
+
+    /// One budgeted merge step: price merging every `(i, j)` canonical
+    /// index pair, and commit the first-strict-minimum candidate iff it
+    /// strictly improves the current cost — exactly the decision rule of
+    /// the historical per-advisor loops, so unlimited-budget sessions are
+    /// bit-identical to them.
+    pub fn merge_step(&mut self, pairs: &[(usize, usize)]) -> SessionStep {
+        if self.out_of_budget() {
+            return SessionStep::OutOfBudget;
+        }
+        let parallel = !self.req.naive_eval;
+        let ev = self.evaluator.as_mut().expect("session not seeded");
+        let costs = ev.merge_costs(pairs, parallel);
+        self.candidates += pairs.len() as u64;
+        let current = ev.total();
+        match first_strict_min(&costs) {
+            Some((k, cost)) if improves(cost, current) => {
+                let (i, j) = pairs[k];
+                ev.commit_merge(i, j);
+                self.steps += 1;
+                SessionStep::Committed { index: k, cost }
+            }
+            _ => SessionStep::NoImprovement,
+        }
+    }
+
+    /// One budgeted split step: each candidate replaces the group at
+    /// canonical index `gi` with the two halves `(left, right)`; the
+    /// first-strict-minimum improving candidate is committed. Candidates
+    /// may target different groups (O2P's per-position enclosing segments).
+    pub fn split_step(&mut self, cands: &[(usize, AttrSet, AttrSet)]) -> SessionStep {
+        if self.out_of_budget() {
+            return SessionStep::OutOfBudget;
+        }
+        let parallel = !self.req.naive_eval;
+        let ev = self.evaluator.as_ref().expect("session not seeded");
+        let costs = scan_candidates(cands.len(), parallel, |k| {
+            let (gi, left, right) = cands[k];
+            ev.move_cost(&[gi], &[left, right])
+        });
+        self.candidates += cands.len() as u64;
+        let current = ev.total();
+        match first_strict_min(&costs) {
+            Some((k, cost)) if improves(cost, current) => {
+                let (gi, left, right) = cands[k];
+                self.evaluator
+                    .as_mut()
+                    .expect("session not seeded")
+                    .commit_move(&[gi], &[left, right]);
+                self.steps += 1;
+                SessionStep::Committed { index: k, cost }
+            }
+            _ => SessionStep::NoImprovement,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicer_cost::HddCostModel;
+    use slicer_model::{AttrKind, Partitioning, Query, TableSchema, Workload};
+
+    fn fixture() -> (TableSchema, Workload) {
+        let t = TableSchema::builder("T", 800_000)
+            .attr("A", 4, AttrKind::Int)
+            .attr("B", 4, AttrKind::Int)
+            .attr("C", 8, AttrKind::Decimal)
+            .attr("D", 199, AttrKind::Text)
+            .build()
+            .unwrap();
+        let w = Workload::with_queries(
+            &t,
+            vec![
+                Query::new("q1", t.attr_set(&["A", "B"]).unwrap()),
+                Query::weighted("q2", t.attr_set(&["C", "D"]).unwrap(), 2.0),
+            ],
+        )
+        .unwrap();
+        (t, w)
+    }
+
+    #[test]
+    fn budget_combinators_tighten() {
+        let b = Budget::deadline(Duration::from_secs(5)).with_deadline(Duration::from_secs(2));
+        assert_eq!(b.deadline, Some(Duration::from_secs(2)));
+        let b = Budget::steps(10).with_max_steps(20);
+        assert_eq!(b.max_steps, Some(10));
+        assert!(Budget::UNLIMITED.is_unlimited());
+        assert!(!Budget::steps(1).is_unlimited());
+    }
+
+    #[test]
+    fn step_cap_stops_merge_steps() {
+        let (t, w) = fixture();
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        let mut s = AdvisorSession::new(&req, Budget::steps(1));
+        s.seed(Partitioning::column(&t).partitions());
+        let pairs: Vec<(usize, usize)> = (0..4)
+            .flat_map(|i| (i + 1..4).map(move |j| (i, j)))
+            .collect();
+        assert!(matches!(
+            s.merge_step(&pairs),
+            SessionStep::Committed { .. }
+        ));
+        // Second step is over budget regardless of remaining improvements.
+        let pairs: Vec<(usize, usize)> = (0..s.ev().len())
+            .flat_map(|i| (i + 1..3).map(move |j| (i, j)))
+            .collect();
+        assert_eq!(s.merge_step(&pairs), SessionStep::OutOfBudget);
+        let stats = s.stats();
+        assert_eq!(stats.steps, 1);
+        assert!(stats.truncated);
+        assert!(stats.candidates >= 6);
+    }
+
+    #[test]
+    fn zero_deadline_stops_immediately() {
+        let (t, w) = fixture();
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        let mut s = AdvisorSession::new(&req, Budget::deadline(Duration::ZERO));
+        s.seed(Partitioning::column(&t).partitions());
+        assert_eq!(s.merge_step(&[(0, 1)]), SessionStep::OutOfBudget);
+        assert!(s.stats().truncated);
+        assert_eq!(s.stats().steps, 0);
+    }
+
+    #[test]
+    fn split_step_commits_improving_split() {
+        let (t, w) = fixture();
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        let mut s = AdvisorSession::new(&req, Budget::UNLIMITED);
+        let all = t.all_attrs();
+        s.seed(&[all]);
+        // Split {A,B,C,D} into {A,B} | {C,D} among the candidates.
+        let ab = t.attr_set(&["A", "B"]).unwrap();
+        let cd = t.attr_set(&["C", "D"]).unwrap();
+        let abc = t.attr_set(&["A", "B", "C"]).unwrap();
+        let d = t.attr_set(&["D"]).unwrap();
+        match s.split_step(&[(0, ab, cd), (0, abc, d)]) {
+            SessionStep::Committed { cost, .. } => {
+                assert_eq!(cost.to_bits(), s.ev().total().to_bits());
+                assert_eq!(s.ev().len(), 2);
+            }
+            other => panic!("expected a commit, got {other:?}"),
+        }
+        assert!(!s.stats().truncated);
+        assert_eq!(s.stats().steps, 1);
+        assert_eq!(s.stats().candidates, 2);
+    }
+
+    #[test]
+    fn memos_carry_across_sessions() {
+        let (t, w) = fixture();
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        let mut s1 = AdvisorSession::new(&req, Budget::UNLIMITED);
+        s1.seed(Partitioning::column(&t).partitions());
+        let _ = s1.merge_step(&[(0, 1), (2, 3)]);
+        let memos = s1.take_memos();
+        assert!(!memos.is_empty());
+        let mut s2 = AdvisorSession::new(&req, Budget::UNLIMITED).with_memos(memos);
+        s2.seed(Partitioning::column(&t).partitions());
+        let cold_total = {
+            let mut s3 = AdvisorSession::new(&req, Budget::UNLIMITED);
+            s3.seed(Partitioning::column(&t).partitions());
+            s3.ev().total()
+        };
+        assert_eq!(s2.ev().total().to_bits(), cold_total.to_bits());
+    }
+}

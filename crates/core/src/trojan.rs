@@ -27,6 +27,7 @@ use crate::classification::{
     AlgorithmProfile, CandidatePruning, Granularity, Hardware, Replication, SearchStrategy,
     StartingPoint, SystemKind, WorkloadMode,
 };
+use crate::session::AdvisorSession;
 use slicer_combinat::{max_value_disjoint_cover, ValuedGroup, MAX_UNIVERSE};
 use slicer_model::{AttrSet, ModelError, Partitioning, Workload};
 
@@ -200,6 +201,7 @@ impl Trojan {
         req: &PartitionRequest<'_>,
         workload: &Workload,
         groups: Vec<ValuedGroup>,
+        mut session: Option<&mut AdvisorSession<'_>>,
     ) -> Vec<ValuedGroup> {
         // Each surviving group is valued independently, so the scan fans
         // out across cores (order-preserving, hence deterministic); the
@@ -237,20 +239,52 @@ impl Trojan {
                 value: benefit + 1e-9 * g.value,
             })
         };
-        if req.naive_eval {
-            groups.iter().filter_map(value_one).collect()
-        } else {
-            use rayon::prelude::*;
-            groups.par_iter().filter_map(value_one).collect()
+        // Chunked so the session budget is polled between chunks: Trojan
+        // has no improvement commits, so its "step" is one valued group
+        // (chunks shrink to the remaining step allowance), and a budget
+        // stop drops the not-yet-valued tail — the knapsack cover then
+        // works from the groups valued so far (anytime coarsening;
+        // uncovered attributes become singletons). Chunked
+        // order-preserving evaluation is result-identical to the previous
+        // whole-list scan.
+        const VALUE_CHUNK: usize = 64;
+        let mut out: Vec<ValuedGroup> = Vec::with_capacity(groups.len());
+        let mut idx = 0usize;
+        while idx < groups.len() {
+            let take = match session.as_mut() {
+                Some(s) => {
+                    if s.out_of_budget() {
+                        break;
+                    }
+                    VALUE_CHUNK.min(usize::try_from(s.steps_remaining()).unwrap_or(usize::MAX))
+                }
+                None => VALUE_CHUNK,
+            };
+            let chunk = &groups[idx..(idx + take).min(groups.len())];
+            idx += chunk.len();
+            if req.naive_eval {
+                out.extend(chunk.iter().filter_map(value_one));
+            } else {
+                use rayon::prelude::*;
+                let vals: Vec<ValuedGroup> = chunk.par_iter().filter_map(value_one).collect();
+                out.extend(vals);
+            }
+            if let Some(s) = session.as_mut() {
+                s.note_candidates(chunk.len() as u64);
+                s.note_steps(chunk.len() as u64);
+            }
         }
+        out
     }
 
     /// Core single-layout computation, shared by the unified and the
-    /// replicated modes.
+    /// replicated modes. The session (when present) budgets the valuation
+    /// scan — the algorithm's dominant cost alongside the 2ⁿ enumeration.
     fn layout_for(
         &self,
         req: &PartitionRequest<'_>,
         workload: &Workload,
+        session: Option<&mut AdvisorSession<'_>>,
     ) -> Result<Partitioning, ModelError> {
         let n = req.table.attr_count();
         if n > MAX_UNIVERSE {
@@ -262,7 +296,7 @@ impl Trojan {
         }
         let nmi = Self::normalized_mi_matrix(n, workload);
         let groups = self.interesting_groups(n, &nmi);
-        let groups = Self::cost_valued(req, workload, groups);
+        let groups = Self::cost_valued(req, workload, groups, session);
         let cover = max_value_disjoint_cover(req.table.all_attrs(), &groups);
         Ok(Partitioning::from_disjoint_unchecked(
             cover.into_iter().map(|g| g.attrs).collect(),
@@ -339,7 +373,7 @@ impl Trojan {
                 for &qi in &group {
                     w.push(queries[qi].clone());
                 }
-                self.layout_for(req, &w).map(|layout| TrojanReplica {
+                self.layout_for(req, &w, None).map(|layout| TrojanReplica {
                     query_indices: group,
                     layout,
                 })
@@ -375,11 +409,20 @@ impl Advisor for Trojan {
         }
     }
 
-    fn partition(&self, req: &PartitionRequest<'_>) -> Result<Partitioning, ModelError> {
+    fn partition_session<'a>(
+        &self,
+        session: &mut AdvisorSession<'a>,
+    ) -> Result<Partitioning, ModelError> {
+        let req = *session.request();
         if req.workload.is_empty() {
             return Ok(Partitioning::row(req.table));
         }
-        self.layout_for(req, req.workload)
+        // A budget exhausted before any work: the zero-work best-so-far is
+        // the row layout (also the creation-cheapest neutral choice).
+        if session.out_of_budget() {
+            return Ok(Partitioning::row(req.table));
+        }
+        self.layout_for(&req, req.workload, Some(session))
     }
 }
 

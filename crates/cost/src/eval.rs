@@ -104,6 +104,45 @@ impl Hasher for FxHasher {
 
 type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
+/// The evaluator's transferable memo state: the per-group size memo and the
+/// ordered-size-list cost memo, detached from any particular workload.
+///
+/// Both memos are pure functions of the *schema* and *cost model* alone —
+/// group sizes depend only on attribute widths, and the sized cost memo is
+/// only populated for models whose cost ignores group identity (the HDD
+/// kernel, priced from row count and disk parameters). Neither depends on
+/// the workload, so a caller that advises the same table repeatedly under a
+/// drifting workload (the online lifecycle) can harvest the memos from one
+/// run and seed the next run's evaluator with them, skipping the warm-up
+/// recomputation.
+///
+/// Contract: only re-inject memos into an evaluator for the **same schema
+/// and the same cost model** they were harvested from. Injecting foreign
+/// memos silently corrupts costs.
+#[derive(Default)]
+pub struct EvalMemos {
+    sizes: FxMap<AttrSet, u64>,
+    costs: FxMap<Box<[u64]>, f64>,
+}
+
+impl EvalMemos {
+    /// Fresh, empty memo state.
+    pub fn new() -> EvalMemos {
+        EvalMemos::default()
+    }
+
+    /// Number of memoized entries (group sizes + sized costs), for
+    /// telemetry.
+    pub fn len(&self) -> usize {
+        self.sizes.len() + self.costs.len()
+    }
+
+    /// True iff nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty() && self.costs.is_empty()
+    }
+}
+
 thread_local! {
     /// Per-thread scratch for candidate read sets: (groups, sizes).
     /// Evaluations run on the rayon pool's worker threads, so each worker
@@ -226,6 +265,20 @@ impl<'a> CostEvaluator<'a> {
         initial: &[AttrSet],
         naive: bool,
     ) -> Self {
+        Self::with_memos(model, schema, workload, initial, naive, EvalMemos::new())
+    }
+
+    /// [`CostEvaluator::new`], warm-started from memos harvested off an
+    /// earlier evaluator over the **same schema and model** (see
+    /// [`EvalMemos`] for the reuse contract).
+    pub fn with_memos(
+        model: &'a dyn CostModel,
+        schema: &'a TableSchema,
+        workload: &'a Workload,
+        initial: &[AttrSet],
+        naive: bool,
+        memos: EvalMemos,
+    ) -> Self {
         let queries: Vec<(AttrSet, f64)> = workload
             .queries()
             .iter()
@@ -249,8 +302,8 @@ impl<'a> CostEvaluator<'a> {
             pos_in_query: Vec::new(),
             per_query: Vec::new(),
             total: 0.0,
-            size_memo: Mutex::new(FxMap::default()),
-            cost_memo: Mutex::new(FxMap::default()),
+            size_memo: Mutex::new(memos.sizes),
+            cost_memo: Mutex::new(memos.costs),
             naive,
             sizes_only: model.sized_cost_ignores_groups(),
             patch_cache: (0..workload.len()).map(|_| None).collect(),
@@ -259,6 +312,16 @@ impl<'a> CostEvaluator<'a> {
         };
         ev.rebuild_state();
         ev
+    }
+
+    /// Drain the workload-independent memo state for reuse by a later
+    /// evaluator over the same schema and model (the online lifecycle's
+    /// warm re-advise path). This evaluator keeps working, just cold.
+    pub fn take_memos(&mut self) -> EvalMemos {
+        EvalMemos {
+            sizes: std::mem::take(self.size_memo.get_mut()),
+            costs: std::mem::take(self.cost_memo.get_mut()),
+        }
     }
 
     /// Current groups in canonical order.
@@ -1085,6 +1148,27 @@ mod tests {
         assert_eq!(ev.index_of(t.attr_set(&["A", "B"]).unwrap()), Some(0));
         assert_eq!(ev.index_of(t.attr_set(&["C", "D"]).unwrap()), Some(1));
         assert_eq!(ev.index_of(t.attr_set(&["A"]).unwrap()), None);
+    }
+
+    #[test]
+    fn memos_transfer_between_evaluators() {
+        let (t, w) = fixture();
+        let m = HddCostModel::paper_testbed();
+        let col = Partitioning::column(&t);
+        let mut ev = CostEvaluator::new(&m, &t, &w, col.partitions(), false);
+        let _ = ev.merge_costs(&[(0, 1), (2, 3)], false);
+        let memos = ev.take_memos();
+        assert!(!memos.is_empty());
+        // A warm-started evaluator is bit-identical to a cold one.
+        let mut warm = CostEvaluator::with_memos(&m, &t, &w, col.partitions(), false, memos);
+        let mut cold = CostEvaluator::new(&m, &t, &w, col.partitions(), false);
+        assert_eq!(warm.total().to_bits(), cold.total().to_bits());
+        let pairs = [(0, 1), (1, 2), (2, 3)];
+        let wc = warm.merge_costs(&pairs, false);
+        let cc = cold.merge_costs(&pairs, false);
+        for (a, b) in wc.iter().zip(&cc) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ mod mm;
 mod params;
 mod traits;
 
-pub use eval::{first_strict_min, scan_candidates, CostEvaluator};
+pub use eval::{first_strict_min, scan_candidates, CostEvaluator, EvalMemos};
 pub use hdd::{HddCostModel, HddWorkloadEvaluator};
 pub use mm::MainMemoryCostModel;
 pub use params::{CacheParams, DiskParams, KB, MB};

@@ -1,0 +1,127 @@
+//! Shared plumbing for the `BENCH_*.json` perf records.
+//!
+//! Every benchmark binary (`opt_bench`, `scan_bench`, `online_bench`)
+//! writes one JSON record per run so the perf trajectory is tracked across
+//! PRs. This module centralizes what used to be duplicated per binary —
+//! the median helper, the serialize-write-print tail — and stamps every
+//! record with the provenance needed to attribute a data point later: the
+//! git commit it was measured at, the UTC wall-clock time, and the worker
+//! thread count (the single biggest hardware factor for the parallel
+//! paths).
+
+use serde::Serialize;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Provenance stamp embedded in every benchmark record.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchStamp {
+    /// `git rev-parse --short HEAD` at measurement time (`"unknown"`
+    /// outside a git checkout).
+    pub git_sha: String,
+    /// UTC timestamp, ISO-8601 (`YYYY-MM-DDThh:mm:ssZ`).
+    pub timestamp_utc: String,
+    /// Rayon worker threads available to the parallel paths.
+    pub worker_threads: usize,
+}
+
+impl BenchStamp {
+    /// Collect the stamp for the current process and repository.
+    pub fn collect() -> BenchStamp {
+        BenchStamp {
+            git_sha: git_short_sha().unwrap_or_else(|| "unknown".to_string()),
+            timestamp_utc: iso8601_utc(
+                SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0),
+            ),
+            worker_threads: rayon::current_num_threads(),
+        }
+    }
+}
+
+fn git_short_sha() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let sha = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!sha.is_empty()).then_some(sha)
+}
+
+/// Seconds-since-epoch → `YYYY-MM-DDThh:mm:ssZ` (proleptic Gregorian,
+/// civil-from-days; no external time crate in the offline build).
+fn iso8601_utc(epoch_secs: u64) -> String {
+    let days = (epoch_secs / 86_400) as i64;
+    let secs = epoch_secs % 86_400;
+    // Howard Hinnant's civil_from_days.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!(
+        "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}Z",
+        y,
+        m,
+        d,
+        secs / 3600,
+        (secs % 3600) / 60,
+        secs % 60
+    )
+}
+
+/// Median of a non-empty sample (upper median for even sizes, matching the
+/// historical per-binary helpers).
+pub fn median(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty(), "median of an empty sample");
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    xs[xs.len() / 2]
+}
+
+/// Serialize `record` pretty-printed, write it to `path` (with a trailing
+/// newline), and echo it to stdout — the shared tail of every benchmark
+/// binary.
+pub fn write_report<T: Serialize>(path: &str, record: &T) {
+    let json = serde_json::to_string_pretty(record).expect("record serializes");
+    std::fs::write(path, format!("{json}\n")).expect("write benchmark record");
+    println!("{json}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_matches_sorted_midpoint() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 3.0, 2.0]), 3.0);
+        assert_eq!(median(vec![5.0]), 5.0);
+    }
+
+    #[test]
+    fn iso8601_known_instants() {
+        assert_eq!(iso8601_utc(0), "1970-01-01T00:00:00Z");
+        // `date -u -d @1753660800` → 2025-07-28 00:00:00 UTC.
+        assert_eq!(iso8601_utc(1_753_660_800), "2025-07-28T00:00:00Z");
+        // Leap-year day: 2024-02-29 12:34:56 UTC.
+        assert_eq!(iso8601_utc(1_709_210_096), "2024-02-29T12:34:56Z");
+    }
+
+    #[test]
+    fn stamp_has_worker_threads_and_timestamp() {
+        let s = BenchStamp::collect();
+        assert!(s.worker_threads >= 1);
+        assert_eq!(s.timestamp_utc.len(), 20);
+        assert!(s.timestamp_utc.ends_with('Z'));
+        assert!(!s.git_sha.is_empty());
+    }
+}

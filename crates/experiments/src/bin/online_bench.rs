@@ -1,0 +1,262 @@
+//! `online_bench` — record the layout lifecycle end to end.
+//!
+//! Streams the pricing → logistics phase shift over TPC-H Lineitem (the
+//! `online_partitioning` example's drift scenario) through a
+//! [`TableManager`]: every query is scanned against the live
+//! [`StoredTable`], lands in the sliding window, and on the re-advise
+//! cadence the manager runs a budgeted HillClimb session and applies the
+//! paper's payoff test before re-slicing the table in place.
+//!
+//! The JSON record captures, per phase: estimated per-query cost under the
+//! layout at phase start and end (and the row baseline), the number of
+//! payoff-approved re-partitionings, measured scan I/O/CPU, and the
+//! quality of a step-capped advisor session against the unlimited one over
+//! the same end-of-phase window. The run fails (exit 1) unless at least
+//! one payoff-triggered `repartition()` happened and the re-sliced table's
+//! scan checksums are identical to a fresh load of the final layout.
+//!
+//! ```text
+//! online_bench [--rows N] [--phase-queries N] [--out FILE]
+//! ```
+//!
+//! Defaults: 20 000 rows, 48 queries per phase, `BENCH_online.json`.
+
+use serde::Serialize;
+use slicer_core::{Advisor, AdvisorSession, Budget, HillClimb, PartitionRequest};
+use slicer_cost::{CostModel, HddCostModel};
+use slicer_experiments::{write_report, BenchStamp};
+use slicer_lifecycle::{RepartitionDecision, TableManager, TableManagerConfig};
+use slicer_model::{Partitioning, Query, TableSchema, Workload};
+use slicer_storage::{generate_table, scan_naive, CompressionPolicy, StoredTable};
+use slicer_workloads::tpch;
+
+#[derive(Debug, Serialize)]
+struct PhaseRecord {
+    phase: String,
+    queries: usize,
+    partitions_at_end: usize,
+    layout_at_end: String,
+    /// Estimated seconds per phase query under the row baseline.
+    row_cost_per_query: f64,
+    /// ... under the layout the phase started with.
+    cost_per_query_at_start: f64,
+    /// ... under the layout the phase ended with.
+    cost_per_query_at_end: f64,
+    repartitions: u64,
+    rejected_by_payoff: u64,
+    scan_io_seconds: f64,
+    scan_cpu_seconds: f64,
+    /// Step-capped HillClimb quality on the end-of-phase window, relative
+    /// to the unlimited session (1.0 = matches the unlimited layout).
+    budget_capped_cost_ratio: f64,
+    budget_capped_steps: u64,
+    budget_capped_truncated: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct OnlineRecord {
+    benchmark: String,
+    stamp: BenchStamp,
+    table: String,
+    attrs: usize,
+    rows: usize,
+    window: usize,
+    advise_every: u64,
+    payoff_horizon: f64,
+    phases: Vec<PhaseRecord>,
+    total_repartitions: u64,
+    total_rejected_by_payoff: u64,
+    advisor_runs: u64,
+    advisor_seconds: f64,
+    repartition_io_seconds: f64,
+    repartition_cpu_seconds: f64,
+    checksums_identical_to_fresh_load: bool,
+    notes: String,
+}
+
+/// Cost of one phase query under `layout`, in estimated seconds.
+fn query_cost(schema: &TableSchema, model: &HddCostModel, layout: &Partitioning, q: &Query) -> f64 {
+    model.query_cost(schema, layout, q)
+}
+
+/// Quality of a step-capped session vs the unlimited one on `window`.
+fn capped_vs_unlimited(
+    schema: &TableSchema,
+    model: &HddCostModel,
+    window: &Workload,
+) -> (f64, u64, bool) {
+    let req = PartitionRequest::new(schema, window, model);
+    let advisor = HillClimb::new();
+    let mut capped = AdvisorSession::new(&req, Budget::steps(2));
+    let capped_layout = advisor
+        .partition_session(&mut capped)
+        .expect("HillClimb succeeds");
+    let unlimited_layout = advisor.partition(&req).expect("HillClimb succeeds");
+    let c = model.workload_cost(schema, &capped_layout, window);
+    let u = model.workload_cost(schema, &unlimited_layout, window);
+    let stats = capped.stats();
+    (c / u, stats.steps, stats.truncated)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rows = 20_000usize;
+    let mut phase_queries = 48usize;
+    let mut out = "BENCH_online.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rows" => {
+                i += 1;
+                rows = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(rows)
+                    .max(1);
+            }
+            "--phase-queries" => {
+                i += 1;
+                phase_queries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(phase_queries)
+                    .max(1);
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or(out);
+            }
+            other => {
+                eprintln!(
+                    "usage: online_bench [--rows N] [--phase-queries N] [--out FILE] (got `{other}`)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let schema = tpch::table(tpch::TpchTable::Lineitem, 1.0).with_row_count(rows as u64);
+    let data = generate_table(&schema, rows, 7);
+    let model = HddCostModel::paper_testbed();
+    let row = Partitioning::row(&schema);
+    let table = StoredTable::load(&schema, &data, &row, CompressionPolicy::Default);
+
+    let cfg = TableManagerConfig {
+        window: 32,
+        advise_every: 8,
+        budget: Budget::UNLIMITED,
+        payoff_horizon: 64.0,
+    };
+    let mut manager = TableManager::new(table, Box::new(HillClimb::new()), model, cfg);
+
+    // The example's two application phases over Lineitem.
+    let pricing = Query::new(
+        "pricing",
+        schema
+            .attr_set(&["Quantity", "ExtendedPrice", "Discount", "ShipDate"])
+            .expect("Lineitem attrs"),
+    );
+    let logistics = Query::new(
+        "logistics",
+        schema
+            .attr_set(&["OrderKey", "CommitDate", "ReceiptDate", "ShipMode"])
+            .expect("Lineitem attrs"),
+    );
+
+    let mut phases = Vec::new();
+    for (name, q) in [("pricing", &pricing), ("logistics", &logistics)] {
+        let start_layout = manager.layout().clone();
+        let stats_before = *manager.stats();
+        for _ in 0..phase_queries {
+            let (_, decision) = manager.execute(q.clone()).expect("valid drift query");
+            if let RepartitionDecision::Applied(ev) = &decision {
+                eprintln!(
+                    "online_bench: [{name}] repartitioned at query {} \
+                     ({} kept / {} rebuilt files, pays off in {:.2} executions)",
+                    ev.at_query,
+                    ev.stats.files_kept,
+                    ev.stats.files_rebuilt,
+                    ev.payoff.executions_to_pay_off().unwrap_or(f64::NAN)
+                );
+            }
+        }
+        let stats_after = *manager.stats();
+        let (ratio, capped_steps, capped_truncated) =
+            capped_vs_unlimited(&schema, &model, &manager.window());
+        phases.push(PhaseRecord {
+            phase: name.to_string(),
+            queries: phase_queries,
+            partitions_at_end: manager.layout().len(),
+            layout_at_end: manager.layout().render(&schema),
+            row_cost_per_query: query_cost(&schema, &model, &row, q),
+            cost_per_query_at_start: query_cost(&schema, &model, &start_layout, q),
+            cost_per_query_at_end: query_cost(&schema, &model, manager.layout(), q),
+            repartitions: stats_after.repartitions - stats_before.repartitions,
+            rejected_by_payoff: stats_after.rejected_by_payoff - stats_before.rejected_by_payoff,
+            scan_io_seconds: stats_after.scan_io_seconds - stats_before.scan_io_seconds,
+            scan_cpu_seconds: stats_after.scan_cpu_seconds - stats_before.scan_cpu_seconds,
+            budget_capped_cost_ratio: ratio,
+            budget_capped_steps: capped_steps,
+            budget_capped_truncated: capped_truncated,
+        });
+        eprintln!(
+            "online_bench: [{name}] {} repartitions, per-query cost {:.4}s → {:.4}s \
+             (row baseline {:.4}s), capped/unlimited quality {:.3}",
+            phases.last().expect("just pushed").repartitions,
+            phases.last().expect("just pushed").cost_per_query_at_start,
+            phases.last().expect("just pushed").cost_per_query_at_end,
+            phases.last().expect("just pushed").row_cost_per_query,
+            ratio,
+        );
+    }
+
+    // The acceptance oracle: the re-sliced table must be indistinguishable
+    // from a fresh load of the final layout.
+    let fresh = StoredTable::load(&schema, &data, manager.layout(), CompressionPolicy::Default);
+    let disk = model.params();
+    let mut identical = true;
+    for q in [&pricing, &logistics] {
+        let a = scan_naive(manager.table(), q.referenced, &disk);
+        let b = scan_naive(&fresh, q.referenced, &disk);
+        identical &= a.checksum == b.checksum && a.bytes_read == b.bytes_read;
+    }
+    let all = scan_naive(manager.table(), schema.all_attrs(), &disk);
+    let all_fresh = scan_naive(&fresh, schema.all_attrs(), &disk);
+    identical &= all.checksum == all_fresh.checksum && all.bytes_read == all_fresh.bytes_read;
+
+    let stats = *manager.stats();
+    let record = OnlineRecord {
+        benchmark: "online_lifecycle".to_string(),
+        stamp: BenchStamp::collect(),
+        table: schema.name().to_string(),
+        attrs: schema.attr_count(),
+        rows,
+        window: cfg.window,
+        advise_every: cfg.advise_every,
+        payoff_horizon: cfg.payoff_horizon,
+        phases,
+        total_repartitions: stats.repartitions,
+        total_rejected_by_payoff: stats.rejected_by_payoff,
+        advisor_runs: stats.advisor_runs,
+        advisor_seconds: stats.advisor_seconds,
+        repartition_io_seconds: stats.repartition_io_seconds,
+        repartition_cpu_seconds: stats.repartition_cpu_seconds,
+        checksums_identical_to_fresh_load: identical,
+        notes: "pricing → logistics phase shift over TPC-H Lineitem through the TableManager: \
+                sliding-window re-advise (HillClimb sessions, warm evaluator memos), payoff test \
+                on amortized layout_creation_time, in-place StoredTable::repartition; \
+                budget-capped quality = 2-step HillClimb session vs unlimited on the same window"
+            .to_string(),
+    };
+    write_report(&out, &record);
+    eprintln!("online_bench: wrote {out}");
+    if stats.repartitions == 0 {
+        eprintln!("online_bench: FAIL — the drift never triggered a payoff-approved repartition");
+        std::process::exit(1);
+    }
+    if !identical {
+        eprintln!("online_bench: FAIL — repartitioned table diverges from a fresh load");
+        std::process::exit(1);
+    }
+}

@@ -16,6 +16,7 @@
 use serde::Serialize;
 use slicer_core::{Advisor, HillClimb, PartitionRequest};
 use slicer_cost::HddCostModel;
+use slicer_experiments::{median, write_report, BenchStamp};
 use slicer_model::Partitioning;
 use slicer_workloads::tpch;
 use std::time::Instant;
@@ -23,6 +24,7 @@ use std::time::Instant;
 #[derive(Debug, Serialize)]
 struct OptTimeRecord {
     benchmark: String,
+    stamp: BenchStamp,
     table: String,
     attrs: usize,
     queries: usize,
@@ -33,13 +35,7 @@ struct OptTimeRecord {
     speedup: f64,
     layouts_identical: bool,
     layout: String,
-    worker_threads: usize,
     notes: String,
-}
-
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-    xs[xs.len() / 2]
 }
 
 fn time_runs(req: &PartitionRequest<'_>, runs: usize) -> (Vec<f64>, Partitioning) {
@@ -113,6 +109,7 @@ fn main() {
     let naive_med = median(naive_times);
     let record = OptTimeRecord {
         benchmark: "hillclimb_opt_time".to_string(),
+        stamp: BenchStamp::collect(),
         table: schema.name().to_string(),
         attrs: schema.attr_count(),
         queries: workload.len(),
@@ -123,15 +120,12 @@ fn main() {
         speedup: naive_med / fast_med,
         layouts_identical: identical,
         layout: fast_layout.render(schema),
-        worker_threads: rayon::current_num_threads(),
         notes: "naive path reproduces the seed evaluation (fresh partitioning + per-query \
                 read-set allocation per candidate); evaluator path = incremental + memoized \
                 (+ parallel scans when more than one core is available)"
             .to_string(),
     };
-    let json = serde_json::to_string_pretty(&record).expect("record serializes");
-    std::fs::write(&out, format!("{json}\n")).expect("write benchmark record");
-    println!("{json}");
+    write_report(&out, &record);
     eprintln!("opt_bench: wrote {out}");
     if !identical {
         eprintln!("opt_bench: FAIL — naive and evaluator layouts diverge");

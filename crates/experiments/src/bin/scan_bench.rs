@@ -25,6 +25,7 @@
 use serde::Serialize;
 use slicer_core::{Advisor, HillClimb, PartitionRequest};
 use slicer_cost::{DiskParams, HddCostModel};
+use slicer_experiments::{median, write_report, BenchStamp};
 use slicer_model::Partitioning;
 use slicer_storage::{generate_table, scan_naive, CompressionPolicy, ScanExecutor, StoredTable};
 use slicer_workloads::tpch;
@@ -43,6 +44,7 @@ struct PolicyRecord {
 #[derive(Debug, Serialize)]
 struct ScanTimeRecord {
     benchmark: String,
+    stamp: BenchStamp,
     table: String,
     attrs: usize,
     queries: usize,
@@ -51,13 +53,7 @@ struct ScanTimeRecord {
     runs: usize,
     policies: Vec<PolicyRecord>,
     min_speedup: f64,
-    worker_threads: usize,
     notes: String,
-}
-
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-    xs[xs.len() / 2]
 }
 
 fn main() {
@@ -203,6 +199,7 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     let record = ScanTimeRecord {
         benchmark: "storage_scan_time".to_string(),
+        stamp: BenchStamp::collect(),
         table: schema.name().to_string(),
         attrs: schema.attr_count(),
         queries: projections.len(),
@@ -211,7 +208,6 @@ fn main() {
         runs,
         policies,
         min_speedup,
-        worker_threads: rayon::current_num_threads(),
         notes: "cold-cache CPU seconds summed over all Lineitem projections on the \
                 row/column/HillClimb layouts (paper Table 7); naive path = the original \
                 materialize-then-iterate oracle, executor path = vectorized cursors \
@@ -219,9 +215,7 @@ fn main() {
                 simulated io_seconds identical by construction and elided"
             .to_string(),
     };
-    let json = serde_json::to_string_pretty(&record).expect("record serializes");
-    std::fs::write(&out, format!("{json}\n")).expect("write benchmark record");
-    println!("{json}");
+    write_report(&out, &record);
     eprintln!("scan_bench: wrote {out}");
     if !all_identical {
         eprintln!("scan_bench: FAIL — executor diverges from the naive oracle");

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod bench_report;
 pub mod benchmarks_exp;
 pub mod common;
 pub mod fragility_exp;
@@ -22,6 +23,7 @@ pub mod storage_exp;
 pub mod sweet_spots;
 pub mod workload_scaling;
 
+pub use bench_report::{median, write_report, BenchStamp};
 pub use common::Config;
 pub use report::{Report, ReportTable};
 

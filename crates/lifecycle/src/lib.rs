@@ -1,0 +1,33 @@
+//! # slicer-lifecycle
+//!
+//! Partitioning as a *lifecycle*, not a one-shot call. The paper's payoff
+//! analysis (Appendix A.1, Figure 10) and its re-optimization sweeps
+//! (Figures 9/12/13) both ask the same operational question: *when is it
+//! worth moving a live table to a better layout?* This crate answers it
+//! end to end:
+//!
+//! * [`TableManager`] serves scans over a [`slicer_storage::StoredTable`]
+//!   while streaming every query into a sliding-window workload
+//!   ([`slicer_model::SlidingWorkload`]);
+//! * on a configurable cadence it re-advises the window under a
+//!   [`slicer_core::Budget`] (anytime, best-so-far — heavy traffic cannot
+//!   wait for an unbounded search), reusing warm
+//!   [`slicer_cost::EvalMemos`] across successive runs;
+//! * a candidate layout is adopted only when the paper's payoff test says
+//!   the investment amortizes — `optimization time + layout creation
+//!   time` against the per-window-execution saving — within the
+//!   configured horizon;
+//! * adoption happens through [`slicer_storage::StoredTable::repartition`],
+//!   the in-place incremental re-slice, not a full reload.
+//!
+//! The `online_bench` binary in `slicer-experiments` drives a pricing →
+//! logistics phase shift over TPC-H Lineitem through this manager and
+//! records the resulting `BENCH_online.json`.
+
+#![warn(missing_docs)]
+
+mod manager;
+
+pub use manager::{
+    ManagerStats, RepartitionDecision, RepartitionEvent, TableManager, TableManagerConfig,
+};

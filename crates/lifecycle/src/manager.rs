@@ -1,0 +1,449 @@
+//! The [`TableManager`]: one live table, served and re-sliced online.
+
+use slicer_core::{Advisor, AdvisorSession, Budget, PartitionRequest};
+use slicer_cost::{CostModel, DiskParams, EvalMemos, HddCostModel};
+use slicer_metrics::Payoff;
+use slicer_model::{ModelError, Partitioning, Query, SlidingWorkload};
+use slicer_storage::{scan, RepartitionStats, ScanResult, StoredTable};
+
+/// Tuning knobs of one [`TableManager`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableManagerConfig {
+    /// Sliding-window capacity in queries: the workload the advisor sees.
+    pub window: usize,
+    /// Re-advise after every this many executed queries.
+    pub advise_every: u64,
+    /// Budget for each advisor run (anytime best-so-far under deadline
+    /// and/or step caps; see [`Budget`]).
+    pub budget: Budget,
+    /// Payoff horizon in *window workload executions*: a candidate layout
+    /// is adopted only when `optimization time + layout creation time`
+    /// amortizes against the per-execution saving within this many
+    /// executions of the windowed workload (the paper's Figure 10 payoff
+    /// test, applied online).
+    pub payoff_horizon: f64,
+}
+
+impl Default for TableManagerConfig {
+    fn default() -> Self {
+        TableManagerConfig {
+            window: 64,
+            advise_every: 16,
+            budget: Budget::UNLIMITED,
+            payoff_horizon: 16.0,
+        }
+    }
+}
+
+/// Aggregate counters over a manager's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ManagerStats {
+    /// Queries executed.
+    pub queries: u64,
+    /// Advisor sessions run.
+    pub advisor_runs: u64,
+    /// Advisor sessions stopped by their budget (best-so-far layouts).
+    pub truncated_runs: u64,
+    /// Re-partitionings applied.
+    pub repartitions: u64,
+    /// Candidate layouts rejected by the payoff test.
+    pub rejected_by_payoff: u64,
+    /// Simulated scan I/O seconds, summed.
+    pub scan_io_seconds: f64,
+    /// Measured scan CPU seconds, summed.
+    pub scan_cpu_seconds: f64,
+    /// Compressed bytes read by scans, summed.
+    pub bytes_read: u64,
+    /// Wall-clock seconds spent in advisor sessions, summed.
+    pub advisor_seconds: f64,
+    /// Modeled incremental I/O seconds spent re-partitioning, summed.
+    pub repartition_io_seconds: f64,
+    /// Measured CPU seconds spent re-partitioning, summed.
+    pub repartition_cpu_seconds: f64,
+}
+
+/// One applied re-partitioning.
+#[derive(Debug, Clone)]
+pub struct RepartitionEvent {
+    /// Query count at which the move happened.
+    pub at_query: u64,
+    /// The layout moved away from.
+    pub old_layout: Partitioning,
+    /// The layout moved to.
+    pub new_layout: Partitioning,
+    /// Windowed workload cost under the old layout.
+    pub old_cost: f64,
+    /// Windowed workload cost under the new layout.
+    pub new_cost: f64,
+    /// The payoff analysis that green-lit the move.
+    pub payoff: Payoff,
+    /// What the in-place re-slice touched and cost.
+    pub stats: RepartitionStats,
+    /// True iff the advisor session that produced the layout was stopped
+    /// by its budget (the layout is best-so-far, not a local optimum).
+    pub truncated_search: bool,
+}
+
+/// Outcome of the re-advise check after one executed query.
+#[derive(Debug, Clone)]
+pub enum RepartitionDecision {
+    /// The re-advise cadence has not come up yet.
+    NotDue,
+    /// The advisor confirmed the current layout (or an empty window).
+    NoChange,
+    /// A better layout exists but does not amortize within the horizon.
+    Rejected {
+        /// The failed payoff analysis (its
+        /// [`Payoff::executions_to_pay_off`] exceeds the horizon, or the
+        /// saving is non-positive).
+        payoff: Payoff,
+    },
+    /// The table was re-sliced in place.
+    Applied(Box<RepartitionEvent>),
+    /// The advisor session itself failed (e.g. the configured advisor
+    /// cannot handle the table — BruteForce over too large a space,
+    /// Trojan over too wide a schema). The layout is unchanged; the query
+    /// that triggered the cadence was still served and windowed.
+    Failed {
+        /// The advisor's error.
+        error: ModelError,
+    },
+}
+
+/// Serves scans over one [`StoredTable`] while adapting its layout to the
+/// observed workload: every query lands in a sliding window; on a cadence
+/// the window is re-advised under a budget (with warm evaluator memos
+/// carried across runs); and when the payoff test approves, the table is
+/// re-sliced in place via [`StoredTable::repartition`].
+pub struct TableManager {
+    table: StoredTable,
+    advisor: Box<dyn Advisor>,
+    cost: HddCostModel,
+    disk: DiskParams,
+    window: SlidingWorkload,
+    cfg: TableManagerConfig,
+    memos: EvalMemos,
+    stats: ManagerStats,
+}
+
+impl TableManager {
+    /// Manage `table`, re-advising with `advisor` under `cost` (whose disk
+    /// parameters also drive the simulated scan I/O).
+    ///
+    /// # Panics
+    /// If `cfg.advise_every` is zero (the advisor would never run) or
+    /// `cfg.window` is zero (rejected by [`SlidingWorkload::new`]).
+    pub fn new(
+        table: StoredTable,
+        advisor: Box<dyn Advisor>,
+        cost: HddCostModel,
+        cfg: TableManagerConfig,
+    ) -> TableManager {
+        assert!(cfg.advise_every > 0, "advise cadence must be positive");
+        let disk = cost.params();
+        let window = SlidingWorkload::new(cfg.window);
+        TableManager {
+            table,
+            advisor,
+            cost,
+            disk,
+            window,
+            cfg,
+            memos: EvalMemos::new(),
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// The managed table.
+    pub fn table(&self) -> &StoredTable {
+        &self.table
+    }
+
+    /// The table's current layout.
+    pub fn layout(&self) -> &Partitioning {
+        &self.table.layout
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &ManagerStats {
+        &self.stats
+    }
+
+    /// The current sliding window, snapshotted.
+    pub fn window(&self) -> slicer_model::Workload {
+        self.window.workload()
+    }
+
+    /// Execute one query: scan the table under the current layout, record
+    /// the query into the sliding window, and — on the configured cadence —
+    /// re-advise and possibly re-slice.
+    ///
+    /// `Err` means the query does not fit the table's schema and was *not*
+    /// served or windowed (the window bypasses `Workload`'s validated
+    /// constructors, so the gate lives here). A failing advisor never
+    /// discards a served scan: it surfaces as
+    /// [`RepartitionDecision::Failed`] alongside the result.
+    pub fn execute(
+        &mut self,
+        query: Query,
+    ) -> Result<(ScanResult, RepartitionDecision), ModelError> {
+        query.validate(&self.table.schema)?;
+        let result = scan(&self.table, query.referenced, &self.disk);
+        self.stats.queries += 1;
+        self.stats.scan_io_seconds += result.io_seconds;
+        self.stats.scan_cpu_seconds += result.cpu_seconds;
+        self.stats.bytes_read += result.bytes_read;
+        self.window.observe(query);
+        let decision = if self.stats.queries.is_multiple_of(self.cfg.advise_every) {
+            self.advise_now()
+                .unwrap_or_else(|error| RepartitionDecision::Failed { error })
+        } else {
+            RepartitionDecision::NotDue
+        };
+        Ok((result, decision))
+    }
+
+    /// Run one budgeted advisor session over the current window and apply
+    /// the payoff test, regardless of cadence.
+    pub fn advise_now(&mut self) -> Result<RepartitionDecision, ModelError> {
+        if self.window.is_empty() {
+            return Ok(RepartitionDecision::NoChange);
+        }
+        let window = self.window.workload();
+        let candidate;
+        let session_stats;
+        {
+            let schema = &self.table.schema;
+            let req = PartitionRequest::new(schema, &window, &self.cost);
+            let mut session = AdvisorSession::new(&req, self.cfg.budget)
+                .with_memos(std::mem::take(&mut self.memos));
+            let outcome = self.advisor.partition_session(&mut session);
+            self.memos = session.take_memos();
+            session_stats = session.stats();
+            candidate = outcome?;
+        }
+        self.stats.advisor_runs += 1;
+        self.stats.advisor_seconds += session_stats.elapsed.as_secs_f64();
+        if session_stats.truncated {
+            self.stats.truncated_runs += 1;
+        }
+        if candidate == self.table.layout {
+            return Ok(RepartitionDecision::NoChange);
+        }
+        let schema = &self.table.schema;
+        let old_cost = self.cost.workload_cost(schema, &self.table.layout, &window);
+        let new_cost = self.cost.workload_cost(schema, &candidate, &window);
+        let payoff = Payoff {
+            optimization_time: session_stats.elapsed.as_secs_f64(),
+            creation_time: self.cost.layout_creation_time(schema, &candidate),
+            saving_per_execution: old_cost - new_cost,
+        };
+        match payoff.executions_to_pay_off() {
+            Some(executions) if executions <= self.cfg.payoff_horizon => {
+                let old_layout = self.table.layout.clone();
+                let stats = self.table.repartition(&candidate, &self.disk);
+                self.stats.repartitions += 1;
+                self.stats.repartition_io_seconds += stats.io_seconds;
+                self.stats.repartition_cpu_seconds += stats.cpu_seconds;
+                Ok(RepartitionDecision::Applied(Box::new(RepartitionEvent {
+                    at_query: self.stats.queries,
+                    old_layout,
+                    new_layout: candidate,
+                    old_cost,
+                    new_cost,
+                    payoff,
+                    stats,
+                    truncated_search: session_stats.truncated,
+                })))
+            }
+            _ => {
+                self.stats.rejected_by_payoff += 1;
+                Ok(RepartitionDecision::Rejected { payoff })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicer_core::HillClimb;
+    use slicer_model::TableSchema;
+    use slicer_storage::{generate_table, scan_naive, CompressionPolicy};
+    use slicer_workloads::tpch;
+
+    const ROWS: usize = 4000;
+
+    fn lineitem() -> TableSchema {
+        tpch::table(tpch::TpchTable::Lineitem, 1.0).with_row_count(ROWS as u64)
+    }
+
+    fn manager(cfg: TableManagerConfig) -> TableManager {
+        let schema = lineitem();
+        let data = generate_table(&schema, ROWS, 7);
+        let table = StoredTable::load(
+            &schema,
+            &data,
+            &Partitioning::row(&schema),
+            CompressionPolicy::Default,
+        );
+        TableManager::new(
+            table,
+            Box::new(HillClimb::new()),
+            HddCostModel::paper_testbed(),
+            cfg,
+        )
+    }
+
+    fn pricing(schema: &TableSchema) -> Query {
+        Query::new(
+            "pricing",
+            schema
+                .attr_set(&["Quantity", "ExtendedPrice", "Discount", "ShipDate"])
+                .unwrap(),
+        )
+    }
+
+    fn logistics(schema: &TableSchema) -> Query {
+        Query::new(
+            "logistics",
+            schema
+                .attr_set(&["OrderKey", "CommitDate", "ReceiptDate", "ShipMode"])
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn drift_triggers_payoff_gated_repartitions() {
+        let mut m = manager(TableManagerConfig {
+            window: 16,
+            advise_every: 8,
+            budget: Budget::UNLIMITED,
+            payoff_horizon: 64.0,
+        });
+        let schema = lineitem();
+        let mut applied = 0u64;
+        for _ in 0..16 {
+            let (_, d) = m.execute(pricing(&schema)).unwrap();
+            if matches!(d, RepartitionDecision::Applied(_)) {
+                applied += 1;
+            }
+        }
+        assert!(applied >= 1, "pricing phase should trigger a repartition");
+        assert!(m.layout().len() > 1, "row layout should have been sliced");
+        let pricing_layout = m.layout().clone();
+        for _ in 0..24 {
+            let (_, d) = m.execute(logistics(&schema)).unwrap();
+            if matches!(d, RepartitionDecision::Applied(_)) {
+                applied += 1;
+            }
+        }
+        assert!(applied >= 2, "the phase shift should re-slice again");
+        assert_ne!(&pricing_layout, m.layout());
+        assert_eq!(m.stats().repartitions, applied);
+        assert!(m.stats().advisor_runs >= applied);
+    }
+
+    #[test]
+    fn repartitioned_table_scans_like_fresh_load() {
+        let mut m = manager(TableManagerConfig {
+            window: 16,
+            advise_every: 8,
+            budget: Budget::UNLIMITED,
+            payoff_horizon: 64.0,
+        });
+        let schema = lineitem();
+        for _ in 0..16 {
+            m.execute(pricing(&schema)).unwrap();
+        }
+        assert!(m.stats().repartitions >= 1);
+        let data = generate_table(&schema, ROWS, 7);
+        let fresh = StoredTable::load(&schema, &data, m.layout(), CompressionPolicy::Default);
+        let disk = HddCostModel::paper_testbed().params();
+        for q in [pricing(&schema), logistics(&schema)] {
+            let a = scan_naive(m.table(), q.referenced, &disk);
+            let b = scan_naive(&fresh, q.referenced, &disk);
+            assert_eq!(a.checksum, b.checksum);
+            assert_eq!(a.bytes_read, b.bytes_read);
+        }
+    }
+
+    #[test]
+    fn advisor_failure_surfaces_as_decision_not_error() {
+        // An advisor that cannot handle the table (BruteForce over a space
+        // larger than its cap) must not fail the query that was already
+        // served — it reports RepartitionDecision::Failed instead.
+        let schema = lineitem();
+        let data = generate_table(&schema, ROWS, 7);
+        let table = StoredTable::load(
+            &schema,
+            &data,
+            &Partitioning::row(&schema),
+            CompressionPolicy::Default,
+        );
+        let mut m = TableManager::new(
+            table,
+            Box::new(slicer_core::BruteForce::exhaustive().with_max_candidates(1)),
+            HddCostModel::paper_testbed(),
+            TableManagerConfig {
+                advise_every: 4,
+                ..TableManagerConfig::default()
+            },
+        );
+        for i in 1..=8u64 {
+            let (_, decision) = m.execute(pricing(&schema)).expect("query fits the schema");
+            if i.is_multiple_of(4) {
+                assert!(matches!(decision, RepartitionDecision::Failed { .. }));
+            } else {
+                assert!(matches!(decision, RepartitionDecision::NotDue));
+            }
+        }
+        assert_eq!(m.stats().queries, 8, "every query was served and counted");
+    }
+
+    #[test]
+    fn out_of_schema_queries_are_rejected() {
+        let mut m = manager(TableManagerConfig::default());
+        let bad = Query::new("bad", slicer_model::AttrSet::single(40usize));
+        assert!(m.execute(bad).is_err(), "16-attr Lineitem has no attr 40");
+        assert_eq!(m.stats().queries, 0, "rejected queries must not count");
+        assert!(m.window().is_empty(), "and must not enter the window");
+    }
+
+    #[test]
+    fn zero_horizon_rejects_every_move() {
+        let mut m = manager(TableManagerConfig {
+            window: 16,
+            advise_every: 4,
+            budget: Budget::UNLIMITED,
+            payoff_horizon: 0.0,
+        });
+        let schema = lineitem();
+        for _ in 0..16 {
+            let (_, d) = m.execute(pricing(&schema)).unwrap();
+            assert!(!matches!(d, RepartitionDecision::Applied(_)));
+        }
+        assert_eq!(m.stats().repartitions, 0);
+        assert!(m.stats().rejected_by_payoff >= 1);
+        assert_eq!(m.layout().len(), 1, "still the row layout");
+    }
+
+    #[test]
+    fn budgeted_sessions_are_recorded() {
+        let mut m = manager(TableManagerConfig {
+            window: 16,
+            advise_every: 4,
+            budget: Budget::deadline(std::time::Duration::ZERO),
+            payoff_horizon: 64.0,
+        });
+        let schema = lineitem();
+        for _ in 0..8 {
+            m.execute(pricing(&schema)).unwrap();
+        }
+        assert!(m.stats().advisor_runs >= 1);
+        assert_eq!(m.stats().truncated_runs, m.stats().advisor_runs);
+        // A zero-deadline HillClimb returns its column seed — a valid
+        // best-so-far layout; whether it is adopted depends on the payoff.
+        assert!(Partitioning::new(&m.table().schema, m.layout().partitions().to_vec()).is_ok());
+    }
+}

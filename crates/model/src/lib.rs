@@ -30,7 +30,7 @@ pub use attrset::{AttrId, AttrSet, AttrSetIter};
 pub use error::ModelError;
 pub use partitioning::Partitioning;
 pub use schema::{AttrKind, Attribute, TableSchema, TableSchemaBuilder};
-pub use workload::{Query, Workload};
+pub use workload::{Query, SlidingWorkload, Workload};
 
 // AttrSet is serialized as the list of member indices to stay readable in
 // JSON experiment dumps.

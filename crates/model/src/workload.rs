@@ -43,6 +43,30 @@ impl Query {
             weight,
         }
     }
+
+    /// Check this query fits `schema`: a non-empty reference set within
+    /// the table's attributes and a positive finite weight — the same
+    /// validation [`Workload::push_validated`] applies.
+    pub fn validate(&self, schema: &TableSchema) -> Result<(), ModelError> {
+        if self.referenced.is_empty() {
+            return Err(ModelError::EmptyQuery {
+                query: self.name.clone(),
+            });
+        }
+        if !self.referenced.is_subset_of(schema.all_attrs()) {
+            return Err(ModelError::QueryOutOfRange {
+                query: self.name.clone(),
+                table: schema.name().to_string(),
+            });
+        }
+        if !(self.weight.is_finite() && self.weight > 0.0) {
+            return Err(ModelError::BadWeight {
+                query: self.name.clone(),
+                weight: self.weight,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// An ordered multiset of queries against one table.
@@ -75,21 +99,7 @@ impl Workload {
     /// Append a query after checking it fits the schema: non-empty reference
     /// set within the table's attributes and a positive finite weight.
     pub fn push_validated(&mut self, schema: &TableSchema, query: Query) -> Result<(), ModelError> {
-        if query.referenced.is_empty() {
-            return Err(ModelError::EmptyQuery { query: query.name });
-        }
-        if !query.referenced.is_subset_of(schema.all_attrs()) {
-            return Err(ModelError::QueryOutOfRange {
-                query: query.name,
-                table: schema.name().to_string(),
-            });
-        }
-        if !(query.weight.is_finite() && query.weight > 0.0) {
-            return Err(ModelError::BadWeight {
-                query: query.name,
-                weight: query.weight,
-            });
-        }
+        query.validate(schema)?;
         self.queries.push(query);
         Ok(())
     }
@@ -168,6 +178,75 @@ impl Workload {
 impl fmt::Display for Workload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Workload[{} queries]", self.queries.len())
+    }
+}
+
+/// Sliding-window workload statistics for online re-partitioning.
+///
+/// The online lifecycle cannot advise against the *whole* query history —
+/// a layout tuned for last month's traffic is exactly the staleness
+/// re-partitioning exists to fix. A `SlidingWorkload` keeps the most
+/// recent `capacity` queries (an ordered multiset, like [`Workload`]) and
+/// snapshots them into a [`Workload`] for the advisor: under workload
+/// drift the window's composition shifts phase by phase, and the advised
+/// layout follows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlidingWorkload {
+    capacity: usize,
+    queries: std::collections::VecDeque<Query>,
+}
+
+impl SlidingWorkload {
+    /// An empty window holding at most `capacity` queries.
+    ///
+    /// # Panics
+    /// If `capacity` is zero (a window that can hold nothing observes
+    /// nothing).
+    pub fn new(capacity: usize) -> SlidingWorkload {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingWorkload {
+            capacity,
+            queries: std::collections::VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Window capacity in queries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of queries currently in the window.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True iff no query has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Record one query, evicting (and returning) the oldest one when the
+    /// window is full.
+    pub fn observe(&mut self, query: Query) -> Option<Query> {
+        let evicted = if self.queries.len() == self.capacity {
+            self.queries.pop_front()
+        } else {
+            None
+        };
+        self.queries.push_back(query);
+        evicted
+    }
+
+    /// Snapshot the window contents as a [`Workload`], oldest first.
+    pub fn workload(&self) -> Workload {
+        Workload {
+            queries: self.queries.iter().cloned().collect(),
+        }
+    }
+
+    /// Sum of the windowed queries' weights.
+    pub fn total_weight(&self) -> f64 {
+        self.queries.iter().map(|q| q.weight).sum()
     }
 }
 
@@ -260,6 +339,34 @@ mod tests {
             union = union.union(*f);
         }
         assert_eq!(union, s.all_attrs());
+    }
+
+    #[test]
+    fn sliding_window_evicts_oldest() {
+        let s = schema();
+        let mut w = SlidingWorkload::new(2);
+        assert!(w.is_empty());
+        assert_eq!(
+            w.observe(Query::new("q1", s.attr_set(&["A"]).unwrap())),
+            None
+        );
+        assert_eq!(
+            w.observe(Query::new("q2", s.attr_set(&["B"]).unwrap())),
+            None
+        );
+        let evicted = w.observe(Query::new("q3", s.attr_set(&["C"]).unwrap()));
+        assert_eq!(evicted.expect("window full").name, "q1");
+        assert_eq!(w.len(), 2);
+        let snap = w.workload();
+        assert_eq!(snap.queries()[0].name, "q2");
+        assert_eq!(snap.queries()[1].name, "q3");
+        assert_eq!(w.total_weight(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn sliding_window_rejects_zero_capacity() {
+        let _ = SlidingWorkload::new(0);
     }
 
     #[test]

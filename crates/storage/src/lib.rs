@@ -32,5 +32,7 @@ pub mod executor;
 
 pub use compress::{decode, default_codec, encode, Codec, EncodedColumn};
 pub use data::{generate_table, generate_table_seq, ColumnData, TableData};
-pub use engine::{scan_naive, CompressionPolicy, PartitionFile, ScanResult, StoredTable};
+pub use engine::{
+    scan_naive, CompressionPolicy, PartitionFile, RepartitionStats, ScanResult, StoredTable,
+};
 pub use executor::{scan, CacheMode, ScanExecutor};

@@ -1,10 +1,15 @@
-//! Online partitioning: stream a drifting query workload through O2P and
-//! watch the layout adapt — the scenario O2P was designed for (BIRTE '11).
+//! Online partitioning: stream a drifting query workload and watch the
+//! layout adapt — first through O2P's incremental splitter (the scenario
+//! it was designed for, BIRTE '11), then end to end through the
+//! [`TableManager`] lifecycle: live scans over a stored table, sliding-
+//! window re-advising under a budget, the paper's payoff test, and
+//! in-place `StoredTable::repartition`.
 //!
 //! Run with: `cargo run --release --example online_partitioning`
 
 use slicer::core::O2pOnline;
 use slicer::prelude::*;
+use slicer::storage::{generate_table, CompressionPolicy, StoredTable};
 
 fn main() -> Result<(), ModelError> {
     let table = tpch::table(tpch::TpchTable::Lineitem, 1.0);
@@ -16,6 +21,7 @@ fn main() -> Result<(), ModelError> {
     // Phase 2: a logistics application arrives, with a different footprint.
     let logistics = table.attr_set(&["OrderKey", "CommitDate", "ReceiptDate", "ShipMode"])?;
 
+    println!("== O2P: the layout follows the stream ==\n");
     println!("initial layout: 1 partition (row layout), no queries seen\n");
     for i in 0..6 {
         let layout = online.observe(Query::new(format!("pricing-{i}"), pricing));
@@ -57,6 +63,60 @@ fn main() -> Result<(), ModelError> {
         "\ntotal queries observed: {}; final partition count: {}",
         online.queries_seen(),
         final_layout.len()
+    );
+
+    // The full lifecycle: a live stored table that re-slices itself when
+    // (and only when) the paper's payoff test says the move amortizes.
+    println!("\n== TableManager: payoff-gated in-place re-partitioning ==\n");
+    let rows = 20_000usize;
+    let schema = table.with_row_count(rows as u64);
+    let data = generate_table(&schema, rows, 7);
+    let stored = StoredTable::load(
+        &schema,
+        &data,
+        &Partitioning::row(&schema),
+        CompressionPolicy::Default,
+    );
+    let mut manager = TableManager::new(
+        stored,
+        Box::new(HillClimb::new()),
+        HddCostModel::paper_testbed(),
+        TableManagerConfig {
+            window: 32,
+            advise_every: 8,
+            // Heavy live traffic cannot wait for an unbounded search:
+            // every re-advise gets at most 10 ms, anytime best-so-far.
+            budget: Budget::deadline(std::time::Duration::from_millis(10)),
+            payoff_horizon: 64.0,
+        },
+    );
+    for (phase, referenced) in [("pricing", pricing), ("logistics", logistics)] {
+        for i in 0..24 {
+            let (_, decision) = manager
+                .execute(Query::new(format!("{phase}-{i}"), referenced))
+                .expect("drift query fits the schema");
+            if let RepartitionDecision::Applied(ev) = decision {
+                println!(
+                    "[{phase}] query {}: re-sliced in place ({} files kept, {} rebuilt; \
+                     pays off in {:.2} window executions)\n  now: {}",
+                    ev.at_query,
+                    ev.stats.files_kept,
+                    ev.stats.files_rebuilt,
+                    ev.payoff.executions_to_pay_off().unwrap_or(f64::NAN),
+                    ev.new_layout.render(&schema)
+                );
+            }
+        }
+    }
+    let stats = manager.stats();
+    println!(
+        "\n{} queries served; {} advisor runs ({} budget-truncated), \
+         {} repartitions applied, {} rejected by the payoff test",
+        stats.queries,
+        stats.advisor_runs,
+        stats.truncated_runs,
+        stats.repartitions,
+        stats.rejected_by_payoff
     );
     Ok(())
 }

@@ -30,6 +30,7 @@ pub use slicer_combinat as combinat;
 pub use slicer_core as core;
 pub use slicer_cost as cost;
 pub use slicer_experiments as experiments;
+pub use slicer_lifecycle as lifecycle;
 pub use slicer_metrics as metrics;
 pub use slicer_model as model;
 pub use slicer_storage as storage;
@@ -38,12 +39,16 @@ pub use slicer_workloads as workloads;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use slicer_core::{
-        Advisor, AutoPart, BruteForce, HillClimb, Hyrise, Navathe, PartitionRequest, Trojan, O2P,
+        Advisor, AdvisorSession, AutoPart, BruteForce, Budget, HillClimb, Hyrise, Navathe,
+        PartitionRequest, SessionStats, Trojan, O2P,
     };
-    pub use slicer_cost::{CostModel, DiskParams, HddCostModel, MainMemoryCostModel};
+    pub use slicer_cost::{CostModel, DiskParams, EvalMemos, HddCostModel, MainMemoryCostModel};
+    pub use slicer_lifecycle::{
+        RepartitionDecision, RepartitionEvent, TableManager, TableManagerConfig,
+    };
     pub use slicer_model::{
-        AttrId, AttrKind, AttrSet, Attribute, ModelError, Partitioning, Query, TableSchema,
-        Workload,
+        AttrId, AttrKind, AttrSet, Attribute, ModelError, Partitioning, Query, SlidingWorkload,
+        TableSchema, Workload,
     };
     pub use slicer_workloads::{ssb, tpch, Benchmark};
 }

@@ -1,0 +1,174 @@
+//! Budgeted advisor sessions: the unlimited-budget session must be
+//! byte-identical to the one-shot `partition()` for every advisor, and a
+//! budget-capped session must always return a valid best-so-far layout
+//! early — the anytime contract of the `AdvisorSession` driver.
+
+use proptest::prelude::*;
+use slicer::core::{paper_advisors, AdvisorSession, Budget, SessionStep};
+use slicer::cost::{CostModel, MainMemoryCostModel};
+use slicer::prelude::*;
+use slicer::workloads::synth::{table_and_workload, AccessPattern, SyntheticSpec};
+use std::time::Duration;
+
+fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
+    (2usize..10, 1usize..10, any::<u64>(), 0usize..3).prop_map(|(attrs, queries, seed, pattern)| {
+        SyntheticSpec {
+            attrs,
+            rows: 500_000,
+            queries,
+            pattern: match pattern {
+                0 => AccessPattern::Regular { classes: 2 },
+                1 => AccessPattern::Fragmented,
+                _ => AccessPattern::Uniform { p: 0.35 },
+            },
+            seed,
+        }
+    })
+}
+
+fn models() -> Vec<Box<dyn CostModel>> {
+    vec![
+        Box::new(HddCostModel::paper_testbed()),
+        Box::new(MainMemoryCostModel::paper_testbed()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn unlimited_session_equals_one_shot_partition(spec in spec_strategy()) {
+        let (table, workload) = table_and_workload(&spec);
+        for model in models() {
+            let req = PartitionRequest::new(&table, &workload, model.as_ref());
+            for advisor in paper_advisors() {
+                let one_shot = advisor.partition(&req)
+                    .unwrap_or_else(|e| panic!("{} one-shot failed: {e}", advisor.name()));
+                let mut session = AdvisorSession::new(&req, Budget::UNLIMITED);
+                let via_session = advisor.partition_session(&mut session)
+                    .unwrap_or_else(|e| panic!("{} session failed: {e}", advisor.name()));
+                prop_assert_eq!(
+                    &one_shot, &via_session,
+                    "{} diverged under {}: one-shot {} vs session {}",
+                    advisor.name(), model.name(), one_shot, via_session
+                );
+                prop_assert!(
+                    !session.stats().truncated,
+                    "{}: unlimited session reported truncation", advisor.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_capped_sessions_return_valid_layouts(
+        spec in spec_strategy(),
+        cap in 0u64..4,
+    ) {
+        let (table, workload) = table_and_workload(&spec);
+        let model = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&table, &workload, &model);
+        for advisor in paper_advisors() {
+            let mut session = AdvisorSession::new(&req, Budget::steps(cap));
+            let layout = advisor.partition_session(&mut session)
+                .unwrap_or_else(|e| panic!("{} capped failed: {e}", advisor.name()));
+            // Anytime contract: the early layout is a complete, disjoint
+            // partitioning no matter where the budget stopped the search.
+            prop_assert!(
+                Partitioning::new(&table, layout.partitions().to_vec()).is_ok(),
+                "{}: invalid best-so-far layout {}", advisor.name(), layout
+            );
+            prop_assert!(
+                session.stats().steps <= cap,
+                "{}: {} steps exceed the cap of {cap}",
+                advisor.name(), session.stats().steps
+            );
+        }
+    }
+
+    #[test]
+    fn hillclimb_step_caps_are_monotone(spec in spec_strategy()) {
+        // More budget never hurts HillClimb: its commits strictly improve,
+        // so the workload cost is non-increasing in the step cap.
+        let (table, workload) = table_and_workload(&spec);
+        let model = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&table, &workload, &model);
+        let mut last = f64::INFINITY;
+        for steps in 0..5 {
+            let mut session = AdvisorSession::new(&req, Budget::steps(steps));
+            let layout = HillClimb::new().partition_session(&mut session).unwrap();
+            let cost = req.cost(&layout);
+            prop_assert!(
+                cost <= last + 1e-9 * last.abs().max(1.0),
+                "cost rose from {last} to {cost} at cap {steps}"
+            );
+            last = cost;
+        }
+    }
+}
+
+#[test]
+fn deadline_capped_hillclimb_returns_best_so_far_early() {
+    // The acceptance scenario: a zero-deadline HillClimb session stops at
+    // its column seed — valid, complete, and exactly the layout every
+    // later improvement would have started from — while the unlimited
+    // session keeps merging.
+    let b = slicer::workloads::tpch::benchmark(1.0);
+    let li = b.table_index("Lineitem").expect("TPC-H has Lineitem");
+    let schema = &b.tables()[li];
+    let workload = b.table_workload(li);
+    let model = HddCostModel::paper_testbed();
+    let req = PartitionRequest::new(schema, &workload, &model);
+
+    let mut capped = AdvisorSession::new(&req, Budget::deadline(Duration::ZERO));
+    let early = HillClimb::new().partition_session(&mut capped).unwrap();
+    let stats = capped.stats();
+    assert!(stats.truncated, "zero deadline must truncate");
+    assert_eq!(stats.steps, 0);
+    assert_eq!(
+        early,
+        Partitioning::column(schema),
+        "best-so-far = the seed"
+    );
+    assert!(Partitioning::new(schema, early.partitions().to_vec()).is_ok());
+
+    let unlimited = HillClimb::new().partition(&req).unwrap();
+    assert_ne!(
+        early, unlimited,
+        "the unlimited search should merge further"
+    );
+    assert!(req.cost(&unlimited) <= req.cost(&early));
+}
+
+#[test]
+fn session_steps_interleave_with_manual_driving() {
+    // The driver's primitives are usable outside the advisors: drive a
+    // manual merge search and confirm telemetry adds up.
+    let b = slicer::workloads::tpch::benchmark(0.1);
+    let li = b.table_index("PartSupp").expect("TPC-H has PartSupp");
+    let schema = &b.tables()[li];
+    let workload = b.table_workload(li);
+    let model = HddCostModel::paper_testbed();
+    let req = PartitionRequest::new(schema, &workload, &model);
+    let mut session = AdvisorSession::new(&req, Budget::UNLIMITED);
+    session.seed(Partitioning::column(schema).partitions());
+    let mut commits = 0u64;
+    loop {
+        let n = session.ev().len();
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        match session.merge_step(&pairs) {
+            SessionStep::Committed { .. } => commits += 1,
+            SessionStep::NoImprovement | SessionStep::OutOfBudget => break,
+        }
+    }
+    let stats = session.stats();
+    assert_eq!(stats.steps, commits);
+    assert!(stats.candidates > 0);
+    assert!(!stats.truncated);
+    // The manual drive is exactly HillClimb.
+    assert_eq!(
+        session.ev().partitioning(),
+        HillClimb::new().partition(&req).unwrap()
+    );
+}
