@@ -41,7 +41,7 @@ pub use hillclimb::HillClimb;
 pub use hyrise::Hyrise;
 pub use navathe::Navathe;
 pub use o2p::{O2pOnline, O2P};
-pub use session::{AdvisorSession, Budget, SessionStats, SessionStep};
+pub use session::{AdvisorSession, Budget, BudgetPool, SessionStats, SessionStep};
 pub use trojan::{Trojan, TrojanReplica};
 
 /// The six surveyed algorithms plus BruteForce, in the paper's column order

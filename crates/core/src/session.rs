@@ -84,6 +84,103 @@ impl Budget {
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none() && self.max_steps.is_none()
     }
+
+    /// One of `n` equal shares of this budget: both caps divided by `n`
+    /// (rounding down, but never below one step / one nanosecond — a share
+    /// of a non-zero budget must still allow *some* work). Unlimited caps
+    /// stay unlimited. This is the per-table-equal-split scheduling
+    /// primitive.
+    pub fn split(self, n: u64) -> Budget {
+        assert!(n > 0, "cannot split a budget zero ways");
+        Budget {
+            deadline: self.deadline.map(|d| {
+                if d.is_zero() {
+                    d
+                } else {
+                    (d / u32::try_from(n).unwrap_or(u32::MAX)).max(Duration::from_nanos(1))
+                }
+            }),
+            max_steps: self
+                .max_steps
+                .map(|s| if s == 0 { 0 } else { (s / n).max(1) }),
+        }
+    }
+}
+
+/// A shared, refundable pool of advisor budget, drawn on by several
+/// sessions in turn — the fleet's "one optimization budget across many
+/// tables". [`BudgetPool::grant`] hands out the whole remaining pool as a
+/// [`Budget`]; [`BudgetPool::charge`] deducts what a finished session
+/// *actually* spent (its [`SessionStats`]), which is what makes unspent
+/// budget flow on to the next table: a session that stops early
+/// effectively refunds its remainder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetPool {
+    remaining_steps: Option<u64>,
+    remaining_time: Option<Duration>,
+}
+
+impl BudgetPool {
+    /// A pool holding exactly `budget` (unlimited caps make an unlimited
+    /// pool dimension).
+    pub fn new(budget: Budget) -> BudgetPool {
+        BudgetPool {
+            remaining_steps: budget.max_steps,
+            remaining_time: budget.deadline,
+        }
+    }
+
+    /// The whole remaining pool, as a budget for the next session.
+    pub fn grant(&self) -> Budget {
+        Budget {
+            deadline: self.remaining_time,
+            max_steps: self.remaining_steps,
+        }
+    }
+
+    /// One of `n` equal shares of the remaining pool (no refunds flow
+    /// between shares — the equal-split baseline).
+    pub fn grant_split(&self, n: u64) -> Budget {
+        self.grant().split(n)
+    }
+
+    /// Deduct what a session actually consumed. Saturating: a session that
+    /// overshot its grant (e.g. by the granularity of one budget
+    /// checkpoint) empties the pool rather than underflowing.
+    pub fn charge(&mut self, stats: &SessionStats) {
+        if let Some(s) = self.remaining_steps.as_mut() {
+            *s = s.saturating_sub(stats.steps);
+        }
+        if let Some(t) = self.remaining_time.as_mut() {
+            *t = t.saturating_sub(stats.elapsed);
+        }
+    }
+
+    /// Return budget to the pool (e.g. a granted-but-unused reservation).
+    pub fn refund(&mut self, budget: Budget) {
+        if let (Some(s), Some(b)) = (self.remaining_steps.as_mut(), budget.max_steps) {
+            *s = s.saturating_add(b);
+        }
+        if let (Some(t), Some(b)) = (self.remaining_time.as_mut(), budget.deadline) {
+            *t = t.saturating_add(b);
+        }
+    }
+
+    /// Steps left in the pool (`None` = unlimited).
+    pub fn steps_left(&self) -> Option<u64> {
+        self.remaining_steps
+    }
+
+    /// Wall-clock budget left in the pool (`None` = unlimited).
+    pub fn time_left(&self) -> Option<Duration> {
+        self.remaining_time
+    }
+
+    /// True iff any capped dimension is fully spent: a session granted
+    /// from an exhausted pool could do no work.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining_steps == Some(0) || self.remaining_time == Some(Duration::ZERO)
+    }
 }
 
 /// Progress telemetry of one session, readable at any point and after the
@@ -356,6 +453,74 @@ mod tests {
         assert_eq!(b.max_steps, Some(10));
         assert!(Budget::UNLIMITED.is_unlimited());
         assert!(!Budget::steps(1).is_unlimited());
+    }
+
+    #[test]
+    fn split_divides_both_caps() {
+        let b = Budget {
+            deadline: Some(Duration::from_millis(90)),
+            max_steps: Some(9),
+        }
+        .split(3);
+        assert_eq!(b.deadline, Some(Duration::from_millis(30)));
+        assert_eq!(b.max_steps, Some(3));
+        // Shares of a tiny budget stay workable, never rounding to zero.
+        let tiny = Budget::steps(2).split(8);
+        assert_eq!(tiny.max_steps, Some(1));
+        // Unlimited dimensions stay unlimited; zero stays zero.
+        let u = Budget::UNLIMITED.split(4);
+        assert!(u.is_unlimited());
+        assert_eq!(Budget::steps(0).split(5).max_steps, Some(0));
+        assert_eq!(
+            Budget::deadline(Duration::ZERO).split(5).deadline,
+            Some(Duration::ZERO)
+        );
+    }
+
+    #[test]
+    fn pool_grants_charge_and_refund() {
+        let mut pool = BudgetPool::new(Budget::steps(10).with_deadline(Duration::from_secs(1)));
+        assert!(!pool.is_exhausted());
+        let grant = pool.grant();
+        assert_eq!(grant.max_steps, Some(10));
+        assert_eq!(grant.deadline, Some(Duration::from_secs(1)));
+        // A session that used 4 steps and 300 ms refunds the rest simply by
+        // being charged for what it spent.
+        pool.charge(&SessionStats {
+            steps: 4,
+            candidates: 99,
+            truncated: false,
+            elapsed: Duration::from_millis(300),
+        });
+        assert_eq!(pool.steps_left(), Some(6));
+        assert_eq!(pool.time_left(), Some(Duration::from_millis(700)));
+        assert_eq!(pool.grant_split(3).max_steps, Some(2));
+        // Overshoot saturates to empty instead of underflowing.
+        pool.charge(&SessionStats {
+            steps: 100,
+            candidates: 0,
+            truncated: true,
+            elapsed: Duration::from_secs(5),
+        });
+        assert!(pool.is_exhausted());
+        assert_eq!(pool.steps_left(), Some(0));
+        // An explicit refund re-opens the pool.
+        pool.refund(Budget::steps(2));
+        assert_eq!(pool.steps_left(), Some(2));
+        assert!(pool.is_exhausted(), "time dimension is still spent");
+    }
+
+    #[test]
+    fn unlimited_pool_never_exhausts() {
+        let mut pool = BudgetPool::new(Budget::UNLIMITED);
+        pool.charge(&SessionStats {
+            steps: u64::MAX,
+            candidates: 0,
+            truncated: false,
+            elapsed: Duration::from_secs(1_000_000),
+        });
+        assert!(!pool.is_exhausted());
+        assert!(pool.grant().is_unlimited());
     }
 
     #[test]

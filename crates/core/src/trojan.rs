@@ -52,6 +52,13 @@ impl Default for Trojan {
 }
 
 impl Trojan {
+    /// How many enumeration masks go between two deadline polls in
+    /// [`Trojan::interesting_groups`]: coarse enough that `Instant::now`
+    /// stays invisible next to the per-mask work, fine enough that a
+    /// deadline trips within a fraction of a millisecond even on a 2²⁴
+    /// enumeration.
+    const ENUM_POLL_MASKS: u32 = 4096;
+
     /// Advisor with the default threshold (0.3) and candidate cap (512).
     pub fn new() -> Self {
         Self::default()
@@ -139,14 +146,45 @@ impl Trojan {
 
     /// Enumerate all column groups of `universe`, score them, and return
     /// those above the threshold (interestingness-descending, capped).
-    fn interesting_groups(&self, n: usize, nmi: &[Vec<f64>]) -> Vec<ValuedGroup> {
+    ///
+    /// The 2ⁿ mask loop is the algorithm's other unbudgeted hot spot (next
+    /// to the valuation scan), so the session's wall-clock deadline is
+    /// polled inside it every [`Trojan::ENUM_POLL_MASKS`] masks: on a wide
+    /// table a tight deadline stops the enumeration early and the cover is
+    /// built from the groups scored so far (anytime coarsening — masks
+    /// enumerate in ascending order, so the scored prefix always contains
+    /// every small-index group; uncovered attributes become singletons).
+    /// Unlimited sessions never poll `Instant::now` and take the exact
+    /// historical path.
+    fn interesting_groups(
+        &self,
+        n: usize,
+        nmi: &[Vec<f64>],
+        mut session: Option<&mut AdvisorSession<'_>>,
+    ) -> Vec<ValuedGroup> {
         assert!(n <= MAX_UNIVERSE);
         let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        let deadline = session
+            .as_ref()
+            .and_then(|s| s.budget().deadline.is_some().then(|| s.deadline_instant()));
         // pair_sum[mask] = Σ_{i<j ∈ mask} nmi[i][j], built incrementally on
         // the lowest set bit.
         let mut scored: Vec<(f64, u32, u32)> = Vec::new(); // (avg nmi, popcount, mask)
         let mut pair_sum = vec![0.0f64; full as usize + 1];
         for mask in 1..=full {
+            if let Some(expires) = deadline {
+                // `expires` is None only for deadlines too large to ever
+                // trip; those never stop the loop.
+                if mask % Self::ENUM_POLL_MASKS == 0
+                    && expires.is_some_and(|at| std::time::Instant::now() >= at)
+                {
+                    session
+                        .as_mut()
+                        .expect("deadline implies a session")
+                        .note_truncated();
+                    break;
+                }
+            }
             let b = mask.trailing_zeros() as usize;
             let rest = mask & (mask - 1);
             if rest != 0 {
@@ -278,13 +316,14 @@ impl Trojan {
     }
 
     /// Core single-layout computation, shared by the unified and the
-    /// replicated modes. The session (when present) budgets the valuation
-    /// scan — the algorithm's dominant cost alongside the 2ⁿ enumeration.
+    /// replicated modes. The session (when present) budgets both dominant
+    /// costs: its deadline gates the 2ⁿ interestingness enumeration and
+    /// its full budget (deadline and/or steps) gates the valuation scan.
     fn layout_for(
         &self,
         req: &PartitionRequest<'_>,
         workload: &Workload,
-        session: Option<&mut AdvisorSession<'_>>,
+        mut session: Option<&mut AdvisorSession<'_>>,
     ) -> Result<Partitioning, ModelError> {
         let n = req.table.attr_count();
         if n > MAX_UNIVERSE {
@@ -295,7 +334,7 @@ impl Trojan {
             });
         }
         let nmi = Self::normalized_mi_matrix(n, workload);
-        let groups = self.interesting_groups(n, &nmi);
+        let groups = self.interesting_groups(n, &nmi, session.as_deref_mut());
         let groups = Self::cost_valued(req, workload, groups, session);
         let cover = max_value_disjoint_cover(req.table.all_attrs(), &groups);
         Ok(Partitioning::from_disjoint_unchecked(
@@ -431,6 +470,7 @@ mod tests {
     use super::*;
     use slicer_cost::HddCostModel;
     use slicer_model::{AttrKind, Query, TableSchema};
+    use std::time::Duration;
 
     fn partsupp() -> TableSchema {
         TableSchema::builder("PartSupp", 800_000)
@@ -571,6 +611,51 @@ mod tests {
         let m = HddCostModel::paper_testbed();
         let req = PartitionRequest::new(&t, &w, &m);
         assert_eq!(Trojan::new().partition(&req).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn deadline_budgets_the_wide_table_enumeration() {
+        // 20 attributes → 2^20 ≈ 1M masks: unbudgeted, the enumeration
+        // dominates Trojan's runtime. A tight session deadline must stop it
+        // inside the mask loop and still return a valid anytime layout.
+        let mut b = TableSchema::builder("Wide20", 500_000);
+        for i in 0..20 {
+            b = b.attr(format!("A{i}"), 4, AttrKind::Int);
+        }
+        let t = b.build().unwrap();
+        let queries: Vec<Query> = (0..5)
+            .map(|q| {
+                let set: AttrSet = (0..20).filter(|i| (i + q) % 4 == 0).collect();
+                Query::new(format!("q{q}"), set)
+            })
+            .collect();
+        let w = Workload::with_queries(&t, queries).unwrap();
+        let m = HddCostModel::paper_testbed();
+        let req = PartitionRequest::new(&t, &w, &m);
+        // Low threshold keeps pruning from discarding the loop's work early,
+        // so the deadline is what does the stopping.
+        let advisor = Trojan::with_threshold(0.05);
+        let mut session =
+            crate::AdvisorSession::new(&req, crate::Budget::deadline(Duration::from_millis(2)));
+        let layout = advisor.partition_session(&mut session).unwrap();
+        // Either the deadline stopped the search mid-enumeration, or the
+        // whole run genuinely finished inside the deadline window (a very
+        // fast release build) — what must never happen is an untruncated
+        // session blowing far past its budget, which is exactly what the
+        // un-gated mask loop used to do.
+        let stats = session.stats();
+        assert!(
+            stats.truncated || stats.elapsed <= Duration::from_millis(50),
+            "untruncated session overran its 2ms deadline: {:?}",
+            stats.elapsed
+        );
+        assert!(Partitioning::new(&t, layout.partitions().to_vec()).is_ok());
+        // And the unlimited session still runs the full enumeration,
+        // bit-identical to the one-shot path.
+        let mut unlimited = crate::AdvisorSession::new(&req, crate::Budget::UNLIMITED);
+        let full = advisor.partition_session(&mut unlimited).unwrap();
+        assert!(!unlimited.stats().truncated);
+        assert_eq!(full, advisor.partition(&req).unwrap());
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! `fleet_bench` — record multi-table serving under a shared advisor
+//! budget.
+//!
+//! Streams one mixed TPC-H + SSB fleet trace (phase-drifting, seeded —
+//! see `slicer_workloads::trace`) through three [`TableFleet`]s that
+//! differ only in how they spend the same per-round advisor budget:
+//! shared-pool **drift-first**, per-table **equal-split**, and
+//! **round-robin**. Every fleet serves identical queries over identical
+//! tables, so the recorded total workload cost (modeled scan I/O plus
+//! modeled incremental re-partitioning I/O) isolates the scheduling
+//! policy.
+//!
+//! Correctness oracle: per-table checksum accumulators over every served
+//! scan must match a single-table oracle run (an untouched row-layout
+//! copy of each table scanned with the same queries), for every
+//! schedule — routing never drops, cross-delivers, or corrupts a query,
+//! even through live repartitions. The run fails (exit 1) unless the
+//! oracles match and drift-first's total cost beats both baselines.
+//!
+//! ```text
+//! fleet_bench [--rows N] [--events N] [--phases N] [--budget STEPS]
+//!             [--advise-every N] [--horizon H] [--drift-floor F]
+//!             [--seed S] [--out FILE]
+//! ```
+//!
+//! Defaults: 20 000-row cap, 360 events, 6 phases, 8-step round budget, a
+//! round every 8 queries, payoff horizon 4 window executions, drift floor
+//! 0.05, `BENCH_fleet.json`. Two defaults matter for the comparison to
+//! mean anything: the row cap must be large enough that selective column
+//! reads beat one full-width sequential scan (tiny tables are seek-bound
+//! and the row layout is then near-optimal for everything, leaving
+//! nothing for any scheduler to win), and the payoff horizon must be on
+//! the order of the window executions one phase actually delivers —
+//! an over-generous horizon green-lights moves the remaining phase
+//! traffic can never amortize, and every schedule then thrashes.
+
+use serde::Serialize;
+use slicer_core::{Budget, HillClimb};
+use slicer_cost::HddCostModel;
+use slicer_experiments::{write_report, BenchStamp};
+use slicer_lifecycle::{
+    FleetConfig, FleetSchedule, FleetStats, TableFleet, TableManager, TableManagerConfig,
+};
+use slicer_model::Partitioning;
+use slicer_storage::{generate_table, scan_naive, CompressionPolicy, StoredTable};
+use slicer_workloads::trace::{mixed_tpch_ssb, FleetTrace};
+use std::collections::HashMap;
+
+const DEFAULT_TRACE_SEED: u64 = 20130606; // the paper's PVLDB volume date, why not
+const WINDOW: usize = 16;
+
+#[derive(Debug, Serialize)]
+struct ScheduleRecord {
+    schedule: String,
+    /// Modeled scan I/O + modeled repartition I/O, seconds.
+    total_cost_seconds: f64,
+    scan_io_seconds: f64,
+    repartition_io_seconds: f64,
+    repartitions: u64,
+    sessions: u64,
+    sessions_skipped: u64,
+    steps_spent: u64,
+    rejected_by_payoff: u64,
+    failed_sessions: u64,
+    /// Tables whose final layout is no longer the row seed.
+    tables_resliced: usize,
+    checksums_match_oracle: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct FleetRecord {
+    benchmark: String,
+    stamp: BenchStamp,
+    tables: usize,
+    rows_cap: usize,
+    events: usize,
+    phases: usize,
+    window: usize,
+    advise_every: u64,
+    round_budget_steps: u64,
+    payoff_horizon: f64,
+    drift_floor: f64,
+    trace_seed: u64,
+    schedules: Vec<ScheduleRecord>,
+    winner: String,
+    drift_first_beats_equal_split: bool,
+    drift_first_beats_round_robin: bool,
+    notes: String,
+}
+
+/// Scale every trace table's row count so the largest lands on `cap`,
+/// preserving relative sizes (floored at 8 rows so no table degenerates).
+fn scaled_rows(trace: &FleetTrace, cap: usize) -> HashMap<String, usize> {
+    let largest = trace
+        .tables
+        .iter()
+        .map(|(_, s)| s.row_count())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    trace
+        .tables
+        .iter()
+        .map(|(name, s)| {
+            let rows = (s.row_count() as u128 * cap as u128 / largest as u128) as usize;
+            (name.clone(), rows.clamp(8, cap))
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Knobs {
+    round_budget_steps: u64,
+    advise_every: u64,
+    payoff_horizon: f64,
+    drift_floor: f64,
+}
+
+struct RunOutcome {
+    stats: FleetStats,
+    scan_io_seconds: f64,
+    repartition_io_seconds: f64,
+    tables_resliced: usize,
+    checksums: HashMap<String, u64>,
+}
+
+fn run_schedule(
+    trace: &FleetTrace,
+    rows: &HashMap<String, usize>,
+    seed: u64,
+    schedule: FleetSchedule,
+    knobs: Knobs,
+) -> RunOutcome {
+    let model = HddCostModel::paper_testbed();
+    let mut fleet = TableFleet::new(FleetConfig {
+        advise_every: knobs.advise_every,
+        round_budget: Budget::steps(knobs.round_budget_steps),
+        schedule,
+        drift_floor: knobs.drift_floor,
+    });
+    for (name, schema) in &trace.tables {
+        let n = rows[name];
+        let schema = schema.with_row_count(n as u64);
+        let data = generate_table(&schema, n, seed ^ name.len() as u64);
+        let table = StoredTable::load(
+            &schema,
+            &data,
+            &Partitioning::row(&schema),
+            CompressionPolicy::Default,
+        );
+        fleet.add_table(
+            name.clone(),
+            TableManager::new(
+                table,
+                Box::new(HillClimb::new()),
+                model,
+                TableManagerConfig {
+                    window: WINDOW,
+                    advise_every: u64::MAX, // the fleet schedules centrally
+                    budget: Budget::UNLIMITED,
+                    payoff_horizon: knobs.payoff_horizon,
+                    ..TableManagerConfig::default()
+                },
+            ),
+        );
+    }
+    let mut checksums: HashMap<String, u64> = HashMap::new();
+    for (i, ev) in trace.events.iter().enumerate() {
+        let (scan, _) = fleet
+            .execute(&ev.table, ev.query.clone())
+            .expect("trace queries fit their schemas");
+        let acc = checksums.entry(ev.table.clone()).or_insert(0);
+        *acc ^= scan.checksum.rotate_left((i % 63) as u32);
+    }
+    let mut scan_io = 0.0;
+    let mut repart_io = 0.0;
+    let mut resliced = 0;
+    for (name, _) in &trace.tables {
+        let m = fleet.manager(name).expect("registered");
+        scan_io += m.stats().scan_io_seconds;
+        repart_io += m.stats().repartition_io_seconds;
+        if m.layout().len() > 1 {
+            resliced += 1;
+        }
+    }
+    RunOutcome {
+        stats: *fleet.stats(),
+        scan_io_seconds: scan_io,
+        repartition_io_seconds: repart_io,
+        tables_resliced: resliced,
+        checksums,
+    }
+}
+
+/// The immutable single-table oracle: row-layout copies of every table,
+/// scanned with exactly the routed queries.
+fn oracle_checksums(
+    trace: &FleetTrace,
+    rows: &HashMap<String, usize>,
+    seed: u64,
+) -> HashMap<String, u64> {
+    let disk = HddCostModel::paper_testbed().params();
+    let mut tables: HashMap<String, StoredTable> = HashMap::new();
+    for (name, schema) in &trace.tables {
+        let n = rows[name];
+        let schema = schema.with_row_count(n as u64);
+        let data = generate_table(&schema, n, seed ^ name.len() as u64);
+        tables.insert(
+            name.clone(),
+            StoredTable::load(
+                &schema,
+                &data,
+                &Partitioning::row(&schema),
+                CompressionPolicy::Default,
+            ),
+        );
+    }
+    let mut checksums: HashMap<String, u64> = HashMap::new();
+    for (i, ev) in trace.events.iter().enumerate() {
+        let scan = scan_naive(&tables[&ev.table], ev.query.referenced, &disk);
+        let acc = checksums.entry(ev.table.clone()).or_insert(0);
+        *acc ^= scan.checksum.rotate_left((i % 63) as u32);
+    }
+    checksums
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rows_cap = 20_000usize;
+    let mut events = 360usize;
+    let mut phases = 6usize;
+    let mut seed = DEFAULT_TRACE_SEED;
+    let mut knobs = Knobs {
+        round_budget_steps: 8,
+        advise_every: 8,
+        payoff_horizon: 4.0,
+        drift_floor: 0.05,
+    };
+    let mut out = "BENCH_fleet.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rows" => {
+                i += 1;
+                rows_cap = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(rows_cap)
+                    .max(8);
+            }
+            "--events" => {
+                i += 1;
+                events = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(events)
+                    .max(1);
+            }
+            "--phases" => {
+                i += 1;
+                phases = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(phases)
+                    .max(1);
+            }
+            "--budget" => {
+                i += 1;
+                knobs.round_budget_steps = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(knobs.round_budget_steps)
+                    .max(1);
+            }
+            "--advise-every" => {
+                i += 1;
+                knobs.advise_every = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(knobs.advise_every)
+                    .max(1);
+            }
+            "--horizon" => {
+                i += 1;
+                knobs.payoff_horizon = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(knobs.payoff_horizon);
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(seed);
+            }
+            "--drift-floor" => {
+                i += 1;
+                knobs.drift_floor = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(knobs.drift_floor);
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or(out);
+            }
+            other => {
+                eprintln!(
+                    "usage: fleet_bench [--rows N] [--events N] [--phases N] [--budget STEPS] \
+                     [--advise-every N] [--horizon H] [--drift-floor F] [--seed S] \
+                     [--out FILE] (got `{other}`)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let trace = mixed_tpch_ssb(0.1, events, phases, seed);
+    let rows = scaled_rows(&trace, rows_cap);
+    eprintln!(
+        "fleet_bench: {} tables, {} events over {} phases, round budget {} steps",
+        trace.tables.len(),
+        trace.events.len(),
+        phases,
+        knobs.round_budget_steps
+    );
+    let oracle = oracle_checksums(&trace, &rows, seed);
+
+    let schedules = [
+        ("shared_drift_first", FleetSchedule::SharedDriftFirst),
+        ("equal_split", FleetSchedule::EqualSplit),
+        ("round_robin", FleetSchedule::RoundRobin),
+    ];
+    let mut records = Vec::new();
+    let mut costs = HashMap::new();
+    let mut all_checksums_ok = true;
+    for (name, schedule) in schedules {
+        let run = run_schedule(&trace, &rows, seed, schedule, knobs);
+        let checksums_ok = run.checksums == oracle;
+        all_checksums_ok &= checksums_ok;
+        let total = run.scan_io_seconds + run.repartition_io_seconds;
+        costs.insert(name, total);
+        eprintln!(
+            "fleet_bench: [{name}] total {total:.3}s (scan {:.3}s + repartition {:.3}s), \
+             {} repartitions over {} sessions ({} skipped), {} steps spent, oracle match: {}",
+            run.scan_io_seconds,
+            run.repartition_io_seconds,
+            run.stats.repartitions,
+            run.stats.sessions,
+            run.stats.sessions_skipped,
+            run.stats.steps_spent,
+            checksums_ok
+        );
+        records.push(ScheduleRecord {
+            schedule: name.to_string(),
+            total_cost_seconds: total,
+            scan_io_seconds: run.scan_io_seconds,
+            repartition_io_seconds: run.repartition_io_seconds,
+            repartitions: run.stats.repartitions,
+            sessions: run.stats.sessions,
+            sessions_skipped: run.stats.sessions_skipped,
+            steps_spent: run.stats.steps_spent,
+            rejected_by_payoff: run.stats.rejected_by_payoff,
+            failed_sessions: run.stats.failed_sessions,
+            tables_resliced: run.tables_resliced,
+            checksums_match_oracle: checksums_ok,
+        });
+    }
+
+    let winner = records
+        .iter()
+        .min_by(|a, b| {
+            a.total_cost_seconds
+                .partial_cmp(&b.total_cost_seconds)
+                .expect("finite costs")
+        })
+        .expect("three schedules ran")
+        .schedule
+        .clone();
+    let beats_equal = costs["shared_drift_first"] <= costs["equal_split"];
+    let beats_rr = costs["shared_drift_first"] <= costs["round_robin"];
+
+    let record = FleetRecord {
+        benchmark: "fleet_lifecycle".to_string(),
+        stamp: BenchStamp::collect(),
+        tables: trace.tables.len(),
+        rows_cap,
+        events,
+        phases,
+        window: WINDOW,
+        advise_every: knobs.advise_every,
+        round_budget_steps: knobs.round_budget_steps,
+        payoff_horizon: knobs.payoff_horizon,
+        drift_floor: knobs.drift_floor,
+        trace_seed: seed,
+        schedules: records,
+        winner: winner.clone(),
+        drift_first_beats_equal_split: beats_equal,
+        drift_first_beats_round_robin: beats_rr,
+        notes: "mixed TPC-H+SSB phase-drifting trace served by three TableFleets differing \
+                only in schedule; identical tables, queries and per-round step budget; total \
+                cost = modeled scan I/O + modeled incremental repartition I/O; per-table \
+                checksum accumulators asserted identical to immutable single-table oracle runs"
+            .to_string(),
+    };
+    write_report(&out, &record);
+    eprintln!("fleet_bench: wrote {out}");
+    if !all_checksums_ok {
+        eprintln!("fleet_bench: FAIL — some schedule diverged from the single-table oracles");
+        std::process::exit(1);
+    }
+    if !(beats_equal && beats_rr) {
+        eprintln!(
+            "fleet_bench: FAIL — shared drift-first ({:.3}s) must beat equal-split ({:.3}s) \
+             and round-robin ({:.3}s)",
+            costs["shared_drift_first"], costs["equal_split"], costs["round_robin"]
+        );
+        std::process::exit(1);
+    }
+}

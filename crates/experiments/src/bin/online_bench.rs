@@ -147,6 +147,7 @@ fn main() {
         advise_every: 8,
         budget: Budget::UNLIMITED,
         payoff_horizon: 64.0,
+        ..TableManagerConfig::default()
     };
     let mut manager = TableManager::new(table, Box::new(HillClimb::new()), model, cfg);
 

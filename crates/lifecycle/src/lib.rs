@@ -20,14 +20,26 @@
 //! * adoption happens through [`slicer_storage::StoredTable::repartition`],
 //!   the in-place incremental re-slice, not a full reload.
 //!
+//! Above the single-table manager sits the [`TableFleet`]: one manager
+//! per table, a query router keyed by table name, and a **shared** advisor
+//! budget spent across the fleet most-drifted-table-first (with
+//! equal-split and round-robin baselines), so whole-benchmark traffic —
+//! TPC-H and SSB side by side — is served and re-optimized under one
+//! bounded optimization budget.
+//!
 //! The `online_bench` binary in `slicer-experiments` drives a pricing →
-//! logistics phase shift over TPC-H Lineitem through this manager and
-//! records the resulting `BENCH_online.json`.
+//! logistics phase shift over TPC-H Lineitem through the manager, and
+//! `fleet_bench` drives a mixed TPC-H+SSB trace through the fleet under
+//! all three schedules; they record `BENCH_online.json` and
+//! `BENCH_fleet.json`.
 
 #![warn(missing_docs)]
 
+mod fleet;
 mod manager;
 
+pub use fleet::{DriftScore, FleetConfig, FleetOutcome, FleetSchedule, FleetStats, TableFleet};
 pub use manager::{
-    ManagerStats, RepartitionDecision, RepartitionEvent, TableManager, TableManagerConfig,
+    AdoptionPricing, ManagerStats, RepartitionDecision, RepartitionEvent, TableManager,
+    TableManagerConfig,
 };

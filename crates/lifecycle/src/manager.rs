@@ -1,10 +1,27 @@
 //! The [`TableManager`]: one live table, served and re-sliced online.
 
-use slicer_core::{Advisor, AdvisorSession, Budget, PartitionRequest};
+use slicer_core::{Advisor, AdvisorSession, Budget, PartitionRequest, SessionStats};
 use slicer_cost::{CostModel, DiskParams, EvalMemos, HddCostModel};
 use slicer_metrics::Payoff;
 use slicer_model::{ModelError, Partitioning, Query, SlidingWorkload};
 use slicer_storage::{scan, RepartitionStats, ScanResult, StoredTable};
+
+/// How the payoff test prices *adopting* a candidate layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdoptionPricing {
+    /// The paper's gate: price the full
+    /// [`HddCostModel::layout_creation_time`] — sequentially re-read the
+    /// whole table and write every partition file, as if materializing
+    /// from scratch.
+    FullCreation,
+    /// Price the *actual* move: the modeled incremental I/O of
+    /// [`StoredTable::repartition_plan`], where kept files cost nothing.
+    /// Under mild drift (most files unchanged) this adopts good layouts
+    /// far earlier than the full-price gate — the ROADMAP's
+    /// "repartition-aware payoff".
+    #[default]
+    IncrementalMove,
+}
 
 /// Tuning knobs of one [`TableManager`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,11 +34,13 @@ pub struct TableManagerConfig {
     /// and/or step caps; see [`Budget`]).
     pub budget: Budget,
     /// Payoff horizon in *window workload executions*: a candidate layout
-    /// is adopted only when `optimization time + layout creation time`
+    /// is adopted only when `optimization time + adoption price`
     /// amortizes against the per-execution saving within this many
     /// executions of the windowed workload (the paper's Figure 10 payoff
     /// test, applied online).
     pub payoff_horizon: f64,
+    /// How adoption is priced in the payoff test (see [`AdoptionPricing`]).
+    pub pricing: AdoptionPricing,
 }
 
 impl Default for TableManagerConfig {
@@ -31,6 +50,7 @@ impl Default for TableManagerConfig {
             advise_every: 16,
             budget: Budget::UNLIMITED,
             payoff_horizon: 16.0,
+            pricing: AdoptionPricing::IncrementalMove,
         }
     }
 }
@@ -187,6 +207,21 @@ impl TableManager {
         &mut self,
         query: Query,
     ) -> Result<(ScanResult, RepartitionDecision), ModelError> {
+        let result = self.serve(query)?;
+        let decision = if self.stats.queries.is_multiple_of(self.cfg.advise_every) {
+            self.advise_with(self.cfg.budget).0
+        } else {
+            RepartitionDecision::NotDue
+        };
+        Ok((result, decision))
+    }
+
+    /// Serve one query — scan, stats, window — without consulting the
+    /// re-advise cadence. This is the routing half of [`TableManager::execute`];
+    /// a fleet front end that schedules advisor sessions centrally calls
+    /// this per query and decides itself when (and with what budget) each
+    /// table gets advised.
+    pub fn serve(&mut self, query: Query) -> Result<ScanResult, ModelError> {
         query.validate(&self.table.schema)?;
         let result = scan(&self.table, query.referenced, &self.disk);
         self.stats.queries += 1;
@@ -194,20 +229,34 @@ impl TableManager {
         self.stats.scan_cpu_seconds += result.cpu_seconds;
         self.stats.bytes_read += result.bytes_read;
         self.window.observe(query);
-        let decision = if self.stats.queries.is_multiple_of(self.cfg.advise_every) {
-            self.advise_now()
-                .unwrap_or_else(|error| RepartitionDecision::Failed { error })
-        } else {
-            RepartitionDecision::NotDue
-        };
-        Ok((result, decision))
+        Ok(result)
     }
 
     /// Run one budgeted advisor session over the current window and apply
     /// the payoff test, regardless of cadence.
     pub fn advise_now(&mut self) -> Result<RepartitionDecision, ModelError> {
+        match self.advise_with(self.cfg.budget) {
+            (RepartitionDecision::Failed { error }, _) => Err(error),
+            (decision, _) => Ok(decision),
+        }
+    }
+
+    /// [`TableManager::advise_now`] with an explicit budget override (a
+    /// fleet granting slices of a shared pool) — returning the session's
+    /// spend telemetry alongside the decision so the caller can charge a
+    /// [`slicer_core::BudgetPool`] for what was *actually* consumed. An
+    /// advisor failure surfaces as [`RepartitionDecision::Failed`], never
+    /// as an `Err`; an empty window is a no-work [`RepartitionDecision::NoChange`]
+    /// with zeroed stats.
+    pub fn advise_with(&mut self, budget: Budget) -> (RepartitionDecision, SessionStats) {
+        let no_work = SessionStats {
+            steps: 0,
+            candidates: 0,
+            truncated: false,
+            elapsed: std::time::Duration::ZERO,
+        };
         if self.window.is_empty() {
-            return Ok(RepartitionDecision::NoChange);
+            return (RepartitionDecision::NoChange, no_work);
         }
         let window = self.window.workload();
         let candidate;
@@ -215,12 +264,15 @@ impl TableManager {
         {
             let schema = &self.table.schema;
             let req = PartitionRequest::new(schema, &window, &self.cost);
-            let mut session = AdvisorSession::new(&req, self.cfg.budget)
-                .with_memos(std::mem::take(&mut self.memos));
+            let mut session =
+                AdvisorSession::new(&req, budget).with_memos(std::mem::take(&mut self.memos));
             let outcome = self.advisor.partition_session(&mut session);
             self.memos = session.take_memos();
             session_stats = session.stats();
-            candidate = outcome?;
+            candidate = match outcome {
+                Ok(candidate) => candidate,
+                Err(error) => return (RepartitionDecision::Failed { error }, session_stats),
+            };
         }
         self.stats.advisor_runs += 1;
         self.stats.advisor_seconds += session_stats.elapsed.as_secs_f64();
@@ -228,24 +280,32 @@ impl TableManager {
             self.stats.truncated_runs += 1;
         }
         if candidate == self.table.layout {
-            return Ok(RepartitionDecision::NoChange);
+            return (RepartitionDecision::NoChange, session_stats);
         }
         let schema = &self.table.schema;
         let old_cost = self.cost.workload_cost(schema, &self.table.layout, &window);
         let new_cost = self.cost.workload_cost(schema, &candidate, &window);
+        let creation_time = match self.cfg.pricing {
+            AdoptionPricing::FullCreation => self.cost.layout_creation_time(schema, &candidate),
+            AdoptionPricing::IncrementalMove => {
+                self.table
+                    .repartition_plan(&candidate, &self.disk)
+                    .io_seconds
+            }
+        };
         let payoff = Payoff {
             optimization_time: session_stats.elapsed.as_secs_f64(),
-            creation_time: self.cost.layout_creation_time(schema, &candidate),
+            creation_time,
             saving_per_execution: old_cost - new_cost,
         };
-        match payoff.executions_to_pay_off() {
+        let decision = match payoff.executions_to_pay_off() {
             Some(executions) if executions <= self.cfg.payoff_horizon => {
                 let old_layout = self.table.layout.clone();
                 let stats = self.table.repartition(&candidate, &self.disk);
                 self.stats.repartitions += 1;
                 self.stats.repartition_io_seconds += stats.io_seconds;
                 self.stats.repartition_cpu_seconds += stats.cpu_seconds;
-                Ok(RepartitionDecision::Applied(Box::new(RepartitionEvent {
+                RepartitionDecision::Applied(Box::new(RepartitionEvent {
                     at_query: self.stats.queries,
                     old_layout,
                     new_layout: candidate,
@@ -254,13 +314,48 @@ impl TableManager {
                     payoff,
                     stats,
                     truncated_search: session_stats.truncated,
-                })))
+                }))
             }
             _ => {
                 self.stats.rejected_by_payoff += 1;
-                Ok(RepartitionDecision::Rejected { payoff })
+                RepartitionDecision::Rejected { payoff }
             }
+        };
+        (decision, session_stats)
+    }
+
+    /// Estimated cost of one execution of the current window under the
+    /// table's current layout (the fleet's drift numerator; zero for an
+    /// empty window).
+    pub fn window_cost(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
         }
+        let window = self.window.workload();
+        self.cost
+            .workload_cost(&self.table.schema, &self.table.layout, &window)
+    }
+
+    /// Sum of the windowed queries' weights.
+    pub fn window_weight(&self) -> f64 {
+        self.window.total_weight()
+    }
+
+    /// The current window's access profile over the table's attributes
+    /// (see [`SlidingWorkload::access_profile`]).
+    pub fn window_profile(&self) -> Vec<f64> {
+        self.window.access_profile(self.table.schema.attr_count())
+    }
+
+    /// Drift of the current window away from a reference access profile
+    /// (see [`SlidingWorkload::drift_from`]).
+    pub fn window_drift_from(&self, reference: &[f64]) -> f64 {
+        self.window.drift_from(reference)
+    }
+
+    /// The manager's configuration.
+    pub fn config(&self) -> &TableManagerConfig {
+        &self.cfg
     }
 }
 
@@ -320,6 +415,7 @@ mod tests {
             advise_every: 8,
             budget: Budget::UNLIMITED,
             payoff_horizon: 64.0,
+            ..TableManagerConfig::default()
         });
         let schema = lineitem();
         let mut applied = 0u64;
@@ -351,6 +447,7 @@ mod tests {
             advise_every: 8,
             budget: Budget::UNLIMITED,
             payoff_horizon: 64.0,
+            ..TableManagerConfig::default()
         });
         let schema = lineitem();
         for _ in 0..16 {
@@ -402,6 +499,119 @@ mod tests {
     }
 
     #[test]
+    fn incremental_pricing_adopts_mild_drift_earlier_than_full_price() {
+        // Mild drift: the table already serves phase A well; phase B only
+        // wants one extra attribute co-located, so the best candidate is a
+        // 1-group change that keeps every other file. The incremental-move
+        // price is then a fraction of the full creation price, and with a
+        // horizon between the two payoff counts the full-price gate
+        // rejects the very move the incremental gate adopts.
+        let schema = slicer_model::TableSchema::builder("T", 50_000)
+            .attr("A", 8, slicer_model::AttrKind::Decimal)
+            .attr("B", 8, slicer_model::AttrKind::Decimal)
+            .attr("C", 8, slicer_model::AttrKind::Decimal)
+            .attr("D", 8, slicer_model::AttrKind::Decimal)
+            .attr("E", 8, slicer_model::AttrKind::Decimal)
+            .attr("F", 199, slicer_model::AttrKind::Text)
+            .build()
+            .unwrap();
+        let rows = 50_000usize;
+        let data = generate_table(&schema, rows, 11);
+        // The layout phase A settled on: pricing columns together, the rest
+        // in their own files.
+        let settled = Partitioning::new(
+            &schema,
+            vec![
+                schema.attr_set(&["A", "B"]).unwrap(),
+                schema.attr_set(&["C", "D"]).unwrap(),
+                schema.attr_set(&["E"]).unwrap(),
+                schema.attr_set(&["F"]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let model = HddCostModel::paper_testbed();
+        let steady = Query::new("a", schema.attr_set(&["A", "B"]).unwrap());
+        let drift = Query::new("b", schema.attr_set(&["C", "D", "E"]).unwrap());
+        // Mild drift: phase A traffic keeps dominating the window, phase B
+        // only asks for E to join the C/D file.
+        let window_queries = |(): ()| -> Vec<Query> {
+            (0..16)
+                .map(|i| {
+                    if i % 4 == 3 {
+                        drift.clone()
+                    } else {
+                        steady.clone()
+                    }
+                })
+                .collect()
+        };
+
+        // Dry pricing of the move the advisor will propose on the drifted
+        // window, with optimization time factored out.
+        let (candidate, saving, full_price, inc_price) = {
+            let table = StoredTable::load(&schema, &data, &settled, CompressionPolicy::Default);
+            let window = slicer_model::Workload::with_queries(&schema, window_queries(())).unwrap();
+            let req = slicer_core::PartitionRequest::new(&schema, &window, &model);
+            let candidate = HillClimb::new().partition(&req).unwrap();
+            assert_ne!(candidate, settled, "the drift must warrant a move");
+            let plan = table.repartition_plan(&candidate, &model.params());
+            assert!(
+                plan.files_kept >= 2 && plan.files_rebuilt <= 2,
+                "mild drift should be a small change: {plan:?}"
+            );
+            let saving = model.workload_cost(&schema, &settled, &window)
+                - model.workload_cost(&schema, &candidate, &window);
+            assert!(saving > 0.0);
+            let full_price = model.layout_creation_time(&schema, &candidate);
+            (candidate, saving, full_price, plan.io_seconds)
+        };
+        let exec_full = full_price / saving;
+        let exec_inc = inc_price / saving;
+        assert!(
+            exec_inc * 2.0 <= exec_full,
+            "incremental price must pay off markedly earlier: {exec_inc} vs {exec_full}"
+        );
+
+        // Behavioral check: identical managers, identical drifted windows,
+        // a horizon between the two payoff counts — only the pricing knob
+        // differs, and only the incremental gate green-lights the move.
+        let horizon = (exec_full * exec_inc).sqrt();
+        let run = |pricing: AdoptionPricing| -> RepartitionDecision {
+            let table = StoredTable::load(&schema, &data, &settled, CompressionPolicy::Default);
+            let mut m = TableManager::new(
+                table,
+                Box::new(HillClimb::new()),
+                model,
+                TableManagerConfig {
+                    window: 16,
+                    advise_every: u64::MAX, // scheduled by hand below
+                    budget: Budget::UNLIMITED,
+                    payoff_horizon: horizon,
+                    pricing,
+                },
+            );
+            for q in window_queries(()) {
+                m.serve(q).unwrap();
+            }
+            m.advise_now().unwrap()
+        };
+        match run(AdoptionPricing::FullCreation) {
+            RepartitionDecision::Rejected { payoff } => {
+                assert!(payoff.executions_to_pay_off().unwrap() > horizon);
+            }
+            other => panic!("full-price gate should reject the mild move, got {other:?}"),
+        }
+        match run(AdoptionPricing::IncrementalMove) {
+            RepartitionDecision::Applied(ev) => {
+                assert_eq!(ev.new_layout, candidate);
+                assert!(ev.payoff.executions_to_pay_off().unwrap() <= horizon);
+                assert!(ev.stats.files_kept >= 2, "the move really was mild");
+            }
+            other => panic!("incremental gate should adopt the mild move, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn out_of_schema_queries_are_rejected() {
         let mut m = manager(TableManagerConfig::default());
         let bad = Query::new("bad", slicer_model::AttrSet::single(40usize));
@@ -417,6 +627,7 @@ mod tests {
             advise_every: 4,
             budget: Budget::UNLIMITED,
             payoff_horizon: 0.0,
+            ..TableManagerConfig::default()
         });
         let schema = lineitem();
         for _ in 0..16 {
@@ -435,6 +646,7 @@ mod tests {
             advise_every: 4,
             budget: Budget::deadline(std::time::Duration::ZERO),
             payoff_horizon: 64.0,
+            ..TableManagerConfig::default()
         });
         let schema = lineitem();
         for _ in 0..8 {

@@ -1,0 +1,398 @@
+//! The fleet scheduler's contracts, property-tested:
+//!
+//! * **Spend cap** — a shared-budget (drift-first) fleet never spends more
+//!   advisor steps than its per-round pool allows, whatever the traffic.
+//! * **Single-table degeneration** — with one table, the fleet is
+//!   behaviorally identical to a lone [`TableManager`] fed the same
+//!   stream: same decisions, same repartition events, bit-identical
+//!   layouts and deterministic counters.
+//! * **Routing integrity** — no query is dropped or cross-delivered:
+//!   per-table scan-checksum accumulators match single-table oracle runs,
+//!   and per-table query counts match what was routed, across all three
+//!   schedules and through live repartitions.
+
+use proptest::prelude::*;
+use slicer_core::{Budget, HillClimb};
+use slicer_cost::HddCostModel;
+use slicer_lifecycle::{
+    FleetConfig, FleetOutcome, FleetSchedule, RepartitionDecision, TableFleet, TableManager,
+    TableManagerConfig,
+};
+use slicer_model::{AttrKind, AttrSet, ModelError, Partitioning, Query, TableSchema};
+use slicer_storage::{generate_table, scan_naive, CompressionPolicy, StoredTable};
+
+/// Deterministic splitmix-style stream over a test seed.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn random_schema(name: &str, state: &mut u64) -> (TableSchema, usize) {
+    let attrs = 3 + (next(state) % 5) as usize; // 3..=7
+    let rows = 100 + (next(state) % 200) as usize;
+    let mut b = TableSchema::builder(name, rows as u64);
+    for i in 0..attrs {
+        let (size, kind) = match next(state) % 4 {
+            0 => (4, AttrKind::Int),
+            1 => (8, AttrKind::Decimal),
+            2 => (4, AttrKind::Date),
+            _ => ((1 + next(state) % 25) as u32, AttrKind::Text),
+        };
+        b = b.attr(format!("A{i}"), size, kind);
+    }
+    (b.build().expect("valid random schema"), rows)
+}
+
+fn random_query(state: &mut u64, schema: &TableSchema, tag: u64) -> Query {
+    let n = schema.attr_count();
+    let mut set = AttrSet::default();
+    for a in 0..n {
+        if next(state) & 1 == 1 {
+            set.insert(a);
+        }
+    }
+    if set.is_empty() {
+        set.insert((next(state) % n as u64) as usize);
+    }
+    Query::new(format!("q{tag}"), set)
+}
+
+fn build_manager(
+    schema: &TableSchema,
+    rows: usize,
+    data_seed: u64,
+    cfg: TableManagerConfig,
+) -> TableManager {
+    let data = generate_table(schema, rows, data_seed);
+    let table = StoredTable::load(
+        schema,
+        &data,
+        &Partitioning::row(schema),
+        CompressionPolicy::Default,
+    );
+    TableManager::new(
+        table,
+        Box::new(HillClimb::new()),
+        HddCostModel::paper_testbed(),
+        cfg,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// (a) The drift-first schedule's total step spend never exceeds
+    /// `rounds × pool`, and the pool accounting is reflected in the stats.
+    #[test]
+    fn shared_budget_spend_never_exceeds_pool(
+        seed in any::<u64>(),
+        pool_steps in 1u64..6,
+        tables in 2usize..5,
+    ) {
+        let mut state = seed;
+        let mut fleet = TableFleet::new(FleetConfig {
+            advise_every: 4,
+            round_budget: Budget::steps(pool_steps),
+            schedule: FleetSchedule::SharedDriftFirst,
+            ..FleetConfig::default()
+        });
+        let mut schemas = Vec::new();
+        for t in 0..tables {
+            let name = format!("T{t}");
+            let (schema, rows) = random_schema(&name, &mut state);
+            let data_seed = next(&mut state);
+            fleet.add_table(
+                &name,
+                build_manager(&schema, rows, data_seed, TableManagerConfig {
+                    window: 8,
+                    payoff_horizon: f64::INFINITY,
+                    ..TableManagerConfig::default()
+                }),
+            );
+            schemas.push((name, schema));
+        }
+        for i in 0..48u64 {
+            let (name, schema) = &schemas[(next(&mut state) % tables as u64) as usize];
+            let q = random_query(&mut state, schema, i);
+            fleet.execute(name, q).expect("query fits its schema");
+        }
+        let stats = *fleet.stats();
+        prop_assert!(stats.rounds == 12, "48 queries / advise_every 4");
+        prop_assert!(
+            stats.steps_spent <= stats.rounds * pool_steps,
+            "spent {} steps from {} rounds × pool {}",
+            stats.steps_spent, stats.rounds, pool_steps
+        );
+        // Sessions either ran or were explicitly skipped for budget.
+        prop_assert!(stats.sessions >= stats.rounds, "every round runs ≥ 1 session");
+    }
+
+    /// (b) A one-table fleet degenerates to a lone TableManager:
+    /// decision-for-decision, event-for-event, layout-bit-for-bit.
+    #[test]
+    fn single_table_fleet_equals_lone_manager(
+        seed in any::<u64>(),
+        cap in 0u64..4,
+    ) {
+        let mut state = seed;
+        let (schema, rows) = random_schema("T", &mut state);
+        let data_seed = next(&mut state);
+        // cap 0 doubles as "unlimited" so both regimes are exercised.
+        let budget = if cap == 0 { Budget::UNLIMITED } else { Budget::steps(cap) };
+        let cfg = TableManagerConfig {
+            window: 8,
+            advise_every: 4,
+            budget,
+            // An infinite horizon makes adoption depend only on the
+            // modeled saving, never on measured wall-clock — so the two
+            // runs are bit-deterministic replicas of each other.
+            payoff_horizon: f64::INFINITY,
+            ..TableManagerConfig::default()
+        };
+        let mut lone = build_manager(&schema, rows, data_seed, cfg);
+        let mut fleet = TableFleet::new(FleetConfig {
+            advise_every: cfg.advise_every,
+            round_budget: cfg.budget,
+            schedule: FleetSchedule::SharedDriftFirst,
+            ..FleetConfig::default()
+        });
+        fleet.add_table("T", build_manager(&schema, rows, data_seed, cfg));
+
+        for i in 0..24u64 {
+            let q = random_query(&mut state, &schema, i);
+            let (lone_scan, lone_decision) = lone.execute(q.clone()).expect("fits schema");
+            let (fleet_scan, outcome) = fleet.execute("T", q).expect("fits schema");
+            prop_assert_eq!(lone_scan.checksum, fleet_scan.checksum);
+            prop_assert_eq!(lone_scan.bytes_read, fleet_scan.bytes_read);
+            prop_assert_eq!(
+                lone_scan.io_seconds.to_bits(),
+                fleet_scan.io_seconds.to_bits()
+            );
+            let fleet_decision = match outcome {
+                FleetOutcome::NotDue => None,
+                FleetOutcome::Round(mut decisions) => {
+                    prop_assert_eq!(decisions.len(), 1, "one table, one session");
+                    prop_assert_eq!(decisions[0].0.as_str(), "T");
+                    Some(decisions.pop().expect("just checked").1)
+                }
+            };
+            match (&lone_decision, &fleet_decision) {
+                (RepartitionDecision::NotDue, None) => {}
+                (RepartitionDecision::NoChange, Some(RepartitionDecision::NoChange)) => {}
+                (
+                    RepartitionDecision::Rejected { payoff: a },
+                    Some(RepartitionDecision::Rejected { payoff: b }),
+                ) => {
+                    prop_assert_eq!(
+                        a.saving_per_execution.to_bits(),
+                        b.saving_per_execution.to_bits()
+                    );
+                }
+                (
+                    RepartitionDecision::Applied(a),
+                    Some(RepartitionDecision::Applied(b)),
+                ) => {
+                    prop_assert_eq!(a.at_query, b.at_query);
+                    prop_assert_eq!(&a.old_layout, &b.old_layout);
+                    prop_assert_eq!(&a.new_layout, &b.new_layout);
+                    prop_assert_eq!(a.old_cost.to_bits(), b.old_cost.to_bits());
+                    prop_assert_eq!(a.new_cost.to_bits(), b.new_cost.to_bits());
+                    prop_assert_eq!(a.stats.files_kept, b.stats.files_kept);
+                    prop_assert_eq!(a.stats.files_rebuilt, b.stats.files_rebuilt);
+                    prop_assert_eq!(a.stats.bytes_reread, b.stats.bytes_reread);
+                    prop_assert_eq!(a.stats.bytes_rewritten, b.stats.bytes_rewritten);
+                    prop_assert_eq!(
+                        a.payoff.creation_time.to_bits(),
+                        b.payoff.creation_time.to_bits()
+                    );
+                }
+                (lone_d, fleet_d) => {
+                    return Err(TestCaseError::fail(format!(
+                        "decisions diverged at query {i}: lone {lone_d:?} vs fleet {fleet_d:?}"
+                    )));
+                }
+            }
+            prop_assert_eq!(
+                lone.layout(),
+                fleet.manager("T").expect("registered").layout(),
+                "layouts diverged at query {}", i
+            );
+        }
+        let (a, b) = (*lone.stats(), *fleet.manager("T").expect("registered").stats());
+        prop_assert_eq!(a.queries, b.queries);
+        prop_assert_eq!(a.advisor_runs, b.advisor_runs);
+        prop_assert_eq!(a.truncated_runs, b.truncated_runs);
+        prop_assert_eq!(a.repartitions, b.repartitions);
+        prop_assert_eq!(a.rejected_by_payoff, b.rejected_by_payoff);
+        prop_assert_eq!(a.bytes_read, b.bytes_read);
+        prop_assert_eq!(a.scan_io_seconds.to_bits(), b.scan_io_seconds.to_bits());
+    }
+
+    /// (c) Routing never drops or cross-delivers a query, under any
+    /// schedule, including through live repartitions: per-table checksum
+    /// accumulators match an immutable single-table oracle, and per-table
+    /// query counts match what was routed.
+    #[test]
+    fn routing_matches_single_table_oracles(
+        seed in any::<u64>(),
+        schedule in 0usize..3,
+        pool_steps in 1u64..5,
+    ) {
+        let mut state = seed;
+        let schedule = [
+            FleetSchedule::SharedDriftFirst,
+            FleetSchedule::EqualSplit,
+            FleetSchedule::RoundRobin,
+        ][schedule];
+        let tables = 3usize;
+        let mut fleet = TableFleet::new(FleetConfig {
+            advise_every: 5,
+            round_budget: Budget::steps(pool_steps),
+            schedule,
+            ..FleetConfig::default()
+        });
+        let mut oracles = Vec::new(); // (name, schema, immutable table)
+        for t in 0..tables {
+            let name = format!("T{t}");
+            let (schema, rows) = random_schema(&name, &mut state);
+            let data_seed = next(&mut state);
+            fleet.add_table(
+                &name,
+                build_manager(&schema, rows, data_seed, TableManagerConfig {
+                    window: 8,
+                    payoff_horizon: f64::INFINITY,
+                    ..TableManagerConfig::default()
+                }),
+            );
+            let data = generate_table(&schema, rows, data_seed);
+            let stored = StoredTable::load(
+                &schema,
+                &data,
+                &Partitioning::row(&schema),
+                CompressionPolicy::Default,
+            );
+            oracles.push((name, schema, stored));
+        }
+        let disk = HddCostModel::paper_testbed().params();
+        let mut fleet_sum = vec![(0u64, 0u64); tables]; // (checksum acc, count)
+        let mut oracle_sum = vec![(0u64, 0u64); tables];
+        for i in 0..40u64 {
+            let t = (next(&mut state) % tables as u64) as usize;
+            let (name, schema, stored) = &oracles[t];
+            let q = random_query(&mut state, schema, i);
+            let (scan, _) = fleet.execute(name, q.clone()).expect("fits schema");
+            fleet_sum[t].0 ^= scan.checksum.rotate_left((i % 63) as u32);
+            fleet_sum[t].1 += 1;
+            let oracle = scan_naive(stored, q.referenced, &disk);
+            oracle_sum[t].0 ^= oracle.checksum.rotate_left((i % 63) as u32);
+            oracle_sum[t].1 += 1;
+        }
+        for t in 0..tables {
+            prop_assert_eq!(
+                fleet_sum[t], oracle_sum[t],
+                "table {} delivered wrong data or wrong count", t
+            );
+            let served = fleet.manager(&oracles[t].0).expect("registered").stats().queries;
+            prop_assert_eq!(served, fleet_sum[t].1, "routed vs served count");
+        }
+        prop_assert_eq!(fleet.stats().queries, 40);
+    }
+}
+
+#[test]
+fn unknown_table_is_an_error_and_counts_nothing() {
+    let mut state = 7u64;
+    let (schema, rows) = random_schema("T", &mut state);
+    let mut fleet = TableFleet::new(FleetConfig::default());
+    fleet.add_table(
+        "T",
+        build_manager(&schema, rows, 3, TableManagerConfig::default()),
+    );
+    let q = Query::new("q", AttrSet::single(0usize));
+    match fleet.execute("nope", q) {
+        Err(ModelError::UnknownTable { table }) => assert_eq!(table, "nope"),
+        other => panic!("expected UnknownTable, got {other:?}"),
+    }
+    assert_eq!(fleet.stats().queries, 0);
+    // An out-of-schema query routed to a known table is also refused
+    // without advancing anything.
+    let wide = Query::new("wide", AttrSet::single(30usize));
+    assert!(fleet.execute("T", wide).is_err());
+    assert_eq!(fleet.stats().queries, 0);
+    assert_eq!(fleet.manager("T").expect("registered").stats().queries, 0);
+}
+
+#[test]
+#[should_panic(expected = "already serves")]
+fn duplicate_registration_panics() {
+    let mut state = 9u64;
+    let (schema, rows) = random_schema("T", &mut state);
+    let mut fleet = TableFleet::new(FleetConfig::default());
+    fleet.add_table(
+        "T",
+        build_manager(&schema, rows, 1, TableManagerConfig::default()),
+    );
+    let (schema2, rows2) = random_schema("T", &mut state);
+    fleet.add_table(
+        "T",
+        build_manager(&schema2, rows2, 2, TableManagerConfig::default()),
+    );
+}
+
+#[test]
+fn drift_first_visits_the_most_drifted_table_first() {
+    // Two tables; both get advised once so they hold an anchor; then only
+    // one table's traffic shifts shape. The next round must visit the
+    // drifted table first.
+    let schema_a = TableSchema::builder("A", 200)
+        .attr("X", 4, AttrKind::Int)
+        .attr("Y", 8, AttrKind::Decimal)
+        .attr("Z", 20, AttrKind::Text)
+        .build()
+        .unwrap();
+    let schema_b = TableSchema::builder("B", 200)
+        .attr("U", 4, AttrKind::Int)
+        .attr("V", 8, AttrKind::Decimal)
+        .attr("W", 20, AttrKind::Text)
+        .build()
+        .unwrap();
+    let cfg = TableManagerConfig {
+        window: 8,
+        payoff_horizon: f64::INFINITY,
+        ..TableManagerConfig::default()
+    };
+    let mut fleet = TableFleet::new(FleetConfig {
+        advise_every: u64::MAX, // rounds run by hand
+        round_budget: Budget::UNLIMITED,
+        schedule: FleetSchedule::SharedDriftFirst,
+        ..FleetConfig::default()
+    });
+    fleet.add_table("A", build_manager(&schema_a, 200, 1, cfg));
+    fleet.add_table("B", build_manager(&schema_b, 200, 2, cfg));
+
+    let narrow_a = Query::new("na", schema_a.attr_set(&["X"]).unwrap());
+    let narrow_b = Query::new("nb", schema_b.attr_set(&["U"]).unwrap());
+    for _ in 0..4 {
+        fleet.execute("A", narrow_a.clone()).unwrap();
+        fleet.execute("B", narrow_b.clone()).unwrap();
+    }
+    fleet.advise_round(); // both anchored now
+                          // B's traffic shifts to a wide projection; A's stays put.
+    let wide_b = Query::new("wb", schema_b.attr_set(&["U", "V", "W"]).unwrap());
+    for _ in 0..8 {
+        fleet.execute("A", narrow_a.clone()).unwrap();
+        fleet.execute("B", wide_b.clone()).unwrap();
+    }
+    let drift_a = fleet.drift_of("A").unwrap();
+    let drift_b = fleet.drift_of("B").unwrap();
+    assert!(
+        drift_b.outranks(&drift_a),
+        "B drifted ({drift_b:?}), A did not ({drift_a:?})"
+    );
+    let decisions = fleet.advise_round();
+    assert_eq!(decisions[0].0, "B", "most drifted table is visited first");
+    assert_eq!(decisions.len(), 2, "the pool reaches the quiet table too");
+}

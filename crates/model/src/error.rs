@@ -32,6 +32,9 @@ pub enum ModelError {
     OverlappingPartitions { table: String },
     /// Partitioning not covering every attribute.
     IncompletePartitioning { table: String, missing: usize },
+    /// A multi-table front end was asked to route to a table it does not
+    /// serve.
+    UnknownTable { table: String },
     /// An algorithm was invoked with inputs it cannot handle
     /// (e.g. brute force beyond its configured attribute limit).
     Unsupported { reason: String },
@@ -78,6 +81,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::IncompletePartitioning { table, missing } => {
                 write!(f, "partitioning of `{table}` misses {missing} attribute(s)")
+            }
+            ModelError::UnknownTable { table } => {
+                write!(f, "no table named `{table}` is being served")
             }
             ModelError::Unsupported { reason } => write!(f, "unsupported input: {reason}"),
         }

@@ -248,6 +248,48 @@ impl SlidingWorkload {
     pub fn total_weight(&self) -> f64 {
         self.queries.iter().map(|q| q.weight).sum()
     }
+
+    /// The window's *access profile*: per attribute, the weight fraction of
+    /// the window that references it (`profile[a] ∈ [0, 1]`; an empty
+    /// window profiles as all zeros). Snapshotting the profile when a
+    /// layout is adopted gives a layout-free reference point for
+    /// [`SlidingWorkload::drift_from`].
+    pub fn access_profile(&self, attr_count: usize) -> Vec<f64> {
+        let mut profile = vec![0.0f64; attr_count];
+        let total = self.total_weight();
+        if total <= 0.0 {
+            return profile;
+        }
+        for q in &self.queries {
+            for a in q.referenced.iter() {
+                if a.index() < attr_count {
+                    profile[a.index()] += q.weight / total;
+                }
+            }
+        }
+        profile
+    }
+
+    /// Drift of the current window away from a `reference` access profile
+    /// (one produced by [`SlidingWorkload::access_profile`]): the mean
+    /// absolute per-attribute change in access fraction, in `[0, 1]`.
+    /// Zero means the window still touches every attribute exactly as often
+    /// as when the reference was taken; as the window turns over from one
+    /// workload to a disjoint one the score rises monotonically to the two
+    /// profiles' peak separation. An empty reference (`attr_count` of 0)
+    /// scores 0.
+    pub fn drift_from(&self, reference: &[f64]) -> f64 {
+        if reference.is_empty() {
+            return 0.0;
+        }
+        let current = self.access_profile(reference.len());
+        let sum: f64 = current
+            .iter()
+            .zip(reference)
+            .map(|(c, r)| (c - r).abs())
+            .sum();
+        sum / reference.len() as f64
+    }
 }
 
 #[cfg(test)]
@@ -367,6 +409,95 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn sliding_window_rejects_zero_capacity() {
         let _ = SlidingWorkload::new(0);
+    }
+
+    #[test]
+    fn empty_window_profiles_and_drifts_as_zero() {
+        let w = SlidingWorkload::new(4);
+        assert!(w.is_empty());
+        assert_eq!(w.workload().len(), 0);
+        assert_eq!(w.total_weight(), 0.0);
+        assert_eq!(w.access_profile(4), vec![0.0; 4]);
+        // Anything drifts zero from nothing-to-compare-against…
+        assert_eq!(w.drift_from(&[]), 0.0);
+        // …and an empty window drifts exactly by the reference itself.
+        assert_eq!(w.drift_from(&[1.0, 0.0, 1.0, 0.0]), 0.5);
+    }
+
+    #[test]
+    fn window_smaller_than_one_querys_span() {
+        // A capacity-1 window observing a query spanning the whole table:
+        // the window saturates at that single query, every earlier query is
+        // evicted, and the profile covers the full span.
+        let s = schema();
+        let mut w = SlidingWorkload::new(1);
+        assert!(w
+            .observe(Query::new("narrow", s.attr_set(&["A"]).unwrap()))
+            .is_none());
+        let wide = Query::new("wide", s.all_attrs());
+        let evicted = w.observe(wide).expect("capacity-1 window evicts");
+        assert_eq!(evicted.name, "narrow");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.capacity(), 1);
+        assert_eq!(w.access_profile(4), vec![1.0; 4]);
+        // Profiles truncated below the span just ignore the overflow.
+        assert_eq!(w.access_profile(2), vec![1.0; 2]);
+    }
+
+    #[test]
+    fn duplicate_query_saturation_is_a_fixed_point() {
+        // A window already full of one query does not change — in contents,
+        // profile, or drift — as more copies of it stream in.
+        let s = schema();
+        let q = Query::weighted("hot", s.attr_set(&["A", "C"]).unwrap(), 2.0);
+        let mut w = SlidingWorkload::new(3);
+        for _ in 0..3 {
+            w.observe(q.clone());
+        }
+        let saturated_profile = w.access_profile(4);
+        let reference = saturated_profile.clone();
+        for _ in 0..10 {
+            let evicted = w.observe(q.clone()).expect("full window evicts");
+            assert_eq!(evicted.name, "hot");
+            assert_eq!(w.len(), 3);
+            assert_eq!(w.access_profile(4), saturated_profile);
+            assert_eq!(w.drift_from(&reference), 0.0);
+        }
+        assert_eq!(w.total_weight(), 6.0);
+        assert_eq!(saturated_profile, vec![1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn drift_rises_monotonically_across_a_workload_shift() {
+        // Window full of workload A; reference taken; then workload B
+        // (disjoint footprint) streams in. Each turnover step moves the
+        // profile further from the reference until the window is pure B,
+        // where drift peaks and stays.
+        let s = schema();
+        let a = Query::new("a", s.attr_set(&["A", "B"]).unwrap());
+        let b = Query::new("b", s.attr_set(&["C", "D"]).unwrap());
+        let mut w = SlidingWorkload::new(8);
+        for _ in 0..8 {
+            w.observe(a.clone());
+        }
+        let reference = w.access_profile(4);
+        let mut last = w.drift_from(&reference);
+        assert_eq!(last, 0.0);
+        for step in 1..=12 {
+            w.observe(b.clone());
+            let drift = w.drift_from(&reference);
+            if step <= 8 {
+                assert!(
+                    drift > last,
+                    "step {step}: drift {drift} did not rise past {last}"
+                );
+            } else {
+                assert_eq!(drift, last, "pure-B window must plateau");
+            }
+            last = drift;
+        }
+        // Fully shifted: every attribute's access fraction changed by 1.
+        assert_eq!(last, 1.0);
     }
 
     #[test]

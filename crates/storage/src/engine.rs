@@ -252,6 +252,65 @@ impl StoredTable {
         }
     }
 
+    /// Price [`StoredTable::repartition`] without moving a byte: the exact
+    /// [`RepartitionStats`] the move *would* report (`cpu_seconds` aside,
+    /// which is a measurement and prices as zero).
+    ///
+    /// The plan can be exact because segments are encoded per attribute
+    /// column, independent of grouping: a rebuilt partition's re-encoded
+    /// segment is byte-identical to the segment the attribute already has,
+    /// so `bytes_rewritten` is a sum over existing segment sizes
+    /// (`repartition_plan_matches_actual_move` pins the equality). This is
+    /// the incremental-move payoff price: adopting a layout that keeps most
+    /// files costs far less than `layout_creation_time`'s full
+    /// read-everything-write-everything estimate.
+    pub fn repartition_plan(&self, layout: &Partitioning, disk: &DiskParams) -> RepartitionStats {
+        let mut seg_bytes: Vec<u64> = vec![0; self.schema.attr_count()];
+        let mut file_of: Vec<usize> = vec![0; self.schema.attr_count()];
+        for (fi, f) in self.files.iter().enumerate() {
+            for (aid, enc) in &f.segments {
+                seg_bytes[aid.index()] = enc.stored_bytes();
+                file_of[aid.index()] = fi;
+            }
+        }
+        let mut reread: Vec<bool> = vec![false; self.files.len()];
+        let mut files_kept = 0usize;
+        let mut files_rebuilt = 0usize;
+        let mut bytes_rewritten = 0u64;
+        for p in layout.partitions() {
+            if self.files.iter().any(|f| f.attrs == *p) {
+                files_kept += 1;
+                continue;
+            }
+            files_rebuilt += 1;
+            for a in p.iter() {
+                reread[file_of[a.index()]] = true;
+                bytes_rewritten += seg_bytes[a.index()];
+            }
+        }
+        let bytes_reread: u64 = self
+            .files
+            .iter()
+            .zip(&reread)
+            .filter(|&(_, &r)| r)
+            .map(|(f, _)| f.stored_bytes())
+            .sum();
+        let files_reread = reread.iter().filter(|&&r| r).count();
+        let block = disk.block_size;
+        let blocks_bytes = |s: u64| s.div_ceil(block) * block;
+        let io_seconds = disk.seek_time * (files_reread + files_rebuilt) as f64
+            + blocks_bytes(bytes_reread) as f64 / disk.read_bandwidth
+            + blocks_bytes(bytes_rewritten) as f64 / disk.write_bandwidth;
+        RepartitionStats {
+            files_kept,
+            files_rebuilt,
+            bytes_reread,
+            bytes_rewritten,
+            io_seconds,
+            cpu_seconds: 0.0,
+        }
+    }
+
     /// Number of rows stored (equal across all partition files).
     pub fn rows(&self) -> usize {
         self.source.rows

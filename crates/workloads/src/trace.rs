@@ -1,0 +1,186 @@
+//! Fleet traces: interleaved, phase-drifting query streams over the
+//! tables of several benchmarks at once.
+//!
+//! The paper's workloads are static per-table query sets; a serving fleet
+//! instead sees one *stream* in which tables compete for attention and
+//! the mix shifts over time. [`mixed_tpch_ssb`] builds such a stream over
+//! the union of the TPC-H and SSB tables (namespaced `tpch.*` / `ssb.*`
+//! so the overlapping dimension names stay distinct): time is divided
+//! into phases, each phase concentrates most of the traffic on a few
+//! *hot* tables and skews each table's query mix toward a
+//! phase-specific favourite, so every phase boundary drifts some tables'
+//! windows while leaving others untouched — exactly the situation a
+//! shared advisor budget has to triage.
+
+use crate::{ssb, tpch, Benchmark};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use slicer_model::{Query, TableSchema};
+
+/// One event of a fleet trace: a query routed to a named table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Routing key (`"tpch.Lineitem"`, `"ssb.Lineorder"`, …).
+    pub table: String,
+    /// The query, valid against that table's schema.
+    pub query: Query,
+}
+
+/// A fleet of namespaced tables plus the event stream over them.
+#[derive(Debug, Clone)]
+pub struct FleetTrace {
+    /// `(routing key, schema)` per table, in stable order.
+    pub tables: Vec<(String, TableSchema)>,
+    /// The interleaved stream, phase by phase.
+    pub events: Vec<TraceEvent>,
+    /// Number of phases the stream was generated in.
+    pub phases: usize,
+}
+
+impl FleetTrace {
+    /// The schema registered under `table`, if any.
+    pub fn schema_of(&self, table: &str) -> Option<&TableSchema> {
+        self.tables
+            .iter()
+            .find(|(name, _)| name == table)
+            .map(|(_, s)| s)
+    }
+}
+
+/// Per-benchmark-table query pool: the queries of that table's workload.
+fn table_pools(prefix: &str, benchmark: &Benchmark) -> Vec<(String, TableSchema, Vec<Query>)> {
+    benchmark
+        .touched_tables()
+        .into_iter()
+        .map(|(_, schema, workload)| {
+            (
+                format!("{prefix}.{}", schema.name()),
+                schema.clone(),
+                workload.queries().to_vec(),
+            )
+        })
+        .collect()
+}
+
+/// A deterministic mixed TPC-H + SSB fleet trace.
+///
+/// * `sf` — scale factor handed to both benchmark builders (schemas only;
+///   callers materializing storage typically re-scale row counts).
+/// * `events` — total stream length.
+/// * `phases` — how many drift phases to divide it into (≥ 1; each phase
+///   re-draws the hot tables and each table's favourite query).
+/// * `seed` — the whole trace is a pure function of `(sf, events, phases,
+///   seed)`.
+///
+/// In each phase, 80 % of events go to that phase's `hot` tables (two
+/// tables, re-drawn per phase) and the rest spread uniformly; within a
+/// table, three quarters of the events repeat the phase's favourite query
+/// for that table and the rest draw uniformly from its benchmark
+/// workload — concentrated enough that a phase's windows settle into a
+/// recognizable shape, noisy enough that they never fully freeze.
+pub fn mixed_tpch_ssb(sf: f64, events: usize, phases: usize, seed: u64) -> FleetTrace {
+    assert!(phases >= 1, "a trace needs at least one phase");
+    let mut pools = table_pools("tpch", &tpch::benchmark(sf));
+    pools.extend(table_pools("ssb", &ssb::benchmark(sf)));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tables: Vec<(String, TableSchema)> = pools
+        .iter()
+        .map(|(name, schema, _)| (name.clone(), schema.clone()))
+        .collect();
+    let mut out = Vec::with_capacity(events);
+    let per_phase = events.div_ceil(phases);
+    for phase in 0..phases {
+        // Re-draw this phase's hot tables and per-table favourite queries.
+        let mut order: Vec<usize> = (0..pools.len()).collect();
+        order.shuffle(&mut rng);
+        let hot: Vec<usize> = order.into_iter().take(2).collect();
+        let favourites: Vec<usize> = pools
+            .iter()
+            .map(|(_, _, queries)| rng.gen_range(0..queries.len()))
+            .collect();
+        let phase_len = per_phase.min(events - out.len());
+        for e in 0..phase_len {
+            let t = if rng.gen_bool(0.8) {
+                hot[rng.gen_range(0..hot.len())]
+            } else {
+                rng.gen_range(0..pools.len())
+            };
+            let (name, _, queries) = &pools[t];
+            let q = if rng.gen_bool(0.75) {
+                &queries[favourites[t]]
+            } else {
+                &queries[rng.gen_range(0..queries.len())]
+            };
+            let mut query = q.clone();
+            query.name = format!("p{phase}e{e}:{}", query.name);
+            out.push(TraceEvent {
+                table: name.clone(),
+                query,
+            });
+        }
+    }
+    FleetTrace {
+        tables,
+        events: out,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_in_its_seed() {
+        let a = mixed_tpch_ssb(0.1, 200, 4, 42);
+        let b = mixed_tpch_ssb(0.1, 200, 4, 42);
+        assert_eq!(a.events, b.events);
+        let c = mixed_tpch_ssb(0.1, 200, 4, 43);
+        assert_ne!(a.events, c.events, "a different seed reshuffles the mix");
+    }
+
+    #[test]
+    fn every_event_routes_to_a_known_table_and_validates() {
+        let t = mixed_tpch_ssb(0.1, 300, 3, 7);
+        assert_eq!(t.events.len(), 300);
+        for ev in &t.events {
+            let schema = t
+                .schema_of(&ev.table)
+                .unwrap_or_else(|| panic!("unknown table {}", ev.table));
+            ev.query
+                .validate(schema)
+                .unwrap_or_else(|e| panic!("{}: {e}", ev.table));
+        }
+    }
+
+    #[test]
+    fn both_benchmarks_appear_namespaced() {
+        let t = mixed_tpch_ssb(0.1, 400, 2, 5);
+        assert!(t.tables.iter().any(|(n, _)| n.starts_with("tpch.")));
+        assert!(t.tables.iter().any(|(n, _)| n.starts_with("ssb.")));
+        // The overlapping dimension names stay distinct routing keys.
+        assert!(t.schema_of("tpch.Customer").is_some());
+        assert!(t.schema_of("ssb.Customer").is_some());
+        assert!(t.events.iter().any(|e| e.table.starts_with("tpch.")));
+        assert!(t.events.iter().any(|e| e.table.starts_with("ssb.")));
+    }
+
+    #[test]
+    fn phases_concentrate_traffic() {
+        // Within one phase, the two hot tables should carry most events.
+        let t = mixed_tpch_ssb(0.1, 600, 1, 11);
+        let mut counts = std::collections::HashMap::new();
+        for ev in &t.events {
+            *counts.entry(ev.table.as_str()).or_insert(0usize) += 1;
+        }
+        let mut sorted: Vec<usize> = counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top2: usize = sorted.iter().take(2).sum();
+        assert!(
+            top2 * 2 > t.events.len(),
+            "hot tables carry {top2}/{} events",
+            t.events.len()
+        );
+    }
+}

@@ -3,7 +3,9 @@
 //! it was designed for, BIRTE '11), then end to end through the
 //! [`TableManager`] lifecycle: live scans over a stored table, sliding-
 //! window re-advising under a budget, the paper's payoff test, and
-//! in-place `StoredTable::repartition`.
+//! in-place `StoredTable::repartition` — and finally through a
+//! [`TableFleet`]: several tables behind one router, sharing one advisor
+//! budget that goes to the most drifted table first.
 //!
 //! Run with: `cargo run --release --example online_partitioning`
 
@@ -88,6 +90,7 @@ fn main() -> Result<(), ModelError> {
             // every re-advise gets at most 10 ms, anytime best-so-far.
             budget: Budget::deadline(std::time::Duration::from_millis(10)),
             payoff_horizon: 64.0,
+            ..TableManagerConfig::default()
         },
     );
     for (phase, referenced) in [("pricing", pricing), ("logistics", logistics)] {
@@ -118,5 +121,97 @@ fn main() -> Result<(), ModelError> {
         stats.repartitions,
         stats.rejected_by_payoff
     );
+
+    // A whole fleet: three tables behind one router, one shared advisor
+    // budget per round, spent most-drifted-table-first. Orders traffic is
+    // steady; Lineitem's pricing phase gives way to logistics mid-stream,
+    // so Lineitem's window drifts and the scheduler keeps routing the
+    // budget to where it is needed.
+    println!("\n== TableFleet: a shared budget follows the drift ==\n");
+    let fleet_rows = 8_000usize;
+    let mut fleet = TableFleet::new(FleetConfig {
+        advise_every: 12,
+        round_budget: Budget::steps(8),
+        schedule: FleetSchedule::SharedDriftFirst,
+        drift_floor: 0.02,
+    });
+    for which in [
+        tpch::TpchTable::Lineitem,
+        tpch::TpchTable::Orders,
+        tpch::TpchTable::Part,
+    ] {
+        let schema = tpch::table(which, 1.0).with_row_count(fleet_rows as u64);
+        let data = generate_table(&schema, fleet_rows, 7);
+        let stored = StoredTable::load(
+            &schema,
+            &data,
+            &Partitioning::row(&schema),
+            CompressionPolicy::Default,
+        );
+        fleet.add_table(
+            schema.name().to_string(),
+            TableManager::new(
+                stored,
+                Box::new(HillClimb::new()),
+                HddCostModel::paper_testbed(),
+                TableManagerConfig {
+                    window: 16,
+                    advise_every: u64::MAX, // the fleet schedules centrally
+                    payoff_horizon: 8.0,
+                    ..TableManagerConfig::default()
+                },
+            ),
+        );
+    }
+    let orders_schema = tpch::table(tpch::TpchTable::Orders, 1.0);
+    let part_schema = tpch::table(tpch::TpchTable::Part, 1.0);
+    let orders_q = orders_schema.attr_set(&["OrderDate", "TotalPrice", "OrderStatus"])?;
+    let part_q = part_schema.attr_set(&["Brand", "Type", "RetailPrice"])?;
+    for i in 0..96usize {
+        // Lineitem's traffic flips from pricing to logistics halfway.
+        let (table, set) = match i % 3 {
+            0 => ("Lineitem", if i < 48 { pricing } else { logistics }),
+            1 => ("Orders", orders_q),
+            _ => ("Part", part_q),
+        };
+        let (_, outcome) = fleet
+            .execute(table, Query::new(format!("f{i}"), set))
+            .expect("fleet queries fit their schemas");
+        if let FleetOutcome::Round(decisions) = outcome {
+            for (name, decision) in &decisions {
+                if let RepartitionDecision::Applied(ev) = decision {
+                    println!(
+                        "[round at query {i:>2}] {name} re-sliced ({} kept / {} rebuilt) → {}",
+                        ev.stats.files_kept,
+                        ev.stats.files_rebuilt,
+                        ev.new_layout
+                            .render(&fleet.manager(name).expect("registered").table().schema)
+                    );
+                }
+            }
+        }
+    }
+    let fs = fleet.stats();
+    println!(
+        "\nfleet: {} queries over {} tables; {} rounds, {} sessions \
+         ({} skipped for budget), {} steps spent, {} repartitions",
+        fs.queries,
+        fleet.len(),
+        fs.rounds,
+        fs.sessions,
+        fs.sessions_skipped,
+        fs.steps_spent,
+        fs.repartitions
+    );
+    for name in ["Lineitem", "Orders", "Part"] {
+        let m = fleet.manager(name).expect("registered");
+        println!(
+            "  {name}: {} queries, {} advisor runs, {} repartitions, {} partitions now",
+            m.stats().queries,
+            m.stats().advisor_runs,
+            m.stats().repartitions,
+            m.layout().len()
+        );
+    }
     Ok(())
 }

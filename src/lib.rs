@@ -39,12 +39,13 @@ pub use slicer_workloads as workloads;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use slicer_core::{
-        Advisor, AdvisorSession, AutoPart, BruteForce, Budget, HillClimb, Hyrise, Navathe,
-        PartitionRequest, SessionStats, Trojan, O2P,
+        Advisor, AdvisorSession, AutoPart, BruteForce, Budget, BudgetPool, HillClimb, Hyrise,
+        Navathe, PartitionRequest, SessionStats, Trojan, O2P,
     };
     pub use slicer_cost::{CostModel, DiskParams, EvalMemos, HddCostModel, MainMemoryCostModel};
     pub use slicer_lifecycle::{
-        RepartitionDecision, RepartitionEvent, TableManager, TableManagerConfig,
+        AdoptionPricing, DriftScore, FleetConfig, FleetOutcome, FleetSchedule, FleetStats,
+        RepartitionDecision, RepartitionEvent, TableFleet, TableManager, TableManagerConfig,
     };
     pub use slicer_model::{
         AttrId, AttrKind, AttrSet, Attribute, ModelError, Partitioning, Query, SlidingWorkload,

@@ -120,12 +120,22 @@ proptest! {
         let disk = DiskParams::paper_testbed();
 
         let mut moved = StoredTable::load(&schema, &data, &source, pol);
+        let plan = moved.repartition_plan(&target, &disk);
         let stats = moved.repartition(&target, &disk);
         prop_assert_eq!(
             stats.files_kept + stats.files_rebuilt,
             target.len(),
             "every target partition is either kept or rebuilt"
         );
+        // The dry-run plan prices the move exactly (CPU is measured, not
+        // planned) — this is what lets the payoff gate consult the
+        // incremental price without performing the move.
+        prop_assert_eq!(plan.files_kept, stats.files_kept);
+        prop_assert_eq!(plan.files_rebuilt, stats.files_rebuilt);
+        prop_assert_eq!(plan.bytes_reread, stats.bytes_reread);
+        prop_assert_eq!(plan.bytes_rewritten, stats.bytes_rewritten);
+        prop_assert_eq!(plan.io_seconds.to_bits(), stats.io_seconds.to_bits());
+        prop_assert_eq!(plan.cpu_seconds, 0.0);
         let fresh = StoredTable::load(&schema, &data, &target, pol);
         let projections: Vec<AttrSet> = (0..4)
             .map(|_| random_projection(&mut state, &schema))
