@@ -80,7 +80,7 @@ fn bench_scans(c: &mut Criterion) {
                 BenchmarkId::new(format!("{policy:?}_executor_cold"), lname),
                 &table,
                 |bench, table| {
-                    let mut exec = ScanExecutor::new(table);
+                    let exec = ScanExecutor::new(table);
                     bench.iter(|| black_box(exec.scan(q6, &disk)))
                 },
             );
@@ -89,7 +89,7 @@ fn bench_scans(c: &mut Criterion) {
                 BenchmarkId::new(format!("{policy:?}_executor_warm"), lname),
                 &table,
                 |bench, table| {
-                    let mut exec = ScanExecutor::with_mode(table, CacheMode::Warm);
+                    let exec = ScanExecutor::with_mode(table, CacheMode::Warm);
                     bench.iter(|| black_box(exec.scan(q6, &disk)))
                 },
             );

@@ -96,6 +96,42 @@ pub fn write_report<T: Serialize>(path: &str, record: &T) {
     println!("{json}");
 }
 
+/// [`write_report`] for a measurement sweep: a single record keeps the
+/// historical one-object file format; two or more (one per thread count,
+/// the multicore scaling curve) write a JSON array.
+pub fn write_report_sweep<T: Serialize>(path: &str, records: &[T]) {
+    assert!(!records.is_empty(), "no benchmark records to write");
+    if let [single] = records {
+        write_report(path, single);
+    } else {
+        write_report(path, &records);
+    }
+}
+
+/// Parse a `--threads` flag value: a comma-separated list of positive
+/// worker counts (`"1,2,4"`), each measured as its own stamped record.
+pub fn parse_thread_counts(arg: &str) -> Option<Vec<usize>> {
+    let counts: Vec<usize> = arg
+        .split(',')
+        .map(|t| t.trim().parse::<usize>())
+        .collect::<Result<_, _>>()
+        .ok()?;
+    (!counts.is_empty() && counts.iter().all(|&n| n > 0)).then_some(counts)
+}
+
+/// Install `threads` as the effective rayon worker count for subsequent
+/// parallel sections (`None` = leave the `RAYON_NUM_THREADS` / hardware
+/// default). Returns the now-effective count for the record stamp.
+pub fn apply_thread_count(threads: Option<usize>) -> usize {
+    if let Some(n) = threads {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("the vendored rayon shim accepts re-capping");
+    }
+    rayon::current_num_threads()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +150,16 @@ mod tests {
         assert_eq!(iso8601_utc(1_753_660_800), "2025-07-28T00:00:00Z");
         // Leap-year day: 2024-02-29 12:34:56 UTC.
         assert_eq!(iso8601_utc(1_709_210_096), "2024-02-29T12:34:56Z");
+    }
+
+    #[test]
+    fn thread_count_lists_parse_strictly() {
+        assert_eq!(parse_thread_counts("1,2,4"), Some(vec![1, 2, 4]));
+        assert_eq!(parse_thread_counts("8"), Some(vec![8]));
+        assert_eq!(parse_thread_counts(" 2 , 3 "), Some(vec![2, 3]));
+        assert_eq!(parse_thread_counts(""), None);
+        assert_eq!(parse_thread_counts("0"), None, "zero workers is nonsense");
+        assert_eq!(parse_thread_counts("2,x"), None);
     }
 
     #[test]

@@ -20,8 +20,12 @@
 //! ```text
 //! fleet_bench [--rows N] [--events N] [--phases N] [--budget STEPS]
 //!             [--advise-every N] [--horizon H] [--drift-floor F]
-//!             [--seed S] [--out FILE]
+//!             [--seed S] [--out FILE] [--threads LIST]
 //! ```
+//!
+//! `--threads 1,2,4` re-runs the whole comparison once per worker count
+//! and writes one stamped record each (a JSON array) — the multicore
+//! scaling curve for the parallel advisor scans under the fleet.
 //!
 //! Defaults: 20 000-row cap, 360 events, 6 phases, 8-step round budget, a
 //! round every 8 queries, payoff horizon 4 window executions, drift floor
@@ -37,7 +41,7 @@
 use serde::Serialize;
 use slicer_core::{Budget, HillClimb};
 use slicer_cost::HddCostModel;
-use slicer_experiments::{write_report, BenchStamp};
+use slicer_experiments::{apply_thread_count, parse_thread_counts, write_report_sweep, BenchStamp};
 use slicer_lifecycle::{
     FleetConfig, FleetSchedule, FleetStats, TableFleet, TableManager, TableManagerConfig,
 };
@@ -237,9 +241,20 @@ fn main() {
         drift_floor: 0.05,
     };
     let mut out = "BENCH_fleet.json".to_string();
+    let mut thread_counts: Vec<Option<usize>> = vec![None];
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|s| parse_thread_counts(s)) {
+                    Some(counts) => thread_counts = counts.into_iter().map(Some).collect(),
+                    None => {
+                        eprintln!("fleet_bench: --threads wants a comma list of positive counts");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--rows" => {
                 i += 1;
                 rows_cap = args
@@ -306,7 +321,7 @@ fn main() {
                 eprintln!(
                     "usage: fleet_bench [--rows N] [--events N] [--phases N] [--budget STEPS] \
                      [--advise-every N] [--horizon H] [--drift-floor F] [--seed S] \
-                     [--out FILE] (got `{other}`)"
+                     [--out FILE] [--threads LIST] (got `{other}`)"
                 );
                 std::process::exit(2);
             }
@@ -330,89 +345,106 @@ fn main() {
         ("equal_split", FleetSchedule::EqualSplit),
         ("round_robin", FleetSchedule::RoundRobin),
     ];
-    let mut records = Vec::new();
-    let mut costs = HashMap::new();
+    let mut sweep = Vec::new();
     let mut all_checksums_ok = true;
-    for (name, schedule) in schedules {
-        let run = run_schedule(&trace, &rows, seed, schedule, knobs);
-        let checksums_ok = run.checksums == oracle;
-        all_checksums_ok &= checksums_ok;
-        let total = run.scan_io_seconds + run.repartition_io_seconds;
-        costs.insert(name, total);
-        eprintln!(
-            "fleet_bench: [{name}] total {total:.3}s (scan {:.3}s + repartition {:.3}s), \
-             {} repartitions over {} sessions ({} skipped), {} steps spent, oracle match: {}",
-            run.scan_io_seconds,
-            run.repartition_io_seconds,
-            run.stats.repartitions,
-            run.stats.sessions,
-            run.stats.sessions_skipped,
-            run.stats.steps_spent,
-            checksums_ok
-        );
-        records.push(ScheduleRecord {
-            schedule: name.to_string(),
-            total_cost_seconds: total,
-            scan_io_seconds: run.scan_io_seconds,
-            repartition_io_seconds: run.repartition_io_seconds,
-            repartitions: run.stats.repartitions,
-            sessions: run.stats.sessions,
-            sessions_skipped: run.stats.sessions_skipped,
-            steps_spent: run.stats.steps_spent,
-            rejected_by_payoff: run.stats.rejected_by_payoff,
-            failed_sessions: run.stats.failed_sessions,
-            tables_resliced: run.tables_resliced,
-            checksums_match_oracle: checksums_ok,
+    let mut drift_first_always_wins = true;
+    let mut diag_costs = HashMap::new();
+    for &threads in &thread_counts {
+        let effective = apply_thread_count(threads);
+        let mut records = Vec::new();
+        let mut costs = HashMap::new();
+        for (name, schedule) in schedules {
+            let run = run_schedule(&trace, &rows, seed, schedule, knobs);
+            let checksums_ok = run.checksums == oracle;
+            all_checksums_ok &= checksums_ok;
+            let total = run.scan_io_seconds + run.repartition_io_seconds;
+            costs.insert(name, total);
+            eprintln!(
+                "fleet_bench: [{effective} threads] [{name}] total {total:.3}s (scan {:.3}s + \
+                 repartition {:.3}s), {} repartitions over {} sessions ({} skipped), \
+                 {} steps spent, oracle match: {}",
+                run.scan_io_seconds,
+                run.repartition_io_seconds,
+                run.stats.repartitions,
+                run.stats.sessions,
+                run.stats.sessions_skipped,
+                run.stats.steps_spent,
+                checksums_ok
+            );
+            records.push(ScheduleRecord {
+                schedule: name.to_string(),
+                total_cost_seconds: total,
+                scan_io_seconds: run.scan_io_seconds,
+                repartition_io_seconds: run.repartition_io_seconds,
+                repartitions: run.stats.repartitions,
+                sessions: run.stats.sessions,
+                sessions_skipped: run.stats.sessions_skipped,
+                steps_spent: run.stats.steps_spent,
+                rejected_by_payoff: run.stats.rejected_by_payoff,
+                failed_sessions: run.stats.failed_sessions,
+                tables_resliced: run.tables_resliced,
+                checksums_match_oracle: checksums_ok,
+            });
+        }
+
+        let winner = records
+            .iter()
+            .min_by(|a, b| {
+                a.total_cost_seconds
+                    .partial_cmp(&b.total_cost_seconds)
+                    .expect("finite costs")
+            })
+            .expect("three schedules ran")
+            .schedule
+            .clone();
+        let beats_equal = costs["shared_drift_first"] <= costs["equal_split"];
+        let beats_rr = costs["shared_drift_first"] <= costs["round_robin"];
+        // Keep the costs of the (first) losing sweep point so the FAIL
+        // diagnostic shows the record that actually lost, not the last.
+        if drift_first_always_wins && !(beats_equal && beats_rr) {
+            diag_costs = costs.clone();
+        }
+        drift_first_always_wins &= beats_equal && beats_rr;
+        if diag_costs.is_empty() {
+            diag_costs = costs;
+        }
+
+        sweep.push(FleetRecord {
+            benchmark: "fleet_lifecycle".to_string(),
+            stamp: BenchStamp::collect(),
+            tables: trace.tables.len(),
+            rows_cap,
+            events,
+            phases,
+            window: WINDOW,
+            advise_every: knobs.advise_every,
+            round_budget_steps: knobs.round_budget_steps,
+            payoff_horizon: knobs.payoff_horizon,
+            drift_floor: knobs.drift_floor,
+            trace_seed: seed,
+            schedules: records,
+            winner,
+            drift_first_beats_equal_split: beats_equal,
+            drift_first_beats_round_robin: beats_rr,
+            notes: "mixed TPC-H+SSB phase-drifting trace served by three TableFleets differing \
+                    only in schedule; identical tables, queries and per-round step budget; total \
+                    cost = modeled scan I/O + modeled incremental repartition I/O; per-table \
+                    checksum accumulators asserted identical to immutable single-table oracle \
+                    runs"
+                .to_string(),
         });
     }
-
-    let winner = records
-        .iter()
-        .min_by(|a, b| {
-            a.total_cost_seconds
-                .partial_cmp(&b.total_cost_seconds)
-                .expect("finite costs")
-        })
-        .expect("three schedules ran")
-        .schedule
-        .clone();
-    let beats_equal = costs["shared_drift_first"] <= costs["equal_split"];
-    let beats_rr = costs["shared_drift_first"] <= costs["round_robin"];
-
-    let record = FleetRecord {
-        benchmark: "fleet_lifecycle".to_string(),
-        stamp: BenchStamp::collect(),
-        tables: trace.tables.len(),
-        rows_cap,
-        events,
-        phases,
-        window: WINDOW,
-        advise_every: knobs.advise_every,
-        round_budget_steps: knobs.round_budget_steps,
-        payoff_horizon: knobs.payoff_horizon,
-        drift_floor: knobs.drift_floor,
-        trace_seed: seed,
-        schedules: records,
-        winner: winner.clone(),
-        drift_first_beats_equal_split: beats_equal,
-        drift_first_beats_round_robin: beats_rr,
-        notes: "mixed TPC-H+SSB phase-drifting trace served by three TableFleets differing \
-                only in schedule; identical tables, queries and per-round step budget; total \
-                cost = modeled scan I/O + modeled incremental repartition I/O; per-table \
-                checksum accumulators asserted identical to immutable single-table oracle runs"
-            .to_string(),
-    };
-    write_report(&out, &record);
+    write_report_sweep(&out, &sweep);
     eprintln!("fleet_bench: wrote {out}");
     if !all_checksums_ok {
         eprintln!("fleet_bench: FAIL — some schedule diverged from the single-table oracles");
         std::process::exit(1);
     }
-    if !(beats_equal && beats_rr) {
+    if !drift_first_always_wins {
         eprintln!(
             "fleet_bench: FAIL — shared drift-first ({:.3}s) must beat equal-split ({:.3}s) \
              and round-robin ({:.3}s)",
-            costs["shared_drift_first"], costs["equal_split"], costs["round_robin"]
+            diag_costs["shared_drift_first"], diag_costs["equal_split"], diag_costs["round_robin"]
         );
         std::process::exit(1);
     }

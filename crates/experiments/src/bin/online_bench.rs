@@ -192,7 +192,7 @@ fn main() {
             layout_at_end: manager.layout().render(&schema),
             row_cost_per_query: query_cost(&schema, &model, &row, q),
             cost_per_query_at_start: query_cost(&schema, &model, &start_layout, q),
-            cost_per_query_at_end: query_cost(&schema, &model, manager.layout(), q),
+            cost_per_query_at_end: query_cost(&schema, &model, &manager.layout(), q),
             repartitions: stats_after.repartitions - stats_before.repartitions,
             rejected_by_payoff: stats_after.rejected_by_payoff - stats_before.rejected_by_payoff,
             scan_io_seconds: stats_after.scan_io_seconds - stats_before.scan_io_seconds,
@@ -214,7 +214,12 @@ fn main() {
 
     // The acceptance oracle: the re-sliced table must be indistinguishable
     // from a fresh load of the final layout.
-    let fresh = StoredTable::load(&schema, &data, manager.layout(), CompressionPolicy::Default);
+    let fresh = StoredTable::load(
+        &schema,
+        &data,
+        &manager.layout(),
+        CompressionPolicy::Default,
+    );
     let disk = model.params();
     let mut identical = true;
     for q in [&pricing, &logistics] {

@@ -7,16 +7,21 @@
 //! perf trajectory is recorded across PRs.
 //!
 //! ```text
-//! opt_bench [--runs N] [--out FILE] [--sf SF]
+//! opt_bench [--runs N] [--out FILE] [--sf SF] [--threads LIST]
 //! ```
 //!
 //! Defaults: 5 runs per path (median reported), `BENCH_opt_time.json` in
-//! the current directory, scale factor 10.
+//! the current directory, scale factor 10. `--threads 1,2,4` measures
+//! once per worker count and writes one stamped record each (the
+//! multicore scaling curve, as a JSON array); without the flag one record
+//! is written at the `RAYON_NUM_THREADS` / hardware default.
 
 use serde::Serialize;
 use slicer_core::{Advisor, HillClimb, PartitionRequest};
 use slicer_cost::HddCostModel;
-use slicer_experiments::{median, write_report, BenchStamp};
+use slicer_experiments::{
+    apply_thread_count, median, parse_thread_counts, write_report_sweep, BenchStamp,
+};
 use slicer_model::Partitioning;
 use slicer_workloads::tpch;
 use std::time::Instant;
@@ -58,6 +63,7 @@ fn main() {
     let mut runs = 5usize;
     let mut out = "BENCH_opt_time.json".to_string();
     let mut sf = 10.0f64;
+    let mut thread_counts: Vec<Option<usize>> = vec![None];
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -77,8 +83,21 @@ fn main() {
                 i += 1;
                 sf = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(sf);
             }
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|s| parse_thread_counts(s)) {
+                    Some(counts) => thread_counts = counts.into_iter().map(Some).collect(),
+                    None => {
+                        eprintln!("opt_bench: --threads wants a comma list of positive counts");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
-                eprintln!("usage: opt_bench [--runs N] [--out FILE] [--sf SF] (got `{other}`)");
+                eprintln!(
+                    "usage: opt_bench [--runs N] [--out FILE] [--sf SF] [--threads LIST] \
+                     (got `{other}`)"
+                );
                 std::process::exit(2);
             }
         }
@@ -101,33 +120,43 @@ fn main() {
     let fast_req = PartitionRequest::new(schema, &workload, &m);
     let naive_req = fast_req.with_naive_evaluation();
 
-    let (fast_times, fast_layout) = time_runs(&fast_req, runs);
-    let (naive_times, naive_layout) = time_runs(&naive_req, runs);
-
-    let identical = fast_layout == naive_layout;
-    let fast_med = median(fast_times);
-    let naive_med = median(naive_times);
-    let record = OptTimeRecord {
-        benchmark: "hillclimb_opt_time".to_string(),
-        stamp: BenchStamp::collect(),
-        table: schema.name().to_string(),
-        attrs: schema.attr_count(),
-        queries: workload.len(),
-        scale_factor: sf,
-        runs,
-        naive_seconds_median: naive_med,
-        evaluator_seconds_median: fast_med,
-        speedup: naive_med / fast_med,
-        layouts_identical: identical,
-        layout: fast_layout.render(schema),
-        notes: "naive path reproduces the seed evaluation (fresh partitioning + per-query \
-                read-set allocation per candidate); evaluator path = incremental + memoized \
-                (+ parallel scans when more than one core is available)"
-            .to_string(),
-    };
-    write_report(&out, &record);
+    let mut records = Vec::new();
+    let mut all_identical = true;
+    for &threads in &thread_counts {
+        let effective = apply_thread_count(threads);
+        let (fast_times, fast_layout) = time_runs(&fast_req, runs);
+        let (naive_times, naive_layout) = time_runs(&naive_req, runs);
+        let identical = fast_layout == naive_layout;
+        all_identical &= identical;
+        let fast_med = median(fast_times);
+        let naive_med = median(naive_times);
+        eprintln!(
+            "opt_bench: [{effective} threads] naive {naive_med:.3}s  evaluator {fast_med:.3}s  \
+             speedup {:.2}x  identical={identical}",
+            naive_med / fast_med
+        );
+        records.push(OptTimeRecord {
+            benchmark: "hillclimb_opt_time".to_string(),
+            stamp: BenchStamp::collect(),
+            table: schema.name().to_string(),
+            attrs: schema.attr_count(),
+            queries: workload.len(),
+            scale_factor: sf,
+            runs,
+            naive_seconds_median: naive_med,
+            evaluator_seconds_median: fast_med,
+            speedup: naive_med / fast_med,
+            layouts_identical: identical,
+            layout: fast_layout.render(schema),
+            notes: "naive path reproduces the seed evaluation (fresh partitioning + per-query \
+                    read-set allocation per candidate); evaluator path = incremental + memoized \
+                    (+ parallel scans when more than one core is available)"
+                .to_string(),
+        });
+    }
+    write_report_sweep(&out, &records);
     eprintln!("opt_bench: wrote {out}");
-    if !identical {
+    if !all_identical {
         eprintln!("opt_bench: FAIL — naive and evaluator layouts diverge");
         std::process::exit(1);
     }

@@ -16,16 +16,21 @@
 //! to the optimizer-side `BENCH_opt_time.json`.
 //!
 //! ```text
-//! scan_bench [--rows N] [--runs N] [--out FILE]
+//! scan_bench [--rows N] [--runs N] [--out FILE] [--threads LIST]
 //! ```
 //!
 //! Defaults: 40 000 rows, 5 runs per path (median reported),
-//! `BENCH_scan_time.json` in the current directory.
+//! `BENCH_scan_time.json` in the current directory. `--threads 1,2,4`
+//! measures once per worker count (the parallel-decode scaling curve) and
+//! writes one stamped record each as a JSON array; without the flag one
+//! record is written at the `RAYON_NUM_THREADS` / hardware default.
 
 use serde::Serialize;
 use slicer_core::{Advisor, HillClimb, PartitionRequest};
 use slicer_cost::{DiskParams, HddCostModel};
-use slicer_experiments::{median, write_report, BenchStamp};
+use slicer_experiments::{
+    apply_thread_count, median, parse_thread_counts, write_report_sweep, BenchStamp,
+};
 use slicer_model::Partitioning;
 use slicer_storage::{generate_table, scan_naive, CompressionPolicy, ScanExecutor, StoredTable};
 use slicer_workloads::tpch;
@@ -61,9 +66,20 @@ fn main() {
     let mut rows = 40_000usize;
     let mut runs = 5usize;
     let mut out = "BENCH_scan_time.json".to_string();
+    let mut thread_counts: Vec<Option<usize>> = vec![None];
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|s| parse_thread_counts(s)) {
+                    Some(counts) => thread_counts = counts.into_iter().map(Some).collect(),
+                    None => {
+                        eprintln!("scan_bench: --threads wants a comma list of positive counts");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--rows" => {
                 i += 1;
                 rows = args
@@ -85,7 +101,10 @@ fn main() {
                 out = args.get(i).cloned().unwrap_or(out);
             }
             other => {
-                eprintln!("usage: scan_bench [--rows N] [--runs N] [--out FILE] (got `{other}`)");
+                eprintln!(
+                    "usage: scan_bench [--rows N] [--runs N] [--out FILE] [--threads LIST] \
+                     (got `{other}`)"
+                );
                 std::process::exit(2);
             }
         }
@@ -129,93 +148,99 @@ fn main() {
         ("hillclimb".to_string(), hc),
     ];
 
-    let mut policies = Vec::new();
+    let mut records = Vec::new();
     let mut all_identical = true;
-    for policy in [CompressionPolicy::Default, CompressionPolicy::Dictionary] {
-        let tables: Vec<StoredTable> = layouts
-            .iter()
-            .map(|(_, l)| StoredTable::load(&schema, &data, l, policy))
-            .collect();
+    for &threads in &thread_counts {
+        let effective = apply_thread_count(threads);
+        let mut policies = Vec::new();
+        for policy in [CompressionPolicy::Default, CompressionPolicy::Dictionary] {
+            let tables: Vec<StoredTable> = layouts
+                .iter()
+                .map(|(_, l)| StoredTable::load(&schema, &data, l, policy))
+                .collect();
 
-        let mut naive_times = Vec::with_capacity(runs);
-        let mut exec_times = Vec::with_capacity(runs);
-        let mut checksums_identical = true;
-        let mut bytes_identical = true;
-        for _ in 0..runs {
-            let mut naive_cpu = 0.0;
-            let mut naive_results = Vec::new();
-            for t in &tables {
-                for &p in &projections {
-                    let r = scan_naive(t, p, &disk);
-                    naive_cpu += r.cpu_seconds;
-                    naive_results.push((r.checksum, r.bytes_read));
+            let mut naive_times = Vec::with_capacity(runs);
+            let mut exec_times = Vec::with_capacity(runs);
+            let mut checksums_identical = true;
+            let mut bytes_identical = true;
+            for _ in 0..runs {
+                let mut naive_cpu = 0.0;
+                let mut naive_results = Vec::new();
+                for t in &tables {
+                    for &p in &projections {
+                        let r = scan_naive(t, p, &disk);
+                        naive_cpu += r.cpu_seconds;
+                        naive_results.push((r.checksum, r.bytes_read));
+                    }
                 }
-            }
-            naive_times.push(naive_cpu);
+                naive_times.push(naive_cpu);
 
-            let mut exec_cpu = 0.0;
-            let mut k = 0;
-            for t in &tables {
-                // One cold-cache executor per table, reused across the
-                // projections: every scan re-decodes (cold), the scratch
-                // arenas keep their capacity.
-                let mut exec = ScanExecutor::new(t);
-                for &p in &projections {
-                    let r = exec.scan(p, &disk);
-                    exec_cpu += r.cpu_seconds;
-                    checksums_identical &= r.checksum == naive_results[k].0;
-                    bytes_identical &= r.bytes_read == naive_results[k].1;
-                    k += 1;
+                let mut exec_cpu = 0.0;
+                let mut k = 0;
+                for t in &tables {
+                    // One cold-cache executor per table, reused across the
+                    // projections: every scan re-decodes (cold), the scratch
+                    // arenas keep their capacity.
+                    let exec = ScanExecutor::new(t);
+                    for &p in &projections {
+                        let r = exec.scan(p, &disk);
+                        exec_cpu += r.cpu_seconds;
+                        checksums_identical &= r.checksum == naive_results[k].0;
+                        bytes_identical &= r.bytes_read == naive_results[k].1;
+                        k += 1;
+                    }
                 }
+                exec_times.push(exec_cpu);
             }
-            exec_times.push(exec_cpu);
+
+            let naive_med = median(naive_times);
+            let exec_med = median(exec_times);
+            let rec = PolicyRecord {
+                policy: format!("{policy:?}"),
+                naive_cpu_seconds_median: naive_med,
+                executor_cpu_seconds_median: exec_med,
+                speedup: naive_med / exec_med,
+                checksums_identical,
+                bytes_read_identical: bytes_identical,
+            };
+            eprintln!(
+                "scan_bench: [{} threads] {:<10} naive {:.3}s  executor {:.3}s  speedup {:.2}x  \
+             identical={}",
+                effective,
+                rec.policy,
+                naive_med,
+                exec_med,
+                rec.speedup,
+                checksums_identical && bytes_identical
+            );
+            all_identical &= checksums_identical && bytes_identical;
+            policies.push(rec);
         }
 
-        let naive_med = median(naive_times);
-        let exec_med = median(exec_times);
-        let rec = PolicyRecord {
-            policy: format!("{policy:?}"),
-            naive_cpu_seconds_median: naive_med,
-            executor_cpu_seconds_median: exec_med,
-            speedup: naive_med / exec_med,
-            checksums_identical,
-            bytes_read_identical: bytes_identical,
-        };
-        eprintln!(
-            "scan_bench: {:<10} naive {:.3}s  executor {:.3}s  speedup {:.2}x  identical={}",
-            rec.policy,
-            naive_med,
-            exec_med,
-            rec.speedup,
-            checksums_identical && bytes_identical
-        );
-        all_identical &= checksums_identical && bytes_identical;
-        policies.push(rec);
+        let min_speedup = policies
+            .iter()
+            .map(|p| p.speedup)
+            .fold(f64::INFINITY, f64::min);
+        records.push(ScanTimeRecord {
+            benchmark: "storage_scan_time".to_string(),
+            stamp: BenchStamp::collect(),
+            table: schema.name().to_string(),
+            attrs: schema.attr_count(),
+            queries: projections.len(),
+            layouts: layouts.iter().map(|(n, _)| n.clone()).collect(),
+            rows,
+            runs,
+            policies,
+            min_speedup,
+            notes: "cold-cache CPU seconds summed over all Lineitem projections on the \
+                    row/column/HillClimb layouts (paper Table 7); naive path = the original \
+                    materialize-then-iterate oracle, executor path = vectorized cursors \
+                    (zero-copy fixed-width, scratch-decoded varlen, blocked reconstruction); \
+                    simulated io_seconds identical by construction and elided"
+                .to_string(),
+        });
     }
-
-    let min_speedup = policies
-        .iter()
-        .map(|p| p.speedup)
-        .fold(f64::INFINITY, f64::min);
-    let record = ScanTimeRecord {
-        benchmark: "storage_scan_time".to_string(),
-        stamp: BenchStamp::collect(),
-        table: schema.name().to_string(),
-        attrs: schema.attr_count(),
-        queries: projections.len(),
-        layouts: layouts.iter().map(|(n, _)| n.clone()).collect(),
-        rows,
-        runs,
-        policies,
-        min_speedup,
-        notes: "cold-cache CPU seconds summed over all Lineitem projections on the \
-                row/column/HillClimb layouts (paper Table 7); naive path = the original \
-                materialize-then-iterate oracle, executor path = vectorized cursors \
-                (zero-copy fixed-width, scratch-decoded varlen, blocked reconstruction); \
-                simulated io_seconds identical by construction and elided"
-            .to_string(),
-    };
-    write_report(&out, &record);
+    write_report_sweep(&out, &records);
     eprintln!("scan_bench: wrote {out}");
     if !all_identical {
         eprintln!("scan_bench: FAIL — executor diverges from the naive oracle");

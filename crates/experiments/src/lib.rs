@@ -23,7 +23,9 @@ pub mod storage_exp;
 pub mod sweet_spots;
 pub mod workload_scaling;
 
-pub use bench_report::{median, write_report, BenchStamp};
+pub use bench_report::{
+    apply_thread_count, median, parse_thread_counts, write_report, write_report_sweep, BenchStamp,
+};
 pub use common::Config;
 pub use report::{Report, ReportTable};
 

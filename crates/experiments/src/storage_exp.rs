@@ -69,7 +69,7 @@ pub fn table7(cfg: &Config) -> Report {
                 // One cold-cache executor per stored table: every query
                 // re-decodes (the paper's cold caches), the scratch arenas
                 // are reused across the workload.
-                let mut exec = ScanExecutor::new(&table);
+                let exec = ScanExecutor::new(&table);
                 for q in workload.queries() {
                     if q.name == "Q9" {
                         continue; // paper footnote 4

@@ -33,11 +33,12 @@
 //! a table whose traffic changed shape but not (yet) cost still ranks
 //! above one whose window is unchanged.
 
-use crate::manager::{RepartitionDecision, TableManager};
+use crate::manager::{RealizedPayoff, RepartitionDecision, ServeBatchReport, TableManager};
 use slicer_core::{Budget, BudgetPool, SessionStats};
 use slicer_model::{ModelError, Query};
-use slicer_storage::ScanResult;
+use slicer_storage::{ScanResult, StoredTable};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How a fleet spends its per-round advisor budget across its tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -114,6 +115,15 @@ pub struct FleetStats {
     pub rejected_by_payoff: u64,
     /// Sessions whose advisor failed outright.
     pub failed_sessions: u64,
+    /// Modeled incremental I/O invested in adopted moves, summed over all
+    /// tables — re-recorded at every advise round (the fleet-wide half of
+    /// the per-table [`RealizedPayoff`] ledger the ROADMAP's "learned
+    /// drift floor" needs; per-table numbers via
+    /// [`TableFleet::realized_payoff`]).
+    pub payoff_invested_io_seconds: f64,
+    /// Modeled I/O the served traffic saved versus each table's forgone
+    /// layout, summed over all tables — re-recorded at every advise round.
+    pub payoff_saved_io_seconds: f64,
 }
 
 /// Drift priority of one table: compared lexicographically.
@@ -310,11 +320,102 @@ impl TableFleet {
     /// not visited).
     pub fn advise_round(&mut self) -> Vec<(String, RepartitionDecision)> {
         self.stats.rounds += 1;
-        match self.cfg.schedule {
+        let out = match self.cfg.schedule {
             FleetSchedule::SharedDriftFirst => self.round_drift_first(),
             FleetSchedule::EqualSplit => self.round_equal_split(),
             FleetSchedule::RoundRobin => self.round_round_robin(),
+        };
+        // Re-record the fleet-wide realized-payoff ledger: what the round
+        // just invested and what the traffic served so far has paid back.
+        let (invested, saved) = self
+            .entries
+            .iter()
+            .map(|e| e.manager.realized_payoff())
+            .fold((0.0, 0.0), |(i, s), p| {
+                (i + p.invested_io_seconds, s + p.saved_io_seconds)
+            });
+        self.stats.payoff_invested_io_seconds = invested;
+        self.stats.payoff_saved_io_seconds = saved;
+        out
+    }
+
+    /// Realized payoff ledger of `table`, if registered (see
+    /// [`RealizedPayoff`]).
+    pub fn realized_payoff(&self, table: &str) -> Option<RealizedPayoff> {
+        self.by_name
+            .get(table)
+            .map(|&i| self.entries[i].manager.realized_payoff())
+    }
+
+    /// Drain a routed query batch across `threads` scan workers, then run
+    /// `overlap` on the calling thread while the workers are still
+    /// scanning — the fleet's serve front. `overlap` gets `&mut self`, so
+    /// it can run an [`TableFleet::advise_round`] (with its re-partitions)
+    /// *during* the drain; the zero-stall snapshot swap means no worker
+    /// ever blocks on a move. Results are folded into the per-table
+    /// managers in batch order afterwards, so subsequent advising is
+    /// deterministic for a given batch.
+    ///
+    /// One caveat the single-table report does not have: the generation
+    /// span (`min_generation`..`max_generation`) mixes *per-table*
+    /// counters, so across tables at different steady-state generations a
+    /// spread does **not** imply a re-partition happened mid-drain; use
+    /// [`TableFleet::manager`]-level drains when that signal matters.
+    ///
+    /// Unlike [`TableFleet::execute`], batch serving does **not** consult
+    /// the fleet's `advise_every` cadence — schedule rounds explicitly
+    /// (run [`TableFleet::advise_round`] in `overlap` or between batches).
+    ///
+    /// `Err` means some event routes to an unknown table or does not fit
+    /// its schema; nothing is served.
+    pub fn serve_batch_with<R>(
+        &mut self,
+        events: &[(String, Query)],
+        threads: usize,
+        overlap: impl FnOnce(&mut TableFleet) -> R,
+    ) -> Result<(ServeBatchReport, R), ModelError> {
+        let mut routed = Vec::with_capacity(events.len());
+        for (table, query) in events {
+            let idx = *self
+                .by_name
+                .get(table)
+                .ok_or_else(|| ModelError::UnknownTable {
+                    table: table.clone(),
+                })?;
+            query.validate(&self.entries[idx].manager.table().schema)?;
+            routed.push(idx);
         }
+        let tables: Vec<Arc<StoredTable>> = self
+            .entries
+            .iter()
+            .map(|e| e.manager.table_handle())
+            .collect();
+        let disks: Vec<_> = self.entries.iter().map(|e| e.manager.disk()).collect();
+        let queries: Vec<Query> = events.iter().map(|(_, q)| q.clone()).collect();
+        let (drained, wall_seconds, overlap_out) =
+            crate::serve::drain_batch(&tables, &disks, &routed, &queries, threads, || {
+                overlap(self)
+            });
+        let report = crate::serve::fold_report(&drained, threads, wall_seconds, 0);
+        for (i, (_, query)) in events.iter().enumerate() {
+            let (result, snapshot) = &drained[i];
+            self.entries[routed[i]]
+                .manager
+                .record_served(query.clone(), result, snapshot);
+            self.stats.queries += 1;
+        }
+        Ok((report, overlap_out))
+    }
+
+    /// [`TableFleet::serve_batch_with`] with no overlapped work: a plain
+    /// multi-threaded routed drain.
+    pub fn serve_batch(
+        &mut self,
+        events: &[(String, Query)],
+        threads: usize,
+    ) -> Result<ServeBatchReport, ModelError> {
+        self.serve_batch_with(events, threads, |_| ())
+            .map(|(report, ())| report)
     }
 
     /// Tables with something in their window, most drifted first (ties

@@ -18,7 +18,13 @@
 //!   time` against the per-window-execution saving — within the
 //!   configured horizon;
 //! * adoption happens through [`slicer_storage::StoredTable::repartition`],
-//!   the in-place incremental re-slice, not a full reload.
+//!   the zero-stall double-buffered incremental re-slice, not a full
+//!   reload — and the serve front ([`TableManager::serve_batch_with`],
+//!   [`TableFleet::serve_batch_with`]) drains query batches across worker
+//!   threads *while* advise rounds and re-partitions proceed on the
+//!   calling thread, with per-table [`RealizedPayoff`] ledgers tracking
+//!   what each adopted move invested versus what the traffic served since
+//!   actually saved.
 //!
 //! Above the single-table manager sits the [`TableFleet`]: one manager
 //! per table, a query router keyed by table name, and a **shared** advisor
@@ -37,9 +43,10 @@
 
 mod fleet;
 mod manager;
+mod serve;
 
 pub use fleet::{DriftScore, FleetConfig, FleetOutcome, FleetSchedule, FleetStats, TableFleet};
 pub use manager::{
-    AdoptionPricing, ManagerStats, RepartitionDecision, RepartitionEvent, TableManager,
-    TableManagerConfig,
+    AdoptionPricing, ManagerStats, RealizedPayoff, RepartitionDecision, RepartitionEvent,
+    ServeBatchReport, TableManager, TableManagerConfig,
 };

@@ -4,7 +4,8 @@ use slicer_core::{Advisor, AdvisorSession, Budget, PartitionRequest, SessionStat
 use slicer_cost::{CostModel, DiskParams, EvalMemos, HddCostModel};
 use slicer_metrics::Payoff;
 use slicer_model::{ModelError, Partitioning, Query, SlidingWorkload};
-use slicer_storage::{scan, RepartitionStats, ScanResult, StoredTable};
+use slicer_storage::{RepartitionStats, ScanExecutor, ScanResult, StoredTable};
+use std::sync::Arc;
 
 /// How the payoff test prices *adopting* a candidate layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -82,6 +83,60 @@ pub struct ManagerStats {
     pub repartition_cpu_seconds: f64,
 }
 
+/// Realized payoff of a table's adopted layout moves: what re-partitioning
+/// actually cost (modeled incremental I/O) versus what the traffic served
+/// *since* each adoption actually saved (modeled I/O under the forgone
+/// layout minus under the adopted one, per query). This is the per-table
+/// signal the ROADMAP's "learned drift floor" needs: a table whose moves
+/// keep paying off deserves budget; one whose savings never catch the
+/// invested price does not.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RealizedPayoff {
+    /// Layout moves adopted.
+    pub moves: u64,
+    /// Modeled incremental I/O spent moving, summed over all moves.
+    pub invested_io_seconds: f64,
+    /// Modeled I/O the served queries saved versus the layout the latest
+    /// move replaced (accrues per served query; resets its baseline — not
+    /// its total — at each new move).
+    pub saved_io_seconds: f64,
+}
+
+impl RealizedPayoff {
+    /// Saved minus invested: positive once the moves have amortized.
+    pub fn net_io_seconds(&self) -> f64 {
+        self.saved_io_seconds - self.invested_io_seconds
+    }
+}
+
+/// Outcome of one multi-threaded [`TableManager::serve_batch`] drain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeBatchReport {
+    /// Queries served.
+    pub queries: u64,
+    /// Worker threads that drained the batch.
+    pub threads: usize,
+    /// Wall-clock seconds from first to last scan.
+    pub wall_seconds: f64,
+    /// `queries / wall_seconds` (0 for an empty batch).
+    pub queries_per_second: f64,
+    /// Order-deterministic accumulator over the per-scan checksums
+    /// (`checksum[i]` rotated by `i % 63`, XOR-folded) — comparable across
+    /// runs and against a sequential oracle drain of the same batch.
+    pub checksum: u64,
+    /// Simulated scan I/O seconds, summed.
+    pub scan_io_seconds: f64,
+    /// Measured scan CPU seconds, summed.
+    pub scan_cpu_seconds: f64,
+    /// Compressed bytes read, summed.
+    pub bytes_read: u64,
+    /// Lowest snapshot generation any scan pinned.
+    pub min_generation: u64,
+    /// Highest snapshot generation any scan pinned (`>` min iff a
+    /// re-partition was published mid-drain).
+    pub max_generation: u64,
+}
+
 /// One applied re-partitioning.
 #[derive(Debug, Clone)]
 pub struct RepartitionEvent {
@@ -134,9 +189,14 @@ pub enum RepartitionDecision {
 /// observed workload: every query lands in a sliding window; on a cadence
 /// the window is re-advised under a budget (with warm evaluator memos
 /// carried across runs); and when the payoff test approves, the table is
-/// re-sliced in place via [`StoredTable::repartition`].
+/// re-sliced via the zero-stall [`StoredTable::repartition`].
+///
+/// The table lives behind an `Arc` ([`TableManager::table_handle`]), and
+/// both scans and re-partitions take `&StoredTable` — so a multi-threaded
+/// drain ([`TableManager::serve_batch`]) keeps scanning while an advise
+/// round re-slices the table underneath it.
 pub struct TableManager {
-    table: StoredTable,
+    table: Arc<StoredTable>,
     advisor: Box<dyn Advisor>,
     cost: HddCostModel,
     disk: DiskParams,
@@ -144,6 +204,14 @@ pub struct TableManager {
     cfg: TableManagerConfig,
     memos: EvalMemos,
     stats: ManagerStats,
+    realized: RealizedPayoff,
+    /// The layout the latest adopted move replaced, plus the snapshot
+    /// generation at which the move took effect: the forgone alternative
+    /// that [`RealizedPayoff::saved_io_seconds`] prices served queries
+    /// against — but only queries whose pinned snapshot post-dates the
+    /// move (a batch fold must not credit the move for scans that read
+    /// the pre-move layout). `None` until the first move.
+    payoff_baseline: Option<(Partitioning, u64)>,
 }
 
 impl TableManager {
@@ -163,7 +231,7 @@ impl TableManager {
         let disk = cost.params();
         let window = SlidingWorkload::new(cfg.window);
         TableManager {
-            table,
+            table: Arc::new(table),
             advisor,
             cost,
             disk,
@@ -171,6 +239,8 @@ impl TableManager {
             cfg,
             memos: EvalMemos::new(),
             stats: ManagerStats::default(),
+            realized: RealizedPayoff::default(),
+            payoff_baseline: None,
         }
     }
 
@@ -179,9 +249,27 @@ impl TableManager {
         &self.table
     }
 
+    /// A shared handle to the managed table, for serving threads that
+    /// scan (or re-slice) concurrently with this manager.
+    pub fn table_handle(&self) -> Arc<StoredTable> {
+        Arc::clone(&self.table)
+    }
+
     /// The table's current layout.
-    pub fn layout(&self) -> &Partitioning {
-        &self.table.layout
+    pub fn layout(&self) -> Partitioning {
+        self.table.layout()
+    }
+
+    /// Realized payoff of the moves adopted so far (see
+    /// [`RealizedPayoff`]).
+    pub fn realized_payoff(&self) -> RealizedPayoff {
+        self.realized
+    }
+
+    /// The simulated disk the manager scans against (shared with a fleet
+    /// serve front that scans on this manager's behalf).
+    pub(crate) fn disk(&self) -> DiskParams {
+        self.disk
     }
 
     /// Lifetime counters.
@@ -223,13 +311,98 @@ impl TableManager {
     /// table gets advised.
     pub fn serve(&mut self, query: Query) -> Result<ScanResult, ModelError> {
         query.validate(&self.table.schema)?;
-        let result = scan(&self.table, query.referenced, &self.disk);
+        let snapshot = self.table.snapshot();
+        let result =
+            ScanExecutor::new(&self.table).scan_snapshot(&snapshot, query.referenced, &self.disk);
+        self.record_served(query, &result, &snapshot);
+        Ok(result)
+    }
+
+    /// Book one externally-executed scan into the manager: stats, realized
+    /// payoff accrual, sliding window. The scan itself already happened
+    /// (on a serving thread); `served` is the snapshot it actually pinned.
+    /// Savings are credited against the layout the scan really read, and
+    /// only for scans whose snapshot post-dates the latest move — a move
+    /// landing mid-batch is credited neither for the scans that preceded
+    /// it nor (if several moves land in one drain) for scans served under
+    /// an earlier baseline.
+    pub(crate) fn record_served(
+        &mut self,
+        query: Query,
+        result: &ScanResult,
+        served: &slicer_storage::TableSnapshot,
+    ) {
         self.stats.queries += 1;
         self.stats.scan_io_seconds += result.io_seconds;
         self.stats.scan_cpu_seconds += result.cpu_seconds;
         self.stats.bytes_read += result.bytes_read;
+        if let Some((baseline, since_generation)) = &self.payoff_baseline {
+            if served.generation >= *since_generation {
+                self.realized.saved_io_seconds +=
+                    self.cost.query_cost(&self.table.schema, baseline, &query)
+                        - self
+                            .cost
+                            .query_cost(&self.table.schema, &served.layout, &query);
+            }
+        }
         self.window.observe(query);
-        Ok(result)
+    }
+
+    /// Drain `queries` across `threads` scan workers, then run `overlap`
+    /// on the calling thread while the workers are still scanning — the
+    /// serve front's primitive. `overlap` gets `&mut self`, so it can run
+    /// an advise round or force a re-partition *during* the drain; the
+    /// zero-stall snapshot swap means no worker ever blocks on it.
+    ///
+    /// Every scan pins the table snapshot current at its start and is
+    /// bit-identical to `scan_naive` on that same snapshot. Results are
+    /// folded into the manager (stats, window, payoff accrual) in batch
+    /// order after the drain, so downstream advising is deterministic for
+    /// a given batch regardless of thread interleaving. The report's
+    /// `wall_seconds` covers the drain itself (last worker's last scan),
+    /// not `overlap`'s tail.
+    ///
+    /// Unlike [`TableManager::execute`], batch serving does **not**
+    /// consult the `advise_every` cadence — the serve front schedules
+    /// advising explicitly (run [`TableManager::advise_now`] in `overlap`
+    /// or between batches).
+    ///
+    /// `Err` means some query does not fit the schema; nothing is served.
+    pub fn serve_batch_with<R>(
+        &mut self,
+        queries: &[Query],
+        threads: usize,
+        overlap: impl FnOnce(&mut TableManager) -> R,
+    ) -> Result<(ServeBatchReport, R), ModelError> {
+        for q in queries {
+            q.validate(&self.table.schema)?;
+        }
+        let tables = [Arc::clone(&self.table)];
+        let disks = [self.disk];
+        let routed = vec![0usize; queries.len()];
+        let (events, wall_seconds, overlap_out) =
+            crate::serve::drain_batch(&tables, &disks, &routed, queries, threads, || overlap(self));
+        let report = crate::serve::fold_report(
+            &events,
+            threads,
+            wall_seconds,
+            self.table.snapshot().generation,
+        );
+        for (query, (result, snapshot)) in queries.iter().zip(&events) {
+            self.record_served(query.clone(), result, snapshot);
+        }
+        Ok((report, overlap_out))
+    }
+
+    /// [`TableManager::serve_batch_with`] with no overlapped work: a plain
+    /// multi-threaded drain.
+    pub fn serve_batch(
+        &mut self,
+        queries: &[Query],
+        threads: usize,
+    ) -> Result<ServeBatchReport, ModelError> {
+        self.serve_batch_with(queries, threads, |_| ())
+            .map(|(report, ())| report)
     }
 
     /// Run one budgeted advisor session over the current window and apply
@@ -279,11 +452,12 @@ impl TableManager {
         if session_stats.truncated {
             self.stats.truncated_runs += 1;
         }
-        if candidate == self.table.layout {
+        let current = self.table.layout();
+        if candidate == current {
             return (RepartitionDecision::NoChange, session_stats);
         }
         let schema = &self.table.schema;
-        let old_cost = self.cost.workload_cost(schema, &self.table.layout, &window);
+        let old_cost = self.cost.workload_cost(schema, &current, &window);
         let new_cost = self.cost.workload_cost(schema, &candidate, &window);
         let creation_time = match self.cfg.pricing {
             AdoptionPricing::FullCreation => self.cost.layout_creation_time(schema, &candidate),
@@ -300,11 +474,16 @@ impl TableManager {
         };
         let decision = match payoff.executions_to_pay_off() {
             Some(executions) if executions <= self.cfg.payoff_horizon => {
-                let old_layout = self.table.layout.clone();
+                let old_layout = current;
                 let stats = self.table.repartition(&candidate, &self.disk);
                 self.stats.repartitions += 1;
                 self.stats.repartition_io_seconds += stats.io_seconds;
                 self.stats.repartition_cpu_seconds += stats.cpu_seconds;
+                self.realized.moves += 1;
+                self.realized.invested_io_seconds += stats.io_seconds;
+                // Savings accrue only for scans pinning snapshots at or
+                // after the one this move just published.
+                self.payoff_baseline = Some((old_layout.clone(), self.table.snapshot().generation));
                 RepartitionDecision::Applied(Box::new(RepartitionEvent {
                     at_query: self.stats.queries,
                     old_layout,
@@ -333,7 +512,7 @@ impl TableManager {
         }
         let window = self.window.workload();
         self.cost
-            .workload_cost(&self.table.schema, &self.table.layout, &window)
+            .workload_cost(&self.table.schema, &self.table.layout(), &window)
     }
 
     /// Sum of the windowed queries' weights.
@@ -435,7 +614,7 @@ mod tests {
             }
         }
         assert!(applied >= 2, "the phase shift should re-slice again");
-        assert_ne!(&pricing_layout, m.layout());
+        assert_ne!(pricing_layout, m.layout());
         assert_eq!(m.stats().repartitions, applied);
         assert!(m.stats().advisor_runs >= applied);
     }
@@ -455,7 +634,7 @@ mod tests {
         }
         assert!(m.stats().repartitions >= 1);
         let data = generate_table(&schema, ROWS, 7);
-        let fresh = StoredTable::load(&schema, &data, m.layout(), CompressionPolicy::Default);
+        let fresh = StoredTable::load(&schema, &data, &m.layout(), CompressionPolicy::Default);
         let disk = HddCostModel::paper_testbed().params();
         for q in [pricing(&schema), logistics(&schema)] {
             let a = scan_naive(m.table(), q.referenced, &disk);

@@ -1,0 +1,131 @@
+//! The shared drain kernel behind [`crate::TableManager::serve_batch_with`]
+//! and [`crate::TableFleet::serve_batch_with`]: worker threads claim
+//! events off an atomic queue, pin a snapshot per scan, and scan through
+//! one shared per-table [`ScanExecutor`], while the caller's `overlap`
+//! closure runs on the calling thread. The two fronts differ only in
+//! routing (a manager is a one-table fleet here), so the claim loop,
+//! timing, and report fold live once.
+
+use crate::manager::ServeBatchReport;
+use slicer_cost::DiskParams;
+use slicer_model::Query;
+use slicer_storage::{ScanExecutor, ScanResult, StoredTable, TableSnapshot};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One drained event: the scan's result and the snapshot it pinned, in
+/// event order. The snapshot is kept (an `Arc` clone, usually of the same
+/// few snapshots) so the fold can attribute each scan to the layout it
+/// *actually* read — a move landing mid-drain must not be credited for
+/// the scans that preceded it.
+pub(crate) type DrainedEvent = (ScanResult, Arc<TableSnapshot>);
+
+/// Drain `queries` (event `i` routed to `tables[routed[i]]`) across
+/// `threads` workers while `overlap` runs on the calling thread.
+///
+/// `wall_seconds` measures the drain itself — start to the *last worker's
+/// last scan* — so an `overlap` that outlives the drain (a slow advise
+/// round, a deliberate sleep) does not dilute the throughput number.
+pub(crate) fn drain_batch<R>(
+    tables: &[Arc<StoredTable>],
+    disks: &[DiskParams],
+    routed: &[usize],
+    queries: &[Query],
+    threads: usize,
+    overlap: impl FnOnce() -> R,
+) -> (Vec<DrainedEvent>, f64, R) {
+    let threads = threads.max(1);
+    let executors: Vec<ScanExecutor<'_>> = tables.iter().map(|t| ScanExecutor::new(t)).collect();
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+    let mut per_worker: Vec<(Vec<(usize, DrainedEvent)>, f64)> = Vec::new();
+    let mut overlap_out = None;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let executors = &executors;
+                let tables = &tables;
+                let disks = &disks;
+                let routed = &routed;
+                let next = &next;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= queries.len() {
+                            break;
+                        }
+                        let t = routed[i];
+                        let snapshot = tables[t].snapshot();
+                        let r =
+                            executors[t].scan_snapshot(&snapshot, queries[i].referenced, &disks[t]);
+                        out.push((i, (r, snapshot)));
+                    }
+                    // Per-worker finish time: the drain is over when the
+                    // slowest worker ran dry, not when `overlap` returns.
+                    (out, start.elapsed().as_secs_f64())
+                })
+            })
+            .collect();
+        overlap_out = Some(overlap());
+        per_worker = handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker panicked"))
+            .collect();
+    });
+    let wall_seconds = per_worker
+        .iter()
+        .map(|(_, elapsed)| *elapsed)
+        .fold(0.0f64, f64::max);
+
+    let mut ordered: Vec<Option<DrainedEvent>> = vec![None; queries.len()];
+    for (i, ev) in per_worker.into_iter().flat_map(|(out, _)| out) {
+        ordered[i] = Some(ev);
+    }
+    let events: Vec<DrainedEvent> = ordered
+        .into_iter()
+        .map(|ev| ev.expect("every index was drained"))
+        .collect();
+    (events, wall_seconds, overlap_out.expect("overlap ran"))
+}
+
+/// Fold drained events into a [`ServeBatchReport`]. `fallback_generation`
+/// fills the generation span for an empty batch.
+pub(crate) fn fold_report(
+    events: &[DrainedEvent],
+    threads: usize,
+    wall_seconds: f64,
+    fallback_generation: u64,
+) -> ServeBatchReport {
+    let mut report = ServeBatchReport {
+        queries: events.len() as u64,
+        threads: threads.max(1),
+        wall_seconds,
+        queries_per_second: if events.is_empty() {
+            0.0
+        } else {
+            events.len() as f64 / wall_seconds.max(f64::MIN_POSITIVE)
+        },
+        checksum: 0,
+        scan_io_seconds: 0.0,
+        scan_cpu_seconds: 0.0,
+        bytes_read: 0,
+        min_generation: fallback_generation,
+        max_generation: fallback_generation,
+    };
+    for (i, (result, snapshot)) in events.iter().enumerate() {
+        report.checksum ^= result.checksum.rotate_left((i % 63) as u32);
+        report.scan_io_seconds += result.io_seconds;
+        report.scan_cpu_seconds += result.cpu_seconds;
+        report.bytes_read += result.bytes_read;
+        if i == 0 {
+            report.min_generation = snapshot.generation;
+            report.max_generation = snapshot.generation;
+        } else {
+            report.min_generation = report.min_generation.min(snapshot.generation);
+            report.max_generation = report.max_generation.max(snapshot.generation);
+        }
+    }
+    report
+}

@@ -396,3 +396,145 @@ fn drift_first_visits_the_most_drifted_table_first() {
     assert_eq!(decisions[0].0, "B", "most drifted table is visited first");
     assert_eq!(decisions.len(), 2, "the pool reaches the quiet table too");
 }
+
+#[test]
+fn realized_payoff_is_recorded_per_table_on_a_two_table_drift_trace() {
+    // Table A drifts hard (row seed, heavily selective traffic → a move
+    // pays off); table B's traffic is full-width (the row layout is
+    // already right, no move ever pays). After the trace: A's ledger shows
+    // an investment and accruing savings; B's ledger stays zero; the
+    // fleet-wide FleetStats mirror was refreshed at the last round.
+    let schema_a = TableSchema::builder("A", 4000)
+        .attr("K", 4, AttrKind::Int)
+        .attr("P", 8, AttrKind::Decimal)
+        .attr("Q", 8, AttrKind::Decimal)
+        .attr("C", 120, AttrKind::Text)
+        .build()
+        .unwrap();
+    let schema_b = TableSchema::builder("B", 4000)
+        .attr("U", 4, AttrKind::Int)
+        .attr("V", 8, AttrKind::Decimal)
+        .attr("W", 20, AttrKind::Text)
+        .build()
+        .unwrap();
+    let cfg = TableManagerConfig {
+        window: 8,
+        payoff_horizon: f64::INFINITY,
+        ..TableManagerConfig::default()
+    };
+    let mut fleet = TableFleet::new(FleetConfig {
+        advise_every: 8,
+        round_budget: Budget::UNLIMITED,
+        schedule: FleetSchedule::SharedDriftFirst,
+        ..FleetConfig::default()
+    });
+    fleet.add_table("A", build_manager(&schema_a, 4000, 1, cfg));
+    fleet.add_table("B", build_manager(&schema_b, 4000, 2, cfg));
+
+    let selective_a = Query::new("sa", schema_a.attr_set(&["P", "Q"]).unwrap());
+    let full_b = Query::new("fb", schema_b.all_attrs());
+    for _ in 0..16 {
+        fleet.execute("A", selective_a.clone()).unwrap();
+        fleet.execute("B", full_b.clone()).unwrap();
+    }
+    let a = fleet.realized_payoff("A").expect("registered");
+    let b = fleet.realized_payoff("B").expect("registered");
+    assert!(a.moves >= 1, "A's drift must trigger a move: {a:?}");
+    assert!(a.invested_io_seconds > 0.0, "the move had a price: {a:?}");
+    assert!(
+        a.saved_io_seconds > 0.0,
+        "traffic served after the move must accrue savings: {a:?}"
+    );
+    assert_eq!(b.moves, 0, "B's full-width traffic never warrants a move");
+    assert_eq!(b.invested_io_seconds, 0.0);
+    assert_eq!(b.saved_io_seconds, 0.0);
+    // The fleet-wide mirror equals the per-table sums as of the last round
+    // (savings keep accruing after it, so mirror ≤ current sum).
+    let stats = fleet.stats();
+    assert!(stats.payoff_invested_io_seconds > 0.0);
+    assert!(
+        stats.payoff_invested_io_seconds <= a.invested_io_seconds + b.invested_io_seconds + 1e-12
+    );
+    assert!(stats.payoff_saved_io_seconds <= a.saved_io_seconds + b.saved_io_seconds + 1e-12);
+    // Savings keep growing as more selective traffic lands.
+    for _ in 0..8 {
+        fleet.execute("A", selective_a.clone()).unwrap();
+    }
+    let a2 = fleet.realized_payoff("A").expect("registered");
+    assert!(a2.saved_io_seconds > a.saved_io_seconds);
+}
+
+#[test]
+fn fleet_serve_batch_matches_sequential_execution() {
+    // The multi-threaded routed drain must deliver exactly what the
+    // sequential router delivers: same per-event checksums (accumulated
+    // in order), same per-table served counts, same window contents —
+    // with an advise round running mid-drain on the serving fleet.
+    let mut state = 21u64;
+    let tables = 3usize;
+    let cfg = TableManagerConfig {
+        window: 8,
+        payoff_horizon: f64::INFINITY,
+        ..TableManagerConfig::default()
+    };
+    let fleet_cfg = FleetConfig {
+        advise_every: u64::MAX, // scheduled by hand
+        round_budget: Budget::UNLIMITED,
+        schedule: FleetSchedule::SharedDriftFirst,
+        ..FleetConfig::default()
+    };
+    let mut concurrent = TableFleet::new(fleet_cfg);
+    let mut sequential = TableFleet::new(fleet_cfg);
+    let mut schemas = Vec::new();
+    for t in 0..tables {
+        let name = format!("T{t}");
+        let (schema, rows) = random_schema(&name, &mut state);
+        let data_seed = next(&mut state);
+        concurrent.add_table(&name, build_manager(&schema, rows, data_seed, cfg));
+        sequential.add_table(&name, build_manager(&schema, rows, data_seed, cfg));
+        schemas.push((name, schema));
+    }
+    let events: Vec<(String, Query)> = (0..48u64)
+        .map(|i| {
+            let (name, schema) = &schemas[(next(&mut state) % tables as u64) as usize];
+            (name.clone(), random_query(&mut state, schema, i))
+        })
+        .collect();
+
+    // Sequential oracle: plain routed execution, no rounds.
+    let mut oracle_checksum = 0u64;
+    for (i, (name, q)) in events.iter().enumerate() {
+        let (scan, _) = sequential.execute(name, q.clone()).expect("fits schema");
+        oracle_checksum ^= scan.checksum.rotate_left((i % 63) as u32);
+    }
+
+    // Concurrent drain with an advise round overlapped mid-flight.
+    let (report, decisions) = concurrent
+        .serve_batch_with(&events, 4, |fleet| fleet.advise_round())
+        .expect("all events route");
+    assert_eq!(report.queries, events.len() as u64);
+    assert_eq!(
+        report.checksum, oracle_checksum,
+        "drain delivered wrong data"
+    );
+    assert!(report.queries_per_second > 0.0);
+    // The round really ran on the serving fleet.
+    assert_eq!(concurrent.stats().rounds, 1);
+    drop(decisions);
+    for (name, _) in &schemas {
+        assert_eq!(
+            concurrent
+                .manager(name)
+                .expect("registered")
+                .stats()
+                .queries,
+            sequential
+                .manager(name)
+                .expect("registered")
+                .stats()
+                .queries,
+            "per-table served counts diverge for {name}"
+        );
+    }
+    assert_eq!(concurrent.stats().queries, 48);
+}

@@ -1,11 +1,14 @@
 //! The vectorized scan executor: streaming cursors, blocked tuple
-//! reconstruction, explicit decode-cache modes, and parallel decode.
+//! reconstruction, explicit decode-cache modes, parallel decode — and a
+//! shared (`&self`) scan entry point so N threads scan concurrently.
 //!
 //! [`ScanExecutor`] replaces the engine's original materialize-then-iterate
 //! scan. Per scan it:
 //!
-//! 1. computes the touched files and their simulated I/O exactly as the
-//!    naive path does (identical `bytes_read` / `io_seconds`);
+//! 1. pins the table's current [`TableSnapshot`] (or scans an explicitly
+//!    pinned one via [`ScanExecutor::scan_snapshot`]) and computes the
+//!    touched files and their simulated I/O exactly as the naive path does
+//!    (identical `bytes_read` / `io_seconds`);
 //! 2. **prepares** each touched partition — in parallel across partitions
 //!    via rayon (gracefully sequential on one core) — turning every
 //!    referenced segment into a [`PreparedSegment`] cursor (zero-copy for
@@ -18,24 +21,35 @@
 //!    across lanes — the same FNV mix as the naive row-at-a-time loop,
 //!    reordered but bit-identical.
 //!
+//! # Shared plan, per-thread scratch
+//!
+//! The executor itself is immutable per scan: the mutable state — decode
+//! arenas, fingerprint lanes, cursor keys — lives in [`ScanScratch`]
+//! units checked in and out of an internal pool. Each concurrent scan
+//! owns one scratch for its duration, so the warm arenas are never
+//! aliased between threads (the PR-2 executor tied them to `&mut self`,
+//! which made concurrent scans unexpressible). A scratch remembers the
+//! snapshot generation it was shaped against and rebuilds itself whenever
+//! it is handed a scan over a different snapshot, so warm state never
+//! leaks across a re-partition.
+//!
 //! The per-file arenas double as the decode cache. [`CacheMode::Cold`]
 //! (the paper's testbed: caches dropped before every query) resets the
 //! cached state at the start of each scan while keeping buffer capacity,
 //! so the decode and reconstruction paths allocate nothing in steady
-//! state (the remaining per-scan allocations are the two small
-//! touched-file bookkeeping vectors shared with the naive path);
-//! [`CacheMode::Warm`] keeps prepared segments across scans, modeling a
-//! warmed decode cache.
+//! state; [`CacheMode::Warm`] keeps prepared segments across the scans
+//! that reuse a scratch, modeling a warmed decode cache.
 //!
 //! The original executor survives as [`crate::engine::scan_naive`], the
 //! oracle the property tests and `scan_bench` hold this module to.
 
 use crate::cursor::PreparedSegment;
 use crate::data::{FNV_OFFSET, FNV_PRIME};
-use crate::engine::{touched_and_io, ScanResult, StoredTable};
+use crate::engine::{touched_and_io, ScanResult, StoredTable, TableSnapshot};
 use rayon::prelude::*;
 use slicer_cost::DiskParams;
 use slicer_model::{AttrId, AttrSet};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Rows per reconstruction block: 2048 rows × 8 B/fingerprint = 16 KiB per
@@ -90,16 +104,65 @@ impl FileArena {
     }
 }
 
-/// A reusable scan executor over one [`StoredTable`].
-pub struct ScanExecutor<'t> {
-    table: &'t StoredTable,
-    mode: CacheMode,
+/// One scan's worth of mutable state: decode arenas, fingerprint lanes,
+/// cursor bookkeeping. Owned exclusively by one in-flight scan, then
+/// returned to the executor's pool.
+#[derive(Debug, Default)]
+struct ScanScratch {
+    /// The exact snapshot the arenas are shaped (and possibly warmed)
+    /// against; a scan over any other snapshot reshapes them. Identity is
+    /// by allocation: the held `Weak` keeps the allocation alive, so the
+    /// pointer comparison cannot be fooled by an address reused after a
+    /// free — and a bare generation number could not distinguish two
+    /// *tables* both at generation 0 if a caller hands this executor a
+    /// foreign snapshot.
+    snapshot: Option<std::sync::Weak<TableSnapshot>>,
     files: Vec<FileArena>,
     row_hash: Vec<u64>,
     fp_lane: Vec<u64>,
     /// `(attr, file index, segment index)` of each referenced cursor,
     /// reused across scans.
     cursor_keys: Vec<(AttrId, usize, usize)>,
+}
+
+impl ScanScratch {
+    /// Make the scratch fit `snapshot`, dropping warm state that belongs
+    /// to any other snapshot (arena buffers are recycled).
+    fn shape_for(&mut self, snapshot: &Arc<TableSnapshot>) {
+        if self
+            .snapshot
+            .as_ref()
+            .is_some_and(|held| std::ptr::eq(held.as_ptr(), Arc::as_ptr(snapshot)))
+        {
+            return;
+        }
+        // Drop stale cursors (harvesting their buffers), then reshape the
+        // arenas positionally so allocations are reused across snapshots.
+        for arena in &mut self.files {
+            arena.reset();
+        }
+        self.files
+            .resize_with(snapshot.files.len(), FileArena::default);
+        for (arena, file) in self.files.iter_mut().zip(&snapshot.files) {
+            arena
+                .slots
+                .resize_with(file.segments.len(), SegSlot::default);
+        }
+        self.row_hash.resize(BLOCK_ROWS, 0);
+        self.fp_lane.resize(BLOCK_ROWS, 0);
+        self.snapshot = Some(Arc::downgrade(snapshot));
+    }
+}
+
+/// A reusable, shareable scan executor over one [`StoredTable`].
+///
+/// `scan` takes `&self`: clone the reference across worker threads and
+/// scan concurrently — each scan checks a private [`ScanScratch`] out of
+/// the pool, so threads never alias each other's warm arenas.
+pub struct ScanExecutor<'t> {
+    table: &'t StoredTable,
+    mode: CacheMode,
+    pool: Mutex<Vec<ScanScratch>>,
 }
 
 impl<'t> ScanExecutor<'t> {
@@ -110,21 +173,10 @@ impl<'t> ScanExecutor<'t> {
 
     /// An executor with an explicit cache mode.
     pub fn with_mode(table: &'t StoredTable, mode: CacheMode) -> ScanExecutor<'t> {
-        let files = table
-            .files
-            .iter()
-            .map(|f| FileArena {
-                slots: (0..f.segments.len()).map(|_| SegSlot::Cold).collect(),
-                ..FileArena::default()
-            })
-            .collect();
         ScanExecutor {
             table,
             mode,
-            files,
-            row_hash: vec![0; BLOCK_ROWS],
-            fp_lane: vec![0; BLOCK_ROWS],
-            cursor_keys: Vec::new(),
+            pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -133,18 +185,60 @@ impl<'t> ScanExecutor<'t> {
         self.mode
     }
 
-    /// Execute a projection scan of `referenced` attributes, reconstructing
-    /// full tuples across partitions. Checksum, `bytes_read` and
-    /// `io_seconds` are bit-identical to [`crate::engine::scan_naive`];
-    /// `cpu_seconds` measures this executor's actual decode +
+    /// Execute a projection scan of `referenced` attributes against the
+    /// table's *current* snapshot (pinned for the scan's duration — a
+    /// concurrent re-partition never stalls it), reconstructing full
+    /// tuples across partitions. Checksum, `bytes_read` and `io_seconds`
+    /// are bit-identical to [`crate::engine::scan_naive`] on the same
+    /// snapshot; `cpu_seconds` measures this executor's actual decode +
     /// reconstruction work.
-    pub fn scan(&mut self, referenced: AttrSet, disk: &DiskParams) -> ScanResult {
+    pub fn scan(&self, referenced: AttrSet, disk: &DiskParams) -> ScanResult {
+        let snapshot = self.table.snapshot();
+        self.scan_snapshot(&snapshot, referenced, disk)
+    }
+
+    /// [`ScanExecutor::scan`] against an explicitly pinned snapshot —
+    /// the entry point for callers that must know exactly which snapshot
+    /// a scan observed (e.g. to compare it against
+    /// [`crate::engine::scan_naive_snapshot`] on the same pin). The pin
+    /// is taken by `Arc` so the scratch pool can key its warm state on
+    /// snapshot *identity* (two distinct tables both at generation 0 must
+    /// never share decode state).
+    pub fn scan_snapshot(
+        &self,
+        snapshot: &Arc<TableSnapshot>,
+        referenced: AttrSet,
+        disk: &DiskParams,
+    ) -> ScanResult {
+        let mut scratch = self
+            .pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default();
+        let result = self.scan_with(&mut scratch, snapshot, referenced, disk);
+        self.pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(scratch);
+        result
+    }
+
+    /// The scan body, on a checked-out scratch.
+    fn scan_with(
+        &self,
+        scratch: &mut ScanScratch,
+        snapshot: &Arc<TableSnapshot>,
+        referenced: AttrSet,
+        disk: &DiskParams,
+    ) -> ScanResult {
         let table = self.table;
-        let (touched, bytes_read, io_seconds) = touched_and_io(table, referenced, disk);
+        let (touched, bytes_read, io_seconds) = touched_and_io(snapshot, referenced, disk);
 
         let start = Instant::now();
+        scratch.shape_for(snapshot);
         if self.mode == CacheMode::Cold {
-            for arena in &mut self.files {
+            for arena in &mut scratch.files {
                 arena.reset();
             }
         }
@@ -157,32 +251,32 @@ impl<'t> ScanExecutor<'t> {
         if touched.len() > 1 && rayon::current_num_threads() > 1 {
             let tasks: Vec<(usize, FileArena)> = touched
                 .iter()
-                .map(|&i| (i, std::mem::take(&mut self.files[i])))
+                .map(|&i| (i, std::mem::take(&mut scratch.files[i])))
                 .collect();
             let prepared: Vec<(usize, FileArena)> = tasks
                 .into_par_iter()
                 .map(|(i, mut arena)| {
-                    prepare_file(table, i, referenced, &mut arena);
+                    prepare_file(table, snapshot, i, referenced, &mut arena);
                     (i, arena)
                 })
                 .collect();
             for (i, arena) in prepared {
-                self.files[i] = arena;
+                scratch.files[i] = arena;
             }
         } else {
             for &i in &touched {
-                prepare_file(table, i, referenced, &mut self.files[i]);
+                prepare_file(table, snapshot, i, referenced, &mut scratch.files[i]);
             }
         }
 
         // Gather the referenced cursors in ascending attribute order (the
         // naive path's reconstruction order), reusing the key buffer.
-        let cursor_keys = &mut self.cursor_keys;
+        let cursor_keys = &mut scratch.cursor_keys;
         cursor_keys.clear();
         for &fi in &touched {
-            for (si, (aid, _)) in table.files[fi].segments.iter().enumerate() {
+            for (si, (aid, _)) in snapshot.files[fi].segments.iter().enumerate() {
                 if referenced.contains(*aid)
-                    && matches!(self.files[fi].slots[si], SegSlot::Ready(_))
+                    && matches!(scratch.files[fi].slots[si], SegSlot::Ready(_))
                 {
                     cursor_keys.push((*aid, fi, si));
                 }
@@ -193,15 +287,15 @@ impl<'t> ScanExecutor<'t> {
 
         // Blocked tuple reconstruction.
         let rows = table.rows();
-        let row_hash = &mut self.row_hash;
-        let fp_lane = &mut self.fp_lane;
+        let row_hash = &mut scratch.row_hash;
+        let fp_lane = &mut scratch.fp_lane;
         let mut checksum = 0u64;
         let mut base = 0usize;
         while base < rows {
             let len = BLOCK_ROWS.min(rows - base);
             row_hash[..len].fill(FNV_OFFSET);
             for &(_, fi, si) in cursors {
-                let SegSlot::Ready(seg) = &self.files[fi].slots[si] else {
+                let SegSlot::Ready(seg) = &scratch.files[fi].slots[si] else {
                     unreachable!("cursor keys only index Ready slots");
                 };
                 seg.fill_fps(base, &mut fp_lane[..len]);
@@ -228,8 +322,14 @@ impl<'t> ScanExecutor<'t> {
 /// Prepare one touched file: ready every referenced segment, walk the
 /// unreferenced ones if the file is variable-width (rows not individually
 /// addressable ⇒ the whole partition must be decoded).
-fn prepare_file(table: &StoredTable, file_idx: usize, referenced: AttrSet, arena: &mut FileArena) {
-    let file = &table.files[file_idx];
+fn prepare_file(
+    table: &StoredTable,
+    snapshot: &TableSnapshot,
+    file_idx: usize,
+    referenced: AttrSet,
+    arena: &mut FileArena,
+) {
+    let file = &snapshot.files[file_idx];
     let need_all = !file.fixed_width();
     let FileArena {
         slots,
@@ -315,7 +415,7 @@ mod tests {
         ] {
             for layout in layouts(&s) {
                 let t = StoredTable::load(&s, &data, &layout, policy);
-                let mut exec = ScanExecutor::new(&t);
+                let exec = ScanExecutor::new(&t);
                 for &p in &projections {
                     let naive = scan_naive(&t, p, &disk);
                     let fast = exec.scan(p, &disk);
@@ -340,7 +440,7 @@ mod tests {
         );
         let p = s.attr_set(&["CustKey", "ShipMode"]).unwrap();
         let oracle = scan_naive(&t, p, &disk);
-        let mut warm = ScanExecutor::with_mode(&t, CacheMode::Warm);
+        let warm = ScanExecutor::with_mode(&t, CacheMode::Warm);
         for _ in 0..3 {
             let r = warm.scan(p, &disk);
             assert_eq!(r.checksum, oracle.checksum);
@@ -366,10 +466,101 @@ mod tests {
             CompressionPolicy::Default,
         );
         let p = s.attr_set(&["Comment"]).unwrap();
-        let mut exec = ScanExecutor::new(&t);
+        let exec = ScanExecutor::new(&t);
         let a = exec.scan(p, &disk);
         let b = exec.scan(p, &disk);
         assert_eq!(a.checksum, b.checksum);
         assert_eq!(a.bytes_read, b.bytes_read);
+    }
+
+    #[test]
+    fn warm_scratch_invalidates_across_repartitions() {
+        // A warm executor must not serve decode state that belongs to a
+        // superseded snapshot — and a scan over a *pinned* old snapshot
+        // after the table moved on must still be exact.
+        let s = schema();
+        let data = generate_table(&s, 1500, 9);
+        let disk = DiskParams::paper_testbed();
+        let t = StoredTable::load(
+            &s,
+            &data,
+            &Partitioning::row(&s),
+            CompressionPolicy::Default,
+        );
+        let p = s.attr_set(&["CustKey", "Comment"]).unwrap();
+        let warm = ScanExecutor::with_mode(&t, CacheMode::Warm);
+        let old_snap = t.snapshot();
+        let before = warm.scan(p, &disk);
+        t.repartition(&Partitioning::column(&s), &disk);
+        // Live scan: new snapshot, fresh decode state, fewer bytes.
+        let live = warm.scan(p, &disk);
+        assert_eq!(live.checksum, before.checksum);
+        assert!(live.bytes_read < before.bytes_read);
+        // Pinned scan: the superseded snapshot still reads exactly.
+        let pinned = warm.scan_snapshot(&old_snap, p, &disk);
+        assert_eq!(pinned.checksum, before.checksum);
+        assert_eq!(pinned.bytes_read, before.bytes_read);
+    }
+
+    #[test]
+    fn warm_scratch_never_leaks_across_tables_at_equal_generations() {
+        // Two distinct tables, both at generation 0, same schema and file
+        // shape but different data: a warm executor for table A that is
+        // handed table B's snapshot must rebuild its decode state, not
+        // serve A's cached fingerprints as B's answer.
+        let s = schema();
+        let data_a = generate_table(&s, 1500, 21);
+        let data_b = generate_table(&s, 1500, 22);
+        let disk = DiskParams::paper_testbed();
+        let layout = Partitioning::row(&s);
+        let a = StoredTable::load(&s, &data_a, &layout, CompressionPolicy::Default);
+        let b = StoredTable::load(&s, &data_b, &layout, CompressionPolicy::Default);
+        let p = s.attr_set(&["CustKey", "Comment"]).unwrap();
+        let warm = ScanExecutor::with_mode(&a, CacheMode::Warm);
+        let from_a = warm.scan(p, &disk);
+        let snap_b = b.snapshot();
+        assert_eq!(snap_b.generation, a.snapshot().generation);
+        let from_b = warm.scan_snapshot(&snap_b, p, &disk);
+        assert_eq!(from_b.checksum, scan_naive(&b, p, &disk).checksum);
+        assert_ne!(from_b.checksum, from_a.checksum, "different data");
+    }
+
+    #[test]
+    fn concurrent_scans_share_one_executor() {
+        let s = schema();
+        let data = generate_table(&s, 1500, 13);
+        let disk = DiskParams::paper_testbed();
+        let t = StoredTable::load(
+            &s,
+            &data,
+            &Partitioning::column(&s),
+            CompressionPolicy::Default,
+        );
+        let exec = ScanExecutor::with_mode(&t, CacheMode::Warm);
+        let projections: Vec<AttrSet> = vec![
+            s.attr_set(&["OrdersKey"]).unwrap(),
+            s.attr_set(&["CustKey", "Comment"]).unwrap(),
+            s.all_attrs(),
+        ];
+        let oracles: Vec<ScanResult> = projections
+            .iter()
+            .map(|&p| scan_naive(&t, p, &disk))
+            .collect();
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let exec = &exec;
+                let projections = &projections;
+                let oracles = &oracles;
+                let disk = &disk;
+                scope.spawn(move || {
+                    for i in 0..32 {
+                        let k = (worker + i) % projections.len();
+                        let r = exec.scan(projections[k], disk);
+                        assert_eq!(r.checksum, oracles[k].checksum);
+                        assert_eq!(r.bytes_read, oracles[k].bytes_read);
+                    }
+                });
+            }
+        });
     }
 }

@@ -14,13 +14,17 @@
 //! * [`cursor`] — segments readied for blocked fingerprinting
 //!   (zero-copy for fixed-width codecs, scratch-decoded for
 //!   variable-width ones);
-//! * [`executor`] — the vectorized [`executor::ScanExecutor`]: explicit
-//!   cold/warm decode-cache modes, reusable scratch arenas,
-//!   rayon-parallel decode across partitions, blocked tuple
-//!   reconstruction;
-//! * [`engine`] — partition files over a simulated disk, and
-//!   [`engine::scan_naive`], the original materialize-then-iterate
-//!   executor kept as the correctness oracle and benchmark baseline.
+//! * [`executor`] — the vectorized [`executor::ScanExecutor`]: a shared
+//!   (`&self`) scan entry point with pooled per-thread scratch, explicit
+//!   cold/warm decode-cache modes, rayon-parallel decode across
+//!   partitions, blocked tuple reconstruction;
+//! * [`snapshot`] — the lock-free [`snapshot::SnapshotCell`] behind the
+//!   engine's atomically-swappable file sets;
+//! * [`engine`] — immutable [`engine::TableSnapshot`] partition files over
+//!   a simulated disk, double-buffered zero-stall
+//!   [`engine::StoredTable::repartition`], and [`engine::scan_naive`],
+//!   the original materialize-then-iterate executor kept as the
+//!   correctness oracle and benchmark baseline.
 
 #![warn(missing_docs)]
 
@@ -29,10 +33,13 @@ pub mod cursor;
 pub mod data;
 pub mod engine;
 pub mod executor;
+pub mod snapshot;
 
 pub use compress::{decode, default_codec, encode, Codec, EncodedColumn};
 pub use data::{generate_table, generate_table_seq, ColumnData, TableData};
 pub use engine::{
-    scan_naive, CompressionPolicy, PartitionFile, RepartitionStats, ScanResult, StoredTable,
+    scan_naive, scan_naive_snapshot, CompressionPolicy, PartitionFile, RepartitionStats,
+    ScanResult, StoredTable, TableSnapshot,
 };
 pub use executor::{scan, CacheMode, ScanExecutor};
+pub use snapshot::SnapshotCell;

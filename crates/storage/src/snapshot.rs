@@ -1,0 +1,256 @@
+//! A lock-free, atomically-swappable `Arc` cell: the publication point of
+//! the storage engine's double-buffered re-partitioning.
+//!
+//! [`SnapshotCell`] holds one `Arc<T>` (the *current* snapshot). Readers
+//! [`SnapshotCell::load`] a clone of the current `Arc` without taking any
+//! lock — a scan pins the snapshot it was dealt and keeps reading it even
+//! while a writer publishes a replacement. Writers [`SnapshotCell::store`]
+//! a new snapshot with one atomic pointer swap; the superseded snapshot is
+//! freed only once every in-flight reader pin has moved past it, so
+//! in-flight scans always finish on the files they started with.
+//!
+//! # How reclamation works (hazard slots)
+//!
+//! The classic unsafe gap in a DIY `ArcSwap` is the instant between a
+//! reader loading the raw pointer and bumping its refcount: a writer could
+//! swap and drop the last reference in between, leaving the reader
+//! incrementing freed memory. The cell closes the gap with a small fixed
+//! array of *hazard slots*:
+//!
+//! 1. the reader claims a free slot and publishes the pointer it intends
+//!    to pin into it (sequentially consistent store);
+//! 2. it re-reads the current pointer; if it changed, retry — the publish
+//!    raced a swap and may be stale;
+//! 3. if it is unchanged, the pin is safe: a writer that swaps *after*
+//!    the reader's validation scans the hazard slots *after* its swap,
+//!    sees the published pointer, and spins until the reader clears the
+//!    slot before dropping the old snapshot.
+//!
+//! Readers are lock-free (a load retries only when it races an actual
+//! swap, and swaps are rare — one per re-partition); writers may briefly
+//! spin waiting for the handful of instructions a reader holds a hazard
+//! slot for. Writers never block readers.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+/// Number of hazard slots: the maximum number of threads that can be
+/// simultaneously *inside the few-instruction pin sequence*. Pins are held
+/// for nanoseconds, so this bounds momentary contention, not reader count.
+const HAZARD_SLOTS: usize = 64;
+
+/// A slot-claim sentinel distinct from null and from any real allocation.
+fn claimed<T>() -> *mut T {
+    std::ptr::NonNull::<T>::dangling().as_ptr()
+}
+
+/// Lock-free holder of the current `Arc<T>` snapshot. See the module docs
+/// for the protocol.
+pub struct SnapshotCell<T> {
+    /// The current snapshot; the cell owns exactly one strong count on it.
+    current: AtomicPtr<T>,
+    /// Hazard slots: null = free, `claimed()` = being set up, anything
+    /// else = a pointer some reader is mid-pin on.
+    hazards: [AtomicPtr<T>; HAZARD_SLOTS],
+}
+
+// SAFETY: the cell hands out `Arc<T>` clones and owns one `Arc<T>`; it is
+// exactly as thread-safe as `Arc<T>` itself.
+unsafe impl<T: Send + Sync> Send for SnapshotCell<T> {}
+unsafe impl<T: Send + Sync> Sync for SnapshotCell<T> {}
+
+impl<T> SnapshotCell<T> {
+    /// A cell currently holding `value`.
+    pub fn new(value: Arc<T>) -> SnapshotCell<T> {
+        SnapshotCell {
+            current: AtomicPtr::new(Arc::into_raw(value).cast_mut()),
+            hazards: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        }
+    }
+
+    /// Pin and return the current snapshot. Lock-free: never blocks on a
+    /// writer; retries only when the load races an actual swap.
+    pub fn load(&self) -> Arc<T> {
+        let slot = self.claim_slot();
+        let ptr = loop {
+            let p = self.current.load(Ordering::Acquire);
+            // Publish the pin, then re-validate. SeqCst on both sides
+            // gives the store→load barrier the protocol needs: either the
+            // writer's swap happened first (we see the new pointer and
+            // retry) or our publish happened first (the writer's hazard
+            // scan sees it and waits for us).
+            slot.store(p, Ordering::SeqCst);
+            if self.current.load(Ordering::SeqCst) == p {
+                break p;
+            }
+        };
+        // SAFETY: `ptr` came from `Arc::into_raw` (via `new` or `store`)
+        // and cannot have been dropped: the validated hazard publication
+        // above forces any writer retiring it to wait until the slot is
+        // cleared below.
+        let arc = unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        };
+        slot.store(std::ptr::null_mut(), Ordering::Release);
+        arc
+    }
+
+    /// Publish `value` as the new current snapshot. The superseded
+    /// snapshot is dropped once no in-flight [`SnapshotCell::load`] still
+    /// has it pinned in a hazard slot (writers spin for those few
+    /// instructions; readers are never blocked).
+    pub fn store(&self, value: Arc<T>) {
+        let new = Arc::into_raw(value).cast_mut();
+        // SeqCst, not AcqRel: the swap participates in the same single
+        // total order as the readers' hazard publish + re-validate pair,
+        // which is what guarantees that a reader whose validation saw the
+        // old pointer has its hazard visible to the scan below (the
+        // Dekker store→load pattern needs SC on both sides).
+        let old = self.current.swap(new, Ordering::SeqCst);
+        // Wait out readers that validated a pin on `old` before the swap.
+        for slot in &self.hazards {
+            let mut spins = 0u32;
+            while slot.load(Ordering::SeqCst) == old {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        // SAFETY: `old` was the cell's owned strong count; no hazard slot
+        // references it any more, and any reader that pinned it earlier
+        // holds its own strong count.
+        drop(unsafe { Arc::from_raw(old) });
+    }
+
+    /// Claim a free hazard slot (spinning if all are momentarily busy —
+    /// slots are held for nanoseconds).
+    fn claim_slot(&self) -> &AtomicPtr<T> {
+        use std::hash::{Hash, Hasher};
+        thread_local! {
+            /// Per-thread scatter so concurrent readers probe different
+            /// slots first — hashed once per thread, not per load (loads
+            /// are the scan hot path).
+            static SCATTER: usize = {
+                let mut h = std::hash::DefaultHasher::new();
+                std::thread::current().id().hash(&mut h);
+                h.finish() as usize
+            };
+        }
+        let start = SCATTER.with(|s| *s) % HAZARD_SLOTS;
+        let mut spins = 0u32;
+        loop {
+            for i in 0..HAZARD_SLOTS {
+                let slot = &self.hazards[(start + i) % HAZARD_SLOTS];
+                if slot
+                    .compare_exchange(
+                        std::ptr::null_mut(),
+                        claimed::<T>(),
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    return slot;
+                }
+            }
+            spins += 1;
+            if spins > 16 {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+impl<T> Drop for SnapshotCell<T> {
+    fn drop(&mut self) {
+        // Exclusive access: no reader can be mid-pin.
+        let ptr = *self.current.get_mut();
+        // SAFETY: the cell owns one strong count on `ptr`.
+        drop(unsafe { Arc::from_raw(ptr) });
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for SnapshotCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotCell")
+            .field("current", &self.load())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn load_returns_latest_store() {
+        let cell = SnapshotCell::new(Arc::new(1u64));
+        assert_eq!(*cell.load(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+        // Pinned snapshots outlive the swap.
+        let pinned = cell.load();
+        cell.store(Arc::new(3));
+        assert_eq!(*pinned, 2);
+        assert_eq!(*cell.load(), 3);
+    }
+
+    #[test]
+    fn drop_releases_the_current_snapshot() {
+        let probe = Arc::new(77u64);
+        let weak = Arc::downgrade(&probe);
+        {
+            let cell = SnapshotCell::new(probe);
+            assert!(weak.upgrade().is_some());
+            drop(cell);
+        }
+        assert!(weak.upgrade().is_none(), "cell must drop its strong count");
+    }
+
+    #[test]
+    fn store_frees_superseded_snapshots() {
+        let cell = SnapshotCell::new(Arc::new(0u64));
+        let first = Arc::new(1u64);
+        let weak = Arc::downgrade(&first);
+        cell.store(first);
+        cell.store(Arc::new(2));
+        assert!(
+            weak.upgrade().is_none(),
+            "unpinned superseded snapshot must be freed by the swap"
+        );
+    }
+
+    #[test]
+    fn readers_race_writers_without_tearing() {
+        // Every snapshot is (n, n * 3): a torn or freed read would break
+        // the invariant. Writers swap continuously while readers pin.
+        let cell = Arc::new(SnapshotCell::new(Arc::new((0u64, 0u64))));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = cell.load();
+                        assert_eq!(snap.1, snap.0 * 3, "torn snapshot");
+                        assert!(snap.0 >= last, "snapshots went backwards");
+                        last = snap.0;
+                    }
+                });
+            }
+            for n in 1..=2000u64 {
+                cell.store(Arc::new((n, n * 3)));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let snap = cell.load();
+        assert_eq!(*snap, (2000, 6000));
+    }
+}

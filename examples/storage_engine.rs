@@ -53,7 +53,7 @@ fn main() -> Result<(), ModelError> {
             ("HillClimb", hillclimb.clone()),
         ] {
             let stored = StoredTable::load(&table, &data, &layout, policy);
-            let mut exec = ScanExecutor::new(&stored); // cold cache per scan
+            let exec = ScanExecutor::new(&stored); // cold cache per scan
             let (mut io, mut cpu, mut naive_cpu, mut bytes) = (0.0, 0.0, 0.0, 0u64);
             let mut checksum = 0u64;
             for q in workload.queries() {

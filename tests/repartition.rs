@@ -78,14 +78,15 @@ fn assert_tables_identical(
     projections: &[AttrSet],
     disk: &DiskParams,
 ) -> Result<(), TestCaseError> {
-    prop_assert_eq!(&moved.layout, &fresh.layout);
-    prop_assert_eq!(moved.files.len(), fresh.files.len());
-    for (a, b) in moved.files.iter().zip(&fresh.files) {
+    prop_assert_eq!(moved.layout(), fresh.layout());
+    let (moved_snap, fresh_snap) = (moved.snapshot(), fresh.snapshot());
+    prop_assert_eq!(moved_snap.files.len(), fresh_snap.files.len());
+    for (a, b) in moved_snap.files.iter().zip(&fresh_snap.files) {
         prop_assert_eq!(a.attrs, b.attrs);
         prop_assert_eq!(a.stored_bytes(), b.stored_bytes());
     }
-    let mut exec_moved = ScanExecutor::new(moved);
-    let mut exec_fresh = ScanExecutor::new(fresh);
+    let exec_moved = ScanExecutor::new(moved);
+    let exec_fresh = ScanExecutor::new(fresh);
     for &p in projections {
         let nm = scan_naive(moved, p, disk);
         let nf = scan_naive(fresh, p, disk);
@@ -119,7 +120,7 @@ proptest! {
         let target = random_layout(&mut state, &schema);
         let disk = DiskParams::paper_testbed();
 
-        let mut moved = StoredTable::load(&schema, &data, &source, pol);
+        let moved = StoredTable::load(&schema, &data, &source, pol);
         let plan = moved.repartition_plan(&target, &disk);
         let stats = moved.repartition(&target, &disk);
         prop_assert_eq!(
@@ -153,7 +154,7 @@ proptest! {
         let data = generate_table(&schema, rows, next(&mut state));
         let pol = policy(&mut state);
         let disk = DiskParams::paper_testbed();
-        let mut moved = StoredTable::load(&schema, &data, &random_layout(&mut state, &schema), pol);
+        let moved = StoredTable::load(&schema, &data, &random_layout(&mut state, &schema), pol);
         for _ in 0..3 {
             let target = random_layout(&mut state, &schema);
             moved.repartition(&target, &disk);

@@ -82,8 +82,8 @@ proptest! {
             CompressionPolicy::Dictionary,
         ] {
             let table = StoredTable::load(&schema, &data, &layout, policy);
-            let mut cold = ScanExecutor::new(&table);
-            let mut warm = ScanExecutor::with_mode(&table, CacheMode::Warm);
+            let cold = ScanExecutor::new(&table);
+            let warm = ScanExecutor::with_mode(&table, CacheMode::Warm);
             for &p in &projections {
                 let oracle = scan_naive(&table, p, &disk);
                 // Cold mode, twice (second scan re-decodes into reused
@@ -128,7 +128,7 @@ fn warm_mode_survives_projection_changes() {
         &Partitioning::row(&schema),
         CompressionPolicy::Default,
     );
-    let mut warm = ScanExecutor::with_mode(&table, CacheMode::Warm);
+    let warm = ScanExecutor::with_mode(&table, CacheMode::Warm);
     let mut projections: Vec<AttrSet> = (0..schema.attr_count()).map(AttrSet::single).collect();
     projections.push(schema.all_attrs());
     for p in projections {

@@ -77,8 +77,8 @@ fn compression_policies_trade_size_for_fixed_width() {
     );
     // Default policy leaves some files variable-width; dictionary never.
     let dict = StoredTable::load(&schema, &data, &col, CompressionPolicy::Dictionary);
-    assert!(dict.files.iter().all(|f| f.fixed_width()));
-    assert!(def.files.iter().any(|f| !f.fixed_width()));
+    assert!(dict.snapshot().files.iter().all(|f| f.fixed_width()));
+    assert!(def.snapshot().files.iter().any(|f| !f.fixed_width()));
 }
 
 proptest! {
