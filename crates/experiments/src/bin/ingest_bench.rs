@@ -1,0 +1,421 @@
+//! `ingest_bench` — record the durable write path: ingest throughput,
+//! the delta's scan tax, and cold-open recovery versus WAL length.
+//!
+//! Four measurements over a durable TPC-H Lineitem table (in-memory
+//! [`slicer_storage::MemDir`] backend, so the numbers isolate the engine,
+//! not the host filesystem):
+//!
+//! * **ingest throughput** — rows/s through [`StoredTable::ingest`]
+//!   (validate + WAL-encode + append + snapshot publish), plus the WAL
+//!   bytes written and their modeled I/O;
+//! * **scan tax** — executor scan cost at delta backlogs of 0%, 1% and
+//!   10% of the base rows: measured CPU, modeled I/O, and the overhead
+//!   ratio versus the delta-free scan. At every backlog the vectorized
+//!   executor is checked bit-identical to the `scan_naive` oracle — any
+//!   divergence fails the run (exit 1);
+//! * **cold-open recovery** — `StoredTable::open` wall time as the WAL
+//!   grows (replaying 0 → many ingest records over the published
+//!   snapshot);
+//! * **threads sweep** — multi-threaded scan drains through the
+//!   [`TableManager`] serve front while the calling thread keeps
+//!   ingesting: the write path must not stall readers (snapshots are
+//!   immutable; ingest publishes new ones), so in-flight throughput
+//!   should hold near quiescent.
+//!
+//! ```text
+//! ingest_bench [--rows N] [--batches N] [--batch-rows N] [--runs N]
+//!              [--queries N] [--threads LIST] [--out FILE]
+//! ```
+//!
+//! Defaults: 10 000 base rows, 64 batches × 128 rows, 3 runs (medians),
+//! 300 queries per drain, threads `1,2,4`, `BENCH_ingest.json`.
+
+use serde::Serialize;
+use slicer_core::{Advisor, HillClimb, PartitionRequest};
+use slicer_cost::HddCostModel;
+use slicer_experiments::{median, parse_thread_counts, write_report, BenchStamp};
+use slicer_lifecycle::{TableManager, TableManagerConfig};
+use slicer_model::{AttrSet, Query};
+use slicer_storage::{
+    generate_table, scan_naive, CompressionPolicy, Dir, IngestBatch, MemDir, ScanExecutor,
+    StoredTable,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct IngestThroughput {
+    batches: usize,
+    rows_per_batch: usize,
+    /// Rows appended per wall-clock second, median over runs.
+    rows_per_second: f64,
+    /// WAL bytes one run appends.
+    wal_bytes: u64,
+    /// Modeled seconds the WAL appends cost on the paper's disk.
+    modeled_wal_io_seconds: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ScanTaxRecord {
+    delta_fraction: f64,
+    delta_rows: u64,
+    delta_bytes: u64,
+    /// Median wall seconds for one executor pass over the workload's
+    /// projections.
+    exec_seconds: f64,
+    /// Modeled I/O seconds for that pass.
+    io_seconds: f64,
+    bytes_read: u64,
+    /// `io_seconds / io_seconds(delta = 0)`.
+    io_overhead_vs_base: f64,
+    /// Vectorized executor ≡ naive oracle on every projection.
+    checksums_ok: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct RecoveryRecord {
+    wal_records: u64,
+    wal_bytes: u64,
+    rows_replayed: u64,
+    /// Median wall seconds for a cold `StoredTable::open`.
+    open_seconds: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ThreadRecord {
+    threads: usize,
+    quiescent_qps: f64,
+    /// Drain throughput while the calling thread ingests continuously.
+    ingest_inflight_qps: f64,
+    inflight_over_quiescent: f64,
+    batches_ingested_in_flight: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct IngestReport {
+    benchmark: String,
+    stamp: BenchStamp,
+    table: String,
+    attrs: usize,
+    rows: usize,
+    runs: usize,
+    ingest: IngestThroughput,
+    scan_tax: Vec<ScanTaxRecord>,
+    recovery: Vec<RecoveryRecord>,
+    threads: Vec<ThreadRecord>,
+    notes: String,
+}
+
+/// A fresh durable Lineitem table on a new `MemDir`, plus the backing dir.
+fn durable_table(
+    schema: &slicer_model::TableSchema,
+    data: &slicer_storage::TableData,
+    layout: &slicer_model::Partitioning,
+) -> (StoredTable, Arc<MemDir>) {
+    let dir = Arc::new(MemDir::new());
+    let table = StoredTable::create(
+        schema,
+        data,
+        layout,
+        CompressionPolicy::Default,
+        dir.clone() as Arc<dyn Dir>,
+    )
+    .expect("create on MemDir cannot fail");
+    (table, dir)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rows = 10_000usize;
+    let mut batches = 64usize;
+    let mut batch_rows = 128usize;
+    let mut runs = 3usize;
+    let mut queries_per_drain = 300usize;
+    let mut thread_counts = vec![1usize, 2, 4];
+    let mut out = "BENCH_ingest.json".to_string();
+    let parse_usize = |args: &[String], i: &mut usize, target: &mut usize, floor: usize| {
+        *i += 1;
+        *target = args
+            .get(*i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(*target)
+            .max(floor);
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rows" => parse_usize(&args, &mut i, &mut rows, 512),
+            "--batches" => parse_usize(&args, &mut i, &mut batches, 1),
+            "--batch-rows" => parse_usize(&args, &mut i, &mut batch_rows, 1),
+            "--runs" => parse_usize(&args, &mut i, &mut runs, 1),
+            "--queries" => parse_usize(&args, &mut i, &mut queries_per_drain, 1),
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|s| parse_thread_counts(s)) {
+                    Some(counts) => thread_counts = counts,
+                    None => {
+                        eprintln!("ingest_bench: --threads wants a comma list of positive counts");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or(out);
+            }
+            other => {
+                eprintln!(
+                    "usage: ingest_bench [--rows N] [--batches N] [--batch-rows N] [--runs N] \
+                     [--queries N] [--threads LIST] [--out FILE] (got `{other}`)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let b = slicer_workloads::tpch::benchmark(10.0);
+    let li = b.table_index("Lineitem").expect("TPC-H has Lineitem");
+    let schema = b.tables()[li].with_row_count(rows as u64);
+    let workload = b.table_workload(li);
+    let model = HddCostModel::paper_testbed();
+    let disk = model.params();
+    let layout = HillClimb::new()
+        .partition(&PartitionRequest::new(&schema, &workload, &model))
+        .expect("HillClimb succeeds on Lineitem");
+    let data = generate_table(&schema, rows, 7);
+    let projections: Vec<AttrSet> = workload.queries().iter().map(|q| q.referenced).collect();
+    let mut all_ok = true;
+
+    // --- ingest throughput ---------------------------------------------
+    let mut rows_per_second = Vec::with_capacity(runs);
+    let mut wal_bytes = 0u64;
+    let mut modeled_wal_io = 0.0f64;
+    for _ in 0..runs {
+        let (table, _dir) = durable_table(&schema, &data, &layout);
+        let feed: Vec<IngestBatch> = (0..batches)
+            .map(|k| IngestBatch::append(generate_table(&schema, batch_rows, 1000 + k as u64)))
+            .collect();
+        let start = Instant::now();
+        let (mut bytes, mut io) = (0u64, 0.0f64);
+        for batch in &feed {
+            let stats = table.ingest(batch, &disk).expect("append-only batch");
+            bytes += stats.wal_bytes;
+            io += stats.io_seconds;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        rows_per_second.push((batches * batch_rows) as f64 / elapsed);
+        wal_bytes = bytes;
+        modeled_wal_io = io;
+    }
+    let ingest = IngestThroughput {
+        batches,
+        rows_per_batch: batch_rows,
+        rows_per_second: median(rows_per_second),
+        wal_bytes,
+        modeled_wal_io_seconds: modeled_wal_io,
+    };
+    eprintln!(
+        "ingest_bench: {:.0} rows/s through the WAL ({} batches × {} rows, {} WAL bytes)",
+        ingest.rows_per_second, batches, batch_rows, wal_bytes
+    );
+
+    // --- scan tax at delta backlogs of 0% / 1% / 10% --------------------
+    let mut scan_tax = Vec::new();
+    let mut base_io = 0.0f64;
+    for fraction in [0.0f64, 0.01, 0.10] {
+        let (table, _dir) = durable_table(&schema, &data, &layout);
+        let delta_rows = (rows as f64 * fraction) as usize;
+        if delta_rows > 0 {
+            table
+                .ingest(
+                    &IngestBatch::append(generate_table(&schema, delta_rows, 99)),
+                    &disk,
+                )
+                .expect("append-only batch");
+        }
+        let exec = ScanExecutor::new(&table);
+        let mut checksums_ok = true;
+        let (mut io_seconds, mut bytes_read) = (0.0f64, 0u64);
+        for &p in &projections {
+            let e = exec.scan(p, &disk);
+            let n = scan_naive(&table, p, &disk);
+            checksums_ok &= e.checksum == n.checksum && e.bytes_read == n.bytes_read;
+            io_seconds += e.io_seconds;
+            bytes_read += e.bytes_read;
+        }
+        let mut times = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let start = Instant::now();
+            for &p in &projections {
+                std::hint::black_box(exec.scan(p, &disk));
+            }
+            times.push(start.elapsed().as_secs_f64());
+        }
+        if fraction == 0.0 {
+            base_io = io_seconds;
+        }
+        let record = ScanTaxRecord {
+            delta_fraction: fraction,
+            delta_rows: delta_rows as u64,
+            delta_bytes: table.delta_bytes(),
+            exec_seconds: median(times),
+            io_seconds,
+            bytes_read,
+            io_overhead_vs_base: if base_io > 0.0 {
+                io_seconds / base_io
+            } else {
+                1.0
+            },
+            checksums_ok,
+        };
+        eprintln!(
+            "ingest_bench: delta {:>4.0}% → modeled I/O ×{:.3}, exec {:.4}s, checksums ok: {}",
+            fraction * 100.0,
+            record.io_overhead_vs_base,
+            record.exec_seconds,
+            checksums_ok
+        );
+        all_ok &= checksums_ok;
+        scan_tax.push(record);
+    }
+
+    // --- cold-open recovery vs WAL length -------------------------------
+    let mut recovery = Vec::new();
+    for wal_batches in [0usize, 8, 32, 128] {
+        let (table, dir) = durable_table(&schema, &data, &layout);
+        for k in 0..wal_batches {
+            table
+                .ingest(
+                    &IngestBatch::append(generate_table(&schema, batch_rows, 2000 + k as u64)),
+                    &disk,
+                )
+                .expect("append-only batch");
+        }
+        let expected = scan_naive(&table, schema.all_attrs(), &disk).checksum;
+        let wal_len = dir
+            .list()
+            .unwrap()
+            .iter()
+            .filter(|n| n.starts_with("wal-"))
+            .map(|n| dir.read(n).unwrap().unwrap().len() as u64)
+            .sum();
+        let mut times = Vec::with_capacity(runs);
+        let mut rows_replayed = 0u64;
+        for _ in 0..runs {
+            let image = Arc::new(MemDir::from_image(dir.image()));
+            let start = Instant::now();
+            let (reopened, report) =
+                StoredTable::open(&schema, image as Arc<dyn Dir>).expect("open");
+            times.push(start.elapsed().as_secs_f64());
+            rows_replayed = report.rows_appended;
+            let back = scan_naive(&reopened, schema.all_attrs(), &disk).checksum;
+            if back != expected {
+                eprintln!("ingest_bench: FAIL — recovery diverged at {wal_batches} WAL batches");
+                all_ok = false;
+            }
+        }
+        let rec = RecoveryRecord {
+            wal_records: wal_batches as u64,
+            wal_bytes: wal_len,
+            rows_replayed,
+            open_seconds: median(times),
+        };
+        eprintln!(
+            "ingest_bench: cold open with {:>3} WAL records ({:>8} bytes): {:.4}s",
+            rec.wal_records, rec.wal_bytes, rec.open_seconds
+        );
+        recovery.push(rec);
+    }
+
+    // --- threads sweep: drains with ingest in flight ---------------------
+    let stream: Vec<Query> = (0..queries_per_drain)
+        .map(|i| Query::new(format!("q{i}"), projections[i % projections.len()]))
+        .collect();
+    let mut threads_records = Vec::new();
+    for &threads in &thread_counts {
+        let (table, _dir) = durable_table(&schema, &data, &layout);
+        let mut manager = TableManager::new(
+            table,
+            Box::new(HillClimb::new()),
+            model,
+            TableManagerConfig {
+                advise_every: u64::MAX, // the bench schedules nothing
+                ..TableManagerConfig::default()
+            },
+        );
+        let handle = manager.table_handle();
+        manager
+            .serve_batch(&stream, threads)
+            .expect("stream fits Lineitem"); // warm-up, untimed
+        let mut quiescent = Vec::with_capacity(runs);
+        let mut inflight = Vec::with_capacity(runs);
+        let mut batches_in_flight = 0u64;
+        for _ in 0..runs {
+            let (q, ()) = manager
+                .serve_batch_with(&stream, threads, |_| ())
+                .expect("stream fits Lineitem");
+            quiescent.push(q.queries_per_second);
+            let handle = &handle;
+            let disk = &disk;
+            let schema_ref = &schema;
+            let (f, applied) = manager
+                .serve_batch_with(&stream, threads, move |_| {
+                    let mut applied = 0u64;
+                    for k in 0..8u64 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        let batch = IngestBatch::append(generate_table(schema_ref, 64, 3000 + k));
+                        handle.ingest(&batch, disk).expect("append-only batch");
+                        applied += 1;
+                    }
+                    applied
+                })
+                .expect("stream fits Lineitem");
+            inflight.push(f.queries_per_second);
+            batches_in_flight += applied;
+        }
+        let quiescent_qps = median(quiescent);
+        let inflight_qps = median(inflight);
+        let record = ThreadRecord {
+            threads,
+            quiescent_qps,
+            ingest_inflight_qps: inflight_qps,
+            inflight_over_quiescent: inflight_qps / quiescent_qps,
+            batches_ingested_in_flight: batches_in_flight,
+        };
+        eprintln!(
+            "ingest_bench: [{} threads] quiescent {:.0} q/s, ingest-in-flight {:.0} q/s \
+             (ratio {:.3})",
+            threads, quiescent_qps, inflight_qps, record.inflight_over_quiescent
+        );
+        threads_records.push(record);
+    }
+
+    let report = IngestReport {
+        benchmark: "durable_ingest".to_string(),
+        stamp: BenchStamp::collect(),
+        table: schema.name().to_string(),
+        attrs: schema.attr_count(),
+        rows,
+        runs,
+        ingest,
+        scan_tax,
+        recovery,
+        threads: threads_records,
+        notes: "durable StoredTable on an in-memory MemDir backend: ingest appends one \
+                CRC-framed WAL record per batch then publishes a delta-extended snapshot; \
+                scan tax compares executor passes over the Lineitem workload projections at \
+                delta backlogs of 0/1/10% of base rows (executor asserted bit-identical to \
+                scan_naive at every backlog); recovery times StoredTable::open replaying \
+                ever-longer WALs over the published snapshot; the threads sweep drains the \
+                stream through TableManager::serve_batch_with while the calling thread \
+                ingests, exercising reader-writer independence of immutable snapshots"
+            .to_string(),
+    };
+    write_report(&out, &report);
+    eprintln!("ingest_bench: wrote {out}");
+    if !all_ok {
+        eprintln!("ingest_bench: FAIL — a checksum diverged from the oracle");
+        std::process::exit(1);
+    }
+}

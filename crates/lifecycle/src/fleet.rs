@@ -36,7 +36,7 @@
 use crate::manager::{RealizedPayoff, RepartitionDecision, ServeBatchReport, TableManager};
 use slicer_core::{Budget, BudgetPool, SessionStats};
 use slicer_model::{ModelError, Query};
-use slicer_storage::{ScanResult, StoredTable};
+use slicer_storage::{IngestBatch, IngestStats, ScanResult, StorageError, StoredTable};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -124,6 +124,10 @@ pub struct FleetStats {
     /// Modeled I/O the served traffic saved versus each table's forgone
     /// layout, summed over all tables — re-recorded at every advise round.
     pub payoff_saved_io_seconds: f64,
+    /// Ingest batches routed through [`TableFleet::ingest`], fleet-wide
+    /// (per-table ingest counters live on each manager's
+    /// [`crate::manager::ManagerStats`]).
+    pub ingest_batches: u64,
 }
 
 /// Drift priority of one table: compared lexicographically.
@@ -312,6 +316,30 @@ impl TableFleet {
             FleetOutcome::NotDue
         };
         Ok((result, outcome))
+    }
+
+    /// Route one ingest batch to `table` ([`TableManager::ingest`]): the
+    /// write lands in that table's WAL'd delta, and the grown delta lifts
+    /// the table's [`TableManager::window_cost`] — so under drift-first
+    /// scheduling, sustained ingest pulls the shared advisor budget toward
+    /// the tables accumulating the most un-folded write debt.
+    ///
+    /// `Err` is [`StorageError::UnknownTable`] when no table is registered
+    /// under `table`; other errors are the manager's validation failures.
+    /// Ingest advances neither the window nor the advise cadence — only
+    /// served queries do.
+    pub fn ingest(
+        &mut self,
+        table: &str,
+        batch: &IngestBatch,
+    ) -> Result<IngestStats, StorageError> {
+        let idx = *self
+            .by_name
+            .get(table)
+            .ok_or_else(|| StorageError::UnknownTable(table.to_string()))?;
+        let stats = self.entries[idx].manager.ingest(batch)?;
+        self.stats.ingest_batches += 1;
+        Ok(stats)
     }
 
     /// Run one advise round now, regardless of cadence: spend the round

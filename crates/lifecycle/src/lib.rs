@@ -26,6 +26,14 @@
 //!   what each adopted move invested versus what the traffic served since
 //!   actually saved.
 //!
+//! The lifecycle also owns the *write* path: [`TableManager::ingest`] and
+//! [`TableFleet::ingest`] route [`slicer_storage::IngestBatch`]es into the
+//! managed tables' WAL'd row-store deltas. A grown delta taxes every
+//! windowed scan, the manager's window cost (and thus the fleet's drift
+//! signal) prices that tax in, and the payoff gate weighs "repartition now
+//! and fold the delta" against letting it accrue — so a table under
+//! sustained ingest re-slices even when the query mix never drifts.
+//!
 //! Above the single-table manager sits the [`TableFleet`]: one manager
 //! per table, a query router keyed by table name, and a **shared** advisor
 //! budget spent across the fleet most-drifted-table-first (with

@@ -4,7 +4,9 @@ use slicer_core::{Advisor, AdvisorSession, Budget, PartitionRequest, SessionStat
 use slicer_cost::{CostModel, DiskParams, EvalMemos, HddCostModel};
 use slicer_metrics::Payoff;
 use slicer_model::{ModelError, Partitioning, Query, SlidingWorkload};
-use slicer_storage::{RepartitionStats, ScanExecutor, ScanResult, StoredTable};
+use slicer_storage::{
+    IngestBatch, IngestStats, RepartitionStats, ScanExecutor, ScanResult, StorageError, StoredTable,
+};
 use std::sync::Arc;
 
 /// How the payoff test prices *adopting* a candidate layout.
@@ -81,6 +83,17 @@ pub struct ManagerStats {
     pub repartition_io_seconds: f64,
     /// Measured CPU seconds spent re-partitioning, summed.
     pub repartition_cpu_seconds: f64,
+    /// Ingest batches routed through [`TableManager::ingest`].
+    pub ingest_batches: u64,
+    /// Rows appended by ingest, summed.
+    pub rows_appended: u64,
+    /// Rows deleted by ingest, summed.
+    pub rows_deleted: u64,
+    /// Modeled WAL-append I/O seconds spent by ingest, summed.
+    pub wal_io_seconds: f64,
+    /// Delta rows folded back into the columnar base by adopted
+    /// re-partitions, summed.
+    pub delta_rows_folded: u64,
 }
 
 /// Realized payoff of a table's adopted layout moves: what re-partitioning
@@ -100,6 +113,11 @@ pub struct RealizedPayoff {
     /// move replaced (accrues per served query; resets its baseline — not
     /// its total — at each new move).
     pub saved_io_seconds: f64,
+    /// The share of `invested_io_seconds` attributable to folding an
+    /// ingested delta back into the base (the extra seek plus the delta's
+    /// row-store bytes re-read), so a ledger reader can separate "the
+    /// layout moved" from "the ingest debt was repaid".
+    pub invested_fold_io_seconds: f64,
 }
 
 impl RealizedPayoff {
@@ -107,6 +125,22 @@ impl RealizedPayoff {
     pub fn net_io_seconds(&self) -> f64 {
         self.saved_io_seconds - self.invested_io_seconds
     }
+}
+
+/// Modeled I/O seconds one scan pays for reading a row-store delta of
+/// `delta_bytes` alongside its projected base files: the same one-extra-
+/// "file" rule the storage scan paths apply, priced as if the delta read
+/// the whole buffer alone (the gate's estimate — exact buffer sharing
+/// depends on each query's projection).
+fn delta_read_tax(disk: &DiskParams, delta_bytes: u64) -> f64 {
+    if delta_bytes == 0 {
+        return 0.0;
+    }
+    let b = disk.block_size;
+    let blocks = delta_bytes.div_ceil(b);
+    let blocks_buff = (disk.buffer_size / b).max(1);
+    let seeks = blocks.div_ceil(blocks_buff);
+    disk.seek_time * seeks as f64 + (blocks * b) as f64 / disk.read_bandwidth
 }
 
 /// Outcome of one multi-threaded [`TableManager::serve_batch`] drain.
@@ -348,6 +382,26 @@ impl TableManager {
         self.window.observe(query);
     }
 
+    /// Route one ingest batch into the managed table: WAL-append (when the
+    /// table is durable), publish the extended delta, and book the write
+    /// into the manager's counters. The grown delta immediately raises
+    /// [`TableManager::window_cost`] — every windowed scan now pays the
+    /// delta read tax — which is exactly the pressure the next advise
+    /// round's payoff gate weighs against the price of folding
+    /// ([`TableManager::advise_with`] considers a fold-only move even when
+    /// the advisor confirms the current layout).
+    ///
+    /// `Err` means the batch failed validation (schema mismatch, bad
+    /// deletes) and nothing was applied.
+    pub fn ingest(&mut self, batch: &IngestBatch) -> Result<IngestStats, StorageError> {
+        let stats = self.table.ingest(batch, &self.disk)?;
+        self.stats.ingest_batches += 1;
+        self.stats.rows_appended += stats.rows_appended;
+        self.stats.rows_deleted += stats.rows_deleted;
+        self.stats.wal_io_seconds += stats.io_seconds;
+        Ok(stats)
+    }
+
     /// Drain `queries` across `threads` scan workers, then run `overlap`
     /// on the calling thread while the workers are still scanning — the
     /// serve front's primitive. `overlap` gets `&mut self`, so it can run
@@ -453,11 +507,18 @@ impl TableManager {
             self.stats.truncated_runs += 1;
         }
         let current = self.table.layout();
-        if candidate == current {
+        let delta_bytes = self.table.delta_bytes();
+        if candidate == current && delta_bytes == 0 {
             return (RepartitionDecision::NoChange, session_stats);
         }
+        // Every windowed scan under the *current* state also reads the
+        // row-store delta; any adopted move folds that delta away. The tax
+        // therefore sits on the old-cost side of the gate — which is what
+        // lets a fold-only move (candidate == current layout, delta
+        // non-empty) pay off purely by retiring the scan tax.
+        let delta_tax = delta_read_tax(&self.disk, delta_bytes) * self.window.total_weight();
         let schema = &self.table.schema;
-        let old_cost = self.cost.workload_cost(schema, &current, &window);
+        let old_cost = self.cost.workload_cost(schema, &current, &window) + delta_tax;
         let new_cost = self.cost.workload_cost(schema, &candidate, &window);
         let creation_time = match self.cfg.pricing {
             AdoptionPricing::FullCreation => self.cost.layout_creation_time(schema, &candidate),
@@ -479,8 +540,18 @@ impl TableManager {
                 self.stats.repartitions += 1;
                 self.stats.repartition_io_seconds += stats.io_seconds;
                 self.stats.repartition_cpu_seconds += stats.cpu_seconds;
+                self.stats.delta_rows_folded += stats.delta_rows_folded as u64;
                 self.realized.moves += 1;
                 self.realized.invested_io_seconds += stats.io_seconds;
+                if stats.delta_bytes_folded > 0 {
+                    // The fold's share of the invested I/O, mirroring the
+                    // engine's accounting: one extra seek plus the delta's
+                    // row-store bytes re-read.
+                    let b = self.disk.block_size;
+                    self.realized.invested_fold_io_seconds += self.disk.seek_time
+                        + (stats.delta_bytes_folded.div_ceil(b) * b) as f64
+                            / self.disk.read_bandwidth;
+                }
                 // Savings accrue only for scans pinning snapshots at or
                 // after the one this move just published.
                 self.payoff_baseline = Some((old_layout.clone(), self.table.snapshot().generation));
@@ -504,8 +575,11 @@ impl TableManager {
     }
 
     /// Estimated cost of one execution of the current window under the
-    /// table's current layout (the fleet's drift numerator; zero for an
-    /// empty window).
+    /// table's current layout *and current delta* (the fleet's drift
+    /// numerator; zero for an empty window). An un-folded delta makes
+    /// every windowed scan pay its read tax, so ingest pressure shows up
+    /// here — and thereby in the fleet's drift-first scheduling — without
+    /// any query-shape drift.
     pub fn window_cost(&self) -> f64 {
         if self.window.is_empty() {
             return 0.0;
@@ -513,6 +587,7 @@ impl TableManager {
         let window = self.window.workload();
         self.cost
             .workload_cost(&self.table.schema, &self.table.layout(), &window)
+            + delta_read_tax(&self.disk, self.table.delta_bytes()) * self.window.total_weight()
     }
 
     /// Sum of the windowed queries' weights.
@@ -788,6 +863,68 @@ mod tests {
             }
             other => panic!("incremental gate should adopt the mild move, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn ingest_pressure_triggers_a_fold_only_move() {
+        let mut m = manager(TableManagerConfig {
+            window: 16,
+            advise_every: u64::MAX, // advised by hand below
+            budget: Budget::UNLIMITED,
+            payoff_horizon: 64.0,
+            ..TableManagerConfig::default()
+        });
+        let schema = lineitem();
+        for _ in 0..16 {
+            m.serve(pricing(&schema)).unwrap();
+        }
+        m.advise_now().unwrap();
+        let settled = m.layout();
+        let settled_cost = m.window_cost();
+
+        // Ingest raises the window cost: every windowed scan now pays the
+        // delta read tax.
+        let extra = generate_table(&schema, 2000, 3);
+        let stats = m
+            .ingest(&slicer_storage::IngestBatch::append(extra))
+            .unwrap();
+        assert_eq!(stats.rows_appended, 2000);
+        assert!(m.table().delta_bytes() > 0);
+        assert!(m.window_cost() > settled_cost, "delta tax must show up");
+        assert_eq!(m.stats().ingest_batches, 1);
+        assert_eq!(m.stats().rows_appended, 2000);
+
+        // The advisor confirms the settled layout, but the payoff gate now
+        // prices "fold the delta" against letting the tax accrue — and the
+        // tax wins well within the horizon.
+        match m.advise_now().unwrap() {
+            RepartitionDecision::Applied(ev) => {
+                assert_eq!(ev.new_layout, settled, "a fold, not a layout move");
+                assert_eq!(ev.stats.delta_rows_folded, 2000);
+                assert!(ev.stats.delta_bytes_folded > 0);
+            }
+            other => panic!("expected a fold-only move, got {other:?}"),
+        }
+        assert!(m.table().snapshot().delta.is_empty());
+        assert_eq!(m.table().rows(), ROWS + 2000);
+        assert_eq!(m.stats().delta_rows_folded, 2000);
+        assert!(m.realized_payoff().invested_fold_io_seconds > 0.0);
+        assert_eq!(
+            m.window_cost().to_bits(),
+            settled_cost.to_bits(),
+            "fold retires the tax back to exactly the settled layout's cost"
+        );
+        // Re-advising the same window with no delta is a plain NoChange.
+        assert!(matches!(
+            m.advise_now().unwrap(),
+            RepartitionDecision::NoChange
+        ));
+
+        // Rejected deletes leave everything untouched.
+        assert!(m
+            .ingest(&slicer_storage::IngestBatch::delete(vec![u64::MAX]))
+            .is_err());
+        assert_eq!(m.stats().ingest_batches, 1);
     }
 
     #[test]

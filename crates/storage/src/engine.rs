@@ -38,11 +38,17 @@
 //! [`scan_naive`], the oracle both the property tests and `scan_bench`
 //! compare against.
 
+use crate::backend::{CrashPoint, Dir, StorageError};
 use crate::compress::{decode, default_codec, encode, Codec, EncodedColumn};
-use crate::data::{ColumnData, TableData};
+use crate::data::{ColumnData, TableData, FNV_OFFSET, FNV_PRIME};
+use crate::delta::{fold_data, validate_batch, DeltaState, IngestBatch};
 use crate::snapshot::SnapshotCell;
+use crate::wal::{
+    decode_manifest, decode_partition_file, decode_wal, encode_manifest, encode_partition_file,
+    encode_record, part_name, wal_name, Manifest, RecoveryReport, WalRecord, MANIFEST,
+};
 use slicer_cost::DiskParams;
-use slicer_model::{AttrId, AttrSet, Partitioning, TableSchema};
+use slicer_model::{AttrId, AttrKind, AttrSet, Partitioning, TableSchema};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -105,15 +111,34 @@ pub struct TableSnapshot {
     pub layout: Partitioning,
     /// One file per partition, in layout order.
     pub files: Vec<Arc<PartitionFile>>,
-    /// Publication counter: 0 for the initial load, +1 per re-partition.
-    /// Strictly monotone per table — warm scan scratch keys off it.
+    /// Publication counter: 0 for the initial load, +1 per publication
+    /// (ingest batch or re-partition). Strictly monotone per table.
     pub generation: u64,
+    /// The row-store delta pinned with this snapshot: appended rows and
+    /// tombstones not yet folded into the partition files. A scan merges
+    /// it over the base columns; a repartition folds it in.
+    pub delta: DeltaState,
+    /// The decoded base data (decode templates + fold source). Pinned
+    /// per snapshot so a fold never disturbs in-flight scans.
+    pub(crate) source: Arc<TableData>,
 }
 
 impl TableSnapshot {
-    /// Total compressed bytes across all partition files.
+    /// Total compressed bytes across all partition files (delta excluded;
+    /// see [`DeltaState::stored_bytes`]).
     pub fn stored_bytes(&self) -> u64 {
         self.files.iter().map(|f| f.stored_bytes()).sum()
+    }
+
+    /// Rows in the columnar base (before merging the delta).
+    pub fn base_rows(&self) -> usize {
+        self.source.rows
+    }
+
+    /// Rows a scan of this snapshot observes: base plus appended minus
+    /// tombstoned.
+    pub fn visible_rows(&self) -> usize {
+        self.source.rows + self.delta.rows() - self.delta.deletes()
     }
 }
 
@@ -129,11 +154,24 @@ pub struct StoredTable {
     pub policy: CompressionPolicy,
     /// The current snapshot (lock-free swap on publication).
     snapshot: SnapshotCell<TableSnapshot>,
-    /// Serializes re-partitions (builders); readers never touch it.
-    move_lock: Mutex<()>,
-    /// The in-memory source data (kept for the naive oracle's decode
-    /// templates).
-    source: TableData,
+    /// Serializes writers (ingest and re-partition builders) and guards
+    /// the durable bookkeeping; readers never touch it. `None` for a
+    /// purely in-memory table.
+    move_lock: Mutex<Option<DurableState>>,
+    /// The durable backend, if this table persists itself.
+    dir: Option<Arc<dyn Dir>>,
+}
+
+/// Mutable durable bookkeeping, guarded by the move lock.
+#[derive(Debug)]
+struct DurableState {
+    /// The active WAL file.
+    wal_file: String,
+    /// Sequence number the next WAL record will carry.
+    next_seq: u64,
+    /// Backend file name of each partition file, aligned with the current
+    /// snapshot's `files` (kept files keep their names across moves).
+    file_names: Vec<String>,
 }
 
 /// Outcome of one [`StoredTable::repartition`]: what moved, what was
@@ -157,10 +195,74 @@ pub struct RepartitionStats {
     pub io_seconds: f64,
     /// Measured decode + re-encode seconds on the host CPU.
     pub cpu_seconds: f64,
+    /// Delta rows folded into the rebuilt files by this move (0 when the
+    /// delta was empty).
+    pub delta_rows_folded: usize,
+    /// Raw delta bytes (rows + tombstones) the fold consumed.
+    pub delta_bytes_folded: u64,
+}
+
+/// Outcome of one [`StoredTable::ingest`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IngestStats {
+    /// Rows appended by the batch.
+    pub rows_appended: u64,
+    /// Rows tombstoned by the batch.
+    pub rows_deleted: u64,
+    /// Bytes appended to the WAL (0 for an in-memory table).
+    pub wal_bytes: u64,
+    /// Modeled seek + write seconds for the WAL append on the simulated
+    /// disk (0 for an in-memory table).
+    pub io_seconds: f64,
+    /// Delta rows pending after this batch (including earlier batches).
+    pub delta_rows: u64,
+    /// Raw delta bytes pending after this batch — what every scan now
+    /// additionally reads until a repartition folds the delta.
+    pub delta_bytes: u64,
+}
+
+/// Encode `data` into one [`PartitionFile`] per partition of `layout`.
+fn build_files(
+    schema: &TableSchema,
+    data: &TableData,
+    layout: &Partitioning,
+    policy: CompressionPolicy,
+) -> Vec<Arc<PartitionFile>> {
+    layout
+        .partitions()
+        .iter()
+        .map(|p| {
+            let segments: Vec<(AttrId, EncodedColumn)> = p
+                .iter()
+                .map(|a| {
+                    let kind = schema.attribute(a).kind;
+                    let col = &data.columns[a.index()];
+                    (a, encode(col, policy.codec_for(kind)))
+                })
+                .collect();
+            Arc::new(PartitionFile {
+                attrs: *p,
+                segments,
+                rows: data.rows,
+            })
+        })
+        .collect()
+}
+
+/// The empty decode template for an attribute kind.
+fn empty_template(kind: AttrKind) -> ColumnData {
+    match kind {
+        AttrKind::Int => ColumnData::Int(Vec::new()),
+        AttrKind::Decimal => ColumnData::Decimal(Vec::new()),
+        AttrKind::Date => ColumnData::Date(Vec::new()),
+        AttrKind::Text => ColumnData::Text(Vec::new()),
+    }
 }
 
 impl StoredTable {
-    /// Compress `data` under `layout` and `policy`.
+    /// Compress `data` under `layout` and `policy`, in memory only (no
+    /// durability; a crash loses the table). See [`StoredTable::create`]
+    /// for the durable variant.
     pub fn load(
         schema: &TableSchema,
         data: &TableData,
@@ -172,25 +274,7 @@ impl StoredTable {
             schema.attr_count(),
             "data/schema mismatch"
         );
-        let files: Vec<Arc<PartitionFile>> = layout
-            .partitions()
-            .iter()
-            .map(|p| {
-                let segments: Vec<(AttrId, EncodedColumn)> = p
-                    .iter()
-                    .map(|a| {
-                        let kind = schema.attribute(a).kind;
-                        let col = &data.columns[a.index()];
-                        (a, encode(col, policy.codec_for(kind)))
-                    })
-                    .collect();
-                Arc::new(PartitionFile {
-                    attrs: *p,
-                    segments,
-                    rows: data.rows,
-                })
-            })
-            .collect();
+        let files = build_files(schema, data, layout, policy);
         StoredTable {
             schema: schema.clone(),
             policy,
@@ -198,10 +282,248 @@ impl StoredTable {
                 layout: layout.clone(),
                 files,
                 generation: 0,
+                delta: DeltaState::default(),
+                source: Arc::new(data.clone()),
             })),
-            move_lock: Mutex::new(()),
-            source: data.clone(),
+            move_lock: Mutex::new(None),
+            dir: None,
         }
+    }
+
+    /// Compress `data` under `layout` and `policy` and persist it into
+    /// `dir`: every partition file, an empty generation-0 WAL (holding its
+    /// `Publish` record), and the manifest that roots them. The table is
+    /// immediately durable — [`StoredTable::open`] on the same `dir`
+    /// reproduces it bit-for-bit.
+    pub fn create(
+        schema: &TableSchema,
+        data: &TableData,
+        layout: &Partitioning,
+        policy: CompressionPolicy,
+        dir: Arc<dyn Dir>,
+    ) -> Result<StoredTable, StorageError> {
+        let table = StoredTable::load(schema, data, layout, policy);
+        let snapshot = table.snapshot.load();
+        let mut file_names = Vec::with_capacity(snapshot.files.len());
+        for (i, f) in snapshot.files.iter().enumerate() {
+            let name = part_name(0, i);
+            dir.write_atomic(&name, &encode_partition_file(f))?;
+            file_names.push(name);
+        }
+        let wal_file = wal_name(0);
+        dir.write_atomic(
+            &wal_file,
+            &encode_record(0, &WalRecord::Publish { generation: 0 }),
+        )?;
+        dir.write_atomic(
+            MANIFEST,
+            &encode_manifest(&Manifest {
+                generation: 0,
+                policy,
+                wal_file: wal_file.clone(),
+                first_seq: 0,
+                files: file_names.clone(),
+            }),
+        )?;
+        *table.move_lock.lock().unwrap_or_else(|e| e.into_inner()) = Some(DurableState {
+            wal_file,
+            next_seq: 1,
+            file_names,
+        });
+        Ok(StoredTable {
+            dir: Some(dir),
+            ..table
+        })
+    }
+
+    /// Reopen a table persisted in `dir`: decode the manifest's partition
+    /// files into the last published snapshot, replay the WAL's ingest
+    /// records over it (recovering past a torn tail, which is truncated
+    /// off so later appends land on intact bytes), and sweep files a
+    /// crash may have orphaned. Returns the table plus the
+    /// [`RecoveryReport`] the caller is expected to log.
+    pub fn open(
+        schema: &TableSchema,
+        dir: Arc<dyn Dir>,
+    ) -> Result<(StoredTable, RecoveryReport), StorageError> {
+        let manifest_bytes = dir
+            .read(MANIFEST)?
+            .ok_or_else(|| StorageError::Corrupt("missing manifest".into()))?;
+        let manifest = decode_manifest(&manifest_bytes)?;
+        // Decode the partition files and rebuild the base columns.
+        let mut files = Vec::with_capacity(manifest.files.len());
+        for name in &manifest.files {
+            let bytes = dir.read(name)?.ok_or_else(|| {
+                StorageError::Corrupt(format!("manifest references missing file {name}"))
+            })?;
+            files.push(Arc::new(decode_partition_file(&bytes)?));
+        }
+        let sets: Vec<AttrSet> = files.iter().map(|f| f.attrs).collect();
+        let layout = Partitioning::new(schema, sets)
+            .map_err(|e| StorageError::Corrupt(format!("persisted layout invalid: {e}")))?;
+        let rows = files.first().map_or(0, |f| f.rows);
+        if files.iter().any(|f| f.rows != rows) {
+            return Err(StorageError::Corrupt(
+                "partition files disagree on row count".into(),
+            ));
+        }
+        let mut columns = vec![None; schema.attr_count()];
+        for f in &files {
+            for (aid, seg) in &f.segments {
+                if aid.index() >= columns.len() {
+                    return Err(StorageError::Corrupt(format!(
+                        "segment for out-of-schema attribute {aid}"
+                    )));
+                }
+                let template = empty_template(schema.attribute(*aid).kind);
+                columns[aid.index()] = Some(decode(seg, &template));
+            }
+        }
+        let columns: Vec<ColumnData> = columns
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                c.ok_or_else(|| StorageError::Corrupt(format!("no segment stores attribute {i}")))
+            })
+            .collect::<Result<_, _>>()?;
+        let source = Arc::new(TableData { columns, rows });
+
+        // Replay the WAL over the published snapshot.
+        let wal_bytes = dir.read(&manifest.wal_file)?.ok_or_else(|| {
+            StorageError::Corrupt(format!("missing WAL file {}", manifest.wal_file))
+        })?;
+        let (records, next_seq, torn) = decode_wal(&wal_bytes, manifest.first_seq);
+        match records.first() {
+            Some(WalRecord::Publish { generation }) if *generation == manifest.generation => {}
+            other => {
+                return Err(StorageError::Corrupt(format!(
+                    "WAL does not open with the manifest's Publish record (found {other:?})"
+                )));
+            }
+        }
+        if let Some(t) = &torn {
+            // Truncate the torn suffix so future appends extend intact
+            // bytes, not garbage.
+            dir.write_atomic(&manifest.wal_file, &wal_bytes[..t.valid_bytes])?;
+        }
+        let mut delta = DeltaState::default();
+        let mut wal_records = 0u64;
+        let mut rows_appended = 0u64;
+        let mut rows_deleted = 0u64;
+        for record in &records[1..] {
+            let WalRecord::Ingest { appends, deletes } = record else {
+                return Err(StorageError::Corrupt(
+                    "unexpected Publish record mid-WAL".into(),
+                ));
+            };
+            let batch = IngestBatch {
+                appends: appends.clone(),
+                deletes: deletes.clone(),
+            };
+            let next_row_id = rows as u64 + delta.rows() as u64;
+            rows_appended += batch.appended_rows() as u64;
+            rows_deleted += batch.deletes.len() as u64;
+            delta = delta.with_batch(&batch, next_row_id);
+            wal_records += 1;
+        }
+
+        // Sweep orphans a crash between publication and truncation left
+        // behind: superseded WALs and unreferenced partition files.
+        let mut orphans_removed = 0usize;
+        for name in dir.list()? {
+            let ours = name.starts_with("wal-") || name.starts_with("part-");
+            let live = name == manifest.wal_file || manifest.files.contains(&name);
+            if ours && !live {
+                dir.remove(&name)?;
+                orphans_removed += 1;
+            }
+        }
+
+        let report = RecoveryReport {
+            generation: manifest.generation,
+            wal_records,
+            rows_appended,
+            rows_deleted,
+            orphans_removed,
+            torn,
+        };
+        let table = StoredTable {
+            schema: schema.clone(),
+            policy: manifest.policy,
+            snapshot: SnapshotCell::new(Arc::new(TableSnapshot {
+                layout,
+                files,
+                generation: manifest.generation,
+                delta,
+                source,
+            })),
+            move_lock: Mutex::new(Some(DurableState {
+                wal_file: manifest.wal_file,
+                next_seq,
+                file_names: manifest.files,
+            })),
+            dir: Some(dir),
+        };
+        Ok((table, report))
+    }
+
+    /// Apply one [`IngestBatch`]: validate and normalize it, make it
+    /// durable (one WAL record — the batch is applied all-or-nothing, and
+    /// a torn append of an unacknowledged batch recovers to "never
+    /// happened"), then publish a new snapshot whose delta includes it.
+    /// Readers never stall: the partition files are untouched and shared
+    /// by pointer; scans that pinned the previous snapshot finish on it.
+    ///
+    /// Writers serialize on the move lock (an ingest cannot interleave
+    /// with a repartition's fold). The returned [`IngestStats`] carries
+    /// the modeled WAL I/O on `disk` and the delta backlog the table now
+    /// carries.
+    pub fn ingest(
+        &self,
+        batch: &IngestBatch,
+        disk: &DiskParams,
+    ) -> Result<IngestStats, StorageError> {
+        let mut state = self.move_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let base = self.snapshot.load();
+        let total_rows = (base.source.rows + base.delta.rows()) as u64;
+        let normalized = validate_batch(&self.schema, batch, total_rows, &base.delta)?;
+        if normalized.is_empty() {
+            return Ok(IngestStats::default());
+        }
+        let mut wal_bytes = 0u64;
+        if let (Some(durable), Some(dir)) = (state.as_mut(), self.dir.as_ref()) {
+            let record = WalRecord::Ingest {
+                appends: normalized.appends.clone(),
+                deletes: normalized.deletes.clone(),
+            };
+            let bytes = encode_record(durable.next_seq, &record);
+            wal_bytes = bytes.len() as u64;
+            dir.append(&durable.wal_file, &bytes)?;
+            durable.next_seq += 1;
+            dir.crash_point(CrashPoint::AfterWalAppend);
+        }
+        let delta = base.delta.with_batch(&normalized, total_rows);
+        let stats = IngestStats {
+            rows_appended: normalized.appended_rows() as u64,
+            rows_deleted: normalized.deletes.len() as u64,
+            wal_bytes,
+            io_seconds: if wal_bytes > 0 {
+                let block = disk.block_size;
+                disk.seek_time + (wal_bytes.div_ceil(block) * block) as f64 / disk.write_bandwidth
+            } else {
+                0.0
+            },
+            delta_rows: delta.rows() as u64,
+            delta_bytes: delta.stored_bytes(),
+        };
+        self.snapshot.store(Arc::new(TableSnapshot {
+            layout: base.layout.clone(),
+            files: base.files.clone(),
+            generation: base.generation + 1,
+            delta,
+            source: Arc::clone(&base.source),
+        }));
+        Ok(stats)
     }
 
     /// Pin the current snapshot. The returned snapshot is immutable and
@@ -239,71 +561,168 @@ impl StoredTable {
     /// The returned [`RepartitionStats`] reports measured CPU seconds and
     /// the modeled incremental I/O on `disk` (read back the consulted old
     /// files, write out the rebuilt new ones, one seek per file touched).
+    ///
+    /// # Folding the delta
+    ///
+    /// When the table carries a non-empty delta, the move doubles as
+    /// compaction: the rebuilt files are encoded from the *merged* rows
+    /// (base minus tombstones, plus surviving appends — appends touch
+    /// every column, so every partition is rebuilt), the published
+    /// snapshot starts with an empty delta, and the stats charge the fold
+    /// (delta read, full rewrite) to this move. For a durable table, delta
+    /// truncation and snapshot publication are atomic: the new partition
+    /// files and a fresh WAL are written *first*, then the manifest swings
+    /// in one [`Dir::write_atomic`] — a crash on either side of the swing
+    /// recovers to a consistent generation, never to a half-fold
+    /// (property-tested in `tests/crash_recovery.rs` via [`CrashPoint`]).
     pub fn repartition(&self, layout: &Partitioning, disk: &DiskParams) -> RepartitionStats {
-        let _builder = self.move_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = self.move_lock.lock().unwrap_or_else(|e| e.into_inner());
         let start = Instant::now();
         let base = self.snapshot.load();
-        // Where each attribute currently lives: (file, segment) indices.
-        let mut seg_of: Vec<Option<(usize, usize)>> = vec![None; self.schema.attr_count()];
-        for (fi, f) in base.files.iter().enumerate() {
-            for (si, (aid, _)) in f.segments.iter().enumerate() {
-                seg_of[aid.index()] = Some((fi, si));
-            }
-        }
-        let mut reread: Vec<bool> = vec![false; base.files.len()];
-        let mut files_kept = 0usize;
-        let mut files_rebuilt = 0usize;
+        let fold = !base.delta.is_empty();
+        let files_kept;
+        let files_rebuilt;
+        let files_reread;
+        let bytes_reread;
         let mut bytes_rewritten = 0u64;
-        let new_files: Vec<Arc<PartitionFile>> = layout
-            .partitions()
-            .iter()
-            .map(|p| {
-                // Unchanged group: share the live file by pointer without
-                // touching a single byte. (Disjointness guarantees no
-                // other new partition needs any of its segments.)
-                if let Some(f) = base.files.iter().find(|f| f.attrs == *p) {
-                    files_kept += 1;
-                    return Arc::clone(f);
+        let new_source;
+        let new_files: Vec<Arc<PartitionFile>>;
+        if fold {
+            // Appended rows touch every column: every partition is
+            // re-encoded from the merged data, old files and the delta are
+            // all read back.
+            let folded = Arc::new(fold_data(&base.source, &base.delta));
+            new_files = build_files(&self.schema, &folded, layout, self.policy);
+            new_source = folded;
+            files_kept = 0;
+            files_rebuilt = new_files.len();
+            files_reread = base.files.len();
+            bytes_reread = base.stored_bytes() + base.delta.stored_bytes();
+            bytes_rewritten = new_files.iter().map(|f| f.stored_bytes()).sum();
+        } else {
+            // Where each attribute currently lives: (file, segment)
+            // indices.
+            let mut seg_of: Vec<Option<(usize, usize)>> = vec![None; self.schema.attr_count()];
+            for (fi, f) in base.files.iter().enumerate() {
+                for (si, (aid, _)) in f.segments.iter().enumerate() {
+                    seg_of[aid.index()] = Some((fi, si));
                 }
-                files_rebuilt += 1;
-                let segments: Vec<(AttrId, EncodedColumn)> = p
-                    .iter()
-                    .map(|a| {
-                        let (fi, si) = seg_of[a.index()].expect("attr stored somewhere");
-                        reread[fi] = true;
-                        let template = &self.source.columns[a.index()];
-                        let col = decode(&base.files[fi].segments[si].1, template);
-                        let kind = self.schema.attribute(a).kind;
-                        (a, encode(&col, self.policy.codec_for(kind)))
-                    })
-                    .collect();
-                let file = PartitionFile {
-                    attrs: *p,
-                    segments,
-                    rows: self.source.rows,
-                };
-                bytes_rewritten += file.stored_bytes();
-                Arc::new(file)
-            })
-            .collect();
-        let bytes_reread: u64 = base
-            .files
-            .iter()
-            .zip(&reread)
-            .filter(|&(_, &r)| r)
-            .map(|(f, _)| f.stored_bytes())
-            .sum();
-        let files_reread = reread.iter().filter(|&&r| r).count();
+            }
+            let mut reread: Vec<bool> = vec![false; base.files.len()];
+            let mut kept = 0usize;
+            let mut rebuilt = 0usize;
+            new_files = layout
+                .partitions()
+                .iter()
+                .map(|p| {
+                    // Unchanged group: share the live file by pointer
+                    // without touching a single byte. (Disjointness
+                    // guarantees no other new partition needs any of its
+                    // segments.)
+                    if let Some(f) = base.files.iter().find(|f| f.attrs == *p) {
+                        kept += 1;
+                        return Arc::clone(f);
+                    }
+                    rebuilt += 1;
+                    let segments: Vec<(AttrId, EncodedColumn)> = p
+                        .iter()
+                        .map(|a| {
+                            let (fi, si) = seg_of[a.index()].expect("attr stored somewhere");
+                            reread[fi] = true;
+                            let template = &base.source.columns[a.index()];
+                            let col = decode(&base.files[fi].segments[si].1, template);
+                            let kind = self.schema.attribute(a).kind;
+                            (a, encode(&col, self.policy.codec_for(kind)))
+                        })
+                        .collect();
+                    let file = PartitionFile {
+                        attrs: *p,
+                        segments,
+                        rows: base.source.rows,
+                    };
+                    bytes_rewritten += file.stored_bytes();
+                    Arc::new(file)
+                })
+                .collect();
+            files_kept = kept;
+            files_rebuilt = rebuilt;
+            bytes_reread = base
+                .files
+                .iter()
+                .zip(&reread)
+                .filter(|&(_, &r)| r)
+                .map(|(f, _)| f.stored_bytes())
+                .sum();
+            files_reread = reread.iter().filter(|&&r| r).count();
+            new_source = Arc::clone(&base.source);
+        }
         let block = disk.block_size;
         let blocks_bytes = |s: u64| s.div_ceil(block) * block;
-        let io_seconds = disk.seek_time * (files_reread + files_rebuilt) as f64
+        // The fold pays one extra seek for the delta/WAL read-back.
+        let io_seconds = disk.seek_time * (files_reread + files_rebuilt + usize::from(fold)) as f64
             + blocks_bytes(bytes_reread) as f64 / disk.read_bandwidth
             + blocks_bytes(bytes_rewritten) as f64 / disk.write_bandwidth;
+
+        // Durable publication: rebuilt files and the next generation's WAL
+        // land first, then the manifest swings atomically; only then are
+        // the superseded WAL and unreferenced files removed.
+        if let (Some(durable), Some(dir)) = (state.as_mut(), self.dir.as_ref()) {
+            let generation = base.generation + 1;
+            let mut names = Vec::with_capacity(new_files.len());
+            let mut wrote_one = false;
+            for (i, f) in new_files.iter().enumerate() {
+                if let Some(pos) = base.files.iter().position(|old| Arc::ptr_eq(old, f)) {
+                    names.push(durable.file_names[pos].clone());
+                    continue;
+                }
+                let name = part_name(generation, i);
+                dir.write_atomic(&name, &encode_partition_file(f))
+                    .expect("durable store rejected a partition file write");
+                names.push(name);
+                if !wrote_one {
+                    wrote_one = true;
+                    dir.crash_point(CrashPoint::MidFold);
+                }
+            }
+            dir.crash_point(CrashPoint::BeforeSnapshotPublish);
+            let wal_file = wal_name(generation);
+            let first_seq = durable.next_seq;
+            dir.write_atomic(
+                &wal_file,
+                &encode_record(first_seq, &WalRecord::Publish { generation }),
+            )
+            .expect("durable store rejected a WAL write");
+            dir.write_atomic(
+                MANIFEST,
+                &encode_manifest(&Manifest {
+                    generation,
+                    policy: self.policy,
+                    wal_file: wal_file.clone(),
+                    first_seq,
+                    files: names.clone(),
+                }),
+            )
+            .expect("durable store rejected the manifest write");
+            dir.crash_point(CrashPoint::MidTruncate);
+            let old_wal = std::mem::replace(&mut durable.wal_file, wal_file);
+            dir.remove(&old_wal)
+                .expect("durable store rejected a remove");
+            for old in &durable.file_names {
+                if !names.contains(old) {
+                    dir.remove(old).expect("durable store rejected a remove");
+                }
+            }
+            durable.file_names = names;
+            durable.next_seq = first_seq + 1;
+        }
+
         // Publish: one atomic swap. In-flight scans keep their pins.
         self.snapshot.store(Arc::new(TableSnapshot {
             layout: layout.clone(),
             files: new_files,
             generation: base.generation + 1,
+            delta: DeltaState::default(),
+            source: new_source,
         }));
         RepartitionStats {
             files_kept,
@@ -312,6 +731,8 @@ impl StoredTable {
             bytes_rewritten,
             io_seconds,
             cpu_seconds: start.elapsed().as_secs_f64(),
+            delta_rows_folded: base.delta.rows(),
+            delta_bytes_folded: if fold { base.delta.stored_bytes() } else { 0 },
         }
     }
 
@@ -327,8 +748,35 @@ impl StoredTable {
     /// the incremental-move payoff price: adopting a layout that keeps most
     /// files costs far less than `layout_creation_time`'s full
     /// read-everything-write-everything estimate.
+    ///
+    /// With a non-empty delta the move folds, and the plan becomes an
+    /// *estimate*: every file rebuilds, and the rewritten size of the
+    /// merged rows is approximated as current segments + raw delta (the
+    /// post-encode size is data-dependent). The payoff gate uses this to
+    /// price "repartition now and fold" against the delta's growing scan
+    /// tax.
     pub fn repartition_plan(&self, layout: &Partitioning, disk: &DiskParams) -> RepartitionStats {
         let base = self.snapshot.load();
+        if !base.delta.is_empty() {
+            let delta_bytes = base.delta.stored_bytes();
+            let bytes_reread = base.stored_bytes() + delta_bytes;
+            let bytes_rewritten = base.stored_bytes() + delta_bytes;
+            let block = disk.block_size;
+            let blocks_bytes = |s: u64| s.div_ceil(block) * block;
+            let io_seconds = disk.seek_time * (base.files.len() + layout.len() + 1) as f64
+                + blocks_bytes(bytes_reread) as f64 / disk.read_bandwidth
+                + blocks_bytes(bytes_rewritten) as f64 / disk.write_bandwidth;
+            return RepartitionStats {
+                files_kept: 0,
+                files_rebuilt: layout.len(),
+                bytes_reread,
+                bytes_rewritten,
+                io_seconds,
+                cpu_seconds: 0.0,
+                delta_rows_folded: base.delta.rows(),
+                delta_bytes_folded: delta_bytes,
+            };
+        }
         let mut seg_bytes: Vec<u64> = vec![0; self.schema.attr_count()];
         let mut file_of: Vec<usize> = vec![0; self.schema.attr_count()];
         for (fi, f) in base.files.iter().enumerate() {
@@ -372,13 +820,15 @@ impl StoredTable {
             bytes_rewritten,
             io_seconds,
             cpu_seconds: 0.0,
+            delta_rows_folded: 0,
+            delta_bytes_folded: 0,
         }
     }
 
-    /// Number of rows stored (equal across all partition files and
-    /// snapshots).
+    /// Rows currently visible (columnar base plus delta appends minus
+    /// tombstones, of the snapshot current *now*).
     pub fn rows(&self) -> usize {
-        self.source.rows
+        self.snapshot.load().visible_rows()
     }
 
     /// Total compressed bytes across the current snapshot's files.
@@ -386,16 +836,17 @@ impl StoredTable {
         self.snapshot.load().stored_bytes()
     }
 
-    /// Compression ratio versus the uncompressed fixed-width size.
-    pub fn compression_ratio(&self) -> f64 {
-        let raw = self.schema.row_size() * self.source.rows as u64;
-        raw as f64 / self.stored_bytes().max(1) as f64
+    /// Raw bytes of the current delta backlog (0 once folded).
+    pub fn delta_bytes(&self) -> u64 {
+        self.snapshot.load().delta.stored_bytes()
     }
 
-    /// The decode template for an attribute (naive decode paths only; the
-    /// vectorized executor never needs it).
-    pub(crate) fn template(&self, a: AttrId) -> &ColumnData {
-        &self.source.columns[a.index()]
+    /// Compression ratio versus the uncompressed fixed-width size of the
+    /// columnar base.
+    pub fn compression_ratio(&self) -> f64 {
+        let snapshot = self.snapshot.load();
+        let raw = self.schema.row_size() * snapshot.base_rows() as u64;
+        raw as f64 / snapshot.stored_bytes().max(1) as f64
     }
 }
 
@@ -437,8 +888,12 @@ fn simulated_io(disk: &DiskParams, sizes: &[u64]) -> f64 {
 
 /// The files a scan of `referenced` touches in `snapshot` (unified
 /// granularity: whole file), with their total compressed bytes and
-/// simulated I/O seconds. Shared by [`scan_naive`] and the vectorized
-/// executor so both report bit-identical I/O accounting.
+/// simulated I/O seconds. A non-empty delta reads as one extra
+/// "file" of its raw row-store bytes — the whole delta, regardless of the
+/// projection, because rows are stored row-major there (this is the scan
+/// tax the payoff gate prices against folding). Shared by [`scan_naive`]
+/// and the vectorized executor so both report bit-identical I/O
+/// accounting.
 pub(crate) fn touched_and_io(
     snapshot: &TableSnapshot,
     referenced: AttrSet,
@@ -451,10 +906,13 @@ pub(crate) fn touched_and_io(
         .filter(|(_, f)| f.attrs.intersects(referenced))
         .map(|(i, _)| i)
         .collect();
-    let sizes: Vec<u64> = touched
+    let mut sizes: Vec<u64> = touched
         .iter()
         .map(|&i| snapshot.files[i].stored_bytes())
         .collect();
+    if !snapshot.delta.is_empty() {
+        sizes.push(snapshot.delta.stored_bytes());
+    }
     let io_seconds = simulated_io(disk, &sizes);
     let bytes_read = sizes.iter().sum();
     (touched, bytes_read, io_seconds)
@@ -462,10 +920,10 @@ pub(crate) fn touched_and_io(
 
 /// [`scan_naive`] against an explicitly pinned snapshot: the correctness
 /// oracle for concurrent serving, where the caller must compare a scan
-/// against the *same* snapshot it raced (`table` supplies the decode
-/// templates; it need not still be serving `snapshot`).
+/// against the *same* snapshot it raced. The snapshot is self-contained
+/// (decode templates and delta travel with it), so the table it came from
+/// need not still be serving it — or exist.
 pub fn scan_naive_snapshot(
-    table: &StoredTable,
     snapshot: &TableSnapshot,
     referenced: AttrSet,
     disk: &DiskParams,
@@ -481,7 +939,7 @@ pub fn scan_naive_snapshot(
         let need_all = !f.fixed_width();
         for (aid, seg) in &f.segments {
             if need_all || referenced.contains(*aid) {
-                let col = decode(seg, table.template(*aid));
+                let col = decode(seg, &snapshot.source.columns[aid.index()]);
                 if referenced.contains(*aid) {
                     decoded.push((*aid, col));
                 } else {
@@ -496,15 +954,46 @@ pub fn scan_naive_snapshot(
 
     // Tuple reconstruction: stitch the projected row together row-by-row
     // (per-tuple query processing, as in the cost model's assumptions).
-    let rows = table.rows();
+    // The checksum folds each row hash rotated by the row's *visible*
+    // position — the rank among non-tombstoned rows — so the result is
+    // invariant under folding: merging the delta into fresh partition
+    // files renumbers rows densely without moving any row's rank.
+    // (With no delta, visible position == physical row, reproducing the
+    // pre-delta checksum bit-for-bit.)
+    let rows = snapshot.source.rows;
+    let delta = &snapshot.delta;
     let mut checksum = 0u64;
+    let mut visible = 0usize;
+    let deleted = delta.deleted_ids();
+    let mut next_del = 0usize;
     for r in 0..rows {
-        let mut row_hash = 0xcbf29ce484222325u64;
+        if next_del < deleted.len() && deleted[next_del] == r as u64 {
+            next_del += 1;
+            continue;
+        }
+        let mut row_hash = FNV_OFFSET;
         for (_, col) in &decoded {
             row_hash ^= col.fingerprint(r);
-            row_hash = row_hash.wrapping_mul(0x100000001b3);
+            row_hash = row_hash.wrapping_mul(FNV_PRIME);
         }
-        checksum ^= row_hash.rotate_left((r % 63) as u32);
+        checksum ^= row_hash.rotate_left((visible % 63) as u32);
+        visible += 1;
+    }
+    // Delta rows: the row store merges after the base, in append order,
+    // hashing the same referenced attributes in the same ascending order.
+    for batch in delta.batches() {
+        for i in 0..batch.data.rows {
+            if delta.is_deleted(batch.first_row_id + i as u64) {
+                continue;
+            }
+            let mut row_hash = FNV_OFFSET;
+            for (aid, _) in &decoded {
+                row_hash ^= batch.data.columns[aid.index()].fingerprint(i);
+                row_hash = row_hash.wrapping_mul(FNV_PRIME);
+            }
+            checksum ^= row_hash.rotate_left((visible % 63) as u32);
+            visible += 1;
+        }
     }
     let cpu_seconds = start.elapsed().as_secs_f64();
 
@@ -525,7 +1014,7 @@ pub fn scan_naive_snapshot(
 /// [`crate::executor::scan`] convenience wrapper).
 pub fn scan_naive(table: &StoredTable, referenced: AttrSet, disk: &DiskParams) -> ScanResult {
     let snapshot = table.snapshot();
-    scan_naive_snapshot(table, &snapshot, referenced, disk)
+    scan_naive_snapshot(&snapshot, referenced, disk)
 }
 
 #[cfg(test)]
@@ -771,10 +1260,10 @@ mod tests {
         );
         let referenced = s.attr_set(&["CustKey", "ShipMode"]).unwrap();
         let pinned = t.snapshot();
-        let before = scan_naive_snapshot(&t, &pinned, referenced, &disk);
+        let before = scan_naive_snapshot(&pinned, referenced, &disk);
         t.repartition(&Partitioning::column(&s), &disk);
         // The pinned snapshot still scans exactly as before the move…
-        let after = scan_naive_snapshot(&t, &pinned, referenced, &disk);
+        let after = scan_naive_snapshot(&pinned, referenced, &disk);
         assert_eq!(before.checksum, after.checksum);
         assert_eq!(before.bytes_read, after.bytes_read);
         assert_eq!(before.io_seconds.to_bits(), after.io_seconds.to_bits());
@@ -783,6 +1272,122 @@ mod tests {
         let live = scan_naive(&t, referenced, &disk);
         assert_eq!(live.checksum, before.checksum);
         assert!(live.bytes_read < before.bytes_read);
+    }
+
+    #[test]
+    fn ingest_merges_into_scans_and_fold_preserves_checksums() {
+        let s = schema();
+        let data = generate_table(&s, 2000, 42);
+        let disk = DiskParams::paper_testbed();
+        let t = StoredTable::load(
+            &s,
+            &data,
+            &Partitioning::row(&s),
+            CompressionPolicy::Default,
+        );
+        let p = s.attr_set(&["CustKey", "ShipMode"]).unwrap();
+        let before = scan_naive(&t, p, &disk);
+
+        // Append 100 rows and delete 50 base rows.
+        let extra = generate_table(&s, 100, 7);
+        t.ingest(&IngestBatch::append(extra.clone()), &disk)
+            .unwrap();
+        let stats = t
+            .ingest(&IngestBatch::delete((0..50).collect()), &disk)
+            .unwrap();
+        assert_eq!(stats.rows_deleted, 50);
+        assert_eq!(t.rows(), 2000 + 100 - 50);
+        let with_delta = scan_naive(&t, p, &disk);
+        assert_ne!(with_delta.checksum, before.checksum);
+        assert!(
+            with_delta.bytes_read > before.bytes_read,
+            "delta adds scan bytes"
+        );
+        // Executor merges identically.
+        let exec = crate::executor::scan(&t, p, &disk);
+        assert_eq!(exec.checksum, with_delta.checksum);
+        assert_eq!(exec.bytes_read, with_delta.bytes_read);
+        assert_eq!(exec.io_seconds.to_bits(), with_delta.io_seconds.to_bits());
+
+        // A pinned pre-fold snapshot survives the fold; the folded table
+        // scans to the same checksum with the delta tax gone.
+        let pinned = t.snapshot();
+        let fold_stats = t.repartition(&Partitioning::column(&s), &disk);
+        assert_eq!(fold_stats.delta_rows_folded, 100);
+        assert!(fold_stats.delta_bytes_folded > 0);
+        assert_eq!(fold_stats.files_kept, 0);
+        let folded = scan_naive(&t, p, &disk);
+        assert_eq!(folded.checksum, with_delta.checksum);
+        assert!(t.snapshot().delta.is_empty());
+        let replay = scan_naive_snapshot(&pinned, p, &disk);
+        assert_eq!(replay.checksum, with_delta.checksum);
+        assert_eq!(replay.bytes_read, with_delta.bytes_read);
+        // Same answer as loading the merged rows fresh.
+        let oracle = StoredTable::load(
+            &s,
+            &crate::delta::fold_data(&data, &pinned.delta),
+            &Partitioning::column(&s),
+            CompressionPolicy::Default,
+        );
+        assert_eq!(scan_naive(&oracle, p, &disk).checksum, folded.checksum);
+    }
+
+    #[test]
+    fn ingest_rejects_invalid_batches() {
+        let s = schema();
+        let data = generate_table(&s, 100, 1);
+        let disk = DiskParams::paper_testbed();
+        let t = StoredTable::load(&s, &data, &Partitioning::row(&s), CompressionPolicy::None);
+        assert!(t.ingest(&IngestBatch::delete(vec![100]), &disk).is_err());
+        t.ingest(&IngestBatch::delete(vec![5]), &disk).unwrap();
+        assert!(t.ingest(&IngestBatch::delete(vec![5]), &disk).is_err());
+        let wrong_arity = IngestBatch::append(TableData {
+            columns: vec![ColumnData::Int(vec![1])],
+            rows: 1,
+        });
+        assert!(t.ingest(&wrong_arity, &disk).is_err());
+    }
+
+    #[test]
+    fn durable_create_open_roundtrips_with_wal_replay() {
+        use crate::backend::MemDir;
+        let s = schema();
+        let data = generate_table(&s, 500, 9);
+        let disk = DiskParams::paper_testbed();
+        let dir = Arc::new(MemDir::new());
+        let t = StoredTable::create(
+            &s,
+            &data,
+            &Partitioning::row(&s),
+            CompressionPolicy::Default,
+            dir.clone(),
+        )
+        .unwrap();
+        let extra = generate_table(&s, 40, 17);
+        t.ingest(&IngestBatch::append(extra), &disk).unwrap();
+        t.ingest(&IngestBatch::delete(vec![3, 510]), &disk).unwrap();
+        let p = s.all_attrs();
+        let live = scan_naive(&t, p, &disk);
+
+        let (reopened, report) = StoredTable::open(&s, dir.clone()).unwrap();
+        assert_eq!(report.wal_records, 2);
+        assert_eq!(report.rows_appended, 40);
+        assert_eq!(report.rows_deleted, 2);
+        assert_eq!(report.torn, None);
+        assert_eq!(reopened.policy, CompressionPolicy::Default);
+        assert_eq!(reopened.rows(), t.rows());
+        let back = scan_naive(&reopened, p, &disk);
+        assert_eq!(back.checksum, live.checksum);
+        assert_eq!(back.bytes_read, live.bytes_read);
+
+        // A repartition folds, truncates the WAL, and stays durable.
+        reopened.repartition(&Partitioning::column(&s), &disk);
+        let after_fold = scan_naive(&reopened, p, &disk);
+        assert_eq!(after_fold.checksum, live.checksum);
+        let (again, report2) = StoredTable::open(&s, dir).unwrap();
+        assert_eq!(report2.wal_records, 0, "fold truncated the delta's WAL");
+        assert_eq!(scan_naive(&again, p, &disk).checksum, live.checksum);
+        assert!(again.snapshot().delta.is_empty());
     }
 
     #[test]

@@ -285,12 +285,21 @@ impl<'t> ScanExecutor<'t> {
         cursor_keys.sort_by_key(|(a, _, _)| *a);
         let cursors: &[(AttrId, usize, usize)] = cursor_keys;
 
-        // Blocked tuple reconstruction.
-        let rows = table.rows();
+        // Blocked tuple reconstruction over the columnar base. Rows fold
+        // into the checksum rotated by their *visible* position (rank
+        // among non-tombstoned rows) — identical to physical position
+        // when the delta is empty, and invariant under delta folding
+        // otherwise, matching the naive oracle bit-for-bit.
+        let rows = snapshot.source.rows;
+        let delta = &snapshot.delta;
+        let deleted = delta.deleted_ids();
+        let merge = !delta.is_empty();
         let row_hash = &mut scratch.row_hash;
         let fp_lane = &mut scratch.fp_lane;
         let mut checksum = 0u64;
         let mut base = 0usize;
+        let mut visible = 0usize;
+        let mut next_del = 0usize;
         while base < rows {
             let len = BLOCK_ROWS.min(rows - base);
             row_hash[..len].fill(FNV_OFFSET);
@@ -303,10 +312,40 @@ impl<'t> ScanExecutor<'t> {
                     *h = (*h ^ fp).wrapping_mul(FNV_PRIME);
                 }
             }
-            for (j, h) in row_hash[..len].iter().enumerate() {
-                checksum ^= h.rotate_left(((base + j) % 63) as u32);
+            if merge {
+                for (j, h) in row_hash[..len].iter().enumerate() {
+                    if next_del < deleted.len() && deleted[next_del] == (base + j) as u64 {
+                        next_del += 1;
+                        continue;
+                    }
+                    checksum ^= h.rotate_left((visible % 63) as u32);
+                    visible += 1;
+                }
+            } else {
+                for (j, h) in row_hash[..len].iter().enumerate() {
+                    checksum ^= h.rotate_left(((base + j) % 63) as u32);
+                }
             }
             base += len;
+        }
+        // Delta epilogue: the row-store side merges after the base in
+        // append order, hashing the referenced attributes ascending — the
+        // same order the cursor lanes combined in.
+        if merge {
+            for batch in delta.batches() {
+                for i in 0..batch.data.rows {
+                    if delta.is_deleted(batch.first_row_id + i as u64) {
+                        continue;
+                    }
+                    let mut h = FNV_OFFSET;
+                    for &(aid, _, _) in cursors {
+                        h = (h ^ batch.data.columns[aid.index()].fingerprint(i))
+                            .wrapping_mul(FNV_PRIME);
+                    }
+                    checksum ^= h.rotate_left((visible % 63) as u32);
+                    visible += 1;
+                }
+            }
         }
         let cpu_seconds = start.elapsed().as_secs_f64();
 

@@ -24,22 +24,37 @@
 //!   a simulated disk, double-buffered zero-stall
 //!   [`engine::StoredTable::repartition`], and [`engine::scan_naive`],
 //!   the original materialize-then-iterate executor kept as the
-//!   correctness oracle and benchmark baseline.
+//!   correctness oracle and benchmark baseline;
+//! * [`backend`] — the pluggable durable [`backend::Dir`] namespace
+//!   (filesystem, in-memory, and the crash-injecting wrapper driving the
+//!   recovery property suite);
+//! * [`wal`] — the length-prefixed, CRC-checksummed, sequence-numbered
+//!   write-ahead log plus the manifest and partition-file images, with
+//!   torn-tail recovery;
+//! * [`delta`] — the row-store delta of validated
+//!   [`delta::IngestBatch`]es that scans merge over the columnar base
+//!   until a repartition folds it in.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod compress;
 pub mod cursor;
 pub mod data;
+pub mod delta;
 pub mod engine;
 pub mod executor;
 pub mod snapshot;
+pub mod wal;
 
+pub use backend::{CrashDir, CrashPoint, Dir, FsDir, MemDir, StorageError};
 pub use compress::{decode, default_codec, encode, Codec, EncodedColumn};
 pub use data::{generate_table, generate_table_seq, ColumnData, TableData};
+pub use delta::{DeltaBatch, DeltaState, IngestBatch};
 pub use engine::{
-    scan_naive, scan_naive_snapshot, CompressionPolicy, PartitionFile, RepartitionStats,
-    ScanResult, StoredTable, TableSnapshot,
+    scan_naive, scan_naive_snapshot, CompressionPolicy, IngestStats, PartitionFile,
+    RepartitionStats, ScanResult, StoredTable, TableSnapshot,
 };
 pub use executor::{scan, CacheMode, ScanExecutor};
 pub use snapshot::SnapshotCell;
+pub use wal::{crc32, RecoveryReport, TornTail, WalRecord};

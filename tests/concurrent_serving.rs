@@ -95,7 +95,7 @@ fn race(
     let start_snapshot = table.snapshot();
     let checksum_oracle: Vec<u64> = projections
         .iter()
-        .map(|&p| scan_naive_snapshot(table, &start_snapshot, p, &disk).checksum)
+        .map(|&p| scan_naive_snapshot(&start_snapshot, p, &disk).checksum)
         .collect();
     // Per-layout bytes_read: the only values an atomic snapshot can read.
     let bytes_oracle: Vec<[u64; 2]> = {
@@ -147,7 +147,7 @@ fn race(
                     generations.insert(snapshot.generation);
                     let fast = executor.scan_snapshot(&snapshot, p, disk);
                     // Bit-exact against the oracle on the SAME pin.
-                    let naive = scan_naive_snapshot(&table, &snapshot, p, disk);
+                    let naive = scan_naive_snapshot(&snapshot, p, disk);
                     assert_eq!(
                         fast.checksum, naive.checksum,
                         "[{policy_tag}] executor diverged from its pinned snapshot"
@@ -302,13 +302,13 @@ fn pinned_snapshots_are_immortal_while_held() {
     );
     let p = schema.all_attrs();
     let pinned = table.snapshot();
-    let before = scan_naive_snapshot(&table, &pinned, p, &disk);
+    let before = scan_naive_snapshot(&pinned, p, &disk);
     for _ in 0..8 {
         table.repartition(&Partitioning::column(&schema), &disk);
         table.repartition(&Partitioning::row(&schema), &disk);
     }
     assert_eq!(table.snapshot().generation, 16);
-    let after = scan_naive_snapshot(&table, &pinned, p, &disk);
+    let after = scan_naive_snapshot(&pinned, p, &disk);
     assert_eq!(before.checksum, after.checksum);
     assert_eq!(before.bytes_read, after.bytes_read);
     assert_eq!(before.io_seconds.to_bits(), after.io_seconds.to_bits());
