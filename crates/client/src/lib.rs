@@ -1,0 +1,558 @@
+//! # slicer-client
+//!
+//! The retrying client half of the wire protocol in
+//! [`slicer_net::frame`].
+//!
+//! Every operation — [`Client::scan`], [`Client::ingest`],
+//! [`Client::server_stats`] — is safe to retry blind:
+//!
+//! * scans and stats are read-only;
+//! * each ingest is assigned a client sequence number **once**, before
+//!   the first attempt, and every retry re-sends the same sequence. The
+//!   server's idempotency ledger recognizes a replay of an
+//!   already-applied sequence and answers from the ledger instead of
+//!   applying the batch again — so "the reply got lost" and "the request
+//!   got lost" are indistinguishable to the client *and harmless*.
+//!
+//! On a transport failure (connection refused/cut, corrupt frame, local
+//! timeout) the client drops the connection, sleeps a capped exponential
+//! backoff, reconnects, and tries again up to
+//! [`ClientConfig::max_attempts`]. A typed
+//! [`ErrorCode::Overloaded`] reply keeps the connection (the server is
+//! healthy, just shedding) and honors the server-suggested
+//! `retry_after`. All other typed errors are final for the operation and
+//! surface as [`ClientError::Server`].
+//!
+//! An operation-level deadline ([`ClientConfig::deadline`]) caps the
+//! whole retry loop and is *propagated*: each attempt re-computes the
+//! remaining budget and sends it in the request, so the server's
+//! deadline-aware admission can refuse work the client would abandon
+//! anyway.
+
+#![warn(missing_docs)]
+
+use slicer_model::Query;
+use slicer_net::frame::{
+    encode_request, ErrorCode, FrameBuffer, Message, Request, Response, ServerStats,
+};
+use slicer_net::WireStream;
+use slicer_storage::{encode_ingest_batch, IngestBatch};
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// How a [`Client`] obtains a fresh connection. Tests inject connectors
+/// that wrap the stream in [`slicer_net::FaultyStream`] or dial a
+/// restarted server at a new port.
+pub type Connector = Box<dyn FnMut() -> std::io::Result<Box<dyn WireStream>> + Send>;
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Stable client identity — the namespace of the ingest idempotency
+    /// ledger. Two concurrent clients must not share an id.
+    pub client_id: u64,
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-attempt reply timeout; an attempt that exceeds it drops the
+    /// connection and retries.
+    pub request_timeout: Duration,
+    /// Operation deadline across *all* attempts, propagated to the
+    /// server per attempt as the remaining budget. `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// Attempts per operation (first try included).
+    pub max_attempts: u32,
+    /// First backoff sleep; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            client_id: 1,
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(5),
+            deadline: None,
+            max_attempts: 6,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Retry/robustness counters, kept per client.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Attempts sent (first tries included).
+    pub attempts: u64,
+    /// Attempts beyond the first, per operation.
+    pub retries: u64,
+    /// Connections established beyond the first.
+    pub reconnects: u64,
+    /// `Overloaded` sheds honored.
+    pub overloaded: u64,
+    /// Frames rejected by the local decoder (checksum/format violations).
+    pub corrupt_frames: u64,
+    /// Attempts abandoned on the per-attempt reply timeout.
+    pub timeouts: u64,
+}
+
+/// Why an operation failed for good.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The server answered with a final typed error.
+    Server {
+        /// The typed code.
+        code: ErrorCode,
+        /// Server-side detail.
+        message: String,
+    },
+    /// Every attempt failed on transport/corruption/timeout.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The last attempt's failure.
+        last_error: String,
+    },
+    /// The operation deadline expired before an attempt could succeed.
+    DeadlineExceeded {
+        /// Attempts made before the budget ran out.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Server { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+            ClientError::RetriesExhausted {
+                attempts,
+                last_error,
+            } => write!(f, "gave up after {attempts} attempts: {last_error}"),
+            ClientError::DeadlineExceeded { attempts } => {
+                write!(f, "operation deadline expired after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A successful scan as seen over the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanReply {
+    /// Order-independent checksum over the projected values —
+    /// bit-identical to an in-process scan of the same snapshot.
+    pub checksum: u64,
+    /// Compressed bytes read.
+    pub bytes_read: u64,
+    /// Modeled disk seconds.
+    pub io_seconds: f64,
+    /// Measured decode CPU seconds.
+    pub cpu_seconds: f64,
+    /// Snapshot generation the scan pinned.
+    pub generation: u64,
+}
+
+/// A durable (or deduplicated) ingest as seen over the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestReply {
+    /// Rows appended.
+    pub rows_appended: u64,
+    /// Rows tombstoned.
+    pub rows_deleted: u64,
+    /// WAL bytes appended.
+    pub wal_bytes: u64,
+    /// Modeled WAL-append disk seconds.
+    pub io_seconds: f64,
+    /// Delta rows pending after the batch.
+    pub delta_rows: u64,
+    /// Delta bytes pending after the batch.
+    pub delta_bytes: u64,
+    /// True iff the server recognized the sequence as already applied
+    /// and did **not** re-apply the batch.
+    pub deduped: bool,
+}
+
+/// The retrying wire client. Not `Sync` — one client per thread, each
+/// with its own `client_id`.
+pub struct Client {
+    cfg: ClientConfig,
+    connector: Connector,
+    stream: Option<Box<dyn WireStream>>,
+    ever_connected: bool,
+    next_request_id: u64,
+    next_sequence: u64,
+    stats: ClientStats,
+}
+
+/// Poll granularity while waiting for a reply.
+const READ_POLL: Duration = Duration::from_millis(10);
+
+fn backoff_delay(base: Duration, cap: Duration, retry_index: u32) -> Duration {
+    let factor = 1u32 << retry_index.min(16);
+    base.saturating_mul(factor).min(cap)
+}
+
+impl Client {
+    /// A client dialing `addr` over TCP.
+    pub fn connect(addr: SocketAddr, cfg: ClientConfig) -> Client {
+        let connect_timeout = cfg.connect_timeout;
+        Client::with_connector(
+            cfg,
+            Box::new(move || {
+                let stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+                stream.set_nodelay(true).ok();
+                Ok(Box::new(stream) as Box<dyn WireStream>)
+            }),
+        )
+    }
+
+    /// A client over an arbitrary connection factory (fault-injection
+    /// tests live here).
+    pub fn with_connector(cfg: ClientConfig, connector: Connector) -> Client {
+        Client {
+            cfg,
+            connector,
+            stream: None,
+            ever_connected: false,
+            next_request_id: 1,
+            next_sequence: 1,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Retry counters so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.cfg
+    }
+
+    /// Scan `table` with `query`, retrying until a result, a final typed
+    /// error, or exhaustion.
+    pub fn scan(&mut self, table: &str, query: &Query) -> Result<ScanReply, ClientError> {
+        let attrs: Vec<u16> = query.referenced.iter().map(|a| a.index() as u16).collect();
+        let template = Request::Scan {
+            table: table.to_string(),
+            query_name: query.name.clone(),
+            weight: query.weight,
+            attrs,
+            deadline_micros: 0,
+        };
+        match self.roundtrip(template)? {
+            Response::ScanOk {
+                checksum,
+                bytes_read,
+                io_seconds,
+                cpu_seconds,
+                generation,
+            } => Ok(ScanReply {
+                checksum,
+                bytes_read,
+                io_seconds,
+                cpu_seconds,
+                generation,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Apply `batch` to `table` exactly once, retrying under the
+    /// idempotency sequence assigned here.
+    pub fn ingest(&mut self, table: &str, batch: &IngestBatch) -> Result<IngestReply, ClientError> {
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        let template = Request::Ingest {
+            table: table.to_string(),
+            client_id: self.cfg.client_id,
+            sequence,
+            deadline_micros: 0,
+            batch: encode_ingest_batch(batch),
+        };
+        match self.roundtrip(template)? {
+            Response::IngestOk {
+                rows_appended,
+                rows_deleted,
+                wal_bytes,
+                io_seconds,
+                delta_rows,
+                delta_bytes,
+                deduped,
+            } => Ok(IngestReply {
+                rows_appended,
+                rows_deleted,
+                wal_bytes,
+                io_seconds,
+                delta_rows,
+                delta_bytes,
+                deduped,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetch the server's counters and slow-query log.
+    pub fn server_stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.roundtrip(Request::Stats)? {
+            Response::StatsOk(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The retry loop shared by every operation.
+    fn roundtrip(&mut self, template: Request) -> Result<Response, ClientError> {
+        let op_deadline = self.cfg.deadline.map(|d| Instant::now() + d);
+        let mut attempts = 0u32;
+        let mut last_error = String::from("no attempt made");
+        while attempts < self.cfg.max_attempts {
+            let remaining = match remaining_budget(op_deadline) {
+                Some(r) => r,
+                None => return Err(ClientError::DeadlineExceeded { attempts }),
+            };
+            if attempts > 0 {
+                self.stats.retries += 1;
+            }
+            attempts += 1;
+            self.stats.attempts += 1;
+            let request = with_deadline(&template, remaining);
+            match self.attempt(&request, remaining) {
+                Ok(Response::Error {
+                    code: ErrorCode::Overloaded,
+                    retry_after_micros,
+                    ..
+                }) => {
+                    // The server is healthy, just shedding: keep the
+                    // connection, honor its suggested delay.
+                    self.stats.overloaded += 1;
+                    last_error = format!("shed by server (retry after {retry_after_micros} us)");
+                    let suggested = Duration::from_micros(retry_after_micros);
+                    let backoff =
+                        backoff_delay(self.cfg.backoff_base, self.cfg.backoff_cap, attempts - 1);
+                    self.sleep_within(suggested.max(backoff), op_deadline);
+                }
+                Ok(Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    ..
+                }) => {
+                    // The server is draining; this connection is done.
+                    self.stream = None;
+                    last_error = "server shutting down".to_string();
+                    self.backoff(attempts, op_deadline);
+                }
+                Ok(Response::Error { code, message, .. }) => {
+                    return Err(ClientError::Server { code, message });
+                }
+                Ok(resp) => return Ok(resp),
+                Err(err) => {
+                    self.stream = None;
+                    last_error = err;
+                    self.backoff(attempts, op_deadline);
+                }
+            }
+        }
+        Err(ClientError::RetriesExhausted {
+            attempts,
+            last_error,
+        })
+    }
+
+    fn backoff(&mut self, attempts: u32, op_deadline: Option<Instant>) {
+        let delay = backoff_delay(self.cfg.backoff_base, self.cfg.backoff_cap, attempts - 1);
+        self.sleep_within(delay, op_deadline);
+    }
+
+    /// Sleep `delay`, clipped so the operation deadline is not slept
+    /// through.
+    fn sleep_within(&self, delay: Duration, op_deadline: Option<Instant>) {
+        let clipped = match op_deadline {
+            Some(t) => delay.min(t.saturating_duration_since(Instant::now())),
+            None => delay,
+        };
+        if !clipped.is_zero() {
+            std::thread::sleep(clipped);
+        }
+    }
+
+    /// One send + receive on the current (or a fresh) connection.
+    /// Any `Err` means the connection can no longer be trusted.
+    fn attempt(
+        &mut self,
+        request: &Request,
+        remaining: Option<Duration>,
+    ) -> Result<Response, String> {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        if self.stream.is_none() {
+            let stream = (self.connector)().map_err(|e| format!("connect failed: {e}"))?;
+            if self.ever_connected {
+                self.stats.reconnects += 1;
+            }
+            self.ever_connected = true;
+            self.stream = Some(stream);
+        }
+        let stream = self.stream.as_mut().expect("connected above");
+        stream
+            .set_read_timeout(Some(READ_POLL))
+            .map_err(|e| format!("set_read_timeout failed: {e}"))?;
+        stream
+            .write_all(&encode_request(request_id, request))
+            .map_err(|e| format!("send failed: {e}"))?;
+        stream.flush().map_err(|e| format!("flush failed: {e}"))?;
+
+        let budget = match remaining {
+            Some(r) => self.cfg.request_timeout.min(r),
+            None => self.cfg.request_timeout,
+        };
+        let wait_until = Instant::now() + budget;
+        let mut fb = FrameBuffer::new();
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match fb.next_frame() {
+                Ok(Some(env)) if env.request_id == request_id => match env.msg {
+                    Message::Response(resp) => return Ok(resp),
+                    Message::Request(_) => {
+                        self.stats.corrupt_frames += 1;
+                        return Err("server sent a request frame".to_string());
+                    }
+                },
+                // A reply to an abandoned earlier request id on a reused
+                // connection: skip it, keep waiting for ours.
+                Ok(Some(_)) => continue,
+                Ok(None) => {}
+                Err(err) => {
+                    self.stats.corrupt_frames += 1;
+                    return Err(format!("reply stream corrupt: {err}"));
+                }
+            }
+            if Instant::now() >= wait_until {
+                self.stats.timeouts += 1;
+                return Err(format!("no reply within {budget:?}"));
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => return Err("connection closed by server".to_string()),
+                Ok(n) => fb.extend(&buf[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                Err(e) => return Err(format!("read failed: {e}")),
+            }
+        }
+    }
+}
+
+/// `None` = the budget is spent; `Some(None)` = no deadline configured.
+#[allow(clippy::option_option)]
+fn remaining_budget(op_deadline: Option<Instant>) -> Option<Option<Duration>> {
+    match op_deadline {
+        None => Some(None),
+        Some(t) => {
+            let left = t.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                None
+            } else {
+                Some(Some(left))
+            }
+        }
+    }
+}
+
+/// Re-stamp the request's deadline field with the remaining budget.
+fn with_deadline(template: &Request, remaining: Option<Duration>) -> Request {
+    let micros = remaining
+        .map(|d| d.as_micros().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+        .max(u64::from(remaining.is_some()));
+    let mut req = template.clone();
+    match &mut req {
+        Request::Scan {
+            deadline_micros, ..
+        }
+        | Request::Ingest {
+            deadline_micros, ..
+        } => *deadline_micros = micros,
+        Request::Stats => {}
+    }
+    req
+}
+
+fn unexpected(resp: Response) -> ClientError {
+    ClientError::Server {
+        code: ErrorCode::Internal,
+        message: format!("response kind does not match the request: {resp:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(120);
+        let delays: Vec<_> = (0..6).map(|i| backoff_delay(base, cap, i)).collect();
+        assert_eq!(
+            delays,
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(40),
+                Duration::from_millis(80),
+                Duration::from_millis(120),
+                Duration::from_millis(120),
+            ]
+        );
+    }
+
+    #[test]
+    fn backoff_shift_saturates_instead_of_overflowing() {
+        let d = backoff_delay(Duration::from_millis(1), Duration::from_secs(1), 40);
+        assert_eq!(d, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn deadline_is_restamped_per_attempt() {
+        let template = Request::Scan {
+            table: "t".into(),
+            query_name: "q".into(),
+            weight: 1.0,
+            attrs: vec![0],
+            deadline_micros: 0,
+        };
+        let stamped = with_deadline(&template, Some(Duration::from_millis(3)));
+        match stamped {
+            Request::Scan {
+                deadline_micros, ..
+            } => assert_eq!(deadline_micros, 3_000),
+            _ => unreachable!(),
+        }
+        // No configured deadline → the wire field stays 0 ("none").
+        let unstamped = with_deadline(&template, None);
+        match unstamped {
+            Request::Scan {
+                deadline_micros, ..
+            } => assert_eq!(deadline_micros, 0),
+            _ => unreachable!(),
+        }
+        // A nearly-spent budget still propagates a non-zero deadline (0
+        // would mean "no deadline" to the server).
+        let tiny = with_deadline(&template, Some(Duration::from_nanos(10)));
+        match tiny {
+            Request::Scan {
+                deadline_micros, ..
+            } => assert_eq!(deadline_micros, 1),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! `net_bench` — record what the wire costs: scan throughput through the
+//! network serving tier at 1/2/4/8 client connections versus the
+//! in-process serve front, with every wire result checksum-checked
+//! against the `scan_naive` oracle (any divergence fails the run,
+//! exit 1), plus an overload drill demonstrating the admission
+//! controller shedding with typed `Overloaded {retry_after}` frames and
+//! zero hangs.
+//!
+//! ```text
+//! net_bench [--rows N] [--queries N] [--out FILE]
+//! ```
+//!
+//! Defaults: 10 000 rows, 240 scans per connection count,
+//! `BENCH_net.json`.
+
+use serde::Serialize;
+use slicer_client::{Client, ClientConfig};
+use slicer_core::HillClimb;
+use slicer_cost::HddCostModel;
+use slicer_experiments::{write_report, BenchStamp};
+use slicer_lifecycle::{FleetConfig, TableFleet, TableManager, TableManagerConfig};
+use slicer_model::{AttrKind, AttrSet, Partitioning, Query, TableSchema};
+use slicer_net::{Server, ServerConfig, ServerHandle};
+use slicer_storage::{generate_table, scan_naive_snapshot, CompressionPolicy, StoredTable};
+use std::time::{Duration, Instant};
+
+const TABLE: &str = "lineorder";
+
+#[derive(Debug, Serialize)]
+struct InProcessPoint {
+    threads: usize,
+    qps: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct WireThroughput {
+    connections: usize,
+    scans: usize,
+    /// Wire scans per wall-clock second across all connections.
+    qps: f64,
+    /// Wire qps over the in-process drain qps at the same parallelism.
+    wire_over_inprocess: f64,
+    /// Client-side retries summed over all connections (loopback: 0).
+    retries: u64,
+    /// Every wire checksum matched the `scan_naive` oracle.
+    checksums_ok: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct OverloadDrill {
+    /// Admission bound used for the drill (seconds of queued scan I/O).
+    admission_max_io_seconds: f64,
+    clients: usize,
+    attempts_per_client: u32,
+    /// `Overloaded` frames observed client-side — must be > 0.
+    overloaded_frames: u64,
+    /// Scans the server shed at admission.
+    server_shed: u64,
+    /// Ops that neither returned nor errored within the watchdog budget.
+    hangs: u64,
+    /// Worst single-op wall time in the drill.
+    max_op_wall_seconds: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct NetReport {
+    benchmark: String,
+    stamp: BenchStamp,
+    table: String,
+    rows: usize,
+    queries_per_point: usize,
+    /// In-process `serve_batch` qps keyed by worker-thread count.
+    inprocess_qps: Vec<InProcessPoint>,
+    wire: Vec<WireThroughput>,
+    overload: OverloadDrill,
+    notes: String,
+}
+
+fn schema(rows: usize) -> TableSchema {
+    TableSchema::builder(TABLE, rows as u64)
+        .attr("OrderKey", 4, AttrKind::Int)
+        .attr("Quantity", 4, AttrKind::Int)
+        .attr("Revenue", 8, AttrKind::Decimal)
+        .attr("Discount", 8, AttrKind::Decimal)
+        .attr("ShipDate", 4, AttrKind::Date)
+        .attr("Comment", 12, AttrKind::Text)
+        .build()
+        .expect("valid schema")
+}
+
+fn fleet(rows: usize) -> TableFleet {
+    let s = schema(rows);
+    let data = generate_table(&s, rows, 2013);
+    let table = StoredTable::load(
+        &s,
+        &data,
+        &Partitioning::row(&s),
+        CompressionPolicy::Default,
+    );
+    let mut fleet = TableFleet::new(FleetConfig::default());
+    fleet.add_table(
+        TABLE,
+        TableManager::new(
+            table,
+            Box::new(HillClimb::new()),
+            HddCostModel::paper_testbed(),
+            TableManagerConfig::default(),
+        ),
+    );
+    fleet
+}
+
+fn queries() -> Vec<Query> {
+    vec![
+        Query::new("pricing", [0usize, 2, 3].into_iter().collect::<AttrSet>()),
+        Query::new("volume", [1usize, 4].into_iter().collect::<AttrSet>()),
+        Query::new("full", (0usize..6).collect::<AttrSet>()),
+        Query::new("narrow", [4usize].into_iter().collect::<AttrSet>()),
+    ]
+}
+
+/// Oracle checksum per query, straight off the pinned snapshot.
+fn oracles(handle: &ServerHandle) -> Vec<u64> {
+    handle.with_fleet(|fleet| {
+        let target = fleet.scan_target(TABLE).expect("registered");
+        let snapshot = target.table.snapshot();
+        queries()
+            .iter()
+            .map(|q| scan_naive_snapshot(&snapshot, q.referenced, &target.disk).checksum)
+            .collect()
+    })
+}
+
+/// Drive `total` scans over `connections` concurrent clients; returns
+/// (qps, summed retries, all checksums matched the oracle).
+fn wire_round(
+    handle: &ServerHandle,
+    connections: usize,
+    total: usize,
+    want: &[u64],
+) -> (f64, u64, bool) {
+    let addr = handle.addr();
+    let per_conn = total / connections;
+    let qs = queries();
+    let start = Instant::now();
+    let outcomes: Vec<(u64, bool)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..connections)
+            .map(|w| {
+                let qs = &qs;
+                scope.spawn(move || {
+                    let mut client = Client::connect(
+                        addr,
+                        ClientConfig {
+                            client_id: 10 + w as u64,
+                            ..ClientConfig::default()
+                        },
+                    );
+                    let mut ok = true;
+                    for i in 0..per_conn {
+                        let qi = (w + i) % qs.len();
+                        match client.scan(TABLE, &qs[qi]) {
+                            Ok(reply) => ok &= reply.checksum == want[qi],
+                            Err(_) => ok = false,
+                        }
+                    }
+                    (client.stats().retries, ok)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker"))
+            .collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let retries = outcomes.iter().map(|(r, _)| r).sum();
+    let all_ok = outcomes.iter().all(|&(_, ok)| ok);
+    ((per_conn * connections) as f64 / wall, retries, all_ok)
+}
+
+/// Admission bound 0: every scan is shed. Clients must observe typed
+/// `Overloaded` frames and give up in bounded time — never hang.
+fn overload_drill(fleet: TableFleet) -> (OverloadDrill, TableFleet) {
+    let admission = 0.0;
+    let handle = Server::spawn(
+        fleet,
+        ServerConfig {
+            admission_max_io_seconds: admission,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+    let clients = 4;
+    let attempts = 3u32;
+    let q = queries().remove(0);
+    let watchdog = Duration::from_secs(10);
+    let results: Vec<(u64, u64, f64)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|w| {
+                let q = &q;
+                scope.spawn(move || {
+                    let mut client = Client::connect(
+                        addr,
+                        ClientConfig {
+                            client_id: 100 + w as u64,
+                            max_attempts: attempts,
+                            backoff_base: Duration::from_millis(1),
+                            backoff_cap: Duration::from_millis(5),
+                            ..ClientConfig::default()
+                        },
+                    );
+                    let start = Instant::now();
+                    let outcome = client.scan(TABLE, q);
+                    let wall = start.elapsed();
+                    // With the bound at zero nothing may be admitted; a
+                    // success or an op outliving the watchdog both count
+                    // against the drill.
+                    let hang = u64::from(wall >= watchdog || outcome.is_ok());
+                    (client.stats().overloaded, hang, wall.as_secs_f64())
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker"))
+            .collect()
+    });
+    let overloaded_frames: u64 = results.iter().map(|(o, _, _)| o).sum();
+    let hangs: u64 = results.iter().map(|(_, h, _)| h).sum();
+    let max_op_wall_seconds = results.iter().map(|&(_, _, w)| w).fold(0.0, f64::max);
+    let server_shed = handle.stats().shed_overload;
+    let fleet = handle.shutdown();
+    (
+        OverloadDrill {
+            admission_max_io_seconds: admission,
+            clients,
+            attempts_per_client: attempts,
+            overloaded_frames,
+            server_shed,
+            hangs,
+            max_op_wall_seconds,
+        },
+        fleet,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let rows: usize = flag("--rows")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let total: usize = flag("--queries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(240);
+    let out = flag("--out").unwrap_or_else(|| "BENCH_net.json".into());
+    let conn_counts = [1usize, 2, 4, 8];
+
+    eprintln!("net_bench: {rows} rows, {total} scans per point");
+    let mut fleet = fleet(rows);
+
+    // In-process baseline: the same scans through the fleet's serve
+    // front at matching parallelism.
+    let qs = queries();
+    let events: Vec<(String, Query)> = (0..total)
+        .map(|i| (TABLE.to_string(), qs[i % qs.len()].clone()))
+        .collect();
+    let mut inprocess_qps = Vec::new();
+    for &threads in &conn_counts {
+        let start = Instant::now();
+        let report = fleet.serve_batch(&events, threads).expect("baseline drain");
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(report.queries, total as u64);
+        let qps = total as f64 / wall;
+        eprintln!("  in-process {threads} threads: {qps:8.0} qps");
+        inprocess_qps.push(InProcessPoint { threads, qps });
+    }
+
+    // Wire rounds over the same fleet.
+    let handle = Server::spawn(fleet, ServerConfig::default()).expect("bind loopback");
+    let want = oracles(&handle);
+    let mut wire = Vec::new();
+    let mut all_ok = true;
+    for (i, &connections) in conn_counts.iter().enumerate() {
+        let (qps, retries, ok) = wire_round(&handle, connections, total, &want);
+        all_ok &= ok;
+        let ratio = qps / inprocess_qps[i].qps;
+        eprintln!(
+            "  wire {connections} conn:          {qps:8.0} qps ({:.2}x in-process, retries {retries}, checksums {})",
+            ratio,
+            if ok { "ok" } else { "MISMATCH" }
+        );
+        wire.push(WireThroughput {
+            connections,
+            scans: total,
+            qps,
+            wire_over_inprocess: ratio,
+            retries,
+            checksums_ok: ok,
+        });
+    }
+    let fleet = handle.shutdown();
+
+    // Overload drill on the same fleet.
+    let (overload, _fleet) = overload_drill(fleet);
+    eprintln!(
+        "  overload drill: {} Overloaded frames, {} shed, {} hangs, worst op {:.3}s",
+        overload.overloaded_frames,
+        overload.server_shed,
+        overload.hangs,
+        overload.max_op_wall_seconds
+    );
+
+    let overload_ok =
+        overload.overloaded_frames > 0 && overload.server_shed > 0 && overload.hangs == 0;
+    let report = NetReport {
+        benchmark: "net".into(),
+        stamp: BenchStamp::collect(),
+        table: TABLE.into(),
+        rows,
+        queries_per_point: total,
+        inprocess_qps,
+        wire,
+        overload,
+        notes: "wire = length-prefixed CRC frames over loopback TCP, thread-per-connection \
+                server, one in-flight request per connection; in-process = TableFleet::serve_batch \
+                at matching worker-thread count; overload drill = admission bound 0 so every scan \
+                sheds with a typed retry-after"
+            .into(),
+    };
+    write_report(&out, &report);
+    eprintln!("wrote {out}");
+
+    if !all_ok {
+        eprintln!("FAIL: wire checksum diverged from the scan_naive oracle");
+        std::process::exit(1);
+    }
+    if !overload_ok {
+        eprintln!("FAIL: overload drill did not shed cleanly (frames>0, shed>0, hangs==0)");
+        std::process::exit(1);
+    }
+}

@@ -35,8 +35,11 @@
 
 use crate::manager::{RealizedPayoff, RepartitionDecision, ServeBatchReport, TableManager};
 use slicer_core::{Budget, BudgetPool, SessionStats};
+use slicer_cost::DiskParams;
 use slicer_model::{ModelError, Query};
-use slicer_storage::{IngestBatch, IngestStats, ScanResult, StorageError, StoredTable};
+use slicer_storage::{
+    IngestBatch, IngestStats, ScanResult, StorageError, StoredTable, TableSnapshot,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -197,6 +200,16 @@ impl FleetEntry {
     }
 }
 
+/// One table's scan endpoint, handed to an external serve front (see
+/// [`TableFleet::scan_target`]).
+#[derive(Clone)]
+pub struct ScanTarget {
+    /// Shared handle to the stored table; valid across repartitions.
+    pub table: Arc<StoredTable>,
+    /// The simulated disk scans of this table are priced on.
+    pub disk: DiskParams,
+}
+
 /// What one routed query triggered fleet-wide.
 #[derive(Debug)]
 pub enum FleetOutcome {
@@ -316,6 +329,55 @@ impl TableFleet {
             FleetOutcome::NotDue
         };
         Ok((result, outcome))
+    }
+
+    /// Everything an external serve front needs to scan `table` without
+    /// holding a reference to the fleet: the shared table handle (scans
+    /// pin immutable snapshots off it, so a concurrent repartition never
+    /// stalls them) and the simulated disk the scan is priced on. A
+    /// network tier resolves its routes once at startup — the handle
+    /// stays valid across every later layout move — then folds each
+    /// served scan back via [`TableFleet::record_scan`].
+    pub fn scan_target(&self, table: &str) -> Result<ScanTarget, ModelError> {
+        let idx = *self
+            .by_name
+            .get(table)
+            .ok_or_else(|| ModelError::UnknownTable {
+                table: table.to_string(),
+            })?;
+        let entry = &self.entries[idx];
+        Ok(ScanTarget {
+            table: entry.manager.table_handle(),
+            disk: entry.manager.disk(),
+        })
+    }
+
+    /// Book one externally-executed scan into the fleet: per-table stats,
+    /// realized-payoff accrual, the sliding window that feeds advising,
+    /// and the fleet-wide query counter. The scan already happened (on a
+    /// serving thread, against a [`TableFleet::scan_target`] snapshot);
+    /// `served` is the snapshot it actually pinned. Unlike
+    /// [`TableFleet::execute`], recording does **not** consult the advise
+    /// cadence — an external front schedules [`TableFleet::advise_round`]
+    /// explicitly.
+    pub fn record_scan(
+        &mut self,
+        table: &str,
+        query: Query,
+        result: &ScanResult,
+        served: &TableSnapshot,
+    ) -> Result<(), ModelError> {
+        let idx = *self
+            .by_name
+            .get(table)
+            .ok_or_else(|| ModelError::UnknownTable {
+                table: table.to_string(),
+            })?;
+        self.entries[idx]
+            .manager
+            .record_served(query, result, served);
+        self.stats.queries += 1;
+        Ok(())
     }
 
     /// Route one ingest batch to `table` ([`TableManager::ingest`]): the

@@ -53,7 +53,9 @@ mod fleet;
 mod manager;
 mod serve;
 
-pub use fleet::{DriftScore, FleetConfig, FleetOutcome, FleetSchedule, FleetStats, TableFleet};
+pub use fleet::{
+    DriftScore, FleetConfig, FleetOutcome, FleetSchedule, FleetStats, ScanTarget, TableFleet,
+};
 pub use manager::{
     AdoptionPricing, ManagerStats, RealizedPayoff, RepartitionDecision, RepartitionEvent,
     ServeBatchReport, TableManager, TableManagerConfig,

@@ -306,6 +306,13 @@ impl TableManager {
         self.disk
     }
 
+    /// The simulated disk parameters, for an external serve front (e.g. a
+    /// network tier) that scans pinned snapshots on this manager's behalf
+    /// and folds the results back via [`crate::TableFleet::record_scan`].
+    pub fn disk_params(&self) -> DiskParams {
+        self.disk
+    }
+
     /// Lifetime counters.
     pub fn stats(&self) -> &ManagerStats {
         &self.stats

@@ -1,0 +1,369 @@
+//! Fault injection at the transport layer: [`FaultyStream`] is the
+//! socket-side analog of the storage crate's `CrashDir` — it wraps any
+//! byte stream and cuts, corrupts, or delays traffic at an exact byte
+//! offset, so tests can place a failure at *every* frame boundary and
+//! assert the client/server pair still upholds the protocol's guarantees
+//! (typed error, converging retry, or bit-identical result — never a
+//! hang, panic, or silently wrong bytes).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The stream interface the client and the fault injector share: a
+/// blocking byte pipe with a settable read timeout. [`TcpStream`]
+/// implements it natively; [`FaultyStream`] wraps another implementation.
+pub trait WireStream: Read + Write + Send {
+    /// Set (or clear) the blocking-read timeout.
+    fn set_read_timeout(&mut self, dur: Option<Duration>) -> io::Result<()>;
+}
+
+impl WireStream for TcpStream {
+    fn set_read_timeout(&mut self, dur: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, dur)
+    }
+}
+
+/// What a fault does to the bytes passing the tap point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Sever the write side at the offset: bytes before it are delivered,
+    /// the write containing it reports `BrokenPipe`, and every later
+    /// write fails — a mid-frame connection drop as the sender sees it.
+    CutWrite,
+    /// Sever the read side at the offset: bytes before it are delivered,
+    /// then reads return EOF — the peer vanished mid-reply.
+    CutRead,
+    /// XOR `0x40` into the outgoing byte at the offset (the frame still
+    /// arrives, but its checksum no longer holds).
+    FlipWrite,
+    /// XOR `0x40` into the incoming byte at the offset.
+    FlipRead,
+    /// Sleep once before the write containing the offset proceeds.
+    DelayWrite,
+    /// Sleep once before the read that would deliver the offset proceeds.
+    DelayRead,
+}
+
+impl FaultKind {
+    fn is_write(self) -> bool {
+        matches!(
+            self,
+            FaultKind::CutWrite | FaultKind::FlipWrite | FaultKind::DelayWrite
+        )
+    }
+}
+
+/// One planned fault: `kind` strikes when the running byte count of its
+/// direction reaches `at_byte`.
+#[derive(Debug, Clone)]
+pub struct Fault {
+    /// What happens.
+    pub kind: FaultKind,
+    /// Byte offset (per direction, counted from stream creation).
+    pub at_byte: u64,
+    /// Sleep length for the delay kinds (ignored by cut/flip).
+    pub delay: Duration,
+}
+
+impl Fault {
+    /// A fault with the default 100 ms delay.
+    pub fn new(kind: FaultKind, at_byte: u64) -> Fault {
+        Fault {
+            kind,
+            at_byte,
+            delay: Duration::from_millis(100),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct PlanState {
+    faults: Vec<(Fault, bool)>,
+}
+
+/// A shared, inspectable schedule of faults. Clone it before handing it
+/// to a [`FaultyStream`]; after the exchange, [`FaultPlan::fired`] tells
+/// the test whether (and which) faults actually struck.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    state: Arc<Mutex<PlanState>>,
+}
+
+impl FaultPlan {
+    /// An empty plan (the stream behaves transparently).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan with one fault.
+    pub fn single(fault: Fault) -> FaultPlan {
+        let plan = FaultPlan::new();
+        plan.push(fault);
+        plan
+    }
+
+    /// Add a fault to the schedule.
+    pub fn push(&self, fault: Fault) {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .faults
+            .push((fault, false));
+    }
+
+    /// How many scheduled faults have struck so far.
+    pub fn fired(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .faults
+            .iter()
+            .filter(|(_, fired)| *fired)
+            .count()
+    }
+
+    /// Earliest un-fired fault of the given direction that is armed at or
+    /// before `upto` bytes; marks nothing.
+    fn peek(&self, write_side: bool, upto: u64) -> Option<Fault> {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state
+            .faults
+            .iter()
+            .filter(|(f, fired)| !fired && f.kind.is_write() == write_side && f.at_byte < upto)
+            .min_by_key(|(f, _)| f.at_byte)
+            .map(|(f, _)| f.clone())
+    }
+
+    fn mark_fired(&self, kind: FaultKind, at_byte: u64) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(slot) = state
+            .faults
+            .iter_mut()
+            .find(|(f, fired)| !fired && f.kind == kind && f.at_byte == at_byte)
+        {
+            slot.1 = true;
+        }
+    }
+}
+
+/// A [`WireStream`] that executes a [`FaultPlan`] against the traffic of
+/// an inner stream. Byte offsets are tracked independently per direction.
+#[derive(Debug)]
+pub struct FaultyStream<S> {
+    inner: S,
+    plan: FaultPlan,
+    written: u64,
+    read: u64,
+    write_dead: bool,
+    read_dead: bool,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> FaultyStream<S> {
+        FaultyStream {
+            inner,
+            plan,
+            written: 0,
+            read: 0,
+            write_dead: false,
+            read_dead: false,
+        }
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.write_dead {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "write side cut by injected fault",
+            ));
+        }
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        let end = self.written + buf.len() as u64;
+        if let Some(fault) = self.plan.peek(true, end) {
+            match fault.kind {
+                FaultKind::CutWrite => {
+                    let keep = (fault.at_byte.saturating_sub(self.written)) as usize;
+                    self.plan.mark_fired(fault.kind, fault.at_byte);
+                    self.write_dead = true;
+                    if keep == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::BrokenPipe,
+                            "write cut by injected fault",
+                        ));
+                    }
+                    self.inner.write_all(&buf[..keep])?;
+                    self.written += keep as u64;
+                    // Report a short write; the caller's next write errors.
+                    return Ok(keep);
+                }
+                FaultKind::FlipWrite => {
+                    let mut copy = buf.to_vec();
+                    let idx = (fault.at_byte - self.written) as usize;
+                    copy[idx] ^= 0x40;
+                    self.plan.mark_fired(fault.kind, fault.at_byte);
+                    self.inner.write_all(&copy)?;
+                    self.written = end;
+                    return Ok(buf.len());
+                }
+                FaultKind::DelayWrite => {
+                    self.plan.mark_fired(fault.kind, fault.at_byte);
+                    std::thread::sleep(fault.delay);
+                }
+                _ => unreachable!("read fault on write side"),
+            }
+        }
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.read_dead || buf.is_empty() {
+            return Ok(0);
+        }
+        let horizon = self.read + buf.len() as u64;
+        if let Some(fault) = self.plan.peek(false, horizon) {
+            match fault.kind {
+                FaultKind::CutRead => {
+                    let allowed = (fault.at_byte - self.read) as usize;
+                    if allowed == 0 {
+                        self.plan.mark_fired(fault.kind, fault.at_byte);
+                        self.read_dead = true;
+                        return Ok(0);
+                    }
+                    let n = self.inner.read(&mut buf[..allowed])?;
+                    if n == 0 {
+                        // Peer finished first; the cut can no longer strike.
+                        self.plan.mark_fired(fault.kind, fault.at_byte);
+                        self.read_dead = true;
+                    }
+                    self.read += n as u64;
+                    return Ok(n);
+                }
+                FaultKind::FlipRead => {
+                    let n = self.inner.read(buf)?;
+                    let end = self.read + n as u64;
+                    if fault.at_byte < end {
+                        buf[(fault.at_byte - self.read) as usize] ^= 0x40;
+                        self.plan.mark_fired(fault.kind, fault.at_byte);
+                    }
+                    self.read += n as u64;
+                    return Ok(n);
+                }
+                FaultKind::DelayRead => {
+                    self.plan.mark_fired(fault.kind, fault.at_byte);
+                    std::thread::sleep(fault.delay);
+                }
+                _ => unreachable!("write fault on read side"),
+            }
+        }
+        let n = self.inner.read(buf)?;
+        self.read += n as u64;
+        Ok(n)
+    }
+}
+
+impl<S: WireStream> WireStream for FaultyStream<S> {
+    fn set_read_timeout(&mut self, dur: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(dur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// In-memory stand-in: reads from a script, writes to a sink.
+    struct Pipe {
+        rx: Cursor<Vec<u8>>,
+        tx: Vec<u8>,
+    }
+
+    impl Read for Pipe {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.rx.read(buf)
+        }
+    }
+
+    impl Write for Pipe {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.tx.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn pipe(script: &[u8]) -> Pipe {
+        Pipe {
+            rx: Cursor::new(script.to_vec()),
+            tx: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn cut_write_delivers_exact_prefix_then_breaks() {
+        let plan = FaultPlan::single(Fault::new(FaultKind::CutWrite, 3));
+        let mut s = FaultyStream::new(pipe(&[]), plan.clone());
+        assert_eq!(s.write(&[1, 2]).unwrap(), 2);
+        assert_eq!(s.write(&[3, 4, 5]).unwrap(), 1);
+        assert!(s.write(&[6]).is_err());
+        assert_eq!(s.inner.tx, vec![1, 2, 3]);
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn flip_write_corrupts_exactly_one_byte() {
+        let plan = FaultPlan::single(Fault::new(FaultKind::FlipWrite, 2));
+        let mut s = FaultyStream::new(pipe(&[]), plan.clone());
+        s.write_all(&[0, 0, 0, 0]).unwrap();
+        assert_eq!(s.inner.tx, vec![0, 0, 0x40, 0]);
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn cut_read_turns_into_eof_at_the_offset() {
+        let plan = FaultPlan::single(Fault::new(FaultKind::CutRead, 4));
+        let mut s = FaultyStream::new(pipe(&[9, 9, 9, 9, 9, 9]), plan.clone());
+        let mut buf = [0u8; 16];
+        assert_eq!(s.read(&mut buf).unwrap(), 4);
+        assert_eq!(s.read(&mut buf).unwrap(), 0);
+        assert_eq!(s.read(&mut buf).unwrap(), 0);
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn flip_read_corrupts_exactly_one_byte() {
+        let plan = FaultPlan::single(Fault::new(FaultKind::FlipRead, 1));
+        let mut s = FaultyStream::new(pipe(&[7, 7, 7]), plan.clone());
+        let mut buf = [0u8; 16];
+        let n = s.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], &[7, 7 ^ 0x40, 7]);
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let plan = FaultPlan::new();
+        let mut s = FaultyStream::new(pipe(&[1, 2, 3]), plan.clone());
+        let mut buf = [0u8; 8];
+        assert_eq!(s.read(&mut buf).unwrap(), 3);
+        s.write_all(&[4, 5]).unwrap();
+        assert_eq!(s.inner.tx, vec![4, 5]);
+        assert_eq!(plan.fired(), 0);
+    }
+}

@@ -1,0 +1,848 @@
+//! The wire protocol: length-prefixed, CRC-framed, request-id-tagged
+//! messages between [`crate::Server`] and a client.
+//!
+//! # Frame format
+//!
+//! ```text
+//! ┌─────────┬─────────┬────────────────┬─────────┬───────────┐
+//! │ len u32 │ crc u32 │ request_id u64 │ kind u8 │ payload … │
+//! └─────────┴─────────┴────────────────┴─────────┴───────────┘
+//!              └──────────── crc32 covers ──────────────────┘
+//! ```
+//!
+//! `len` counts everything after the crc field (9 + payload bytes) and is
+//! bounded by [`MAX_FRAME_LEN`]; `crc` is the same CRC-32 (IEEE) the
+//! storage WAL uses. Every response carries the `request_id` of the
+//! request it answers, so a client can reject stale or misrouted replies
+//! after a reconnect.
+//!
+//! # Decoding discipline
+//!
+//! [`FrameBuffer::next`] walks frames from the front of a byte stream and
+//! stops at the *exact* first violation — implausible length, checksum
+//! mismatch, unknown kind, malformed payload — returning a typed
+//! [`WireError`] and never panicking on arbitrary bytes. An incomplete
+//! tail is not an error (`Ok(None)`: read more); a violation is final for
+//! the connection — after a CRC failure the framing can no longer be
+//! trusted, so both peers close deterministically rather than resync.
+//! One exception is layered *above* the frame: an [`Request::Ingest`]
+//! batch travels as an opaque blob inside a structurally valid frame, so
+//! a garbage batch is rejected with a typed
+//! [`ErrorCode::InvalidBatch`] response while the connection stays
+//! usable.
+
+use slicer_storage::crc32;
+use std::fmt;
+
+/// Hard upper bound on `len` (bytes after the crc field) — anything
+/// larger is rejected as corrupt before any allocation happens.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// Bound on embedded strings (table and query names, error messages).
+const MAX_STR_LEN: usize = 4096;
+
+/// Bound on the slow-query records one stats reply may carry.
+const MAX_SLOW_RECORDS: usize = 65_536;
+
+const REQ_SCAN: u8 = 0x01;
+const REQ_INGEST: u8 = 0x02;
+const REQ_STATS: u8 = 0x03;
+const RESP_SCAN: u8 = 0x81;
+const RESP_INGEST: u8 = 0x82;
+const RESP_STATS: u8 = 0x83;
+const RESP_ERROR: u8 = 0xEE;
+
+/// A typed wire-layer failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Transport I/O failed (carried as a string so the error stays
+    /// `Clone` for retry bookkeeping).
+    Io(String),
+    /// The byte stream violated the frame format; the message names the
+    /// exact violation. The connection must be closed.
+    Corrupt(String),
+    /// A frame announced a length beyond [`MAX_FRAME_LEN`].
+    TooLarge(u64),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(m) => write!(f, "wire I/O error: {m}"),
+            WireError::Corrupt(m) => write!(f, "corrupt frame: {m}"),
+            WireError::TooLarge(n) => write!(f, "frame too large: {n} bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e.to_string())
+    }
+}
+
+/// Typed error codes a server can answer with. The client's retry policy
+/// keys off these: [`ErrorCode::Overloaded`] and
+/// [`ErrorCode::ShuttingDown`] are retryable (the former after the
+/// server-suggested delay), the rest are final for the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// No table is registered under the requested name.
+    UnknownTable,
+    /// The scan query does not fit the table's schema (bad attribute ids
+    /// or weight).
+    InvalidQuery,
+    /// The ingest batch failed structural or schema validation; nothing
+    /// was applied.
+    InvalidBatch,
+    /// The request's deadline expired before (or while) the server could
+    /// serve it — including admission refusing to queue work whose
+    /// modeled wait already exceeds the remaining deadline.
+    DeadlineExceeded,
+    /// Admission control shed the request: queued scan work exceeds the
+    /// disk-model-derived bound. `retry_after_micros` carries the modeled
+    /// drain time of the queue at shed time.
+    Overloaded,
+    /// The peer sent bytes that violate the protocol. The connection is
+    /// closed after this frame.
+    Malformed,
+    /// The server is shutting down; retry against a new server.
+    ShuttingDown,
+    /// An internal storage failure (I/O, corruption) — not the client's
+    /// fault, not safely retryable blind.
+    Internal,
+}
+
+impl ErrorCode {
+    fn tag(self) -> u8 {
+        match self {
+            ErrorCode::UnknownTable => 1,
+            ErrorCode::InvalidQuery => 2,
+            ErrorCode::InvalidBatch => 3,
+            ErrorCode::DeadlineExceeded => 4,
+            ErrorCode::Overloaded => 5,
+            ErrorCode::Malformed => 6,
+            ErrorCode::ShuttingDown => 7,
+            ErrorCode::Internal => 8,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<ErrorCode, WireError> {
+        Ok(match tag {
+            1 => ErrorCode::UnknownTable,
+            2 => ErrorCode::InvalidQuery,
+            3 => ErrorCode::InvalidBatch,
+            4 => ErrorCode::DeadlineExceeded,
+            5 => ErrorCode::Overloaded,
+            6 => ErrorCode::Malformed,
+            7 => ErrorCode::ShuttingDown,
+            8 => ErrorCode::Internal,
+            other => return Err(WireError::Corrupt(format!("unknown error code {other}"))),
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::UnknownTable => "unknown-table",
+            ErrorCode::InvalidQuery => "invalid-query",
+            ErrorCode::InvalidBatch => "invalid-batch",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Scan `table`, projecting the listed attribute ids.
+    Scan {
+        /// Routing key.
+        table: String,
+        /// Query name (for the slow-query log and the serve window).
+        query_name: String,
+        /// Query weight (validated server-side; 1.0 for plain queries).
+        weight: f64,
+        /// Referenced attribute ids, ascending.
+        attrs: Vec<u16>,
+        /// Remaining deadline budget at send time, µs; 0 = no deadline.
+        deadline_micros: u64,
+    },
+    /// Apply one ingest batch to `table`, exactly once.
+    Ingest {
+        /// Routing key.
+        table: String,
+        /// The client's stable identity — the idempotency namespace.
+        client_id: u64,
+        /// Client-assigned sequence, strictly increasing per client;
+        /// reused verbatim across retries of the same batch so the
+        /// server's dedup ledger can recognize a replay.
+        sequence: u64,
+        /// Remaining deadline budget at send time, µs; 0 = no deadline.
+        deadline_micros: u64,
+        /// Opaque [`slicer_storage::encode_ingest_batch`] image, decoded
+        /// and validated server-side.
+        batch: Vec<u8>,
+    },
+    /// Fetch server counters and the slow-query log.
+    Stats,
+}
+
+/// One slow-query log record (see [`crate::SlowQueryLog`]); travels in
+/// [`Response::StatsOk`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowQueryRecord {
+    /// Table the query scanned.
+    pub table: String,
+    /// Query name.
+    pub query: String,
+    /// Compressed bytes the scan read.
+    pub bytes_read: u64,
+    /// Wall-clock service time, µs (admission wait included).
+    pub wall_micros: u64,
+    /// Modeled disk seconds of the scan.
+    pub io_seconds: f64,
+    /// Deadline slack at completion (`deadline - wall`), µs; negative
+    /// means the query finished past its deadline; `None` for queries
+    /// sent without a deadline.
+    pub deadline_slack_micros: Option<i64>,
+    /// Snapshot generation the scan pinned.
+    pub generation: u64,
+}
+
+/// Server counters exposed over the wire (see [`Response::StatsOk`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServerStats {
+    /// Connections accepted since startup.
+    pub connections_accepted: u64,
+    /// Frames decoded and dispatched.
+    pub requests: u64,
+    /// Scans served successfully.
+    pub scans_ok: u64,
+    /// Ingest batches applied.
+    pub ingests_ok: u64,
+    /// Ingest batches answered from the dedup ledger (retries of an
+    /// already-applied sequence).
+    pub ingests_deduped: u64,
+    /// Requests shed by admission control with [`ErrorCode::Overloaded`].
+    pub shed_overload: u64,
+    /// Requests refused because their deadline had expired or could not
+    /// be met ([`ErrorCode::DeadlineExceeded`]).
+    pub shed_deadline: u64,
+    /// Typed error frames sent (all codes, sheds included).
+    pub typed_errors: u64,
+    /// Connections dropped over unrecoverable frame violations.
+    pub malformed_frames: u64,
+    /// Slow queries ever recorded (log may have evicted some).
+    pub slow_queries_recorded: u64,
+    /// Slow-query records evicted by the ring buffer.
+    pub slow_queries_evicted: u64,
+    /// The retained slow-query records, oldest first.
+    pub slow_queries: Vec<SlowQueryRecord>,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The scan completed; mirrors [`slicer_storage::ScanResult`].
+    ScanOk {
+        /// Order-independent checksum over all projected cell values —
+        /// bit-identical to an in-process scan of the same snapshot.
+        checksum: u64,
+        /// Compressed bytes read.
+        bytes_read: u64,
+        /// Modeled disk seconds.
+        io_seconds: f64,
+        /// Measured decode CPU seconds.
+        cpu_seconds: f64,
+        /// Snapshot generation the scan pinned.
+        generation: u64,
+    },
+    /// The ingest batch is durable (or was already — `deduped`).
+    IngestOk {
+        /// Rows appended by the batch.
+        rows_appended: u64,
+        /// Rows tombstoned by the batch.
+        rows_deleted: u64,
+        /// Bytes appended to the WAL.
+        wal_bytes: u64,
+        /// Modeled WAL-append disk seconds.
+        io_seconds: f64,
+        /// Delta rows pending after the batch.
+        delta_rows: u64,
+        /// Delta bytes pending after the batch.
+        delta_bytes: u64,
+        /// True iff this reply was served from the idempotency ledger —
+        /// the sequence had already been applied and was *not* re-applied.
+        deduped: bool,
+    },
+    /// Server counters and slow-query log.
+    StatsOk(ServerStats),
+    /// A typed failure; the request had no effect (except `Malformed`,
+    /// after which the server closes the connection).
+    Error {
+        /// What failed.
+        code: ErrorCode,
+        /// For [`ErrorCode::Overloaded`]: modeled queue drain time, µs.
+        /// 0 otherwise.
+        retry_after_micros: u64,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// One decoded frame: the request id and its message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Tag copied from request to response.
+    pub request_id: u64,
+    /// The message.
+    pub msg: Message,
+}
+
+/// Either side of the conversation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server.
+    Request(Request),
+    /// Server → client.
+    Response(Response),
+}
+
+// --- scalar helpers ---------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn take_bytes<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
+    if buf.len() < n {
+        return Err(WireError::Corrupt(format!(
+            "truncated payload: wanted {n} bytes, {} left",
+            buf.len()
+        )));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn take_u8(buf: &mut &[u8]) -> Result<u8, WireError> {
+    Ok(take_bytes(buf, 1)?[0])
+}
+
+fn take_u16(buf: &mut &[u8]) -> Result<u16, WireError> {
+    Ok(u16::from_le_bytes(take_bytes(buf, 2)?.try_into().unwrap()))
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32, WireError> {
+    Ok(u32::from_le_bytes(take_bytes(buf, 4)?.try_into().unwrap()))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
+    Ok(u64::from_le_bytes(take_bytes(buf, 8)?.try_into().unwrap()))
+}
+
+fn take_f64(buf: &mut &[u8]) -> Result<f64, WireError> {
+    Ok(f64::from_bits(take_u64(buf)?))
+}
+
+fn take_str(buf: &mut &[u8]) -> Result<String, WireError> {
+    let len = take_u32(buf)? as usize;
+    if len > MAX_STR_LEN {
+        return Err(WireError::Corrupt(format!("implausible string ({len} B)")));
+    }
+    let bytes = take_bytes(buf, len)?;
+    std::str::from_utf8(bytes)
+        .map(str::to_string)
+        .map_err(|_| WireError::Corrupt("non-UTF-8 string".into()))
+}
+
+// --- encoding ---------------------------------------------------------
+
+fn encode_body(request_id: u64, msg: &Message, body: &mut Vec<u8>) {
+    body.extend_from_slice(&request_id.to_le_bytes());
+    match msg {
+        Message::Request(Request::Scan {
+            table,
+            query_name,
+            weight,
+            attrs,
+            deadline_micros,
+        }) => {
+            body.push(REQ_SCAN);
+            put_str(body, table);
+            put_str(body, query_name);
+            body.extend_from_slice(&weight.to_bits().to_le_bytes());
+            body.extend_from_slice(&(attrs.len() as u16).to_le_bytes());
+            for a in attrs {
+                body.extend_from_slice(&a.to_le_bytes());
+            }
+            body.extend_from_slice(&deadline_micros.to_le_bytes());
+        }
+        Message::Request(Request::Ingest {
+            table,
+            client_id,
+            sequence,
+            deadline_micros,
+            batch,
+        }) => {
+            body.push(REQ_INGEST);
+            put_str(body, table);
+            body.extend_from_slice(&client_id.to_le_bytes());
+            body.extend_from_slice(&sequence.to_le_bytes());
+            body.extend_from_slice(&deadline_micros.to_le_bytes());
+            body.extend_from_slice(&(batch.len() as u64).to_le_bytes());
+            body.extend_from_slice(batch);
+        }
+        Message::Request(Request::Stats) => body.push(REQ_STATS),
+        Message::Response(Response::ScanOk {
+            checksum,
+            bytes_read,
+            io_seconds,
+            cpu_seconds,
+            generation,
+        }) => {
+            body.push(RESP_SCAN);
+            body.extend_from_slice(&checksum.to_le_bytes());
+            body.extend_from_slice(&bytes_read.to_le_bytes());
+            body.extend_from_slice(&io_seconds.to_bits().to_le_bytes());
+            body.extend_from_slice(&cpu_seconds.to_bits().to_le_bytes());
+            body.extend_from_slice(&generation.to_le_bytes());
+        }
+        Message::Response(Response::IngestOk {
+            rows_appended,
+            rows_deleted,
+            wal_bytes,
+            io_seconds,
+            delta_rows,
+            delta_bytes,
+            deduped,
+        }) => {
+            body.push(RESP_INGEST);
+            body.extend_from_slice(&rows_appended.to_le_bytes());
+            body.extend_from_slice(&rows_deleted.to_le_bytes());
+            body.extend_from_slice(&wal_bytes.to_le_bytes());
+            body.extend_from_slice(&io_seconds.to_bits().to_le_bytes());
+            body.extend_from_slice(&delta_rows.to_le_bytes());
+            body.extend_from_slice(&delta_bytes.to_le_bytes());
+            body.push(u8::from(*deduped));
+        }
+        Message::Response(Response::StatsOk(stats)) => {
+            body.push(RESP_STATS);
+            for counter in [
+                stats.connections_accepted,
+                stats.requests,
+                stats.scans_ok,
+                stats.ingests_ok,
+                stats.ingests_deduped,
+                stats.shed_overload,
+                stats.shed_deadline,
+                stats.typed_errors,
+                stats.malformed_frames,
+                stats.slow_queries_recorded,
+                stats.slow_queries_evicted,
+            ] {
+                body.extend_from_slice(&counter.to_le_bytes());
+            }
+            body.extend_from_slice(&(stats.slow_queries.len() as u32).to_le_bytes());
+            for rec in &stats.slow_queries {
+                put_str(body, &rec.table);
+                put_str(body, &rec.query);
+                body.extend_from_slice(&rec.bytes_read.to_le_bytes());
+                body.extend_from_slice(&rec.wall_micros.to_le_bytes());
+                body.extend_from_slice(&rec.io_seconds.to_bits().to_le_bytes());
+                match rec.deadline_slack_micros {
+                    Some(slack) => {
+                        body.push(1);
+                        body.extend_from_slice(&slack.to_le_bytes());
+                    }
+                    None => body.push(0),
+                }
+                body.extend_from_slice(&rec.generation.to_le_bytes());
+            }
+        }
+        Message::Response(Response::Error {
+            code,
+            retry_after_micros,
+            message,
+        }) => {
+            body.push(RESP_ERROR);
+            body.push(code.tag());
+            body.extend_from_slice(&retry_after_micros.to_le_bytes());
+            put_str(body, message);
+        }
+    }
+}
+
+/// Encode one frame: `len | crc | request_id | kind | payload`.
+pub fn encode_envelope(request_id: u64, msg: &Message) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    encode_body(request_id, msg, &mut body);
+    debug_assert!(body.len() <= MAX_FRAME_LEN as usize);
+    let mut out = Vec::with_capacity(8 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// [`encode_envelope`] for a request.
+pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
+    encode_envelope(request_id, &Message::Request(req.clone()))
+}
+
+/// [`encode_envelope`] for a response.
+pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
+    encode_envelope(request_id, &Message::Response(resp.clone()))
+}
+
+// --- decoding ---------------------------------------------------------
+
+fn decode_body(body: &[u8]) -> Result<Envelope, WireError> {
+    let mut buf = body;
+    let request_id = take_u64(&mut buf)?;
+    let kind = take_u8(&mut buf)?;
+    let msg = match kind {
+        REQ_SCAN => {
+            let table = take_str(&mut buf)?;
+            let query_name = take_str(&mut buf)?;
+            let weight = take_f64(&mut buf)?;
+            let n = take_u16(&mut buf)? as usize;
+            let mut attrs = Vec::with_capacity(n);
+            for _ in 0..n {
+                attrs.push(take_u16(&mut buf)?);
+            }
+            let deadline_micros = take_u64(&mut buf)?;
+            Message::Request(Request::Scan {
+                table,
+                query_name,
+                weight,
+                attrs,
+                deadline_micros,
+            })
+        }
+        REQ_INGEST => {
+            let table = take_str(&mut buf)?;
+            let client_id = take_u64(&mut buf)?;
+            let sequence = take_u64(&mut buf)?;
+            let deadline_micros = take_u64(&mut buf)?;
+            let blen = take_u64(&mut buf)? as usize;
+            let batch = take_bytes(&mut buf, blen)?.to_vec();
+            Message::Request(Request::Ingest {
+                table,
+                client_id,
+                sequence,
+                deadline_micros,
+                batch,
+            })
+        }
+        REQ_STATS => Message::Request(Request::Stats),
+        RESP_SCAN => Message::Response(Response::ScanOk {
+            checksum: take_u64(&mut buf)?,
+            bytes_read: take_u64(&mut buf)?,
+            io_seconds: take_f64(&mut buf)?,
+            cpu_seconds: take_f64(&mut buf)?,
+            generation: take_u64(&mut buf)?,
+        }),
+        RESP_INGEST => Message::Response(Response::IngestOk {
+            rows_appended: take_u64(&mut buf)?,
+            rows_deleted: take_u64(&mut buf)?,
+            wal_bytes: take_u64(&mut buf)?,
+            io_seconds: take_f64(&mut buf)?,
+            delta_rows: take_u64(&mut buf)?,
+            delta_bytes: take_u64(&mut buf)?,
+            deduped: match take_u8(&mut buf)? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(WireError::Corrupt(format!("bad dedup flag {other}")));
+                }
+            },
+        }),
+        RESP_STATS => {
+            let mut stats = ServerStats::default();
+            for counter in [
+                &mut stats.connections_accepted,
+                &mut stats.requests,
+                &mut stats.scans_ok,
+                &mut stats.ingests_ok,
+                &mut stats.ingests_deduped,
+                &mut stats.shed_overload,
+                &mut stats.shed_deadline,
+                &mut stats.typed_errors,
+                &mut stats.malformed_frames,
+                &mut stats.slow_queries_recorded,
+                &mut stats.slow_queries_evicted,
+            ] {
+                *counter = take_u64(&mut buf)?;
+            }
+            let n = take_u32(&mut buf)? as usize;
+            if n > MAX_SLOW_RECORDS {
+                return Err(WireError::Corrupt(format!(
+                    "implausible slow-query count {n}"
+                )));
+            }
+            let mut slow = Vec::with_capacity(n);
+            for _ in 0..n {
+                let table = take_str(&mut buf)?;
+                let query = take_str(&mut buf)?;
+                let bytes_read = take_u64(&mut buf)?;
+                let wall_micros = take_u64(&mut buf)?;
+                let io_seconds = take_f64(&mut buf)?;
+                let deadline_slack_micros = match take_u8(&mut buf)? {
+                    0 => None,
+                    1 => Some(i64::from_le_bytes(
+                        take_bytes(&mut buf, 8)?.try_into().unwrap(),
+                    )),
+                    other => {
+                        return Err(WireError::Corrupt(format!("bad slack flag {other}")));
+                    }
+                };
+                let generation = take_u64(&mut buf)?;
+                slow.push(SlowQueryRecord {
+                    table,
+                    query,
+                    bytes_read,
+                    wall_micros,
+                    io_seconds,
+                    deadline_slack_micros,
+                    generation,
+                });
+            }
+            stats.slow_queries = slow;
+            Message::Response(Response::StatsOk(stats))
+        }
+        RESP_ERROR => {
+            let code = ErrorCode::from_tag(take_u8(&mut buf)?)?;
+            let retry_after_micros = take_u64(&mut buf)?;
+            let message = take_str(&mut buf)?;
+            Message::Response(Response::Error {
+                code,
+                retry_after_micros,
+                message,
+            })
+        }
+        other => {
+            return Err(WireError::Corrupt(format!("unknown message kind {other}")));
+        }
+    };
+    if !buf.is_empty() {
+        return Err(WireError::Corrupt(format!(
+            "{} trailing bytes in frame",
+            buf.len()
+        )));
+    }
+    Ok(Envelope { request_id, msg })
+}
+
+/// Incremental frame decoder over a received byte stream.
+///
+/// Feed raw reads in with [`FrameBuffer::extend`], pull decoded frames
+/// out with [`FrameBuffer::next`]. Decoding state is just the buffered
+/// prefix, so the struct is trivially per-connection.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Append freshly-received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded (a non-empty value after an
+    /// idle period means the peer stalled mid-frame).
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decode the next complete frame, if any. `Ok(None)` means the
+    /// buffered prefix is a valid but incomplete frame — read more bytes.
+    /// `Err` is a protocol violation at the exact current position; the
+    /// connection must be closed (see the module docs).
+    pub fn next_frame(&mut self) -> Result<Option<Envelope>, WireError> {
+        if self.buf.len() < 8 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[0..4].try_into().unwrap());
+        if len < 9 {
+            return Err(WireError::Corrupt(format!(
+                "implausible frame length {len}"
+            )));
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::TooLarge(len as u64));
+        }
+        let total = 8 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let crc = u32::from_le_bytes(self.buf[4..8].try_into().unwrap());
+        let body = &self.buf[8..total];
+        if crc32(body) != crc {
+            return Err(WireError::Corrupt("frame checksum mismatch".into()));
+        }
+        let envelope = decode_body(body)?;
+        self.buf.drain(..total);
+        Ok(Some(envelope))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_envelopes() -> Vec<(u64, Message)> {
+        vec![
+            (
+                1,
+                Message::Request(Request::Scan {
+                    table: "tpch.lineitem".into(),
+                    query_name: "pricing".into(),
+                    weight: 2.5,
+                    attrs: vec![0, 3, 7, 15],
+                    deadline_micros: 250_000,
+                }),
+            ),
+            (
+                2,
+                Message::Request(Request::Ingest {
+                    table: "tpch.orders".into(),
+                    client_id: 0xDEAD_BEEF,
+                    sequence: 42,
+                    deadline_micros: 0,
+                    batch: vec![0, 3, 0, 0, 0, 0, 0, 0, 0, 0],
+                }),
+            ),
+            (3, Message::Request(Request::Stats)),
+            (
+                4,
+                Message::Response(Response::ScanOk {
+                    checksum: 0x1234_5678_9ABC_DEF0,
+                    bytes_read: 4096,
+                    io_seconds: 0.125,
+                    cpu_seconds: 0.001,
+                    generation: 7,
+                }),
+            ),
+            (
+                5,
+                Message::Response(Response::IngestOk {
+                    rows_appended: 100,
+                    rows_deleted: 3,
+                    wal_bytes: 2048,
+                    io_seconds: 0.01,
+                    delta_rows: 100,
+                    delta_bytes: 900,
+                    deduped: true,
+                }),
+            ),
+            (
+                6,
+                Message::Response(Response::StatsOk(ServerStats {
+                    connections_accepted: 4,
+                    requests: 99,
+                    scans_ok: 90,
+                    slow_queries_recorded: 2,
+                    slow_queries: vec![SlowQueryRecord {
+                        table: "t".into(),
+                        query: "q".into(),
+                        bytes_read: 10,
+                        wall_micros: 5000,
+                        io_seconds: 0.2,
+                        deadline_slack_micros: Some(-150),
+                        generation: 1,
+                    }],
+                    ..ServerStats::default()
+                })),
+            ),
+            (
+                7,
+                Message::Response(Response::Error {
+                    code: ErrorCode::Overloaded,
+                    retry_after_micros: 30_000,
+                    message: "queued 0.8s of modeled scan work".into(),
+                }),
+            ),
+        ]
+    }
+
+    #[test]
+    fn every_message_kind_roundtrips() {
+        for (id, msg) in sample_envelopes() {
+            let bytes = encode_envelope(id, &msg);
+            let mut fb = FrameBuffer::new();
+            fb.extend(&bytes);
+            let env = fb.next_frame().unwrap().expect("complete frame");
+            assert_eq!(env.request_id, id);
+            assert_eq!(env.msg, msg);
+            assert_eq!(fb.pending(), 0);
+            assert!(fb.next_frame().unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn frames_decode_across_arbitrary_read_boundaries() {
+        let envelopes = sample_envelopes();
+        let mut stream = Vec::new();
+        for (id, msg) in &envelopes {
+            stream.extend_from_slice(&encode_envelope(*id, msg));
+        }
+        for chunk in [1usize, 2, 3, 7, 16, 61] {
+            let mut fb = FrameBuffer::new();
+            let mut decoded = Vec::new();
+            for piece in stream.chunks(chunk) {
+                fb.extend(piece);
+                while let Some(env) = fb.next_frame().unwrap() {
+                    decoded.push((env.request_id, env.msg));
+                }
+            }
+            assert_eq!(decoded, envelopes, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn oversized_and_undersized_lengths_are_typed_errors() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        fb.extend(&[0u8; 4]);
+        assert!(matches!(fb.next_frame(), Err(WireError::TooLarge(_))));
+        let mut fb = FrameBuffer::new();
+        fb.extend(&3u32.to_le_bytes());
+        fb.extend(&[0u8; 4]);
+        assert!(matches!(fb.next_frame(), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_in_a_valid_crc_frame_are_rejected() {
+        let mut body = Vec::new();
+        encode_body(9, &Message::Request(Request::Stats), &mut body);
+        body.push(0xAA); // trailing garbage, CRC'd over
+        let mut out = Vec::new();
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        let mut fb = FrameBuffer::new();
+        fb.extend(&out);
+        match fb.next_frame() {
+            Err(WireError::Corrupt(m)) => assert!(m.contains("trailing")),
+            other => panic!("expected trailing-byte rejection, got {other:?}"),
+        }
+    }
+}

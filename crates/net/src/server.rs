@@ -1,0 +1,643 @@
+//! Thread-per-connection wire server in front of a
+//! [`slicer_lifecycle::TableFleet`].
+//!
+//! # Degradation contract
+//!
+//! The server is built so that *nothing on the scan path ever waits on
+//! the fleet lock*:
+//!
+//! * Routes are resolved once at spawn via [`TableFleet::scan_target`] —
+//!   the `Arc<StoredTable>` handles stay valid across every later
+//!   repartition, so a scan pins an immutable snapshot and reads it to
+//!   completion while advise rounds and layout moves proceed.
+//! * Serve metrics (the sliding window that feeds advising, per-table
+//!   payoff ledgers) are folded back opportunistically: each served scan
+//!   is queued and drained into the fleet under `try_lock`, so a long
+//!   advise round only *delays bookkeeping*, never a reply.
+//! * Ingest does take the fleet lock — the idempotency ledger check, the
+//!   WAL append, and the ledger update must be atomic, or a concurrent
+//!   retry of the same sequence could apply a batch twice.
+//!
+//! # Admission control
+//!
+//! Every scan is priced on the configured [`HddCostModel`] *before* it
+//! runs. The modeled seconds of all in-flight scans are tracked in one
+//! atomic; a new scan whose addition would push that total past
+//! [`ServerConfig::admission_max_io_seconds`] is shed with a typed
+//! [`ErrorCode::Overloaded`] carrying the modeled drain time as
+//! `retry_after_micros`. If the request carries a deadline that the
+//! queued work plus its own modeled cost already exceeds, it is refused
+//! up front with [`ErrorCode::DeadlineExceeded`] — no cycles are spent
+//! on an answer the client will have abandoned.
+
+use crate::frame::{
+    Envelope, ErrorCode, FrameBuffer, Message, Request, Response, ServerStats, SlowQueryRecord,
+    WireError,
+};
+use crate::slowlog::SlowQueryLog;
+use slicer_cost::{CostModel, HddCostModel};
+use slicer_lifecycle::{ScanTarget, TableFleet};
+use slicer_model::{AttrSet, Query};
+use slicer_storage::{decode_ingest_batch, ScanExecutor, ScanResult, StorageError, TableSnapshot};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Admission bound: maximum modeled disk seconds of scan work allowed
+    /// in flight at once. Scans past the bound are shed with
+    /// [`ErrorCode::Overloaded`].
+    pub admission_max_io_seconds: f64,
+    /// Scans at or above this wall-clock service time land in the
+    /// slow-query log.
+    pub slow_query_threshold: Duration,
+    /// Ring capacity of the slow-query log.
+    pub slow_log_capacity: usize,
+    /// Read-poll granularity of connection threads (bounds shutdown
+    /// latency).
+    pub poll_interval: Duration,
+    /// A peer that leaves a frame half-sent longer than this is
+    /// disconnected (defends the per-connection buffer against stalled
+    /// or byte-dribbling clients).
+    pub frame_stall_timeout: Duration,
+    /// Cost model pricing scans for admission control.
+    pub cost: HddCostModel,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            admission_max_io_seconds: 0.5,
+            slow_query_threshold: Duration::from_millis(50),
+            slow_log_capacity: 64,
+            poll_interval: Duration::from_millis(20),
+            frame_stall_timeout: Duration::from_secs(2),
+            cost: HddCostModel::paper_testbed(),
+        }
+    }
+}
+
+/// Lock-free server counters.
+#[derive(Debug, Default)]
+struct NetCounters {
+    connections_accepted: AtomicU64,
+    requests: AtomicU64,
+    scans_ok: AtomicU64,
+    ingests_ok: AtomicU64,
+    ingests_deduped: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_deadline: AtomicU64,
+    typed_errors: AtomicU64,
+    malformed_frames: AtomicU64,
+}
+
+/// The fleet plus everything that must stay atomic with it.
+struct FleetCore {
+    fleet: TableFleet,
+    /// Idempotency ledger: per client, the last applied ingest sequence
+    /// and the reply it produced (pre-marked `deduped` for replays).
+    ledger: HashMap<u64, (u64, Response)>,
+}
+
+/// One served scan waiting to be folded into the fleet's serve metrics.
+struct PendingScan {
+    table: String,
+    query: Query,
+    result: ScanResult,
+    snapshot: Arc<TableSnapshot>,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    routes: HashMap<String, ScanTarget>,
+    core: Mutex<FleetCore>,
+    pending: Mutex<Vec<PendingScan>>,
+    slow: Mutex<SlowQueryLog>,
+    counters: NetCounters,
+    /// Modeled µs of scan work currently in flight (admission signal).
+    inflight_io_micros: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Fold every queued scan into the fleet. Callers hold the core lock.
+    fn drain_pending(&self, core: &mut FleetCore) {
+        let drained: Vec<PendingScan> = {
+            let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *pending)
+        };
+        for p in drained {
+            // The route existed at serve time; a record failure would mean
+            // the fleet lost a table mid-flight, which TableFleet does not
+            // support — surface it loudly in debug builds, drop the sample
+            // in release.
+            let recorded = core
+                .fleet
+                .record_scan(&p.table, p.query, &p.result, &p.snapshot);
+            debug_assert!(recorded.is_ok());
+        }
+    }
+
+    fn typed_error(&self, code: ErrorCode, retry_after_micros: u64, message: String) -> Response {
+        self.counters.typed_errors.fetch_add(1, Ordering::Relaxed);
+        match code {
+            ErrorCode::Overloaded => {
+                self.counters.shed_overload.fetch_add(1, Ordering::Relaxed);
+            }
+            ErrorCode::DeadlineExceeded => {
+                self.counters.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        Response::Error {
+            code,
+            retry_after_micros,
+            message,
+        }
+    }
+
+    fn stats_snapshot(&self) -> ServerStats {
+        let slow = self.slow.lock().unwrap_or_else(|e| e.into_inner());
+        let c = &self.counters;
+        ServerStats {
+            connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            scans_ok: c.scans_ok.load(Ordering::Relaxed),
+            ingests_ok: c.ingests_ok.load(Ordering::Relaxed),
+            ingests_deduped: c.ingests_deduped.load(Ordering::Relaxed),
+            shed_overload: c.shed_overload.load(Ordering::Relaxed),
+            shed_deadline: c.shed_deadline.load(Ordering::Relaxed),
+            typed_errors: c.typed_errors.load(Ordering::Relaxed),
+            malformed_frames: c.malformed_frames.load(Ordering::Relaxed),
+            slow_queries_recorded: slow.recorded(),
+            slow_queries_evicted: slow.evicted(),
+            slow_queries: slow.records(),
+        }
+    }
+}
+
+/// Subtracts its share from the in-flight gauge even on unwind.
+struct InflightGuard<'a> {
+    gauge: &'a AtomicU64,
+    micros: u64,
+}
+
+impl<'a> InflightGuard<'a> {
+    fn add(gauge: &'a AtomicU64, micros: u64) -> InflightGuard<'a> {
+        gauge.fetch_add(micros, Ordering::SeqCst);
+        InflightGuard { gauge, micros }
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(self.micros, Ordering::SeqCst);
+    }
+}
+
+fn handle_scan(
+    shared: &Shared,
+    table: String,
+    query_name: String,
+    weight: f64,
+    attrs: Vec<u16>,
+    deadline_micros: u64,
+) -> Response {
+    let started = Instant::now();
+    let Some(target) = shared.routes.get(&table) else {
+        return shared.typed_error(
+            ErrorCode::UnknownTable,
+            0,
+            format!("no table registered under `{table}`"),
+        );
+    };
+    if let Some(bad) = attrs.iter().find(|&&a| a as usize >= AttrSet::CAPACITY) {
+        return shared.typed_error(
+            ErrorCode::InvalidQuery,
+            0,
+            format!("attribute id {bad} beyond capacity {}", AttrSet::CAPACITY),
+        );
+    }
+    let referenced: AttrSet = attrs.iter().map(|&a| a as usize).collect();
+    let query = Query::weighted(query_name, referenced, weight);
+    if let Err(e) = query.validate(&target.table.schema) {
+        return shared.typed_error(ErrorCode::InvalidQuery, 0, e.to_string());
+    }
+
+    let snapshot = target.table.snapshot();
+    let est_micros = (shared
+        .cfg
+        .cost
+        .query_cost(&target.table.schema, &snapshot.layout, &query)
+        .max(0.0)
+        * 1e6) as u64;
+    let inflight = shared.inflight_io_micros.load(Ordering::SeqCst);
+    if deadline_micros > 0 && inflight.saturating_add(est_micros) > deadline_micros {
+        return shared.typed_error(
+            ErrorCode::DeadlineExceeded,
+            0,
+            format!(
+                "modeled wait {inflight} us + scan {est_micros} us exceeds deadline \
+                 {deadline_micros} us"
+            ),
+        );
+    }
+    let bound_micros = (shared.cfg.admission_max_io_seconds.max(0.0) * 1e6) as u64;
+    if inflight.saturating_add(est_micros) > bound_micros {
+        return shared.typed_error(
+            ErrorCode::Overloaded,
+            inflight.max(1_000),
+            format!("{inflight} us of modeled scan work queued (bound {bound_micros} us)"),
+        );
+    }
+    let _guard = InflightGuard::add(&shared.inflight_io_micros, est_micros);
+
+    let result =
+        ScanExecutor::new(&target.table).scan_snapshot(&snapshot, referenced, &target.disk);
+
+    let wall_micros = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    let record = SlowQueryRecord {
+        table: table.clone(),
+        query: query.name.clone(),
+        bytes_read: result.bytes_read,
+        wall_micros,
+        io_seconds: result.io_seconds,
+        deadline_slack_micros: (deadline_micros > 0)
+            .then(|| deadline_micros as i64 - wall_micros as i64),
+        generation: snapshot.generation,
+    };
+    shared
+        .slow
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .observe(record);
+
+    shared
+        .pending
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(PendingScan {
+            table,
+            query,
+            result,
+            snapshot: Arc::clone(&snapshot),
+        });
+    // Opportunistic fold: never wait on an advise round for bookkeeping.
+    if let Ok(mut core) = shared.core.try_lock() {
+        shared.drain_pending(&mut core);
+    }
+
+    shared.counters.scans_ok.fetch_add(1, Ordering::Relaxed);
+    Response::ScanOk {
+        checksum: result.checksum,
+        bytes_read: result.bytes_read,
+        io_seconds: result.io_seconds,
+        cpu_seconds: result.cpu_seconds,
+        generation: snapshot.generation,
+    }
+}
+
+fn handle_ingest(
+    shared: &Shared,
+    table: String,
+    client_id: u64,
+    sequence: u64,
+    batch_bytes: Vec<u8>,
+) -> Response {
+    let batch = match decode_ingest_batch(&batch_bytes) {
+        Ok(b) => b,
+        Err(e) => return shared.typed_error(ErrorCode::InvalidBatch, 0, e.to_string()),
+    };
+    let mut core = shared.core.lock().unwrap_or_else(|e| e.into_inner());
+    shared.drain_pending(&mut core);
+    if let Some((last_seq, reply)) = core.ledger.get(&client_id) {
+        if sequence == *last_seq {
+            shared
+                .counters
+                .ingests_deduped
+                .fetch_add(1, Ordering::Relaxed);
+            return reply.clone();
+        }
+        if sequence < *last_seq {
+            // An older sequence can only be a replay of a batch whose
+            // effects are already durable; the cached reply is gone, so
+            // acknowledge with zeroed stats rather than re-apply.
+            shared
+                .counters
+                .ingests_deduped
+                .fetch_add(1, Ordering::Relaxed);
+            return Response::IngestOk {
+                rows_appended: 0,
+                rows_deleted: 0,
+                wal_bytes: 0,
+                io_seconds: 0.0,
+                delta_rows: 0,
+                delta_bytes: 0,
+                deduped: true,
+            };
+        }
+    }
+    match core.fleet.ingest(&table, &batch) {
+        Ok(stats) => {
+            let reply = Response::IngestOk {
+                rows_appended: stats.rows_appended,
+                rows_deleted: stats.rows_deleted,
+                wal_bytes: stats.wal_bytes,
+                io_seconds: stats.io_seconds,
+                delta_rows: stats.delta_rows,
+                delta_bytes: stats.delta_bytes,
+                deduped: false,
+            };
+            let replay = Response::IngestOk {
+                rows_appended: stats.rows_appended,
+                rows_deleted: stats.rows_deleted,
+                wal_bytes: stats.wal_bytes,
+                io_seconds: stats.io_seconds,
+                delta_rows: stats.delta_rows,
+                delta_bytes: stats.delta_bytes,
+                deduped: true,
+            };
+            core.ledger.insert(client_id, (sequence, replay));
+            shared.counters.ingests_ok.fetch_add(1, Ordering::Relaxed);
+            reply
+        }
+        Err(StorageError::UnknownTable(t)) => shared.typed_error(
+            ErrorCode::UnknownTable,
+            0,
+            format!("no table registered under `{t}`"),
+        ),
+        Err(StorageError::InvalidBatch(m)) => shared.typed_error(ErrorCode::InvalidBatch, 0, m),
+        Err(e) => shared.typed_error(ErrorCode::Internal, 0, e.to_string()),
+    }
+}
+
+fn handle_envelope(shared: &Shared, env: Envelope) -> (Response, bool) {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return (
+            shared.typed_error(ErrorCode::ShuttingDown, 0, "server shutting down".into()),
+            true,
+        );
+    }
+    match env.msg {
+        Message::Request(Request::Scan {
+            table,
+            query_name,
+            weight,
+            attrs,
+            deadline_micros,
+        }) => (
+            handle_scan(shared, table, query_name, weight, attrs, deadline_micros),
+            false,
+        ),
+        Message::Request(Request::Ingest {
+            table,
+            client_id,
+            sequence,
+            deadline_micros: _,
+            batch,
+        }) => (
+            handle_ingest(shared, table, client_id, sequence, batch),
+            false,
+        ),
+        Message::Request(Request::Stats) => (Response::StatsOk(shared.stats_snapshot()), false),
+        Message::Response(_) => (
+            shared.typed_error(
+                ErrorCode::Malformed,
+                0,
+                "peer sent a response frame to the server".into(),
+            ),
+            true,
+        ),
+    }
+}
+
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    if stream
+        .set_read_timeout(Some(shared.cfg.poll_interval))
+        .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut fb = FrameBuffer::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut stall_since: Option<Instant> = None;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if fb.pending() > 0 {
+                    let since = *stall_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= shared.cfg.frame_stall_timeout {
+                        // A half-sent frame went quiet: drop the peer
+                        // rather than hold the buffer open forever.
+                        shared
+                            .counters
+                            .malformed_frames
+                            .fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        fb.extend(&buf[..n]);
+        stall_since = None;
+        loop {
+            match fb.next_frame() {
+                Ok(Some(env)) => {
+                    let request_id = env.request_id;
+                    let (resp, close) = handle_envelope(shared, env);
+                    if stream
+                        .write_all(&crate::frame::encode_response(request_id, &resp))
+                        .is_err()
+                        || close
+                    {
+                        return;
+                    }
+                }
+                Ok(None) => {
+                    if fb.pending() > 0 {
+                        stall_since.get_or_insert_with(Instant::now);
+                    }
+                    break;
+                }
+                Err(err) => {
+                    // The byte stream is no longer trustworthy: best-effort
+                    // typed error (request id 0 — the frame carrying the
+                    // real one is the thing that broke), then a
+                    // deterministic close.
+                    shared
+                        .counters
+                        .malformed_frames
+                        .fetch_add(1, Ordering::Relaxed);
+                    let resp = shared.typed_error(
+                        ErrorCode::Malformed,
+                        0,
+                        match err {
+                            WireError::TooLarge(n) => format!("frame too large: {n} bytes"),
+                            other => other.to_string(),
+                        },
+                    );
+                    let _ = stream.write_all(&crate::frame::encode_response(0, &resp));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The serving tier: spawn with [`Server::spawn`], drive through
+/// [`crate::frame`]-speaking clients, stop with [`ServerHandle::shutdown`].
+pub struct Server;
+
+impl Server {
+    /// Bind, resolve one [`ScanTarget`] per fleet table, and start the
+    /// accept loop. The fleet moves into the server; get it back from
+    /// [`ServerHandle::shutdown`].
+    pub fn spawn(fleet: TableFleet, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let mut routes = HashMap::new();
+        for name in fleet.table_names().map(str::to_string).collect::<Vec<_>>() {
+            let target = fleet
+                .scan_target(&name)
+                .expect("table listed by the fleet must resolve");
+            routes.insert(name, target);
+        }
+        let shared = Arc::new(Shared {
+            slow: Mutex::new(SlowQueryLog::new(
+                cfg.slow_query_threshold,
+                cfg.slow_log_capacity,
+            )),
+            cfg,
+            routes,
+            core: Mutex::new(FleetCore {
+                fleet,
+                ledger: HashMap::new(),
+            }),
+            pending: Mutex::new(Vec::new()),
+            counters: NetCounters::default(),
+            inflight_io_micros: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        shared
+                            .counters
+                            .connections_accepted
+                            .fetch_add(1, Ordering::Relaxed);
+                        let shared = Arc::clone(&shared);
+                        let handle = std::thread::spawn(move || serve_connection(&shared, stream));
+                        conns.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+                    }
+                    Err(_) => {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                    }
+                }
+            })
+        };
+        Ok(ServerHandle {
+            shared,
+            addr,
+            accept,
+            conns,
+        })
+    }
+}
+
+/// Running server: address, live counters, fleet access, shutdown.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: JoinHandle<()>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `addr` asked for 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counters plus the retained slow-query records.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats_snapshot()
+    }
+
+    /// Run `f` against the fleet (pending serve metrics are folded in
+    /// first). Scans keep flowing while `f` runs — this lock only gates
+    /// bookkeeping, ingest, and layout moves.
+    pub fn with_fleet<R>(&self, f: impl FnOnce(&mut TableFleet) -> R) -> R {
+        let mut core = self.shared.core.lock().unwrap_or_else(|e| e.into_inner());
+        self.shared.drain_pending(&mut core);
+        f(&mut core.fleet)
+    }
+
+    /// Stop accepting, drain connection threads, fold every pending scan
+    /// into the fleet, dump the slow-query log to stderr, and hand the
+    /// fleet back (ready to be re-served by a fresh [`Server::spawn`]).
+    pub fn shutdown(self) -> TableFleet {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept.join();
+        let handles: Vec<JoinHandle<()>> = {
+            let mut conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *conns)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        {
+            let slow = self.shared.slow.lock().unwrap_or_else(|e| e.into_inner());
+            let mut err = std::io::stderr().lock();
+            let _ = slow.dump(&mut err);
+        }
+        let shared = Arc::try_unwrap(self.shared)
+            .ok()
+            .expect("all server threads joined; no other owner may remain");
+        let mut core = shared.core.into_inner().unwrap_or_else(|e| e.into_inner());
+        let pending = shared
+            .pending
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
+        for p in pending {
+            let _ = core
+                .fleet
+                .record_scan(&p.table, p.query, &p.result, &p.snapshot);
+        }
+        core.fleet
+    }
+}

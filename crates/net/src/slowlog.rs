@@ -1,0 +1,162 @@
+//! Ring-buffered slow-query log.
+//!
+//! Every served scan is offered to the log with its wall-clock service
+//! time; queries at or above the configured threshold are retained in a
+//! bounded ring (oldest evicted first). The log travels over the wire in
+//! a stats reply ([`crate::Response::StatsOk`]) and is dumped to stderr
+//! on server shutdown, so a post-mortem still sees the worst recent
+//! queries even if nobody polled stats.
+
+use crate::frame::SlowQueryRecord;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Bounded ring of [`SlowQueryRecord`]s over a wall-clock threshold.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    threshold_micros: u64,
+    capacity: usize,
+    records: VecDeque<SlowQueryRecord>,
+    recorded: u64,
+    evicted: u64,
+}
+
+impl SlowQueryLog {
+    /// A log recording queries that took at least `threshold`, keeping
+    /// the most recent `capacity` of them. A zero capacity keeps nothing
+    /// but still counts.
+    pub fn new(threshold: Duration, capacity: usize) -> SlowQueryLog {
+        SlowQueryLog {
+            threshold_micros: threshold.as_micros().min(u64::MAX as u128) as u64,
+            capacity,
+            records: VecDeque::with_capacity(capacity.min(1024)),
+            recorded: 0,
+            evicted: 0,
+        }
+    }
+
+    /// The recording threshold.
+    pub fn threshold(&self) -> Duration {
+        Duration::from_micros(self.threshold_micros)
+    }
+
+    /// Offer one served query; returns whether it was slow enough to
+    /// record. Eviction happens here, oldest record first.
+    pub fn observe(&mut self, record: SlowQueryRecord) -> bool {
+        if record.wall_micros < self.threshold_micros {
+            return false;
+        }
+        self.recorded += 1;
+        self.records.push_back(record);
+        while self.records.len() > self.capacity {
+            self.records.pop_front();
+            self.evicted += 1;
+        }
+        true
+    }
+
+    /// Retained records, oldest first.
+    pub fn records(&self) -> Vec<SlowQueryRecord> {
+        self.records.iter().cloned().collect()
+    }
+
+    /// Slow queries ever recorded (retained or since evicted).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Records pushed out by the capacity bound.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Write the retained records to `out`, one line each (used by the
+    /// server's shutdown dump).
+    pub fn dump(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        writeln!(
+            out,
+            "slow-query log: {} recorded, {} evicted, {} retained (threshold {:?})",
+            self.recorded,
+            self.evicted,
+            self.records.len(),
+            self.threshold(),
+        )?;
+        for r in &self.records {
+            let slack = match r.deadline_slack_micros {
+                Some(s) => format!("{s} us slack"),
+                None => "no deadline".to_string(),
+            };
+            writeln!(
+                out,
+                "  {}/{}: {} us wall, {} B read, {:.6} io s, gen {}, {}",
+                r.table, r.query, r.wall_micros, r.bytes_read, r.io_seconds, r.generation, slack,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(query: &str, wall_micros: u64) -> SlowQueryRecord {
+        SlowQueryRecord {
+            table: "t".into(),
+            query: query.into(),
+            bytes_read: 100,
+            wall_micros,
+            io_seconds: 0.01,
+            deadline_slack_micros: None,
+            generation: 0,
+        }
+    }
+
+    #[test]
+    fn only_queries_at_or_over_the_threshold_are_recorded() {
+        let mut log = SlowQueryLog::new(Duration::from_micros(500), 8);
+        assert!(!log.observe(rec("fast", 499)));
+        assert!(log.observe(rec("edge", 500)));
+        assert!(log.observe(rec("slow", 9000)));
+        assert_eq!(log.recorded(), 2);
+        assert_eq!(log.evicted(), 0);
+        let names: Vec<_> = log.records().into_iter().map(|r| r.query).collect();
+        assert_eq!(names, vec!["edge", "slow"]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_first_and_counts_evictions() {
+        let mut log = SlowQueryLog::new(Duration::ZERO, 3);
+        for i in 0..7u64 {
+            assert!(log.observe(rec(&format!("q{i}"), i)));
+        }
+        assert_eq!(log.recorded(), 7);
+        assert_eq!(log.evicted(), 4);
+        let names: Vec<_> = log.records().into_iter().map(|r| r.query).collect();
+        assert_eq!(names, vec!["q4", "q5", "q6"]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_retains_nothing() {
+        let mut log = SlowQueryLog::new(Duration::ZERO, 0);
+        assert!(log.observe(rec("q", 1)));
+        assert_eq!(log.recorded(), 1);
+        assert_eq!(log.evicted(), 1);
+        assert!(log.records().is_empty());
+    }
+
+    #[test]
+    fn dump_renders_counters_and_each_record() {
+        let mut log = SlowQueryLog::new(Duration::ZERO, 4);
+        log.observe(rec("q0", 1200));
+        let mut rec1 = rec("q1", 800);
+        rec1.deadline_slack_micros = Some(-50);
+        log.observe(rec1);
+        let mut out = Vec::new();
+        log.dump(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("2 recorded"));
+        assert!(text.contains("t/q0: 1200 us"));
+        assert!(text.contains("-50 us slack"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Wire-frame fuzz suite (the socket analog of the WAL's torn-tail
+//! fuzz tests): take a valid multi-frame byte stream, then
+//!
+//! * truncate it at **every** byte offset — the decoder must yield
+//!   exactly the wholly-contained prefix frames and then report
+//!   "incomplete", never an error, never a panic;
+//! * flip **every** bit — the decoder must yield an unmodified prefix of
+//!   the original frames and then stop at a typed [`WireError`], never a
+//!   panic and never a silently different frame;
+//!
+//! and in both cases behave *deterministically*: decoding the same bytes
+//! twice gives byte-identical outcomes.
+
+use slicer_net::frame::{
+    encode_request, encode_response, Envelope, ErrorCode, FrameBuffer, Request, Response,
+    ServerStats, SlowQueryRecord, WireError,
+};
+
+/// A stream exercising every message kind, with per-frame boundaries.
+fn sample_stream() -> (Vec<u8>, Vec<usize>, Vec<Envelope>) {
+    let frames: Vec<Vec<u8>> = vec![
+        encode_request(
+            1,
+            &Request::Scan {
+                table: "tpch.lineitem".into(),
+                query_name: "pricing".into(),
+                weight: 2.0,
+                attrs: vec![0, 4, 5, 6],
+                deadline_micros: 150_000,
+            },
+        ),
+        encode_response(
+            1,
+            &Response::ScanOk {
+                checksum: 0xFEED_FACE_CAFE_BEEF,
+                bytes_read: 81_920,
+                io_seconds: 0.042,
+                cpu_seconds: 0.003,
+                generation: 12,
+            },
+        ),
+        encode_request(
+            2,
+            &Request::Ingest {
+                table: "ssb.lineorder".into(),
+                client_id: 77,
+                sequence: 9,
+                deadline_micros: 0,
+                batch: (0..32u8).collect(),
+            },
+        ),
+        encode_response(
+            2,
+            &Response::Error {
+                code: ErrorCode::Overloaded,
+                retry_after_micros: 12_345,
+                message: "queued work over bound".into(),
+            },
+        ),
+        encode_request(3, &Request::Stats),
+        encode_response(
+            3,
+            &Response::StatsOk(ServerStats {
+                requests: 4,
+                scans_ok: 1,
+                slow_queries_recorded: 1,
+                slow_queries: vec![SlowQueryRecord {
+                    table: "tpch.lineitem".into(),
+                    query: "pricing".into(),
+                    bytes_read: 81_920,
+                    wall_micros: 61_000,
+                    io_seconds: 0.042,
+                    deadline_slack_micros: Some(89_000),
+                    generation: 12,
+                }],
+                ..ServerStats::default()
+            }),
+        ),
+    ];
+    let mut stream = Vec::new();
+    let mut boundaries = Vec::new();
+    for f in &frames {
+        stream.extend_from_slice(f);
+        boundaries.push(stream.len());
+    }
+    let mut fb = FrameBuffer::new();
+    fb.extend(&stream);
+    let mut envelopes = Vec::new();
+    while let Some(env) = fb.next_frame().expect("pristine stream decodes") {
+        envelopes.push(env);
+    }
+    assert_eq!(envelopes.len(), frames.len());
+    (stream, boundaries, envelopes)
+}
+
+/// Decode as much of `bytes` as possible: the frames produced, and the
+/// terminal state (clean/incomplete vs typed error).
+fn drive(bytes: &[u8]) -> (Vec<Envelope>, Result<usize, WireError>) {
+    let mut fb = FrameBuffer::new();
+    fb.extend(bytes);
+    let mut out = Vec::new();
+    loop {
+        match fb.next_frame() {
+            Ok(Some(env)) => out.push(env),
+            Ok(None) => return (out, Ok(fb.pending())),
+            Err(e) => return (out, Err(e)),
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_yields_exactly_the_intact_prefix_frames() {
+    let (stream, boundaries, envelopes) = sample_stream();
+    for cut in 0..stream.len() {
+        let (decoded, end) = drive(&stream[..cut]);
+        let expect_frames = boundaries.iter().filter(|&&b| b <= cut).count();
+        assert_eq!(
+            decoded.len(),
+            expect_frames,
+            "cut at {cut}: wrong frame count"
+        );
+        assert_eq!(decoded, envelopes[..expect_frames], "cut at {cut}");
+        let leftover = cut - boundaries[..expect_frames].last().copied().unwrap_or(0);
+        match end {
+            Ok(pending) => assert_eq!(pending, leftover, "cut at {cut}"),
+            Err(e) => panic!("cut at {cut}: truncation must not be an error, got {e}"),
+        }
+    }
+}
+
+#[test]
+fn every_bit_flip_is_detected_before_any_wrong_frame_is_produced() {
+    let (stream, boundaries, envelopes) = sample_stream();
+    for byte in 0..stream.len() {
+        for bit in 0..8 {
+            let mut mutated = stream.clone();
+            mutated[byte] ^= 1 << bit;
+            let (decoded, end) = drive(&mutated);
+            // Frames wholly before the flipped byte must survive intact.
+            let intact = boundaries.iter().filter(|&&b| b <= byte).count();
+            assert!(
+                decoded.len() >= intact,
+                "flip {byte}.{bit}: lost an intact prefix frame"
+            );
+            // Whatever decoded must be an unmodified prefix — a flip may
+            // be *detected* late but must never *change* a frame.
+            assert!(
+                decoded.len() <= envelopes.len(),
+                "flip {byte}.{bit}: extra frames"
+            );
+            assert_eq!(
+                decoded,
+                envelopes[..decoded.len()],
+                "flip {byte}.{bit}: silently wrong frame"
+            );
+            // And the flip itself must surface: either a typed error, or
+            // (only possible for flips in a final frame's length prefix
+            // that enlarge it) an incomplete tail still waiting for
+            // bytes. A fully-clean full decode would mean the corruption
+            // went unnoticed.
+            match end {
+                Err(_) => {}
+                Ok(pending) => assert!(
+                    decoded.len() < envelopes.len() && pending > 0,
+                    "flip {byte}.{bit}: corruption decoded cleanly"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupt_streams_decode_deterministically() {
+    let (stream, _, _) = sample_stream();
+    for byte in (0..stream.len()).step_by(7) {
+        let mut mutated = stream.clone();
+        mutated[byte] ^= 0x10;
+        let first = drive(&mutated);
+        let second = drive(&mutated);
+        assert_eq!(first.0, second.0, "byte {byte}");
+        assert_eq!(first.1, second.1, "byte {byte}");
+    }
+}
+
+#[test]
+fn random_garbage_never_panics_and_is_rejected() {
+    // Deterministic xorshift garbage — no dependency on a RNG crate.
+    let mut x = 0x9E37_79B9_u64;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for round in 0..256 {
+        let len = (next() % 200) as usize + 8;
+        let bytes: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+        let (decoded, _end) = drive(&bytes);
+        // Random bytes forming a valid CRC-framed message is a 2^-32
+        // accident per frame; with this deterministic seed it does not
+        // happen — what matters is that nothing panicked above.
+        assert!(decoded.is_empty(), "round {round}: garbage decoded a frame");
+    }
+}

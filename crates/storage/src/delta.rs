@@ -433,6 +433,59 @@ pub(crate) fn decode_table_data(buf: &mut &[u8]) -> Result<TableData, StorageErr
     Ok(TableData { columns, rows })
 }
 
+/// Self-describing binary image of one [`IngestBatch`] — the payload a
+/// network tier carries inside a wire frame so a remote client's batch
+/// lands byte-identical in the server's WAL. Same shape as the WAL's
+/// `Ingest` record payload (appends flag + row image + delete list), but
+/// unframed: the transport provides its own length and checksum.
+pub fn encode_ingest_batch(batch: &IngestBatch) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match &batch.appends {
+        Some(data) => {
+            out.push(1);
+            encode_table_data(data, &mut out);
+        }
+        None => out.push(0),
+    }
+    out.extend_from_slice(&(batch.deletes.len() as u64).to_le_bytes());
+    for rid in &batch.deletes {
+        out.extend_from_slice(&rid.to_le_bytes());
+    }
+    out
+}
+
+/// Decode one [`encode_ingest_batch`] image. Structural validation only
+/// (the schema-aware checks run in [`crate::StoredTable::ingest`]);
+/// rejects trailing bytes, implausible counts, and truncation with a
+/// typed [`StorageError::Corrupt`] — never panics on arbitrary input.
+pub fn decode_ingest_batch(bytes: &[u8]) -> Result<IngestBatch, StorageError> {
+    let mut buf = bytes;
+    let appends = match take_bytes(&mut buf, 1)?[0] {
+        0 => None,
+        1 => Some(decode_table_data(&mut buf)?),
+        other => {
+            return Err(StorageError::Corrupt(format!("bad appends flag {other}")));
+        }
+    };
+    let n = take_u64(&mut buf)? as usize;
+    if n > buf.len() / 8 {
+        return Err(StorageError::Corrupt(format!(
+            "implausible delete count {n}"
+        )));
+    }
+    let mut deletes = Vec::with_capacity(n);
+    for _ in 0..n {
+        deletes.push(take_u64(&mut buf)?);
+    }
+    if !buf.is_empty() {
+        return Err(StorageError::Corrupt(format!(
+            "{} trailing bytes in ingest batch",
+            buf.len()
+        )));
+    }
+    Ok(IngestBatch { appends, deletes })
+}
+
 pub(crate) fn take_bytes<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], StorageError> {
     if buf.len() < n {
         return Err(StorageError::Corrupt(format!(
@@ -476,6 +529,33 @@ mod tests {
             ],
             rows: n,
         }
+    }
+
+    #[test]
+    fn ingest_batch_roundtrips_and_rejects_garbage() {
+        for batch in [
+            IngestBatch::append(rows(5, 1)),
+            IngestBatch::delete(vec![0, 7, 9]),
+            IngestBatch {
+                appends: Some(rows(2, 9)),
+                deletes: vec![3],
+            },
+            IngestBatch::default(),
+        ] {
+            let bytes = encode_ingest_batch(&batch);
+            let back = decode_ingest_batch(&bytes).unwrap();
+            assert_eq!(back.appends, batch.appends);
+            assert_eq!(back.deletes, batch.deletes);
+            // Truncation at every byte is a typed error, never a panic.
+            for cut in 0..bytes.len() {
+                assert!(decode_ingest_batch(&bytes[..cut]).is_err(), "cut at {cut}");
+            }
+            // Trailing garbage is rejected.
+            let mut padded = bytes.clone();
+            padded.push(0);
+            assert!(decode_ingest_batch(&padded).is_err());
+        }
+        assert!(decode_ingest_batch(&[2]).is_err(), "bad appends flag");
     }
 
     #[test]

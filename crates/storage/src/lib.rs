@@ -50,7 +50,7 @@ pub mod wal;
 pub use backend::{CrashDir, CrashPoint, Dir, FsDir, MemDir, StorageError};
 pub use compress::{decode, default_codec, encode, Codec, EncodedColumn};
 pub use data::{generate_table, generate_table_seq, ColumnData, TableData};
-pub use delta::{DeltaBatch, DeltaState, IngestBatch};
+pub use delta::{decode_ingest_batch, encode_ingest_batch, DeltaBatch, DeltaState, IngestBatch};
 pub use engine::{
     scan_naive, scan_naive_snapshot, CompressionPolicy, IngestStats, PartitionFile,
     RepartitionStats, ScanResult, StoredTable, TableSnapshot,

@@ -26,6 +26,7 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured results of every table and figure.
 
+pub use slicer_client as client;
 pub use slicer_combinat as combinat;
 pub use slicer_core as core;
 pub use slicer_cost as cost;
@@ -33,11 +34,13 @@ pub use slicer_experiments as experiments;
 pub use slicer_lifecycle as lifecycle;
 pub use slicer_metrics as metrics;
 pub use slicer_model as model;
+pub use slicer_net as net;
 pub use slicer_storage as storage;
 pub use slicer_workloads as workloads;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use slicer_client::{Client, ClientConfig, ClientError, ClientStats};
     pub use slicer_core::{
         Advisor, AdvisorSession, AutoPart, BruteForce, Budget, BudgetPool, HillClimb, Hyrise,
         Navathe, PartitionRequest, SessionStats, Trojan, O2P,
@@ -51,5 +54,6 @@ pub mod prelude {
         AttrId, AttrKind, AttrSet, Attribute, ModelError, Partitioning, Query, SlidingWorkload,
         TableSchema, Workload,
     };
+    pub use slicer_net::{ErrorCode, Server, ServerConfig, ServerHandle};
     pub use slicer_workloads::{ssb, tpch, Benchmark};
 }

@@ -1,0 +1,434 @@
+//! End-to-end wire serving: a real TCP server over a [`TableFleet`],
+//! driven by the retrying client, held to in-process oracles.
+//!
+//! * every scan served over the wire is bit-identical (checksum,
+//!   `bytes_read`, `io_seconds`) to `scan_naive_snapshot` on the same
+//!   table;
+//! * ingest round-trips durably and idempotently;
+//! * typed errors — unknown table, invalid query, malformed batch — come
+//!   back as typed wire errors and leave the connection usable
+//!   (regression for the `ModelError::UnknownTable` satellite);
+//! * deadline-aware grants refuse work the disk model says cannot meet
+//!   its deadline; admission control sheds with `Overloaded`;
+//! * the slow-query log is exposed over the wire with correct
+//!   threshold/eviction accounting;
+//! * scans keep flowing (and stay correct) while the fleet lock is held
+//!   by advise rounds.
+
+use slicer::client::{Client, ClientConfig, ClientError};
+use slicer::cost::HddCostModel;
+use slicer::lifecycle::{FleetConfig, TableFleet, TableManager, TableManagerConfig};
+use slicer::model::{AttrKind, AttrSet, Partitioning, Query, TableSchema};
+use slicer::net::{ErrorCode, Request, Server, ServerConfig, ServerHandle};
+use slicer::storage::{
+    generate_table, scan_naive_snapshot, CompressionPolicy, IngestBatch, StoredTable,
+};
+use slicer_core::HillClimb;
+use std::time::Duration;
+
+fn schema(name: &str, rows: u64) -> TableSchema {
+    TableSchema::builder(name, rows)
+        .attr("K", 4, AttrKind::Int)
+        .attr("V", 8, AttrKind::Decimal)
+        .attr("D", 4, AttrKind::Date)
+        .attr("C", 12, AttrKind::Text)
+        .build()
+        .expect("valid schema")
+}
+
+fn fleet() -> TableFleet {
+    let mut fleet = TableFleet::new(FleetConfig::default());
+    for (name, rows, seed) in [("alpha", 300usize, 7u64), ("beta", 180, 11)] {
+        let s = schema(name, rows as u64);
+        let data = generate_table(&s, rows, seed);
+        let table = StoredTable::load(
+            &s,
+            &data,
+            &Partitioning::row(&s),
+            CompressionPolicy::Default,
+        );
+        fleet.add_table(
+            name,
+            TableManager::new(
+                table,
+                Box::new(HillClimb::new()),
+                HddCostModel::paper_testbed(),
+                TableManagerConfig::default(),
+            ),
+        );
+    }
+    fleet
+}
+
+fn spawn(cfg: ServerConfig) -> ServerHandle {
+    Server::spawn(fleet(), cfg).expect("bind on loopback")
+}
+
+fn client(handle: &ServerHandle, cfg: ClientConfig) -> Client {
+    Client::connect(handle.addr(), cfg)
+}
+
+fn query(name: &str, attrs: &[usize]) -> Query {
+    Query::new(name, attrs.iter().copied().collect::<AttrSet>())
+}
+
+/// In-process oracle for `table` as the server currently stores it.
+fn oracle(handle: &ServerHandle, table: &str, referenced: AttrSet) -> (u64, u64, u64) {
+    handle.with_fleet(|fleet| {
+        let target = fleet.scan_target(table).expect("table registered");
+        let snapshot = target.table.snapshot();
+        let r = scan_naive_snapshot(&snapshot, referenced, &target.disk);
+        (r.checksum, r.bytes_read, snapshot.generation)
+    })
+}
+
+#[test]
+fn wire_scans_are_bit_identical_to_the_in_process_oracle() {
+    let handle = spawn(ServerConfig::default());
+    let mut c = client(&handle, ClientConfig::default());
+    for (table, q) in [
+        ("alpha", query("q-kv", &[0, 1])),
+        ("alpha", query("q-all", &[0, 1, 2, 3])),
+        ("beta", query("q-k", &[0])),
+        ("beta", query("q-dc", &[2, 3])),
+    ] {
+        let (checksum, bytes_read, generation) = oracle(&handle, table, q.referenced);
+        let reply = c.scan(table, &q).expect("scan over the wire");
+        assert_eq!(reply.checksum, checksum, "{table}/{}", q.name);
+        assert_eq!(reply.bytes_read, bytes_read, "{table}/{}", q.name);
+        assert_eq!(reply.generation, generation);
+    }
+    assert_eq!(c.stats().retries, 0, "clean serving path never retries");
+    let stats = handle.stats();
+    assert_eq!(stats.scans_ok, 4);
+    assert_eq!(stats.typed_errors, 0);
+    // Serve metrics reached the fleet's window/bookkeeping.
+    let fleet_queries = handle.with_fleet(|f| f.stats().queries);
+    assert_eq!(fleet_queries, 4);
+    handle.shutdown();
+}
+
+#[test]
+fn ingest_round_trips_durably_and_scans_see_it() {
+    let handle = spawn(ServerConfig::default());
+    let mut c = client(&handle, ClientConfig::default());
+    let s = schema("alpha", 300);
+    let batch = IngestBatch {
+        appends: Some(generate_table(&s, 23, 99)),
+        deletes: vec![1, 250],
+    };
+    let reply = c.ingest("alpha", &batch).expect("ingest over the wire");
+    assert_eq!(reply.rows_appended, 23);
+    assert_eq!(reply.rows_deleted, 2);
+    assert!(!reply.deduped);
+    assert_eq!(reply.delta_rows, 23);
+
+    // Offline oracle: same base data, same batch, in process.
+    let data = generate_table(&s, 300, 7);
+    let oracle_table = StoredTable::load(
+        &s,
+        &data,
+        &Partitioning::row(&s),
+        CompressionPolicy::Default,
+    );
+    oracle_table
+        .ingest(&batch, &HddCostModel::paper_testbed().params())
+        .expect("oracle ingest");
+    let q = query("after-ingest", &[0, 1, 2, 3]);
+    let want = scan_naive_snapshot(
+        &oracle_table.snapshot(),
+        q.referenced,
+        &HddCostModel::paper_testbed().params(),
+    );
+    let got = c.scan("alpha", &q).expect("scan after ingest");
+    assert_eq!(got.checksum, want.checksum, "ingest visible to scans");
+    handle.shutdown();
+}
+
+#[test]
+fn typed_errors_are_typed_and_the_connection_stays_usable() {
+    let handle = spawn(ServerConfig::default());
+    let mut c = client(&handle, ClientConfig::default());
+
+    // Unknown table — ModelError::UnknownTable as a typed wire error.
+    let err = c.scan("nope", &query("q", &[0])).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ClientError::Server {
+                code: ErrorCode::UnknownTable,
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+
+    // Invalid query: attribute 200 does not exist on a 4-attribute table.
+    let err = c.scan("alpha", &query("wide", &[0, 200])).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ClientError::Server {
+                code: ErrorCode::InvalidQuery,
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+
+    // Schema-invalid batch (3 columns against a 4-attribute schema).
+    let wrong_schema = TableSchema::builder("w", 10)
+        .attr("A", 4, AttrKind::Int)
+        .attr("B", 4, AttrKind::Int)
+        .attr("C", 4, AttrKind::Int)
+        .build()
+        .unwrap();
+    let bad = IngestBatch::append(generate_table(&wrong_schema, 5, 1));
+    let err = c.ingest("alpha", &bad).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ClientError::Server {
+                code: ErrorCode::InvalidBatch,
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+
+    // Ingest routed to an unknown table.
+    let s = schema("alpha", 300);
+    let ok_batch = IngestBatch::append(generate_table(&s, 3, 2));
+    let err = c.ingest("missing", &ok_batch).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ClientError::Server {
+                code: ErrorCode::UnknownTable,
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+
+    // None of the above were transport failures: zero retries, zero
+    // reconnects — the same connection keeps serving.
+    assert_eq!(c.stats().retries, 0);
+    assert_eq!(c.stats().reconnects, 0);
+    let q = query("still-works", &[0, 1]);
+    let (want, _, _) = oracle(&handle, "alpha", q.referenced);
+    assert_eq!(c.scan("alpha", &q).unwrap().checksum, want);
+
+    // A byte-garbage batch (undecodable, not merely schema-mismatched)
+    // must also answer typed and keep the connection: drive the raw
+    // protocol on one stream.
+    use std::io::{Read, Write};
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    raw.write_all(&slicer::net::encode_request(
+        5,
+        &Request::Ingest {
+            table: "alpha".into(),
+            client_id: 999,
+            sequence: 1,
+            deadline_micros: 0,
+            batch: vec![0xFF; 40],
+        },
+    ))
+    .unwrap();
+    let mut fb = slicer::net::FrameBuffer::new();
+    let mut buf = [0u8; 4096];
+    let env = loop {
+        let n = raw.read(&mut buf).unwrap();
+        assert!(n > 0, "server closed instead of answering typed");
+        fb.extend(&buf[..n]);
+        if let Some(env) = fb.next_frame().unwrap() {
+            break env;
+        }
+    };
+    assert_eq!(env.request_id, 5);
+    match env.msg {
+        slicer::net::Message::Response(slicer::net::Response::Error { code, .. }) => {
+            assert_eq!(code, ErrorCode::InvalidBatch)
+        }
+        other => panic!("expected typed InvalidBatch, got {other:?}"),
+    }
+    // Same raw connection still serves.
+    raw.write_all(&slicer::net::encode_request(6, &Request::Stats))
+        .unwrap();
+    let env = loop {
+        let n = raw.read(&mut buf).unwrap();
+        assert!(n > 0);
+        fb.extend(&buf[..n]);
+        if let Some(env) = fb.next_frame().unwrap() {
+            break env;
+        }
+    };
+    assert_eq!(env.request_id, 6);
+    assert!(matches!(
+        env.msg,
+        slicer::net::Message::Response(slicer::net::Response::StatsOk(_))
+    ));
+    handle.shutdown();
+}
+
+#[test]
+fn deadline_aware_grants_refuse_unmeetable_work() {
+    let handle = spawn(ServerConfig::default());
+    // 2 ms budget: the paper-testbed disk model prices any real scan at
+    // several milliseconds (one seek alone is 4.84 ms), so the grant must
+    // refuse — no cycles on an answer the client would abandon.
+    let mut c = client(
+        &handle,
+        ClientConfig {
+            deadline: Some(Duration::from_millis(2)),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            ..ClientConfig::default()
+        },
+    );
+    let err = c.scan("alpha", &query("tight", &[0, 1, 2, 3])).unwrap_err();
+    match err {
+        // The usual outcome: the server's grant said no, typed.
+        ClientError::Server {
+            code: ErrorCode::DeadlineExceeded,
+            ..
+        } => {
+            assert!(handle.stats().shed_deadline >= 1);
+        }
+        // On a slow machine the budget can die in transit — also a
+        // correct deadline outcome, just client-side.
+        ClientError::DeadlineExceeded { .. } => {}
+        other => panic!("expected a deadline refusal, got {other:?}"),
+    }
+    // A client with a generous deadline is served normally (deadline is
+    // propagated, not just dropped).
+    let mut ok = client(
+        &handle,
+        ClientConfig {
+            deadline: Some(Duration::from_secs(30)),
+            ..ClientConfig::default()
+        },
+    );
+    let q = query("roomy", &[0, 1]);
+    let (want, _, _) = oracle(&handle, "alpha", q.referenced);
+    assert_eq!(ok.scan("alpha", &q).unwrap().checksum, want);
+    handle.shutdown();
+}
+
+#[test]
+fn admission_control_sheds_with_overloaded_and_retry_after() {
+    // A zero admission bound sheds every scan: the client must see typed
+    // Overloaded frames (not hangs, not closes), honor retry_after, and
+    // eventually give up cleanly.
+    let handle = spawn(ServerConfig {
+        admission_max_io_seconds: 0.0,
+        ..ServerConfig::default()
+    });
+    let mut c = client(
+        &handle,
+        ClientConfig {
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(5),
+            ..ClientConfig::default()
+        },
+    );
+    let err = c.scan("alpha", &query("shed-me", &[0])).unwrap_err();
+    match err {
+        ClientError::RetriesExhausted {
+            attempts,
+            last_error,
+        } => {
+            assert_eq!(attempts, 3);
+            assert!(last_error.contains("shed"), "{last_error}");
+        }
+        other => panic!("expected exhaustion through sheds, got {other:?}"),
+    }
+    assert_eq!(c.stats().overloaded, 3, "every attempt was shed, typed");
+    assert_eq!(c.stats().reconnects, 0, "sheds keep the connection");
+    let stats = handle.stats();
+    assert_eq!(stats.shed_overload, 3);
+    assert_eq!(stats.scans_ok, 0);
+    // Ingest does not go through scan admission: the write path still
+    // accepts work while the read path sheds.
+    let s = schema("alpha", 300);
+    let batch = IngestBatch::append(generate_table(&s, 4, 3));
+    assert!(c.ingest("alpha", &batch).is_ok());
+    handle.shutdown();
+}
+
+#[test]
+fn slow_query_log_thresholds_evicts_and_travels_the_wire() {
+    let handle = spawn(ServerConfig {
+        // Threshold zero: every scan is "slow". Capacity two: the third
+        // scan evicts the first.
+        slow_query_threshold: Duration::ZERO,
+        slow_log_capacity: 2,
+        ..ServerConfig::default()
+    });
+    let mut c = client(&handle, ClientConfig::default());
+    for name in ["s0", "s1", "s2"] {
+        c.scan("alpha", &query(name, &[0, 1])).unwrap();
+    }
+    let stats = c.server_stats().expect("stats over the wire");
+    assert_eq!(stats.slow_queries_recorded, 3);
+    assert_eq!(stats.slow_queries_evicted, 1);
+    let names: Vec<&str> = stats
+        .slow_queries
+        .iter()
+        .map(|r| r.query.as_str())
+        .collect();
+    assert_eq!(names, vec!["s1", "s2"], "ring keeps the newest");
+    for r in &stats.slow_queries {
+        assert_eq!(r.table, "alpha");
+        assert!(r.bytes_read > 0);
+        assert!(r.deadline_slack_micros.is_none());
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn scans_keep_flowing_while_advise_rounds_hold_the_fleet_lock() {
+    let handle = spawn(ServerConfig::default());
+    let q = query("under-pressure", &[0, 1, 2]);
+    let (want, _, _) = oracle(&handle, "alpha", q.referenced);
+    let addr = handle.addr();
+    std::thread::scope(|s| {
+        let scanner = s.spawn(move || {
+            let mut c = Client::connect(addr, ClientConfig::default());
+            for _ in 0..40 {
+                let reply = c.scan("alpha", &q).expect("scan during advise pressure");
+                assert_eq!(reply.checksum, want, "scan correct under advise pressure");
+            }
+            c.stats()
+        });
+        // Hammer the fleet lock from the control plane the whole time.
+        for _ in 0..10 {
+            handle.with_fleet(|fleet| {
+                fleet.advise_round();
+            });
+        }
+        let stats = scanner.join().expect("scanner thread");
+        assert_eq!(stats.retries, 0, "scans never waited on the fleet lock");
+    });
+    let fleet = handle.shutdown();
+    // Every served scan was folded into the fleet's bookkeeping.
+    assert_eq!(fleet.stats().queries, 40);
+}
+
+#[test]
+fn shutdown_returns_the_fleet_ready_to_be_served_again() {
+    let handle = spawn(ServerConfig::default());
+    let mut c = client(&handle, ClientConfig::default());
+    let q = query("before", &[0, 1]);
+    let first = c.scan("alpha", &q).unwrap();
+    let fleet = handle.shutdown();
+    // Re-serve the SAME fleet on a fresh port; data and bookkeeping are
+    // intact.
+    let handle2 = Server::spawn(fleet, ServerConfig::default()).unwrap();
+    let mut c2 = client(&handle2, ClientConfig::default());
+    let again = c2.scan("alpha", &q).unwrap();
+    assert_eq!(again.checksum, first.checksum);
+    let fleet = handle2.shutdown();
+    assert_eq!(fleet.stats().queries, 2);
+}
