@@ -58,7 +58,7 @@
 use crate::traits::CostModel;
 use parking_lot::Mutex;
 use rayon::prelude::*;
-use slicer_model::{AttrSet, Partitioning, TableSchema, Workload};
+use slicer_model::{AttrSet, Partitioning, QueryPrune, TableSchema, Workload};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -198,6 +198,14 @@ pub struct CostEvaluator<'a> {
     workload: &'a Workload,
     /// `(referenced, weight)` per query, in workload order.
     queries: Vec<(AttrSet, f64)>,
+    /// Per-query pruning hint ([`Query::prune_hint`]); `Some` routes the
+    /// query through [`CostModel::query_groups_cost_pruned`] and off every
+    /// cache whose key does not capture prune state (the sized-cost memo,
+    /// the HDD kernel, the patch cache). Predicate-less queries — `None`
+    /// here — keep the exact pre-predicate fast paths bit-for-bit.
+    ///
+    /// [`Query::prune_hint`]: slicer_model::Query::prune_hint
+    prunes: Vec<Option<QueryPrune>>,
     /// Current groups, canonical order (ascending smallest attribute).
     groups: Vec<AttrSet>,
     /// `group_sizes[g] == schema.set_size(groups[g])`, maintained through
@@ -284,6 +292,11 @@ impl<'a> CostEvaluator<'a> {
             .iter()
             .map(|q| (q.referenced, q.weight))
             .collect();
+        let prunes: Vec<Option<QueryPrune>> = workload
+            .queries()
+            .iter()
+            .map(|q| q.prune_hint(schema.row_count()))
+            .collect();
         let mut groups = initial.to_vec();
         groups.sort_by_key(|g| g.min_attr());
         let mut ev = CostEvaluator {
@@ -291,6 +304,7 @@ impl<'a> CostEvaluator<'a> {
             schema,
             workload,
             queries,
+            prunes,
             groups,
             group_sizes: Vec::new(),
             group_blocks: Vec::new(),
@@ -460,6 +474,29 @@ impl<'a> CostEvaluator<'a> {
             // When the model prices sizes alone (HDD), the group list is
             // skipped and the read total is fused into the patch walk.
             let mut inserted = false;
+            if let Some(prune) = &self.prunes[qi] {
+                // Pruned queries need group identity (driver membership),
+                // so the sized kernels don't apply: patch the group list
+                // and price through the pruned seam.
+                for &g in &self.query_reads[qi] {
+                    let g = g as usize;
+                    if g == lo || g == hi {
+                        continue;
+                    }
+                    if !inserted && g > lo {
+                        read_g.push(union);
+                        inserted = true;
+                    }
+                    read_g.push(self.groups[g]);
+                }
+                if !inserted {
+                    read_g.push(union);
+                }
+                return weight
+                    * self
+                        .model
+                        .query_groups_cost_pruned(self.schema, read_g, referenced, prune);
+            }
             if let Some(hdd) = &self.hdd {
                 read_b.clear();
                 let mut total_ref = 0u64;
@@ -611,8 +648,11 @@ impl<'a> CostEvaluator<'a> {
                 // sized-only models). Identity-dependent models (main
                 // memory) must recompute — their costs differ for equal
                 // sizes, so cached entries would collide.
-                let use_cache =
-                    (self.hdd.is_some() || self.sizes_only) && qlen <= PATCH_CACHE_MAX_READS;
+                // Pruned queries also bypass the cache: slots + sizes
+                // don't capture which groups hold predicate drivers.
+                let use_cache = (self.hdd.is_some() || self.sizes_only)
+                    && qlen <= PATCH_CACHE_MAX_READS
+                    && self.prunes[qi].is_none();
                 for (k, info) in infos.iter().enumerate() {
                     let aff_lo = mask.contains(info.lo as usize);
                     let aff_hi = mask.contains(info.hi as usize);
@@ -743,15 +783,25 @@ impl<'a> CostEvaluator<'a> {
                 total += if referenced.intersects(affected) {
                     read_g.clear();
                     read_s.clear();
+                    let prune = &self.prunes[qi];
+                    let need_groups = !self.sizes_only || prune.is_some();
                     for (g, &s) in cand.iter().zip(&cand_sizes) {
                         if g.intersects(referenced) {
-                            if !self.sizes_only {
+                            if need_groups {
                                 read_g.push(*g);
                             }
                             read_s.push(s);
                         }
                     }
-                    if self.sizes_only {
+                    if let Some(prune) = prune {
+                        weight
+                            * self.model.query_groups_cost_pruned(
+                                self.schema,
+                                read_g,
+                                referenced,
+                                prune,
+                            )
+                    } else if self.sizes_only {
                         weight * self.memoized_sizes_cost(read_s, referenced)
                     } else {
                         weight
@@ -820,9 +870,20 @@ impl<'a> CostEvaluator<'a> {
                     }
                 }
                 self.per_query[qi] = weight
-                    * self
-                        .model
-                        .query_groups_cost_sized(self.schema, read_g, read_s, referenced);
+                    * match &self.prunes[qi] {
+                        Some(prune) => self.model.query_groups_cost_pruned(
+                            self.schema,
+                            read_g,
+                            referenced,
+                            prune,
+                        ),
+                        None => self.model.query_groups_cost_sized(
+                            self.schema,
+                            read_g,
+                            read_s,
+                            referenced,
+                        ),
+                    };
             }
         });
         self.total = self.per_query.iter().sum();
@@ -840,12 +901,21 @@ impl<'a> CostEvaluator<'a> {
         self.workload
             .queries()
             .iter()
-            .map(|q| {
+            .zip(&self.prunes)
+            .map(|(q, prune)| {
                 let read: Vec<AttrSet> = p.referenced_partitions(q.referenced).copied().collect();
                 q.weight
-                    * self
-                        .model
-                        .query_groups_cost(self.schema, &read, q.referenced)
+                    * match prune {
+                        Some(pr) => self.model.query_groups_cost_pruned(
+                            self.schema,
+                            &read,
+                            q.referenced,
+                            pr,
+                        ),
+                        None => self
+                            .model
+                            .query_groups_cost(self.schema, &read, q.referenced),
+                    }
             })
             .sum()
     }
@@ -886,12 +956,20 @@ impl<'a> CostEvaluator<'a> {
                         }
                     }
                     per_query[qi] = weight
-                        * self.model.query_groups_cost_sized(
-                            self.schema,
-                            read_g,
-                            read_s,
-                            referenced,
-                        );
+                        * match &self.prunes[qi] {
+                            Some(prune) => self.model.query_groups_cost_pruned(
+                                self.schema,
+                                read_g,
+                                referenced,
+                                prune,
+                            ),
+                            None => self.model.query_groups_cost_sized(
+                                self.schema,
+                                read_g,
+                                read_s,
+                                referenced,
+                            ),
+                        };
                 }
             });
             self.per_query = per_query;
@@ -1112,6 +1190,87 @@ mod tests {
         ev.commit_move(&[gi], &[c, d]);
         let p2 = ev.partitioning();
         assert_eq!(ev.total().to_bits(), m.workload_cost(&t, &p2, &w).to_bits());
+    }
+
+    #[test]
+    fn pruned_queries_stay_exact_and_price_isolation_cheaper() {
+        use slicer_model::{Literal, PredClause, PredOp, Predicate};
+        let t = TableSchema::builder("T", 800_000)
+            .attr("A", 4, AttrKind::Int)
+            .attr("B", 4, AttrKind::Int)
+            .attr("C", 8, AttrKind::Decimal)
+            .attr("D", 199, AttrKind::Text)
+            .build()
+            .unwrap();
+        let a = t.attr_id("A").unwrap();
+        let selective = Predicate::new(vec![PredClause::new(a, PredOp::Eq, Literal::int(7))])
+            .with_kept_fraction(1e-3);
+        let queries = |pred: Option<Predicate>| {
+            let mut q1 = Query::new("q1", t.attr_set(&["A", "C", "D"]).unwrap());
+            if let Some(p) = pred {
+                q1 = q1.with_predicate(p);
+            }
+            vec![
+                q1,
+                Query::weighted("q2", t.attr_set(&["C", "D"]).unwrap(), 2.0),
+            ]
+        };
+        let w = Workload::with_queries(&t, queries(Some(selective.clone()))).unwrap();
+        let m = HddCostModel::paper_testbed();
+        let col = Partitioning::column(&t);
+        // Every evaluator path must stay bit-identical to the naive
+        // workload_cost when predicates are present.
+        let mut ev = CostEvaluator::new(&m, &t, &w, col.partitions(), false);
+        assert_eq!(
+            ev.total().to_bits(),
+            m.workload_cost(&t, &col, &w).to_bits()
+        );
+        let pairs = [(0usize, 1usize), (0, 2), (0, 3), (2, 3)];
+        let batched = ev.merge_costs(&pairs, false);
+        for (k, &(i, j)) in pairs.iter().enumerate() {
+            let naive = m.workload_cost(&t, &col.merged(i, j), &w);
+            assert_eq!(ev.merge_cost(i, j).to_bits(), naive.to_bits(), "({i},{j})");
+            assert_eq!(batched[k].to_bits(), naive.to_bits(), "batched ({i},{j})");
+        }
+        ev.commit_merge(2, 3);
+        let p = ev.partitioning();
+        assert_eq!(ev.total().to_bits(), m.workload_cost(&t, &p, &w).to_bits());
+
+        // Skip-aware pricing: a layout isolating the selective driver A
+        // must cost strictly less than with skipping priced at zero
+        // (kept_fraction = 1.0 → no prune hint), because the non-driver
+        // groups shrink to the surviving rows.
+        let w_zero = Workload::with_queries(&t, queries(None)).unwrap();
+        let isolating = Partitioning::new(
+            &t,
+            vec![
+                t.attr_set(&["A"]).unwrap(),
+                t.attr_set(&["B"]).unwrap(),
+                t.attr_set(&["C", "D"]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let priced = m.workload_cost(&t, &isolating, &w);
+        let flat = m.workload_cost(&t, &isolating, &w_zero);
+        assert!(priced < flat, "skip-aware {priced} vs zero-skip {flat}");
+        // And among candidate layouts the skip-aware model now prefers the
+        // isolating one where the zero-skip model is indifferent-or-worse.
+        let merged_ac = Partitioning::new(
+            &t,
+            vec![
+                t.attr_set(&["A", "C", "D"]).unwrap(),
+                t.attr_set(&["B"]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let aware_gap = m.workload_cost(&t, &merged_ac, &w) - m.workload_cost(&t, &isolating, &w);
+        let zero_gap =
+            m.workload_cost(&t, &merged_ac, &w_zero) - m.workload_cost(&t, &isolating, &w_zero);
+        assert!(
+            aware_gap > zero_gap,
+            "isolating the driver should pay off more under skip-aware \
+             pricing: aware {aware_gap} vs zero {zero_gap}"
+        );
     }
 
     #[test]

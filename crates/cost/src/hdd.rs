@@ -22,7 +22,7 @@
 
 use crate::params::DiskParams;
 use crate::traits::CostModel;
-use slicer_model::{AttrSet, Partitioning, TableSchema, Workload};
+use slicer_model::{AttrSet, Partitioning, QueryPrune, TableSchema, Workload};
 
 /// Exact unsigned division by a fixed divisor via multiply-high — several
 /// times the throughput of hardware `div` for the repeated divisions the
@@ -287,6 +287,35 @@ impl CostModel for HddCostModel {
         self.sized_read_cost(schema.row_count(), sizes, sizes.iter().sum())
     }
 
+    fn query_groups_cost_pruned(
+        &self,
+        schema: &TableSchema,
+        read: &[AttrSet],
+        referenced: AttrSet,
+        prune: &QueryPrune,
+    ) -> f64 {
+        let _ = referenced;
+        let rows = schema.row_count();
+        let total_ref: u64 = read.iter().map(|s| schema.set_size(*s)).sum();
+        if total_ref == 0 {
+            return 0.0;
+        }
+        // Select-then-fetch: driver groups are decoded in full to evaluate
+        // the predicate; every other group only fetches the surviving rows.
+        // The buffer split still divides by the query's full referenced
+        // width (the co-scan holds every group's stream open).
+        read.iter()
+            .map(|s| {
+                let r = if s.intersects(prune.drivers) {
+                    rows
+                } else {
+                    prune.kept_rows.min(rows)
+                };
+                self.partition_cost(r, schema.set_size(*s), total_ref)
+            })
+            .sum()
+    }
+
     fn as_hdd(&self) -> Option<HddCostModel> {
         Some(*self)
     }
@@ -307,7 +336,7 @@ impl CostModel for HddCostModel {
 pub struct HddWorkloadEvaluator {
     model: HddCostModel,
     rows: u64,
-    queries: Vec<(AttrSet, f64)>,
+    queries: Vec<(AttrSet, f64, Option<QueryPrune>)>,
 }
 
 impl HddWorkloadEvaluator {
@@ -319,7 +348,7 @@ impl HddWorkloadEvaluator {
             queries: workload
                 .queries()
                 .iter()
-                .map(|q| (q.referenced, q.weight))
+                .map(|q| (q.referenced, q.weight, q.prune_hint(schema.row_count())))
                 .collect(),
         }
     }
@@ -330,7 +359,7 @@ impl HddWorkloadEvaluator {
     #[inline]
     pub fn cost(&self, groups: &[(AttrSet, u64)]) -> f64 {
         let mut total = 0.0;
-        for &(q, weight) in &self.queries {
+        for &(q, weight, ref prune) in &self.queries {
             let mut ref_size = 0u64;
             for &(g, s) in groups {
                 if g.intersects(q) {
@@ -343,7 +372,13 @@ impl HddWorkloadEvaluator {
             let mut qc = 0.0;
             for &(g, s) in groups {
                 if g.intersects(q) {
-                    qc += self.model.partition_cost(self.rows, s, ref_size);
+                    // Same select-then-fetch rule as the trait path: only
+                    // non-driver groups shrink to the surviving rows.
+                    let rows = match prune {
+                        Some(p) if !g.intersects(p.drivers) => p.kept_rows.min(self.rows),
+                        _ => self.rows,
+                    };
+                    qc += self.model.partition_cost(rows, s, ref_size);
                 }
             }
             total += weight * qc;

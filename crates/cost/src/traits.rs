@@ -1,6 +1,6 @@
 //! The cost-model abstraction every advisor optimizes against.
 
-use slicer_model::{AttrSet, Partitioning, Query, TableSchema, Workload};
+use slicer_model::{AttrSet, Partitioning, Query, QueryPrune, TableSchema, Workload};
 use std::cell::RefCell;
 
 /// Estimates the I/O cost of queries against vertically partitioned tables.
@@ -69,6 +69,30 @@ pub trait CostModel: Send + Sync {
         self.query_groups_cost(schema, read, referenced)
     }
 
+    /// [`CostModel::query_groups_cost`] for a query whose predicate is
+    /// expected to skip storage: `prune` carries the estimated surviving
+    /// row count and the predicate's driver attributes (see
+    /// [`Query::prune_hint`]).
+    ///
+    /// The pricing contract mirrors the executor's select-then-fetch byte
+    /// accounting: groups holding a predicate driver are read in full
+    /// (residual evaluation decodes them entirely), every other group is
+    /// charged as if it held only `prune.kept_rows` rows, and the buffer
+    /// split (`total_ref`) is unchanged. The default prices skipping at
+    /// zero — models that don't understand pruning keep their exact
+    /// pre-predicate behavior — so a layout that isolates a selective
+    /// column only looks cheaper to models that override this.
+    fn query_groups_cost_pruned(
+        &self,
+        schema: &TableSchema,
+        read: &[AttrSet],
+        referenced: AttrSet,
+        prune: &QueryPrune,
+    ) -> f64 {
+        let _ = prune;
+        self.query_groups_cost(schema, read, referenced)
+    }
+
     /// The concrete HDD model, if that is what this model is. The
     /// incremental evaluator's hottest loop (pairwise-merge scans) runs
     /// through a statically dispatched, fully inlinable kernel when the
@@ -107,7 +131,12 @@ pub trait CostModel: Send + Sync {
                     .referenced_partitions(query.referenced)
                     .copied(),
             );
-            self.query_groups_cost(schema, &read, query.referenced)
+            match query.prune_hint(schema.row_count()) {
+                Some(prune) => {
+                    self.query_groups_cost_pruned(schema, &read, query.referenced, &prune)
+                }
+                None => self.query_groups_cost(schema, &read, query.referenced),
+            }
         })
     }
 

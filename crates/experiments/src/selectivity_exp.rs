@@ -122,6 +122,83 @@ mod tests {
         assert_eq!(r.tables[0].rows.last().unwrap()[3], "indifferent");
     }
 
+    /// The analytic sweep above claims isolation pays only below a
+    /// selectivity threshold. Assert the same flip on the *real*
+    /// predicate-scan path: a stored table with the selection attribute
+    /// isolated reads far fewer bytes than the merged layout at
+    /// sub-permille selectivity (zone maps prune the projection file),
+    /// and reads the same bytes once the predicate keeps everything —
+    /// and the skip-aware cost model agrees with the measurement.
+    #[test]
+    fn threshold_claim_holds_on_the_real_scan_path() {
+        use slicer_cost::CostModel;
+        use slicer_model::{Literal, Partitioning, PredClause, PredOp, Predicate, Query};
+        use slicer_storage::{generate_table, scan_naive_query, CompressionPolicy, StoredTable};
+
+        let rows = 40_000usize;
+        let schema = TableSchema::builder("L", rows as u64)
+            .attr("Sigma", 4, AttrKind::Date)
+            .attr("Proj", 24, AttrKind::Decimal)
+            .build()
+            .expect("valid schema");
+        let data = generate_table(&schema, rows, 11);
+        let sigma = schema.attr_id("Sigma").unwrap();
+        let isolated_layout = Partitioning::column(&schema);
+        let merged_layout = Partitioning::row(&schema);
+        let isolated = StoredTable::load(&schema, &data, &isolated_layout, CompressionPolicy::None);
+        let merged = StoredTable::load(&schema, &data, &merged_layout, CompressionPolicy::None);
+        let disk = DiskParams::paper_testbed();
+
+        // Generated dates trend upward with the row index, so an equality
+        // is sub-permille and lands in one narrow band of chunks.
+        let tiny = Predicate::new(vec![PredClause::new(
+            sigma,
+            PredOp::Eq,
+            Literal::date(1263),
+        )]);
+        let everything = Predicate::new(vec![PredClause::new(sigma, PredOp::Ge, Literal::date(0))]);
+        let bytes = |table: &StoredTable, pred: &Predicate| -> u64 {
+            let q = Query::new("sel", schema.all_attrs()).with_predicate(pred.clone());
+            let exec = slicer_storage::ScanExecutor::new(table);
+            let got = exec.scan_query(&q, &disk);
+            let oracle = scan_naive_query(table, &q, &disk);
+            assert_eq!(
+                got.checksum, oracle.checksum,
+                "pruned scan must match oracle"
+            );
+            got.bytes_read
+        };
+        // Below the threshold: isolation pays on measured bytes (the σ file
+        // is scanned fully, the projection file shrinks with the kept rows).
+        assert!(
+            bytes(&merged, &tiny) as f64 >= 2.0 * bytes(&isolated, &tiny) as f64,
+            "sub-permille predicate must make isolation pay on real bytes read"
+        );
+        // At selectivity 1.0: indifferent — same bytes either way.
+        assert_eq!(bytes(&isolated, &everything), bytes(&merged, &everything));
+
+        // And the advisors' shared cost model sees the same flip through
+        // the measured skip probability.
+        let model = HddCostModel::new(DiskParams::paper_testbed());
+        let stamped = |pred: &Predicate, table: &StoredTable| -> Query {
+            let kept = table.prune_fraction(pred);
+            Query::new("sel", schema.all_attrs())
+                .with_predicate(pred.clone().with_kept_fraction(kept))
+        };
+        let tiny_q = stamped(&tiny, &isolated);
+        assert!(
+            model.query_cost(&schema, &isolated_layout, &tiny_q)
+                < model.query_cost(&schema, &merged_layout, &tiny_q),
+            "skip-aware pricing must favor isolating σ below the threshold"
+        );
+        let all_q = stamped(&everything, &isolated);
+        assert!(
+            model.query_cost(&schema, &isolated_layout, &all_q)
+                >= model.query_cost(&schema, &merged_layout, &all_q) * 0.99,
+            "with nothing to skip the layouts must price (near-)indifferent"
+        );
+    }
+
     #[test]
     fn full_sweep_flips_near_paper_threshold() {
         let r = selectivity(&Config::paper());

@@ -58,8 +58,7 @@ pub(crate) fn drain_batch<R>(
                         }
                         let t = routed[i];
                         let snapshot = tables[t].snapshot();
-                        let r =
-                            executors[t].scan_snapshot(&snapshot, queries[i].referenced, &disks[t]);
+                        let r = executors[t].scan_query_snapshot(&snapshot, &queries[i], &disks[t]);
                         out.push((i, (r, snapshot)));
                     }
                     // Per-worker finish time: the drain is over when the

@@ -23,14 +23,37 @@ mod attrset;
 #[allow(missing_docs)]
 mod error;
 mod partitioning;
+mod predicate;
 mod schema;
 mod workload;
 
 pub use attrset::{AttrId, AttrSet, AttrSetIter};
 pub use error::ModelError;
 pub use partitioning::Partitioning;
+pub use predicate::{Literal, PredClause, PredOp, Predicate, QueryPrune};
 pub use schema::{AttrKind, Attribute, TableSchema, TableSchemaBuilder};
 pub use workload::{Query, SlidingWorkload, Workload};
+
+// AttrId is serialized as its bare index, matching AttrSet's
+// list-of-indices form.
+impl serde::Serialize for AttrId {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.0.serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for AttrId {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let i = u16::deserialize(deserializer)?;
+        if (i as usize) >= AttrSet::CAPACITY {
+            return Err(serde::de::Error::custom(format!(
+                "attribute index {i} exceeds capacity {}",
+                AttrSet::CAPACITY
+            )));
+        }
+        Ok(AttrId(i))
+    }
+}
 
 // AttrSet is serialized as the list of member indices to stay readable in
 // JSON experiment dumps.

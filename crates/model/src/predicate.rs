@@ -1,0 +1,298 @@
+//! Conjunctive scan predicates: the selectivity a workload carries.
+//!
+//! The paper's unified setting describes queries purely by their referenced
+//! attribute sets; its Section 7 side-note observes that *selection*
+//! attributes only change the layout decision when they are selective
+//! enough to make a select-then-fetch plan win. A [`Predicate`] makes that
+//! selectivity explicit: a conjunction of `attr op literal` clauses
+//! (equality and range) attached to a [`crate::Query`], plus the measured
+//! or estimated fraction of rows it keeps.
+//!
+//! The storage layer consults predicates to *skip* column chunks whose
+//! zone maps / bloom filters prove no row can match; the cost layer
+//! consults [`Query::prune_hint`](crate::Query::prune_hint) to price the
+//! bytes a pruning scan still has to read. Pure projections (no predicate)
+//! are unchanged bit-for-bit on every path.
+//!
+//! Representation notes: clauses are named-field structs and `PredOp` is a
+//! unit-variant enum so the whole tree serializes through the workspace's
+//! minimal serde derive. Ranges are spelled as `Le`/`Ge` clauses on the
+//! same attribute (`lo ≤ a ≤ hi` is two clauses), which keeps the clause
+//! grammar to exactly `attr op literal`.
+
+use crate::attrset::{AttrId, AttrSet};
+use crate::error::ModelError;
+use crate::schema::{AttrKind, TableSchema};
+use serde::{Deserialize, Serialize};
+
+/// Comparison operator of one predicate clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredOp {
+    /// `attr == literal`.
+    Eq,
+    /// `attr <= literal`.
+    Le,
+    /// `attr >= literal`.
+    Ge,
+}
+
+/// A typed constant compared against a column.
+///
+/// One struct covers all four [`AttrKind`]s: numeric kinds carry their
+/// value in `num` (`Int`/`Date` as the `i32` domain widened to `i64`,
+/// `Decimal` as `i64`), text carries it in `text`. The unused field stays
+/// at its default and is ignored by comparisons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Literal {
+    /// Which attribute kind this literal compares against.
+    pub kind: AttrKind,
+    /// Numeric payload (`Int`/`Date`/`Decimal`).
+    pub num: i64,
+    /// Text payload (`Text`), compared after trailing-space trimming —
+    /// the storage layer's canonical text form.
+    pub text: String,
+}
+
+impl Literal {
+    /// Integer literal.
+    pub fn int(v: i32) -> Literal {
+        Literal {
+            kind: AttrKind::Int,
+            num: v as i64,
+            text: String::new(),
+        }
+    }
+
+    /// Date literal (days since the generator epoch, the `i32` domain).
+    pub fn date(v: i32) -> Literal {
+        Literal {
+            kind: AttrKind::Date,
+            num: v as i64,
+            text: String::new(),
+        }
+    }
+
+    /// Decimal literal (fixed-point `i64`, the storage representation).
+    pub fn decimal(v: i64) -> Literal {
+        Literal {
+            kind: AttrKind::Decimal,
+            num: v,
+            text: String::new(),
+        }
+    }
+
+    /// Text literal; trailing spaces are trimmed to match the storage
+    /// layer's canonical (space-padded on disk, trimmed in memory) form.
+    pub fn text(v: impl Into<String>) -> Literal {
+        let mut s: String = v.into();
+        while s.ends_with(' ') {
+            s.pop();
+        }
+        Literal {
+            kind: AttrKind::Text,
+            num: 0,
+            text: s,
+        }
+    }
+}
+
+/// One conjunct: `attr op literal`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredClause {
+    /// The compared attribute.
+    pub attr: AttrId,
+    /// The comparison operator.
+    pub op: PredOp,
+    /// The constant side.
+    pub value: Literal,
+}
+
+impl PredClause {
+    /// Build a clause.
+    pub fn new(attr: AttrId, op: PredOp, value: Literal) -> PredClause {
+        PredClause { attr, op, value }
+    }
+}
+
+/// A conjunction of clauses plus the fraction of rows it keeps.
+///
+/// `kept_fraction` is the *selectivity estimate the cost layer prices*:
+/// the expected fraction of rows surviving the conjunction, in `[0, 1]`.
+/// It does not affect scan results (the storage layer evaluates the
+/// clauses exactly); `1.0` means "price skipping at zero", which keeps a
+/// predicate query's cost identical to its pure-projection cost — the
+/// conservative default.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// The conjuncts; all must hold for a row to qualify.
+    pub clauses: Vec<PredClause>,
+    /// Estimated fraction of rows kept, in `[0, 1]` (`1.0` = price
+    /// skipping at zero).
+    pub kept_fraction: f64,
+}
+
+impl Predicate {
+    /// A conjunction with skipping priced at zero (`kept_fraction` 1).
+    pub fn new(clauses: Vec<PredClause>) -> Predicate {
+        Predicate {
+            clauses,
+            kept_fraction: 1.0,
+        }
+    }
+
+    /// Same clauses with an explicit kept-fraction estimate.
+    pub fn with_kept_fraction(mut self, kept_fraction: f64) -> Predicate {
+        self.kept_fraction = kept_fraction;
+        self
+    }
+
+    /// The set of attributes any clause compares — the scan's *driver*
+    /// columns (read in full to evaluate the predicate).
+    pub fn attrs(&self) -> AttrSet {
+        self.clauses
+            .iter()
+            .fold(AttrSet::EMPTY, |acc, c| acc.union(AttrSet::single(c.attr)))
+    }
+
+    /// Validate against a schema and the owning query's referenced set:
+    /// every clause attribute must be referenced by the query, literal
+    /// kinds must match their attribute's kind, and `kept_fraction` must
+    /// be a finite number in `[0, 1]`.
+    pub fn validate(
+        &self,
+        schema: &TableSchema,
+        query: &str,
+        referenced: AttrSet,
+    ) -> Result<(), ModelError> {
+        if self.clauses.is_empty() {
+            return Err(ModelError::Unsupported {
+                reason: format!("query `{query}` carries a predicate with no clauses"),
+            });
+        }
+        for c in &self.clauses {
+            if !referenced.contains(c.attr.index()) {
+                return Err(ModelError::QueryOutOfRange {
+                    query: query.to_string(),
+                    table: schema.name().to_string(),
+                });
+            }
+            let kind = schema.attribute(c.attr).kind;
+            if c.value.kind != kind {
+                return Err(ModelError::Unsupported {
+                    reason: format!(
+                        "query `{query}`: clause on attribute {} compares a {:?} literal \
+                         against a {kind:?} column",
+                        c.attr.index(),
+                        c.value.kind
+                    ),
+                });
+            }
+        }
+        if !(self.kept_fraction.is_finite() && (0.0..=1.0).contains(&self.kept_fraction)) {
+            return Err(ModelError::Unsupported {
+                reason: format!(
+                    "query `{query}`: kept_fraction {} outside [0, 1]",
+                    self.kept_fraction
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What the cost layer needs to price a pruning scan: how many rows the
+/// predicate is expected to keep and which columns drive the filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryPrune {
+    /// Expected qualifying rows (`ceil(kept_fraction × rows)`, ≤ rows).
+    pub kept_rows: u64,
+    /// The predicate's driver attributes: partitions intersecting these
+    /// are read in full; others only fetch the qualifying fraction.
+    pub drivers: AttrSet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+
+    fn schema() -> TableSchema {
+        TableSchema::builder("T", 100)
+            .attr("A", 4, AttrKind::Int)
+            .attr("B", 8, AttrKind::Decimal)
+            .attr("C", 4, AttrKind::Date)
+            .attr("D", 20, AttrKind::Text)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn attrs_unions_clause_attributes() {
+        let s = schema();
+        let a = s.attr_id("A").unwrap();
+        let c = s.attr_id("C").unwrap();
+        let p = Predicate::new(vec![
+            PredClause::new(a, PredOp::Eq, Literal::int(7)),
+            PredClause::new(c, PredOp::Ge, Literal::date(100)),
+            PredClause::new(c, PredOp::Le, Literal::date(200)),
+        ]);
+        let mut want = AttrSet::EMPTY;
+        want.insert(a.index());
+        want.insert(c.index());
+        assert_eq!(p.attrs(), want);
+    }
+
+    #[test]
+    fn validate_accepts_well_typed_conjunctions() {
+        let s = schema();
+        let d = s.attr_id("D").unwrap();
+        let p = Predicate::new(vec![PredClause::new(d, PredOp::Eq, Literal::text("AIR"))])
+            .with_kept_fraction(0.25);
+        let referenced = s.all_attrs();
+        assert!(p.validate(&s, "q", referenced).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_kind_mismatch() {
+        let s = schema();
+        let d = s.attr_id("D").unwrap();
+        let p = Predicate::new(vec![PredClause::new(d, PredOp::Eq, Literal::int(7))]);
+        assert!(matches!(
+            p.validate(&s, "q", s.all_attrs()),
+            Err(ModelError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_unreferenced_driver() {
+        let s = schema();
+        let a = s.attr_id("A").unwrap();
+        let p = Predicate::new(vec![PredClause::new(a, PredOp::Eq, Literal::int(1))]);
+        // Query references only B.
+        let referenced = AttrSet::single(s.attr_id("B").unwrap());
+        assert!(matches!(
+            p.validate(&s, "q", referenced),
+            Err(ModelError::QueryOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_fraction_and_empty_conjunction() {
+        let s = schema();
+        let a = s.attr_id("A").unwrap();
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let p = Predicate::new(vec![PredClause::new(a, PredOp::Eq, Literal::int(1))])
+                .with_kept_fraction(bad);
+            assert!(p.validate(&s, "q", s.all_attrs()).is_err(), "{bad}");
+        }
+        assert!(Predicate::new(vec![])
+            .validate(&s, "q", s.all_attrs())
+            .is_err());
+    }
+
+    #[test]
+    fn text_literals_trim_trailing_padding() {
+        assert_eq!(Literal::text("AIR   ").text, "AIR");
+        assert_eq!(Literal::text("AIR").text, "AIR");
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::attrset::AttrSet;
 use crate::error::ModelError;
+use crate::predicate::{Predicate, QueryPrune};
 use crate::schema::TableSchema;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -23,6 +24,10 @@ pub struct Query {
     /// Relative frequency of the query in the workload. The paper weighs all
     /// 22 TPC-H queries equally (weight 1).
     pub weight: f64,
+    /// Optional conjunctive selection predicate (see [`Predicate`]).
+    /// `None` — the historical pure projection — leaves every scan and
+    /// cost path bit-for-bit unchanged.
+    pub predicate: Option<Predicate>,
 }
 
 impl Query {
@@ -32,6 +37,7 @@ impl Query {
             name: name.into(),
             referenced,
             weight: 1.0,
+            predicate: None,
         }
     }
 
@@ -41,12 +47,38 @@ impl Query {
             name: name.into(),
             referenced,
             weight,
+            predicate: None,
         }
     }
 
+    /// Attach a selection predicate (builder style).
+    pub fn with_predicate(mut self, predicate: Predicate) -> Self {
+        self.predicate = Some(predicate);
+        self
+    }
+
+    /// What the cost layer should price for this query over a table of
+    /// `rows` rows: `None` for pure projections *and* for predicates whose
+    /// `kept_fraction` is 1 (skipping priced at zero) — both take the
+    /// historical costing path untouched. Otherwise the expected kept rows
+    /// (at least 1; a scan always touches something) and the predicate's
+    /// driver attributes.
+    pub fn prune_hint(&self, rows: u64) -> Option<QueryPrune> {
+        let p = self.predicate.as_ref()?;
+        if p.kept_fraction >= 1.0 {
+            return None;
+        }
+        let kept = (p.kept_fraction * rows as f64).ceil() as u64;
+        Some(QueryPrune {
+            kept_rows: kept.clamp(1, rows.max(1)),
+            drivers: p.attrs(),
+        })
+    }
+
     /// Check this query fits `schema`: a non-empty reference set within
-    /// the table's attributes and a positive finite weight — the same
-    /// validation [`Workload::push_validated`] applies.
+    /// the table's attributes, a positive finite weight, and a well-typed
+    /// predicate over referenced attributes — the same validation
+    /// [`Workload::push_validated`] applies.
     pub fn validate(&self, schema: &TableSchema) -> Result<(), ModelError> {
         if self.referenced.is_empty() {
             return Err(ModelError::EmptyQuery {
@@ -64,6 +96,9 @@ impl Query {
                 query: self.name.clone(),
                 weight: self.weight,
             });
+        }
+        if let Some(p) = &self.predicate {
+            p.validate(schema, &self.name, self.referenced)?;
         }
         Ok(())
     }
@@ -498,6 +533,50 @@ mod tests {
         }
         // Fully shifted: every attribute's access fraction changed by 1.
         assert_eq!(last, 1.0);
+    }
+
+    #[test]
+    fn predicate_queries_validate_and_hint() {
+        use crate::predicate::{Literal, PredClause, PredOp, Predicate};
+        let s = schema();
+        let a = s.attr_id("A").unwrap();
+        let q = Query::new("sel", s.attr_set(&["A", "C"]).unwrap()).with_predicate(
+            Predicate::new(vec![PredClause::new(a, PredOp::Eq, Literal::int(7))])
+                .with_kept_fraction(0.01),
+        );
+        let mut w = Workload::new();
+        w.push_validated(&s, q.clone()).unwrap();
+        let hint = q.prune_hint(1000).expect("selective predicate hints");
+        assert_eq!(hint.kept_rows, 10);
+        assert_eq!(hint.drivers, AttrSet::single(a));
+        // kept_fraction 1.0 prices as a pure projection.
+        let flat =
+            Query::new("flat", s.attr_set(&["A"]).unwrap()).with_predicate(Predicate::new(vec![
+                PredClause::new(a, PredOp::Eq, Literal::int(7)),
+            ]));
+        assert!(flat.prune_hint(1000).is_none());
+        assert!(Query::new("p", s.attr_set(&["A"]).unwrap())
+            .prune_hint(1000)
+            .is_none());
+        // Tiny fractions keep at least one row.
+        let tiny = q
+            .clone()
+            .with_predicate(q.predicate.clone().unwrap().with_kept_fraction(1e-12));
+        assert_eq!(tiny.prune_hint(1000).unwrap().kept_rows, 1);
+    }
+
+    #[test]
+    fn predicate_validation_failures_surface_through_push() {
+        use crate::predicate::{Literal, PredClause, PredOp, Predicate};
+        let s = schema();
+        let a = s.attr_id("A").unwrap();
+        // Driver outside the referenced set.
+        let q =
+            Query::new("sel", s.attr_set(&["B"]).unwrap()).with_predicate(Predicate::new(vec![
+                PredClause::new(a, PredOp::Eq, Literal::int(7)),
+            ]));
+        let mut w = Workload::new();
+        assert!(w.push_validated(&s, q).is_err());
     }
 
     #[test]

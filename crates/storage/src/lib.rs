@@ -17,7 +17,11 @@
 //! * [`executor`] — the vectorized [`executor::ScanExecutor`]: a shared
 //!   (`&self`) scan entry point with pooled per-thread scratch, explicit
 //!   cold/warm decode-cache modes, rayon-parallel decode across
-//!   partitions, blocked tuple reconstruction;
+//!   partitions, blocked tuple reconstruction — and predicate scans that
+//!   skip chunks the pruning metadata proves empty of matches;
+//! * [`prune`] — chunk-granular zone maps + bloom filters, built at
+//!   encode time, persisted with the partition files, consulted by the
+//!   executor to skip blocks and by the cost layer to price the skip;
 //! * [`snapshot`] — the lock-free [`snapshot::SnapshotCell`] behind the
 //!   engine's atomically-swappable file sets;
 //! * [`engine`] — immutable [`engine::TableSnapshot`] partition files over
@@ -44,6 +48,7 @@ pub mod data;
 pub mod delta;
 pub mod engine;
 pub mod executor;
+pub mod prune;
 pub mod snapshot;
 pub mod wal;
 
@@ -52,9 +57,11 @@ pub use compress::{decode, default_codec, encode, Codec, EncodedColumn};
 pub use data::{generate_table, generate_table_seq, ColumnData, TableData};
 pub use delta::{decode_ingest_batch, encode_ingest_batch, DeltaBatch, DeltaState, IngestBatch};
 pub use engine::{
-    scan_naive, scan_naive_snapshot, CompressionPolicy, IngestStats, PartitionFile,
-    RepartitionStats, ScanResult, StoredTable, TableSnapshot,
+    scan_naive, scan_naive_query, scan_naive_query_snapshot, scan_naive_snapshot,
+    CompressionPolicy, IngestStats, PartitionFile, RepartitionStats, ScanResult, StoredTable,
+    TableSnapshot,
 };
-pub use executor::{scan, CacheMode, ScanExecutor};
+pub use executor::{scan, scan_query, CacheMode, ScanExecutor};
+pub use prune::{ChunkStats, ColumnPrune, CHUNK_ROWS};
 pub use snapshot::SnapshotCell;
 pub use wal::{crc32, RecoveryReport, TornTail, WalRecord};

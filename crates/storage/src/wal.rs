@@ -36,6 +36,7 @@ use crate::compress::{Codec, EncodedColumn};
 use crate::data::TableData;
 use crate::delta::{decode_table_data, encode_table_data, take_bytes, take_u32, take_u64};
 use crate::engine::{CompressionPolicy, PartitionFile};
+use crate::prune::{ChunkStats, ColumnPrune};
 use bytes::Bytes;
 use slicer_model::{AttrId, AttrSet};
 use std::fmt;
@@ -290,7 +291,10 @@ impl fmt::Display for RecoveryReport {
 
 const MANIFEST_MAGIC: &[u8; 4] = b"SLCM";
 const PART_MAGIC: &[u8; 4] = b"SLCP";
-const FORMAT_VERSION: u32 = 1;
+// Version 2 appends per-segment pruning metadata (zone maps + bloom
+// filters) to the partition-file image, so recovery reopens a table with
+// its block-skipping stats intact instead of rebuilding or losing them.
+const FORMAT_VERSION: u32 = 2;
 
 /// The decoded manifest: the durable root from which a table reopens.
 #[derive(Debug, Clone, PartialEq)]
@@ -442,6 +446,19 @@ pub(crate) fn encode_partition_file(file: &PartitionFile) -> Vec<u8> {
         payload.extend_from_slice(&(seg.dict_bytes.len() as u64).to_le_bytes());
         payload.extend_from_slice(&seg.dict_bytes);
     }
+    // Pruning metadata, one run of chunk stats per segment, in segment
+    // order: fixed-width records (min, max, 4 bloom words) so the decoder
+    // never has to trust a length it cannot bound.
+    for prune in &file.prune {
+        payload.extend_from_slice(&(prune.chunks.len() as u64).to_le_bytes());
+        for c in &prune.chunks {
+            payload.extend_from_slice(&c.min_key.to_le_bytes());
+            payload.extend_from_slice(&c.max_key.to_le_bytes());
+            for w in c.bloom {
+                payload.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+    }
     frame(PART_MAGIC, payload)
 }
 
@@ -479,6 +496,30 @@ pub(crate) fn decode_partition_file(bytes: &[u8]) -> Result<PartitionFile, Stora
             },
         ));
     }
+    let mut prune = Vec::with_capacity(n);
+    for si in 0..n {
+        let count = take_u64(&mut buf)? as usize;
+        if count > buf.len() / (16 + 32) {
+            return Err(StorageError::Corrupt(format!(
+                "partition file: implausible chunk count {count} for segment {si}"
+            )));
+        }
+        let mut chunks = Vec::with_capacity(count);
+        for _ in 0..count {
+            let min_key = take_u64(&mut buf)? as i64;
+            let max_key = take_u64(&mut buf)? as i64;
+            let mut bloom = [0u64; 4];
+            for w in &mut bloom {
+                *w = take_u64(&mut buf)?;
+            }
+            chunks.push(ChunkStats {
+                min_key,
+                max_key,
+                bloom,
+            });
+        }
+        prune.push(ColumnPrune { chunks });
+    }
     if !buf.is_empty() {
         return Err(StorageError::Corrupt(
             "partition file: trailing bytes".into(),
@@ -488,6 +529,7 @@ pub(crate) fn decode_partition_file(bytes: &[u8]) -> Result<PartitionFile, Stora
         attrs,
         segments,
         rows,
+        prune,
     })
 }
 
@@ -651,12 +693,14 @@ mod tests {
                 (AttrId(2), encode(&col, Codec::Dictionary)),
             ],
             rows: 3,
+            prune: vec![ColumnPrune::build(&ints), ColumnPrune::build(&col)],
         };
         let bytes = encode_partition_file(&file);
         let back = decode_partition_file(&bytes).unwrap();
         assert_eq!(back.attrs, file.attrs);
         assert_eq!(back.rows, file.rows);
         assert_eq!(back.segments.len(), 2);
+        assert_eq!(back.prune, file.prune, "pruning metadata must persist");
         for ((a1, s1), (a2, s2)) in file.segments.iter().zip(&back.segments) {
             assert_eq!(a1, a2);
             assert_eq!(s1.codec, s2.codec);
