@@ -155,6 +155,10 @@ pub struct ScanReply {
     pub io_seconds: f64,
     /// Measured decode CPU seconds.
     pub cpu_seconds: f64,
+    /// The kept-row fraction the server re-stamped from its own pruning
+    /// metadata (1.0 for predicate-less scans). Always the server's
+    /// measurement — the estimate carried in the request is discarded.
+    pub kept_fraction: f64,
     /// Snapshot generation the scan pinned.
     pub generation: u64,
 }
@@ -239,6 +243,14 @@ impl Client {
 
     /// Scan `table` with `query`, retrying until a result, a final typed
     /// error, or exhaustion.
+    ///
+    /// A [`Query`] carrying a predicate ships it on the wire: the server
+    /// validates the conjunction against its live schema, re-stamps
+    /// `kept_fraction` from its own pruning metadata (the estimate in
+    /// `query.predicate` is never trusted), prunes the scan, and prices
+    /// admission on the pruned cost. Retries re-send the identical
+    /// request — scans are read-only, so predicated scans stay as
+    /// blind-retryable as pure projections.
     pub fn scan(&mut self, table: &str, query: &Query) -> Result<ScanReply, ClientError> {
         let attrs: Vec<u16> = query.referenced.iter().map(|a| a.index() as u16).collect();
         let template = Request::Scan {
@@ -246,6 +258,7 @@ impl Client {
             query_name: query.name.clone(),
             weight: query.weight,
             attrs,
+            predicate: query.predicate.clone(),
             deadline_micros: 0,
         };
         match self.roundtrip(template)? {
@@ -254,12 +267,14 @@ impl Client {
                 bytes_read,
                 io_seconds,
                 cpu_seconds,
+                kept_fraction,
                 generation,
             } => Ok(ScanReply {
                 checksum,
                 bytes_read,
                 io_seconds,
                 cpu_seconds,
+                kept_fraction,
                 generation,
             }),
             other => Err(unexpected(other)),
@@ -528,6 +543,7 @@ mod tests {
             query_name: "q".into(),
             weight: 1.0,
             attrs: vec![0],
+            predicate: None,
             deadline_micros: 0,
         };
         let stamped = with_deadline(&template, Some(Duration::from_millis(3)));

@@ -6,22 +6,38 @@
 //! controller shedding with typed `Overloaded {retry_after}` frames and
 //! zero hangs.
 //!
+//! The run also records a **predicate selectivity sweep** over a
+//! ShipDate-isolating layout: remote scans carrying predicates of
+//! decreasing selectivity, each checksum-checked against the
+//! predicate-filtered `scan_naive_query` oracle, with wire `bytes_read`
+//! compared against the predicate-free wire path (the pre-predicate
+//! baseline). The run fails (exit 1) unless the ≤1e-3-selectivity point
+//! reads at least 5x fewer bytes than the bare projection, and unless a
+//! mid-bound admission drill admits the selective query that a
+//! skip-blind cost bound would have shed as a full scan.
+//!
 //! ```text
-//! net_bench [--rows N] [--queries N] [--out FILE]
+//! net_bench [--rows N] [--queries N] [--prune-rows N] [--out FILE]
 //! ```
 //!
-//! Defaults: 10 000 rows, 240 scans per connection count,
-//! `BENCH_net.json`.
+//! Defaults: 10 000 rows (throughput), 122 880 rows (sweep), 240 scans
+//! per connection count, `BENCH_net.json`.
 
 use serde::Serialize;
 use slicer_client::{Client, ClientConfig};
 use slicer_core::HillClimb;
-use slicer_cost::HddCostModel;
+use slicer_cost::{CostModel, HddCostModel};
 use slicer_experiments::{write_report, BenchStamp};
 use slicer_lifecycle::{FleetConfig, TableFleet, TableManager, TableManagerConfig};
-use slicer_model::{AttrKind, AttrSet, Partitioning, Query, TableSchema};
+use slicer_model::{
+    AttrId, AttrKind, AttrSet, Literal, Partitioning, PredClause, PredOp, Predicate, Query,
+    TableSchema,
+};
 use slicer_net::{Server, ServerConfig, ServerHandle};
-use slicer_storage::{generate_table, scan_naive_snapshot, CompressionPolicy, StoredTable};
+use slicer_storage::{
+    generate_table, scan_naive_query_snapshot, scan_naive_snapshot, ColumnData, CompressionPolicy,
+    StoredTable,
+};
 use std::time::{Duration, Instant};
 
 const TABLE: &str = "lineorder";
@@ -63,6 +79,46 @@ struct OverloadDrill {
 }
 
 #[derive(Debug, Serialize)]
+struct SelectivityPoint {
+    /// Human form of the predicate, e.g. `ShipDate <= 126`.
+    predicate: String,
+    /// Qualifying rows over total rows, counted on the generated data.
+    selectivity: f64,
+    /// Server-stamped fraction of rows surviving chunk-level pruning.
+    kept_fraction: f64,
+    /// Bytes the predicated wire scan reported reading.
+    wire_bytes: u64,
+    /// Bytes the predicate-free wire scan of the same projection read.
+    baseline_bytes: u64,
+    /// `baseline_bytes / wire_bytes` — the wire-visible pruning win.
+    bytes_ratio: f64,
+    /// Wire checksum matched the predicate-filtered naive oracle.
+    checksum_ok: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct SkipAwareAdmission {
+    /// Bound placed strictly between the pruned and full modeled costs.
+    admission_max_io_seconds: f64,
+    full_cost_io_seconds: f64,
+    pruned_cost_io_seconds: f64,
+    /// The bare projection was shed (it prices over the bound).
+    bare_projection_shed: bool,
+    /// The selective query was admitted on its pruned cost — a
+    /// skip-blind controller would have shed it as a full scan.
+    selective_admitted: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct PruneSweep {
+    rows: usize,
+    /// Layout under test: the predicate driver isolated in its own group.
+    layout: String,
+    points: Vec<SelectivityPoint>,
+    admission: SkipAwareAdmission,
+}
+
+#[derive(Debug, Serialize)]
 struct NetReport {
     benchmark: String,
     stamp: BenchStamp,
@@ -73,6 +129,7 @@ struct NetReport {
     inprocess_qps: Vec<InProcessPoint>,
     wire: Vec<WireThroughput>,
     overload: OverloadDrill,
+    prune_sweep: PruneSweep,
     notes: String,
 }
 
@@ -245,6 +302,190 @@ fn overload_drill(fleet: TableFleet) -> (OverloadDrill, TableFleet) {
     )
 }
 
+/// The predicate selectivity sweep plus the skip-aware admission drill,
+/// on a ShipDate-isolating, fixed-width (dictionary) layout. Returns the
+/// sweep record and whether every enforced gate held.
+fn prune_sweep(rows: usize) -> (PruneSweep, bool) {
+    let s = schema(rows);
+    let data = generate_table(&s, rows, 2013);
+    let ship: Vec<i32> = match &data.columns[4] {
+        ColumnData::Date(v) => v.clone(),
+        other => panic!("ShipDate must generate as dates, got {other:?}"),
+    };
+    // Isolate the driver: every other attribute lands in one wide group
+    // whose bytes a kept-chunks fetch can actually skip (fixed-width
+    // dictionary codes keep rows individually addressable).
+    let isolating = Partitioning::new(
+        &s,
+        vec![
+            s.attr_set(&["ShipDate"]).expect("driver attrs"),
+            s.attr_set(&["OrderKey", "Quantity", "Revenue", "Discount", "Comment"])
+                .expect("rest attrs"),
+        ],
+    )
+    .expect("isolating layout");
+    let table = StoredTable::load(&s, &data, &isolating, CompressionPolicy::Dictionary);
+    let mut fleet = TableFleet::new(FleetConfig::default());
+    fleet.add_table(
+        TABLE,
+        TableManager::new(
+            table,
+            Box::new(HillClimb::new()),
+            HddCostModel::paper_testbed(),
+            TableManagerConfig::default(),
+        ),
+    );
+
+    let full = Query::new("sweep-full", (0usize..6).collect::<AttrSet>());
+    let clause = |op: PredOp, date: i32| {
+        Predicate::new(vec![PredClause::new(AttrId(4), op, Literal::date(date))])
+    };
+    let selectivity_of = |p: &Predicate| {
+        let c = &p.clauses[0];
+        let hits = ship
+            .iter()
+            .filter(|&&d| match c.op {
+                PredOp::Le => i64::from(d) <= c.value.num,
+                PredOp::Ge => i64::from(d) >= c.value.num,
+                PredOp::Eq => i64::from(d) == c.value.num,
+            })
+            .count();
+        hits as f64 / rows as f64
+    };
+    let cases: Vec<(String, Predicate)> = vec![
+        ("ShipDate <= 1263".into(), clause(PredOp::Le, 1263)),
+        ("ShipDate <= 126".into(), clause(PredOp::Le, 126)),
+        // One date value out of ~2526: the permille-class point the
+        // exit gate enforces the 5x byte cut on.
+        ("ShipDate = 1800".into(), clause(PredOp::Eq, 1800)),
+    ];
+
+    let handle = Server::spawn(fleet, ServerConfig::default()).expect("bind loopback");
+    let mut c = Client::connect(
+        handle.addr(),
+        ClientConfig {
+            client_id: 900,
+            ..ClientConfig::default()
+        },
+    );
+    // The pre-predicate wire path: same projection, no predicate.
+    let (baseline_want, _, _) = {
+        let referenced = full.referenced;
+        handle.with_fleet(|fleet| {
+            let target = fleet.scan_target(TABLE).expect("registered");
+            let snapshot = target.table.snapshot();
+            let r = scan_naive_snapshot(&snapshot, referenced, &target.disk);
+            (r.checksum, r.bytes_read, snapshot.generation)
+        })
+    };
+    let baseline = c.scan(TABLE, &full).expect("baseline wire scan");
+    let mut all_ok = baseline.checksum == baseline_want;
+    let baseline_bytes = baseline.bytes_read;
+
+    let mut points = Vec::new();
+    let mut permille_gate_seen = false;
+    for (label, p) in &cases {
+        let q = full.clone().with_predicate(p.clone());
+        let want = handle.with_fleet(|fleet| {
+            let target = fleet.scan_target(TABLE).expect("registered");
+            scan_naive_query_snapshot(&target.table.snapshot(), &q, &target.disk).checksum
+        });
+        let reply = c.scan(TABLE, &q).expect("predicated wire scan");
+        let checksum_ok = reply.checksum == want;
+        all_ok &= checksum_ok;
+        let selectivity = selectivity_of(p);
+        let bytes_ratio = baseline_bytes as f64 / reply.bytes_read.max(1) as f64;
+        if selectivity <= 1e-3 {
+            permille_gate_seen = true;
+            all_ok &= bytes_ratio >= 5.0;
+        }
+        eprintln!(
+            "  sweep {label}: selectivity {selectivity:.6}, kept {:.4}, {} B vs {} B baseline ({bytes_ratio:.1}x), checksums {}",
+            reply.kept_fraction,
+            reply.bytes_read,
+            baseline_bytes,
+            if checksum_ok { "ok" } else { "MISMATCH" }
+        );
+        points.push(SelectivityPoint {
+            predicate: label.clone(),
+            selectivity,
+            kept_fraction: reply.kept_fraction,
+            wire_bytes: reply.bytes_read,
+            baseline_bytes,
+            bytes_ratio,
+            checksum_ok,
+        });
+    }
+    all_ok &= permille_gate_seen;
+    let fleet = handle.shutdown();
+
+    // Skip-aware admission: bound strictly between the pruned and full
+    // modeled costs. A skip-blind controller prices the selective query
+    // at full-scan cost and sheds both; ours must shed only the bare
+    // projection.
+    let selective = full
+        .clone()
+        .with_predicate(cases.last().expect("cases").1.clone());
+    let model = HddCostModel::paper_testbed();
+    let (full_cost, pruned_cost) = {
+        let target = fleet.scan_target(TABLE).expect("registered");
+        let snapshot = target.table.snapshot();
+        let full_cost = model.query_cost(&target.table.schema, &snapshot.layout, &full);
+        let kept = snapshot.prune_fraction(selective.predicate.as_ref().expect("predicate"));
+        let stamped = full.clone().with_predicate(
+            selective
+                .predicate
+                .clone()
+                .expect("predicate")
+                .with_kept_fraction(kept),
+        );
+        let pruned_cost = model.query_cost(&target.table.schema, &snapshot.layout, &stamped);
+        (full_cost, pruned_cost)
+    };
+    let bound = (full_cost + pruned_cost) / 2.0;
+    let handle = Server::spawn(
+        fleet,
+        ServerConfig {
+            admission_max_io_seconds: bound,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut c = Client::connect(
+        handle.addr(),
+        ClientConfig {
+            client_id: 901,
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            ..ClientConfig::default()
+        },
+    );
+    let bare_projection_shed = c.scan(TABLE, &full).is_err();
+    let selective_admitted = c.scan(TABLE, &selective).is_ok();
+    handle.shutdown();
+    eprintln!(
+        "  skip-aware admission @ {bound:.4}s: bare shed {bare_projection_shed}, selective admitted {selective_admitted} (full {full_cost:.4}s, pruned {pruned_cost:.4}s)"
+    );
+    all_ok &= bare_projection_shed && selective_admitted;
+
+    (
+        PruneSweep {
+            rows,
+            layout: "[ShipDate] | [OrderKey Quantity Revenue Discount Comment]".into(),
+            points,
+            admission: SkipAwareAdmission {
+                admission_max_io_seconds: bound,
+                full_cost_io_seconds: full_cost,
+                pruned_cost_io_seconds: pruned_cost,
+                bare_projection_shed,
+                selective_admitted,
+            },
+        },
+        all_ok,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let flag = |name: &str| {
@@ -259,6 +500,9 @@ fn main() {
     let total: usize = flag("--queries")
         .and_then(|v| v.parse().ok())
         .unwrap_or(240);
+    let prune_rows: usize = flag("--prune-rows")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(122_880);
     let out = flag("--out").unwrap_or_else(|| "BENCH_net.json".into());
     let conn_counts = [1usize, 2, 4, 8];
 
@@ -317,6 +561,11 @@ fn main() {
         overload.max_op_wall_seconds
     );
 
+    // Predicate selectivity sweep + skip-aware admission, on their own
+    // ShipDate-isolating fleet.
+    eprintln!("net_bench: selectivity sweep over {prune_rows} rows");
+    let (sweep, sweep_ok) = prune_sweep(prune_rows);
+
     let overload_ok =
         overload.overloaded_frames > 0 && overload.server_shed > 0 && overload.hangs == 0;
     let report = NetReport {
@@ -328,10 +577,14 @@ fn main() {
         inprocess_qps,
         wire,
         overload,
+        prune_sweep: sweep,
         notes: "wire = length-prefixed CRC frames over loopback TCP, thread-per-connection \
                 server, one in-flight request per connection; in-process = TableFleet::serve_batch \
                 at matching worker-thread count; overload drill = admission bound 0 so every scan \
-                sheds with a typed retry-after"
+                sheds with a typed retry-after; prune_sweep = predicated remote scans on a \
+                ShipDate-isolating dictionary layout, server-stamped kept_fraction, bytes vs the \
+                predicate-free wire path, plus an admission bound between the pruned and full \
+                modeled costs that must admit the selective query a skip-blind bound would shed"
             .into(),
     };
     write_report(&out, &report);
@@ -343,6 +596,13 @@ fn main() {
     }
     if !overload_ok {
         eprintln!("FAIL: overload drill did not shed cleanly (frames>0, shed>0, hangs==0)");
+        std::process::exit(1);
+    }
+    if !sweep_ok {
+        eprintln!(
+            "FAIL: selectivity sweep gate (checksums == oracle, >=5x fewer bytes at <=1e-3 \
+             selectivity, skip-aware admission admits the selective query)"
+        );
         std::process::exit(1);
     }
 }

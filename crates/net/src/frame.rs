@@ -31,6 +31,7 @@
 //! [`ErrorCode::InvalidBatch`] response while the connection stays
 //! usable.
 
+use slicer_model::{AttrId, AttrKind, Literal, PredClause, PredOp, Predicate};
 use slicer_storage::crc32;
 use std::fmt;
 
@@ -43,6 +44,11 @@ const MAX_STR_LEN: usize = 4096;
 
 /// Bound on the slow-query records one stats reply may carry.
 const MAX_SLOW_RECORDS: usize = 65_536;
+
+/// Bound on the conjuncts one scan predicate may carry — far above any
+/// real conjunction, low enough that a hostile frame cannot make the
+/// decoder allocate unboundedly.
+pub const MAX_PRED_CLAUSES: usize = 256;
 
 const REQ_SCAN: u8 = 0x01;
 const REQ_INGEST: u8 = 0x02;
@@ -163,7 +169,8 @@ impl fmt::Display for ErrorCode {
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Scan `table`, projecting the listed attribute ids.
+    /// Scan `table`, projecting the listed attribute ids, optionally
+    /// filtered by a conjunctive predicate.
     Scan {
         /// Routing key.
         table: String,
@@ -173,6 +180,14 @@ pub enum Request {
         weight: f64,
         /// Referenced attribute ids, ascending.
         attrs: Vec<u16>,
+        /// Optional conjunctive selection predicate. Every clause
+        /// attribute must appear in `attrs` (the predicate's drivers are
+        /// referenced columns), and the whole conjunction is validated
+        /// server-side against the live schema. The carried
+        /// `kept_fraction` is a client *estimate* and is never trusted:
+        /// the server re-stamps it from the table's own pruning metadata
+        /// before costing or recording the query.
+        predicate: Option<Predicate>,
         /// Remaining deadline budget at send time, µs; 0 = no deadline.
         deadline_micros: u64,
     },
@@ -214,6 +229,12 @@ pub struct SlowQueryRecord {
     /// means the query finished past its deadline; `None` for queries
     /// sent without a deadline.
     pub deadline_slack_micros: Option<i64>,
+    /// The *server-stamped* fraction of rows the scan's predicate kept
+    /// (from the table's own pruning metadata, never the client's
+    /// estimate); `None` for predicate-less scans. Together with
+    /// `bytes_read` this distinguishes "selective but mispriced" from
+    /// "genuinely big" slow queries.
+    pub kept_fraction: Option<f64>,
     /// Snapshot generation the scan pinned.
     pub generation: u64,
 }
@@ -263,6 +284,11 @@ pub enum Response {
         io_seconds: f64,
         /// Measured decode CPU seconds.
         cpu_seconds: f64,
+        /// The fraction of rows the server's pruning metadata kept for
+        /// this scan's predicate, re-stamped server-side from the live
+        /// table (1.0 for predicate-less scans) — the estimate the
+        /// admission controller actually priced.
+        kept_fraction: f64,
         /// Snapshot generation the scan pinned.
         generation: u64,
     },
@@ -367,6 +393,99 @@ fn take_str(buf: &mut &[u8]) -> Result<String, WireError> {
         .map_err(|_| WireError::Corrupt("non-UTF-8 string".into()))
 }
 
+// --- predicate wire form ----------------------------------------------
+//
+// `flag u8` (0 = absent, 1 = present); when present: `kept_fraction f64
+// bits | clause_count u16 | clauses…`, each clause `attr u16 | op u8 |
+// kind u8 | num i64 | text str`. Tags are explicit (not enum
+// discriminants) so the wire form is independent of model-crate layout.
+
+fn pred_op_tag(op: PredOp) -> u8 {
+    match op {
+        PredOp::Eq => 1,
+        PredOp::Le => 2,
+        PredOp::Ge => 3,
+    }
+}
+
+fn pred_op_from_tag(tag: u8) -> Result<PredOp, WireError> {
+    Ok(match tag {
+        1 => PredOp::Eq,
+        2 => PredOp::Le,
+        3 => PredOp::Ge,
+        other => return Err(WireError::Corrupt(format!("unknown predicate op {other}"))),
+    })
+}
+
+fn attr_kind_tag(kind: AttrKind) -> u8 {
+    match kind {
+        AttrKind::Int => 1,
+        AttrKind::Decimal => 2,
+        AttrKind::Date => 3,
+        AttrKind::Text => 4,
+    }
+}
+
+fn attr_kind_from_tag(tag: u8) -> Result<AttrKind, WireError> {
+    Ok(match tag {
+        1 => AttrKind::Int,
+        2 => AttrKind::Decimal,
+        3 => AttrKind::Date,
+        4 => AttrKind::Text,
+        other => return Err(WireError::Corrupt(format!("unknown literal kind {other}"))),
+    })
+}
+
+fn put_predicate(out: &mut Vec<u8>, predicate: Option<&Predicate>) {
+    let Some(p) = predicate else {
+        out.push(0);
+        return;
+    };
+    out.push(1);
+    out.extend_from_slice(&p.kept_fraction.to_bits().to_le_bytes());
+    out.extend_from_slice(&(p.clauses.len() as u16).to_le_bytes());
+    for c in &p.clauses {
+        out.extend_from_slice(&c.attr.0.to_le_bytes());
+        out.push(pred_op_tag(c.op));
+        out.push(attr_kind_tag(c.value.kind));
+        out.extend_from_slice(&c.value.num.to_le_bytes());
+        put_str(out, &c.value.text);
+    }
+}
+
+fn take_predicate(buf: &mut &[u8]) -> Result<Option<Predicate>, WireError> {
+    match take_u8(buf)? {
+        0 => Ok(None),
+        1 => {
+            let kept_fraction = take_f64(buf)?;
+            let n = take_u16(buf)? as usize;
+            if n > MAX_PRED_CLAUSES {
+                return Err(WireError::Corrupt(format!(
+                    "implausible predicate clause count {n}"
+                )));
+            }
+            let mut clauses = Vec::with_capacity(n);
+            for _ in 0..n {
+                let attr = AttrId(take_u16(buf)?);
+                let op = pred_op_from_tag(take_u8(buf)?)?;
+                let kind = attr_kind_from_tag(take_u8(buf)?)?;
+                let num = i64::from_le_bytes(take_bytes(buf, 8)?.try_into().unwrap());
+                let text = take_str(buf)?;
+                clauses.push(PredClause {
+                    attr,
+                    op,
+                    value: Literal { kind, num, text },
+                });
+            }
+            Ok(Some(Predicate {
+                clauses,
+                kept_fraction,
+            }))
+        }
+        other => Err(WireError::Corrupt(format!("bad predicate flag {other}"))),
+    }
+}
+
 // --- encoding ---------------------------------------------------------
 
 fn encode_body(request_id: u64, msg: &Message, body: &mut Vec<u8>) {
@@ -377,6 +496,7 @@ fn encode_body(request_id: u64, msg: &Message, body: &mut Vec<u8>) {
             query_name,
             weight,
             attrs,
+            predicate,
             deadline_micros,
         }) => {
             body.push(REQ_SCAN);
@@ -387,6 +507,7 @@ fn encode_body(request_id: u64, msg: &Message, body: &mut Vec<u8>) {
             for a in attrs {
                 body.extend_from_slice(&a.to_le_bytes());
             }
+            put_predicate(body, predicate.as_ref());
             body.extend_from_slice(&deadline_micros.to_le_bytes());
         }
         Message::Request(Request::Ingest {
@@ -410,6 +531,7 @@ fn encode_body(request_id: u64, msg: &Message, body: &mut Vec<u8>) {
             bytes_read,
             io_seconds,
             cpu_seconds,
+            kept_fraction,
             generation,
         }) => {
             body.push(RESP_SCAN);
@@ -417,6 +539,7 @@ fn encode_body(request_id: u64, msg: &Message, body: &mut Vec<u8>) {
             body.extend_from_slice(&bytes_read.to_le_bytes());
             body.extend_from_slice(&io_seconds.to_bits().to_le_bytes());
             body.extend_from_slice(&cpu_seconds.to_bits().to_le_bytes());
+            body.extend_from_slice(&kept_fraction.to_bits().to_le_bytes());
             body.extend_from_slice(&generation.to_le_bytes());
         }
         Message::Response(Response::IngestOk {
@@ -465,6 +588,13 @@ fn encode_body(request_id: u64, msg: &Message, body: &mut Vec<u8>) {
                     Some(slack) => {
                         body.push(1);
                         body.extend_from_slice(&slack.to_le_bytes());
+                    }
+                    None => body.push(0),
+                }
+                match rec.kept_fraction {
+                    Some(kept) => {
+                        body.push(1);
+                        body.extend_from_slice(&kept.to_bits().to_le_bytes());
                     }
                     None => body.push(0),
                 }
@@ -522,12 +652,14 @@ fn decode_body(body: &[u8]) -> Result<Envelope, WireError> {
             for _ in 0..n {
                 attrs.push(take_u16(&mut buf)?);
             }
+            let predicate = take_predicate(&mut buf)?;
             let deadline_micros = take_u64(&mut buf)?;
             Message::Request(Request::Scan {
                 table,
                 query_name,
                 weight,
                 attrs,
+                predicate,
                 deadline_micros,
             })
         }
@@ -552,6 +684,7 @@ fn decode_body(body: &[u8]) -> Result<Envelope, WireError> {
             bytes_read: take_u64(&mut buf)?,
             io_seconds: take_f64(&mut buf)?,
             cpu_seconds: take_f64(&mut buf)?,
+            kept_fraction: take_f64(&mut buf)?,
             generation: take_u64(&mut buf)?,
         }),
         RESP_INGEST => Message::Response(Response::IngestOk {
@@ -608,6 +741,13 @@ fn decode_body(body: &[u8]) -> Result<Envelope, WireError> {
                         return Err(WireError::Corrupt(format!("bad slack flag {other}")));
                     }
                 };
+                let kept_fraction = match take_u8(&mut buf)? {
+                    0 => None,
+                    1 => Some(take_f64(&mut buf)?),
+                    other => {
+                        return Err(WireError::Corrupt(format!("bad kept flag {other}")));
+                    }
+                };
                 let generation = take_u64(&mut buf)?;
                 slow.push(SlowQueryRecord {
                     table,
@@ -616,6 +756,7 @@ fn decode_body(body: &[u8]) -> Result<Envelope, WireError> {
                     wall_micros,
                     io_seconds,
                     deadline_slack_micros,
+                    kept_fraction,
                     generation,
                 });
             }
@@ -717,7 +858,59 @@ mod tests {
                     query_name: "pricing".into(),
                     weight: 2.5,
                     attrs: vec![0, 3, 7, 15],
+                    predicate: None,
                     deadline_micros: 250_000,
+                }),
+            ),
+            (
+                8,
+                Message::Request(Request::Scan {
+                    table: "tpch.lineitem".into(),
+                    query_name: "recent-air".into(),
+                    weight: 1.0,
+                    attrs: vec![0, 3, 7, 15],
+                    predicate: Some(Predicate {
+                        clauses: vec![
+                            PredClause {
+                                attr: AttrId(7),
+                                op: PredOp::Ge,
+                                value: Literal {
+                                    kind: AttrKind::Date,
+                                    num: 2400,
+                                    text: String::new(),
+                                },
+                            },
+                            PredClause {
+                                attr: AttrId(15),
+                                op: PredOp::Eq,
+                                value: Literal {
+                                    kind: AttrKind::Text,
+                                    num: 0,
+                                    text: "AIR".into(),
+                                },
+                            },
+                            PredClause {
+                                attr: AttrId(3),
+                                op: PredOp::Le,
+                                value: Literal {
+                                    kind: AttrKind::Decimal,
+                                    num: 99_000,
+                                    text: String::new(),
+                                },
+                            },
+                            PredClause {
+                                attr: AttrId(0),
+                                op: PredOp::Eq,
+                                value: Literal {
+                                    kind: AttrKind::Int,
+                                    num: -12,
+                                    text: String::new(),
+                                },
+                            },
+                        ],
+                        kept_fraction: 0.003,
+                    }),
+                    deadline_micros: 0,
                 }),
             ),
             (
@@ -738,6 +931,7 @@ mod tests {
                     bytes_read: 4096,
                     io_seconds: 0.125,
                     cpu_seconds: 0.001,
+                    kept_fraction: 0.25,
                     generation: 7,
                 }),
             ),
@@ -760,15 +954,28 @@ mod tests {
                     requests: 99,
                     scans_ok: 90,
                     slow_queries_recorded: 2,
-                    slow_queries: vec![SlowQueryRecord {
-                        table: "t".into(),
-                        query: "q".into(),
-                        bytes_read: 10,
-                        wall_micros: 5000,
-                        io_seconds: 0.2,
-                        deadline_slack_micros: Some(-150),
-                        generation: 1,
-                    }],
+                    slow_queries: vec![
+                        SlowQueryRecord {
+                            table: "t".into(),
+                            query: "q".into(),
+                            bytes_read: 10,
+                            wall_micros: 5000,
+                            io_seconds: 0.2,
+                            deadline_slack_micros: Some(-150),
+                            kept_fraction: None,
+                            generation: 1,
+                        },
+                        SlowQueryRecord {
+                            table: "t".into(),
+                            query: "q2".into(),
+                            bytes_read: 7,
+                            wall_micros: 900,
+                            io_seconds: 0.01,
+                            deadline_slack_micros: None,
+                            kept_fraction: Some(0.004),
+                            generation: 2,
+                        },
+                    ],
                     ..ServerStats::default()
                 })),
             ),

@@ -35,7 +35,7 @@ mod slowlog;
 pub use fault::{Fault, FaultKind, FaultPlan, FaultyStream, WireStream};
 pub use frame::{
     encode_envelope, encode_request, encode_response, Envelope, ErrorCode, FrameBuffer, Message,
-    Request, Response, ServerStats, SlowQueryRecord, WireError, MAX_FRAME_LEN,
+    Request, Response, ServerStats, SlowQueryRecord, WireError, MAX_FRAME_LEN, MAX_PRED_CLAUSES,
 };
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use slowlog::SlowQueryLog;

@@ -37,7 +37,7 @@ use crate::frame::{
 use crate::slowlog::SlowQueryLog;
 use slicer_cost::{CostModel, HddCostModel};
 use slicer_lifecycle::{ScanTarget, TableFleet};
-use slicer_model::{AttrSet, Query};
+use slicer_model::{AttrSet, Predicate, Query};
 use slicer_storage::{decode_ingest_batch, ScanExecutor, ScanResult, StorageError, TableSnapshot};
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -205,12 +205,39 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
+/// Hard cap on any modeled duration the admission/deadline math works
+/// with: one hour in µs. A cost model can emit NaN, infinity, or an
+/// astronomically large estimate on degenerate inputs; an unguarded
+/// `(x * 1e6) as u64` cast turns NaN into 0 (work admitted as *free*)
+/// and infinity into `u64::MAX` (garbage bounds and retry hints).
+const MAX_MODELED_MICROS: u64 = 3_600_000_000;
+
+/// Modeled seconds → clamped µs for admission and deadline math.
+/// Non-finite inputs pin to the cap (NaN must read as "expensive",
+/// never "free"), negatives to zero, and everything else saturates at
+/// [`MAX_MODELED_MICROS`].
+fn modeled_micros(seconds: f64) -> u64 {
+    if !seconds.is_finite() {
+        return MAX_MODELED_MICROS;
+    }
+    if seconds <= 0.0 {
+        return 0;
+    }
+    let micros = seconds * 1e6;
+    if micros >= MAX_MODELED_MICROS as f64 {
+        MAX_MODELED_MICROS
+    } else {
+        micros as u64
+    }
+}
+
 fn handle_scan(
     shared: &Shared,
     table: String,
     query_name: String,
     weight: f64,
     attrs: Vec<u16>,
+    predicate: Option<Predicate>,
     deadline_micros: u64,
 ) -> Response {
     let started = Instant::now();
@@ -221,6 +248,13 @@ fn handle_scan(
             format!("no table registered under `{table}`"),
         );
     };
+    if !(weight.is_finite() && weight > 0.0) {
+        return shared.typed_error(
+            ErrorCode::InvalidQuery,
+            0,
+            format!("query weight {weight} must be finite and positive"),
+        );
+    }
     if let Some(bad) = attrs.iter().find(|&&a| a as usize >= AttrSet::CAPACITY) {
         return shared.typed_error(
             ErrorCode::InvalidQuery,
@@ -229,18 +263,32 @@ fn handle_scan(
         );
     }
     let referenced: AttrSet = attrs.iter().map(|&a| a as usize).collect();
-    let query = Query::weighted(query_name, referenced, weight);
+    let mut query = Query::weighted(query_name, referenced, weight);
+    if let Some(p) = predicate {
+        // Discard the client's kept_fraction outright (it is an untrusted
+        // estimate and must not even be able to fail validation); the
+        // honest fraction is re-stamped from the pinned snapshot below.
+        query = query.with_predicate(p.with_kept_fraction(1.0));
+    }
     if let Err(e) = query.validate(&target.table.schema) {
         return shared.typed_error(ErrorCode::InvalidQuery, 0, e.to_string());
     }
 
     let snapshot = target.table.snapshot();
-    let est_micros = (shared
-        .cfg
-        .cost
-        .query_cost(&target.table.schema, &snapshot.layout, &query)
-        .max(0.0)
-        * 1e6) as u64;
+    // Re-stamp server-side from the exact snapshot the scan will read —
+    // the same discipline TableManager::stamp_prune applies in-process.
+    // Validation above already proved every clause attribute and literal
+    // kind fits the schema, so the pruning metadata lookup cannot stray.
+    let kept_fraction = query.predicate.take().map(|p| {
+        let fraction = snapshot.prune_fraction(&p);
+        query.predicate = Some(p.with_kept_fraction(fraction));
+        fraction
+    });
+    let est_micros = modeled_micros(shared.cfg.cost.query_cost(
+        &target.table.schema,
+        &snapshot.layout,
+        &query,
+    ));
     let inflight = shared.inflight_io_micros.load(Ordering::SeqCst);
     if deadline_micros > 0 && inflight.saturating_add(est_micros) > deadline_micros {
         return shared.typed_error(
@@ -252,18 +300,18 @@ fn handle_scan(
             ),
         );
     }
-    let bound_micros = (shared.cfg.admission_max_io_seconds.max(0.0) * 1e6) as u64;
+    let bound_micros = modeled_micros(shared.cfg.admission_max_io_seconds);
     if inflight.saturating_add(est_micros) > bound_micros {
         return shared.typed_error(
             ErrorCode::Overloaded,
-            inflight.max(1_000),
+            inflight.clamp(1_000, MAX_MODELED_MICROS),
             format!("{inflight} us of modeled scan work queued (bound {bound_micros} us)"),
         );
     }
     let _guard = InflightGuard::add(&shared.inflight_io_micros, est_micros);
 
     let result =
-        ScanExecutor::new(&target.table).scan_snapshot(&snapshot, referenced, &target.disk);
+        ScanExecutor::new(&target.table).scan_query_snapshot(&snapshot, &query, &target.disk);
 
     let wall_micros = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
     let record = SlowQueryRecord {
@@ -274,6 +322,7 @@ fn handle_scan(
         io_seconds: result.io_seconds,
         deadline_slack_micros: (deadline_micros > 0)
             .then(|| deadline_micros as i64 - wall_micros as i64),
+        kept_fraction,
         generation: snapshot.generation,
     };
     shared
@@ -303,6 +352,7 @@ fn handle_scan(
         bytes_read: result.bytes_read,
         io_seconds: result.io_seconds,
         cpu_seconds: result.cpu_seconds,
+        kept_fraction: kept_fraction.unwrap_or(1.0),
         generation: snapshot.generation,
     }
 }
@@ -395,9 +445,18 @@ fn handle_envelope(shared: &Shared, env: Envelope) -> (Response, bool) {
             query_name,
             weight,
             attrs,
+            predicate,
             deadline_micros,
         }) => (
-            handle_scan(shared, table, query_name, weight, attrs, deadline_micros),
+            handle_scan(
+                shared,
+                table,
+                query_name,
+                weight,
+                attrs,
+                predicate,
+                deadline_micros,
+            ),
             false,
         ),
         Message::Request(Request::Ingest {
@@ -639,5 +698,46 @@ impl ServerHandle {
                 .record_scan(&p.table, p.query, &p.result, &p.snapshot);
         }
         core.fleet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{modeled_micros, MAX_MODELED_MICROS};
+
+    #[test]
+    fn modeled_micros_clamps_non_finite_to_the_cap() {
+        // NaN must never read as "free work": an unguarded `as u64` cast
+        // maps NaN to 0, which is exactly the silent-admission bug.
+        assert_eq!(modeled_micros(f64::NAN), MAX_MODELED_MICROS);
+        assert_eq!(modeled_micros(f64::INFINITY), MAX_MODELED_MICROS);
+        // Negative infinity is still "not a believable cost" — but as a
+        // negative it clamps to zero, the conservative floor.
+        assert_eq!(modeled_micros(f64::NEG_INFINITY), MAX_MODELED_MICROS);
+    }
+
+    #[test]
+    fn modeled_micros_clamps_negatives_to_zero() {
+        assert_eq!(modeled_micros(-1.0), 0);
+        assert_eq!(modeled_micros(-0.0), 0);
+        assert_eq!(modeled_micros(0.0), 0);
+        assert_eq!(modeled_micros(f64::MIN), 0);
+    }
+
+    #[test]
+    fn modeled_micros_saturates_huge_costs_at_the_cap() {
+        assert_eq!(modeled_micros(1e30), MAX_MODELED_MICROS);
+        assert_eq!(modeled_micros(f64::MAX), MAX_MODELED_MICROS);
+        assert_eq!(
+            modeled_micros(MAX_MODELED_MICROS as f64),
+            MAX_MODELED_MICROS
+        );
+    }
+
+    #[test]
+    fn modeled_micros_passes_ordinary_costs_through() {
+        assert_eq!(modeled_micros(0.5), 500_000);
+        assert_eq!(modeled_micros(1.0), 1_000_000);
+        assert_eq!(modeled_micros(1e-6), 1);
     }
 }

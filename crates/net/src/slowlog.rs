@@ -86,10 +86,23 @@ impl SlowQueryLog {
                 Some(s) => format!("{s} us slack"),
                 None => "no deadline".to_string(),
             };
+            // The server-stamped selectivity tells a post-mortem whether a
+            // slow scan was selective-but-mispriced or genuinely big.
+            let kept = match r.kept_fraction {
+                Some(k) => format!("kept {k:.6}"),
+                None => "no predicate".to_string(),
+            };
             writeln!(
                 out,
-                "  {}/{}: {} us wall, {} B read, {:.6} io s, gen {}, {}",
-                r.table, r.query, r.wall_micros, r.bytes_read, r.io_seconds, r.generation, slack,
+                "  {}/{}: {} us wall, {} B read, {:.6} io s, gen {}, {}, {}",
+                r.table,
+                r.query,
+                r.wall_micros,
+                r.bytes_read,
+                r.io_seconds,
+                r.generation,
+                slack,
+                kept,
             )?;
         }
         Ok(())
@@ -108,6 +121,7 @@ mod tests {
             wall_micros,
             io_seconds: 0.01,
             deadline_slack_micros: None,
+            kept_fraction: None,
             generation: 0,
         }
     }
@@ -151,6 +165,7 @@ mod tests {
         log.observe(rec("q0", 1200));
         let mut rec1 = rec("q1", 800);
         rec1.deadline_slack_micros = Some(-50);
+        rec1.kept_fraction = Some(0.002);
         log.observe(rec1);
         let mut out = Vec::new();
         log.dump(&mut out).unwrap();
@@ -158,5 +173,7 @@ mod tests {
         assert!(text.contains("2 recorded"));
         assert!(text.contains("t/q0: 1200 us"));
         assert!(text.contains("-50 us slack"));
+        assert!(text.contains("no predicate"));
+        assert!(text.contains("kept 0.002000"));
     }
 }

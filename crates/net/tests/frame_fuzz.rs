@@ -11,12 +11,16 @@
 //! and in both cases behave *deterministically*: decoding the same bytes
 //! twice gives byte-identical outcomes.
 
+use slicer_model::{AttrId, AttrKind, Literal, PredClause, PredOp, Predicate};
 use slicer_net::frame::{
     encode_request, encode_response, Envelope, ErrorCode, FrameBuffer, Request, Response,
     ServerStats, SlowQueryRecord, WireError,
 };
 
 /// A stream exercising every message kind, with per-frame boundaries.
+/// The predicate-bearing scan frame covers every clause shape the wire
+/// form distinguishes (all three ops, numeric and text literals), so the
+/// truncation/bit-flip sweeps below exercise each predicate field.
 fn sample_stream() -> (Vec<u8>, Vec<usize>, Vec<Envelope>) {
     let frames: Vec<Vec<u8>> = vec![
         encode_request(
@@ -26,7 +30,50 @@ fn sample_stream() -> (Vec<u8>, Vec<usize>, Vec<Envelope>) {
                 query_name: "pricing".into(),
                 weight: 2.0,
                 attrs: vec![0, 4, 5, 6],
+                predicate: None,
                 deadline_micros: 150_000,
+            },
+        ),
+        encode_request(
+            4,
+            &Request::Scan {
+                table: "tpch.lineitem".into(),
+                query_name: "recent-air".into(),
+                weight: 1.0,
+                attrs: vec![0, 4, 5, 6],
+                predicate: Some(Predicate {
+                    clauses: vec![
+                        PredClause {
+                            attr: AttrId(4),
+                            op: PredOp::Ge,
+                            value: Literal {
+                                kind: AttrKind::Date,
+                                num: 2_000,
+                                text: String::new(),
+                            },
+                        },
+                        PredClause {
+                            attr: AttrId(5),
+                            op: PredOp::Le,
+                            value: Literal {
+                                kind: AttrKind::Decimal,
+                                num: 55_000,
+                                text: String::new(),
+                            },
+                        },
+                        PredClause {
+                            attr: AttrId(6),
+                            op: PredOp::Eq,
+                            value: Literal {
+                                kind: AttrKind::Text,
+                                num: 0,
+                                text: "AIR".into(),
+                            },
+                        },
+                    ],
+                    kept_fraction: 0.0125,
+                }),
+                deadline_micros: 90_000,
             },
         ),
         encode_response(
@@ -36,6 +83,7 @@ fn sample_stream() -> (Vec<u8>, Vec<usize>, Vec<Envelope>) {
                 bytes_read: 81_920,
                 io_seconds: 0.042,
                 cpu_seconds: 0.003,
+                kept_fraction: 0.0125,
                 generation: 12,
             },
         ),
@@ -71,6 +119,7 @@ fn sample_stream() -> (Vec<u8>, Vec<usize>, Vec<Envelope>) {
                     wall_micros: 61_000,
                     io_seconds: 0.042,
                     deadline_slack_micros: Some(89_000),
+                    kept_fraction: Some(0.0125),
                     generation: 12,
                 }],
                 ..ServerStats::default()

@@ -21,13 +21,17 @@ use proptest::prelude::*;
 use slicer::client::{Client, ClientConfig};
 use slicer::cost::HddCostModel;
 use slicer::lifecycle::{FleetConfig, TableFleet, TableManager, TableManagerConfig};
-use slicer::model::{AttrKind, AttrSet, Partitioning, Query, TableSchema};
+use slicer::model::{
+    AttrId, AttrKind, AttrSet, Literal, Partitioning, PredClause, PredOp, Predicate, Query,
+    TableSchema,
+};
 use slicer::net::{
     encode_request, Fault, FaultKind, FaultPlan, FaultyStream, Request, Server, ServerConfig,
     ServerHandle, WireStream,
 };
 use slicer::storage::{
-    generate_table, scan_naive_snapshot, CompressionPolicy, IngestBatch, StoredTable,
+    generate_table, scan_naive_query_snapshot, scan_naive_snapshot, CompressionPolicy, IngestBatch,
+    StoredTable,
 };
 use slicer_core::HillClimb;
 use std::net::{SocketAddr, TcpStream};
@@ -74,6 +78,27 @@ fn spawn() -> ServerHandle {
 
 fn scan_query() -> Query {
     Query::new("q", [0usize, 1, 2].into_iter().collect::<AttrSet>())
+}
+
+/// The same projection filtered by a conjunction. The carried
+/// `kept_fraction` is a deliberately wrong client estimate — the server
+/// must discard it and re-stamp from its own pruning metadata.
+fn pred_query() -> Query {
+    Query::new("qp", [0usize, 1, 2].into_iter().collect::<AttrSet>()).with_predicate(
+        Predicate::new(vec![
+            PredClause::new(AttrId(0), PredOp::Le, Literal::int(60)),
+            PredClause::new(AttrId(1), PredOp::Ge, Literal::decimal(0)),
+        ])
+        .with_kept_fraction(0.000001),
+    )
+}
+
+/// Predicate-filtered naive oracle over the server's live snapshot.
+fn oracle_query_checksum(handle: &ServerHandle, q: &Query) -> u64 {
+    handle.with_fleet(|fleet| {
+        let target = fleet.scan_target("alpha").expect("registered");
+        scan_naive_query_snapshot(&target.table.snapshot(), q, &target.disk).checksum
+    })
 }
 
 fn oracle_checksum(handle: &ServerHandle) -> u64 {
@@ -148,12 +173,13 @@ fn scans_converge_through_every_fault_point() {
             query_name: q.name.clone(),
             weight: q.weight,
             attrs: q.referenced.iter().map(|a| a.index() as u16).collect(),
+            predicate: None,
             deadline_micros: 0,
         },
     )
     .len() as u64;
-    // A ScanOk frame: 8 header + 8 id + 1 kind + 40 payload.
-    let resp_len = 57u64;
+    // A ScanOk frame: 8 header + 8 id + 1 kind + 48 payload.
+    let resp_len = 65u64;
     for (i, fault) in fault_points(req_len, resp_len).into_iter().enumerate() {
         let plan = FaultPlan::single(fault.clone());
         let mut c = faulty_once_client(handle.addr(), retry_cfg(100 + i as u64), plan.clone());
@@ -171,6 +197,85 @@ fn scans_converge_through_every_fault_point() {
     assert_eq!(clean.scan("alpha", &q).unwrap().checksum, want);
     assert_eq!(clean.stats().retries, 0);
     handle.shutdown();
+}
+
+#[test]
+fn predicated_scans_converge_through_every_fault_point() {
+    let handle = spawn();
+    let q = pred_query();
+    let want = oracle_query_checksum(&handle, &q);
+    // The pure-projection oracle must differ — otherwise the predicate
+    // isn't filtering anything and the sweep proves nothing.
+    assert_ne!(
+        want,
+        oracle_checksum(&handle),
+        "predicate must actually filter rows for this sweep to be meaningful"
+    );
+    let req_len = encode_request(
+        1,
+        &Request::Scan {
+            table: "alpha".into(),
+            query_name: q.name.clone(),
+            weight: q.weight,
+            attrs: q.referenced.iter().map(|a| a.index() as u16).collect(),
+            predicate: q.predicate.clone(),
+            deadline_micros: 0,
+        },
+    )
+    .len() as u64;
+    let resp_len = 65u64;
+    for (i, fault) in fault_points(req_len, resp_len).into_iter().enumerate() {
+        let plan = FaultPlan::single(fault.clone());
+        let mut c = faulty_once_client(handle.addr(), retry_cfg(700 + i as u64), plan.clone());
+        let reply = c
+            .scan("alpha", &q)
+            .unwrap_or_else(|e| panic!("fault {fault:?} did not converge: {e}"));
+        assert_eq!(
+            reply.checksum, want,
+            "fault {fault:?}: predicated retry converged on wrong bytes"
+        );
+        // The client shipped a bogus 1e-6 estimate; the reply must carry
+        // the server's own measurement instead.
+        assert!(
+            reply.kept_fraction > 0.000001 && reply.kept_fraction <= 1.0,
+            "fault {fault:?}: kept_fraction {} was not re-stamped server-side",
+            reply.kept_fraction
+        );
+        assert_eq!(plan.fired(), 1, "fault {fault:?} never struck");
+    }
+    let mut clean = Client::connect(handle.addr(), retry_cfg(98));
+    assert_eq!(clean.scan("alpha", &q).unwrap().checksum, want);
+    handle.shutdown();
+}
+
+#[test]
+fn restarted_server_re_serves_identical_pruned_bytes() {
+    let handle = spawn();
+    let q = pred_query();
+    let want = oracle_query_checksum(&handle, &q);
+    let mut c = Client::connect(handle.addr(), retry_cfg(21));
+    let before = c.scan("alpha", &q).expect("first predicated scan");
+    assert_eq!(before.checksum, want);
+
+    // Crash-and-restart over the SAME fleet at a new address: the pruned
+    // scan must come back bit- and byte-identical.
+    let fleet = handle.shutdown();
+    let handle2 = Server::spawn(fleet, ServerConfig::default()).expect("respawn");
+    let mut c2 = Client::connect(handle2.addr(), retry_cfg(22));
+    let after = c2.scan("alpha", &q).expect("predicated scan after restart");
+    assert_eq!(
+        after.checksum, before.checksum,
+        "restart changed result bytes"
+    );
+    assert_eq!(
+        after.bytes_read, before.bytes_read,
+        "restart changed the pruned read footprint"
+    );
+    assert_eq!(
+        after.kept_fraction, before.kept_fraction,
+        "restart changed the stamped selectivity"
+    );
+    handle2.shutdown();
 }
 
 #[test]

@@ -16,12 +16,16 @@
 //!   by advise rounds.
 
 use slicer::client::{Client, ClientConfig, ClientError};
-use slicer::cost::HddCostModel;
+use slicer::cost::{CostModel, HddCostModel};
 use slicer::lifecycle::{FleetConfig, TableFleet, TableManager, TableManagerConfig};
-use slicer::model::{AttrKind, AttrSet, Partitioning, Query, TableSchema};
+use slicer::model::{
+    AttrId, AttrKind, AttrSet, Literal, Partitioning, PredClause, PredOp, Predicate, Query,
+    TableSchema,
+};
 use slicer::net::{ErrorCode, Request, Server, ServerConfig, ServerHandle};
 use slicer::storage::{
-    generate_table, scan_naive_snapshot, CompressionPolicy, IngestBatch, StoredTable,
+    generate_table, scan_naive_query_snapshot, scan_naive_snapshot, CompressionPolicy, IngestBatch,
+    StoredTable,
 };
 use slicer_core::HillClimb;
 use std::time::Duration;
@@ -62,6 +66,54 @@ fn fleet() -> TableFleet {
 
 fn spawn(cfg: ServerConfig) -> ServerHandle {
     Server::spawn(fleet(), cfg).expect("bind on loopback")
+}
+
+/// Enough rows for sixty 2048-row pruning chunks, with the date column
+/// `D` isolated in its own partition file — the generator's dates trend
+/// upward with the row index, so a low date cutoff prunes all but the
+/// first couple of chunks.
+const PRUNE_ROWS: usize = 122_880;
+
+fn pruning_fleet() -> TableFleet {
+    let s = schema("events", PRUNE_ROWS as u64);
+    let data = generate_table(&s, PRUNE_ROWS, 13);
+    let isolating = Partitioning::new(
+        &s,
+        vec![
+            s.attr_set(&["D"]).unwrap(),
+            s.attr_set(&["K", "V", "C"]).unwrap(),
+        ],
+    )
+    .unwrap();
+    // Fixed-width storage (the paper's dictionary policy): byte skipping
+    // needs individually addressable rows, so the non-driver group can
+    // fetch only kept chunks. Variable-width codecs would force a full
+    // read of every touched file and hide the pruning win.
+    let table = StoredTable::load(&s, &data, &isolating, CompressionPolicy::Dictionary);
+    let mut fleet = TableFleet::new(FleetConfig::default());
+    fleet.add_table(
+        "events",
+        TableManager::new(
+            table,
+            Box::new(HillClimb::new()),
+            HddCostModel::paper_testbed(),
+            TableManagerConfig::default(),
+        ),
+    );
+    fleet
+}
+
+/// A full projection of `events` filtered to the earliest dates. The
+/// carried `kept_fraction` stays at the conservative 1.0 default — the
+/// server must measure the real fraction itself.
+fn early_dates_query() -> Query {
+    Query::new("early", [0usize, 1, 2, 3].into_iter().collect::<AttrSet>()).with_predicate(
+        Predicate::new(vec![PredClause::new(
+            AttrId(2),
+            PredOp::Le,
+            Literal::date(25),
+        )]),
+    )
 }
 
 fn client(handle: &ServerHandle, cfg: ClientConfig) -> Client {
@@ -272,6 +324,180 @@ fn typed_errors_are_typed_and_the_connection_stays_usable() {
 }
 
 #[test]
+fn predicated_wire_scans_prune_bytes_and_match_the_query_oracle() {
+    let handle = Server::spawn(pruning_fleet(), ServerConfig::default()).expect("bind");
+    let q = early_dates_query();
+    // Predicate-filtered naive oracle (reads unpruned bytes) on the
+    // server's own snapshot: result bytes must be bit-identical.
+    let (want_checksum, unpruned_bytes) = handle.with_fleet(|fleet| {
+        let target = fleet.scan_target("events").expect("registered");
+        let r = scan_naive_query_snapshot(&target.table.snapshot(), &q, &target.disk);
+        (r.checksum, r.bytes_read)
+    });
+    let mut c = client(&handle, ClientConfig::default());
+    let reply = c.scan("events", &q).expect("predicated scan over the wire");
+    assert_eq!(
+        reply.checksum, want_checksum,
+        "wire result diverges from oracle"
+    );
+    // The wire path actually pruned: fewer bytes than the unpruned
+    // predicate oracle, and a server-stamped fraction well under 1.
+    assert!(
+        reply.bytes_read < unpruned_bytes,
+        "wire scan read {} B, oracle {} B — predicate was dropped on the wire",
+        reply.bytes_read,
+        unpruned_bytes
+    );
+    assert!(
+        reply.kept_fraction < 0.5,
+        "kept_fraction {} — server did not re-stamp from its pruning metadata",
+        reply.kept_fraction
+    );
+    assert!(reply.kept_fraction > 0.0);
+    // The predicated scan reached the fleet's serve window like any
+    // in-process query.
+    assert_eq!(handle.with_fleet(|f| f.stats().queries), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn admission_prices_selective_queries_on_their_pruned_cost() {
+    // Compute the full-scan and pruned modeled costs up front, then pick
+    // an admission bound strictly between them: a skip-blind controller
+    // would shed BOTH queries; the skip-aware one must admit the
+    // selective query and shed only the bare projection.
+    let fleet = pruning_fleet();
+    let bare = Query::new("bare", [0usize, 1, 2, 3].into_iter().collect::<AttrSet>());
+    let pred = early_dates_query();
+    let model = HddCostModel::paper_testbed();
+    let (full_cost, pruned_cost) = {
+        let target = fleet.scan_target("events").expect("registered");
+        let snapshot = target.table.snapshot();
+        let full = model.query_cost(&target.table.schema, &snapshot.layout, &bare);
+        let kept = snapshot.prune_fraction(pred.predicate.as_ref().unwrap());
+        let stamped = bare
+            .clone()
+            .with_predicate(pred.predicate.clone().unwrap().with_kept_fraction(kept));
+        let pruned = model.query_cost(&target.table.schema, &snapshot.layout, &stamped);
+        (full, pruned)
+    };
+    assert!(
+        pruned_cost < full_cost / 2.0,
+        "pruning must change the modeled cost materially (full {full_cost}, pruned {pruned_cost})"
+    );
+    let handle = Server::spawn(
+        fleet,
+        ServerConfig {
+            admission_max_io_seconds: (pruned_cost + full_cost) / 2.0,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut c = client(
+        &handle,
+        ClientConfig {
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            ..ClientConfig::default()
+        },
+    );
+    // The skip-blind bound sheds the bare projection…
+    let err = c.scan("events", &bare).unwrap_err();
+    assert!(
+        matches!(err, ClientError::RetriesExhausted { ref last_error, .. } if last_error.contains("shed")),
+        "bare projection should be shed: {err:?}"
+    );
+    // …but the selective query, priced on its pruned cost, is admitted.
+    let reply = c
+        .scan("events", &pred)
+        .expect("selective query must be admitted on its pruned cost");
+    assert!(reply.kept_fraction < 0.5);
+    let stats = handle.stats();
+    assert!(stats.shed_overload >= 1);
+    assert_eq!(stats.scans_ok, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn non_finite_and_negative_weights_are_typed_and_keep_the_connection() {
+    // Raw-socket regression for the frame doc's "weight validated
+    // server-side" claim: NaN, infinite, and negative weights must come
+    // back as typed InvalidQuery frames — not a panic, not a free-of-cost
+    // admission — and the same connection must keep serving.
+    use std::io::{Read, Write};
+    let handle = spawn(ServerConfig::default());
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let mut fb = slicer::net::FrameBuffer::new();
+    let mut buf = [0u8; 4096];
+    let mut roundtrip = |raw: &mut std::net::TcpStream,
+                         fb: &mut slicer::net::FrameBuffer,
+                         id: u64,
+                         req: &Request|
+     -> slicer::net::Envelope {
+        raw.write_all(&slicer::net::encode_request(id, req))
+            .unwrap();
+        loop {
+            let n = raw.read(&mut buf).unwrap();
+            assert!(n > 0, "server closed instead of answering typed");
+            fb.extend(&buf[..n]);
+            if let Some(env) = fb.next_frame().unwrap() {
+                break env;
+            }
+        }
+    };
+    for (id, weight) in [
+        (1u64, f64::NAN),
+        (2, f64::INFINITY),
+        (3, f64::NEG_INFINITY),
+        (4, -1.0),
+        (5, 0.0),
+    ] {
+        let env = roundtrip(
+            &mut raw,
+            &mut fb,
+            id,
+            &Request::Scan {
+                table: "alpha".into(),
+                query_name: "bad-weight".into(),
+                weight,
+                attrs: vec![0, 1],
+                predicate: None,
+                deadline_micros: 0,
+            },
+        );
+        assert_eq!(env.request_id, id);
+        match env.msg {
+            slicer::net::Message::Response(slicer::net::Response::Error { code, .. }) => {
+                assert_eq!(code, ErrorCode::InvalidQuery, "weight {weight}")
+            }
+            other => panic!("weight {weight}: expected typed InvalidQuery, got {other:?}"),
+        }
+    }
+    // Same connection, now a well-formed scan: still served.
+    let env = roundtrip(
+        &mut raw,
+        &mut fb,
+        9,
+        &Request::Scan {
+            table: "alpha".into(),
+            query_name: "fine".into(),
+            weight: 1.0,
+            attrs: vec![0, 1],
+            predicate: None,
+            deadline_micros: 0,
+        },
+    );
+    assert_eq!(env.request_id, 9);
+    assert!(matches!(
+        env.msg,
+        slicer::net::Message::Response(slicer::net::Response::ScanOk { .. })
+    ));
+    assert_eq!(handle.stats().scans_ok, 1);
+    handle.shutdown();
+}
+
+#[test]
 fn deadline_aware_grants_refuse_unmeetable_work() {
     let handle = spawn(ServerConfig::default());
     // 2 ms budget: the paper-testbed disk model prices any real scan at
@@ -367,9 +593,21 @@ fn slow_query_log_thresholds_evicts_and_travels_the_wire() {
         ..ServerConfig::default()
     });
     let mut c = client(&handle, ClientConfig::default());
-    for name in ["s0", "s1", "s2"] {
+    for name in ["s0", "s1"] {
         c.scan("alpha", &query(name, &[0, 1])).unwrap();
     }
+    // A predicated scan: its record must carry the server-stamped
+    // fraction so a post-mortem can tell "selective but mispriced" from
+    // "genuinely big".
+    let pred = query("s2-pred", &[0, 1]).with_predicate(
+        Predicate::new(vec![PredClause::new(
+            AttrId(0),
+            PredOp::Le,
+            Literal::int(150),
+        )])
+        .with_kept_fraction(0.25),
+    );
+    let reply = c.scan("alpha", &pred).unwrap();
     let stats = c.server_stats().expect("stats over the wire");
     assert_eq!(stats.slow_queries_recorded, 3);
     assert_eq!(stats.slow_queries_evicted, 1);
@@ -378,11 +616,17 @@ fn slow_query_log_thresholds_evicts_and_travels_the_wire() {
         .iter()
         .map(|r| r.query.as_str())
         .collect();
-    assert_eq!(names, vec!["s1", "s2"], "ring keeps the newest");
+    assert_eq!(names, vec!["s1", "s2-pred"], "ring keeps the newest");
     for r in &stats.slow_queries {
         assert_eq!(r.table, "alpha");
         assert!(r.bytes_read > 0);
         assert!(r.deadline_slack_micros.is_none());
+        match r.query.as_str() {
+            // The server-stamped fraction — NOT the client's 0.25
+            // estimate — travels in the record.
+            "s2-pred" => assert_eq!(r.kept_fraction, Some(reply.kept_fraction)),
+            _ => assert_eq!(r.kept_fraction, None),
+        }
     }
     handle.shutdown();
 }
