@@ -40,6 +40,8 @@ use slicer_storage::{encode_ingest_batch, IngestBatch};
 use std::fmt;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How a [`Client`] obtains a fresh connection. Tests inject connectors
@@ -67,6 +69,11 @@ pub struct ClientConfig {
     pub backoff_base: Duration,
     /// Backoff ceiling.
     pub backoff_cap: Duration,
+    /// Seed for the backoff jitter stream. `0` (the default) derives the
+    /// seed from `client_id`, so distinct clients decorrelate out of the
+    /// box — after a primary dies, a fleet of reconnecting clients must
+    /// not hammer the promoted follower in lockstep.
+    pub jitter_seed: u64,
 }
 
 impl Default for ClientConfig {
@@ -79,6 +86,7 @@ impl Default for ClientConfig {
             max_attempts: 6,
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_millis(500),
+            jitter_seed: 0,
         }
     }
 }
@@ -94,6 +102,11 @@ pub struct ClientStats {
     pub reconnects: u64,
     /// `Overloaded` sheds honored.
     pub overloaded: u64,
+    /// `NotPrimary` answers that retargeted the next server in the list.
+    pub not_primary: u64,
+    /// Failovers: connections established to a *different* server in the
+    /// list than the previous one.
+    pub failovers: u64,
     /// Frames rejected by the local decoder (checksum/format violations).
     pub corrupt_frames: u64,
     /// Attempts abandoned on the per-attempt reply timeout.
@@ -183,6 +196,14 @@ pub struct IngestReply {
     pub deduped: bool,
 }
 
+/// The server list a failover-aware client rotates through (see
+/// [`Client::connect_list`]). `current` is the index scans are routed
+/// to; order the list primary-first for primary-preference routing.
+struct TargetList {
+    servers: Vec<SocketAddr>,
+    current: AtomicUsize,
+}
+
 /// The retrying wire client. Not `Sync` — one client per thread, each
 /// with its own `client_id`.
 pub struct Client {
@@ -193,14 +214,55 @@ pub struct Client {
     next_request_id: u64,
     next_sequence: u64,
     stats: ClientStats,
+    /// Jitter PRNG state (xorshift64*), seeded from
+    /// [`ClientConfig::jitter_seed`] or `client_id`.
+    rng: u64,
+    /// Failover server list, when built by [`Client::connect_list`].
+    targets: Option<Arc<TargetList>>,
+    /// List index of the previous successful connection, for counting
+    /// failovers.
+    last_target: Option<usize>,
 }
 
 /// Poll granularity while waiting for a reply.
 const READ_POLL: Duration = Duration::from_millis(10);
 
+/// The deterministic capped-exponential backoff *envelope*; the applied
+/// sleep is jittered within it (see [`jittered_delay`]).
 fn backoff_delay(base: Duration, cap: Duration, retry_index: u32) -> Duration {
     let factor = 1u32 << retry_index.min(16);
     base.saturating_mul(factor).min(cap)
+}
+
+/// xorshift64* step. State must be non-zero.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Jitter `envelope` uniformly into `[0.5, 1.0) × envelope`: the
+/// schedule keeps its exponential shape (never collapses to zero — a
+/// thundering herd of instant retries is as bad as a synchronized one)
+/// while two clients with different seeds decorrelate.
+fn jittered_delay(envelope: Duration, rng: &mut u64) -> Duration {
+    let frac = 0.5 + (xorshift64(rng) >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
+    envelope.mul_f64(frac)
+}
+
+/// The jitter stream's seed: explicit, or derived from the client id
+/// (SplitMix64's golden-ratio increment spreads adjacent ids across the
+/// state space); forced odd so xorshift never sees zero.
+fn jitter_seed(cfg: &ClientConfig) -> u64 {
+    let raw = if cfg.jitter_seed != 0 {
+        cfg.jitter_seed
+    } else {
+        cfg.client_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    };
+    raw | 1
 }
 
 impl Client {
@@ -217,9 +279,49 @@ impl Client {
         )
     }
 
+    /// A failover-aware client over a server list: dialing starts at the
+    /// current target (initially `servers[0]` — list the primary first)
+    /// and rotates through the list until a socket connects. A typed
+    /// `NotPrimary` answer retargets to the leader hint (when it names a
+    /// listed server) or the next server, so after a promotion both
+    /// scans and the idempotent ingest sequence converge on the new
+    /// primary without the caller doing anything.
+    pub fn connect_list(servers: Vec<SocketAddr>, cfg: ClientConfig) -> Client {
+        assert!(!servers.is_empty(), "server list must not be empty");
+        let targets = Arc::new(TargetList {
+            servers,
+            current: AtomicUsize::new(0),
+        });
+        let connect_timeout = cfg.connect_timeout;
+        let dial = Arc::clone(&targets);
+        let mut client = Client::with_connector(
+            cfg,
+            Box::new(move || {
+                let n = dial.servers.len();
+                let start = dial.current.load(Ordering::Relaxed) % n;
+                let mut last_err = None;
+                for offset in 0..n {
+                    let idx = (start + offset) % n;
+                    match TcpStream::connect_timeout(&dial.servers[idx], connect_timeout) {
+                        Ok(stream) => {
+                            stream.set_nodelay(true).ok();
+                            dial.current.store(idx, Ordering::Relaxed);
+                            return Ok(Box::new(stream) as Box<dyn WireStream>);
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                Err(last_err.expect("server list is non-empty"))
+            }),
+        );
+        client.targets = Some(targets);
+        client
+    }
+
     /// A client over an arbitrary connection factory (fault-injection
     /// tests live here).
     pub fn with_connector(cfg: ClientConfig, connector: Connector) -> Client {
+        let rng = jitter_seed(&cfg);
         Client {
             cfg,
             connector,
@@ -228,6 +330,9 @@ impl Client {
             next_request_id: 1,
             next_sequence: 1,
             stats: ClientStats::default(),
+            rng,
+            targets: None,
+            last_target: None,
         }
     }
 
@@ -350,8 +455,9 @@ impl Client {
                     self.stats.overloaded += 1;
                     last_error = format!("shed by server (retry after {retry_after_micros} us)");
                     let suggested = Duration::from_micros(retry_after_micros);
-                    let backoff =
+                    let envelope =
                         backoff_delay(self.cfg.backoff_base, self.cfg.backoff_cap, attempts - 1);
+                    let backoff = jittered_delay(envelope, &mut self.rng);
                     self.sleep_within(suggested.max(backoff), op_deadline);
                 }
                 Ok(Response::Error {
@@ -361,6 +467,36 @@ impl Client {
                     // The server is draining; this connection is done.
                     self.stream = None;
                     last_error = "server shutting down".to_string();
+                    self.backoff(attempts, op_deadline);
+                }
+                Ok(Response::Error {
+                    code: ErrorCode::NotPrimary,
+                    message,
+                    ..
+                }) => {
+                    // A follower refused a write. With a server list,
+                    // retarget — to the leader hint when it names a
+                    // listed server, otherwise the next in the list —
+                    // and retry there; without one, the error is final.
+                    let Some(targets) = self.targets.clone() else {
+                        return Err(ClientError::Server {
+                            code: ErrorCode::NotPrimary,
+                            message,
+                        });
+                    };
+                    self.stats.not_primary += 1;
+                    self.stream = None;
+                    let n = targets.servers.len();
+                    let cur = targets.current.load(Ordering::Relaxed) % n;
+                    let next = message
+                        .trim()
+                        .parse::<SocketAddr>()
+                        .ok()
+                        .and_then(|hint| targets.servers.iter().position(|s| *s == hint))
+                        .filter(|&idx| idx != cur)
+                        .unwrap_or((cur + 1) % n);
+                    targets.current.store(next, Ordering::Relaxed);
+                    last_error = format!("not primary (retargeting to server #{next})");
                     self.backoff(attempts, op_deadline);
                 }
                 Ok(Response::Error { code, message, .. }) => {
@@ -381,7 +517,8 @@ impl Client {
     }
 
     fn backoff(&mut self, attempts: u32, op_deadline: Option<Instant>) {
-        let delay = backoff_delay(self.cfg.backoff_base, self.cfg.backoff_cap, attempts - 1);
+        let envelope = backoff_delay(self.cfg.backoff_base, self.cfg.backoff_cap, attempts - 1);
+        let delay = jittered_delay(envelope, &mut self.rng);
         self.sleep_within(delay, op_deadline);
     }
 
@@ -413,6 +550,13 @@ impl Client {
             }
             self.ever_connected = true;
             self.stream = Some(stream);
+            if let Some(targets) = &self.targets {
+                let idx = targets.current.load(Ordering::Relaxed);
+                if self.last_target.is_some_and(|prev| prev != idx) {
+                    self.stats.failovers += 1;
+                }
+                self.last_target = Some(idx);
+            }
         }
         let stream = self.stream.as_mut().expect("connected above");
         stream
@@ -496,7 +640,9 @@ fn with_deadline(template: &Request, remaining: Option<Duration>) -> Request {
         | Request::Ingest {
             deadline_micros, ..
         } => *deadline_micros = micros,
-        Request::Stats => {}
+        // Replication frames are server-to-server; the client never
+        // sends them and they carry no deadline.
+        Request::Stats | Request::Subscribe { .. } | Request::ReplAck { .. } => {}
     }
     req
 }
@@ -534,6 +680,61 @@ mod tests {
     fn backoff_shift_saturates_instead_of_overflowing() {
         let d = backoff_delay(Duration::from_millis(1), Duration::from_secs(1), 40);
         assert_eq!(d, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn jitter_stays_inside_the_envelope() {
+        let mut rng = 0xDEAD_BEEF_u64 | 1;
+        let envelope = Duration::from_millis(100);
+        for _ in 0..1_000 {
+            let d = jittered_delay(envelope, &mut rng);
+            assert!(
+                d >= Duration::from_millis(50) && d < Duration::from_millis(100),
+                "jittered delay {d:?} escaped [0.5, 1.0) x {envelope:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_schedules_decorrelate_across_clients() {
+        // Two clients that die together (their shared primary crashed)
+        // must not retry in lockstep against the promoted follower. The
+        // seeds differ only in client_id — the default derivation.
+        let cfg_a = ClientConfig {
+            client_id: 1,
+            ..ClientConfig::default()
+        };
+        let cfg_b = ClientConfig {
+            client_id: 2,
+            ..ClientConfig::default()
+        };
+        let schedule = |cfg: &ClientConfig| -> Vec<Duration> {
+            let mut rng = jitter_seed(cfg);
+            (0..8)
+                .map(|i| {
+                    jittered_delay(
+                        backoff_delay(cfg.backoff_base, cfg.backoff_cap, i),
+                        &mut rng,
+                    )
+                })
+                .collect()
+        };
+        let a = schedule(&cfg_a);
+        let b = schedule(&cfg_b);
+        let distinct = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        assert!(
+            distinct >= 6,
+            "retry schedules too correlated: {a:?} vs {b:?}"
+        );
+        // Same seed → same schedule: failover tests stay reproducible.
+        assert_eq!(a, schedule(&cfg_a));
+        // An explicit seed overrides the derived one.
+        let cfg_c = ClientConfig {
+            client_id: 1,
+            jitter_seed: 7,
+            ..ClientConfig::default()
+        };
+        assert_ne!(a, schedule(&cfg_c));
     }
 
     #[test]

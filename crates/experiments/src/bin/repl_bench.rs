@@ -1,0 +1,359 @@
+//! `repl_bench` — record what replication costs: follower replay lag
+//! versus ingest rate (a primary streaming its WAL to a live follower
+//! while a client ingests at a paced rate), and failover latency (kill
+//! the primary, promote a follower, measure the time to the first
+//! successful client scan on the promoted node).
+//!
+//! Every replicated state is checksum-checked against the single-node
+//! `scan_naive` oracle applying the same batches — any divergence, any
+//! follower that never drains its lag, or any failover scan that never
+//! converges fails the run with exit 1.
+//!
+//! ```text
+//! repl_bench [--rows N] [--batches N] [--batch-rows N] [--trials N] [--out FILE]
+//! ```
+//!
+//! Defaults: 10 000 seed rows, 48 batches of 100 rows per rate point,
+//! 3 failover trials, `BENCH_repl.json`.
+
+use serde::Serialize;
+use slicer_client::{Client, ClientConfig};
+use slicer_core::HillClimb;
+use slicer_cost::HddCostModel;
+use slicer_experiments::{write_report, BenchStamp};
+use slicer_lifecycle::{FleetConfig, TableFleet, TableManager, TableManagerConfig};
+use slicer_model::{AttrKind, AttrSet, Partitioning, Query, TableSchema};
+use slicer_net::{Server, ServerConfig, ServerHandle, ServerRole, WireStream};
+use slicer_storage::{
+    generate_table, scan_naive_snapshot, CompressionPolicy, IngestBatch, StoredTable,
+};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const TABLE: &str = "lineorder";
+
+fn schema(rows: usize) -> TableSchema {
+    TableSchema::builder(TABLE, rows as u64)
+        .attr("OrderKey", 4, AttrKind::Int)
+        .attr("Revenue", 8, AttrKind::Decimal)
+        .attr("ShipMode", 10, AttrKind::Text)
+        .build()
+        .expect("valid schema")
+}
+
+fn seed_fleet(rows: usize) -> TableFleet {
+    let s = schema(rows);
+    let data = generate_table(&s, rows, 7);
+    let table = StoredTable::load(
+        &s,
+        &data,
+        &Partitioning::row(&s),
+        CompressionPolicy::Default,
+    );
+    let mut fleet = TableFleet::new(FleetConfig::default());
+    fleet.add_table(
+        TABLE,
+        TableManager::new(
+            table,
+            Box::new(HillClimb::new()),
+            HddCostModel::paper_testbed(),
+            TableManagerConfig::default(),
+        ),
+    );
+    fleet
+}
+
+fn quick_cfg(role: ServerRole, follower_id: u64) -> ServerConfig {
+    ServerConfig {
+        role,
+        follower_id,
+        heartbeat_interval: Duration::from_millis(25),
+        poll_interval: Duration::from_millis(2),
+        ..ServerConfig::default()
+    }
+}
+
+fn dial(addr: SocketAddr) -> std::io::Result<Box<dyn WireStream>> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(1))?;
+    stream.set_nodelay(true).ok();
+    Ok(Box::new(stream) as Box<dyn WireStream>)
+}
+
+fn spawn_follower(rows: usize, leader: SocketAddr, id: u64) -> ServerHandle {
+    Server::spawn_follower(
+        seed_fleet(rows),
+        quick_cfg(
+            ServerRole::Follower {
+                leader_hint: leader.to_string(),
+            },
+            id,
+        ),
+        Box::new(move || dial(leader)),
+    )
+    .expect("bind follower")
+}
+
+fn scan_query() -> Query {
+    Query::new("q", [0usize, 1, 2].into_iter().collect::<AttrSet>())
+}
+
+fn live_checksum(handle: &ServerHandle) -> u64 {
+    handle.with_fleet(|fleet| {
+        let target = fleet.scan_target(TABLE).expect("registered");
+        scan_naive_snapshot(
+            &target.table.snapshot(),
+            scan_query().referenced,
+            &target.disk,
+        )
+        .checksum
+    })
+}
+
+fn log_len(handle: &ServerHandle) -> u64 {
+    handle
+        .repl_stats()
+        .tables
+        .iter()
+        .find(|t| t.table == TABLE)
+        .map_or(0, |t| t.log_len)
+}
+
+/// The primary's view of `follower_id`'s acknowledged position.
+fn acked(handle: &ServerHandle, follower_id: u64) -> u64 {
+    handle
+        .repl_stats()
+        .tables
+        .iter()
+        .find(|t| t.table == TABLE)
+        .and_then(|t| {
+            t.acked
+                .iter()
+                .find(|&&(fid, _)| fid == follower_id)
+                .map(|&(_, seq)| seq)
+        })
+        .unwrap_or(0)
+}
+
+#[derive(Debug, Serialize)]
+struct LagPoint {
+    /// Ingest rate the driver aimed for (batches/s; 0 = unthrottled).
+    target_batches_per_sec: u64,
+    /// Rate the wire client actually sustained.
+    achieved_batches_per_sec: f64,
+    batches: usize,
+    batch_rows: usize,
+    /// Worst observed `primary log - follower ack` during the burst, in
+    /// log records (each wire batch contributes 2: ingest + ledger).
+    max_lag_records: u64,
+    /// Time from the last acknowledged ingest until the follower's ack
+    /// caught the primary's log.
+    drain_seconds: f64,
+    /// Replay throughput: records the follower applied per second,
+    /// measured over the whole burst + drain window.
+    replay_records_per_sec: f64,
+    /// The drained follower's naive checksum equals the primary's.
+    checksum_ok: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct FailoverTrial {
+    trial: usize,
+    /// Kill-to-first-successful-scan on the promoted follower, via a
+    /// `connect_list` client riding its reconnect loop.
+    seconds_to_first_scan: f64,
+    /// That first scan's checksum matched the pre-kill oracle.
+    checksum_ok: bool,
+    /// Client failovers counted (must be ≥ 1 — the scan moved nodes).
+    client_failovers: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct ReplReport {
+    benchmark: String,
+    stamp: BenchStamp,
+    table: String,
+    rows: usize,
+    lag: Vec<LagPoint>,
+    failover: Vec<FailoverTrial>,
+    /// Every checksum gate in the run held.
+    checksums_ok: bool,
+}
+
+/// One paced ingest burst against a fresh primary/follower pair,
+/// sampling the follower's lag from the primary's ack bookkeeping.
+fn lag_point(rows: usize, batches: usize, batch_rows: usize, rate: u64) -> LagPoint {
+    let primary = Server::spawn(seed_fleet(rows), quick_cfg(ServerRole::Primary, 0)).expect("bind");
+    let follower = spawn_follower(rows, primary.addr(), 1);
+    let mut client = Client::connect(
+        primary.addr(),
+        ClientConfig {
+            client_id: 1,
+            ..ClientConfig::default()
+        },
+    );
+    let s = schema(rows);
+    let interval = match 1_000_000u64.checked_div(rate) {
+        Some(micros) => Duration::from_micros(micros),
+        None => Duration::ZERO,
+    };
+    let start = Instant::now();
+    let mut max_lag = 0u64;
+    for i in 0..batches {
+        let due = start + interval * i as u32;
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let b = IngestBatch::append(generate_table(&s, batch_rows, 9_000 + i as u64));
+        client.ingest(TABLE, &b).expect("wire ingest");
+        max_lag = max_lag.max(log_len(&primary).saturating_sub(acked(&primary, 1)));
+    }
+    let burst_wall = start.elapsed().as_secs_f64();
+    // Drain: wait for the follower's ack to catch the primary's log.
+    let target = log_len(&primary);
+    let drain_start = Instant::now();
+    let drain_deadline = drain_start + Duration::from_secs(60);
+    while acked(&primary, 1) < target {
+        assert!(
+            Instant::now() < drain_deadline,
+            "follower never drained: log {target}, acked {}",
+            acked(&primary, 1)
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let drain_seconds = drain_start.elapsed().as_secs_f64();
+    let total_wall = start.elapsed().as_secs_f64();
+    let checksum_ok = live_checksum(&follower) == live_checksum(&primary);
+    follower.shutdown();
+    primary.shutdown();
+    LagPoint {
+        target_batches_per_sec: rate,
+        achieved_batches_per_sec: batches as f64 / burst_wall,
+        batches,
+        batch_rows,
+        max_lag_records: max_lag,
+        drain_seconds,
+        replay_records_per_sec: target as f64 / total_wall,
+        checksum_ok,
+    }
+}
+
+/// Kill-the-primary drill: measure kill-to-first-successful-scan on the
+/// promoted follower through a failover-aware client.
+fn failover_trial(rows: usize, batch_rows: usize, trial: usize) -> FailoverTrial {
+    let primary = Server::spawn(seed_fleet(rows), quick_cfg(ServerRole::Primary, 0)).expect("bind");
+    let follower = spawn_follower(rows, primary.addr(), 1);
+    let s = schema(rows);
+    let mut client = Client::connect_list(
+        vec![primary.addr(), follower.addr()],
+        ClientConfig {
+            client_id: 2,
+            jitter_seed: 40 + trial as u64,
+            max_attempts: 30,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(40),
+            ..ClientConfig::default()
+        },
+    );
+    for i in 0..4 {
+        let b = IngestBatch::append(generate_table(&s, batch_rows, 7_000 + i));
+        client.ingest(TABLE, &b).expect("pre-kill ingest");
+    }
+    let target = log_len(&primary);
+    let sync_deadline = Instant::now() + Duration::from_secs(60);
+    while acked(&primary, 1) < target {
+        assert!(Instant::now() < sync_deadline, "follower never synced");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let want = live_checksum(&primary);
+    client.scan(TABLE, &scan_query()).expect("pre-kill scan");
+
+    let kill = Instant::now();
+    primary.shutdown();
+    follower.promote();
+    let reply = client.scan(TABLE, &scan_query()).expect("failover scan");
+    let seconds_to_first_scan = kill.elapsed().as_secs_f64();
+    let stats = client.stats();
+    follower.shutdown();
+    FailoverTrial {
+        trial,
+        seconds_to_first_scan,
+        checksum_ok: reply.checksum == want,
+        client_failovers: stats.failovers,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let rows: usize = flag("--rows")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let batches: usize = flag("--batches").and_then(|v| v.parse().ok()).unwrap_or(48);
+    let batch_rows: usize = flag("--batch-rows")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    let trials: usize = flag("--trials").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let out = flag("--out").unwrap_or_else(|| "BENCH_repl.json".into());
+
+    eprintln!("repl_bench: {rows} seed rows, {batches} x {batch_rows}-row batches per point");
+    let mut lag = Vec::new();
+    for rate in [50u64, 200, 0] {
+        let point = lag_point(rows, batches, batch_rows, rate);
+        eprintln!(
+            "  rate {:>4} b/s: achieved {:7.1} b/s, max lag {:3} records, drain {:6.3}s, \
+             replay {:7.0} rec/s, checksum {}",
+            if point.target_batches_per_sec == 0 {
+                "max".to_string()
+            } else {
+                point.target_batches_per_sec.to_string()
+            },
+            point.achieved_batches_per_sec,
+            point.max_lag_records,
+            point.drain_seconds,
+            point.replay_records_per_sec,
+            if point.checksum_ok { "ok" } else { "MISMATCH" }
+        );
+        lag.push(point);
+    }
+
+    let mut failover = Vec::new();
+    for trial in 0..trials {
+        let t = failover_trial(rows, batch_rows, trial);
+        eprintln!(
+            "  failover trial {}: first scan on follower after {:6.3}s, checksum {}, \
+             client failovers {}",
+            t.trial,
+            t.seconds_to_first_scan,
+            if t.checksum_ok { "ok" } else { "MISMATCH" },
+            t.client_failovers
+        );
+        failover.push(t);
+    }
+
+    let checksums_ok = lag.iter().all(|p| p.checksum_ok) && failover.iter().all(|t| t.checksum_ok);
+    let failover_ok = failover.iter().all(|t| t.client_failovers >= 1);
+    let report = ReplReport {
+        benchmark: "repl".into(),
+        stamp: BenchStamp::collect(),
+        table: TABLE.into(),
+        rows,
+        lag,
+        failover,
+        checksums_ok,
+    };
+    write_report(&out, &report);
+
+    if !checksums_ok {
+        eprintln!("repl_bench: FAIL — replicated checksum diverged from the oracle");
+        std::process::exit(1);
+    }
+    if !failover_ok {
+        eprintln!("repl_bench: FAIL — a failover trial never moved the client off the primary");
+        std::process::exit(1);
+    }
+}

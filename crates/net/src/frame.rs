@@ -50,12 +50,30 @@ const MAX_SLOW_RECORDS: usize = 65_536;
 /// decoder allocate unboundedly.
 pub const MAX_PRED_CLAUSES: usize = 256;
 
+/// Bound on the replication records one [`Response::ReplBatch`] may
+/// carry.
+pub const MAX_REPL_RECORDS: usize = 65_536;
+
+/// Bound on the tables one [`Request::Subscribe`] (or its reply) may
+/// enumerate.
+const MAX_REPL_TABLES: usize = 4096;
+
+/// Bound on the attribute groups a replicated layout may carry, and on
+/// the attributes within one group — both far above `AttrSet::CAPACITY`,
+/// low enough that a hostile frame cannot force unbounded allocation.
+const MAX_LAYOUT_GROUPS: usize = 512;
+
 const REQ_SCAN: u8 = 0x01;
 const REQ_INGEST: u8 = 0x02;
 const REQ_STATS: u8 = 0x03;
+const REQ_SUBSCRIBE: u8 = 0x04;
+const REQ_REPL_ACK: u8 = 0x05;
 const RESP_SCAN: u8 = 0x81;
 const RESP_INGEST: u8 = 0x82;
 const RESP_STATS: u8 = 0x83;
+const RESP_SUBSCRIBE: u8 = 0x84;
+const RESP_REPL_BATCH: u8 = 0x85;
+const RESP_HEARTBEAT: u8 = 0x86;
 const RESP_ERROR: u8 = 0xEE;
 
 /// A typed wire-layer failure.
@@ -119,6 +137,11 @@ pub enum ErrorCode {
     /// An internal storage failure (I/O, corruption) — not the client's
     /// fault, not safely retryable blind.
     Internal,
+    /// The node is a read-only follower and cannot apply writes. The
+    /// error frame's `message` carries the leader hint (the primary's
+    /// address as the follower last knew it) — retry the write there, or
+    /// against the next server in the client's list.
+    NotPrimary,
 }
 
 impl ErrorCode {
@@ -132,6 +155,7 @@ impl ErrorCode {
             ErrorCode::Malformed => 6,
             ErrorCode::ShuttingDown => 7,
             ErrorCode::Internal => 8,
+            ErrorCode::NotPrimary => 9,
         }
     }
 
@@ -145,6 +169,7 @@ impl ErrorCode {
             6 => ErrorCode::Malformed,
             7 => ErrorCode::ShuttingDown,
             8 => ErrorCode::Internal,
+            9 => ErrorCode::NotPrimary,
             other => return Err(WireError::Corrupt(format!("unknown error code {other}"))),
         })
     }
@@ -161,6 +186,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Malformed => "malformed",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::Internal => "internal",
+            ErrorCode::NotPrimary => "not-primary",
         };
         f.write_str(name)
     }
@@ -209,6 +235,94 @@ pub enum Request {
     },
     /// Fetch server counters and the slow-query log.
     Stats,
+    /// Subscribe to the server's replication stream (follower → primary).
+    /// The server answers with [`Response::SubscribeOk`], then streams
+    /// [`Response::ReplBatch`] frames (interleaved with
+    /// [`Response::Heartbeat`] when idle) on the same connection.
+    Subscribe {
+        /// The subscriber's stable identity (for the primary's per-
+        /// follower ack bookkeeping).
+        follower_id: u64,
+        /// Per table: resume cursor as a *replication-log index* — the
+        /// count of records this follower has already applied. Log
+        /// positions (not generations) make the cursor loss-proof: a cut
+        /// between an ingest record and the ledger record that travels
+        /// with it redelivers from the exact cut, and replay is
+        /// idempotent on the follower.
+        tables: Vec<(String, u64)>,
+    },
+    /// Acknowledge replication progress (follower → primary): the
+    /// follower has durably applied `table`'s log up to (excluding)
+    /// index `seq`. Fire-and-forget — the primary never replies.
+    ReplAck {
+        /// Which table's cursor advanced.
+        table: String,
+        /// Next log index the follower wants (= records applied so far).
+        seq: u64,
+    },
+}
+
+/// One record in a table's replication log — the unit
+/// [`Response::ReplBatch`] ships. Mirrors what the primary's WAL holds,
+/// plus the ingest-dedup ledger entries that must travel with it so a
+/// failover never double-applies a retried batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplRecord {
+    /// An ingest batch published `generation` on the primary. `batch` is
+    /// the opaque [`slicer_storage::encode_ingest_batch`] image; the
+    /// follower decodes, validates, and replays it through the normal
+    /// ingest path.
+    Ingest {
+        /// The generation the batch published on the primary.
+        generation: u64,
+        /// Encoded batch image.
+        batch: Vec<u8>,
+    },
+    /// A repartition published `generation` under `layout` (attribute ids
+    /// per group). The follower replays it through
+    /// `StoredTable::repartition`, which is byte-identical to the
+    /// primary's move — so layout flips replicate and checksums stay
+    /// bit-equal.
+    Publish {
+        /// The generation the move published on the primary.
+        generation: u64,
+        /// The adopted layout: attribute ids, grouped.
+        layout: Vec<Vec<u16>>,
+    },
+    /// A dedup-ledger entry: client `entry.client_id` was acknowledged
+    /// through sequence `entry.sequence` with the recorded ingest stats.
+    /// Travels interleaved right after its ingest record so a promoted
+    /// follower answers a retried batch from the ledger instead of
+    /// re-applying it.
+    Ledger {
+        /// The generation of the ingest this entry acknowledges.
+        generation: u64,
+        /// The ledger row.
+        entry: LedgerEntry,
+    },
+}
+
+/// One ingest-dedup ledger row as shipped in [`ReplRecord::Ledger`]:
+/// everything a promoted follower needs to reproduce the primary's
+/// `IngestOk` reply for a replayed sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry {
+    /// The idempotency namespace (the ingesting client's id).
+    pub client_id: u64,
+    /// The highest sequence acknowledged for that client.
+    pub sequence: u64,
+    /// Rows the acknowledged batch appended.
+    pub rows_appended: u64,
+    /// Rows the acknowledged batch tombstoned.
+    pub rows_deleted: u64,
+    /// WAL bytes the acknowledged batch appended.
+    pub wal_bytes: u64,
+    /// Modeled WAL-append disk seconds of the acknowledged batch.
+    pub io_seconds: f64,
+    /// Delta rows pending after the batch (on the primary).
+    pub delta_rows: u64,
+    /// Delta bytes pending after the batch (on the primary).
+    pub delta_bytes: u64,
 }
 
 /// One slow-query log record (see [`crate::SlowQueryLog`]); travels in
@@ -312,6 +426,26 @@ pub enum Response {
     },
     /// Server counters and slow-query log.
     StatsOk(ServerStats),
+    /// The subscription is accepted; per table, the primary's current
+    /// replication-log length (so the subscriber knows its lag up
+    /// front). [`Response::ReplBatch`] frames follow on this connection.
+    SubscribeOk {
+        /// Per table: name and current log length on the primary.
+        tables: Vec<(String, u64)>,
+    },
+    /// A chunk of `table`'s replication log, starting at log index
+    /// `first_seq` (the subscriber's cursor at send time).
+    ReplBatch {
+        /// Which table's log this chunk extends.
+        table: String,
+        /// Log index of `records[0]`.
+        first_seq: u64,
+        /// The records, in log order.
+        records: Vec<ReplRecord>,
+    },
+    /// The stream is idle but alive (sent when no new records have been
+    /// appended for a heartbeat interval); carries nothing.
+    Heartbeat,
     /// A typed failure; the request had no effect (except `Malformed`,
     /// after which the server closes the connection).
     Error {
@@ -486,6 +620,130 @@ fn take_predicate(buf: &mut &[u8]) -> Result<Option<Predicate>, WireError> {
     }
 }
 
+// --- replication record wire form -------------------------------------
+//
+// Each record: `tag u8 | generation u64 | payload`. Tags: 1 = ingest
+// (`blen u64 | batch bytes`), 2 = publish (`groups u16`, each `attrs u16
+// | attr u16 …`), 3 = ledger (eight fixed scalars). Same explicit-tag
+// discipline as the predicate form: the wire layout is independent of
+// the enum's in-memory layout.
+
+const REPL_INGEST: u8 = 1;
+const REPL_PUBLISH: u8 = 2;
+const REPL_LEDGER: u8 = 3;
+
+fn put_repl_record(out: &mut Vec<u8>, rec: &ReplRecord) {
+    match rec {
+        ReplRecord::Ingest { generation, batch } => {
+            out.push(REPL_INGEST);
+            out.extend_from_slice(&generation.to_le_bytes());
+            out.extend_from_slice(&(batch.len() as u64).to_le_bytes());
+            out.extend_from_slice(batch);
+        }
+        ReplRecord::Publish { generation, layout } => {
+            out.push(REPL_PUBLISH);
+            out.extend_from_slice(&generation.to_le_bytes());
+            out.extend_from_slice(&(layout.len() as u16).to_le_bytes());
+            for group in layout {
+                out.extend_from_slice(&(group.len() as u16).to_le_bytes());
+                for a in group {
+                    out.extend_from_slice(&a.to_le_bytes());
+                }
+            }
+        }
+        ReplRecord::Ledger { generation, entry } => {
+            out.push(REPL_LEDGER);
+            out.extend_from_slice(&generation.to_le_bytes());
+            out.extend_from_slice(&entry.client_id.to_le_bytes());
+            out.extend_from_slice(&entry.sequence.to_le_bytes());
+            out.extend_from_slice(&entry.rows_appended.to_le_bytes());
+            out.extend_from_slice(&entry.rows_deleted.to_le_bytes());
+            out.extend_from_slice(&entry.wal_bytes.to_le_bytes());
+            out.extend_from_slice(&entry.io_seconds.to_bits().to_le_bytes());
+            out.extend_from_slice(&entry.delta_rows.to_le_bytes());
+            out.extend_from_slice(&entry.delta_bytes.to_le_bytes());
+        }
+    }
+}
+
+fn take_repl_record(buf: &mut &[u8]) -> Result<ReplRecord, WireError> {
+    let tag = take_u8(buf)?;
+    let generation = take_u64(buf)?;
+    Ok(match tag {
+        REPL_INGEST => {
+            let blen = take_u64(buf)? as usize;
+            let batch = take_bytes(buf, blen)?.to_vec();
+            ReplRecord::Ingest { generation, batch }
+        }
+        REPL_PUBLISH => {
+            let groups = take_u16(buf)? as usize;
+            if groups > MAX_LAYOUT_GROUPS {
+                return Err(WireError::Corrupt(format!(
+                    "implausible layout group count {groups}"
+                )));
+            }
+            let mut layout = Vec::with_capacity(groups);
+            for _ in 0..groups {
+                let attrs = take_u16(buf)? as usize;
+                if attrs > MAX_LAYOUT_GROUPS {
+                    return Err(WireError::Corrupt(format!(
+                        "implausible layout attr count {attrs}"
+                    )));
+                }
+                let mut group = Vec::with_capacity(attrs);
+                for _ in 0..attrs {
+                    group.push(take_u16(buf)?);
+                }
+                layout.push(group);
+            }
+            ReplRecord::Publish { generation, layout }
+        }
+        REPL_LEDGER => ReplRecord::Ledger {
+            generation,
+            entry: LedgerEntry {
+                client_id: take_u64(buf)?,
+                sequence: take_u64(buf)?,
+                rows_appended: take_u64(buf)?,
+                rows_deleted: take_u64(buf)?,
+                wal_bytes: take_u64(buf)?,
+                io_seconds: take_f64(buf)?,
+                delta_rows: take_u64(buf)?,
+                delta_bytes: take_u64(buf)?,
+            },
+        },
+        other => {
+            return Err(WireError::Corrupt(format!(
+                "unknown replication record tag {other}"
+            )));
+        }
+    })
+}
+
+/// Per-table name/count list, shared by Subscribe and SubscribeOk.
+fn put_table_seqs(out: &mut Vec<u8>, tables: &[(String, u64)]) {
+    out.extend_from_slice(&(tables.len() as u32).to_le_bytes());
+    for (name, seq) in tables {
+        put_str(out, name);
+        out.extend_from_slice(&seq.to_le_bytes());
+    }
+}
+
+fn take_table_seqs(buf: &mut &[u8]) -> Result<Vec<(String, u64)>, WireError> {
+    let n = take_u32(buf)? as usize;
+    if n > MAX_REPL_TABLES {
+        return Err(WireError::Corrupt(format!(
+            "implausible subscription table count {n}"
+        )));
+    }
+    let mut tables = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = take_str(buf)?;
+        let seq = take_u64(buf)?;
+        tables.push((name, seq));
+    }
+    Ok(tables)
+}
+
 // --- encoding ---------------------------------------------------------
 
 fn encode_body(request_id: u64, msg: &Message, body: &mut Vec<u8>) {
@@ -526,6 +784,19 @@ fn encode_body(request_id: u64, msg: &Message, body: &mut Vec<u8>) {
             body.extend_from_slice(batch);
         }
         Message::Request(Request::Stats) => body.push(REQ_STATS),
+        Message::Request(Request::Subscribe {
+            follower_id,
+            tables,
+        }) => {
+            body.push(REQ_SUBSCRIBE);
+            body.extend_from_slice(&follower_id.to_le_bytes());
+            put_table_seqs(body, tables);
+        }
+        Message::Request(Request::ReplAck { table, seq }) => {
+            body.push(REQ_REPL_ACK);
+            put_str(body, table);
+            body.extend_from_slice(&seq.to_le_bytes());
+        }
         Message::Response(Response::ScanOk {
             checksum,
             bytes_read,
@@ -601,6 +872,24 @@ fn encode_body(request_id: u64, msg: &Message, body: &mut Vec<u8>) {
                 body.extend_from_slice(&rec.generation.to_le_bytes());
             }
         }
+        Message::Response(Response::SubscribeOk { tables }) => {
+            body.push(RESP_SUBSCRIBE);
+            put_table_seqs(body, tables);
+        }
+        Message::Response(Response::ReplBatch {
+            table,
+            first_seq,
+            records,
+        }) => {
+            body.push(RESP_REPL_BATCH);
+            put_str(body, table);
+            body.extend_from_slice(&first_seq.to_le_bytes());
+            body.extend_from_slice(&(records.len() as u32).to_le_bytes());
+            for rec in records {
+                put_repl_record(body, rec);
+            }
+        }
+        Message::Response(Response::Heartbeat) => body.push(RESP_HEARTBEAT),
         Message::Response(Response::Error {
             code,
             retry_after_micros,
@@ -679,6 +968,19 @@ fn decode_body(body: &[u8]) -> Result<Envelope, WireError> {
             })
         }
         REQ_STATS => Message::Request(Request::Stats),
+        REQ_SUBSCRIBE => {
+            let follower_id = take_u64(&mut buf)?;
+            let tables = take_table_seqs(&mut buf)?;
+            Message::Request(Request::Subscribe {
+                follower_id,
+                tables,
+            })
+        }
+        REQ_REPL_ACK => {
+            let table = take_str(&mut buf)?;
+            let seq = take_u64(&mut buf)?;
+            Message::Request(Request::ReplAck { table, seq })
+        }
         RESP_SCAN => Message::Response(Response::ScanOk {
             checksum: take_u64(&mut buf)?,
             bytes_read: take_u64(&mut buf)?,
@@ -763,6 +1065,29 @@ fn decode_body(body: &[u8]) -> Result<Envelope, WireError> {
             stats.slow_queries = slow;
             Message::Response(Response::StatsOk(stats))
         }
+        RESP_SUBSCRIBE => Message::Response(Response::SubscribeOk {
+            tables: take_table_seqs(&mut buf)?,
+        }),
+        RESP_REPL_BATCH => {
+            let table = take_str(&mut buf)?;
+            let first_seq = take_u64(&mut buf)?;
+            let n = take_u32(&mut buf)? as usize;
+            if n > MAX_REPL_RECORDS {
+                return Err(WireError::Corrupt(format!(
+                    "implausible replication record count {n}"
+                )));
+            }
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                records.push(take_repl_record(&mut buf)?);
+            }
+            Message::Response(Response::ReplBatch {
+                table,
+                first_seq,
+                records,
+            })
+        }
+        RESP_HEARTBEAT => Message::Response(Response::Heartbeat),
         RESP_ERROR => {
             let code = ErrorCode::from_tag(take_u8(&mut buf)?)?;
             let retry_after_micros = take_u64(&mut buf)?;
@@ -985,6 +1310,65 @@ mod tests {
                     code: ErrorCode::Overloaded,
                     retry_after_micros: 30_000,
                     message: "queued 0.8s of modeled scan work".into(),
+                }),
+            ),
+            (
+                9,
+                Message::Request(Request::Subscribe {
+                    follower_id: 2,
+                    tables: vec![("tpch.lineitem".into(), 0), ("tpch.orders".into(), 17)],
+                }),
+            ),
+            (
+                10,
+                Message::Request(Request::ReplAck {
+                    table: "tpch.lineitem".into(),
+                    seq: 5,
+                }),
+            ),
+            (
+                11,
+                Message::Response(Response::SubscribeOk {
+                    tables: vec![("tpch.lineitem".into(), 5), ("tpch.orders".into(), 17)],
+                }),
+            ),
+            (
+                12,
+                Message::Response(Response::ReplBatch {
+                    table: "tpch.lineitem".into(),
+                    first_seq: 3,
+                    records: vec![
+                        ReplRecord::Ingest {
+                            generation: 4,
+                            batch: vec![0, 3, 0, 0, 0, 0, 0, 0, 0, 0],
+                        },
+                        ReplRecord::Ledger {
+                            generation: 4,
+                            entry: LedgerEntry {
+                                client_id: 0xDEAD_BEEF,
+                                sequence: 42,
+                                rows_appended: 3,
+                                rows_deleted: 1,
+                                wal_bytes: 128,
+                                io_seconds: 0.002,
+                                delta_rows: 3,
+                                delta_bytes: 90,
+                            },
+                        },
+                        ReplRecord::Publish {
+                            generation: 5,
+                            layout: vec![vec![4], vec![0, 1, 2, 3, 5]],
+                        },
+                    ],
+                }),
+            ),
+            (13, Message::Response(Response::Heartbeat)),
+            (
+                14,
+                Message::Response(Response::Error {
+                    code: ErrorCode::NotPrimary,
+                    retry_after_micros: 0,
+                    message: "127.0.0.1:4710".into(),
                 }),
             ),
         ]

@@ -34,8 +34,11 @@ mod slowlog;
 
 pub use fault::{Fault, FaultKind, FaultPlan, FaultyStream, WireStream};
 pub use frame::{
-    encode_envelope, encode_request, encode_response, Envelope, ErrorCode, FrameBuffer, Message,
-    Request, Response, ServerStats, SlowQueryRecord, WireError, MAX_FRAME_LEN, MAX_PRED_CLAUSES,
+    encode_envelope, encode_request, encode_response, Envelope, ErrorCode, FrameBuffer,
+    LedgerEntry, Message, ReplRecord, Request, Response, ServerStats, SlowQueryRecord, WireError,
+    MAX_FRAME_LEN, MAX_PRED_CLAUSES, MAX_REPL_RECORDS,
 };
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{
+    FollowerConnector, ReplStats, Server, ServerConfig, ServerHandle, ServerRole, TableReplStats,
+};
 pub use slowlog::SlowQueryLog;

@@ -30,15 +30,19 @@
 //! up front with [`ErrorCode::DeadlineExceeded`] — no cycles are spent
 //! on an answer the client will have abandoned.
 
+use crate::fault::WireStream;
 use crate::frame::{
-    Envelope, ErrorCode, FrameBuffer, Message, Request, Response, ServerStats, SlowQueryRecord,
-    WireError,
+    Envelope, ErrorCode, FrameBuffer, LedgerEntry, Message, ReplRecord, Request, Response,
+    ServerStats, SlowQueryRecord, WireError,
 };
 use crate::slowlog::SlowQueryLog;
 use slicer_cost::{CostModel, HddCostModel};
 use slicer_lifecycle::{ScanTarget, TableFleet};
-use slicer_model::{AttrSet, Predicate, Query};
-use slicer_storage::{decode_ingest_batch, ScanExecutor, ScanResult, StorageError, TableSnapshot};
+use slicer_model::{AttrSet, Partitioning, Predicate, Query};
+use slicer_storage::{
+    decode_ingest_batch, encode_ingest_batch, ReplOp, ScanExecutor, ScanResult, StorageError,
+    TableSnapshot,
+};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -46,6 +50,27 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Which side of the replication stream this server plays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerRole {
+    /// Accepts writes, streams its replication log to subscribers.
+    Primary,
+    /// Replays a primary's log and serves **read-only** scans; ingest is
+    /// rejected with a typed [`ErrorCode::NotPrimary`] carrying
+    /// `leader_hint`. Flip to primary with [`ServerHandle::promote`].
+    Follower {
+        /// Where writes should go instead (the primary's address as this
+        /// follower last knew it); shipped verbatim in the error frame's
+        /// message field.
+        leader_hint: String,
+    },
+}
+
+/// How a follower's replication pump obtains a connection to its
+/// primary. Tests inject connectors that wrap the stream in
+/// [`crate::FaultyStream`] or dial a restarted primary at a new port.
+pub type FollowerConnector = Box<dyn FnMut() -> std::io::Result<Box<dyn WireStream>> + Send>;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -71,6 +96,16 @@ pub struct ServerConfig {
     pub frame_stall_timeout: Duration,
     /// Cost model pricing scans for admission control.
     pub cost: HddCostModel,
+    /// Primary (accepts writes, streams its log) or read-only follower.
+    pub role: ServerRole,
+    /// An idle subscription stream gets a [`Response::Heartbeat`] at this
+    /// cadence so a follower can tell "no new records" from "dead
+    /// primary".
+    pub heartbeat_interval: Duration,
+    /// This node's identity when it subscribes to a primary (used by the
+    /// primary's per-follower ack bookkeeping, and to seed the pump's
+    /// reconnect jitter). Ignored for primaries.
+    pub follower_id: u64,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +118,9 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(20),
             frame_stall_timeout: Duration::from_secs(2),
             cost: HddCostModel::paper_testbed(),
+            role: ServerRole::Primary,
+            heartbeat_interval: Duration::from_millis(200),
+            follower_id: 1,
         }
     }
 }
@@ -117,6 +155,99 @@ struct PendingScan {
     snapshot: Arc<TableSnapshot>,
 }
 
+/// Max records shipped per [`Response::ReplBatch`] frame — bounds frame
+/// size and keeps a far-behind follower's catch-up incremental.
+const REPL_CHUNK: usize = 512;
+
+/// Per-table replication logs plus per-follower ack cursors.
+///
+/// Held in its *own* `Arc`, separate from [`Shared`]: the replication
+/// taps installed on each table capture this (they outlive connection
+/// threads, living inside the `StoredTable`s), and capturing
+/// `Arc<Shared>` there instead would both leak a reference cycle and
+/// break `ServerHandle::shutdown`'s `Arc::try_unwrap`.
+#[derive(Default)]
+struct ReplShared {
+    log: Mutex<ReplLog>,
+}
+
+#[derive(Default)]
+struct ReplLog {
+    /// Per table, every replicable record since this server spawned, in
+    /// publication order. Index into the vec is the wire cursor
+    /// (`first_seq` / subscribe-from).
+    entries: HashMap<String, Vec<ReplRecord>>,
+    /// Per follower id, per table: the next log index the follower wants
+    /// (= records it has acknowledged applying).
+    acked: HashMap<u64, HashMap<String, u64>>,
+}
+
+impl ReplShared {
+    fn append(&self, table: &str, rec: ReplRecord) {
+        self.log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .entry(table.to_string())
+            .or_default()
+            .push(rec);
+    }
+
+    fn log_len(&self, table: &str) -> u64 {
+        self.log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .get(table)
+            .map_or(0, |v| v.len() as u64)
+    }
+
+    /// Up to [`REPL_CHUNK`] records of `table`'s log starting at `from`
+    /// (clamped to the log length), plus the index of the first one.
+    fn slice(&self, table: &str, from: u64) -> (u64, Vec<ReplRecord>) {
+        let log = self.log.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(entries) = log.entries.get(table) else {
+            return (from, Vec::new());
+        };
+        let start = (from as usize).min(entries.len());
+        let end = (start + REPL_CHUNK).min(entries.len());
+        (start as u64, entries[start..end].to_vec())
+    }
+
+    fn record_ack(&self, follower_id: u64, table: &str, seq: u64) {
+        let mut log = self.log.lock().unwrap_or_else(|e| e.into_inner());
+        let cursor = log
+            .acked
+            .entry(follower_id)
+            .or_default()
+            .entry(table.to_string())
+            .or_insert(0);
+        *cursor = (*cursor).max(seq);
+    }
+}
+
+/// Replication progress of one table, from [`ServerHandle::repl_stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableReplStats {
+    /// Table name.
+    pub table: String,
+    /// Records in this server's replication log.
+    pub log_len: u64,
+    /// Per subscribed follower id: the next log index it has
+    /// acknowledged (its applied count). `log_len - acked` is the
+    /// follower's lag in records.
+    pub acked: Vec<(u64, u64)>,
+}
+
+/// Replication progress snapshot (see [`ServerHandle::repl_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplStats {
+    /// The server's current role.
+    pub role: ServerRole,
+    /// Per-table log lengths and follower acks, sorted by table name.
+    pub tables: Vec<TableReplStats>,
+}
+
 struct Shared {
     cfg: ServerConfig,
     routes: HashMap<String, ScanTarget>,
@@ -127,6 +258,9 @@ struct Shared {
     /// Modeled µs of scan work currently in flight (admission signal).
     inflight_io_micros: AtomicU64,
     shutdown: AtomicBool,
+    /// Current role; flipped by [`ServerHandle::promote`].
+    role: Mutex<ServerRole>,
+    repl: Arc<ReplShared>,
 }
 
 impl Shared {
@@ -364,6 +498,13 @@ fn handle_ingest(
     sequence: u64,
     batch_bytes: Vec<u8>,
 ) -> Response {
+    if let ServerRole::Follower { leader_hint } =
+        &*shared.role.lock().unwrap_or_else(|e| e.into_inner())
+    {
+        // Read-only node: the leader hint travels in the message field so
+        // a list-aware client can retarget the write.
+        return shared.typed_error(ErrorCode::NotPrimary, 0, leader_hint.clone());
+    }
     let batch = match decode_ingest_batch(&batch_bytes) {
         Ok(b) => b,
         Err(e) => return shared.typed_error(ErrorCode::InvalidBatch, 0, e.to_string()),
@@ -418,6 +559,29 @@ fn handle_ingest(
                 deduped: true,
             };
             core.ledger.insert(client_id, (sequence, replay));
+            // The dedup ledger travels with the stream: append the entry
+            // right behind the ingest record its tap just logged (we hold
+            // the core lock, so no other writer can interleave), so a
+            // promoted follower answers a retried sequence from the
+            // ledger instead of double-applying the batch.
+            if let Some(target) = shared.routes.get(&table) {
+                shared.repl.append(
+                    &table,
+                    ReplRecord::Ledger {
+                        generation: target.table.snapshot().generation,
+                        entry: LedgerEntry {
+                            client_id,
+                            sequence,
+                            rows_appended: stats.rows_appended,
+                            rows_deleted: stats.rows_deleted,
+                            wal_bytes: stats.wal_bytes,
+                            io_seconds: stats.io_seconds,
+                            delta_rows: stats.delta_rows,
+                            delta_bytes: stats.delta_bytes,
+                        },
+                    },
+                );
+            }
             shared.counters.ingests_ok.fetch_add(1, Ordering::Relaxed);
             reply
         }
@@ -470,6 +634,20 @@ fn handle_envelope(shared: &Shared, env: Envelope) -> (Response, bool) {
             false,
         ),
         Message::Request(Request::Stats) => (Response::StatsOk(shared.stats_snapshot()), false),
+        // Subscribe is intercepted by `serve_connection` (it flips the
+        // connection into streaming mode); reaching here means the frame
+        // arrived where it cannot be honored. A stray ack outside a
+        // subscription has no follower identity to credit.
+        Message::Request(Request::Subscribe { .. }) | Message::Request(Request::ReplAck { .. }) => {
+            (
+                shared.typed_error(
+                    ErrorCode::Malformed,
+                    0,
+                    "replication frame outside a subscription stream".into(),
+                ),
+                true,
+            )
+        }
         Message::Response(_) => (
             shared.typed_error(
                 ErrorCode::Malformed,
@@ -527,6 +705,21 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
             match fb.next_frame() {
                 Ok(Some(env)) => {
                     let request_id = env.request_id;
+                    if let Message::Request(Request::Subscribe {
+                        follower_id,
+                        tables,
+                    }) = &env.msg
+                    {
+                        serve_subscription(
+                            shared,
+                            &mut stream,
+                            fb,
+                            request_id,
+                            *follower_id,
+                            tables,
+                        );
+                        return;
+                    }
                     let (resp, close) = handle_envelope(shared, env);
                     if stream
                         .write_all(&crate::frame::encode_response(request_id, &resp))
@@ -567,6 +760,153 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
+/// Stream `shared`'s replication log to one subscriber: answer with
+/// [`Response::SubscribeOk`], then ship [`Response::ReplBatch`] chunks as
+/// the per-table cursors fall behind the log, heartbeat when idle, and
+/// drain [`Request::ReplAck`] frames into the ack bookkeeping. Runs on
+/// the connection's own thread until the peer drops, violates the
+/// protocol, or the server shuts down. Server-initiated frames carry
+/// request id 0 — a subscriber is not matching ids.
+fn serve_subscription(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    mut fb: FrameBuffer,
+    request_id: u64,
+    follower_id: u64,
+    tables: &[(String, u64)],
+) {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    for (t, _) in tables {
+        if !shared.routes.contains_key(t) {
+            let resp = shared.typed_error(
+                ErrorCode::UnknownTable,
+                0,
+                format!("no table registered under `{t}`"),
+            );
+            let _ = stream.write_all(&crate::frame::encode_response(request_id, &resp));
+            return;
+        }
+    }
+    for (t, from) in tables {
+        let have = shared.repl.log_len(t);
+        if *from > have {
+            // The subscriber claims more applied records than this log
+            // holds — it followed a different (longer-lived) primary and
+            // cannot catch up from here.
+            let resp = shared.typed_error(
+                ErrorCode::InvalidQuery,
+                0,
+                format!("subscriber is ahead of `{t}`'s log ({from} > {have})"),
+            );
+            let _ = stream.write_all(&crate::frame::encode_response(request_id, &resp));
+            return;
+        }
+    }
+    let accept = Response::SubscribeOk {
+        tables: tables
+            .iter()
+            .map(|(t, _)| (t.clone(), shared.repl.log_len(t)))
+            .collect(),
+    };
+    if stream
+        .write_all(&crate::frame::encode_response(request_id, &accept))
+        .is_err()
+    {
+        return;
+    }
+    let mut cursors: Vec<(String, u64)> = tables.to_vec();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut last_sent = Instant::now();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Ship everything the subscriber is behind on, one chunk per
+        // table per turn (the read poll below paces the loop).
+        let mut shipped = false;
+        for (table, cursor) in cursors.iter_mut() {
+            let (first_seq, records) = shared.repl.slice(table, *cursor);
+            if records.is_empty() {
+                continue;
+            }
+            let advance = records.len() as u64;
+            let resp = Response::ReplBatch {
+                table: table.clone(),
+                first_seq,
+                records,
+            };
+            if stream
+                .write_all(&crate::frame::encode_response(0, &resp))
+                .is_err()
+            {
+                return;
+            }
+            *cursor = first_seq + advance;
+            shipped = true;
+        }
+        if shipped {
+            last_sent = Instant::now();
+        } else if last_sent.elapsed() >= shared.cfg.heartbeat_interval {
+            if stream
+                .write_all(&crate::frame::encode_response(0, &Response::Heartbeat))
+                .is_err()
+            {
+                return;
+            }
+            last_sent = Instant::now();
+        }
+        // Drain acks; the poll-interval read timeout paces the loop.
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        fb.extend(&buf[..n]);
+        loop {
+            match fb.next_frame() {
+                Ok(Some(env)) => match env.msg {
+                    Message::Request(Request::ReplAck { table, seq }) => {
+                        shared.repl.record_ack(follower_id, &table, seq);
+                    }
+                    _ => {
+                        // Anything else on a subscription stream is
+                        // protocol misuse; close deterministically.
+                        shared
+                            .counters
+                            .malformed_frames
+                            .fetch_add(1, Ordering::Relaxed);
+                        let resp = shared.typed_error(
+                            ErrorCode::Malformed,
+                            0,
+                            "only acks may follow a subscription".into(),
+                        );
+                        let _ = stream.write_all(&crate::frame::encode_response(0, &resp));
+                        return;
+                    }
+                },
+                Ok(None) => break,
+                Err(err) => {
+                    shared
+                        .counters
+                        .malformed_frames
+                        .fetch_add(1, Ordering::Relaxed);
+                    let resp = shared.typed_error(ErrorCode::Malformed, 0, err.to_string());
+                    let _ = stream.write_all(&crate::frame::encode_response(0, &resp));
+                    return;
+                }
+            }
+        }
+    }
+}
+
 /// The serving tier: spawn with [`Server::spawn`], drive through
 /// [`crate::frame`]-speaking clients, stop with [`ServerHandle::shutdown`].
 pub struct Server;
@@ -585,6 +925,35 @@ impl Server {
                 .expect("table listed by the fleet must resolve");
             routes.insert(name, target);
         }
+        // Install the replication taps: every mutation a table publishes
+        // (ingest or layout flip, whichever path it came through) is
+        // appended to this server's per-table replication log, in
+        // publication order. The closures capture only `Arc<ReplShared>`
+        // — never `Arc<Shared>` — so shutdown's `Arc::try_unwrap` stays
+        // sound.
+        let repl = Arc::new(ReplShared::default());
+        for (name, target) in &routes {
+            let repl = Arc::clone(&repl);
+            let table = name.clone();
+            target.table.set_repl_tap(Arc::new(move |event| {
+                let record = match event.op {
+                    ReplOp::Ingest(batch) => ReplRecord::Ingest {
+                        generation: event.generation,
+                        batch: encode_ingest_batch(&batch),
+                    },
+                    ReplOp::Publish(layout) => ReplRecord::Publish {
+                        generation: event.generation,
+                        layout: layout
+                            .partitions()
+                            .iter()
+                            .map(|p| p.iter().map(|a| a.index() as u16).collect())
+                            .collect(),
+                    },
+                };
+                repl.append(&table, record);
+            }));
+        }
+        let role = cfg.role.clone();
         let shared = Arc::new(Shared {
             slow: Mutex::new(SlowQueryLog::new(
                 cfg.slow_query_threshold,
@@ -600,6 +969,8 @@ impl Server {
             counters: NetCounters::default(),
             inflight_io_micros: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            role: Mutex::new(role),
+            repl,
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -632,8 +1003,287 @@ impl Server {
             addr,
             accept,
             conns,
+            pump: Mutex::new(None),
+            pump_stop: Arc::new(AtomicBool::new(false)),
         })
     }
+
+    /// Spawn a **follower**: a server like [`Server::spawn`] (its scan,
+    /// stats, and subscription paths all work) whose ingest path answers
+    /// [`ErrorCode::NotPrimary`], plus a replication pump thread that
+    /// dials the primary through `connector`, subscribes from its own log
+    /// position, replays every shipped record through the fleet's normal
+    /// ingest/repartition paths, and acknowledges progress. On any
+    /// transport failure the pump reconnects with jittered backoff and
+    /// resubscribes from wherever its own log stands — replay is
+    /// idempotent, so a record redelivered across a cut applies once.
+    ///
+    /// `cfg.role` must be [`ServerRole::Follower`]; the follower's fleet
+    /// must hold the same tables (and starting state) the primary served
+    /// when its log began.
+    pub fn spawn_follower(
+        fleet: TableFleet,
+        cfg: ServerConfig,
+        connector: FollowerConnector,
+    ) -> std::io::Result<ServerHandle> {
+        assert!(
+            matches!(cfg.role, ServerRole::Follower { .. }),
+            "spawn_follower requires ServerRole::Follower"
+        );
+        let handle = Server::spawn(fleet, cfg)?;
+        let pump_stop = Arc::new(AtomicBool::new(false));
+        let pump = {
+            let shared = Arc::clone(&handle.shared);
+            let stop = Arc::clone(&pump_stop);
+            std::thread::spawn(move || run_pump(&shared, connector, &stop))
+        };
+        *handle.pump.lock().unwrap_or_else(|e| e.into_inner()) = Some(pump);
+        let handle = ServerHandle {
+            pump_stop,
+            ..handle
+        };
+        Ok(handle)
+    }
+}
+
+/// xorshift64* step — the pump's reconnect jitter source (decorrelates
+/// follower reconnect storms; cheap, deterministic per seed).
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// The follower's replication pump: connect, subscribe, replay, ack —
+/// reconnect with jittered capped-exponential backoff on any failure —
+/// until `stop` or server shutdown.
+fn run_pump(shared: &Shared, mut connector: FollowerConnector, stop: &AtomicBool) {
+    let mut rng = shared.cfg.follower_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut retry = 0u32;
+    let stopped = || stop.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst);
+    while !stopped() {
+        match pump_once(shared, &mut connector, stop) {
+            Ok(()) => retry = 0, // clean disconnect: retry promptly
+            Err(_) => retry = retry.saturating_add(1),
+        }
+        if stopped() {
+            return;
+        }
+        // Jittered backoff in [0.5, 1.0) of the capped-exponential
+        // envelope, slept in poll-sized slices so stop stays responsive.
+        let envelope = Duration::from_millis(10)
+            .saturating_mul(1 << retry.min(6))
+            .min(Duration::from_millis(500));
+        let frac = 0.5 + (xorshift64(&mut rng) >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
+        let mut left = envelope.mul_f64(frac);
+        while !left.is_zero() && !stopped() {
+            let slice = left.min(Duration::from_millis(20));
+            std::thread::sleep(slice);
+            left = left.saturating_sub(slice);
+        }
+    }
+}
+
+/// One subscription session: dial, subscribe from the follower's own log
+/// lengths, apply batches, ack. Returns `Ok` on a clean end-of-stream,
+/// `Err` on transport failure or protocol violation — the caller
+/// reconnects either way.
+fn pump_once(
+    shared: &Shared,
+    connector: &mut FollowerConnector,
+    stop: &AtomicBool,
+) -> Result<(), String> {
+    let mut stream = connector().map_err(|e| format!("connect failed: {e}"))?;
+    stream
+        .set_read_timeout(Some(shared.cfg.poll_interval))
+        .map_err(|e| format!("set_read_timeout failed: {e}"))?;
+    // Resume from our own log: its length per table is exactly how many
+    // records we have durably applied (our taps rebuild it as we replay,
+    // so the cursor survives reconnects and even our own promotion).
+    let mut names: Vec<&String> = shared.routes.keys().collect();
+    names.sort();
+    let tables: Vec<(String, u64)> = names
+        .into_iter()
+        .map(|t| (t.clone(), shared.repl.log_len(t)))
+        .collect();
+    let sub = Request::Subscribe {
+        follower_id: shared.cfg.follower_id,
+        tables,
+    };
+    stream
+        .write_all(&crate::frame::encode_request(1, &sub))
+        .map_err(|e| format!("subscribe send failed: {e}"))?;
+    stream
+        .flush()
+        .map_err(|e| format!("subscribe flush failed: {e}"))?;
+
+    let mut fb = FrameBuffer::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut subscribed = false;
+    let mut last_heard = Instant::now();
+    loop {
+        if stop.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        loop {
+            match fb.next_frame() {
+                Ok(Some(env)) => {
+                    last_heard = Instant::now();
+                    match env.msg {
+                        Message::Response(Response::SubscribeOk { .. }) if !subscribed => {
+                            subscribed = true;
+                        }
+                        Message::Response(Response::ReplBatch {
+                            table,
+                            first_seq,
+                            records,
+                        }) if subscribed => {
+                            apply_replication(shared, &table, first_seq, records)?;
+                            let ack = Request::ReplAck {
+                                seq: shared.repl.log_len(&table),
+                                table,
+                            };
+                            stream
+                                .write_all(&crate::frame::encode_request(0, &ack))
+                                .map_err(|e| format!("ack send failed: {e}"))?;
+                        }
+                        Message::Response(Response::Heartbeat) if subscribed => {}
+                        Message::Response(Response::Error { code, message, .. }) => {
+                            return Err(format!(
+                                "primary refused subscription [{code}]: {message}"
+                            ));
+                        }
+                        other => {
+                            return Err(format!("unexpected frame on subscription: {other:?}"));
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(err) => return Err(format!("subscription stream corrupt: {err}")),
+            }
+        }
+        // A primary heartbeats when idle; silence past the stall budget
+        // means the connection is dead even if the socket never errored.
+        let stall = shared
+            .cfg
+            .frame_stall_timeout
+            .max(shared.cfg.heartbeat_interval * 4);
+        if last_heard.elapsed() >= stall {
+            return Err(format!("primary silent for {stall:?}"));
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Ok(()),
+            Ok(n) => fb.extend(&buf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(format!("read failed: {e}")),
+        }
+    }
+}
+
+/// Replay one shipped chunk of `table`'s log. Idempotent: records this
+/// follower already holds (its own log is the applied count) are
+/// skipped, so redelivery across a cut is harmless; a gap — the chunk
+/// starting past our log — is an error and forces a resubscribe.
+fn apply_replication(
+    shared: &Shared,
+    table: &str,
+    first_seq: u64,
+    records: Vec<ReplRecord>,
+) -> Result<(), String> {
+    let target = shared
+        .routes
+        .get(table)
+        .ok_or_else(|| format!("primary shipped unknown table `{table}`"))?;
+    let mut core = shared.core.lock().unwrap_or_else(|e| e.into_inner());
+    let have = shared.repl.log_len(table);
+    if first_seq > have {
+        return Err(format!(
+            "log gap on `{table}`: chunk starts at {first_seq}, we hold {have}"
+        ));
+    }
+    for (i, record) in records.into_iter().enumerate() {
+        let index = first_seq + i as u64;
+        if index < shared.repl.log_len(table) {
+            continue; // redelivered across a cut; already applied
+        }
+        match record {
+            ReplRecord::Ingest { generation, batch } => {
+                let current = target.table.snapshot().generation;
+                if generation != current + 1 {
+                    return Err(format!(
+                        "generation gap on `{table}`: ingest publishes {generation}, table at \
+                         {current}"
+                    ));
+                }
+                let decoded = decode_ingest_batch(&batch)
+                    .map_err(|e| format!("shipped batch malformed: {e}"))?;
+                // The fleet's ingest path fires our own replication tap,
+                // which appends this record to our log — advancing the
+                // resume cursor as a side effect of applying.
+                core.fleet
+                    .ingest(table, &decoded)
+                    .map_err(|e| format!("replay ingest failed: {e}"))?;
+            }
+            ReplRecord::Publish { generation, layout } => {
+                let current = target.table.snapshot().generation;
+                if generation != current + 1 {
+                    return Err(format!(
+                        "generation gap on `{table}`: publish {generation}, table at {current}"
+                    ));
+                }
+                let sets: Result<Vec<AttrSet>, String> = layout
+                    .iter()
+                    .map(|group| {
+                        if group.iter().any(|&a| a as usize >= AttrSet::CAPACITY) {
+                            return Err("attribute id beyond capacity".to_string());
+                        }
+                        Ok(group.iter().map(|&a| a as usize).collect())
+                    })
+                    .collect();
+                let partitioning = Partitioning::new(&target.table.schema, sets?)
+                    .map_err(|e| format!("shipped layout invalid: {e}"))?;
+                // Deterministic and byte-identical to the primary's move
+                // (repartition ≡ fresh load, property-tested), and it
+                // folds our delta exactly when it folded the primary's.
+                target.table.repartition(&partitioning, &target.disk);
+            }
+            ReplRecord::Ledger { generation, entry } => {
+                // Install if newer — a promoted follower must answer a
+                // retried sequence from this ledger, not re-apply it.
+                let newer = core
+                    .ledger
+                    .get(&entry.client_id)
+                    .is_none_or(|(seq, _)| entry.sequence > *seq);
+                if newer {
+                    let replay = Response::IngestOk {
+                        rows_appended: entry.rows_appended,
+                        rows_deleted: entry.rows_deleted,
+                        wal_bytes: entry.wal_bytes,
+                        io_seconds: entry.io_seconds,
+                        delta_rows: entry.delta_rows,
+                        delta_bytes: entry.delta_bytes,
+                        deduped: true,
+                    };
+                    core.ledger
+                        .insert(entry.client_id, (entry.sequence, replay));
+                }
+                // Ledger records come from the serving layer, not a table
+                // tap — append to our own log by hand so the cursor (and
+                // a future subscriber of ours) sees the full stream.
+                shared
+                    .repl
+                    .append(table, ReplRecord::Ledger { generation, entry });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Running server: address, live counters, fleet access, shutdown.
@@ -642,6 +1292,10 @@ pub struct ServerHandle {
     addr: SocketAddr,
     accept: JoinHandle<()>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// The follower's replication pump (primaries: `None`).
+    pump: Mutex<Option<JoinHandle<()>>>,
+    /// Stops the pump without shutting the server down (promotion).
+    pump_stop: Arc<AtomicBool>,
 }
 
 impl ServerHandle {
@@ -653,6 +1307,66 @@ impl ServerHandle {
     /// Current counters plus the retained slow-query records.
     pub fn stats(&self) -> ServerStats {
         self.shared.stats_snapshot()
+    }
+
+    /// The server's current role (a follower flips on
+    /// [`ServerHandle::promote`]).
+    pub fn role(&self) -> ServerRole {
+        self.shared
+            .role
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Replication progress: per-table log lengths and, on a primary,
+    /// each subscribed follower's acknowledged position.
+    pub fn repl_stats(&self) -> ReplStats {
+        let log = self
+            .shared
+            .repl
+            .log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut tables: Vec<TableReplStats> = self
+            .shared
+            .routes
+            .keys()
+            .map(|t| {
+                let mut acked: Vec<(u64, u64)> = log
+                    .acked
+                    .iter()
+                    .filter_map(|(fid, per)| per.get(t).map(|&seq| (*fid, seq)))
+                    .collect();
+                acked.sort_unstable();
+                TableReplStats {
+                    table: t.clone(),
+                    log_len: log.entries.get(t).map_or(0, |v| v.len() as u64),
+                    acked,
+                }
+            })
+            .collect();
+        tables.sort_by(|a, b| a.table.cmp(&b.table));
+        ReplStats {
+            role: self.role(),
+            tables,
+        }
+    }
+
+    /// Promote a follower to primary: stop and join the replication pump
+    /// (no more records will be applied from the old primary), then flip
+    /// the role so ingest is accepted. The node's replication log —
+    /// rebuilt record-for-record while it followed — immediately serves
+    /// new subscribers, and the shipped dedup ledger answers retried
+    /// ingest sequences without re-applying them. Idempotent on a
+    /// primary.
+    pub fn promote(&self) {
+        self.pump_stop.store(true, Ordering::SeqCst);
+        let pump = self.pump.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(h) = pump {
+            let _ = h.join();
+        }
+        *self.shared.role.lock().unwrap_or_else(|e| e.into_inner()) = ServerRole::Primary;
     }
 
     /// Run `f` against the fleet (pending serve metrics are folded in
@@ -669,6 +1383,13 @@ impl ServerHandle {
     /// fleet back (ready to be re-served by a fresh [`Server::spawn`]).
     pub fn shutdown(self) -> TableFleet {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        // A follower's pump holds its own Arc<Shared>: stop and join it
+        // before the try_unwrap below.
+        self.pump_stop.store(true, Ordering::SeqCst);
+        let pump = self.pump.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(h) = pump {
+            let _ = h.join();
+        }
         // Unblock the accept loop.
         let _ = TcpStream::connect(self.addr);
         let _ = self.accept.join();
@@ -687,6 +1408,11 @@ impl ServerHandle {
         let shared = Arc::try_unwrap(self.shared)
             .ok()
             .expect("all server threads joined; no other owner may remain");
+        // Detach the replication taps: the fleet handed back must not
+        // keep appending into this server's (now dead) log.
+        for target in shared.routes.values() {
+            target.table.clear_repl_tap();
+        }
         let mut core = shared.core.into_inner().unwrap_or_else(|e| e.into_inner());
         let pending = shared
             .pending

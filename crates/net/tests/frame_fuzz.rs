@@ -13,14 +13,16 @@
 
 use slicer_model::{AttrId, AttrKind, Literal, PredClause, PredOp, Predicate};
 use slicer_net::frame::{
-    encode_request, encode_response, Envelope, ErrorCode, FrameBuffer, Request, Response,
-    ServerStats, SlowQueryRecord, WireError,
+    encode_request, encode_response, Envelope, ErrorCode, FrameBuffer, LedgerEntry, ReplRecord,
+    Request, Response, ServerStats, SlowQueryRecord, WireError,
 };
 
 /// A stream exercising every message kind, with per-frame boundaries.
 /// The predicate-bearing scan frame covers every clause shape the wire
-/// form distinguishes (all three ops, numeric and text literals), so the
-/// truncation/bit-flip sweeps below exercise each predicate field.
+/// form distinguishes (all three ops, numeric and text literals), and
+/// the replication frames cover every record tag (ingest image, layout
+/// publish, dedup-ledger row) — so the truncation/bit-flip sweeps below
+/// exercise each field of each frame kind.
 fn sample_stream() -> (Vec<u8>, Vec<usize>, Vec<Envelope>) {
     let frames: Vec<Vec<u8>> = vec![
         encode_request(
@@ -124,6 +126,65 @@ fn sample_stream() -> (Vec<u8>, Vec<usize>, Vec<Envelope>) {
                 }],
                 ..ServerStats::default()
             }),
+        ),
+        encode_request(
+            5,
+            &Request::Subscribe {
+                follower_id: 2,
+                tables: vec![("tpch.lineitem".into(), 0), ("ssb.lineorder".into(), 17)],
+            },
+        ),
+        encode_response(
+            5,
+            &Response::SubscribeOk {
+                tables: vec![("tpch.lineitem".into(), 3), ("ssb.lineorder".into(), 17)],
+            },
+        ),
+        encode_response(
+            0,
+            &Response::ReplBatch {
+                table: "tpch.lineitem".into(),
+                first_seq: 1,
+                records: vec![
+                    ReplRecord::Ingest {
+                        generation: 2,
+                        batch: (0..48u8).collect(),
+                    },
+                    ReplRecord::Ledger {
+                        generation: 2,
+                        entry: LedgerEntry {
+                            client_id: 77,
+                            sequence: 9,
+                            rows_appended: 120,
+                            rows_deleted: 3,
+                            wal_bytes: 4_096,
+                            io_seconds: 0.0007,
+                            delta_rows: 120,
+                            delta_bytes: 5_280,
+                        },
+                    },
+                    ReplRecord::Publish {
+                        generation: 3,
+                        layout: vec![vec![4], vec![0, 1, 2, 3, 5]],
+                    },
+                ],
+            },
+        ),
+        encode_request(
+            6,
+            &Request::ReplAck {
+                table: "tpch.lineitem".into(),
+                seq: 4,
+            },
+        ),
+        encode_response(0, &Response::Heartbeat),
+        encode_response(
+            7,
+            &Response::Error {
+                code: ErrorCode::NotPrimary,
+                retry_after_micros: 0,
+                message: "127.0.0.1:4710".into(),
+            },
         ),
     ];
     let mut stream = Vec::new();

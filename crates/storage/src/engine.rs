@@ -198,6 +198,37 @@ pub(crate) fn chunk_keep_mask(snapshot: &TableSnapshot, predicate: &Predicate) -
     keep
 }
 
+/// One replicable mutation, emitted to a [`ReplTap`] the moment its
+/// snapshot is published. Generations are gap-free per table (each
+/// publication bumps by exactly one), so a subscriber can detect a
+/// missed event.
+#[derive(Debug, Clone)]
+pub struct ReplEvent {
+    /// The generation the mutation published (snapshot generation after
+    /// the swap).
+    pub generation: u64,
+    /// What mutated.
+    pub op: ReplOp,
+}
+
+/// The mutation payload of a [`ReplEvent`]: enough to replay the change
+/// on another [`StoredTable`] holding the same prior state.
+#[derive(Debug, Clone)]
+pub enum ReplOp {
+    /// An ingest batch became durable and visible (already validated and
+    /// normalized — replaying it through [`StoredTable::ingest`] is
+    /// deterministic).
+    Ingest(IngestBatch),
+    /// A repartition published `layout` (folding any pending delta).
+    /// Replaying it through [`StoredTable::repartition`] reproduces the
+    /// stored bytes exactly — repartition is property-tested
+    /// byte-identical to a fresh load of the same data.
+    Publish(Partitioning),
+}
+
+/// Observer for replicable mutations; see [`StoredTable::set_repl_tap`].
+pub type ReplTap = Arc<dyn Fn(ReplEvent) + Send + Sync>;
+
 /// A table stored under one layout and compression policy.
 ///
 /// All read *and* re-slice operations take `&self` (see the module docs);
@@ -216,6 +247,10 @@ pub struct StoredTable {
     move_lock: Mutex<Option<DurableState>>,
     /// The durable backend, if this table persists itself.
     dir: Option<Arc<dyn Dir>>,
+    /// Replication observer, fired under the move lock after each
+    /// snapshot publication — so a subscriber sees mutations in exactly
+    /// the order their generations published, gap-free.
+    repl_tap: Mutex<Option<ReplTap>>,
 }
 
 /// Mutable durable bookkeeping, guarded by the move lock.
@@ -346,6 +381,36 @@ impl StoredTable {
             })),
             move_lock: Mutex::new(None),
             dir: None,
+            repl_tap: Mutex::new(None),
+        }
+    }
+
+    /// Install `tap` as the table's replication observer. The tap is
+    /// invoked once per snapshot publication ([`StoredTable::ingest`] and
+    /// [`StoredTable::repartition`]), *while the move lock is held*, so
+    /// events arrive in publication order with gap-free generations. Keep
+    /// the closure cheap — it runs on the writer's critical path; a
+    /// replication source should append to an in-memory log and return.
+    pub fn set_repl_tap(&self, tap: ReplTap) {
+        *self.repl_tap.lock().unwrap_or_else(|e| e.into_inner()) = Some(tap);
+    }
+
+    /// Remove the replication observer installed by
+    /// [`StoredTable::set_repl_tap`], if any.
+    pub fn clear_repl_tap(&self) {
+        *self.repl_tap.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// Fire the replication tap, if one is installed. Callers hold the
+    /// move lock, which is what serializes events per table.
+    fn emit_repl(&self, event: ReplEvent) {
+        let tap = self
+            .repl_tap
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if let Some(tap) = tap {
+            tap(event);
         }
     }
 
@@ -522,6 +587,7 @@ impl StoredTable {
                 file_names: manifest.files,
             })),
             dir: Some(dir),
+            repl_tap: Mutex::new(None),
         };
         Ok((table, report))
     }
@@ -582,6 +648,10 @@ impl StoredTable {
             delta,
             source: Arc::clone(&base.source),
         }));
+        self.emit_repl(ReplEvent {
+            generation: base.generation + 1,
+            op: ReplOp::Ingest(normalized),
+        });
         Ok(stats)
     }
 
@@ -786,6 +856,10 @@ impl StoredTable {
             delta: DeltaState::default(),
             source: new_source,
         }));
+        self.emit_repl(ReplEvent {
+            generation: base.generation + 1,
+            op: ReplOp::Publish(layout.clone()),
+        });
         RepartitionStats {
             files_kept,
             files_rebuilt,

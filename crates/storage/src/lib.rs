@@ -58,8 +58,8 @@ pub use data::{generate_table, generate_table_seq, ColumnData, TableData};
 pub use delta::{decode_ingest_batch, encode_ingest_batch, DeltaBatch, DeltaState, IngestBatch};
 pub use engine::{
     scan_naive, scan_naive_query, scan_naive_query_snapshot, scan_naive_snapshot,
-    CompressionPolicy, IngestStats, PartitionFile, RepartitionStats, ScanResult, StoredTable,
-    TableSnapshot,
+    CompressionPolicy, IngestStats, PartitionFile, RepartitionStats, ReplEvent, ReplOp, ReplTap,
+    ScanResult, StoredTable, TableSnapshot,
 };
 pub use executor::{scan, scan_query, CacheMode, ScanExecutor};
 pub use prune::{ChunkStats, ColumnPrune, CHUNK_ROWS};

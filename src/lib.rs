@@ -54,6 +54,8 @@ pub mod prelude {
         AttrId, AttrKind, AttrSet, Attribute, ModelError, Partitioning, Query, SlidingWorkload,
         TableSchema, Workload,
     };
-    pub use slicer_net::{ErrorCode, Server, ServerConfig, ServerHandle};
+    pub use slicer_net::{
+        ErrorCode, FollowerConnector, ReplStats, Server, ServerConfig, ServerHandle, ServerRole,
+    };
     pub use slicer_workloads::{ssb, tpch, Benchmark};
 }
